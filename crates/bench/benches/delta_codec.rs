@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the delta-record codec — the per-eviction CPU cost
+//! the paper claims is "negligible or no overhead to the DBMS".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_core::{apply_and_collect, scan_records, write_record_into, ChangeTracker, DeltaRecord, NmScheme};
+use ipa_storage::standard_layout;
+
+fn bench_codec(c: &mut Criterion) {
+    let layout = standard_layout(8192, NmScheme::new(2, 4));
+    let rec = DeltaRecord::new(
+        vec![(100, 1), (2000, 2), (4000, 3), (7000, 4)],
+        vec![0x42; layout.meta_len()],
+        layout.scheme,
+    );
+    let encoded = rec.encode(&layout);
+
+    c.bench_function("delta/encode [2x4]", |b| {
+        b.iter(|| black_box(rec.encode(&layout)))
+    });
+    c.bench_function("delta/decode [2x4]", |b| {
+        b.iter(|| black_box(DeltaRecord::decode(&encoded, &layout)))
+    });
+
+    let mut page = vec![0u8; 8192];
+    layout.wipe_delta_area(&mut page);
+    write_record_into(&mut page, &layout, 0, &rec);
+    write_record_into(&mut page, &layout, 1, &rec);
+    c.bench_function("delta/scan 2 records", |b| {
+        b.iter(|| black_box(scan_records(&page, &layout)))
+    });
+    c.bench_function("delta/apply_and_collect (fetch path)", |b| {
+        b.iter_with_setup(
+            || page.clone(),
+            |mut p| black_box(apply_and_collect(&mut p, &layout)),
+        )
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let layout = standard_layout(8192, NmScheme::new(2, 4));
+    c.bench_function("tracker/record_write x4 + verdict", |b| {
+        b.iter(|| {
+            let mut t = ChangeTracker::new(layout, Vec::new());
+            t.record_write(100, 0, 1);
+            t.record_write(101, 0, 2);
+            t.record_write(4000, 0, 3);
+            t.record_write(4001, 0, 4);
+            black_box(t.verdict())
+        })
+    });
+
+    let page = vec![0u8; 8192];
+    c.bench_function("tracker/build_new_records", |b| {
+        b.iter_with_setup(
+            || {
+                let mut t = ChangeTracker::new(layout, Vec::new());
+                t.record_write(100, 0, 1);
+                t.record_write(4000, 0, 3);
+                t
+            },
+            |t| black_box(t.build_new_records(&page)),
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_tracker);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks for the SECDED ECC codec (controller-side cost of
+//! every page write and read).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_core::NmScheme;
+use ipa_flash::ecc::{check_chunk, check_region, encode_chunk, encode_region};
+use ipa_ftl::OobCodec;
+use ipa_storage::standard_layout;
+
+fn bench_chunks(c: &mut Criterion) {
+    let data: Vec<u8> = (0..512).map(|i| (i * 31) as u8).collect();
+    let cw = encode_chunk(&data);
+
+    c.bench_function("ecc/encode 512B chunk", |b| {
+        b.iter(|| black_box(encode_chunk(&data)))
+    });
+    c.bench_function("ecc/check clean 512B chunk", |b| {
+        b.iter_with_setup(|| data.clone(), |mut d| black_box(check_chunk(&mut d, cw)))
+    });
+    c.bench_function("ecc/correct 1-bit flip", |b| {
+        b.iter_with_setup(
+            || {
+                let mut d = data.clone();
+                d[100] ^= 0x10;
+                d
+            },
+            |mut d| black_box(check_chunk(&mut d, cw)),
+        )
+    });
+
+    let page: Vec<u8> = (0..8192).map(|i| (i * 7) as u8).collect();
+    let cws = encode_region(&page);
+    c.bench_function("ecc/encode 8KB region", |b| {
+        b.iter(|| black_box(encode_region(&page)))
+    });
+    c.bench_function("ecc/check 8KB region", |b| {
+        b.iter_with_setup(
+            || page.clone(),
+            |mut p| black_box(check_region(&mut p, &cws)),
+        )
+    });
+}
+
+fn bench_oob_codec(c: &mut Criterion) {
+    let layout = standard_layout(8192, NmScheme::new(2, 4));
+    let codec = OobCodec::new(8192, 128, Some(layout));
+    let mut page: Vec<u8> = (0..8192).map(|i| (i * 13) as u8).collect();
+    layout.wipe_delta_area(&mut page);
+    let oob = codec.encode_oob(&page);
+
+    c.bench_function("oob/encode full page write", |b| {
+        b.iter(|| black_box(codec.encode_oob(&page)))
+    });
+    c.bench_function("oob/verify clean page read", |b| {
+        b.iter_with_setup(
+            || page.clone(),
+            |mut p| black_box(codec.verify(&mut p, &oob)),
+        )
+    });
+}
+
+criterion_group!(benches, bench_chunks, bench_oob_codec);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks for storage-engine operations (buffered hot paths).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_core::NmScheme;
+use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+use ipa_storage::{EngineConfig, Rid, StorageEngine, TableSpec};
+
+fn engine() -> (StorageEngine, Vec<Rid>) {
+    let dc = DeviceConfig::new(Geometry::new(256, 64, 8192, 128), FlashMode::PSlc)
+        .with_disturb(DisturbRates::none());
+    let mut e = StorageEngine::build(
+        dc,
+        EngineConfig::default()
+            .with_ipa(NmScheme::new(2, 4))
+            .with_buffer_frames(512)
+            .with_group_commit(64),
+        &[
+            TableSpec::heap("rows", 100, 256),
+            TableSpec::index("rows_pk", 128),
+        ],
+    )
+    .unwrap();
+    let t = e.table("rows").unwrap();
+    let idx = e.table("rows_pk").unwrap();
+    let tx = e.begin();
+    let mut rids = Vec::new();
+    for k in 0..2_000u64 {
+        let mut row = [0u8; 100];
+        row[..8].copy_from_slice(&k.to_le_bytes());
+        let rid = e.insert(tx, t, &row).unwrap();
+        e.index_insert(tx, idx, k, rid).unwrap();
+        rids.push(rid);
+    }
+    e.commit(tx).unwrap();
+    e.flush_all().unwrap();
+    (e, rids)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (mut e, rids) = engine();
+    let t = e.table("rows").unwrap();
+    let idx = e.table("rows_pk").unwrap();
+
+    c.bench_function("engine/get buffered row", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % rids.len();
+            black_box(e.get(t, rids[i]).unwrap().len())
+        })
+    });
+
+    c.bench_function("engine/update_field 3B (tx + WAL)", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % rids.len();
+            let tx = e.begin();
+            e.update_field(tx, t, rids[i], 16, &[1, 2, 3]).unwrap();
+            e.commit(tx).unwrap();
+        })
+    });
+
+    c.bench_function("engine/index_lookup", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7) % 2_000;
+            black_box(e.index_lookup(idx, k).unwrap())
+        })
+    });
+
+    c.bench_function("engine/flush_all after one small update", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % rids.len();
+            let tx = e.begin();
+            e.update_field(tx, t, rids[i], 20, &[9]).unwrap();
+            e.commit(tx).unwrap();
+            e.flush_all().unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks for the simulated flash chip: operation cost of the
+//! simulator itself (host CPU, not simulated latency).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry, Ppa};
+
+fn chip() -> FlashChip {
+    FlashChip::new(
+        DeviceConfig::new(Geometry::new(64, 64, 8192, 128), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none()),
+    )
+}
+
+fn bench_flash(c: &mut Criterion) {
+    let page = vec![0x5Au8; 8192];
+    let oob = vec![0xFFu8; 128];
+
+    c.bench_function("flash/program 8KB page", |b| {
+        b.iter_with_setup(chip, |mut ch| {
+            ch.program_page(Ppa::new(0, 1), &page, &oob).unwrap();
+            black_box(ch.elapsed_ns())
+        })
+    });
+
+    c.bench_function("flash/read 8KB page", |b| {
+        let mut ch = chip();
+        ch.program_page(Ppa::new(0, 1), &page, &oob).unwrap();
+        b.iter(|| black_box(ch.read_page(Ppa::new(0, 1)).unwrap().data.len()))
+    });
+
+    c.bench_function("flash/append 53B delta in place", |b| {
+        b.iter_with_setup(
+            || {
+                let mut ch = chip();
+                let mut half = vec![0xFFu8; 8192];
+                half[..4096].fill(0x11);
+                ch.program_page(Ppa::new(0, 1), &half, &oob).unwrap();
+                ch
+            },
+            |mut ch| {
+                ch.append_region(Ppa::new(0, 1), 8000, &[0u8; 53], 64, &[0u8; 4])
+                    .unwrap();
+                black_box(ch.stats().page_reprograms)
+            },
+        )
+    });
+
+    c.bench_function("flash/erase block", |b| {
+        b.iter_with_setup(
+            || {
+                let mut ch = chip();
+                ch.program_page(Ppa::new(3, 1), &page, &oob).unwrap();
+                ch
+            },
+            |mut ch| {
+                ch.erase_block(3).unwrap();
+                black_box(ch.stats().block_erases)
+            },
+        )
+    });
+
+    c.bench_function("flash/overwrite legality check 8KB", |b| {
+        let old = vec![0x0Fu8; 8192];
+        let new = vec![0x0Eu8; 8192];
+        b.iter(|| black_box(ipa_ftl::overwrite_compatible(&old, &new)))
+    });
+}
+
+criterion_group!(benches, bench_flash);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! # `ipa-bench` — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 for the
+//! experiment index):
+//!
+//! | binary            | paper artifact                                  |
+//! |-------------------|-------------------------------------------------|
+//! | `table1`          | Table 1 — TPC-B, 0×0 vs 2×4 pSLC vs 2×4 odd-MLC |
+//! | `fig1_write_amp`  | Figure 1 — DBMS write amplification             |
+//! | `fig2_ispp`       | Figure 2 — ISPP & erase-before-overwrite        |
+//! | `fig3_layout`     | Figure 3 — page format & OOB ECC layout         |
+//! | `headline_claims` | §1/abstract — invalidations/GC/throughput/life  |
+//! | `ipa_vs_ipl`      | §1 — IPA vs In-Page Logging (trace replay)      |
+//! | `interference`    | §3 — flash modes & program interference         |
+//! | `nm_sweep`        | ablation — N×M scheme sweep                     |
+//! | `nop_sweep`       | ablation — NOP (reprogram budget) sensitivity   |
+//!
+//! All binaries accept `--secs=<f64>` / `--tx=<n>` / `--scale=<n>` /
+//! `--seed=<n>` where meaningful, print fixed-width tables to stdout, and
+//! are deterministic for a given seed.
+
+use std::fmt::Display;
+
+/// Parse `--name=value` from argv, falling back to `default`.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Relative change in percent, paper-style (negative = reduction).
+pub fn pct(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    (new - old) / old * 100.0
+}
+
+/// Format a signed percentage like the paper's Table 1 ("+47", "-75").
+pub fn fmt_pct(p: f64) -> String {
+    format!("{:+.0}", p)
+}
+
+/// Print a horizontal rule sized for our tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Print one row of a fixed-width table.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<34}");
+    for c in cells {
+        print!("{c:>16}");
+    }
+    println!();
+}
+
+/// Convenience for integer cells.
+pub fn n<T: Display>(v: T) -> String {
+    format!("{v}")
+}
+
+/// Group digits of a count ("3 779 926" like the paper).
+pub fn grouped(v: u64) -> String {
+    let s = v.to_string();
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push(' ');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_change() {
+        assert_eq!(pct(150.0, 100.0), 50.0);
+        assert_eq!(pct(25.0, 100.0), -75.0);
+        assert_eq!(pct(5.0, 0.0), 0.0);
+        assert_eq!(fmt_pct(-75.0), "-75");
+        assert_eq!(fmt_pct(46.0), "+46");
+    }
+
+    #[test]
+    fn grouping() {
+        assert_eq!(grouped(3_779_926), "3 779 926");
+        assert_eq!(grouped(123), "123");
+        assert_eq!(grouped(1_000), "1 000");
+    }
+
+    #[test]
+    fn arg_default_when_absent() {
+        assert_eq!(arg("definitely-not-passed", 7u64), 7);
+    }
+}

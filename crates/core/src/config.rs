@@ -1,0 +1,147 @@
+//! The N×M configuration scheme.
+//!
+//! `N` bounds how many delta records a page can accumulate on flash before
+//! it must be rewritten out-of-place; `M` bounds how many modified bytes a
+//! single delta record can carry. The paper's headline configuration is
+//! `[2×4]`; `[0×0]` denotes IPA disabled (the traditional write path).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes used to encode one `<new_value, offset>` pair (2-byte offset +
+/// 1-byte value) — the `3M` in the paper's sizing formula.
+pub const PAIR_BYTES: usize = 3;
+
+/// Maximum pairs per record encodable in the control byte (7 bits).
+pub const MAX_M: u16 = 127;
+
+/// The N×M scheme: at most `n` delta records per page, at most `m` changed
+/// bytes per record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NmScheme {
+    /// Maximum delta records per page (on flash).
+    pub n: u16,
+    /// Maximum `<new_value, offset>` pairs per record.
+    pub m: u16,
+}
+
+impl NmScheme {
+    /// Create a scheme. `new(0, 0)` disables IPA; a scheme with exactly one
+    /// zero component is meaningless and rejected.
+    pub fn new(n: u16, m: u16) -> Self {
+        assert!(
+            (n == 0) == (m == 0),
+            "N and M must both be zero (disabled) or both be positive, got [{n}x{m}]"
+        );
+        assert!(m <= MAX_M, "M must fit the control byte (≤ {MAX_M})");
+        NmScheme { n, m }
+    }
+
+    /// The `[0×0]` scheme: IPA disabled, traditional writes only.
+    pub const fn disabled() -> Self {
+        NmScheme { n: 0, m: 0 }
+    }
+
+    /// The paper's headline `[2×4]` configuration.
+    pub const fn paper_default() -> Self {
+        NmScheme { n: 2, m: 4 }
+    }
+
+    /// Is IPA disabled under this scheme?
+    #[inline]
+    pub const fn is_disabled(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Encoded size of one delta record:
+    /// `1 (control byte) + 3·M (pairs) + Δmetadata`.
+    #[inline]
+    pub const fn record_size(&self, meta_len: usize) -> usize {
+        if self.is_disabled() {
+            0
+        } else {
+            1 + PAIR_BYTES * self.m as usize + meta_len
+        }
+    }
+
+    /// Size of the reserved delta-record area:
+    /// `N × (1 + 3·M + Δmetadata)` — the paper's formula verbatim.
+    #[inline]
+    pub const fn delta_area_size(&self, meta_len: usize) -> usize {
+        self.n as usize * self.record_size(meta_len)
+    }
+
+    /// Maximum changed body bytes a page can absorb in-place over its whole
+    /// on-flash lifetime under this scheme.
+    #[inline]
+    pub const fn total_capacity(&self) -> usize {
+        self.n as usize * self.m as usize
+    }
+
+    /// How many records are needed to carry `changed` modified bytes.
+    #[inline]
+    pub const fn records_for(&self, changed: usize) -> usize {
+        if self.is_disabled() || changed == 0 {
+            0
+        } else {
+            changed.div_ceil(self.m as usize)
+        }
+    }
+}
+
+impl fmt::Display for NmScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}]", self.n, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formula() {
+        // N × (1 + 3M + Δmetadata) with the paper's [2×4] and a 32-byte
+        // metadata delta: 2 × (1 + 12 + 32) = 90.
+        let s = NmScheme::new(2, 4);
+        assert_eq!(s.record_size(32), 45);
+        assert_eq!(s.delta_area_size(32), 90);
+    }
+
+    #[test]
+    fn disabled_scheme_is_zero_sized() {
+        let s = NmScheme::disabled();
+        assert!(s.is_disabled());
+        assert_eq!(s.record_size(32), 0);
+        assert_eq!(s.delta_area_size(32), 0);
+        assert_eq!(s.total_capacity(), 0);
+        assert_eq!(s.to_string(), "[0x0]");
+    }
+
+    #[test]
+    fn records_for_rounds_up() {
+        let s = NmScheme::new(4, 4);
+        assert_eq!(s.records_for(0), 0);
+        assert_eq!(s.records_for(1), 1);
+        assert_eq!(s.records_for(4), 1);
+        assert_eq!(s.records_for(5), 2);
+        assert_eq!(s.records_for(16), 4);
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        assert_eq!(NmScheme::new(2, 4).to_string(), "[2x4]");
+    }
+
+    #[test]
+    #[should_panic(expected = "both be zero")]
+    fn half_disabled_rejected() {
+        let _ = NmScheme::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "control byte")]
+    fn oversized_m_rejected() {
+        let _ = NmScheme::new(1, 200);
+    }
+}

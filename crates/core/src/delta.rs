@@ -1,0 +1,303 @@
+//! Delta-record encoding — the on-flash format of one update delta.
+//!
+//! ```text
+//! ┌──────────┬───────────────────────────────┬────────────────┐
+//! │ control  │ pairs: M × (off_lo off_hi val)│ Δmetadata      │
+//! │ 1 byte   │ 3·M bytes                     │ header‖footer  │
+//! └──────────┴───────────────────────────────┴────────────────┘
+//! ```
+//!
+//! * `control` — presence flag + used-pair count. An erased slot reads
+//!   `0xFF`; a written record has bit 7 = 0 and the low 7 bits hold the
+//!   number of valid pairs (hence `M ≤ 127`). Because the slot starts
+//!   erased, writing any control value is a legal `1 → 0` program.
+//! * unused pair slots stay `0xFF` (erased) so a record with fewer than M
+//!   pairs is still append-only on flash.
+//! * `Δmetadata` — the page header+footer image as of this delta; on apply,
+//!   later records win.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{NmScheme, PAIR_BYTES};
+use crate::layout::PageLayout;
+
+/// A decoded delta record: byte-granular body updates plus the metadata
+/// image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaRecord {
+    /// `<offset, new_value>` pairs (offset is absolute within the page, and
+    /// must lie in the body region).
+    pub pairs: Vec<(u16, u8)>,
+    /// `Δmetadata`: header ‖ footer image (length = `layout.meta_len()`).
+    pub meta: Vec<u8>,
+}
+
+/// Control-byte presence mask: bit 7 clear ⇒ record present.
+const PRESENT_MASK: u8 = 0x80;
+
+impl DeltaRecord {
+    /// Create a record, checking the pair count against the scheme.
+    pub fn new(pairs: Vec<(u16, u8)>, meta: Vec<u8>, scheme: NmScheme) -> Self {
+        assert!(
+            pairs.len() <= scheme.m as usize,
+            "record with {} pairs exceeds M={}",
+            pairs.len(),
+            scheme.m
+        );
+        DeltaRecord { pairs, meta }
+    }
+
+    /// Encode into exactly `layout.record_size()` bytes.
+    pub fn encode(&self, layout: &PageLayout) -> Vec<u8> {
+        let m = layout.scheme.m as usize;
+        assert!(self.pairs.len() <= m, "too many pairs for scheme");
+        assert_eq!(self.meta.len(), layout.meta_len(), "Δmetadata size mismatch");
+        let mut out = Vec::with_capacity(layout.record_size());
+        out.push(self.pairs.len() as u8); // bit 7 clear = present
+        for &(off, val) in &self.pairs {
+            out.push((off & 0xFF) as u8);
+            out.push((off >> 8) as u8);
+            out.push(val);
+        }
+        // Unused pair slots stay erased.
+        out.resize(1 + PAIR_BYTES * m, 0xFF);
+        out.extend_from_slice(&self.meta);
+        debug_assert_eq!(out.len(), layout.record_size());
+        out
+    }
+
+    /// Decode a record slot. Returns `None` if the slot is still erased
+    /// (control byte `0xFF` — bit 7 set).
+    pub fn decode(buf: &[u8], layout: &PageLayout) -> Option<DeltaRecord> {
+        assert_eq!(buf.len(), layout.record_size(), "record slot size mismatch");
+        let control = buf[0];
+        if control & PRESENT_MASK != 0 {
+            return None;
+        }
+        let used = (control & 0x7F) as usize;
+        let m = layout.scheme.m as usize;
+        // A corrupt count beyond M means the slot is garbage; surface as
+        // absent rather than fabricating pairs (ECC should have caught it).
+        if used > m {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(used);
+        for i in 0..used {
+            let base = 1 + i * PAIR_BYTES;
+            let off = buf[base] as u16 | ((buf[base + 1] as u16) << 8);
+            pairs.push((off, buf[base + 2]));
+        }
+        let meta = buf[1 + PAIR_BYTES * m..].to_vec();
+        Some(DeltaRecord { pairs, meta })
+    }
+
+    /// Apply this record to a full page image: patch body bytes, then
+    /// restore the metadata image.
+    pub fn apply(&self, page: &mut [u8], layout: &PageLayout) {
+        for &(off, val) in &self.pairs {
+            debug_assert!(
+                layout.in_body(off as usize),
+                "delta pair offset {off} outside body"
+            );
+            page[off as usize] = val;
+        }
+        layout.restore_meta(page, &self.meta);
+    }
+}
+
+/// Decode every present record in a page's delta area, in append order.
+/// Stops at the first erased slot (records are appended sequentially).
+pub fn scan_records(page: &[u8], layout: &PageLayout) -> Vec<DeltaRecord> {
+    let mut out = Vec::new();
+    for i in 0..layout.scheme.n {
+        let off = layout.record_offset(i);
+        let slot = &page[off..off + layout.record_size()];
+        match DeltaRecord::decode(slot, layout) {
+            Some(rec) => out.push(rec),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Serialize a record into the page image at slot `index`.
+pub fn write_record_into(page: &mut [u8], layout: &PageLayout, index: u16, record: &DeltaRecord) {
+    let off = layout.record_offset(index);
+    let bytes = record.encode(layout);
+    page[off..off + bytes.len()].copy_from_slice(&bytes);
+}
+
+/// Fetch-time reconstruction (paper §3, "Page operations"): apply every
+/// delta record in order, then wipe the delta area so the buffered image is
+/// ready for a future out-of-place write. Returns the records that were on
+/// flash (seeding the tracker's budget and the conventional-SSD image
+/// builder).
+pub fn apply_and_collect(page: &mut [u8], layout: &PageLayout) -> Vec<DeltaRecord> {
+    if layout.scheme.is_disabled() {
+        return Vec::new();
+    }
+    let records = scan_records(page, layout);
+    for rec in &records {
+        rec.apply(page, layout);
+    }
+    layout.wipe_delta_area(page);
+    records
+}
+
+/// Like [`apply_and_collect`], returning only the record count.
+pub fn apply_all(page: &mut [u8], layout: &PageLayout) -> u16 {
+    apply_and_collect(page, layout).len() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NmScheme;
+    use proptest::prelude::*;
+
+    fn layout() -> PageLayout {
+        PageLayout::new(2048, 24, 8, NmScheme::new(3, 4))
+    }
+
+    fn meta_of(layout: &PageLayout, fill: u8) -> Vec<u8> {
+        vec![fill; layout.meta_len()]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let l = layout();
+        let rec = DeltaRecord::new(vec![(100, 0xAB), (515, 0x01)], meta_of(&l, 7), l.scheme);
+        let bytes = rec.encode(&l);
+        assert_eq!(bytes.len(), l.record_size());
+        assert_eq!(DeltaRecord::decode(&bytes, &l), Some(rec));
+    }
+
+    #[test]
+    fn erased_slot_decodes_to_none() {
+        let l = layout();
+        let slot = vec![0xFFu8; l.record_size()];
+        assert_eq!(DeltaRecord::decode(&slot, &l), None);
+    }
+
+    #[test]
+    fn empty_pairs_record_is_present() {
+        // A meta-only record (e.g. header-only update) is legal.
+        let l = layout();
+        let rec = DeltaRecord::new(vec![], meta_of(&l, 3), l.scheme);
+        let bytes = rec.encode(&l);
+        assert_eq!(bytes[0], 0);
+        let back = DeltaRecord::decode(&bytes, &l).unwrap();
+        assert!(back.pairs.is_empty());
+        assert_eq!(back.meta, meta_of(&l, 3));
+    }
+
+    #[test]
+    fn unused_pair_slots_stay_erased() {
+        let l = layout();
+        let rec = DeltaRecord::new(vec![(40, 0x00)], meta_of(&l, 0), l.scheme);
+        let bytes = rec.encode(&l);
+        // Pair slots 1..4 (bytes 4..13) must be 0xFF.
+        assert!(bytes[4..13].iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn encoding_is_flash_appendable() {
+        // Any record written into an erased slot must be a legal 1→0
+        // program: trivially true because the slot is all 0xFF, but assert
+        // the invariant the design relies on.
+        let l = layout();
+        let rec = DeltaRecord::new(vec![(99, 0xFF)], meta_of(&l, 0xFF), l.scheme);
+        let bytes = rec.encode(&l);
+        let erased = vec![0xFFu8; bytes.len()];
+        assert!(bytes.iter().zip(&erased).all(|(&n, &o)| n & !o == 0));
+    }
+
+    #[test]
+    fn apply_patches_body_and_meta() {
+        let l = layout();
+        let mut page = vec![0x55u8; l.page_size];
+        let mut meta = meta_of(&l, 0x55);
+        meta[0] = 0x99; // header byte 0 changed
+        let rec = DeltaRecord::new(vec![(30, 0xAA)], meta, l.scheme);
+        rec.apply(&mut page, &l);
+        assert_eq!(page[30], 0xAA);
+        assert_eq!(page[0], 0x99);
+    }
+
+    #[test]
+    fn scan_stops_at_first_erased_slot() {
+        let l = layout();
+        let mut page = vec![0x00u8; l.page_size];
+        l.wipe_delta_area(&mut page);
+        let r0 = DeltaRecord::new(vec![(50, 1)], meta_of(&l, 1), l.scheme);
+        let r1 = DeltaRecord::new(vec![(51, 2)], meta_of(&l, 2), l.scheme);
+        write_record_into(&mut page, &l, 0, &r0);
+        write_record_into(&mut page, &l, 1, &r1);
+        let scanned = scan_records(&page, &l);
+        assert_eq!(scanned, vec![r0, r1]);
+    }
+
+    #[test]
+    fn apply_all_applies_in_order_and_wipes() {
+        let l = layout();
+        let mut page = vec![0x11u8; l.page_size];
+        l.wipe_delta_area(&mut page);
+        // Two records touching the same byte: the later one must win.
+        let r0 = DeltaRecord::new(vec![(100, 0xAA)], meta_of(&l, 1), l.scheme);
+        let r1 = DeltaRecord::new(vec![(100, 0xBB)], meta_of(&l, 2), l.scheme);
+        write_record_into(&mut page, &l, 0, &r0);
+        write_record_into(&mut page, &l, 1, &r1);
+        let n = apply_all(&mut page, &l);
+        assert_eq!(n, 2);
+        assert_eq!(page[100], 0xBB);
+        assert_eq!(page[0], 2, "latest Δmetadata wins");
+        assert!(l.delta_area_is_clean(&page));
+    }
+
+    #[test]
+    fn apply_all_noop_on_clean_page() {
+        let l = layout();
+        let mut page = vec![0x11u8; l.page_size];
+        l.wipe_delta_area(&mut page);
+        let copy = page.clone();
+        assert_eq!(apply_all(&mut page, &l), 0);
+        assert_eq!(page, copy);
+    }
+
+    #[test]
+    fn corrupt_pair_count_treated_as_absent() {
+        let l = layout();
+        let mut slot = vec![0xFFu8; l.record_size()];
+        slot[0] = 0x50; // present flag, but 80 pairs > M=4
+        assert_eq!(DeltaRecord::decode(&slot, &l), None);
+    }
+
+    proptest! {
+        /// encode → decode is the identity for any conformant record.
+        #[test]
+        fn codec_round_trip(
+            pairs in proptest::collection::vec((24u16..2000, any::<u8>()), 0..=4),
+            meta_fill in any::<u8>(),
+        ) {
+            let l = layout();
+            let rec = DeltaRecord::new(pairs, vec![meta_fill; l.meta_len()], l.scheme);
+            let bytes = rec.encode(&l);
+            prop_assert_eq!(DeltaRecord::decode(&bytes, &l), Some(rec));
+        }
+
+        /// Records always encode to slot size, and the first byte never has
+        /// the erased bit set.
+        #[test]
+        fn encoded_records_are_distinguishable_from_erased(
+            npairs in 0usize..=4,
+            meta_fill in any::<u8>(),
+        ) {
+            let l = layout();
+            let pairs = (0..npairs).map(|i| (24 + i as u16, 0xFFu8)).collect();
+            let rec = DeltaRecord::new(pairs, vec![meta_fill; l.meta_len()], l.scheme);
+            let bytes = rec.encode(&l);
+            prop_assert_eq!(bytes.len(), l.record_size());
+            prop_assert_eq!(bytes[0] & 0x80, 0);
+        }
+    }
+}

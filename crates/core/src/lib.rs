@@ -1,0 +1,30 @@
+//! # `ipa-core` — In-Place Appends: the paper's contribution
+//!
+//! Everything that is *IPA itself*, independent of the storage engine and
+//! the device:
+//!
+//! * [`NmScheme`] — the N×M configuration (≤ N delta records per page,
+//!   ≤ M modified bytes per record) and the paper's delta-area sizing
+//!   formula `N × (1 + 3M + Δmetadata)`.
+//! * [`PageLayout`] — the Figure 3 page format with the reserved
+//!   delta-record area kept erased in every out-of-place image.
+//! * [`DeltaRecord`] — the on-flash codec (control byte, `<new_value,
+//!   offset>` pairs, `Δmetadata`), guaranteed to be a legal `1 → 0` flash
+//!   append into an erased slot.
+//! * [`ChangeTracker`] — buffer-side net-change tracking, the conformance
+//!   check with the sticky out-of-place flag, and eviction-time record /
+//!   image construction for both the native (`write_delta`) and the
+//!   conventional-SSD paths.
+//!
+//! The crate is engine- and device-agnostic: `ipa-storage` wires it into a
+//! buffer pool, `ipa-ftl` persists its records.
+
+pub mod config;
+pub mod delta;
+pub mod layout;
+pub mod tracker;
+
+pub use config::{NmScheme, MAX_M, PAIR_BYTES};
+pub use delta::{apply_all, apply_and_collect, scan_records, write_record_into, DeltaRecord};
+pub use layout::PageLayout;
+pub use tracker::{ChangeTracker, IpaVerdict};

@@ -1,0 +1,334 @@
+//! Cell types, operating modes and the page-pairing rules of MLC NAND.
+//!
+//! Section 3 of the paper ("Flash types and program interference")
+//! distinguishes:
+//!
+//! * **SLC** — one bit per cell; large threshold-voltage margins make
+//!   re-programming (appending) safe without restrictions.
+//! * **MLC full** — two bits per cell; each wordline carries an LSB page and
+//!   an MSB page. Margins are tight, so re-programming causes program
+//!   interference; IPA is *not* safe here.
+//! * **pSLC** — MLC silicon used SLC-style: only LSB pages are used, the
+//!   capacity halves, and interference tolerance matches SLC.
+//! * **odd-MLC** — full capacity is kept, but IPA is applied only to LSB
+//!   ("odd-numbered" in the paper's convention) pages; MSB pages are always
+//!   written out-of-place.
+//!
+//! The simulator keeps physics (what the chip *can* do) separate from policy
+//! (what the FTL/DBMS *chooses* to do): [`FlashMode`] answers both "is this
+//! page usable at all?" and "may deltas be appended to this page?", and the
+//! interference model keys its error rates off the same classification.
+
+use serde::{Deserialize, Serialize};
+
+/// Bits-per-cell technology of the simulated NAND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellType {
+    /// Single-level cell: 1 bit/cell, 2 charge levels.
+    Slc,
+    /// Multi-level cell: 2 bits/cell, 4 charge levels.
+    Mlc,
+    /// Triple-level cell: 3 bits/cell, 8 charge levels (3D NAND).
+    Tlc,
+}
+
+impl CellType {
+    /// Number of distinguishable charge levels.
+    #[inline]
+    pub const fn levels(self) -> u8 {
+        match self {
+            CellType::Slc => 2,
+            CellType::Mlc => 4,
+            CellType::Tlc => 8,
+        }
+    }
+
+    /// Bits stored per cell.
+    #[inline]
+    pub const fn bits_per_cell(self) -> u8 {
+        match self {
+            CellType::Slc => 1,
+            CellType::Mlc => 2,
+            CellType::Tlc => 3,
+        }
+    }
+}
+
+/// Operating mode of the device — the paper's three IPA-capable
+/// configurations, the unsafe full-MLC reference used in the interference
+/// experiment (E7), and the §3 "3D NAND" configuration (TLC silicon whose
+/// manufacturing makes it "Bitline Interference Free / Wordline
+/// Interference Almost Free", with the odd-MLC technique applied to its
+/// LSB pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashMode {
+    /// Native SLC silicon. All pages usable, all pages IPA-capable.
+    Slc,
+    /// MLC used at full capacity with no IPA restrictions. Re-programming
+    /// MSB-coupled pages causes heavy program interference; exists so the
+    /// danger the paper warns about is measurable.
+    MlcFull,
+    /// Pseudo-SLC: MLC silicon, only LSB pages used ("every second page"),
+    /// halving capacity but restoring SLC-class interference margins.
+    PSlc,
+    /// Odd-MLC: full capacity; IPA allowed only on LSB (odd-numbered)
+    /// pages, MSB (even-numbered) pages must be written out-of-place.
+    OddMlc,
+    /// 3D-NAND TLC: wordlines carry page triplets (LSB/CSB/MSB); IPA is
+    /// applied odd-MLC-style to the LSB page of each triplet, and the
+    /// interference margins are wide by construction (charge-trap 3D
+    /// cells), per the paper's §3 and the Samsung V-NAND white paper.
+    Tlc3d,
+}
+
+impl FlashMode {
+    /// The underlying silicon for this mode.
+    #[inline]
+    pub const fn cell_type(self) -> CellType {
+        match self {
+            FlashMode::Slc => CellType::Slc,
+            FlashMode::MlcFull | FlashMode::PSlc | FlashMode::OddMlc => CellType::Mlc,
+            FlashMode::Tlc3d => CellType::Tlc,
+        }
+    }
+
+    /// Is `page` (index within its block) an LSB page?
+    ///
+    /// The paper's convention is that *odd-numbered* pages are the LSB pages
+    /// ("IPA are only applied to LSB pages (odd numbered pages)"); a
+    /// wordline pair is `(2k, 2k+1)` with the MSB page even-numbered.
+    /// On SLC every page is its own wordline and counts as LSB.
+    #[inline]
+    pub const fn is_lsb_page(self, page: u32) -> bool {
+        match self {
+            FlashMode::Slc => true,
+            FlashMode::Tlc3d => page.is_multiple_of(3),
+            _ => page % 2 == 1,
+        }
+    }
+
+    /// The wordline index a page belongs to (pages `2k`/`2k+1` pair up on
+    /// MLC; on SLC each page is its own wordline).
+    #[inline]
+    pub const fn wordline_of(self, page: u32) -> u32 {
+        match self {
+            FlashMode::Slc => page,
+            FlashMode::Tlc3d => page / 3,
+            _ => page / 2,
+        }
+    }
+
+    /// The paired page sharing the wordline, if any (MLC modes only; TLC
+    /// wordlines carry triplets — see [`FlashMode::wordline_partners`]).
+    #[inline]
+    pub const fn paired_page(self, page: u32) -> Option<u32> {
+        match self {
+            FlashMode::Slc | FlashMode::Tlc3d => None,
+            _ => {
+                if page.is_multiple_of(2) {
+                    Some(page + 1)
+                } else {
+                    Some(page - 1)
+                }
+            }
+        }
+    }
+
+    /// All other pages sharing the wordline (0, 1 or 2 of them).
+    pub fn wordline_partners(self, page: u32) -> [Option<u32>; 2] {
+        match self {
+            FlashMode::Slc => [None, None],
+            FlashMode::Tlc3d => {
+                let base = page - page % 3;
+                let mut out = [None, None];
+                let mut k = 0;
+                for p in base..base + 3 {
+                    if p != page {
+                        out[k] = Some(p);
+                        k += 1;
+                    }
+                }
+                out
+            }
+            _ => [self.paired_page(page), None],
+        }
+    }
+
+    /// May this page be programmed at all in this mode?
+    /// In pSLC mode the MSB (even) pages are skipped entirely.
+    #[inline]
+    pub const fn page_usable(self, page: u32) -> bool {
+        match self {
+            FlashMode::PSlc => page % 2 == 1,
+            _ => true,
+        }
+    }
+
+    /// Pages per wordline in this mode's silicon.
+    #[inline]
+    pub const fn pages_per_wordline(self) -> u32 {
+        match self {
+            FlashMode::Slc => 1,
+            FlashMode::Tlc3d => 3,
+            _ => 2,
+        }
+    }
+
+    /// May delta records be appended (page re-programmed in place) on this
+    /// page in this mode *safely*?
+    ///
+    /// `MlcFull` returns `true` for every page — the chip will execute the
+    /// re-program — but the interference model makes doing so on
+    /// MSB-coupled wordlines destructive. The *recommended* policy is
+    /// expressed by [`FlashMode::ipa_safe`].
+    #[inline]
+    pub const fn ipa_safe(self, page: u32) -> bool {
+        match self {
+            FlashMode::Slc => true,
+            FlashMode::PSlc => page % 2 == 1,
+            FlashMode::OddMlc => page % 2 == 1,
+            FlashMode::MlcFull => false,
+            // §3: the odd-MLC technique on the LSB page of each triplet.
+            FlashMode::Tlc3d => page.is_multiple_of(3),
+        }
+    }
+
+    /// Fraction of raw capacity exposed to the host in this mode.
+    #[inline]
+    pub fn capacity_factor(self) -> f64 {
+        match self {
+            FlashMode::PSlc => 0.5,
+            _ => 1.0,
+        }
+    }
+
+    /// Number of usable pages per block for a block of `pages_per_block`
+    /// physical pages.
+    #[inline]
+    pub fn usable_pages_per_block(self, pages_per_block: u32) -> u32 {
+        match self {
+            FlashMode::PSlc => pages_per_block / 2,
+            _ => pages_per_block,
+        }
+    }
+
+    /// Default partial-programming budget (NOP) for a page in this mode:
+    /// how many program operations a page tolerates between erases.
+    ///
+    /// SLC datasheets typically allow NOP=4; the IPA prototype re-programs
+    /// LSB pages several times, so SLC-margin modes get a generous budget
+    /// (first program + appends), while MSB pages on MLC allow exactly one
+    /// program.
+    #[inline]
+    pub const fn default_nop(self, page: u32) -> u16 {
+        match self {
+            FlashMode::Slc => 8,
+            FlashMode::PSlc => 8,
+            FlashMode::OddMlc => {
+                if page % 2 == 1 {
+                    8
+                } else {
+                    1
+                }
+            }
+            // Full MLC officially allows a single program per page; the
+            // chip still lets experiments override this via
+            // `ProgramConstraints` to demonstrate *why* the limit exists.
+            FlashMode::MlcFull => 1,
+            FlashMode::Tlc3d => {
+                if page.is_multiple_of(3) {
+                    8
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_and_bits() {
+        assert_eq!(CellType::Slc.levels(), 2);
+        assert_eq!(CellType::Mlc.levels(), 4);
+        assert_eq!(CellType::Tlc.levels(), 8);
+        assert_eq!(CellType::Slc.bits_per_cell(), 1);
+        assert_eq!(CellType::Mlc.bits_per_cell(), 2);
+        assert_eq!(CellType::Tlc.bits_per_cell(), 3);
+    }
+
+    #[test]
+    fn slc_every_page_is_lsb_and_usable() {
+        for p in 0..16 {
+            assert!(FlashMode::Slc.is_lsb_page(p));
+            assert!(FlashMode::Slc.page_usable(p));
+            assert!(FlashMode::Slc.ipa_safe(p));
+        }
+    }
+
+    #[test]
+    fn pslc_uses_only_odd_pages() {
+        let m = FlashMode::PSlc;
+        assert!(!m.page_usable(0));
+        assert!(m.page_usable(1));
+        assert!(!m.page_usable(6));
+        assert!(m.page_usable(7));
+        assert_eq!(m.usable_pages_per_block(128), 64);
+        assert!((m.capacity_factor() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn odd_mlc_ipa_only_on_odd_pages() {
+        let m = FlashMode::OddMlc;
+        for p in 0..16 {
+            assert!(m.page_usable(p), "odd-MLC keeps full capacity");
+            assert_eq!(m.ipa_safe(p), p % 2 == 1, "IPA only on LSB (odd) pages");
+        }
+    }
+
+    #[test]
+    fn mlc_full_never_ipa_safe() {
+        for p in 0..16 {
+            assert!(!FlashMode::MlcFull.ipa_safe(p));
+        }
+    }
+
+    #[test]
+    fn wordline_pairing() {
+        let m = FlashMode::OddMlc;
+        assert_eq!(m.wordline_of(0), 0);
+        assert_eq!(m.wordline_of(1), 0);
+        assert_eq!(m.wordline_of(7), 3);
+        assert_eq!(m.paired_page(4), Some(5));
+        assert_eq!(m.paired_page(5), Some(4));
+        assert_eq!(FlashMode::Slc.paired_page(5), None);
+    }
+
+    #[test]
+    fn tlc3d_triplets() {
+        let m = FlashMode::Tlc3d;
+        assert_eq!(m.pages_per_wordline(), 3);
+        assert_eq!(m.wordline_of(7), 2);
+        assert!(m.is_lsb_page(6));
+        assert!(!m.is_lsb_page(7));
+        assert!(m.ipa_safe(6) && !m.ipa_safe(7) && !m.ipa_safe(8));
+        assert!(m.page_usable(5), "full capacity");
+        let partners = m.wordline_partners(4); // triplet 3,4,5
+        assert_eq!(partners, [Some(3), Some(5)]);
+        assert_eq!(m.wordline_partners(3), [Some(4), Some(5)]);
+        assert_eq!(m.default_nop(6), 8);
+        assert_eq!(m.default_nop(7), 1);
+        assert_eq!(m.cell_type(), CellType::Tlc);
+    }
+
+    #[test]
+    fn nop_budgets() {
+        assert_eq!(FlashMode::Slc.default_nop(0), 8);
+        assert_eq!(FlashMode::OddMlc.default_nop(1), 8);
+        assert_eq!(FlashMode::OddMlc.default_nop(2), 1);
+        assert_eq!(FlashMode::MlcFull.default_nop(3), 1);
+    }
+}

@@ -1,0 +1,741 @@
+//! The simulated NAND chip: the only place flash physics is enforced.
+//!
+//! Operations:
+//!
+//! * [`FlashChip::program_page`] — first program of an erased page.
+//! * [`FlashChip::reprogram_page`] — in-place overwrite of a programmed
+//!   page; legal only if every bit transition is `1 → 0` (the IPA append).
+//! * [`FlashChip::append_region`] — convenience for `write_delta`: splice a
+//!   byte range into the current image and re-program in place, accounting
+//!   bus transfer only for the delta bytes.
+//! * [`FlashChip::erase_block`] — the only way to get `0 → 1` transitions.
+//!
+//! Each mutation advances the simulated clock by a datasheet-class latency
+//! and exposes neighbouring pages to program interference.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::block::{build_blocks, Block};
+use crate::cell::FlashMode;
+use crate::clock::SimClock;
+use crate::config::DeviceConfig;
+use crate::error::{FlashError, Result};
+use crate::geometry::{Geometry, Ppa};
+use crate::interference::{Coupling, DisturbModel};
+use crate::ispp::ProgramKind;
+use crate::stats::FlashStats;
+
+/// A page image returned by [`FlashChip::read_page`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageImage {
+    pub data: Vec<u8>,
+    pub oob: Vec<u8>,
+}
+
+/// The simulated NAND device.
+pub struct FlashChip {
+    config: DeviceConfig,
+    blocks: Vec<Block>,
+    clock: SimClock,
+    stats: FlashStats,
+    disturb: DisturbModel,
+    rng: StdRng,
+}
+
+impl FlashChip {
+    pub fn new(config: DeviceConfig) -> Self {
+        let blocks = build_blocks(&config.geometry);
+        let rng = StdRng::seed_from_u64(config.seed);
+        let disturb = DisturbModel::new(config.disturb);
+        FlashChip {
+            config,
+            blocks,
+            clock: SimClock::new(),
+            stats: FlashStats::default(),
+            disturb,
+            rng,
+        }
+    }
+
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.config.geometry
+    }
+
+    #[inline]
+    pub fn mode(&self) -> FlashMode {
+        self.config.mode
+    }
+
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Simulated time elapsed since device creation, nanoseconds.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// NOP budget (programs between erases) for a page index.
+    #[inline]
+    pub fn nop_limit(&self, page: u32) -> u16 {
+        self.config
+            .nop_override
+            .unwrap_or_else(|| self.config.mode.default_nop(page))
+    }
+
+    fn check_bounds(&self, ppa: Ppa) -> Result<()> {
+        if !self.config.geometry.contains(ppa) {
+            return Err(FlashError::OutOfBounds { ppa });
+        }
+        if self.blocks[ppa.block as usize].bad {
+            return Err(FlashError::BadBlock { block: ppa.block });
+        }
+        if !self.config.mode.page_usable(ppa.page) {
+            return Err(FlashError::PageNotUsable { ppa });
+        }
+        Ok(())
+    }
+
+    fn check_sizes(&self, data: &[u8], oob: &[u8]) -> Result<()> {
+        if data.len() != self.config.geometry.page_size {
+            return Err(FlashError::SizeMismatch {
+                expected: self.config.geometry.page_size,
+                got: data.len(),
+                what: "page data",
+            });
+        }
+        if oob.len() != self.config.geometry.oob_size {
+            return Err(FlashError::SizeMismatch {
+                expected: self.config.geometry.oob_size,
+                got: oob.len(),
+                what: "page OOB",
+            });
+        }
+        Ok(())
+    }
+
+    /// Is the page still erased (never programmed since last erase)?
+    pub fn is_erased(&self, ppa: Ppa) -> Result<bool> {
+        if !self.config.geometry.contains(ppa) {
+            return Err(FlashError::OutOfBounds { ppa });
+        }
+        Ok(self.blocks[ppa.block as usize].page(ppa.page).is_erased())
+    }
+
+    /// Programs since last erase for a page.
+    pub fn program_count(&self, ppa: Ppa) -> Result<u16> {
+        if !self.config.geometry.contains(ppa) {
+            return Err(FlashError::OutOfBounds { ppa });
+        }
+        Ok(self.blocks[ppa.block as usize].page(ppa.page).program_count)
+    }
+
+    /// Wear (erase count) of a block.
+    pub fn erase_count(&self, block: u32) -> Result<u32> {
+        if block >= self.config.geometry.blocks {
+            return Err(FlashError::BlockOutOfBounds { block });
+        }
+        Ok(self.blocks[block as usize].erase_count)
+    }
+
+    /// Maximum erase count across all blocks (wear peak; drives the
+    /// longevity experiment).
+    pub fn max_erase_count(&self) -> u32 {
+        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+    }
+
+    /// Side-effect-free view of a page's current data image, for tests and
+    /// internal FTL bookkeeping. Returns `None` for never-programmed pages.
+    pub fn peek_data(&self, ppa: Ppa) -> Option<&[u8]> {
+        self.config
+            .geometry
+            .contains(ppa)
+            .then(|| self.blocks[ppa.block as usize].page(ppa.page).data())
+            .flatten()
+    }
+
+    /// Side-effect-free view of a page's OOB image.
+    pub fn peek_oob(&self, ppa: Ppa) -> Option<&[u8]> {
+        self.config
+            .geometry
+            .contains(ppa)
+            .then(|| self.blocks[ppa.block as usize].page(ppa.page).oob())
+            .flatten()
+    }
+
+    /// Read a page (data + OOB), advancing the clock by sense + transfer
+    /// time. Reading an erased page is an explicit error so layering bugs
+    /// surface immediately.
+    pub fn read_page(&mut self, ppa: Ppa) -> Result<PageImage> {
+        self.check_bounds(ppa)?;
+        let g = self.config.geometry;
+        let page = self.blocks[ppa.block as usize].page(ppa.page);
+        if page.is_erased() {
+            return Err(FlashError::ReadErased { ppa });
+        }
+        let data = page
+            .data()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_else(|| vec![0xFF; g.page_size]);
+        let oob = page
+            .oob()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_else(|| vec![0xFF; g.oob_size]);
+
+        let t = self.config.latency.read_sense_ns
+            + self.config.latency.transfer_ns(g.page_size + g.oob_size);
+        self.clock.advance_ns(t);
+        self.stats.page_reads += 1;
+        self.stats.bytes_read += (g.page_size + g.oob_size) as u64;
+        self.stats.busy_ns += t;
+        Ok(PageImage { data, oob })
+    }
+
+    /// Which ISPP staircase a program of this page runs.
+    fn program_kind(&self, page: u32) -> ProgramKind {
+        match self.config.mode {
+            FlashMode::Slc => ProgramKind::SlcPage,
+            FlashMode::PSlc => ProgramKind::MlcLsb,
+            FlashMode::MlcFull | FlashMode::OddMlc => {
+                if self.config.mode.is_lsb_page(page) {
+                    ProgramKind::MlcLsb
+                } else {
+                    ProgramKind::MlcMsb
+                }
+            }
+            FlashMode::Tlc3d => match page % 3 {
+                0 => ProgramKind::TlcLsb,
+                1 => ProgramKind::TlcCsb,
+                _ => ProgramKind::TlcMsb,
+            },
+        }
+    }
+
+    /// First program of an erased page.
+    pub fn program_page(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
+        self.check_bounds(ppa)?;
+        self.check_sizes(data, oob)?;
+        {
+            let page = self.blocks[ppa.block as usize].page(ppa.page);
+            if !page.is_erased() {
+                return Err(FlashError::NotErased { ppa });
+            }
+        }
+        self.program_raw(ppa, data, oob, data.len() + oob.len(), false)
+    }
+
+    /// In-place overwrite of a programmed page. Every bit transition must
+    /// be `1 → 0`; anything else is [`FlashError::IllegalOverwrite`]. The
+    /// full new image is supplied (like re-programming the wordline with
+    /// the page register contents); bus accounting charges the full page.
+    pub fn reprogram_page(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
+        self.check_bounds(ppa)?;
+        self.check_sizes(data, oob)?;
+        self.validate_overwrite(ppa, data, oob)?;
+        self.program_raw(ppa, data, oob, data.len() + oob.len(), true)
+    }
+
+    /// `write_delta` primitive: splice `bytes` at `data_off` (and
+    /// `oob_bytes` at `oob_off`) into the page's current image and
+    /// re-program in place. Only the spliced bytes cross the bus.
+    pub fn append_region(
+        &mut self,
+        ppa: Ppa,
+        data_off: usize,
+        bytes: &[u8],
+        oob_off: usize,
+        oob_bytes: &[u8],
+    ) -> Result<()> {
+        self.check_bounds(ppa)?;
+        let g = self.config.geometry;
+        if data_off + bytes.len() > g.page_size {
+            return Err(FlashError::SizeMismatch {
+                expected: g.page_size,
+                got: data_off + bytes.len(),
+                what: "append data range",
+            });
+        }
+        if oob_off + oob_bytes.len() > g.oob_size {
+            return Err(FlashError::SizeMismatch {
+                expected: g.oob_size,
+                got: oob_off + oob_bytes.len(),
+                what: "append OOB range",
+            });
+        }
+        let (mut data, mut oob) = {
+            let page = self.blocks[ppa.block as usize].page(ppa.page);
+            if page.is_erased() {
+                return Err(FlashError::NotErased { ppa });
+            }
+            (
+                page.data()
+                    .map(<[u8]>::to_vec)
+                    .unwrap_or_else(|| vec![0xFF; g.page_size]),
+                page.oob()
+                    .map(<[u8]>::to_vec)
+                    .unwrap_or_else(|| vec![0xFF; g.oob_size]),
+            )
+        };
+        data[data_off..data_off + bytes.len()].copy_from_slice(bytes);
+        oob[oob_off..oob_off + oob_bytes.len()].copy_from_slice(oob_bytes);
+        self.validate_overwrite(ppa, &data, &oob)?;
+        self.program_raw(ppa, &data, &oob, bytes.len() + oob_bytes.len(), true)
+    }
+
+    /// Enforce the erase-before-overwrite relaxation: a re-program is legal
+    /// iff no bit goes `0 → 1`.
+    fn validate_overwrite(&self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
+        let page = self.blocks[ppa.block as usize].page(ppa.page);
+        if page.is_erased() {
+            return Err(FlashError::NotErased { ppa });
+        }
+        if let Some(old) = page.data() {
+            if let Some(off) = first_illegal_byte(old, data) {
+                return Err(FlashError::IllegalOverwrite {
+                    ppa,
+                    byte_offset: off,
+                    in_oob: false,
+                });
+            }
+        }
+        if let Some(old) = page.oob() {
+            if let Some(off) = first_illegal_byte(old, oob) {
+                return Err(FlashError::IllegalOverwrite {
+                    ppa,
+                    byte_offset: off,
+                    in_oob: true,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Common program path: NOP check, store, clock, stats, interference.
+    fn program_raw(
+        &mut self,
+        ppa: Ppa,
+        data: &[u8],
+        oob: &[u8],
+        transferred: usize,
+        is_reprogram: bool,
+    ) -> Result<()> {
+        let nop = self.nop_limit(ppa.page);
+        {
+            let page = self.blocks[ppa.block as usize].page(ppa.page);
+            if page.program_count >= nop {
+                return Err(FlashError::NopExceeded { ppa, nop });
+            }
+        }
+
+        let g = self.config.geometry;
+        {
+            let page = self.blocks[ppa.block as usize].page_mut(ppa.page);
+            page.data_mut(g.page_size).copy_from_slice(data);
+            page.oob_mut(g.oob_size).copy_from_slice(oob);
+            page.program_count += 1;
+        }
+
+        let kind = self.program_kind(ppa.page);
+        let t = self.config.ispp.program_latency_ns(kind)
+            + self.config.latency.transfer_ns(transferred);
+        self.clock.advance_ns(t);
+        self.stats.busy_ns += t;
+        self.stats.bytes_written += transferred as u64;
+        if is_reprogram {
+            self.stats.page_reprograms += 1;
+        } else {
+            self.stats.page_programs += 1;
+        }
+
+        self.apply_interference(ppa, is_reprogram);
+        Ok(())
+    }
+
+    /// Expose victims of a program operation to disturb noise.
+    fn apply_interference(&mut self, aggressor: Ppa, is_reprogram: bool) {
+        let mode = self.config.mode;
+        let mut victims: Vec<(u32, Coupling)> = Vec::with_capacity(8);
+        for partner in mode.wordline_partners(aggressor.page).into_iter().flatten() {
+            victims.push((partner, Coupling::SameWordline));
+        }
+        let wl = mode.wordline_of(aggressor.page);
+        let ppb = self.config.geometry.pages_per_block;
+        let ppw = mode.pages_per_wordline();
+        for neighbour_wl in [wl.checked_sub(1), Some(wl + 1)].into_iter().flatten() {
+            for k in 0..ppw {
+                let page = neighbour_wl * ppw + k;
+                if page < ppb && page != aggressor.page {
+                    victims.push((page, Coupling::AdjacentWordline));
+                }
+            }
+        }
+
+        let nbits = self.config.geometry.page_size * 8;
+        for (victim_page, coupling) in victims {
+            let vppa = Ppa::new(aggressor.block, victim_page);
+            // Only programmed victims hold data that can be corrupted.
+            let programmed = !self.blocks[vppa.block as usize].page(vppa.page).is_erased();
+            if !programmed {
+                continue;
+            }
+            let p = self.disturb.flip_probability(
+                mode,
+                aggressor.page,
+                victim_page,
+                coupling,
+                is_reprogram,
+            );
+            let count = self.disturb.draw_flip_count(&mut self.rng, nbits, p);
+            if count == 0 {
+                continue;
+            }
+            let g = self.config.geometry;
+            let page = self.blocks[vppa.block as usize].page_mut(vppa.page);
+            let flipped = self
+                .disturb
+                .inject_flips(&mut self.rng, page.data_mut(g.page_size), count);
+            self.stats.disturb_bits_injected += flipped as u64;
+        }
+    }
+
+    /// Erase a block: the only operation that restores `1` bits. Retires
+    /// the block once endurance is exhausted.
+    pub fn erase_block(&mut self, block: u32) -> Result<()> {
+        if block >= self.config.geometry.blocks {
+            return Err(FlashError::BlockOutOfBounds { block });
+        }
+        if self.blocks[block as usize].bad {
+            return Err(FlashError::BadBlock { block });
+        }
+        self.blocks[block as usize].erase();
+        if self.blocks[block as usize].erase_count >= self.config.erase_endurance {
+            self.blocks[block as usize].bad = true;
+        }
+        let t = self.config.latency.erase_ns;
+        self.clock.advance_ns(t);
+        self.stats.busy_ns += t;
+        self.stats.block_erases += 1;
+        Ok(())
+    }
+
+    /// Mark a block bad by hand (failure-injection hooks).
+    pub fn retire_block(&mut self, block: u32) -> Result<()> {
+        if block >= self.config.geometry.blocks {
+            return Err(FlashError::BlockOutOfBounds { block });
+        }
+        self.blocks[block as usize].bad = true;
+        Ok(())
+    }
+
+    /// Is the block usable?
+    pub fn is_bad(&self, block: u32) -> bool {
+        self.blocks
+            .get(block as usize)
+            .map(|b| b.bad)
+            .unwrap_or(true)
+    }
+}
+
+/// First byte offset where `new` requires a `0 → 1` transition vs `old`.
+#[inline]
+fn first_illegal_byte(old: &[u8], new: &[u8]) -> Option<usize> {
+    debug_assert_eq!(old.len(), new.len());
+    old.iter()
+        .zip(new)
+        .position(|(&o, &n)| n & !o != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::DisturbRates;
+
+    fn quiet_chip() -> FlashChip {
+        FlashChip::new(
+            DeviceConfig::tiny()
+                .with_mode(FlashMode::Slc)
+                .with_disturb(DisturbRates::none()),
+        )
+    }
+
+    fn page_of(chip: &FlashChip, fill: u8) -> (Vec<u8>, Vec<u8>) {
+        (
+            vec![fill; chip.geometry().page_size],
+            vec![0xFF; chip.geometry().oob_size],
+        )
+    }
+
+    #[test]
+    fn program_then_read_round_trip() {
+        let mut chip = quiet_chip();
+        let (data, oob) = page_of(&chip, 0xAB);
+        let ppa = Ppa::new(1, 2);
+        chip.program_page(ppa, &data, &oob).unwrap();
+        let img = chip.read_page(ppa).unwrap();
+        assert_eq!(img.data, data);
+        assert_eq!(img.oob, oob);
+        assert_eq!(chip.stats().page_programs, 1);
+        assert_eq!(chip.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn read_of_erased_page_errors() {
+        let mut chip = quiet_chip();
+        assert!(matches!(
+            chip.read_page(Ppa::new(0, 0)),
+            Err(FlashError::ReadErased { .. })
+        ));
+    }
+
+    #[test]
+    fn double_program_requires_erase() {
+        let mut chip = quiet_chip();
+        let (data, oob) = page_of(&chip, 0x00);
+        let ppa = Ppa::new(0, 0);
+        chip.program_page(ppa, &data, &oob).unwrap();
+        assert!(matches!(
+            chip.program_page(ppa, &data, &oob),
+            Err(FlashError::NotErased { .. })
+        ));
+    }
+
+    #[test]
+    fn legal_in_place_append() {
+        let mut chip = quiet_chip();
+        let ppa = Ppa::new(2, 3);
+        let mut data = vec![0xFF; chip.geometry().page_size];
+        data[..100].fill(0x5A); // "original content"
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        chip.program_page(ppa, &data, &oob).unwrap();
+
+        // Append into previously erased bytes: legal.
+        let mut appended = data.clone();
+        appended[100..116].fill(0x33);
+        chip.reprogram_page(ppa, &appended, &oob).unwrap();
+        assert_eq!(chip.read_page(ppa).unwrap().data, appended);
+        assert_eq!(chip.stats().page_reprograms, 1);
+    }
+
+    #[test]
+    fn illegal_overwrite_rejected_with_offset() {
+        let mut chip = quiet_chip();
+        let ppa = Ppa::new(2, 3);
+        let mut data = vec![0xFF; chip.geometry().page_size];
+        data[10] = 0x00;
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        chip.program_page(ppa, &data, &oob).unwrap();
+
+        // Byte 10 would need 0→1 transitions: illegal without erase.
+        let mut bad = data.clone();
+        bad[10] = 0x01;
+        match chip.reprogram_page(ppa, &bad, &oob) {
+            Err(FlashError::IllegalOverwrite {
+                byte_offset,
+                in_oob,
+                ..
+            }) => {
+                assert_eq!(byte_offset, 10);
+                assert!(!in_oob);
+            }
+            other => panic!("expected IllegalOverwrite, got {other:?}"),
+        }
+        // And the stored image is untouched.
+        assert_eq!(chip.read_page(ppa).unwrap().data, data);
+    }
+
+    #[test]
+    fn illegal_oob_overwrite_detected() {
+        let mut chip = quiet_chip();
+        let ppa = Ppa::new(0, 1);
+        let data = vec![0xFF; chip.geometry().page_size];
+        let mut oob = vec![0xFF; chip.geometry().oob_size];
+        oob[4] = 0x00;
+        chip.program_page(ppa, &data, &oob).unwrap();
+        let mut bad_oob = oob.clone();
+        bad_oob[4] = 0xFF;
+        assert!(matches!(
+            chip.reprogram_page(ppa, &data, &bad_oob),
+            Err(FlashError::IllegalOverwrite { in_oob: true, .. })
+        ));
+    }
+
+    #[test]
+    fn erase_restores_programmability() {
+        let mut chip = quiet_chip();
+        let (data, oob) = page_of(&chip, 0x00);
+        let ppa = Ppa::new(5, 0);
+        chip.program_page(ppa, &data, &oob).unwrap();
+        chip.erase_block(5).unwrap();
+        assert!(chip.is_erased(ppa).unwrap());
+        chip.program_page(ppa, &data, &oob).unwrap();
+        assert_eq!(chip.erase_count(5).unwrap(), 1);
+    }
+
+    #[test]
+    fn nop_budget_enforced() {
+        let mut chip = FlashChip::new(
+            DeviceConfig::tiny()
+                .with_mode(FlashMode::Slc)
+                .with_disturb(DisturbRates::none())
+                .with_nop(2),
+        );
+        let ppa = Ppa::new(0, 0);
+        let mut data = vec![0xFF; chip.geometry().page_size];
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        data[0] = 0xF0;
+        chip.program_page(ppa, &data, &oob).unwrap();
+        data[1] = 0xF0;
+        chip.reprogram_page(ppa, &data, &oob).unwrap();
+        data[2] = 0xF0;
+        assert!(matches!(
+            chip.reprogram_page(ppa, &data, &oob),
+            Err(FlashError::NopExceeded { nop: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn pslc_blocks_msb_pages() {
+        let mut chip = FlashChip::new(
+            DeviceConfig::tiny()
+                .with_mode(FlashMode::PSlc)
+                .with_disturb(DisturbRates::none()),
+        );
+        let data = vec![0xFF; chip.geometry().page_size];
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        assert!(matches!(
+            chip.program_page(Ppa::new(0, 0), &data, &oob),
+            Err(FlashError::PageNotUsable { .. })
+        ));
+        chip.program_page(Ppa::new(0, 1), &data, &oob).unwrap();
+    }
+
+    #[test]
+    fn append_region_transfers_only_delta() {
+        let mut chip = quiet_chip();
+        let ppa = Ppa::new(1, 1);
+        let mut data = vec![0xFF; chip.geometry().page_size];
+        data[..64].fill(0x11);
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        chip.program_page(ppa, &data, &oob).unwrap();
+        let before = chip.stats().bytes_written;
+
+        let delta = [0x22u8; 16];
+        let ecc = [0x00u8; 4];
+        chip.append_region(ppa, 100, &delta, 8, &ecc).unwrap();
+        let transferred = chip.stats().bytes_written - before;
+        assert_eq!(transferred, 16 + 4, "only delta bytes cross the bus");
+
+        let img = chip.read_page(ppa).unwrap();
+        assert_eq!(&img.data[100..116], &delta);
+        assert_eq!(&img.data[..64], &data[..64], "original content intact");
+        assert_eq!(&img.oob[8..12], &ecc);
+    }
+
+    #[test]
+    fn append_region_rejects_conflicting_bytes() {
+        let mut chip = quiet_chip();
+        let ppa = Ppa::new(1, 1);
+        let mut data = vec![0xFF; chip.geometry().page_size];
+        data[50] = 0x00;
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        chip.program_page(ppa, &data, &oob).unwrap();
+        // Appending 0xFF over a programmed 0x00 byte needs an erase.
+        assert!(matches!(
+            chip.append_region(ppa, 50, &[0xFF], 0, &[]),
+            Err(FlashError::IllegalOverwrite { byte_offset: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn endurance_retires_blocks() {
+        let mut cfg = DeviceConfig::tiny()
+            .with_mode(FlashMode::Slc)
+            .with_disturb(DisturbRates::none());
+        cfg.erase_endurance = 3;
+        let mut chip = FlashChip::new(cfg);
+        for _ in 0..3 {
+            chip.erase_block(0).unwrap();
+        }
+        assert!(chip.is_bad(0));
+        assert!(matches!(
+            chip.erase_block(0),
+            Err(FlashError::BadBlock { block: 0 })
+        ));
+    }
+
+    #[test]
+    fn clock_advances_with_operations() {
+        let mut chip = quiet_chip();
+        let (data, oob) = page_of(&chip, 0x00);
+        assert_eq!(chip.elapsed_ns(), 0);
+        chip.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        let after_program = chip.elapsed_ns();
+        assert!(after_program > 0);
+        chip.read_page(Ppa::new(0, 0)).unwrap();
+        assert!(chip.elapsed_ns() > after_program);
+        assert_eq!(chip.stats().busy_ns, chip.elapsed_ns());
+    }
+
+    #[test]
+    fn msb_program_slower_than_lsb_on_mlc() {
+        let mut chip = FlashChip::new(
+            DeviceConfig::tiny()
+                .with_mode(FlashMode::MlcFull)
+                .with_disturb(DisturbRates::none()),
+        );
+        let (data, oob) = (
+            vec![0x00; chip.geometry().page_size],
+            vec![0xFF; chip.geometry().oob_size],
+        );
+        let t0 = chip.elapsed_ns();
+        chip.program_page(Ppa::new(0, 1), &data, &oob).unwrap(); // LSB (odd)
+        let lsb_t = chip.elapsed_ns() - t0;
+        let t1 = chip.elapsed_ns();
+        chip.program_page(Ppa::new(0, 0), &data, &oob).unwrap(); // MSB (even)
+        let msb_t = chip.elapsed_ns() - t1;
+        assert!(msb_t > lsb_t, "MSB {msb_t} must exceed LSB {lsb_t}");
+    }
+
+    #[test]
+    fn disturb_noise_reaches_stats_under_hostile_config() {
+        let mut cfg = DeviceConfig::tiny().with_mode(FlashMode::MlcFull);
+        cfg.disturb = DisturbRates {
+            wide_margin: 0.0,
+            narrow_margin: 1e-3,
+            safe_reprogram_factor: 10.0,
+            unsafe_reprogram_factor: 10.0,
+            same_wordline_factor: 10.0,
+        };
+        cfg.nop_override = Some(16);
+        let mut chip = FlashChip::new(cfg);
+        let oob = vec![0xFF; chip.geometry().oob_size];
+        // Program the victim (odd page 1, same wordline as 0).
+        let victim = vec![0xFF; chip.geometry().page_size];
+        chip.program_page(Ppa::new(0, 1), &victim, &oob).unwrap();
+        // Hammer the aggressor with re-programs.
+        let mut agg = vec![0xFF; chip.geometry().page_size];
+        chip.program_page(Ppa::new(0, 0), &agg, &oob).unwrap();
+        for i in 0..8 {
+            agg[i] = 0x00;
+            chip.reprogram_page(Ppa::new(0, 0), &agg, &oob).unwrap();
+        }
+        assert!(
+            chip.stats().disturb_bits_injected > 0,
+            "hostile config must corrupt the wordline partner"
+        );
+    }
+}

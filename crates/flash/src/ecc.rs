@@ -1,0 +1,286 @@
+//! SECDED error-correcting code for page data and delta records.
+//!
+//! Real MLC controllers use BCH/LDPC; for the simulator a single-error-
+//! correcting, double-error-detecting (SECDED) code per chunk is sufficient
+//! because the interference model injects sparse bit flips. The code is the
+//! classic "XOR of set-bit positions" construction:
+//!
+//! * `locator` — XOR of `(bit_position + 1)` over all 1-bits. A single
+//!   flipped bit at position `p` changes the locator by exactly `p + 1`,
+//!   which both detects and locates it.
+//! * `parity` — overall bit parity, which disambiguates single (correct)
+//!   from double (detect-only) errors.
+//!
+//! Codewords are 4 bytes per chunk (`CHUNK = 512` data bytes), matching the
+//! paper's Figure 3 OOB budget: an 8 KB page body needs 64 B for
+//! `ECC_initial`, leaving room in a 128 B OOB for per-delta-record
+//! codewords (`ECC_delta_rec 1..N`, one 4 B codeword each, delta records
+//! being far smaller than a chunk).
+
+use serde::{Deserialize, Serialize};
+
+/// Data bytes covered by one codeword.
+pub const CHUNK: usize = 512;
+
+/// Encoded size of one codeword in the OOB area.
+pub const CODEWORD_BYTES: usize = 4;
+
+/// One SECDED codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Codeword {
+    /// XOR of `(bit index + 1)` over all set bits of the chunk.
+    pub locator: u16,
+    /// Overall parity (number of set bits mod 2).
+    pub parity: u8,
+}
+
+impl Codeword {
+    /// Serialize to the on-flash OOB representation.
+    ///
+    /// An all-`0xFF` slot means "not yet written" on flash, so codewords are
+    /// stored bit-inverted: the encoding of real data never equals `0xFF^4`
+    /// padding... it *can*, so byte 3 is a marker (`0x00` = present). The
+    /// marker byte also satisfies the 1→0 programming rule: erased `0xFF`
+    /// slots can always be overwritten with any codeword.
+    pub fn to_bytes(self) -> [u8; CODEWORD_BYTES] {
+        [
+            !(self.locator as u8),
+            !((self.locator >> 8) as u8),
+            !self.parity,
+            0x00,
+        ]
+    }
+
+    /// Parse a codeword slot; `None` if the slot is still erased.
+    pub fn from_bytes(b: &[u8; CODEWORD_BYTES]) -> Option<Codeword> {
+        if b == &[0xFF; CODEWORD_BYTES] {
+            return None;
+        }
+        Some(Codeword {
+            locator: (!b[0] as u16) | ((!b[1] as u16) << 8),
+            parity: !b[2] & 1,
+        })
+    }
+}
+
+/// Result of a check-and-correct pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// Data matched the codeword.
+    Clean,
+    /// A single-bit error was found and corrected in place; the payload is
+    /// the corrected bit's absolute position within the checked region.
+    Corrected { bit: usize },
+    /// More errors than the code can correct.
+    Uncorrectable,
+}
+
+/// Compute the codeword for up to [`CHUNK`] bytes of data.
+///
+/// Panics if `data` is longer than a chunk — callers split pages into
+/// chunks with [`encode_region`].
+pub fn encode_chunk(data: &[u8]) -> Codeword {
+    assert!(data.len() <= CHUNK, "chunk too large: {}", data.len());
+    let mut locator: u16 = 0;
+    let mut ones: u32 = 0;
+    for (byte_idx, &b) in data.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        ones += b.count_ones();
+        let mut bits = b;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            let pos = byte_idx * 8 + bit;
+            locator ^= (pos + 1) as u16;
+            bits &= bits - 1;
+        }
+    }
+    Codeword {
+        locator,
+        parity: (ones & 1) as u8,
+    }
+}
+
+/// Check one chunk against its codeword, correcting a single-bit error in
+/// place if possible.
+pub fn check_chunk(data: &mut [u8], expected: Codeword) -> EccOutcome {
+    let actual = encode_chunk(data);
+    if actual == expected {
+        return EccOutcome::Clean;
+    }
+    let delta = actual.locator ^ expected.locator;
+    let parity_differs = actual.parity != expected.parity;
+    if parity_differs && delta != 0 {
+        // Single-bit error at position delta - 1.
+        let pos = (delta - 1) as usize;
+        let (byte, bit) = (pos / 8, pos % 8);
+        if byte >= data.len() {
+            return EccOutcome::Uncorrectable;
+        }
+        data[byte] ^= 1 << bit;
+        // Verify the correction actually reconciles the codeword (a 3-bit
+        // error can masquerade as a single-bit one at a bogus position).
+        if encode_chunk(data) == expected {
+            EccOutcome::Corrected { bit: pos }
+        } else {
+            data[byte] ^= 1 << bit; // undo
+            EccOutcome::Uncorrectable
+        }
+    } else {
+        // Same parity but different locator => even number of flips >= 2.
+        // Different parity but zero locator delta => >= 3 flips.
+        EccOutcome::Uncorrectable
+    }
+}
+
+/// Number of codewords needed to cover `len` bytes.
+#[inline]
+pub fn codewords_for(len: usize) -> usize {
+    len.div_ceil(CHUNK)
+}
+
+/// Encode a whole region chunk-by-chunk.
+pub fn encode_region(data: &[u8]) -> Vec<Codeword> {
+    data.chunks(CHUNK).map(encode_chunk).collect()
+}
+
+/// Check (and correct in place) a whole region against its codewords.
+///
+/// Returns the total number of corrected bits, or `Err(chunk_index)` for the
+/// first uncorrectable chunk.
+pub fn check_region(data: &mut [u8], codewords: &[Codeword]) -> Result<usize, usize> {
+    assert_eq!(
+        codewords.len(),
+        codewords_for(data.len()),
+        "codeword count mismatch"
+    );
+    let mut corrected = 0usize;
+    for (i, (chunk, &cw)) in data.chunks_mut(CHUNK).zip(codewords).enumerate() {
+        match check_chunk(chunk, cw) {
+            EccOutcome::Clean => {}
+            EccOutcome::Corrected { .. } => corrected += 1,
+            EccOutcome::Uncorrectable => return Err(i),
+        }
+    }
+    Ok(corrected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_round_trip() {
+        let mut data = vec![0xA5u8; 300];
+        let cw = encode_chunk(&data);
+        assert_eq!(check_chunk(&mut data, cw), EccOutcome::Clean);
+    }
+
+    #[test]
+    fn corrects_single_bit_flip() {
+        let mut data: Vec<u8> = (0..CHUNK).map(|i| (i * 7) as u8).collect();
+        let cw = encode_chunk(&data);
+        let original = data.clone();
+        data[123] ^= 0x10;
+        match check_chunk(&mut data, cw) {
+            EccOutcome::Corrected { bit } => assert_eq!(bit, 123 * 8 + 4),
+            other => panic!("expected correction, got {other:?}"),
+        }
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn detects_double_bit_flip() {
+        let mut data = vec![0x3Cu8; 64];
+        let cw = encode_chunk(&data);
+        data[1] ^= 0x01;
+        data[2] ^= 0x01;
+        assert_eq!(check_chunk(&mut data, cw), EccOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn erased_codeword_slot_is_none() {
+        assert_eq!(Codeword::from_bytes(&[0xFF; 4]), None);
+    }
+
+    #[test]
+    fn codeword_bytes_round_trip() {
+        let cw = Codeword {
+            locator: 0xBEEF,
+            parity: 1,
+        };
+        let b = cw.to_bytes();
+        assert_eq!(Codeword::from_bytes(&b), Some(cw));
+    }
+
+    #[test]
+    fn codeword_of_all_0xff_data_is_storable() {
+        // Data of all 1-bits must still produce a codeword distinguishable
+        // from an erased slot.
+        let data = vec![0xFFu8; CHUNK];
+        let cw = encode_chunk(&data);
+        assert!(Codeword::from_bytes(&cw.to_bytes()).is_some());
+    }
+
+    #[test]
+    fn region_helpers() {
+        let mut data = vec![0u8; 8192];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        assert_eq!(codewords_for(8192), 16);
+        let cws = encode_region(&data);
+        assert_eq!(cws.len(), 16);
+        data[5000] ^= 0x80;
+        data[100] ^= 0x02;
+        assert_eq!(check_region(&mut data, &cws), Ok(2));
+    }
+
+    #[test]
+    fn region_uncorrectable_reports_chunk() {
+        let mut data = vec![0x55u8; 1024];
+        let cws = encode_region(&data);
+        data[600] ^= 1;
+        data[601] ^= 1;
+        assert_eq!(check_region(&mut data, &cws), Err(1));
+    }
+
+    proptest! {
+        /// Any single bit flip in any chunk is corrected back to the
+        /// original data.
+        #[test]
+        fn corrects_any_single_flip(
+            data in proptest::collection::vec(any::<u8>(), 1..CHUNK),
+            flip in any::<usize>(),
+        ) {
+            let cw = encode_chunk(&data);
+            let mut corrupted = data.clone();
+            let pos = flip % (data.len() * 8);
+            corrupted[pos / 8] ^= 1 << (pos % 8);
+            let outcome = check_chunk(&mut corrupted, cw);
+            prop_assert_eq!(outcome, EccOutcome::Corrected { bit: pos });
+            prop_assert_eq!(corrupted, data);
+        }
+
+        /// Any two distinct bit flips are flagged uncorrectable — never
+        /// silently "corrected" to wrong data.
+        #[test]
+        fn detects_any_double_flip(
+            data in proptest::collection::vec(any::<u8>(), 1..CHUNK),
+            a in any::<usize>(),
+            b in any::<usize>(),
+        ) {
+            let bits = data.len() * 8;
+            let (pa, pb) = (a % bits, b % bits);
+            prop_assume!(pa != pb);
+            let cw = encode_chunk(&data);
+            let mut corrupted = data.clone();
+            corrupted[pa / 8] ^= 1 << (pa % 8);
+            corrupted[pb / 8] ^= 1 << (pb % 8);
+            let outcome = check_chunk(&mut corrupted, cw);
+            prop_assert_eq!(outcome, EccOutcome::Uncorrectable);
+        }
+    }
+}

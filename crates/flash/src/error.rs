@@ -1,0 +1,129 @@
+//! Error types for the flash simulator.
+//!
+//! Every physical constraint the paper's technique has to respect shows up
+//! here as a distinct error: the erase-before-overwrite rule
+//! ([`FlashError::IllegalOverwrite`]), the partial-programming budget
+//! ([`FlashError::NopExceeded`]), mode restrictions on which pages may be
+//! touched at all ([`FlashError::PageNotUsable`]), and data integrity
+//! ([`FlashError::Uncorrectable`]).
+
+use crate::geometry::Ppa;
+use std::fmt;
+
+/// Errors raised by the simulated NAND device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// A program operation attempted a `0 → 1` bit transition, which on real
+    /// NAND would require a preceding block erase (charge can only be
+    /// *added* by ISPP, never removed). `byte_offset` is the first offending
+    /// byte; `in_oob` distinguishes data-area from OOB-area violations.
+    IllegalOverwrite {
+        ppa: Ppa,
+        byte_offset: usize,
+        in_oob: bool,
+    },
+    /// The page has exhausted its partial-programming budget (NOP — number
+    /// of allowed program operations between erases).
+    NopExceeded { ppa: Ppa, nop: u16 },
+    /// A program targeted a page that is not erased and the operation
+    /// requires an erased page.
+    NotErased { ppa: Ppa },
+    /// Attempt to read a page that has never been programmed since the last
+    /// erase. Real controllers return all-`0xFF`; we surface it explicitly
+    /// so layering bugs are loud. Use [`crate::chip::FlashChip::is_erased`]
+    /// to probe.
+    ReadErased { ppa: Ppa },
+    /// The page is not usable in the current [`crate::cell::FlashMode`]
+    /// (e.g. an MSB page in pSLC mode).
+    PageNotUsable { ppa: Ppa },
+    /// The block was retired (exceeded its erase endurance or marked bad).
+    BadBlock { block: u32 },
+    /// Address outside the device geometry.
+    OutOfBounds { ppa: Ppa },
+    /// Block index outside the device geometry.
+    BlockOutOfBounds { block: u32 },
+    /// ECC failed to correct the page content (more bit errors than the
+    /// SECDED code can repair).
+    Uncorrectable { ppa: Ppa },
+    /// A buffer passed to a program/read call does not match the geometry.
+    SizeMismatch {
+        expected: usize,
+        got: usize,
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::IllegalOverwrite {
+                ppa,
+                byte_offset,
+                in_oob,
+            } => write!(
+                f,
+                "illegal overwrite at {ppa} byte {byte_offset}{}: 0→1 transition requires erase",
+                if *in_oob { " (OOB)" } else { "" }
+            ),
+            FlashError::NopExceeded { ppa, nop } => {
+                write!(f, "NOP budget exceeded at {ppa}: {nop} programs since erase")
+            }
+            FlashError::NotErased { ppa } => write!(f, "page {ppa} is not erased"),
+            FlashError::ReadErased { ppa } => write!(f, "read of erased page {ppa}"),
+            FlashError::PageNotUsable { ppa } => {
+                write!(f, "page {ppa} is not usable in the current flash mode")
+            }
+            FlashError::BadBlock { block } => write!(f, "block {block} is retired/bad"),
+            FlashError::OutOfBounds { ppa } => write!(f, "address {ppa} out of bounds"),
+            FlashError::BlockOutOfBounds { block } => {
+                write!(f, "block {block} out of bounds")
+            }
+            FlashError::Uncorrectable { ppa } => {
+                write!(f, "uncorrectable ECC error at {ppa}")
+            }
+            FlashError::SizeMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "size mismatch for {what}: expected {expected}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Result alias used throughout the simulator.
+pub type Result<T> = std::result::Result<T, FlashError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashError::IllegalOverwrite {
+            ppa: Ppa::new(3, 7),
+            byte_offset: 42,
+            in_oob: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0→1"));
+        assert!(s.contains("byte 42"));
+    }
+
+    #[test]
+    fn oob_flag_shown() {
+        let e = FlashError::IllegalOverwrite {
+            ppa: Ppa::new(0, 0),
+            byte_offset: 1,
+            in_oob: true,
+        };
+        assert!(e.to_string().contains("OOB"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(FlashError::BadBlock { block: 9 });
+        assert!(e.to_string().contains("block 9"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Device geometry: blocks, pages, page/OOB sizes and physical addressing.
+//!
+//! The paper's hardware (OpenSSD Jasmine, Samsung K9LCG08U1M) exposes 4096
+//! erase units of 128 × 16 KB pages per package with a 128-byte OOB area per
+//! page. Experiments here default to a scaled-down geometry (the reported
+//! metrics are ratios and therefore scale-free); [`Geometry::jasmine`]
+//! recreates the paper's shape for completeness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical page address: `(block, page-within-block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ppa {
+    /// Erase-block index within the device.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl Ppa {
+    /// Construct a physical page address.
+    #[inline]
+    pub const fn new(block: u32, page: u32) -> Self {
+        Ppa { block, page }
+    }
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(b{},p{})", self.block, self.page)
+    }
+}
+
+/// Static shape of the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of erase blocks.
+    pub blocks: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Data-area bytes per page.
+    pub page_size: usize,
+    /// Out-of-band (spare) bytes per page, used for ECC and FTL metadata.
+    pub oob_size: usize,
+}
+
+impl Geometry {
+    /// Create a geometry, panicking on degenerate shapes (zero-sized
+    /// dimensions are programming errors, not runtime conditions).
+    pub fn new(blocks: u32, pages_per_block: u32, page_size: usize, oob_size: usize) -> Self {
+        assert!(blocks > 0, "geometry needs at least one block");
+        assert!(pages_per_block > 0, "geometry needs at least one page per block");
+        assert!(page_size > 0, "geometry needs a non-zero page size");
+        Geometry {
+            blocks,
+            pages_per_block,
+            page_size,
+            oob_size,
+        }
+    }
+
+    /// Small default used by unit tests and quick examples:
+    /// 64 blocks × 32 pages × 2 KB (+64 B OOB) = 4 MB.
+    pub fn tiny() -> Self {
+        Geometry::new(64, 32, 2048, 64)
+    }
+
+    /// Default experiment geometry: 512 blocks × 128 pages × 8 KB (+128 B
+    /// OOB) = 512 MB. 8 KB is the DB page size the paper's DBMS uses.
+    pub fn experiment() -> Self {
+        Geometry::new(512, 128, 8192, 128)
+    }
+
+    /// The paper's K9LCG08U1M package shape: 4096 blocks × 128 pages ×
+    /// 16 KB (+128 B OOB) = 8 GB. Pages are lazily materialised, so
+    /// constructing this is cheap; writing all of it is not.
+    pub fn jasmine() -> Self {
+        Geometry::new(4096, 128, 16 * 1024, 128)
+    }
+
+    /// Total number of pages on the device.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.blocks as u64 * self.pages_per_block as u64
+    }
+
+    /// Total data capacity in bytes (ignoring OOB).
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size as u64
+    }
+
+    /// Size of an erase block's data area in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_size as u64
+    }
+
+    /// Whether `ppa` addresses a page inside this geometry.
+    #[inline]
+    pub fn contains(&self, ppa: Ppa) -> bool {
+        ppa.block < self.blocks && ppa.page < self.pages_per_block
+    }
+
+    /// Flat page index (`block * pages_per_block + page`), useful as a map
+    /// key or array index.
+    #[inline]
+    pub fn flat_index(&self, ppa: Ppa) -> u64 {
+        ppa.block as u64 * self.pages_per_block as u64 + ppa.page as u64
+    }
+
+    /// Inverse of [`Geometry::flat_index`].
+    #[inline]
+    pub fn from_flat_index(&self, idx: u64) -> Ppa {
+        Ppa::new(
+            (idx / self.pages_per_block as u64) as u32,
+            (idx % self.pages_per_block as u64) as u32,
+        )
+    }
+
+    /// Iterator over every page address in the device, block-major.
+    pub fn iter_pages(&self) -> impl Iterator<Item = Ppa> + '_ {
+        let ppb = self.pages_per_block;
+        (0..self.blocks).flat_map(move |b| (0..ppb).map(move |p| Ppa::new(b, p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let g = Geometry::new(4, 8, 2048, 64);
+        assert_eq!(g.total_pages(), 32);
+        assert_eq!(g.capacity_bytes(), 32 * 2048);
+        assert_eq!(g.block_bytes(), 8 * 2048);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let g = Geometry::new(4, 8, 2048, 64);
+        assert!(g.contains(Ppa::new(0, 0)));
+        assert!(g.contains(Ppa::new(3, 7)));
+        assert!(!g.contains(Ppa::new(4, 0)));
+        assert!(!g.contains(Ppa::new(0, 8)));
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let g = Geometry::new(5, 9, 512, 16);
+        for ppa in g.iter_pages() {
+            let idx = g.flat_index(ppa);
+            assert_eq!(g.from_flat_index(idx), ppa);
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_pages_once() {
+        let g = Geometry::new(3, 4, 128, 8);
+        let all: Vec<Ppa> = g.iter_pages().collect();
+        assert_eq!(all.len() as u64, g.total_pages());
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "no duplicates");
+    }
+
+    #[test]
+    fn jasmine_matches_paper_footnote() {
+        // "4096 erase units each holding 128 16KB Flash pages"
+        let g = Geometry::jasmine();
+        assert_eq!(g.blocks, 4096);
+        assert_eq!(g.pages_per_block, 128);
+        assert_eq!(g.page_size, 16 * 1024);
+        assert_eq!(g.capacity_bytes(), 8 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = Geometry::new(0, 8, 2048, 64);
+    }
+
+    #[test]
+    fn ppa_display() {
+        assert_eq!(Ppa::new(12, 3).to_string(), "(b12,p3)");
+    }
+}

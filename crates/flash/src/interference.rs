@@ -1,0 +1,280 @@
+//! Program-interference (disturb) model.
+//!
+//! Programming a wordline couples parasitically into neighbouring wordlines
+//! and into the paired page of the same wordline, nudging victim cells'
+//! charges upward. Whether that nudge flips a stored bit depends on the
+//! threshold-voltage *margin* between levels — large on SLC/pSLC, small on
+//! full MLC. The paper's §3 argues IPA is safe exactly where margins are
+//! wide (SLC, pSLC, the LSB pages of odd-MLC) and unsafe on full-MLC;
+//! experiment E7 makes that measurable by running the same append stream
+//! under each mode and counting ECC events.
+//!
+//! Mechanics: each (re)program of page `p` in block `b` exposes a set of
+//! victim pages — the paired page on the same wordline and the pages of the
+//! two adjacent wordlines. For every *programmed* victim page the model
+//! draws a Poisson-distributed number of bit flips with rate
+//! `bits × flip_probability(mode, victim, reprogram)`, and flips charge-up
+//! only (`1 → 0`), which is the physical direction of disturb.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cell::FlashMode;
+
+/// Per-bit flip probabilities for one program operation on a neighbouring
+/// wordline. Values are per victim bit, per aggressor operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbRates {
+    /// Victim with SLC-class margins (SLC page, pSLC page, odd-MLC LSB).
+    pub wide_margin: f64,
+    /// Victim with MLC-class margins (full-MLC page, odd-MLC MSB page).
+    pub narrow_margin: f64,
+    /// Multiplier when the aggressor re-programs a page its mode marks
+    /// IPA-*safe* (LSB pages): low program voltages, mild coupling — this
+    /// is why pSLC and odd-MLC work on real hardware.
+    pub safe_reprogram_factor: f64,
+    /// Multiplier when the aggressor re-programs a page its mode marks
+    /// IPA-*unsafe* (MSB-coupled pages on full MLC): the destructive case
+    /// the paper warns about.
+    pub unsafe_reprogram_factor: f64,
+    /// Multiplier for the paired page of the *same* wordline (strongest
+    /// coupling path).
+    pub same_wordline_factor: f64,
+}
+
+impl DisturbRates {
+    /// Calibrated defaults: wide-margin victims see a negligible rate;
+    /// narrow-margin victims of *safe* re-programs (odd-MLC appends) stay
+    /// within SECDED's correction budget across an experiment run; victims
+    /// of *unsafe* re-programs (IPA forced onto full MLC) accumulate
+    /// uncorrectable damage within tens of appends.
+    pub fn realistic() -> Self {
+        DisturbRates {
+            wide_margin: 1e-12,
+            narrow_margin: 1e-9,
+            safe_reprogram_factor: 2.0,
+            unsafe_reprogram_factor: 50_000.0,
+            same_wordline_factor: 10.0,
+        }
+    }
+
+    /// A zero-noise model for tests that need determinism.
+    pub fn none() -> Self {
+        DisturbRates {
+            wide_margin: 0.0,
+            narrow_margin: 0.0,
+            safe_reprogram_factor: 1.0,
+            unsafe_reprogram_factor: 1.0,
+            same_wordline_factor: 1.0,
+        }
+    }
+}
+
+/// Where the victim sits relative to the aggressor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coupling {
+    /// The paired page on the same physical wordline.
+    SameWordline,
+    /// A page on an adjacent wordline.
+    AdjacentWordline,
+}
+
+/// The disturb model: stateless apart from its rate table; randomness comes
+/// from the chip's seeded RNG so entire device runs are reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisturbModel {
+    pub rates: DisturbRates,
+}
+
+impl DisturbModel {
+    pub fn new(rates: DisturbRates) -> Self {
+        DisturbModel { rates }
+    }
+
+    /// Per-bit flip probability for one aggressor operation on
+    /// `aggressor_page` observed by `victim_page`.
+    pub fn flip_probability(
+        &self,
+        mode: FlashMode,
+        aggressor_page: u32,
+        victim_page: u32,
+        coupling: Coupling,
+        aggressor_is_reprogram: bool,
+    ) -> f64 {
+        // 3D NAND: "Bitline Interference Free / Wordline Interference
+        // Almost Free" — every victim keeps wide margins.
+        let margin_rate = if mode.ipa_safe(victim_page)
+            || matches!(mode, FlashMode::Slc | FlashMode::Tlc3d)
+        {
+            self.rates.wide_margin
+        } else {
+            // Victims without IPA-safe margins: full-MLC pages and the MSB
+            // pages of odd-MLC.
+            self.rates.narrow_margin
+        };
+        let mut p = margin_rate;
+        if aggressor_is_reprogram {
+            // What matters is *which page* is being re-programmed: LSB
+            // re-programs (pSLC / odd-MLC appends) couple mildly; MSB
+            // re-programs (full-MLC IPA) are the destructive case.
+            p *= if mode.ipa_safe(aggressor_page) {
+                self.rates.safe_reprogram_factor
+            } else {
+                self.rates.unsafe_reprogram_factor
+            };
+        }
+        if matches!(coupling, Coupling::SameWordline) {
+            p *= self.rates.same_wordline_factor;
+        }
+        p.min(1.0)
+    }
+
+    /// Draw the number of bit flips to inject into a victim page of
+    /// `bits` bits, using a Poisson approximation of the binomial (rates
+    /// are tiny; λ = bits·p).
+    pub fn draw_flip_count(&self, rng: &mut StdRng, bits: usize, p: f64) -> usize {
+        if p <= 0.0 || bits == 0 {
+            return 0;
+        }
+        let lambda = bits as f64 * p;
+        if lambda > 20.0 {
+            // Far past the regime we care about; clamp to a normal-ish
+            // deterministic count to keep the simulation bounded.
+            return lambda.round() as usize;
+        }
+        // Knuth's algorithm — fine for small λ.
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut prod: f64 = 1.0;
+        loop {
+            prod *= rng.gen::<f64>();
+            if prod <= l {
+                return k;
+            }
+            k += 1;
+            if k > 64 {
+                return k; // numerical safety valve
+            }
+        }
+    }
+
+    /// Apply `count` charge-up disturbs (`1 → 0` flips) at random positions
+    /// of `data`. Bits that are already 0 absorb the disturb harmlessly
+    /// (their charge rises within the same level). Returns how many bits
+    /// actually flipped.
+    pub fn inject_flips(&self, rng: &mut StdRng, data: &mut [u8], count: usize) -> usize {
+        if data.is_empty() {
+            return 0;
+        }
+        let nbits = data.len() * 8;
+        let mut flipped = 0usize;
+        for _ in 0..count {
+            let pos = rng.gen_range(0..nbits);
+            let (byte, bit) = (pos / 8, pos % 8);
+            let mask = 1u8 << bit;
+            if data[byte] & mask != 0 {
+                data[byte] &= !mask; // 1 → 0 : charge added to an erased cell
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn wide_margin_modes_are_quiet() {
+        let m = DisturbModel::new(DisturbRates::realistic());
+        let p = m.flip_probability(FlashMode::PSlc, 3, 1, Coupling::AdjacentWordline, true);
+        // pSLC LSB page victims: effectively zero.
+        assert!(p < 1e-8);
+    }
+
+    #[test]
+    fn full_mlc_reprogram_is_noisy() {
+        let m = DisturbModel::new(DisturbRates::realistic());
+        let quiet =
+            m.flip_probability(FlashMode::MlcFull, 2, 3, Coupling::AdjacentWordline, false);
+        let loud = m.flip_probability(FlashMode::MlcFull, 2, 3, Coupling::SameWordline, true);
+        assert!(loud > quiet * 1_000.0, "reprogram+same-wordline must dominate");
+    }
+
+    #[test]
+    fn odd_mlc_msb_pages_are_vulnerable_lsb_not() {
+        let m = DisturbModel::new(DisturbRates::realistic());
+        let lsb = m.flip_probability(FlashMode::OddMlc, 3, 1, Coupling::AdjacentWordline, true);
+        let msb = m.flip_probability(FlashMode::OddMlc, 3, 2, Coupling::AdjacentWordline, true);
+        assert!(msb > lsb * 100.0);
+    }
+
+    #[test]
+    fn odd_mlc_appends_far_milder_than_full_mlc_appends() {
+        // The reason odd-MLC is viable and full-MLC IPA is not: the same
+        // MSB victim sees orders of magnitude less disturb when the
+        // aggressor re-program hits an LSB page.
+        let m = DisturbModel::new(DisturbRates::realistic());
+        let odd = m.flip_probability(FlashMode::OddMlc, 1, 2, Coupling::SameWordline, true);
+        let full = m.flip_probability(FlashMode::MlcFull, 2, 3, Coupling::SameWordline, true);
+        assert!(full > odd * 1_000.0, "full {full} vs odd {odd}");
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let m = DisturbModel::new(DisturbRates::none());
+        let mut r = rng();
+        assert_eq!(m.draw_flip_count(&mut r, 65536, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_mean_roughly_lambda() {
+        let m = DisturbModel::new(DisturbRates::realistic());
+        let mut r = rng();
+        let bits = 8192 * 8;
+        let p = 1e-4; // λ ≈ 6.55
+        let n = 2000;
+        let total: usize = (0..n).map(|_| m.draw_flip_count(&mut r, bits, p)).sum();
+        let mean = total as f64 / n as f64;
+        let lambda = bits as f64 * p;
+        assert!(
+            (mean - lambda).abs() < lambda * 0.15,
+            "mean {mean} too far from λ {lambda}"
+        );
+    }
+
+    #[test]
+    fn flips_are_one_to_zero_only() {
+        let m = DisturbModel::new(DisturbRates::realistic());
+        let mut r = rng();
+        let mut data = vec![0xFFu8; 128];
+        let flipped = m.inject_flips(&mut r, &mut data, 10);
+        let zeros: u32 = data.iter().map(|b| b.count_zeros()).sum();
+        assert_eq!(zeros as usize, flipped);
+
+        // All-zero data cannot flip further.
+        let mut zero_data = vec![0u8; 128];
+        assert_eq!(m.inject_flips(&mut r, &mut zero_data, 50), 0);
+        assert!(zero_data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn clamped_probability() {
+        let m = DisturbModel::new(DisturbRates {
+            wide_margin: 0.9,
+            narrow_margin: 0.9,
+            safe_reprogram_factor: 10.0,
+            unsafe_reprogram_factor: 10.0,
+            same_wordline_factor: 10.0,
+        });
+        let p = m.flip_probability(FlashMode::MlcFull, 1, 0, Coupling::SameWordline, true);
+        assert!(p <= 1.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Incremental Step Pulse Programming (ISPP) model — Figure 2 of the paper.
+//!
+//! Real NAND programs a wordline by applying a staircase of voltage pulses
+//! (`Vstart`, `Vstart + ΔVpgm`, …), sensing the cells after each pulse and
+//! inhibiting those that reached their target threshold. Two consequences
+//! matter for IPA:
+//!
+//! 1. **Charge only increases.** A program operation can raise a cell's
+//!    threshold voltage but never lower it; lowering requires a block erase.
+//!    This is *the* physical fact IPA exploits, and
+//!    [`simulate_wordline_program`] enforces it at the charge level.
+//! 2. **Latency is proportional to pulse count.** Higher target levels need
+//!    more pulses, which reproduces the classic fast-LSB / slow-MSB MLC
+//!    asymmetry in the latency model.
+//!
+//! The byte-level chip model (`chip.rs`) uses the *rule* (bitwise 1→0) and
+//! the *latency* from here; the explicit per-cell simulation below backs the
+//! Figure 2 experiment and the property tests tying the bitwise rule to the
+//! charge rule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CellType;
+
+/// What kind of page a program operation targets; determines the highest
+/// charge level the ISPP staircase must reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgramKind {
+    /// SLC page (or pSLC LSB page): one level above erased.
+    SlcPage,
+    /// MLC LSB page: programs the lower bit, intermediate target level.
+    MlcLsb,
+    /// MLC MSB page: final target levels, slowest.
+    MlcMsb,
+    /// 3D-TLC LSB page: first of three program passes.
+    TlcLsb,
+    /// 3D-TLC CSB/MSB pages: deeper staircases.
+    TlcCsb,
+    /// See [`ProgramKind::TlcCsb`].
+    TlcMsb,
+}
+
+/// ISPP staircase parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsppParams {
+    /// Threshold-voltage gain per pulse (ΔVpgm effect on the cell), volts.
+    pub delta_v: f64,
+    /// Duration of one program pulse, nanoseconds.
+    pub t_pulse_ns: u64,
+    /// Duration of the verify (sense) step after each pulse, nanoseconds.
+    pub t_verify_ns: u64,
+    /// Target threshold voltage per charge level (index = level). Level 0
+    /// is the erased state (0 V by convention). Only the first
+    /// [`CellType::levels`] entries are meaningful.
+    pub level_vt: [f64; 8],
+}
+
+impl IsppParams {
+    /// Datasheet-class SLC parameters (~300 µs page program).
+    pub fn slc() -> Self {
+        IsppParams {
+            delta_v: 0.30,
+            t_pulse_ns: 25_000,
+            t_verify_ns: 12_000,
+            level_vt: [0.0, 2.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// Datasheet-class MLC parameters (~440 µs LSB, ~1.3 ms MSB page
+    /// program; finer ΔVpgm for the tighter level placement).
+    pub fn mlc() -> Self {
+        IsppParams {
+            delta_v: 0.15,
+            t_pulse_ns: 22_000,
+            t_verify_ns: 18_000,
+            level_vt: [0.0, 1.6, 2.6, 3.6, 0.0, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// Datasheet-class 3D-TLC parameters (8 levels; charge-trap cells
+    /// program with a coarser ΔVpgm than planar MLC thanks to the wider
+    /// 3D margins).
+    pub fn tlc() -> Self {
+        IsppParams {
+            delta_v: 0.20,
+            t_pulse_ns: 20_000,
+            t_verify_ns: 15_000,
+            level_vt: [0.0, 1.2, 1.9, 2.6, 3.3, 4.0, 4.7, 5.4],
+        }
+    }
+
+    /// Parameters appropriate for `cell`.
+    pub fn for_cell(cell: CellType) -> Self {
+        match cell {
+            CellType::Slc => Self::slc(),
+            CellType::Mlc => Self::mlc(),
+            CellType::Tlc => Self::tlc(),
+        }
+    }
+
+    /// Number of ISPP pulses needed to raise a cell from threshold voltage
+    /// `from_vt` to `to_vt`. Zero if the cell is already at or above target.
+    #[inline]
+    pub fn pulses_between(&self, from_vt: f64, to_vt: f64) -> u32 {
+        if to_vt <= from_vt {
+            return 0;
+        }
+        ((to_vt - from_vt) / self.delta_v).ceil() as u32
+    }
+
+    /// Pulses to program an erased cell to `level`.
+    #[inline]
+    pub fn pulses_for_level(&self, level: u8) -> u32 {
+        self.pulses_between(0.0, self.level_vt[level as usize])
+    }
+
+    /// Latency of a page program of the given kind. The staircase length is
+    /// set by the highest level the operation must reach; every pulse is
+    /// followed by a verify step.
+    pub fn program_latency_ns(&self, kind: ProgramKind) -> u64 {
+        let pulses = match kind {
+            ProgramKind::SlcPage => self.pulses_for_level(1),
+            // LSB programming places cells at an intermediate distribution
+            // (level 1 of the final map).
+            ProgramKind::MlcLsb => self.pulses_for_level(1),
+            // MSB programming finishes the staircase to the top level.
+            ProgramKind::MlcMsb => self.pulses_for_level(3),
+            ProgramKind::TlcLsb => self.pulses_for_level(1),
+            ProgramKind::TlcCsb => self.pulses_for_level(3),
+            ProgramKind::TlcMsb => self.pulses_for_level(7),
+        };
+        pulses as u64 * (self.t_pulse_ns + self.t_verify_ns)
+    }
+}
+
+/// Outcome of an explicit wordline ISPP simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsppTrace {
+    /// Total pulses applied (the staircase length actually used).
+    pub pulses: u32,
+    /// Final threshold voltage of every cell.
+    pub final_vt: Vec<f64>,
+    /// Number of cells whose charge was raised by this operation.
+    pub cells_programmed: usize,
+}
+
+/// Error from the explicit cell-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChargeDecreaseError {
+    /// Index of the first cell that would need its charge *lowered*.
+    pub cell: usize,
+}
+
+impl std::fmt::Display for ChargeDecreaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} requires a charge decrease; only a block erase can do that",
+            self.cell
+        )
+    }
+}
+
+impl std::error::Error for ChargeDecreaseError {}
+
+/// Explicitly simulate ISPP programming of one wordline: raise each cell
+/// from its current level to its target level with the shared pulse
+/// staircase, verifying (and inhibiting) after every pulse.
+///
+/// Returns an error — without touching anything — if any cell's target level
+/// is *below* its current level: that transition needs an erase. This is the
+/// cell-level twin of the byte-level `new & !old == 0` rule, and the
+/// property test in this module proves the two agree for SLC data.
+pub fn simulate_wordline_program(
+    params: &IsppParams,
+    current_levels: &[u8],
+    target_levels: &[u8],
+) -> Result<IsppTrace, ChargeDecreaseError> {
+    assert_eq!(
+        current_levels.len(),
+        target_levels.len(),
+        "wordline width mismatch"
+    );
+    // Validate first: ISPP can only add charge.
+    for (i, (&cur, &tgt)) in current_levels.iter().zip(target_levels).enumerate() {
+        if tgt < cur {
+            return Err(ChargeDecreaseError { cell: i });
+        }
+    }
+
+    let mut vt: Vec<f64> = current_levels
+        .iter()
+        .map(|&l| params.level_vt[l as usize])
+        .collect();
+    let targets: Vec<f64> = target_levels
+        .iter()
+        .map(|&l| params.level_vt[l as usize])
+        .collect();
+
+    let mut pulses = 0u32;
+    let mut cells_programmed = 0usize;
+    for (v, (&t, &cur)) in vt.iter_mut().zip(targets.iter().zip(current_levels)) {
+        let need = params.pulses_between(*v, t);
+        if need > 0 {
+            cells_programmed += 1;
+            // Verify-and-inhibit: the cell stops exactly at (or just above)
+            // its target after `need` pulses.
+            *v += need as f64 * params.delta_v;
+            pulses = pulses.max(need);
+        }
+        let _ = cur;
+    }
+
+    Ok(IsppTrace {
+        pulses,
+        final_vt: vt,
+        cells_programmed,
+    })
+}
+
+/// Map an SLC data byte to its 8 cell levels (bit 7 first). Erased bit = 1
+/// = level 0; programmed bit = 0 = level 1.
+pub fn slc_byte_to_levels(byte: u8) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let bit = (byte >> (7 - i)) & 1;
+        *slot = if bit == 0 { 1 } else { 0 };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tlc_staircase_is_deepest() {
+        let p = IsppParams::tlc();
+        let lsb = p.program_latency_ns(ProgramKind::TlcLsb);
+        let csb = p.program_latency_ns(ProgramKind::TlcCsb);
+        let msb = p.program_latency_ns(ProgramKind::TlcMsb);
+        assert!(lsb < csb && csb < msb, "TLC pass latencies must ascend");
+    }
+
+    #[test]
+    fn msb_program_slower_than_lsb() {
+        let p = IsppParams::mlc();
+        assert!(
+            p.program_latency_ns(ProgramKind::MlcMsb) > p.program_latency_ns(ProgramKind::MlcLsb),
+            "MSB pages must be slower to program"
+        );
+    }
+
+    #[test]
+    fn slc_program_latency_in_datasheet_range() {
+        let p = IsppParams::slc();
+        let t = p.program_latency_ns(ProgramKind::SlcPage);
+        // ~8 pulses * 37 µs ≈ 296 µs; accept a broad datasheet-class range.
+        assert!(t > 150_000 && t < 600_000, "SLC program {t} ns out of range");
+    }
+
+    #[test]
+    fn pulses_zero_when_already_at_target() {
+        let p = IsppParams::slc();
+        assert_eq!(p.pulses_between(2.4, 2.4), 0);
+        assert_eq!(p.pulses_between(3.0, 2.4), 0);
+    }
+
+    #[test]
+    fn wordline_program_appends_into_erased_cells() {
+        let p = IsppParams::slc();
+        // 4 cells: two already programmed, two erased. Target re-states the
+        // programmed cells and programs one new cell — a legal append.
+        let cur = [1, 0, 1, 0];
+        let tgt = [1, 0, 1, 1];
+        let trace = simulate_wordline_program(&p, &cur, &tgt).unwrap();
+        assert_eq!(trace.cells_programmed, 1);
+        assert!(trace.pulses > 0);
+        assert!(trace.final_vt[3] >= p.level_vt[1]);
+        // Untouched cells keep their charge exactly.
+        assert_eq!(trace.final_vt[1], p.level_vt[0]);
+    }
+
+    #[test]
+    fn wordline_program_rejects_charge_decrease() {
+        let p = IsppParams::slc();
+        let cur = [1, 0];
+        let tgt = [0, 0]; // cell 0 would need charge removed
+        let err = simulate_wordline_program(&p, &cur, &tgt).unwrap_err();
+        assert_eq!(err.cell, 0);
+        assert!(err.to_string().contains("erase"));
+    }
+
+    #[test]
+    fn slc_byte_levels() {
+        assert_eq!(slc_byte_to_levels(0xFF), [0; 8]);
+        assert_eq!(slc_byte_to_levels(0x00), [1; 8]);
+        assert_eq!(slc_byte_to_levels(0b0111_1111), [1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    proptest! {
+        /// The byte-level overwrite rule (`new & !old == 0`) holds exactly
+        /// when the cell-level ISPP simulation accepts the transition.
+        #[test]
+        fn bitwise_rule_equals_charge_rule(old in any::<u8>(), new in any::<u8>()) {
+            let p = IsppParams::slc();
+            let cur = slc_byte_to_levels(old);
+            let tgt = slc_byte_to_levels(new);
+            let cell_ok = simulate_wordline_program(&p, &cur, &tgt).is_ok();
+            let bit_ok = new & !old == 0;
+            prop_assert_eq!(cell_ok, bit_ok);
+        }
+
+        /// Charge is monotone: after a legal program no cell's Vt dropped.
+        #[test]
+        fn charge_monotone(pairs in proptest::collection::vec((0u8..=1, 0u8..=1), 1..64)) {
+            let (cur, tgt): (Vec<u8>, Vec<u8>) = pairs.into_iter().unzip();
+            let p = IsppParams::slc();
+            if let Ok(trace) = simulate_wordline_program(&p, &cur, &tgt) {
+                for (i, &l) in cur.iter().enumerate() {
+                    prop_assert!(trace.final_vt[i] >= p.level_vt[l as usize] - 1e-9);
+                }
+            }
+        }
+    }
+}

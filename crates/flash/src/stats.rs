@@ -1,0 +1,107 @@
+//! Operation counters for the simulated device.
+//!
+//! Everything Table 1 of the paper reports is derived from these counters
+//! (host-level counts live in the FTL's own stats; these are the raw
+//! device-level events).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Raw device-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashStats {
+    /// Page read operations.
+    pub page_reads: u64,
+    /// First-time page program operations (out-of-place writes land here).
+    pub page_programs: u64,
+    /// In-place re-program operations (IPA appends land here).
+    pub page_reprograms: u64,
+    /// Block erase operations.
+    pub block_erases: u64,
+    /// Data+OOB bytes transferred over the bus for reads.
+    pub bytes_read: u64,
+    /// Data+OOB bytes transferred over the bus for programs.
+    pub bytes_written: u64,
+    /// Disturb-induced bit flips injected by the interference model.
+    pub disturb_bits_injected: u64,
+    /// Total simulated time the device spent busy, in nanoseconds.
+    pub busy_ns: u64,
+}
+
+impl FlashStats {
+    /// All program operations, first-time and in-place.
+    #[inline]
+    pub fn total_programs(&self) -> u64 {
+        self.page_programs + self.page_reprograms
+    }
+
+    /// Difference of two snapshots (`self` later than `earlier`).
+    pub fn delta_since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_programs: self.page_programs - earlier.page_programs,
+            page_reprograms: self.page_reprograms - earlier.page_reprograms,
+            block_erases: self.block_erases - earlier.block_erases,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            disturb_bits_injected: self.disturb_bits_injected - earlier.disturb_bits_injected,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+impl fmt::Display for FlashStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} programs={} reprograms={} erases={} read_B={} written_B={} busy={:.3}s",
+            self.page_reads,
+            self.page_programs,
+            self.page_reprograms,
+            self.block_erases,
+            self.bytes_read,
+            self.bytes_written,
+            self.busy_ns as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_delta() {
+        let earlier = FlashStats {
+            page_reads: 10,
+            page_programs: 5,
+            page_reprograms: 2,
+            block_erases: 1,
+            bytes_read: 100,
+            bytes_written: 50,
+            disturb_bits_injected: 0,
+            busy_ns: 1000,
+        };
+        let later = FlashStats {
+            page_reads: 15,
+            page_programs: 9,
+            page_reprograms: 6,
+            block_erases: 2,
+            bytes_read: 160,
+            bytes_written: 90,
+            disturb_bits_injected: 3,
+            busy_ns: 2500,
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.page_reads, 5);
+        assert_eq!(d.total_programs(), 8);
+        assert_eq!(d.busy_ns, 1500);
+    }
+
+    #[test]
+    fn display_mentions_core_counters() {
+        let s = FlashStats::default().to_string();
+        assert!(s.contains("reads=0"));
+        assert!(s.contains("erases=0"));
+    }
+}

@@ -1,0 +1,1011 @@
+//! Page-mapping FTL with greedy garbage collection — and its IPA
+//! extensions.
+//!
+//! One [`Ftl`] struct implements all three device personalities the demo
+//! compares:
+//!
+//! * **Traditional SSD** — `FtlConfig::conventional(None)`: every host
+//!   write is an out-of-place program; the old physical page is
+//!   invalidated and eventually reclaimed by GC.
+//! * **IPA for conventional SSDs** (demo scenario 2) —
+//!   `in_place_detection = true` plus an IPA layout ("low-level
+//!   formatting"): the FTL compares each incoming page image against the
+//!   stored one and, when the image is overwrite-compatible (pure `1 → 0`),
+//!   re-programs the same physical page. No invalidation, no GC pressure.
+//! * **NoFTL / native flash** (demo scenario 3) — the
+//!   [`NativeFlashDevice::write_delta`] command appends a delta record (and
+//!   its OOB ECC codeword) to the physical page directly, transferring only
+//!   the delta bytes.
+//!
+//! Garbage collection is greedy (victim = closed block with the most
+//! invalid pages, ties broken toward low erase counts for wear levelling)
+//! and migrates ECC-corrected images.
+
+use std::collections::VecDeque;
+
+use ipa_core::PageLayout;
+use ipa_flash::{FlashChip, FlashError, FlashStats, Ppa};
+
+use crate::error::{FtlError, Lba, Result};
+use crate::interface::{BlockDevice, NativeFlashDevice};
+use crate::oob::OobCodec;
+use crate::region::RegionTable;
+use crate::stats::DeviceStats;
+use crate::wear::{WearConfig, WearLeveler, WearSummary};
+
+/// FTL policy knobs.
+#[derive(Debug, Clone)]
+pub struct FtlConfig {
+    /// Fraction of usable capacity withheld from the host (GC headroom).
+    pub over_provisioning: f64,
+    /// Run GC whenever the free-block pool drops below this.
+    pub gc_low_water_blocks: u32,
+    /// Detect overwrite-compatible full-page writes and program them in
+    /// place (IPA for conventional SSDs).
+    pub in_place_detection: bool,
+    /// IPA page layout in force outside any explicit region.
+    pub default_layout: Option<PageLayout>,
+    /// Allow in-place appends on pages the mode marks unsafe (full-MLC
+    /// experiment E7 only).
+    pub allow_unsafe_ipa: bool,
+    /// Static wear levelling; `None` disables it (dynamic tie-breaking in
+    /// the GC victim selector stays active either way).
+    pub wear: Option<WearConfig>,
+}
+
+impl FtlConfig {
+    /// Plain SSD: no IPA anywhere.
+    pub fn traditional() -> Self {
+        FtlConfig {
+            over_provisioning: 0.10,
+            gc_low_water_blocks: 3,
+            in_place_detection: false,
+            default_layout: None,
+            allow_unsafe_ipa: false,
+            wear: Some(WearConfig::default()),
+        }
+    }
+
+    /// IPA for conventional SSDs: block interface + in-place detection.
+    pub fn ipa_conventional(layout: PageLayout) -> Self {
+        FtlConfig {
+            in_place_detection: true,
+            default_layout: Some(layout),
+            ..FtlConfig::traditional()
+        }
+    }
+
+    /// Native flash (NoFTL): `write_delta` enabled via the layout; the
+    /// block path behaves traditionally.
+    pub fn ipa_native(layout: PageLayout) -> Self {
+        FtlConfig {
+            default_layout: Some(layout),
+            ..FtlConfig::traditional()
+        }
+    }
+
+    pub fn with_over_provisioning(mut self, op: f64) -> Self {
+        assert!((0.02..0.9).contains(&op), "over-provisioning out of range");
+        self.over_provisioning = op;
+        self
+    }
+
+    pub fn with_unsafe_ipa(mut self) -> Self {
+        self.allow_unsafe_ipa = true;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    Free,
+    Active,
+    Closed,
+}
+
+#[derive(Debug, Clone)]
+struct BlockInfo {
+    state: BlockState,
+    /// Per physical page: `Some(lba)` if it holds the valid copy of `lba`.
+    owner: Vec<Option<Lba>>,
+    /// Valid pages in this block.
+    valid: u32,
+    /// Usable pages consumed (write frontier position).
+    used: u32,
+}
+
+impl BlockInfo {
+    fn new(pages_per_block: u32) -> Self {
+        BlockInfo {
+            state: BlockState::Free,
+            owner: vec![None; pages_per_block as usize],
+            valid: 0,
+            used: 0,
+        }
+    }
+
+    fn invalid(&self) -> u32 {
+        self.used - self.valid
+    }
+
+    fn reset(&mut self) {
+        self.state = BlockState::Free;
+        self.owner.iter_mut().for_each(|o| *o = None);
+        self.valid = 0;
+        self.used = 0;
+    }
+}
+
+/// The flash translation layer (see module docs).
+pub struct Ftl {
+    chip: FlashChip,
+    config: FtlConfig,
+    regions: RegionTable,
+    l2p: Vec<Option<Ppa>>,
+    blocks: Vec<BlockInfo>,
+    free_blocks: VecDeque<u32>,
+    active: Option<u32>,
+    capacity: u64,
+    usable_ppb: u32,
+    stats: DeviceStats,
+    wear: Option<WearLeveler>,
+}
+
+impl Ftl {
+    /// Build an FTL over a chip with an empty region table.
+    pub fn new(chip: FlashChip, config: FtlConfig) -> Self {
+        Self::with_regions(chip, config, RegionTable::new())
+    }
+
+    /// Build an FTL with explicit NoFTL regions.
+    pub fn with_regions(chip: FlashChip, config: FtlConfig, regions: RegionTable) -> Self {
+        let g = *chip.geometry();
+        let mode = chip.mode();
+        let usable_ppb = mode.usable_pages_per_block(g.pages_per_block);
+        let total_usable = g.blocks as u64 * usable_ppb as u64;
+        // Export the smaller of the OP-derived capacity and what is left
+        // after reserving GC headroom (low-water + 1 blocks), so tiny test
+        // devices clamp instead of misconfiguring.
+        let op_capacity = (total_usable as f64 * (1.0 - config.over_provisioning)) as u64;
+        let gc_reserve = (config.gc_low_water_blocks as u64 + 1) * usable_ppb as u64;
+        let capacity = op_capacity.min(total_usable.saturating_sub(gc_reserve));
+        assert!(
+            capacity > 0,
+            "geometry too small: {total_usable} usable pages cannot spare {gc_reserve} for GC"
+        );
+        // Fail fast on any layout that cannot fit its ECC in the OOB.
+        if let Some(l) = &config.default_layout {
+            let _ = OobCodec::new(g.page_size, g.oob_size, Some(*l));
+        }
+        for r in regions.iter() {
+            let _ = OobCodec::new(g.page_size, g.oob_size, r.layout);
+        }
+
+        let blocks = (0..g.blocks)
+            .map(|_| BlockInfo::new(g.pages_per_block))
+            .collect();
+        let free_blocks = (0..g.blocks).collect();
+        let wear = config.wear.map(WearLeveler::new);
+        Ftl {
+            chip,
+            config,
+            regions,
+            l2p: vec![None; capacity as usize],
+            blocks,
+            free_blocks,
+            active: None,
+            capacity,
+            usable_ppb,
+            stats: DeviceStats::default(),
+            wear,
+        }
+    }
+
+    /// Exhaustive internal consistency check, for tests and debugging:
+    ///
+    /// 1. every mapped LBA points at a page whose owner is that LBA;
+    /// 2. every owned page is mapped back (no orphans);
+    /// 3. per-block valid counters match the owner table;
+    /// 4. no two LBAs share a physical page;
+    /// 5. free blocks hold no valid data and the active block exists at
+    ///    most once.
+    ///
+    /// Panics with a description on the first violation.
+    pub fn check_invariants(&self) {
+        use std::collections::HashSet;
+        let mut seen_ppa: HashSet<(u32, u32)> = HashSet::new();
+        for (lba, ppa) in self.l2p.iter().enumerate() {
+            let Some(ppa) = ppa else { continue };
+            assert!(
+                seen_ppa.insert((ppa.block, ppa.page)),
+                "two LBAs map to {ppa}"
+            );
+            let owner = self.blocks[ppa.block as usize].owner[ppa.page as usize];
+            assert_eq!(
+                owner,
+                Some(lba as Lba),
+                "LBA {lba} maps to {ppa} but the page is owned by {owner:?}"
+            );
+        }
+        for (b, info) in self.blocks.iter().enumerate() {
+            let owned = info.owner.iter().flatten().count() as u32;
+            assert_eq!(
+                owned, info.valid,
+                "block {b}: owner table has {owned} valid pages, counter says {}",
+                info.valid
+            );
+            for lba in info.owner.iter().flatten() {
+                assert_eq!(
+                    self.l2p[*lba as usize],
+                    Some(Ppa::new(b as u32, info.owner.iter().position(|o| o == &Some(*lba)).unwrap() as u32)),
+                    "orphan: block {b} owns LBA {lba} but the map disagrees"
+                );
+            }
+            if info.state == BlockState::Free {
+                assert_eq!(info.valid, 0, "free block {b} holds valid data");
+            }
+        }
+        let actives = self
+            .blocks
+            .iter()
+            .filter(|b| b.state == BlockState::Active)
+            .count();
+        assert!(actives <= 1, "{actives} active blocks");
+    }
+
+    /// Erase-count distribution across all blocks.
+    pub fn wear_summary(&self) -> WearSummary {
+        let counts: Vec<u32> = (0..self.chip.geometry().blocks)
+            .map(|b| self.chip.erase_count(b).unwrap_or(0))
+            .collect();
+        WearSummary::from_counts(&counts)
+    }
+
+    /// Static wear levelling step: if the erase-count spread is too wide,
+    /// recycle the coldest closed block so it rejoins the rotation.
+    fn maybe_wear_level(&mut self) -> Result<()> {
+        let Some(w) = &mut self.wear else {
+            return Ok(());
+        };
+        if !w.on_erase() {
+            return Ok(());
+        }
+        let counts: Vec<u32> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                if b.state == BlockState::Closed {
+                    self.chip.erase_count(i as u32).unwrap_or(u32::MAX)
+                } else {
+                    u32::MAX // active/free blocks are not static-WL targets
+                }
+            })
+            .collect();
+        let device_max = self.chip.max_erase_count();
+        let Some(victim) = self
+            .wear
+            .as_mut()
+            .unwrap()
+            .pick_victim(&counts, device_max)
+        else {
+            return Ok(());
+        };
+        // Need a frontier to migrate into; skip when space is too tight.
+        if self.free_blocks.is_empty() && self.active.is_none() {
+            return Ok(());
+        }
+        self.reclaim_block(victim, false)?;
+        self.stats.wear_leveling_moves += 1;
+        Ok(())
+    }
+
+    /// Underlying chip (inspection only).
+    pub fn chip(&self) -> &FlashChip {
+        &self.chip
+    }
+
+    /// Region table (inspection only).
+    pub fn regions(&self) -> &RegionTable {
+        &self.regions
+    }
+
+    /// The layout in force for an LBA.
+    pub fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
+        self.regions
+            .layout_for(lba, self.config.default_layout.as_ref())
+            .copied()
+    }
+
+    /// Zero the host-level counters (experiment warm-up boundaries).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+
+    fn codec_for(&self, lba: Lba) -> OobCodec {
+        let g = self.chip.geometry();
+        OobCodec::new(g.page_size, g.oob_size, self.layout_for(lba))
+    }
+
+    fn check_lba(&self, lba: Lba) -> Result<()> {
+        if lba >= self.capacity {
+            return Err(FtlError::LbaOutOfRange {
+                lba,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Physical page index of the `n`-th usable page in a block.
+    fn nth_usable_page(&self, n: u32) -> u32 {
+        match self.chip.mode() {
+            ipa_flash::FlashMode::PSlc => 2 * n + 1,
+            _ => n,
+        }
+    }
+
+    /// Claim the next free usable page, opening a new block if needed.
+    fn allocate(&mut self) -> Result<Ppa> {
+        loop {
+            if let Some(b) = self.active {
+                if self.blocks[b as usize].used < self.usable_ppb {
+                    let n = self.blocks[b as usize].used;
+                    self.blocks[b as usize].used += 1;
+                    return Ok(Ppa::new(b, self.nth_usable_page(n)));
+                }
+                self.blocks[b as usize].state = BlockState::Closed;
+                self.active = None;
+            }
+            loop {
+                let b = self.free_blocks.pop_front().ok_or(FtlError::DeviceFull)?;
+                if self.chip.is_bad(b) {
+                    continue; // retired block: capacity silently shrinks
+                }
+                self.blocks[b as usize].state = BlockState::Active;
+                self.blocks[b as usize].used = 0;
+                self.active = Some(b);
+                break;
+            }
+        }
+    }
+
+    fn invalidate(&mut self, ppa: Ppa) {
+        let info = &mut self.blocks[ppa.block as usize];
+        if info.owner[ppa.page as usize].take().is_some() {
+            info.valid -= 1;
+        }
+    }
+
+    /// Run GC until the free pool is back above the low-water mark.
+    fn ensure_free_space(&mut self) -> Result<()> {
+        while (self.free_blocks.len() as u32) < self.config.gc_low_water_blocks {
+            if !self.gc_once()? {
+                // Nothing reclaimable. Fatal only if allocation would fail.
+                if self.free_blocks.is_empty() && self.active.is_none() {
+                    return Err(FtlError::DeviceFull);
+                }
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reclaim one block. Returns `false` when no victim exists.
+    fn gc_once(&mut self) -> Result<bool> {
+        // Greedy victim: most invalid pages; ties → least-worn block.
+        let victim = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state == BlockState::Closed && b.invalid() > 0)
+            .max_by_key(|(i, b)| {
+                (
+                    b.invalid(),
+                    std::cmp::Reverse(self.chip.erase_count(*i as u32).unwrap_or(u32::MAX)),
+                )
+            })
+            .map(|(i, _)| i as u32);
+        let Some(victim) = victim else {
+            return Ok(false);
+        };
+        self.reclaim_block(victim, true)?;
+        self.maybe_wear_level()?;
+        Ok(true)
+    }
+
+    /// Migrate a block's valid pages to the frontier and erase it.
+    /// `count_as_gc` separates GC accounting from wear-levelling moves.
+    fn reclaim_block(&mut self, victim: u32, count_as_gc: bool) -> Result<()> {
+        for page in 0..self.chip.geometry().pages_per_block {
+            let Some(lba) = self.blocks[victim as usize].owner[page as usize] else {
+                continue;
+            };
+            let src = Ppa::new(victim, page);
+            let mut img = self.chip.read_page(src)?;
+            // Scrub on the way: correct what ECC can, count what it fixed.
+            let codec = self.codec_for(lba);
+            match codec.verify(&mut img.data, &img.oob) {
+                Ok(o) => self.stats.ecc_corrected_bits += o.corrected_bits,
+                Err(_) => {
+                    // Migrate the raw bits; the host read will report the
+                    // loss. (A real controller would log a media error.)
+                    self.stats.uncorrectable_reads += 1;
+                }
+            }
+            let dst = self.allocate()?;
+            let oob = codec.encode_oob(&img.data);
+            self.chip.program_page(dst, &img.data, &oob)?;
+            self.blocks[victim as usize].owner[page as usize] = None;
+            self.blocks[victim as usize].valid -= 1;
+            self.blocks[dst.block as usize].owner[dst.page as usize] = Some(lba);
+            self.blocks[dst.block as usize].valid += 1;
+            self.l2p[lba as usize] = Some(dst);
+            if count_as_gc {
+                self.stats.gc_page_migrations += 1;
+            }
+        }
+
+        self.chip.erase_block(victim)?;
+        if count_as_gc {
+            self.stats.gc_erases += 1;
+        }
+        self.blocks[victim as usize].reset();
+        if !self.chip.is_bad(victim) {
+            self.free_blocks.push_back(victim);
+        }
+        Ok(())
+    }
+
+    /// Attempt the conventional-SSD in-place path. Returns `true` when the
+    /// image was programmed in place.
+    fn try_in_place(&mut self, ppa: Ppa, data: &[u8], codec: &OobCodec) -> Result<bool> {
+        let mode = self.chip.mode();
+        if !mode.ipa_safe(ppa.page) && !self.config.allow_unsafe_ipa {
+            return Ok(false);
+        }
+        if self.chip.program_count(ppa)? >= self.chip.nop_limit(ppa.page) {
+            return Ok(false);
+        }
+        let Some(old) = self.chip.peek_data(ppa) else {
+            return Ok(false);
+        };
+        if !overwrite_compatible(old, data) {
+            return Ok(false);
+        }
+        let layout = codec.layout().expect("in-place detection requires layout");
+        let old = old.to_vec();
+        let mut oob = self
+            .chip
+            .peek_oob(ppa)
+            .map(<[u8]>::to_vec)
+            .unwrap_or_else(|| vec![0xFF; self.chip.geometry().oob_size]);
+        // Add ECC codewords for record slots that appear in the new image.
+        for i in 0..layout.scheme.n {
+            let roff = layout.record_offset(i);
+            let newly_present = old[roff] & 0x80 != 0 && data[roff] & 0x80 == 0;
+            if newly_present {
+                let cw = codec.encode_record(&data[roff..roff + layout.record_size()]);
+                let ooff = codec.record_oob_offset(i);
+                oob[ooff..ooff + cw.len()].copy_from_slice(&cw);
+            }
+        }
+        match self.chip.reprogram_page(ppa, data, &oob) {
+            Ok(()) => Ok(true),
+            // Races we pre-checked can still lose to NOP/mode subtleties:
+            // fall back to out-of-place rather than failing the write.
+            Err(FlashError::NopExceeded { .. }) | Err(FlashError::IllegalOverwrite { .. }) => {
+                Ok(false)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write_out_of_place(&mut self, lba: Lba, data: &[u8], codec: &OobCodec) -> Result<()> {
+        self.ensure_free_space()?;
+        let ppa = self.allocate()?;
+        let oob = codec.encode_oob(data);
+        self.chip.program_page(ppa, data, &oob)?;
+        if let Some(old) = self.l2p[lba as usize].replace(ppa) {
+            self.invalidate(old);
+            self.stats.page_invalidations += 1;
+        }
+        let info = &mut self.blocks[ppa.block as usize];
+        info.owner[ppa.page as usize] = Some(lba);
+        info.valid += 1;
+        Ok(())
+    }
+}
+
+/// Is `new` writable over `old` without an erase (`1 → 0` only)?
+#[inline]
+pub fn overwrite_compatible(old: &[u8], new: &[u8]) -> bool {
+    debug_assert_eq!(old.len(), new.len());
+    old.iter().zip(new).all(|(&o, &n)| n & !o == 0)
+}
+
+impl BlockDevice for Ftl {
+    fn page_size(&self) -> usize {
+        self.chip.geometry().page_size
+    }
+
+    fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
+        Ftl::layout_for(self, lba)
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        self.check_lba(lba)?;
+        if buf.len() != self.page_size() {
+            return Err(FtlError::SizeMismatch {
+                expected: self.page_size(),
+                got: buf.len(),
+            });
+        }
+        let ppa = self.l2p[lba as usize].ok_or(FtlError::UnmappedLba(lba))?;
+        let img = self.chip.read_page(ppa)?;
+        buf.copy_from_slice(&img.data);
+        let codec = self.codec_for(lba);
+        match codec.verify(buf, &img.oob) {
+            Ok(o) => self.stats.ecc_corrected_bits += o.corrected_bits,
+            Err(_) => {
+                self.stats.uncorrectable_reads += 1;
+                return Err(FtlError::Uncorrectable { lba });
+            }
+        }
+        self.stats.host_reads += 1;
+        self.stats.bytes_host_read += self.page_size() as u64;
+        Ok(())
+    }
+
+    fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
+        self.check_lba(lba)?;
+        if data.len() != self.page_size() {
+            return Err(FtlError::SizeMismatch {
+                expected: self.page_size(),
+                got: data.len(),
+            });
+        }
+        let codec = self.codec_for(lba);
+        self.stats.host_writes += 1;
+        self.stats.bytes_host_written += data.len() as u64;
+
+        if self.config.in_place_detection && codec.layout().is_some() {
+            if let Some(ppa) = self.l2p[lba as usize] {
+                if self.try_in_place(ppa, data, &codec)? {
+                    self.stats.in_place_appends += 1;
+                    return Ok(());
+                }
+            }
+        }
+        self.write_out_of_place(lba, data, &codec)?;
+        self.stats.out_of_place_writes += 1;
+        Ok(())
+    }
+
+    fn trim(&mut self, lba: Lba) -> Result<()> {
+        self.check_lba(lba)?;
+        if let Some(ppa) = self.l2p[lba as usize].take() {
+            self.invalidate(ppa);
+            self.stats.page_invalidations += 1;
+        }
+        Ok(())
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        *self.chip.stats()
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.chip.elapsed_ns()
+    }
+
+    fn max_erase_count(&self) -> u32 {
+        self.chip.max_erase_count()
+    }
+
+    fn raw_blocks(&self) -> u32 {
+        self.chip.geometry().blocks
+    }
+}
+
+impl NativeFlashDevice for Ftl {
+    fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
+        self.check_lba(lba)?;
+        let ppa = self.l2p[lba as usize].ok_or(FtlError::UnmappedLba(lba))?;
+        let layout = self
+            .layout_for(lba)
+            .ok_or(FtlError::LayoutRequired { lba })?;
+        let codec = self.codec_for(lba);
+
+        // The delta must be whole record slots starting at a slot boundary.
+        let rs = layout.record_size();
+        let area = layout.delta_area_offset();
+        if offset < area || !(offset - area).is_multiple_of(rs) {
+            return Err(FtlError::BadWriteDelta {
+                lba,
+                reason: "offset is not a record-slot boundary",
+            });
+        }
+        if delta_bytes.is_empty() || !delta_bytes.len().is_multiple_of(rs) {
+            return Err(FtlError::BadWriteDelta {
+                lba,
+                reason: "length is not a whole number of record slots",
+            });
+        }
+        let first_slot = ((offset - area) / rs) as u16;
+        let count = (delta_bytes.len() / rs) as u16;
+        if first_slot + count > layout.scheme.n {
+            return Err(FtlError::BadWriteDelta {
+                lba,
+                reason: "append beyond the delta-record area",
+            });
+        }
+
+        // Physical-page policy: the mode decides whether this page may be
+        // re-programmed at all.
+        if !self.chip.mode().ipa_safe(ppa.page) && !self.config.allow_unsafe_ipa {
+            return Err(FtlError::InPlaceRejected {
+                lba,
+                cause: FlashError::PageNotUsable { ppa },
+            });
+        }
+
+        // Per-record ECC codewords, appended to their OOB slots.
+        let mut oob_bytes = Vec::with_capacity(count as usize * 4);
+        for k in 0..count {
+            let r = &delta_bytes[k as usize * rs..(k as usize + 1) * rs];
+            oob_bytes.extend_from_slice(&codec.encode_record(r));
+        }
+        let oob_off = codec.record_oob_offset(first_slot);
+
+        match self
+            .chip
+            .append_region(ppa, offset, delta_bytes, oob_off, &oob_bytes)
+        {
+            Ok(()) => {
+                self.stats.host_write_deltas += 1;
+                self.stats.in_place_appends += 1;
+                self.stats.bytes_host_written += delta_bytes.len() as u64;
+                Ok(())
+            }
+            Err(
+                cause @ (FlashError::NopExceeded { .. } | FlashError::IllegalOverwrite { .. }),
+            ) => Err(FtlError::InPlaceRejected { lba, cause }),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::{DeltaRecord, NmScheme};
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+
+    fn layout(page_size: usize) -> PageLayout {
+        PageLayout::new(page_size, 24, 8, NmScheme::new(2, 4))
+    }
+
+    fn chip(mode: FlashMode) -> FlashChip {
+        FlashChip::new(
+            DeviceConfig::new(Geometry::new(16, 8, 2048, 64), mode)
+                .with_disturb(DisturbRates::none()),
+        )
+    }
+
+    fn page(fill: u8, l: &PageLayout) -> Vec<u8> {
+        let mut p = vec![fill; l.page_size];
+        l.wipe_delta_area(&mut p);
+        p
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let data = vec![0x5Au8; 2048];
+        ftl.write(3, &data).unwrap();
+        let mut buf = vec![0u8; 2048];
+        ftl.read(3, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(ftl.device_stats().host_writes, 1);
+        assert_eq!(ftl.device_stats().host_reads, 1);
+    }
+
+    #[test]
+    fn unmapped_read_errors() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let mut buf = vec![0u8; 2048];
+        assert!(matches!(ftl.read(7, &mut buf), Err(FtlError::UnmappedLba(7))));
+    }
+
+    #[test]
+    fn out_of_range_lba_rejected() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let cap = ftl.capacity_pages();
+        let data = vec![0u8; 2048];
+        assert!(matches!(
+            ftl.write(cap, &data),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_page() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let data = vec![0x11u8; 2048];
+        ftl.write(0, &data).unwrap();
+        ftl.write(0, &data).unwrap();
+        let s = ftl.device_stats();
+        assert_eq!(s.out_of_place_writes, 2);
+        assert_eq!(s.page_invalidations, 1);
+        assert_eq!(s.in_place_appends, 0);
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let data = vec![0x22u8; 2048];
+        // 16 blocks × 8 pages; hammer a small working set far past raw
+        // capacity so GC must run.
+        for i in 0..600u64 {
+            ftl.write(i % 8, &data).unwrap();
+        }
+        let s = ftl.device_stats();
+        assert!(s.gc_erases > 0, "GC must have erased blocks");
+        assert_eq!(s.out_of_place_writes, 600);
+        // Everything is still readable.
+        let mut buf = vec![0u8; 2048];
+        for i in 0..8u64 {
+            ftl.read(i, &mut buf).unwrap();
+        }
+    }
+
+    #[test]
+    fn gc_preserves_all_data() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let cap = ftl.capacity_pages();
+        // Fill most of the device with distinct content, then churn.
+        for lba in 0..cap {
+            let data = vec![(lba % 251) as u8; 2048];
+            ftl.write(lba, &data).unwrap();
+        }
+        for round in 0..4u64 {
+            for lba in 0..cap / 2 {
+                let data = vec![((lba + round) % 251) as u8; 2048];
+                ftl.write(lba, &data).unwrap();
+            }
+        }
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..cap {
+            ftl.read(lba, &mut buf).unwrap();
+            let expect = if lba < cap / 2 {
+                ((lba + 3) % 251) as u8
+            } else {
+                (lba % 251) as u8
+            };
+            assert!(buf.iter().all(|&b| b == expect), "lba {lba} corrupted");
+        }
+    }
+
+    #[test]
+    fn conventional_ipa_detects_append() {
+        let l = layout(2048);
+        let mut ftl = Ftl::new(chip(FlashMode::PSlc), FtlConfig::ipa_conventional(l));
+        let original = page(0x5A, &l);
+        ftl.write(0, &original).unwrap();
+
+        // Build an appended image the way the tracker would.
+        let mut image = original.clone();
+        let rec = DeltaRecord::new(vec![(30, 0x42)], vec![1; l.meta_len()], l.scheme);
+        ipa_core::write_record_into(&mut image, &l, 0, &rec);
+        ftl.write(0, &image).unwrap();
+
+        let s = ftl.device_stats();
+        assert_eq!(s.in_place_appends, 1);
+        assert_eq!(s.out_of_place_writes, 1);
+        assert_eq!(s.page_invalidations, 0, "no invalidation on append");
+
+        // Read returns the appended image, ECC-clean.
+        let mut buf = vec![0u8; 2048];
+        ftl.read(0, &mut buf).unwrap();
+        assert_eq!(buf, image);
+    }
+
+    #[test]
+    fn conventional_ipa_falls_back_on_body_change() {
+        let l = layout(2048);
+        let mut ftl = Ftl::new(chip(FlashMode::PSlc), FtlConfig::ipa_conventional(l));
+        let original = page(0x5A, &l);
+        ftl.write(0, &original).unwrap();
+        // Change a body byte 0x5A → 0x5B (needs a 0→1 bit): not compatible.
+        let mut image = original.clone();
+        image[100] = 0x5B;
+        ftl.write(0, &image).unwrap();
+        let s = ftl.device_stats();
+        assert_eq!(s.in_place_appends, 0);
+        assert_eq!(s.out_of_place_writes, 2);
+        assert_eq!(s.page_invalidations, 1);
+    }
+
+    #[test]
+    fn write_delta_appends_natively() {
+        let l = layout(2048);
+        let mut ftl = Ftl::new(chip(FlashMode::PSlc), FtlConfig::ipa_native(l));
+        let original = page(0xA5, &l);
+        ftl.write(5, &original).unwrap();
+        let written_before = ftl.device_stats().bytes_host_written;
+
+        let rec = DeltaRecord::new(vec![(40, 0x0F)], vec![2; l.meta_len()], l.scheme);
+        let bytes = rec.encode(&l);
+        ftl.write_delta(5, l.record_offset(0), &bytes).unwrap();
+
+        let s = ftl.device_stats();
+        assert_eq!(s.host_write_deltas, 1);
+        assert_eq!(s.in_place_appends, 1);
+        assert_eq!(
+            s.bytes_host_written - written_before,
+            bytes.len() as u64,
+            "write_delta transfers only the record"
+        );
+
+        // The record is on the same physical page and ECC-verifiable.
+        let mut buf = vec![0u8; 2048];
+        ftl.read(5, &mut buf).unwrap();
+        let recs = ipa_core::scan_records(&buf, &l);
+        assert_eq!(recs, vec![rec]);
+    }
+
+    #[test]
+    fn write_delta_requires_layout() {
+        let mut ftl = Ftl::new(chip(FlashMode::PSlc), FtlConfig::traditional());
+        let data = vec![0xFFu8; 2048];
+        ftl.write(0, &data).unwrap();
+        assert!(matches!(
+            ftl.write_delta(0, 1900, &[0u8; 45]),
+            Err(FtlError::LayoutRequired { .. })
+        ));
+    }
+
+    #[test]
+    fn write_delta_validates_slot_alignment() {
+        let l = layout(2048);
+        let mut ftl = Ftl::new(chip(FlashMode::PSlc), FtlConfig::ipa_native(l));
+        ftl.write(0, &page(0xFF, &l)).unwrap();
+        let rec = DeltaRecord::new(vec![], vec![0; l.meta_len()], l.scheme).encode(&l);
+        assert!(matches!(
+            ftl.write_delta(0, l.record_offset(0) + 1, &rec),
+            Err(FtlError::BadWriteDelta { .. })
+        ));
+        assert!(matches!(
+            ftl.write_delta(0, l.record_offset(0), &rec[..10]),
+            Err(FtlError::BadWriteDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn write_delta_beyond_area_rejected() {
+        let l = layout(2048);
+        let mut ftl = Ftl::new(chip(FlashMode::PSlc), FtlConfig::ipa_native(l));
+        ftl.write(0, &page(0xFF, &l)).unwrap();
+        let rec = DeltaRecord::new(vec![], vec![0; l.meta_len()], l.scheme).encode(&l);
+        let three = [rec.clone(), rec.clone(), rec].concat();
+        assert!(matches!(
+            ftl.write_delta(0, l.record_offset(0), &three),
+            Err(FtlError::BadWriteDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn odd_mlc_rejects_delta_on_msb_pages() {
+        let l = layout(2048);
+        let mut ftl = Ftl::new(chip(FlashMode::OddMlc), FtlConfig::ipa_native(l));
+        // Fill several LBAs: allocation alternates LSB/MSB physical pages.
+        let img = page(0xFF, &l);
+        for lba in 0..4 {
+            ftl.write(lba, &img).unwrap();
+        }
+        let rec = DeltaRecord::new(vec![], vec![0; l.meta_len()], l.scheme).encode(&l);
+        let mut rejected = 0;
+        let mut accepted = 0;
+        for lba in 0..4 {
+            match ftl.write_delta(lba, l.record_offset(0), &rec) {
+                Ok(()) => accepted += 1,
+                Err(FtlError::InPlaceRejected { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(accepted, 2, "LSB-backed LBAs accept appends");
+        assert_eq!(rejected, 2, "MSB-backed LBAs reject appends");
+    }
+
+    #[test]
+    fn nop_exhaustion_surfaces_as_rejection() {
+        let l = layout(2048);
+        let cfg = DeviceConfig::new(Geometry::new(16, 8, 2048, 64), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none())
+            .with_nop(2); // 1 initial program + 1 append
+        let mut ftl = Ftl::new(FlashChip::new(cfg), FtlConfig::ipa_native(l));
+        ftl.write(0, &page(0xFF, &l)).unwrap();
+        let rec = DeltaRecord::new(vec![], vec![0; l.meta_len()], l.scheme).encode(&l);
+        ftl.write_delta(0, l.record_offset(0), &rec).unwrap();
+        assert!(matches!(
+            ftl.write_delta(0, l.record_offset(1), &rec),
+            Err(FtlError::InPlaceRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let data = vec![0u8; 2048];
+        ftl.write(0, &data).unwrap();
+        ftl.trim(0).unwrap();
+        let mut buf = vec![0u8; 2048];
+        assert!(matches!(ftl.read(0, &mut buf), Err(FtlError::UnmappedLba(0))));
+        assert_eq!(ftl.device_stats().page_invalidations, 1);
+    }
+
+    #[test]
+    fn pslc_halves_capacity() {
+        let slc = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let pslc = Ftl::new(chip(FlashMode::PSlc), FtlConfig::traditional());
+        assert_eq!(pslc.capacity_pages() * 2, slc.capacity_pages());
+    }
+
+    #[test]
+    fn in_place_appends_reduce_gc_pressure() {
+        // The paper's core claim at device level: the same logical write
+        // stream causes fewer erases with IPA than without.
+        let l = layout(2048);
+        let run = |ipa: bool| -> (u64, u64) {
+            let mut ftl = if ipa {
+                Ftl::new(chip(FlashMode::PSlc), FtlConfig::ipa_conventional(l))
+            } else {
+                Ftl::new(chip(FlashMode::PSlc), FtlConfig::traditional())
+            };
+            let base = page(0xFF, &l);
+            for lba in 0..8u64 {
+                ftl.write(lba, &base).unwrap();
+            }
+            // Alternate appended images and full rewrites 2:1.
+            for round in 0..120u64 {
+                for lba in 0..8u64 {
+                    if ipa && round % 3 != 0 {
+                        let slot = (round % 3 - 1) as u16;
+                        let mut img = vec![0u8; 2048];
+                        ftl.read(lba, &mut img).unwrap();
+                        let rec = DeltaRecord::new(
+                            vec![(40 + round as u16 % 4, 0x00)],
+                            vec![0; l.meta_len()],
+                            l.scheme,
+                        );
+                        ipa_core::write_record_into(&mut img, &l, slot, &rec);
+                        ftl.write(lba, &img).unwrap();
+                    } else {
+                        ftl.write(lba, &base).unwrap();
+                    }
+                }
+            }
+            let s = ftl.device_stats();
+            (s.gc_erases, s.page_invalidations)
+        };
+        let (erases_trad, inval_trad) = run(false);
+        let (erases_ipa, inval_ipa) = run(true);
+        assert!(
+            inval_ipa < inval_trad / 2,
+            "IPA must invalidate far fewer pages ({inval_ipa} vs {inval_trad})"
+        );
+        assert!(
+            erases_ipa < erases_trad,
+            "IPA must erase less ({erases_ipa} vs {erases_trad})"
+        );
+    }
+}

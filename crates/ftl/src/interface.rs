@@ -1,0 +1,104 @@
+//! Host-facing device interfaces.
+//!
+//! [`BlockDevice`] is the conventional SSD contract (read/write whole
+//! pages by LBA). [`NativeFlashDevice`] extends it with the paper's new
+//! command:
+//!
+//! ```text
+//! write_delta( LBA, offset, delta_length, delta_bytes[ ] );
+//! ```
+//!
+//! which appends `delta_bytes` to the *same physical flash page* backing
+//! `LBA`, transferring only the delta.
+
+use ipa_core::PageLayout;
+use ipa_flash::FlashStats;
+
+use crate::error::{Lba, Result};
+use crate::stats::DeviceStats;
+
+/// How the DBMS drives the device — the three configurations the demo
+/// compares (plus IPL, which lives in its own crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteStrategy {
+    /// Demo scenario 1: every dirty page eviction is a full out-of-place
+    /// page write (`[0×0]`).
+    Traditional,
+    /// Demo scenario 2: IPA for conventional SSDs — the DBMS writes full
+    /// `body + delta-record area` images through the block interface; the
+    /// FTL detects overwrite-compatible images and programs them in place.
+    IpaConventional,
+    /// Demo scenario 3: IPA for native flash — the DBMS sends only delta
+    /// records via `write_delta`.
+    IpaNative,
+}
+
+impl WriteStrategy {
+    /// Does this strategy require an IPA page layout?
+    pub fn needs_layout(self) -> bool {
+        !matches!(self, WriteStrategy::Traditional)
+    }
+}
+
+/// A page-granular block device (conventional SSD contract).
+pub trait BlockDevice {
+    /// Page size in bytes (read/write granularity).
+    fn page_size(&self) -> usize;
+
+    /// Number of LBAs exported to the host (after over-provisioning and
+    /// mode capacity factors).
+    fn capacity_pages(&self) -> u64;
+
+    /// Read one page into `buf` (must be exactly `page_size` long).
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()>;
+
+    /// Write one page (out-of-place unless the device detects an
+    /// overwrite-compatible image and is configured to exploit it).
+    fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()>;
+
+    /// Drop the mapping for an LBA (contents become unreadable).
+    fn trim(&mut self, lba: Lba) -> Result<()>;
+
+    /// The IPA page layout in force for `lba` (from the low-level format /
+    /// region table), if any. The DBMS buffer manager sizes its change
+    /// tracking off this.
+    fn layout_for(&self, lba: Lba) -> Option<PageLayout>;
+
+    /// Host-level counters.
+    fn device_stats(&self) -> DeviceStats;
+
+    /// Raw flash counters of the underlying chip.
+    fn flash_stats(&self) -> FlashStats;
+
+    /// Simulated time spent on device operations so far, nanoseconds.
+    fn elapsed_ns(&self) -> u64;
+
+    /// Peak block erase count (wear) — drives the longevity experiment.
+    fn max_erase_count(&self) -> u32;
+
+    /// Raw erase blocks of the underlying silicon (longevity is wear per
+    /// raw block, not per exported LBA).
+    fn raw_blocks(&self) -> u32;
+}
+
+/// The NoFTL-style native interface: everything a block device does, plus
+/// delta appends to the physical page.
+pub trait NativeFlashDevice: BlockDevice {
+    /// Append `delta_bytes` at byte `offset` of the physical page backing
+    /// `lba`. The offset must address a free record slot inside the
+    /// region's delta-record area; the device adds the per-record ECC to
+    /// the OOB area. Only `delta_bytes.len()` bytes cross the bus.
+    fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_requirements() {
+        assert!(!WriteStrategy::Traditional.needs_layout());
+        assert!(WriteStrategy::IpaConventional.needs_layout());
+        assert!(WriteStrategy::IpaNative.needs_layout());
+    }
+}

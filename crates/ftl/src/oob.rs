@@ -1,0 +1,344 @@
+//! OOB-area codec — Figure 3's `ECC_initial … ECC_delta_rec 1..N` layout.
+//!
+//! The OOB area of every flash page holds:
+//!
+//! ```text
+//! ┌──────────────────────────────┬──────────┬───┬──────────┐
+//! │ ECC_initial (k codewords)    │ ECC_rec 0│ … │ ECC_rec N-1 │ … erased
+//! └──────────────────────────────┴──────────┴───┴──────────┘
+//! ```
+//!
+//! * `ECC_initial` covers the page image *minus the delta-record area*
+//!   (header + body + footer) — the bytes that never change between an
+//!   out-of-place write and the next erase.
+//! * `ECC_rec i` covers delta record slot `i` alone and is appended into
+//!   its own erased OOB slot together with the record, so the append stays
+//!   a legal `1 → 0` program on both planes.
+//!
+//! Without an IPA layout the whole page is covered by `ECC_initial`.
+
+use ipa_core::PageLayout;
+use ipa_flash::ecc::{
+    check_region, codewords_for, encode_chunk, encode_region, Codeword, EccOutcome, CHUNK,
+    CODEWORD_BYTES,
+};
+
+/// Per-page-format OOB codec.
+#[derive(Debug, Clone)]
+pub struct OobCodec {
+    page_size: usize,
+    oob_size: usize,
+    layout: Option<PageLayout>,
+    initial_codewords: usize,
+}
+
+/// Result of verifying a page against its OOB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Bits corrected across the initial region and all records.
+    pub corrected_bits: u64,
+}
+
+/// The page had more bit errors than SECDED can repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UncorrectableError;
+
+impl std::fmt::Display for UncorrectableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "uncorrectable ECC error")
+    }
+}
+
+impl std::error::Error for UncorrectableError {}
+
+impl OobCodec {
+    /// Build a codec; panics if the OOB area cannot hold the codewords the
+    /// format needs (a configuration error, caught at device setup).
+    pub fn new(page_size: usize, oob_size: usize, layout: Option<PageLayout>) -> Self {
+        if let Some(l) = &layout {
+            assert_eq!(l.page_size, page_size, "layout/page size mismatch");
+            assert!(
+                l.record_size() <= CHUNK,
+                "delta record ({} B) exceeds one ECC chunk ({CHUNK} B)",
+                l.record_size()
+            );
+        }
+        let initial_len = match &layout {
+            Some(l) => page_size - l.delta_area_len(),
+            None => page_size,
+        };
+        let initial_codewords = codewords_for(initial_len);
+        let records = layout.as_ref().map(|l| l.scheme.n as usize).unwrap_or(0);
+        let needed = (initial_codewords + records) * CODEWORD_BYTES;
+        assert!(
+            needed <= oob_size,
+            "OOB too small: need {needed} B (ECC_initial {initial_codewords} cw + {records} \
+             record cw), have {oob_size} B"
+        );
+        OobCodec {
+            page_size,
+            oob_size,
+            layout,
+            initial_codewords,
+        }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> Option<&PageLayout> {
+        self.layout.as_ref()
+    }
+
+    /// OOB byte offset of delta record `i`'s codeword.
+    #[inline]
+    pub fn record_oob_offset(&self, i: u16) -> usize {
+        (self.initial_codewords + i as usize) * CODEWORD_BYTES
+    }
+
+    /// The bytes `ECC_initial` covers, concatenated (everything except the
+    /// delta-record area).
+    fn initial_region(&self, page: &[u8]) -> Vec<u8> {
+        match &self.layout {
+            Some(l) => {
+                let r = l.delta_area_range();
+                let mut v = Vec::with_capacity(self.page_size - l.delta_area_len());
+                v.extend_from_slice(&page[..r.start]);
+                v.extend_from_slice(&page[r.end..]);
+                v
+            }
+            None => page.to_vec(),
+        }
+    }
+
+    /// Scatter a (possibly corrected) initial region back into the page.
+    fn restore_initial_region(&self, page: &mut [u8], region: &[u8]) {
+        match &self.layout {
+            Some(l) => {
+                let r = l.delta_area_range();
+                page[..r.start].copy_from_slice(&region[..r.start]);
+                page[r.end..].copy_from_slice(&region[r.start..]);
+            }
+            None => page.copy_from_slice(region),
+        }
+    }
+
+    /// Build the full OOB image for an out-of-place page write: initial
+    /// codewords, record codewords for any records already present in the
+    /// image (GC migrations carry them along), erased elsewhere.
+    pub fn encode_oob(&self, page: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(page.len(), self.page_size);
+        let mut oob = vec![0xFFu8; self.oob_size];
+        let region = self.initial_region(page);
+        for (i, cw) in encode_region(&region).into_iter().enumerate() {
+            let off = i * CODEWORD_BYTES;
+            oob[off..off + CODEWORD_BYTES].copy_from_slice(&cw.to_bytes());
+        }
+        if let Some(l) = &self.layout {
+            for i in 0..l.scheme.n {
+                let slot = self.record_slice(page, i);
+                if slot[0] != 0xFF {
+                    let cw = encode_chunk(slot);
+                    let off = self.record_oob_offset(i);
+                    oob[off..off + CODEWORD_BYTES].copy_from_slice(&cw.to_bytes());
+                }
+            }
+        }
+        oob
+    }
+
+    /// Codeword bytes for one delta record slot image (the OOB append that
+    /// accompanies a `write_delta`).
+    pub fn encode_record(&self, record_bytes: &[u8]) -> [u8; CODEWORD_BYTES] {
+        encode_chunk(record_bytes).to_bytes()
+    }
+
+    fn record_slice<'a>(&self, page: &'a [u8], i: u16) -> &'a [u8] {
+        let l = self.layout.as_ref().expect("record access requires layout");
+        let off = l.record_offset(i);
+        &page[off..off + l.record_size()]
+    }
+
+    /// Verify a page image against its OOB, correcting single-bit errors
+    /// in place.
+    pub fn verify(&self, page: &mut [u8], oob: &[u8]) -> Result<VerifyOutcome, UncorrectableError> {
+        debug_assert_eq!(page.len(), self.page_size);
+        debug_assert_eq!(oob.len(), self.oob_size);
+        let mut corrected = 0u64;
+
+        // 1. Initial region.
+        let mut region = self.initial_region(page);
+        let mut codewords = Vec::with_capacity(self.initial_codewords);
+        for i in 0..self.initial_codewords {
+            let off = i * CODEWORD_BYTES;
+            let slot: &[u8; CODEWORD_BYTES] = oob[off..off + CODEWORD_BYTES]
+                .try_into()
+                .expect("slot width");
+            match Codeword::from_bytes(slot) {
+                Some(cw) => codewords.push(cw),
+                // Erased codeword for a programmed page: treat as data
+                // loss (write path always writes ECC_initial).
+                None => return Err(UncorrectableError),
+            }
+        }
+        match check_region(&mut region, &codewords) {
+            Ok(n) => corrected += n as u64,
+            Err(_) => return Err(UncorrectableError),
+        }
+        self.restore_initial_region(page, &region);
+
+        // 2. Delta records: verify exactly those slots whose OOB codeword
+        //    was written. The OOB marker is authoritative — a disturbed
+        //    control byte in the data area cannot fabricate a record.
+        if let Some(l) = self.layout {
+            for i in 0..l.scheme.n {
+                let off = self.record_oob_offset(i);
+                let slot: &[u8; CODEWORD_BYTES] = oob[off..off + CODEWORD_BYTES]
+                    .try_into()
+                    .expect("slot width");
+                let Some(cw) = Codeword::from_bytes(slot) else {
+                    continue;
+                };
+                let roff = l.record_offset(i);
+                let rec = &mut page[roff..roff + l.record_size()];
+                match ipa_flash::ecc::check_chunk(rec, cw) {
+                    EccOutcome::Clean => {}
+                    EccOutcome::Corrected { .. } => corrected += 1,
+                    EccOutcome::Uncorrectable => return Err(UncorrectableError),
+                }
+            }
+        }
+        Ok(VerifyOutcome {
+            corrected_bits: corrected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::{write_record_into, DeltaRecord, NmScheme};
+
+    fn layout() -> PageLayout {
+        PageLayout::new(2048, 24, 8, NmScheme::new(2, 4))
+    }
+
+    fn codec() -> OobCodec {
+        OobCodec::new(2048, 64, Some(layout()))
+    }
+
+    fn sample_page(l: &PageLayout) -> Vec<u8> {
+        let mut p: Vec<u8> = (0..l.page_size).map(|i| (i % 251) as u8).collect();
+        l.wipe_delta_area(&mut p);
+        p
+    }
+
+    #[test]
+    fn clean_page_verifies() {
+        let l = layout();
+        let c = codec();
+        let mut page = sample_page(&l);
+        let oob = c.encode_oob(&page);
+        let out = c.verify(&mut page, &oob).unwrap();
+        assert_eq!(out.corrected_bits, 0);
+    }
+
+    #[test]
+    fn corrects_body_flip() {
+        let l = layout();
+        let c = codec();
+        let mut page = sample_page(&l);
+        let oob = c.encode_oob(&page);
+        let original = page.clone();
+        page[100] ^= 0x40;
+        let out = c.verify(&mut page, &oob).unwrap();
+        assert_eq!(out.corrected_bits, 1);
+        assert_eq!(page, original);
+    }
+
+    #[test]
+    fn detects_double_flip_in_one_chunk() {
+        let l = layout();
+        let c = codec();
+        let mut page = sample_page(&l);
+        let oob = c.encode_oob(&page);
+        page[10] ^= 1;
+        page[11] ^= 1;
+        assert!(c.verify(&mut page, &oob).is_err());
+    }
+
+    #[test]
+    fn record_append_round_trip() {
+        let l = layout();
+        let c = codec();
+        let mut page = sample_page(&l);
+        let mut oob = c.encode_oob(&page);
+
+        // Append record 0 the way write_delta would.
+        let rec = DeltaRecord::new(vec![(30, 0x77)], vec![1; l.meta_len()], l.scheme);
+        write_record_into(&mut page, &l, 0, &rec);
+        let roff = l.record_offset(0);
+        let cw = c.encode_record(&page[roff..roff + l.record_size()]);
+        let ooff = c.record_oob_offset(0);
+        oob[ooff..ooff + CODEWORD_BYTES].copy_from_slice(&cw);
+
+        let out = c.verify(&mut page, &oob).unwrap();
+        assert_eq!(out.corrected_bits, 0);
+
+        // Flip one bit inside the record: corrected independently.
+        let original = page.clone();
+        page[roff + 2] ^= 0x08;
+        let out = c.verify(&mut page, &oob).unwrap();
+        assert_eq!(out.corrected_bits, 1);
+        assert_eq!(page, original);
+    }
+
+    #[test]
+    fn disturbed_control_byte_without_oob_marker_is_ignored() {
+        // A 1→0 disturb flip can make an erased control byte (0xFF) look
+        // "present" (bit 7 cleared). The OOB marker is the authority: no
+        // codeword ⇒ slot not verified, and decode-side sanity checks
+        // reject the garbage.
+        let l = layout();
+        let c = codec();
+        let mut page = sample_page(&l);
+        let oob = c.encode_oob(&page);
+        let roff = l.record_offset(0);
+        page[roff] &= 0x7F; // disturb: control byte bit 7 → 0
+        // Initial region does not cover the delta area, so verify passes.
+        assert!(c.verify(&mut page, &oob).is_ok());
+    }
+
+    #[test]
+    fn plain_codec_covers_whole_page() {
+        let c = OobCodec::new(2048, 64, None);
+        let mut page: Vec<u8> = (0..2048).map(|i| (i % 7) as u8).collect();
+        let oob = c.encode_oob(&page);
+        page[2000] ^= 2;
+        let out = c.verify(&mut page, &oob).unwrap();
+        assert_eq!(out.corrected_bits, 1);
+    }
+
+    #[test]
+    fn erased_initial_codeword_is_data_loss() {
+        let c = OobCodec::new(2048, 64, None);
+        let mut page = vec![0u8; 2048];
+        let oob = vec![0xFFu8; 64];
+        assert!(c.verify(&mut page, &oob).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB too small")]
+    fn oversubscribed_oob_rejected() {
+        // 2048-byte page → 4 initial codewords (16 B) + 16 records (64 B)
+        // = 80 B > 32 B.
+        let l = PageLayout::new(2048, 24, 8, NmScheme::new(16, 4));
+        let _ = OobCodec::new(2048, 32, Some(l));
+    }
+
+    #[test]
+    fn record_oob_offsets_follow_initial_codewords() {
+        let c = codec();
+        // 2048 - 90 = 1958 bytes → 4 codewords → records start at 16.
+        assert_eq!(c.record_oob_offset(0), 16);
+        assert_eq!(c.record_oob_offset(1), 20);
+    }
+}

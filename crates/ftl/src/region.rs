@@ -1,0 +1,168 @@
+//! NoFTL Regions — selective IPA configuration per database object.
+//!
+//! The paper (citing the authors' EDBT'16 NoFTL-regions work): *"The use of
+//! NoFTL regions allows applying IPA selectively, only to certain database
+//! objects that are dominated by small-sized updates."* A region is a range
+//! of LBAs with its own IPA page layout (or none). The storage engine
+//! places each table/index into a region; the FTL consults the region table
+//! for every ECC and delta decision.
+
+use ipa_core::PageLayout;
+use std::ops::Range;
+
+use crate::error::Lba;
+
+/// One region: an LBA range and its (optional) IPA formatting.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Human-readable name ("accounts", "history", "wal", …).
+    pub name: String,
+    /// Half-open LBA range the region covers.
+    pub lbas: Range<Lba>,
+    /// IPA page layout used inside the region; `None` ⇒ traditional pages.
+    pub layout: Option<PageLayout>,
+}
+
+/// Ordered, non-overlapping region table.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTable {
+    regions: Vec<Region>,
+}
+
+impl RegionTable {
+    /// Empty table: every LBA falls back to the device default layout.
+    pub fn new() -> Self {
+        RegionTable::default()
+    }
+
+    /// A table with one region spanning everything.
+    pub fn uniform(capacity: u64, layout: Option<PageLayout>) -> Self {
+        let mut t = RegionTable::new();
+        t.add(Region {
+            name: "default".to_string(),
+            lbas: 0..capacity,
+            layout,
+        });
+        t
+    }
+
+    /// Add a region; panics on overlap with an existing one (a region map
+    /// is configuration, not runtime input).
+    pub fn add(&mut self, region: Region) {
+        assert!(region.lbas.start < region.lbas.end, "empty region");
+        for r in &self.regions {
+            let overlap = region.lbas.start < r.lbas.end && r.lbas.start < region.lbas.end;
+            assert!(
+                !overlap,
+                "region '{}' overlaps existing region '{}'",
+                region.name, r.name
+            );
+        }
+        self.regions.push(region);
+        self.regions.sort_by_key(|r| r.lbas.start);
+    }
+
+    /// The region containing `lba`, if any.
+    pub fn region_of(&self, lba: Lba) -> Option<&Region> {
+        // Regions are few (one per DB object); linear scan over a sorted
+        // vec beats building an interval tree here.
+        self.regions.iter().find(|r| r.lbas.contains(&lba))
+    }
+
+    /// Layout in force for `lba` (region layout, else `default`).
+    pub fn layout_for<'a>(
+        &'a self,
+        lba: Lba,
+        default: Option<&'a PageLayout>,
+    ) -> Option<&'a PageLayout> {
+        match self.region_of(lba) {
+            Some(r) => r.layout.as_ref(),
+            None => default,
+        }
+    }
+
+    /// Iterate regions in LBA order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::NmScheme;
+
+    fn layout() -> PageLayout {
+        PageLayout::new(2048, 24, 8, NmScheme::new(2, 4))
+    }
+
+    #[test]
+    fn lookup_by_lba() {
+        let mut t = RegionTable::new();
+        t.add(Region {
+            name: "hot".into(),
+            lbas: 0..100,
+            layout: Some(layout()),
+        });
+        t.add(Region {
+            name: "cold".into(),
+            lbas: 100..200,
+            layout: None,
+        });
+        assert_eq!(t.region_of(0).unwrap().name, "hot");
+        assert_eq!(t.region_of(99).unwrap().name, "hot");
+        assert_eq!(t.region_of(100).unwrap().name, "cold");
+        assert!(t.region_of(200).is_none());
+    }
+
+    #[test]
+    fn layout_fallback_to_default() {
+        let t = RegionTable::new();
+        let def = layout();
+        assert!(t.layout_for(5, Some(&def)).is_some());
+        assert!(t.layout_for(5, None).is_none());
+    }
+
+    #[test]
+    fn region_layout_overrides_default() {
+        let mut t = RegionTable::new();
+        t.add(Region {
+            name: "plain".into(),
+            lbas: 0..10,
+            layout: None,
+        });
+        let def = layout();
+        // Inside the region: region's None wins over the default.
+        assert!(t.layout_for(3, Some(&def)).is_none());
+        // Outside: default applies.
+        assert!(t.layout_for(50, Some(&def)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_rejected() {
+        let mut t = RegionTable::new();
+        t.add(Region {
+            name: "a".into(),
+            lbas: 0..100,
+            layout: None,
+        });
+        t.add(Region {
+            name: "b".into(),
+            lbas: 50..150,
+            layout: None,
+        });
+    }
+
+    #[test]
+    fn uniform_covers_everything() {
+        let t = RegionTable::uniform(1000, Some(layout()));
+        assert!(t.region_of(0).is_some());
+        assert!(t.region_of(999).is_some());
+        assert!(t.region_of(1000).is_none());
+    }
+}

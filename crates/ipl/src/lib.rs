@@ -1,0 +1,17 @@
+//! # `ipa-ipl` — the In-Page Logging baseline
+//!
+//! Re-implementation of IPL (Lee & Moon, *Design of Flash-Based DBMS: An
+//! In-Page Logging Approach*, SIGMOD 2007), the paper's closest competitor:
+//!
+//! * [`IplStore`] — per-erase-block log regions, in-memory log buffers,
+//!   sector-granular log flushes and block merges on log overflow.
+//! * [`replay_ipl`] / [`replay_ipa`] — trace-driven comparison harness:
+//!   the same [`ipa_storage::TraceEvent`] stream (recorded by the buffer
+//!   pool during a benchmark run) drives both systems on identically
+//!   configured flash, reproducing the paper's footnote-1 methodology.
+
+pub mod replay;
+pub mod store;
+
+pub use replay::{replay_ipa, replay_ipl, IpaReplayer, ReplaySummary};
+pub use store::{IplConfig, IplError, IplStats, IplStore};

@@ -1,0 +1,458 @@
+//! In-Page Logging (Lee & Moon, SIGMOD 2007) — the paper's closest
+//! competitor, re-implemented over the simulated flash.
+//!
+//! IPL co-locates a **log region** with the data pages of every erase
+//! block: updates are collected in an in-memory log buffer per block and
+//! flushed as 512-byte log sectors into the block's reserved log pages.
+//! Reading a page therefore requires the data page *plus* the block's log
+//! pages (read amplification — the weakness IPA §1 contrasts itself
+//! against). When a block's log region fills, the block is **merged**:
+//! data + logs are rewritten into a fresh erase block and the old block is
+//! erased.
+
+use std::collections::{HashMap, VecDeque};
+
+use ipa_flash::{DeviceConfig, FlashChip, FlashError, FlashStats, Ppa};
+
+/// IPL configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IplConfig {
+    /// Log pages reserved at the end of every erase block (the SIGMOD'07
+    /// design reserves 1/16 of the block).
+    pub log_pages_per_block: u32,
+    /// Log sector granularity (flash supports sector-partial programming).
+    pub sector_bytes: usize,
+    /// Per-entry header bytes (page id + offset + length).
+    pub entry_header: usize,
+}
+
+impl Default for IplConfig {
+    fn default() -> Self {
+        IplConfig {
+            log_pages_per_block: 8,
+            sector_bytes: 512,
+            entry_header: 8,
+        }
+    }
+}
+
+/// IPL-level counters (chip-level counters live in [`IplStore::flash_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IplStats {
+    /// Host-level page fetches.
+    pub host_reads: u64,
+    /// Host-level update flushes (evictions).
+    pub host_updates: u64,
+    /// Data-page reads issued to flash.
+    pub data_page_reads: u64,
+    /// Log-page reads issued to flash (the read amplification).
+    pub log_page_reads: u64,
+    /// Initial / merge data-page writes.
+    pub data_page_writes: u64,
+    /// Log-sector programs.
+    pub log_sector_writes: u64,
+    /// Block merges.
+    pub merges: u64,
+}
+
+/// IPL errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IplError {
+    Flash(FlashError),
+    /// No free erase block left for allocation or merging.
+    DeviceFull,
+}
+
+impl std::fmt::Display for IplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IplError::Flash(e) => write!(f, "flash error: {e}"),
+            IplError::DeviceFull => write!(f, "IPL device full"),
+        }
+    }
+}
+
+impl std::error::Error for IplError {}
+
+impl From<FlashError> for IplError {
+    fn from(e: FlashError) -> Self {
+        IplError::Flash(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, IplError>;
+
+#[derive(Debug, Clone)]
+struct BlockState {
+    /// Data-page slots consumed.
+    data_used: u32,
+    /// Log sectors flushed to flash.
+    sectors_flushed: u32,
+    /// Bytes pending in the in-memory log buffer.
+    mem_buf: usize,
+    /// Data slot → owning LBA.
+    lbas: Vec<Option<u64>>,
+}
+
+impl BlockState {
+    fn new(data_pages: u32) -> Self {
+        BlockState {
+            data_used: 0,
+            sectors_flushed: 0,
+            mem_buf: 0,
+            lbas: vec![None; data_pages as usize],
+        }
+    }
+}
+
+/// The IPL store.
+pub struct IplStore {
+    chip: FlashChip,
+    cfg: IplConfig,
+    blocks: Vec<BlockState>,
+    free: VecDeque<u32>,
+    open: Option<u32>,
+    l2p: HashMap<u64, Ppa>,
+    stats: IplStats,
+    data_pages_per_block: u32,
+    sectors_per_log_page: u32,
+    /// Physical page indices usable in the device's mode (pSLC skips MSB
+    /// pages); data slots map to the front, log pages to the tail.
+    usable_pages: Vec<u32>,
+}
+
+impl IplStore {
+    /// Build an IPL store. The chip gets a NOP override large enough for
+    /// sector-partial programming of log pages (IPL's hardware assumption,
+    /// same ISPP physics IPA relies on).
+    pub fn new(mut device: DeviceConfig, cfg: IplConfig) -> Self {
+        let spp = (device.geometry.page_size / cfg.sector_bytes) as u16;
+        device.nop_override = Some(device.nop_override.unwrap_or(0).max(spp).max(1));
+        let chip = FlashChip::new(device);
+        let g = *chip.geometry();
+        let mode = chip.mode();
+        let usable_pages: Vec<u32> =
+            (0..g.pages_per_block).filter(|&p| mode.page_usable(p)).collect();
+        assert!(
+            cfg.log_pages_per_block < usable_pages.len() as u32,
+            "log region larger than the usable block"
+        );
+        let data_pages = usable_pages.len() as u32 - cfg.log_pages_per_block;
+        IplStore {
+            blocks: (0..g.blocks).map(|_| BlockState::new(data_pages)).collect(),
+            free: (0..g.blocks).collect(),
+            open: None,
+            l2p: HashMap::new(),
+            stats: IplStats::default(),
+            data_pages_per_block: data_pages,
+            sectors_per_log_page: (g.page_size / cfg.sector_bytes) as u32,
+            usable_pages,
+            chip,
+            cfg,
+        }
+    }
+
+    pub fn stats(&self) -> &IplStats {
+        &self.stats
+    }
+
+    pub fn flash_stats(&self) -> &FlashStats {
+        self.chip.stats()
+    }
+
+    pub fn elapsed_ns(&self) -> u64 {
+        self.chip.elapsed_ns()
+    }
+
+    /// Total log sector capacity of one block.
+    fn log_capacity(&self) -> u32 {
+        self.cfg.log_pages_per_block * self.sectors_per_log_page
+    }
+
+    /// Physical page index of the `i`-th log page in a block.
+    fn log_page(&self, i: u32) -> u32 {
+        self.usable_pages[(self.data_pages_per_block + i) as usize]
+    }
+
+    fn blank_page(&self) -> Vec<u8> {
+        vec![0xFF; self.chip.geometry().page_size]
+    }
+
+    fn blank_oob(&self) -> Vec<u8> {
+        vec![0xFF; self.chip.geometry().oob_size]
+    }
+
+    /// Is this LBA known to the store?
+    pub fn is_mapped(&self, lba: u64) -> bool {
+        self.l2p.contains_key(&lba)
+    }
+
+    /// Returns `(slot, physical address)` of the next free data slot.
+    fn allocate_data_slot(&mut self) -> Result<(u32, Ppa)> {
+        loop {
+            if let Some(b) = self.open {
+                let st = &mut self.blocks[b as usize];
+                if st.data_used < self.data_pages_per_block {
+                    let slot = st.data_used;
+                    st.data_used += 1;
+                    return Ok((slot, Ppa::new(b, self.usable_pages[slot as usize])));
+                }
+                self.open = None;
+            }
+            let b = self.free.pop_front().ok_or(IplError::DeviceFull)?;
+            self.open = Some(b);
+        }
+    }
+
+    /// First write of an LBA: place the data page.
+    pub fn write_initial(&mut self, lba: u64) -> Result<()> {
+        debug_assert!(!self.l2p.contains_key(&lba));
+        let (slot, ppa) = self.allocate_data_slot()?;
+        // Content is irrelevant to the accounting; program a marker page.
+        let mut data = self.blank_page();
+        data[0] = 0x00;
+        self.chip.program_page(ppa, &data, &self.blank_oob())?;
+        self.blocks[ppa.block as usize].lbas[slot as usize] = Some(lba);
+        self.l2p.insert(lba, ppa);
+        self.stats.data_page_writes += 1;
+        Ok(())
+    }
+
+    /// Read a page: the data page plus every flushed log page of its block
+    /// (IPL must scan the logs to reconstruct the current image).
+    pub fn read(&mut self, lba: u64) -> Result<()> {
+        let ppa = match self.l2p.get(&lba) {
+            Some(p) => *p,
+            None => {
+                self.write_initial(lba)?;
+                self.l2p[&lba]
+            }
+        };
+        self.chip.read_page(ppa)?;
+        self.stats.data_page_reads += 1;
+        let flushed = self.blocks[ppa.block as usize].sectors_flushed;
+        let log_pages = flushed.div_ceil(self.sectors_per_log_page);
+        for i in 0..log_pages {
+            let lp = Ppa::new(ppa.block, self.log_page(i));
+            self.chip.read_page(lp)?;
+            self.stats.log_page_reads += 1;
+        }
+        self.stats.host_reads += 1;
+        Ok(())
+    }
+
+    /// Persist an update of `changed_bytes` net bytes on `lba`: append a
+    /// log entry to the block's in-memory buffer, flushing sectors (and
+    /// merging the block) as they fill.
+    pub fn update(&mut self, lba: u64, changed_bytes: u32) -> Result<()> {
+        if !self.l2p.contains_key(&lba) {
+            self.write_initial(lba)?;
+            return Ok(());
+        }
+        self.stats.host_updates += 1;
+        let mut block = self.l2p[&lba].block;
+        // Entries larger than a sector are split (structural rewrites).
+        let mut remaining = self.cfg.entry_header + changed_bytes as usize * 3;
+        while remaining > 0 {
+            let take = remaining.min(self.cfg.sector_bytes);
+            remaining -= take;
+            self.blocks[block as usize].mem_buf += take;
+            while self.blocks[block as usize].mem_buf >= self.cfg.sector_bytes {
+                self.blocks[block as usize].mem_buf -= self.cfg.sector_bytes;
+                block = self.flush_sector(block)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Force out the partial in-memory sector of the block owning `lba`
+    /// (commit boundary). Counts a sector write if anything was pending.
+    pub fn flush(&mut self, lba: u64) -> Result<()> {
+        let Some(ppa) = self.l2p.get(&lba).copied() else {
+            return Ok(());
+        };
+        if self.blocks[ppa.block as usize].mem_buf > 0 {
+            self.blocks[ppa.block as usize].mem_buf = 0;
+            self.flush_sector(ppa.block)?;
+        }
+        Ok(())
+    }
+
+    /// Write one log sector; merges first when the log region is full.
+    /// Returns the block the pages live in afterwards (merge relocates).
+    fn flush_sector(&mut self, block: u32) -> Result<u32> {
+        let block = if self.blocks[block as usize].sectors_flushed >= self.log_capacity() {
+            self.merge(block)?
+        } else {
+            block
+        };
+        let st = &self.blocks[block as usize];
+        let sector_idx = st.sectors_flushed;
+        let log_page = self.log_page(sector_idx / self.sectors_per_log_page);
+        let within = (sector_idx % self.sectors_per_log_page) as usize;
+        let ppa = Ppa::new(block, log_page);
+        let sector = vec![0xA5u8; self.cfg.sector_bytes];
+        if within == 0 {
+            // First sector of a fresh log page: full-page program with the
+            // rest left erased.
+            let mut page = self.blank_page();
+            page[..self.cfg.sector_bytes].copy_from_slice(&sector);
+            self.chip.program_page(ppa, &page, &self.blank_oob())?;
+        } else {
+            // Sector-partial program (same ISPP append physics as IPA).
+            self.chip
+                .append_region(ppa, within * self.cfg.sector_bytes, &sector, 0, &[])?;
+        }
+        self.blocks[block as usize].sectors_flushed += 1;
+        self.stats.log_sector_writes += 1;
+        Ok(block)
+    }
+
+    /// Merge a block: rewrite every valid data page into a fresh block,
+    /// erase the old one. Costs reads of all data+log pages and writes of
+    /// all data pages — IPL's GC.
+    fn merge(&mut self, block: u32) -> Result<u32> {
+        self.stats.merges += 1;
+        let dst_block = self.free.pop_front().ok_or(IplError::DeviceFull)?;
+        // Read every valid data page and all log pages.
+        let st = self.blocks[block as usize].clone();
+        for (slot, lba) in st.lbas.iter().enumerate() {
+            if lba.is_some() {
+                self.chip
+                    .read_page(Ppa::new(block, self.usable_pages[slot]))?;
+                self.stats.data_page_reads += 1;
+            }
+        }
+        let log_pages = st.sectors_flushed.div_ceil(self.sectors_per_log_page);
+        for i in 0..log_pages {
+            self.chip.read_page(Ppa::new(block, self.log_page(i)))?;
+            self.stats.log_page_reads += 1;
+        }
+        // Rewrite merged data pages into the destination block.
+        let mut dst = BlockState::new(self.data_pages_per_block);
+        for lba in st.lbas.iter().flatten() {
+            let slot = dst.data_used;
+            dst.data_used += 1;
+            let ppa = Ppa::new(dst_block, self.usable_pages[slot as usize]);
+            let mut data = self.blank_page();
+            data[0] = 0x00;
+            self.chip.program_page(ppa, &data, &self.blank_oob())?;
+            self.stats.data_page_writes += 1;
+            dst.lbas[slot as usize] = Some(*lba);
+            self.l2p.insert(*lba, ppa);
+        }
+        dst.mem_buf = st.mem_buf; // pending in-memory entries follow the data
+        self.chip.erase_block(block)?;
+        self.blocks[block as usize] = BlockState::new(self.data_pages_per_block);
+        // If the allocation target was merged, its data (and remaining
+        // free slots) now live in the destination block — keep filling
+        // there instead of stranding the partial block.
+        if self.open == Some(block) {
+            self.open = Some(dst_block);
+        }
+        self.free.push_back(block);
+        self.blocks[dst_block as usize] = dst;
+        Ok(dst_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_flash::{DisturbRates, FlashMode, Geometry};
+
+    fn store() -> IplStore {
+        let dc = DeviceConfig::new(Geometry::new(64, 16, 2048, 64), FlashMode::Slc)
+            .with_disturb(DisturbRates::none());
+        IplStore::new(
+            dc,
+            IplConfig {
+                log_pages_per_block: 2,
+                sector_bytes: 512,
+                entry_header: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn initial_write_then_read() {
+        let mut s = store();
+        s.write_initial(5).unwrap();
+        s.read(5).unwrap();
+        assert_eq!(s.stats().data_page_writes, 1);
+        assert_eq!(s.stats().data_page_reads, 1);
+        assert_eq!(s.stats().log_page_reads, 0, "no logs yet");
+    }
+
+    #[test]
+    fn small_updates_accumulate_in_memory() {
+        let mut s = store();
+        s.write_initial(1).unwrap();
+        // 10 changed bytes ⇒ 8 + 30 = 38 buffered bytes; far below a sector.
+        s.update(1, 10).unwrap();
+        assert_eq!(s.stats().log_sector_writes, 0);
+        // Enough updates to cross the 512-byte sector.
+        for _ in 0..20 {
+            s.update(1, 10).unwrap();
+        }
+        assert!(s.stats().log_sector_writes >= 1);
+    }
+
+    #[test]
+    fn reads_pay_for_flushed_logs() {
+        let mut s = store();
+        s.write_initial(1).unwrap();
+        for _ in 0..30 {
+            s.update(1, 10).unwrap();
+        }
+        let before = s.stats().log_page_reads;
+        s.read(1).unwrap();
+        assert!(
+            s.stats().log_page_reads > before,
+            "reads must scan the log pages"
+        );
+    }
+
+    #[test]
+    fn log_overflow_triggers_merge() {
+        let mut s = store();
+        s.write_initial(1).unwrap();
+        // Log capacity: 2 pages × 4 sectors = 8 sectors = 4096 log bytes.
+        // Each update buffers 38 bytes ⇒ ~110 updates to overflow.
+        for _ in 0..200 {
+            s.update(1, 10).unwrap();
+        }
+        assert!(s.stats().merges >= 1, "log region must have merged");
+        assert!(s.flash_stats().block_erases >= 1);
+        // Data still mapped and readable after relocation.
+        s.read(1).unwrap();
+    }
+
+    #[test]
+    fn flush_writes_partial_sector() {
+        let mut s = store();
+        s.write_initial(1).unwrap();
+        s.update(1, 4).unwrap();
+        assert_eq!(s.stats().log_sector_writes, 0);
+        s.flush(1).unwrap();
+        assert_eq!(s.stats().log_sector_writes, 1);
+    }
+
+    #[test]
+    fn merge_preserves_all_lbas() {
+        let mut s = store();
+        for lba in 0..14u64 {
+            s.write_initial(lba).unwrap();
+        }
+        for round in 0..40 {
+            for lba in 0..14u64 {
+                s.update(lba, 12 + round % 3).unwrap();
+            }
+        }
+        assert!(s.stats().merges > 0);
+        for lba in 0..14u64 {
+            assert!(s.is_mapped(lba), "lba {lba} lost in merge");
+            s.read(lba).unwrap();
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! The buffer pool: clock replacement, pin/dirty bookkeeping, and the
+//! eviction paths of the three write strategies.
+//!
+//! This is where the paper's §3 "Page operations" live:
+//!
+//! * **fetch** — read the page, apply any delta records
+//!   ([`ipa_core::apply_and_collect`]), wipe the area, seed the tracker.
+//! * **modify** — all mutations flow through [`crate::page::PageMut`],
+//!   which feeds the tracker's conformance check.
+//! * **evict** — consult [`ChangeTracker::verdict`]:
+//!   [`IpaVerdict::Clean`] drops the frame, [`IpaVerdict::InPlace`] sends
+//!   delta records (`write_delta` for the native strategy, a full
+//!   overwrite-compatible image for the conventional strategy), and
+//!   [`IpaVerdict::OutOfPlace`] resets the delta area and writes the whole
+//!   page out of place.
+
+use std::collections::HashMap;
+
+use ipa_core::{apply_and_collect, ChangeTracker, IpaVerdict, NmScheme, PageLayout};
+use ipa_ftl::{FtlError, NativeFlashDevice, WriteStrategy};
+
+use crate::error::{Result, StorageError};
+use crate::page::{standard_layout, PageMut, WriteOp};
+
+/// Logical page identifier; maps 1:1 onto the device LBA.
+pub type PageId = u64;
+
+/// Histogram of net modified bytes per evicted dirty page (Figure 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetBytesHistogram {
+    /// Bucket upper bounds: ≤10, ≤50, ≤100, ≤500, ≤1000, >1000.
+    pub buckets: [u64; 6],
+    /// Total dirty evictions recorded.
+    pub count: u64,
+    /// Sum of net modified bytes.
+    pub total_bytes: u64,
+}
+
+impl NetBytesHistogram {
+    pub fn record(&mut self, bytes: usize) {
+        let idx = match bytes {
+            0..=10 => 0,
+            11..=50 => 1,
+            51..=100 => 2,
+            101..=500 => 3,
+            501..=1000 => 4,
+            _ => 5,
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_bytes += bytes as u64;
+    }
+
+    /// Fraction of dirty evictions with at most 100 net modified bytes —
+    /// the paper reports >70 % across the OLTP benchmarks.
+    pub fn fraction_under_100b(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.buckets[0] + self.buckets[1] + self.buckets[2]) as f64 / self.count as f64
+    }
+
+    /// Mean net modified bytes per dirty eviction.
+    pub fn mean_bytes(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.count as f64
+        }
+    }
+}
+
+/// One recorded page-level event, for trace-driven comparisons (the paper
+/// compares IPA against In-Page Logging by replaying traces recorded from
+/// benchmark runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The page was read from the device (buffer miss).
+    Fetch { lba: PageId },
+    /// A dirty page was persisted with `changed_bytes` net modified bytes
+    /// relative to its last persisted image.
+    Evict { lba: PageId, changed_bytes: u32 },
+}
+
+/// Buffer-pool statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Dirty evictions that appended delta records in place.
+    pub evict_in_place: u64,
+    /// Dirty evictions written out of place.
+    pub evict_out_of_place: u64,
+    /// Clean evictions (no write).
+    pub evict_clean: u64,
+    /// In-place attempts the device rejected (odd-MLC MSB pages, NOP
+    /// exhaustion) that fell back to out-of-place writes.
+    pub in_place_fallbacks: u64,
+    /// Net modified bytes per dirty eviction (needs `measure_net_writes`).
+    pub net_bytes: NetBytesHistogram,
+}
+
+struct Frame {
+    page_id: PageId,
+    data: Vec<u8>,
+    tracker: ChangeTracker,
+    /// Raw flash image at fetch (conventional IPA strategy only).
+    original: Option<Vec<u8>>,
+    /// At-fetch snapshot for net-write measurement (Figure 1 mode).
+    snapshot: Option<Vec<u8>>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// Buffer pool over a native flash device.
+pub struct BufferPool {
+    device: Box<dyn NativeFlashDevice>,
+    strategy: WriteStrategy,
+    frames: Vec<Option<Frame>>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    measure_net_writes: bool,
+    trace: Option<Vec<TraceEvent>>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    pub fn new(
+        device: Box<dyn NativeFlashDevice>,
+        strategy: WriteStrategy,
+        frames: usize,
+    ) -> Self {
+        assert!(frames >= 2, "buffer pool needs at least two frames");
+        BufferPool {
+            device,
+            strategy,
+            frames: (0..frames).map(|_| None).collect(),
+            map: HashMap::with_capacity(frames),
+            hand: 0,
+            measure_net_writes: false,
+            trace: None,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Record net modified bytes per dirty eviction (Figure 1 experiment).
+    pub fn enable_net_write_measurement(&mut self) {
+        self.measure_net_writes = true;
+    }
+
+    /// Start recording fetch/evict events (implies net-write measurement,
+    /// which provides the per-eviction byte diff).
+    pub fn enable_tracing(&mut self) {
+        self.measure_net_writes = true;
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (tracing continues with an empty buffer).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn strategy(&self) -> WriteStrategy {
+        self.strategy
+    }
+
+    #[inline]
+    pub fn device(&self) -> &dyn NativeFlashDevice {
+        self.device.as_ref()
+    }
+
+    #[inline]
+    pub fn device_mut(&mut self) -> &mut dyn NativeFlashDevice {
+        self.device.as_mut()
+    }
+
+    /// Page size of the underlying device.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.device.page_size()
+    }
+
+    /// The layout governing a page: the device's region format, or a
+    /// disabled-scheme layout for plain regions.
+    pub fn layout_of(&self, pid: PageId) -> PageLayout {
+        self.device
+            .layout_for(pid)
+            .unwrap_or_else(|| standard_layout(self.device.page_size(), NmScheme::disabled()))
+    }
+
+    pub fn is_cached(&self, pid: PageId) -> bool {
+        self.map.contains_key(&pid)
+    }
+
+    /// Run `f` over a read-only view of the page.
+    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let idx = self.ensure_cached(pid, false)?;
+        let frame = self.frames[idx].as_mut().expect("frame present");
+        frame.referenced = true;
+        Ok(f(&frame.data))
+    }
+
+    /// Run `f` over a mutable, change-tracked view; marks the frame dirty
+    /// if `f` performed any writes.
+    pub fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        capture: Option<&mut Vec<WriteOp>>,
+        f: impl FnOnce(&mut PageMut<'_>) -> R,
+    ) -> Result<R> {
+        let idx = self.ensure_cached(pid, false)?;
+        let frame = self.frames[idx].as_mut().expect("frame present");
+        frame.referenced = true;
+        let was_dirty = frame.tracker.dirty();
+        let mut pm = PageMut::new(&mut frame.data, &mut frame.tracker, capture);
+        let r = f(&mut pm);
+        if frame.tracker.dirty() || was_dirty {
+            frame.dirty = true;
+        }
+        Ok(r)
+    }
+
+    /// Materialise a brand-new page (never on flash) in the pool. The
+    /// caller formats it afterwards.
+    pub fn new_page(&mut self, pid: PageId) -> Result<()> {
+        let _ = self.ensure_cached(pid, true)?;
+        Ok(())
+    }
+
+    /// Write a dirty page back without evicting it.
+    pub fn flush_page(&mut self, pid: PageId) -> Result<()> {
+        if let Some(&idx) = self.map.get(&pid) {
+            self.write_back(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].is_some() {
+                self.write_back(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush everything and empty the pool (clean restart).
+    pub fn drop_cache(&mut self) -> Result<()> {
+        self.flush_all()?;
+        self.map.clear();
+        self.frames.iter_mut().for_each(|f| *f = None);
+        Ok(())
+    }
+
+    /// Empty the pool *without* flushing — simulates a crash that loses
+    /// buffered updates (WAL recovery tests).
+    pub fn drop_cache_without_flush(&mut self) {
+        self.map.clear();
+        self.frames.iter_mut().for_each(|f| *f = None);
+    }
+
+    fn ensure_cached(&mut self, pid: PageId, fresh: bool) -> Result<usize> {
+        if let Some(&idx) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let idx = self.find_victim_slot()?;
+        let layout = self.layout_of(pid);
+        let frame = if fresh {
+            Frame {
+                page_id: pid,
+                data: vec![0xFF; self.device.page_size()],
+                tracker: ChangeTracker::new_unflashed(layout),
+                original: None,
+                snapshot: self.measure_net_writes.then(|| vec![0xFF; self.device.page_size()]),
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            }
+        } else {
+            let mut data = vec![0u8; self.device.page_size()];
+            self.device.read(pid, &mut data).map_err(StorageError::from)?;
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Fetch { lba: pid });
+            }
+            let original = matches!(self.strategy, WriteStrategy::IpaConventional)
+                .then(|| data.clone());
+            let records = apply_and_collect(&mut data, &layout);
+            Frame {
+                page_id: pid,
+                snapshot: self.measure_net_writes.then(|| data.clone()),
+                tracker: ChangeTracker::new(layout, records),
+                original,
+                data,
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            }
+        };
+        self.frames[idx] = Some(frame);
+        self.map.insert(pid, idx);
+        Ok(idx)
+    }
+
+    /// Clock replacement: find a free or evictable slot.
+    fn find_victim_slot(&mut self) -> Result<usize> {
+        // Free slot first.
+        if let Some(idx) = self.frames.iter().position(|f| f.is_none()) {
+            return Ok(idx);
+        }
+        let n = self.frames.len();
+        for _ in 0..2 * n {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let frame = self.frames[idx].as_mut().expect("full pool");
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            self.evict(idx)?;
+            return Ok(idx);
+        }
+        Err(StorageError::BufferExhausted)
+    }
+
+    fn evict(&mut self, idx: usize) -> Result<()> {
+        self.write_back(idx)?;
+        let frame = self.frames[idx].take().expect("frame present");
+        self.map.remove(&frame.page_id);
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// The strategy dispatch of §3: clean / in-place append / out-of-place.
+    fn write_back(&mut self, idx: usize) -> Result<()> {
+        let frame = self.frames[idx].as_mut().expect("frame present");
+        if !frame.dirty {
+            return Ok(());
+        }
+        // Figure 1 accounting: net modified bytes vs the at-fetch snapshot.
+        if let Some(snap) = &frame.snapshot {
+            let net = frame
+                .data
+                .iter()
+                .zip(snap.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            self.stats.net_bytes.record(net);
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Evict {
+                    lba: frame.page_id,
+                    changed_bytes: net as u32,
+                });
+            }
+        }
+
+        match frame.tracker.verdict() {
+            IpaVerdict::Clean => {
+                self.stats.evict_clean += 1;
+            }
+            IpaVerdict::InPlace { .. } => match self.strategy {
+                WriteStrategy::IpaNative => {
+                    let layout = *frame.tracker.layout();
+                    let records = frame.tracker.build_new_records(&frame.data);
+                    let first_slot = frame.tracker.records_on_flash();
+                    let mut bytes = Vec::with_capacity(records.len() * layout.record_size());
+                    for r in &records {
+                        bytes.extend_from_slice(&r.encode(&layout));
+                    }
+                    match self
+                        .device
+                        .write_delta(frame.page_id, layout.record_offset(first_slot), &bytes)
+                    {
+                        Ok(()) => {
+                            frame.tracker.commit_in_place(records);
+                            self.stats.evict_in_place += 1;
+                        }
+                        Err(FtlError::InPlaceRejected { .. }) => {
+                            // odd-MLC MSB page or NOP exhausted: paper
+                            // behaviour is a traditional write.
+                            self.stats.in_place_fallbacks += 1;
+                            Self::write_out_of_place(
+                                &mut *self.device,
+                                frame,
+                                &mut self.stats,
+                                self.strategy,
+                            )?;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                WriteStrategy::IpaConventional => {
+                    let original = frame
+                        .original
+                        .as_ref()
+                        .expect("conventional strategy keeps originals");
+                    let records = frame.tracker.build_new_records(&frame.data);
+                    let image = frame.tracker.build_conventional_image(original, &frame.data);
+                    self.device
+                        .write(frame.page_id, &image)
+                        .map_err(StorageError::from)?;
+                    frame.tracker.commit_in_place(records);
+                    frame.original = Some(image);
+                    self.stats.evict_in_place += 1;
+                }
+                WriteStrategy::Traditional => {
+                    unreachable!("disabled scheme never yields an in-place verdict")
+                }
+            },
+            IpaVerdict::OutOfPlace => {
+                Self::write_out_of_place(&mut *self.device, frame, &mut self.stats, self.strategy)?;
+            }
+        }
+        frame.dirty = false;
+        if let Some(snap) = &mut frame.snapshot {
+            snap.copy_from_slice(&frame.data);
+        }
+        Ok(())
+    }
+
+    fn write_out_of_place(
+        device: &mut dyn NativeFlashDevice,
+        frame: &mut Frame,
+        stats: &mut PoolStats,
+        strategy: WriteStrategy,
+    ) -> Result<()> {
+        // The buffered image keeps its delta area erased, so the written
+        // page starts with a clean area as the paper requires.
+        debug_assert!(frame
+            .tracker
+            .layout()
+            .delta_area_is_clean(&frame.data));
+        device
+            .write(frame.page_id, &frame.data)
+            .map_err(StorageError::from)?;
+        frame.tracker.commit_out_of_place();
+        if matches!(strategy, WriteStrategy::IpaConventional) {
+            frame.original = Some(frame.data.clone());
+        }
+        stats.evict_out_of_place += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{SlottedPage, HEADER_LEN};
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
+    use ipa_ftl::{Ftl, FtlConfig};
+
+    fn device(strategy: WriteStrategy) -> Box<dyn NativeFlashDevice> {
+        let chip = FlashChip::new(
+            DeviceConfig::new(Geometry::new(32, 8, 2048, 64), FlashMode::PSlc)
+                .with_disturb(DisturbRates::none()),
+        );
+        let layout = standard_layout(2048, NmScheme::new(2, 4));
+        let cfg = match strategy {
+            WriteStrategy::Traditional => FtlConfig::traditional(),
+            WriteStrategy::IpaConventional => FtlConfig::ipa_conventional(layout),
+            WriteStrategy::IpaNative => FtlConfig::ipa_native(layout),
+        };
+        Box::new(Ftl::new(chip, cfg))
+    }
+
+    fn pool(strategy: WriteStrategy, frames: usize) -> BufferPool {
+        BufferPool::new(device(strategy), strategy, frames)
+    }
+
+    fn format_with_row(pool: &mut BufferPool, pid: PageId, row: &[u8]) {
+        pool.new_page(pid).unwrap();
+        pool.with_page_mut(pid, None, |pm| {
+            let mut sp = SlottedPage::new(pm);
+            sp.format(pid as u32);
+            sp.insert(row).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fetch_miss_then_hit() {
+        let mut p = pool(WriteStrategy::Traditional, 4);
+        format_with_row(&mut p, 0, &[1u8; 16]);
+        p.flush_all().unwrap();
+        p.drop_cache().unwrap();
+        p.with_page(0, |b| assert_eq!(b.len(), 2048)).unwrap();
+        assert_eq!(p.stats().misses, 2); // new_page + refetch
+        p.with_page(0, |_| ()).unwrap();
+        assert_eq!(p.stats().hits, 2); // with_page_mut + second read
+    }
+
+    #[test]
+    fn eviction_persists_dirty_pages() {
+        let mut p = pool(WriteStrategy::Traditional, 2);
+        // Three pages through a two-frame pool forces eviction.
+        for pid in 0..3u64 {
+            format_with_row(&mut p, pid, &[pid as u8; 8]);
+        }
+        p.flush_all().unwrap();
+        p.drop_cache().unwrap();
+        for pid in 0..3u64 {
+            p.with_page(pid, |b| {
+                let layout = standard_layout(2048, NmScheme::disabled());
+                let r = crate::page::PageRef::new(b, layout);
+                assert_eq!(r.tuple(0).unwrap(), &[pid as u8; 8]);
+            })
+            .unwrap();
+        }
+        assert!(p.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn native_strategy_appends_deltas() {
+        let mut p = pool(WriteStrategy::IpaNative, 4);
+        format_with_row(&mut p, 0, &[0u8; 32]);
+        p.flush_all().unwrap(); // first flush: out-of-place (new page)
+        // Small field update → in-place eviction.
+        p.with_page_mut(0, None, |pm| {
+            let mut sp = SlottedPage::new(pm);
+            sp.update_field(0, 4, &[9, 9]).unwrap();
+            sp.set_lsn(1);
+        })
+        .unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().evict_in_place, 1);
+        let ds = p.device().device_stats();
+        assert_eq!(ds.host_write_deltas, 1);
+        assert_eq!(ds.page_invalidations, 0);
+
+        // The update survives a cold re-read.
+        p.drop_cache().unwrap();
+        p.with_page(0, |b| {
+            let layout = standard_layout(2048, NmScheme::new(2, 4));
+            let r = crate::page::PageRef::new(b, layout);
+            assert_eq!(&r.tuple(0).unwrap()[4..6], &[9, 9]);
+            assert_eq!(r.lsn(), 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn conventional_strategy_appends_via_block_writes() {
+        let mut p = pool(WriteStrategy::IpaConventional, 4);
+        format_with_row(&mut p, 0, &[7u8; 32]);
+        p.flush_all().unwrap();
+        p.with_page_mut(0, None, |pm| {
+            let mut sp = SlottedPage::new(pm);
+            sp.update_field(0, 0, &[1]).unwrap();
+            sp.set_lsn(2);
+        })
+        .unwrap();
+        p.flush_all().unwrap();
+        let ds = p.device().device_stats();
+        assert_eq!(ds.in_place_appends, 1, "FTL detected the append");
+        assert_eq!(ds.page_invalidations, 0);
+        assert_eq!(ds.host_write_deltas, 0, "block interface only");
+
+        p.drop_cache().unwrap();
+        p.with_page(0, |b| {
+            let layout = standard_layout(2048, NmScheme::new(2, 4));
+            let r = crate::page::PageRef::new(b, layout);
+            assert_eq!(r.tuple(0).unwrap()[0], 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn budget_overflow_falls_back_to_out_of_place() {
+        let mut p = pool(WriteStrategy::IpaNative, 4);
+        format_with_row(&mut p, 0, &[0u8; 64]);
+        p.flush_all().unwrap();
+        // 20 changed bytes >> N×M=8 ⇒ out-of-place.
+        p.with_page_mut(0, None, |pm| {
+            let mut sp = SlottedPage::new(pm);
+            sp.update_field(0, 0, &[0xAA; 20]).unwrap();
+        })
+        .unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().evict_in_place, 0);
+        assert_eq!(p.stats().evict_out_of_place, 2); // initial + overflow
+        assert_eq!(p.device().device_stats().page_invalidations, 1);
+    }
+
+    #[test]
+    fn clean_pages_are_not_rewritten() {
+        let mut p = pool(WriteStrategy::IpaNative, 4);
+        format_with_row(&mut p, 0, &[0u8; 16]);
+        p.flush_all().unwrap();
+        let writes_before = p.device().device_stats().total_host_writes();
+        p.with_page(0, |_| ()).unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(p.device().device_stats().total_host_writes(), writes_before);
+    }
+
+    #[test]
+    fn net_write_measurement() {
+        let mut p = pool(WriteStrategy::Traditional, 4);
+        p.enable_net_write_measurement();
+        format_with_row(&mut p, 0, &[0u8; 128]);
+        p.flush_all().unwrap();
+        p.with_page_mut(0, None, |pm| {
+            let mut sp = SlottedPage::new(pm);
+            sp.update_field(0, 0, &[1, 2, 3]).unwrap();
+        })
+        .unwrap();
+        p.flush_all().unwrap();
+        let h = p.stats().net_bytes;
+        assert_eq!(h.count, 2); // format eviction + update eviction
+        assert_eq!(h.buckets[0], 1, "3-byte update lands in ≤10 bucket");
+    }
+
+    #[test]
+    fn capture_plumbs_through() {
+        let mut p = pool(WriteStrategy::Traditional, 4);
+        format_with_row(&mut p, 0, &[5u8; 16]);
+        let mut ops = Vec::new();
+        p.with_page_mut(0, Some(&mut ops), |pm| {
+            let mut sp = SlottedPage::new(pm);
+            sp.update_field(0, 1, &[6]).unwrap();
+        })
+        .unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].offset as usize, HEADER_LEN + 1);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = NetBytesHistogram::default();
+        for b in [5usize, 30, 80, 300, 800, 5000] {
+            h.record(b);
+        }
+        assert_eq!(h.buckets, [1, 1, 1, 1, 1, 1]);
+        assert!((h.fraction_under_100b() - 0.5).abs() < 1e-12);
+        assert!(h.mean_bytes() > 1000.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Table catalog: fixed LBA-range placement of database objects.
+//!
+//! Each table/index gets a contiguous page range at build time; ranges
+//! translate 1:1 into NoFTL regions, which is how the paper applies IPA
+//! "selectively, only to certain database objects".
+
+use std::collections::HashMap;
+
+use crate::buffer::PageId;
+use crate::error::{Result, StorageError};
+
+/// What kind of object occupies the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Heap file of fixed-length rows.
+    Heap,
+    /// B+-tree index (u64 key → RID).
+    Index,
+}
+
+/// Build-time description of a table.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    pub name: String,
+    pub kind: TableKind,
+    /// Fixed row length (heap tables; ignored for indexes).
+    pub row_len: usize,
+    /// Pages reserved for the object.
+    pub pages: u64,
+    /// Should this object live in an IPA-formatted region (when the
+    /// engine's write strategy uses IPA)?
+    pub ipa: bool,
+}
+
+impl TableSpec {
+    pub fn heap(name: &str, row_len: usize, pages: u64) -> Self {
+        TableSpec {
+            name: name.to_string(),
+            kind: TableKind::Heap,
+            row_len,
+            pages,
+            ipa: true,
+        }
+    }
+
+    pub fn index(name: &str, pages: u64) -> Self {
+        TableSpec {
+            name: name.to_string(),
+            kind: TableKind::Index,
+            row_len: 0,
+            pages,
+            ipa: false,
+        }
+    }
+
+    /// Exclude the object from IPA regions (insert-dominated objects like
+    /// history tables).
+    pub fn without_ipa(mut self) -> Self {
+        self.ipa = false;
+        self
+    }
+
+    /// Include the object in IPA regions.
+    pub fn with_ipa(mut self) -> Self {
+        self.ipa = true;
+        self
+    }
+}
+
+/// Runtime handle to a table.
+pub type TableId = usize;
+
+/// Placement and cursors of one table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    pub id: TableId,
+    pub spec: TableSpec,
+    /// First page (LBA) of the region.
+    pub first_page: PageId,
+    /// Pages formatted so far.
+    pub allocated_pages: u64,
+    /// Relative index of the page inserts currently target.
+    pub insert_cursor: u64,
+    /// Live rows.
+    pub row_count: u64,
+    /// Root page of the index (index tables only).
+    pub root: Option<PageId>,
+}
+
+impl TableInfo {
+    /// Absolute page id of relative page `i`.
+    #[inline]
+    pub fn page(&self, i: u64) -> PageId {
+        debug_assert!(i < self.spec.pages);
+        self.first_page + i
+    }
+
+    /// Does the region contain this page id?
+    #[inline]
+    pub fn contains(&self, pid: PageId) -> bool {
+        pid >= self.first_page && pid < self.first_page + self.spec.pages
+    }
+}
+
+/// The catalog: all tables and their placement.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: Vec<TableInfo>,
+    by_name: HashMap<String, TableId>,
+    next_page: PageId,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table, claiming the next page range.
+    pub fn add(&mut self, spec: TableSpec) -> TableId {
+        assert!(
+            !self.by_name.contains_key(&spec.name),
+            "duplicate table '{}'",
+            spec.name
+        );
+        assert!(spec.pages > 0, "table '{}' needs pages", spec.name);
+        let id = self.tables.len();
+        let info = TableInfo {
+            id,
+            first_page: self.next_page,
+            allocated_pages: 0,
+            insert_cursor: 0,
+            row_count: 0,
+            root: None,
+            spec,
+        };
+        self.next_page += info.spec.pages;
+        self.by_name.insert(info.spec.name.clone(), id);
+        self.tables.push(info);
+        id
+    }
+
+    /// Total pages claimed so far.
+    #[inline]
+    pub fn pages_used(&self) -> u64 {
+        self.next_page
+    }
+
+    pub fn resolve(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    #[inline]
+    pub fn get(&self, id: TableId) -> &TableInfo {
+        &self.tables[id]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: TableId) -> &mut TableInfo {
+        &mut self.tables[id]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TableInfo> {
+        self.tables.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_placement() {
+        let mut c = Catalog::new();
+        let a = c.add(TableSpec::heap("a", 64, 10));
+        let b = c.add(TableSpec::heap("b", 32, 5));
+        assert_eq!(c.get(a).first_page, 0);
+        assert_eq!(c.get(b).first_page, 10);
+        assert_eq!(c.pages_used(), 15);
+        assert!(c.get(a).contains(9));
+        assert!(!c.get(a).contains(10));
+        assert!(c.get(b).contains(10));
+    }
+
+    #[test]
+    fn resolve_by_name() {
+        let mut c = Catalog::new();
+        let a = c.add(TableSpec::heap("accounts", 100, 8));
+        assert_eq!(c.resolve("accounts").unwrap(), a);
+        assert!(matches!(
+            c.resolve("nope"),
+            Err(StorageError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = TableSpec::heap("h", 10, 1);
+        assert!(s.ipa);
+        let s = s.without_ipa();
+        assert!(!s.ipa);
+        let i = TableSpec::index("i", 4);
+        assert!(!i.ipa);
+        assert_eq!(i.kind, TableKind::Index);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.add(TableSpec::heap("x", 1, 1));
+        c.add(TableSpec::heap("x", 1, 1));
+    }
+}

@@ -1,0 +1,172 @@
+//! Transactions: begin/commit/abort with physical undo.
+//!
+//! The engine is single-threaded by design (the simulated clock serialises
+//! device time anyway), so there is no lock manager; transactional
+//! semantics reduce to atomicity — undo on abort, WAL-backed redo on
+//! recovery. The paper notes IPA leaves "regular database functionality
+//! (e.g. recovery, locking)" untouched, and this module is where that
+//! claim is exercised: undo/abort work identically under every write
+//! strategy.
+
+use std::collections::HashMap;
+
+use crate::buffer::PageId;
+use crate::error::{Result, StorageError};
+use crate::page::WriteOp;
+
+/// Transaction identifier.
+pub type TxId = u64;
+
+/// Undo entry: the page and the write to reverse.
+#[derive(Debug, Clone)]
+pub struct UndoEntry {
+    pub page: PageId,
+    pub op: WriteOp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+#[derive(Debug)]
+struct TxState {
+    /// Kept for observability in debug dumps.
+    #[allow(dead_code)]
+    status: TxStatus,
+    undo: Vec<UndoEntry>,
+}
+
+/// Bookkeeping for active transactions.
+#[derive(Debug, Default)]
+pub struct TxManager {
+    next_id: TxId,
+    active: HashMap<TxId, TxState>,
+    pub committed: u64,
+    pub aborted: u64,
+}
+
+impl TxManager {
+    pub fn new() -> Self {
+        TxManager::default()
+    }
+
+    pub fn begin(&mut self) -> TxId {
+        self.next_id += 1;
+        self.active.insert(
+            self.next_id,
+            TxState {
+                status: TxStatus::Active,
+                undo: Vec::new(),
+            },
+        );
+        self.next_id
+    }
+
+    /// Record undo information for a page write.
+    pub fn log_undo(&mut self, tx: TxId, page: PageId, ops: &[WriteOp]) -> Result<()> {
+        let state = self
+            .active
+            .get_mut(&tx)
+            .ok_or(StorageError::NoSuchTransaction(tx))?;
+        state
+            .undo
+            .extend(ops.iter().map(|op| UndoEntry {
+                page,
+                op: op.clone(),
+            }));
+        Ok(())
+    }
+
+    /// Finish a commit: drop undo state.
+    pub fn commit(&mut self, tx: TxId) -> Result<()> {
+        match self.active.remove(&tx) {
+            Some(_) => {
+                self.committed += 1;
+                Ok(())
+            }
+            None => Err(StorageError::NoSuchTransaction(tx)),
+        }
+    }
+
+    /// Take the undo chain (newest first) for an abort.
+    pub fn take_undo(&mut self, tx: TxId) -> Result<Vec<UndoEntry>> {
+        match self.active.remove(&tx) {
+            Some(mut state) => {
+                self.aborted += 1;
+                state.undo.reverse();
+                Ok(state.undo)
+            }
+            None => Err(StorageError::NoSuchTransaction(tx)),
+        }
+    }
+
+    pub fn is_active(&self, tx: TxId) -> bool {
+        self.active.contains_key(&tx)
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(offset: u16) -> WriteOp {
+        WriteOp {
+            offset,
+            old: vec![1],
+            new: vec![2],
+        }
+    }
+
+    #[test]
+    fn begin_commit_cycle() {
+        let mut m = TxManager::new();
+        let t = m.begin();
+        assert!(m.is_active(t));
+        m.log_undo(t, 5, &[op(10)]).unwrap();
+        m.commit(t).unwrap();
+        assert!(!m.is_active(t));
+        assert_eq!(m.committed, 1);
+    }
+
+    #[test]
+    fn abort_returns_undo_newest_first() {
+        let mut m = TxManager::new();
+        let t = m.begin();
+        m.log_undo(t, 1, &[op(10)]).unwrap();
+        m.log_undo(t, 2, &[op(20), op(30)]).unwrap();
+        let undo = m.take_undo(t).unwrap();
+        assert_eq!(undo.len(), 3);
+        assert_eq!(undo[0].op.offset, 30);
+        assert_eq!(undo[2].op.offset, 10);
+        assert_eq!(m.aborted, 1);
+    }
+
+    #[test]
+    fn unknown_tx_rejected() {
+        let mut m = TxManager::new();
+        assert!(matches!(
+            m.commit(99),
+            Err(StorageError::NoSuchTransaction(99))
+        ));
+        assert!(matches!(
+            m.log_undo(99, 0, &[]),
+            Err(StorageError::NoSuchTransaction(99))
+        ));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut m = TxManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        assert_ne!(a, b);
+        assert_eq!(m.active_count(), 2);
+    }
+}

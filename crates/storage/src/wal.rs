@@ -1,0 +1,399 @@
+//! Write-ahead log on a dedicated log device.
+//!
+//! Shore-MT keeps its log on a separate volume; we do the same — the WAL
+//! gets its own small SLC device so log traffic does not distort the data
+//! device's Table 1 counters (the paper's host-write numbers are data-page
+//! writes). Records use physical byte-range logging (offset/old/new per
+//! page write), which makes redo and undo trivially idempotent.
+//!
+//! Format, per log page (pages start erased at `0xFF`):
+//!
+//! ```text
+//! [len u32][lsn u64][tx u64][tag u8][payload …]  repeated;  len=0xFFFF_FFFF ⇒ end
+//! ```
+
+use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
+use ipa_ftl::{BlockDevice, DeviceStats, Ftl, FtlConfig};
+
+use crate::buffer::PageId;
+use crate::error::{Result, StorageError};
+use crate::page::WriteOp;
+
+/// Log record kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalKind {
+    Begin,
+    Commit,
+    Abort,
+    /// Physical redo/undo for one page.
+    Update { page: PageId, ops: Vec<WriteOp> },
+}
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub lsn: u64,
+    pub tx: u64,
+    pub kind: WalKind,
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_ABORT: u8 = 3;
+const TAG_UPDATE: u8 = 4;
+const END_MARK: u32 = u32::MAX;
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&0u32.to_le_bytes()); // len patched below
+        out.extend_from_slice(&self.lsn.to_le_bytes());
+        out.extend_from_slice(&self.tx.to_le_bytes());
+        match &self.kind {
+            WalKind::Begin => out.push(TAG_BEGIN),
+            WalKind::Commit => out.push(TAG_COMMIT),
+            WalKind::Abort => out.push(TAG_ABORT),
+            WalKind::Update { page, ops } => {
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&(ops.len() as u16).to_le_bytes());
+                for op in ops {
+                    out.extend_from_slice(&op.offset.to_le_bytes());
+                    out.extend_from_slice(&(op.new.len() as u16).to_le_bytes());
+                    out.extend_from_slice(&op.old);
+                    out.extend_from_slice(&op.new);
+                }
+            }
+        }
+        let len = out.len() as u32;
+        out[..4].copy_from_slice(&len.to_le_bytes());
+        out
+    }
+
+    /// Decode one record at the head of `buf`. Returns `(record, encoded
+    /// length)`, or `None` at the end marker / erased tail.
+    fn decode(buf: &[u8]) -> std::result::Result<Option<(WalRecord, usize)>, &'static str> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        if len == END_MARK || len == 0 {
+            return Ok(None);
+        }
+        let len = len as usize;
+        if len < 21 || len > buf.len() {
+            return Err("record length out of bounds");
+        }
+        let lsn = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let tx = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let tag = buf[20];
+        let kind = match tag {
+            TAG_BEGIN => WalKind::Begin,
+            TAG_COMMIT => WalKind::Commit,
+            TAG_ABORT => WalKind::Abort,
+            TAG_UPDATE => {
+                if len < 31 {
+                    return Err("update record too short");
+                }
+                let page = u64::from_le_bytes(buf[21..29].try_into().unwrap());
+                let count = u16::from_le_bytes(buf[29..31].try_into().unwrap()) as usize;
+                let mut ops = Vec::with_capacity(count);
+                let mut off = 31usize;
+                for _ in 0..count {
+                    if off + 4 > len {
+                        return Err("op header truncated");
+                    }
+                    let offset = u16::from_le_bytes(buf[off..off + 2].try_into().unwrap());
+                    let olen =
+                        u16::from_le_bytes(buf[off + 2..off + 4].try_into().unwrap()) as usize;
+                    off += 4;
+                    if off + 2 * olen > len {
+                        return Err("op payload truncated");
+                    }
+                    let old = buf[off..off + olen].to_vec();
+                    let new = buf[off + olen..off + 2 * olen].to_vec();
+                    off += 2 * olen;
+                    ops.push(WriteOp { offset, old, new });
+                }
+                WalKind::Update { page, ops }
+            }
+            _ => return Err("unknown record tag"),
+        };
+        Ok(Some((WalRecord { lsn, tx, kind }, len)))
+    }
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    device: Ftl,
+    page_size: usize,
+    capacity: u64,
+    cur_lba: u64,
+    buf: Vec<u8>,
+    cursor: usize,
+    next_lsn: u64,
+    /// Records appended since creation.
+    pub records_appended: u64,
+}
+
+impl Wal {
+    /// Create a WAL with room for `pages` log pages of `page_size` bytes,
+    /// on its own SLC device.
+    pub fn new(pages: u64, page_size: usize) -> Self {
+        // Size the backing device with ~2× slack so log-device GC stays
+        // out of the way (the paper's log lives on a separate volume).
+        let ppb = 64u32;
+        let blocks = ((pages * 2) / ppb as u64 + 8) as u32;
+        let chip = FlashChip::new(
+            DeviceConfig::new(Geometry::new(blocks, ppb, page_size, 64), FlashMode::Slc)
+                .with_disturb(DisturbRates::none()),
+        );
+        let device = Ftl::new(chip, FtlConfig::traditional());
+        let capacity = pages.min(device.capacity_pages());
+        Wal {
+            device,
+            page_size,
+            capacity,
+            cur_lba: 0,
+            buf: vec![0xFF; page_size],
+            cursor: 0,
+            next_lsn: 0,
+            records_appended: 0,
+        }
+    }
+
+    /// Allocate the next LSN.
+    pub fn next_lsn(&mut self) -> u64 {
+        self.next_lsn += 1;
+        self.next_lsn
+    }
+
+    /// Highest LSN handed out.
+    pub fn current_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Append a record to the in-memory log tail (durable after
+    /// [`Wal::flush`]).
+    pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let bytes = rec.encode();
+        assert!(
+            bytes.len() + 4 <= self.page_size,
+            "log record ({} B) exceeds a log page",
+            bytes.len()
+        );
+        if self.cursor + bytes.len() + 4 > self.page_size {
+            self.seal_page()?;
+        }
+        self.buf[self.cursor..self.cursor + bytes.len()].copy_from_slice(&bytes);
+        self.cursor += bytes.len();
+        self.records_appended += 1;
+        self.next_lsn = self.next_lsn.max(rec.lsn);
+        Ok(())
+    }
+
+    /// Persist the current partial page (group-commit boundary).
+    pub fn flush(&mut self) -> Result<()> {
+        if self.cursor == 0 {
+            return Ok(());
+        }
+        self.device
+            .write(self.cur_lba, &self.buf)
+            .map_err(StorageError::from)
+    }
+
+    /// Finish the current page and move to the next (wrapping circularly;
+    /// recovery assumes checkpoints retire wrapped history).
+    fn seal_page(&mut self) -> Result<()> {
+        self.flush()?;
+        self.cur_lba = (self.cur_lba + 1) % self.capacity;
+        self.buf.fill(0xFF);
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// Discard all log history (checkpoint completion): every data page
+    /// the log protected is known durable, so the records are dead weight.
+    /// Recovery after this point replays only newer records.
+    pub fn truncate(&mut self) -> Result<()> {
+        for lba in 0..self.capacity {
+            match self.device.trim(lba) {
+                Ok(()) => {}
+                Err(ipa_ftl::FtlError::UnmappedLba(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.cur_lba = 0;
+        self.buf.fill(0xFF);
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// Read every record in LSN order (flushes the tail first so the scan
+    /// sees a consistent image).
+    pub fn replay(&mut self) -> Result<Vec<WalRecord>> {
+        self.flush()?;
+        let mut records = Vec::new();
+        let mut page = vec![0u8; self.page_size];
+        for lba in 0..self.capacity {
+            match self.device.read(lba, &mut page) {
+                Ok(()) => {}
+                Err(ipa_ftl::FtlError::UnmappedLba(_)) => continue,
+                Err(e) => return Err(e.into()),
+            }
+            let mut off = 0usize;
+            loop {
+                match WalRecord::decode(&page[off..]) {
+                    Ok(Some((rec, len))) => {
+                        records.push(rec);
+                        off += len;
+                    }
+                    Ok(None) => break,
+                    Err(reason) => {
+                        return Err(StorageError::WalCorrupt { lba, reason });
+                    }
+                }
+            }
+        }
+        records.sort_by_key(|r| r.lsn);
+        Ok(records)
+    }
+
+    /// Host-level stats of the log device.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.device_stats()
+    }
+
+    /// Simulated time the log device has consumed.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.device.elapsed_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(lsn: u64, tx: u64, page: u64) -> WalRecord {
+        WalRecord {
+            lsn,
+            tx,
+            kind: WalKind::Update {
+                page,
+                ops: vec![WriteOp {
+                    offset: 40,
+                    old: vec![0, 1],
+                    new: vec![2, 3],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for rec in [
+            WalRecord {
+                lsn: 7,
+                tx: 3,
+                kind: WalKind::Begin,
+            },
+            WalRecord {
+                lsn: 8,
+                tx: 3,
+                kind: WalKind::Commit,
+            },
+            upd(9, 3, 123),
+        ] {
+            let bytes = rec.encode();
+            let (back, len) = WalRecord::decode(&bytes).unwrap().unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_stops_at_erased_tail() {
+        let buf = vec![0xFFu8; 64];
+        assert_eq!(WalRecord::decode(&buf).unwrap(), None);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut bytes = upd(1, 1, 1).encode();
+        bytes[0] = 200; // absurd length
+        bytes[1] = 0;
+        bytes[2] = 0;
+        bytes[3] = 0;
+        assert!(WalRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn append_flush_replay() {
+        let mut wal = Wal::new(64, 2048);
+        for i in 0..10u64 {
+            wal.append(&WalRecord {
+                lsn: i + 1,
+                tx: 1,
+                kind: WalKind::Begin,
+            })
+            .unwrap();
+            wal.append(&upd(i + 100, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 20);
+        assert!(records.windows(2).all(|w| w[0].lsn <= w[1].lsn));
+    }
+
+    #[test]
+    fn unflushed_records_lost_on_replay_of_fresh_wal() {
+        // Without flush, the tail page is only in memory; replay() flushes
+        // first by design, so simulate the crash by rebuilding the Wal.
+        let mut wal = Wal::new(64, 2048);
+        wal.append(&upd(1, 1, 5)).unwrap();
+        drop(wal);
+        let mut wal2 = Wal::new(64, 2048);
+        assert!(wal2.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn records_spanning_many_pages() {
+        let mut wal = Wal::new(64, 2048);
+        // Each update record ≈ 35 B ⇒ ~58 per page; write a few pages' worth.
+        for i in 0..200u64 {
+            wal.append(&upd(i + 1, i % 5, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 200);
+        assert!(wal.device_stats().host_writes > 2, "multiple log pages");
+    }
+
+    #[test]
+    fn truncate_discards_history() {
+        let mut wal = Wal::new(64, 2048);
+        for i in 0..30u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        assert!(!wal.replay().unwrap().is_empty());
+        wal.truncate().unwrap();
+        assert!(wal.replay().unwrap().is_empty());
+        // Still usable afterwards; LSNs keep rising.
+        let lsn = wal.next_lsn();
+        wal.append(&upd(lsn, 2, 5)).unwrap();
+        wal.flush().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].lsn, lsn);
+    }
+
+    #[test]
+    fn lsn_counter_monotone() {
+        let mut wal = Wal::new(16, 2048);
+        let a = wal.next_lsn();
+        let b = wal.next_lsn();
+        assert!(b > a);
+        assert_eq!(wal.current_lsn(), b);
+    }
+}

@@ -1,0 +1,365 @@
+//! The benchmark driver: load → warm up → measure, with deterministic
+//! seeding and simulated-time throughput.
+//!
+//! Throughput follows the simulator's time model: the run takes as long as
+//! the busier of the data/log devices, plus a fixed CPU cost per
+//! transaction (the OpenSSD experiments are I/O-bound, so device time
+//! dominates exactly as in the paper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ipa_core::NmScheme;
+use ipa_flash::{DeviceConfig, FlashMode, FlashStats, Geometry};
+use ipa_ftl::{DeviceStats, WriteStrategy};
+use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine};
+
+use crate::spec::{build, Benchmark, WorkloadKind};
+
+/// Simulated per-transaction latency distribution (device time only; add
+/// `cpu_ns_per_tx` for end-to-end figures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencyPercentiles {
+    /// Compute from raw samples (sorted internally).
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyPercentiles {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        samples.sort_unstable();
+        let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+        LatencyPercentiles {
+            p50_ns: at(0.50),
+            p95_ns: at(0.95),
+            p99_ns: at(0.99),
+            max_ns: *samples.last().unwrap(),
+        }
+    }
+}
+
+/// Driver parameters.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Measured transactions.
+    pub transactions: u64,
+    /// Unmeasured warm-up transactions.
+    pub warmup: u64,
+    /// Workload RNG seed (same seed ⇒ identical run).
+    pub seed: u64,
+    /// CPU time modeled per transaction, nanoseconds.
+    pub cpu_ns_per_tx: u64,
+    /// Buffer-pool frames; `None` uses the paper-like default of a buffer
+    /// far smaller than the working set (evictions dominate).
+    pub buffer_frames: Option<usize>,
+    /// When set, run until this much *simulated* time has elapsed in the
+    /// measured window instead of a fixed transaction count — the paper's
+    /// Table 1 methodology (fixed two-hour runs), which is what makes the
+    /// faster system show *more* absolute I/O.
+    pub simulated_duration_ns: Option<u64>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            transactions: 10_000,
+            warmup: 1_000,
+            seed: 0x7C_B5EED,
+            cpu_ns_per_tx: 30_000,
+            buffer_frames: None,
+            simulated_duration_ns: None,
+        }
+    }
+}
+
+impl DriverConfig {
+    pub fn quick() -> Self {
+        DriverConfig {
+            transactions: 2_000,
+            warmup: 200,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_transactions(mut self, n: u64) -> Self {
+        self.transactions = n;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run for a fixed simulated duration (Table 1 style).
+    pub fn for_simulated_secs(mut self, secs: f64) -> Self {
+        self.simulated_duration_ns = Some((secs * 1e9) as u64);
+        self
+    }
+}
+
+/// Everything a bench table needs about one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub benchmark: String,
+    pub strategy: WriteStrategy,
+    pub scheme: NmScheme,
+    pub mode: FlashMode,
+    pub transactions: u64,
+    /// Simulated wall time of the measured window, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Committed transactions per simulated second.
+    pub tps: f64,
+    /// Device counters over the measured window.
+    pub device: DeviceStats,
+    /// Raw flash counters over the measured window.
+    pub flash: FlashStats,
+    /// Buffer-pool counters (whole run).
+    pub pool: PoolStats,
+    /// Net modified bytes per dirty eviction (whole run, if measured).
+    pub net_bytes: NetBytesHistogram,
+    /// Peak block wear at the end of the run.
+    pub max_erase_count: u32,
+    /// Raw erase blocks of the device (for per-silicon wear comparisons).
+    pub raw_blocks: u32,
+    /// Per-transaction simulated device-time distribution.
+    pub latency: LatencyPercentiles,
+}
+
+impl RunResult {
+    /// Table 1's "Page Migrations per Host Write".
+    pub fn migrations_per_host_write(&self) -> f64 {
+        self.device.migrations_per_host_write()
+    }
+
+    /// Table 1's "GC Erases per Host Write".
+    pub fn erases_per_host_write(&self) -> f64 {
+        self.device.erases_per_host_write()
+    }
+}
+
+/// The driver.
+pub struct Driver;
+
+impl Driver {
+    /// Load the benchmark into the engine and run the measured window.
+    pub fn run(
+        bench: &mut dyn Benchmark,
+        engine: &mut StorageEngine,
+        cfg: &DriverConfig,
+    ) -> Result<RunResult> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        bench.load(engine, &mut rng)?;
+
+        for _ in 0..cfg.warmup {
+            bench.run_tx(engine, &mut rng)?;
+        }
+        engine.flush_all()?;
+
+        let before = engine.stats();
+        let mut committed: u64 = 0;
+        let mut samples: Vec<u64> = Vec::with_capacity(4096);
+        loop {
+            match cfg.simulated_duration_ns {
+                Some(limit) => {
+                    let device_ns = engine.stats().elapsed_ns - before.elapsed_ns;
+                    if device_ns + committed * cfg.cpu_ns_per_tx >= limit {
+                        break;
+                    }
+                }
+                None => {
+                    if committed >= cfg.transactions {
+                        break;
+                    }
+                }
+            }
+            let t0 = engine.stats().elapsed_ns;
+            bench.run_tx(engine, &mut rng)?;
+            samples.push(engine.stats().elapsed_ns - t0);
+            committed += 1;
+        }
+        engine.flush_all()?;
+        let after = engine.stats();
+
+        let device_ns = after.elapsed_ns - before.elapsed_ns;
+        let elapsed_ns = device_ns + committed * cfg.cpu_ns_per_tx;
+        let tps = committed as f64 / (elapsed_ns as f64 / 1e9);
+
+        Ok(RunResult {
+            benchmark: bench.name().to_string(),
+            strategy: engine.config().strategy,
+            scheme: engine.config().scheme,
+            mode: FlashMode::Slc, // callers overwrite via run_configured
+            transactions: committed,
+            elapsed_ns,
+            tps,
+            device: after.device.delta_since(&before.device),
+            flash: after.flash.delta_since(&before.flash),
+            pool: after.pool,
+            net_bytes: after.pool.net_bytes,
+            max_erase_count: after.max_erase_count,
+            raw_blocks: engine.pool().device().raw_blocks(),
+            latency: LatencyPercentiles::from_samples(samples),
+        })
+    }
+
+    /// One-call experiment: build the benchmark, size a device for it,
+    /// build the engine, run.
+    ///
+    /// The device is sized from the benchmark's table budget with ~40 %
+    /// headroom (over-provisioning + GC room), mirroring a mostly-full SSD
+    /// as in the paper's two-hour runs.
+    pub fn run_configured(
+        kind: WorkloadKind,
+        scale: u32,
+        strategy: WriteStrategy,
+        scheme: NmScheme,
+        mode: FlashMode,
+        cfg: &DriverConfig,
+    ) -> Result<RunResult> {
+        let page_size = 8 * 1024;
+        let mut bench = build(kind, scale, page_size);
+        let mut engine = Self::make_engine(
+            bench.as_mut(),
+            strategy,
+            scheme,
+            mode,
+            page_size,
+            cfg.buffer_frames,
+        )?;
+        let mut result = Self::run(bench.as_mut(), &mut engine, cfg)?;
+        result.mode = mode;
+        Ok(result)
+    }
+
+    /// Build an engine with a device sized for the benchmark.
+    pub fn make_engine(
+        bench: &mut dyn Benchmark,
+        strategy: WriteStrategy,
+        scheme: NmScheme,
+        mode: FlashMode,
+        page_size: usize,
+        buffer_frames: Option<usize>,
+    ) -> Result<StorageEngine> {
+        let tables = bench.tables();
+        let pages_needed: u64 = tables.iter().map(|t| t.pages).sum();
+        let ppb = 128u32;
+        let usable_ppb = mode.usable_pages_per_block(ppb) as u64;
+        let blocks = (pages_needed * 14 / 10 / usable_ppb + 8) as u32;
+        let device = DeviceConfig::new(Geometry::new(blocks, ppb, page_size, 128), mode);
+
+        // Buffer-constrained by default, like the paper's runs: the hot
+        // update set does not fit, so dirty pages are evicted with only a
+        // handful of accumulated byte changes each — the condition that
+        // makes the N×M scheme effective.
+        let frames = buffer_frames.unwrap_or(32);
+        // Group commit of 32 models the loaded multi-client system the
+        // paper benchmarks (Shore-MT runs many worker threads; per-commit
+        // log flushes amortize across the group).
+        let config = if strategy.needs_layout() {
+            EngineConfig::default()
+                .with_strategy(strategy, scheme)
+                .with_buffer_frames(frames)
+                .with_group_commit(32)
+        } else {
+            EngineConfig::default()
+                .with_buffer_frames(frames)
+                .with_group_commit(32)
+        };
+        StorageEngine::build(device, config, &tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_tpcb_run_all_strategies() {
+        let cfg = DriverConfig {
+            transactions: 300,
+            warmup: 50,
+            ..Default::default()
+        };
+        let trad = Driver::run_configured(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::Traditional,
+            NmScheme::disabled(),
+            FlashMode::PSlc,
+            &cfg,
+        )
+        .unwrap();
+        let native = Driver::run_configured(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(trad.transactions, 300);
+        assert!(trad.tps > 0.0);
+        assert!(native.device.in_place_appends > 0);
+        assert!(
+            native.device.page_invalidations <= trad.device.page_invalidations,
+            "IPA should not invalidate more"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DriverConfig {
+            transactions: 150,
+            warmup: 20,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = Driver::run_configured(
+            WorkloadKind::Tatp,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            &cfg,
+        )
+        .unwrap();
+        let b = Driver::run_configured(
+            WorkloadKind::Tatp,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(a.device, b.device, "same seed ⇒ identical counters");
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_ordered() {
+        let p = LatencyPercentiles::from_samples((1..=1000u64).collect());
+        assert_eq!(p.p50_ns, 500);
+        assert_eq!(p.p95_ns, 950);
+        assert_eq!(p.p99_ns, 990);
+        assert_eq!(p.max_ns, 1000);
+        assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.p99_ns && p.p99_ns <= p.max_ns);
+    }
+
+    #[test]
+    fn empty_samples() {
+        assert_eq!(LatencyPercentiles::from_samples(vec![]).max_ns, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # `ipa-workloads` — deterministic OLTP workload generators
+//!
+//! The paper evaluates IPA under TPC-B, TPC-C and TATP, and motivates the
+//! write-amplification analysis with a LinkBench-based social-network
+//! trace. This crate implements all four as seeded, deterministic
+//! transaction generators over the [`ipa_storage::StorageEngine`], plus
+//! the [`Driver`] that produces the per-run counters every bench table is
+//! built from.
+
+pub mod driver;
+pub mod linkbench;
+pub mod spec;
+pub mod tatp;
+pub mod tpcb;
+pub mod tpcc;
+pub mod util;
+
+pub use driver::{Driver, DriverConfig, LatencyPercentiles, RunResult};
+pub use linkbench::LinkBench;
+pub use spec::{build, heap_pages, index_pages, rows_per_page, Benchmark, WorkloadKind};
+pub use tatp::Tatp;
+pub use tpcb::TpcB;
+pub use tpcc::TpcC;

@@ -1,0 +1,390 @@
+//! LinkBench-style social-network workload.
+//!
+//! The paper's Figure 1 analysis includes "a social network workload based
+//! on LinkBench" among the traces whose evicted dirty pages mostly carry
+//! <100 modified bytes. This module reproduces LinkBench's shape: a node
+//! store and a link store with Zipf-skewed access, and the published
+//! operation mix (dominated by `GET_LINK_LIST`, with small node/link
+//! updates).
+//!
+//! | operation       | share  | effect                              |
+//! |-----------------|--------|-------------------------------------|
+//! | GET_LINK_LIST   | 50 %   | index range scan + row reads        |
+//! | GET_LINK        | 12 %   | point read                          |
+//! | COUNT_LINK      | 5 %    | node read (degree field)            |
+//! | ADD_LINK        | 9 %    | insert + degree bump                |
+//! | UPDATE_LINK     | 8 %    | 9-byte update (visibility + time)   |
+//! | DELETE_LINK     | 3 %    | tombstone + degree bump             |
+//! | GET_NODE        | 3 %    | point read                          |
+//! | UPDATE_NODE     | 7.6 %  | version bump + small payload change |
+//! | ADD_NODE        | 2.4 %  | insert                              |
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use ipa_storage::{Result, Rid, StorageEngine, StorageError, TableId, TableSpec};
+
+use crate::spec::{heap_pages, index_pages, Benchmark};
+use crate::util::{get_u64, put_u64, Zipf};
+
+/// Nodes per scale unit.
+pub const NODES_PER_SCALE: u64 = 2_000;
+/// Initial links per node (average).
+pub const LINKS_PER_NODE: u64 = 4;
+/// Node row: id, version, degree, time, payload.
+pub const NODE_ROW: usize = 120;
+/// Link row: key, visibility, time, payload.
+pub const LINK_ROW: usize = 60;
+/// Offsets.
+pub const VERSION_OFF: usize = 8;
+pub const DEGREE_OFF: usize = 16;
+pub const NODE_PAYLOAD_OFF: usize = 32;
+pub const VIS_OFF: usize = 8;
+pub const LTIME_OFF: usize = 9;
+
+pub struct LinkBench {
+    scale: u32,
+    page_size: usize,
+    nodes: Option<TableId>,
+    links: Option<TableId>,
+    node_pk: Option<TableId>,
+    link_pk: Option<TableId>,
+    zipf: Zipf,
+    /// id1 → next id2 counter so generated link keys are unique.
+    next_id2: HashMap<u64, u64>,
+    next_node: u64,
+    clock: u64,
+    nodes_full: bool,
+    links_full: bool,
+}
+
+impl LinkBench {
+    pub fn new(scale: u32, page_size: usize) -> Self {
+        assert!(scale >= 1);
+        let n = scale as u64 * NODES_PER_SCALE;
+        LinkBench {
+            scale,
+            page_size,
+            nodes: None,
+            links: None,
+            node_pk: None,
+            link_pk: None,
+            zipf: Zipf::new(n, 0.85),
+            next_id2: HashMap::new(),
+            next_node: n,
+            clock: 0,
+            nodes_full: false,
+            links_full: false,
+        }
+    }
+
+    pub fn n_nodes(&self) -> u64 {
+        self.scale as u64 * NODES_PER_SCALE
+    }
+
+    /// Link key: id1 in the high 40 bits, a per-source sequence below —
+    /// all links of `id1` are contiguous in the index.
+    fn link_key(id1: u64, seq: u64) -> u64 {
+        (id1 << 24) | (seq & 0xFF_FFFF)
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+impl Benchmark for LinkBench {
+    fn name(&self) -> &'static str {
+        "LinkBench"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        let ps = self.page_size;
+        let n = self.n_nodes();
+        let l = n * LINKS_PER_NODE;
+        vec![
+            TableSpec::heap("nodes", NODE_ROW, heap_pages(n * 2, NODE_ROW, ps)),
+            TableSpec::heap("links", LINK_ROW, heap_pages(l * 2, LINK_ROW, ps)),
+            TableSpec::index("node_pk", index_pages(n * 2, ps)),
+            TableSpec::index("link_pk", index_pages(l * 2, ps)),
+        ]
+    }
+
+    fn load(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let nodes = engine.table("nodes")?;
+        let links = engine.table("links")?;
+        let node_pk = engine.table("node_pk")?;
+        let link_pk = engine.table("link_pk")?;
+
+        let tx = engine.begin();
+        for id in 0..self.n_nodes() {
+            let mut row = vec![0u8; NODE_ROW];
+            put_u64(&mut row, 0, id);
+            let rid = engine.insert(tx, nodes, &row)?;
+            engine.index_insert(tx, node_pk, id, rid)?;
+        }
+        // Power-law out-degree: hot nodes get more initial links.
+        let total_links = self.n_nodes() * LINKS_PER_NODE;
+        for _ in 0..total_links {
+            let id1 = self.zipf.sample(rng);
+            let seq = self.next_id2.entry(id1).or_insert(0);
+            let key = Self::link_key(id1, *seq);
+            *seq += 1;
+            let mut row = vec![0u8; LINK_ROW];
+            put_u64(&mut row, 0, key);
+            row[VIS_OFF] = 1;
+            let rid = engine.insert(tx, links, &row)?;
+            engine.index_insert(tx, link_pk, key, rid)?;
+        }
+        engine.commit(tx)?;
+        engine.flush_all()?;
+
+        self.nodes = Some(nodes);
+        self.links = Some(links);
+        self.node_pk = Some(node_pk);
+        self.link_pk = Some(link_pk);
+        Ok(())
+    }
+
+    fn run_tx(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let nodes = self.nodes.expect("load first");
+        let links = self.links.unwrap();
+        let node_pk = self.node_pk.unwrap();
+        let link_pk = self.link_pk.unwrap();
+
+        let id1 = self.zipf.sample(rng);
+        let dice = rng.gen_range(0..1000u32);
+        match dice {
+            // GET_LINK_LIST — 50 %: range over the node's link keys, then
+            // read a handful of link rows.
+            0..=499 => {
+                let mut rids: Vec<Rid> = Vec::new();
+                engine.index_range(
+                    link_pk,
+                    Self::link_key(id1, 0),
+                    Self::link_key(id1, 0xFF_FFFF),
+                    |_, rid| rids.push(rid),
+                )?;
+                for rid in rids.into_iter().take(10) {
+                    let _ = engine.get(links, rid)?;
+                }
+                Ok(())
+            }
+            // GET_LINK — 12 %
+            500..=619 => {
+                let seq = self.next_id2.get(&id1).copied().unwrap_or(0);
+                if seq == 0 {
+                    return Ok(());
+                }
+                let key = Self::link_key(id1, rng.gen_range(0..seq));
+                if let Some(rid) = engine.index_lookup(link_pk, key)? {
+                    let _ = engine.get(links, rid);
+                }
+                Ok(())
+            }
+            // COUNT_LINK — 5 %: degree field on the node.
+            620..=669 => {
+                if let Some(rid) = engine.index_lookup(node_pk, id1)? {
+                    let _ = engine.get(nodes, rid)?;
+                }
+                Ok(())
+            }
+            // ADD_LINK — 9 %
+            670..=759 => {
+                if self.links_full {
+                    return Ok(());
+                }
+                let seq = self.next_id2.entry(id1).or_insert(0);
+                let key = Self::link_key(id1, *seq);
+                *seq += 1;
+                let tx = engine.begin();
+                let mut row = vec![0u8; LINK_ROW];
+                put_u64(&mut row, 0, key);
+                row[VIS_OFF] = 1;
+                match engine.insert(tx, links, &row) {
+                    Ok(rid) => {
+                        engine.index_insert(tx, link_pk, key, rid)?;
+                        // Degree bump on the source node.
+                        if let Some(nrid) = engine.index_lookup(node_pk, id1)? {
+                            let nrow = engine.get(nodes, nrid)?;
+                            let deg = get_u64(&nrow, DEGREE_OFF) + 1;
+                            let mut b = [0u8; 8];
+                            put_u64(&mut b, 0, deg);
+                            engine.update_field(tx, nodes, nrid, DEGREE_OFF, &b)?;
+                        }
+                        engine.commit(tx)
+                    }
+                    Err(StorageError::TableFull(_)) => {
+                        self.links_full = true;
+                        engine.commit(tx)
+                    }
+                    Err(e) => {
+                        engine.abort(tx)?;
+                        Err(e)
+                    }
+                }
+            }
+            // UPDATE_LINK — 8 %: visibility + timestamp (9 bytes).
+            760..=839 => {
+                let seq = self.next_id2.get(&id1).copied().unwrap_or(0);
+                if seq == 0 {
+                    return Ok(());
+                }
+                let key = Self::link_key(id1, rng.gen_range(0..seq));
+                let tx = engine.begin();
+                if let Some(rid) = engine.index_lookup(link_pk, key)? {
+                    let t = self.tick();
+                    let mut b = [0u8; 9];
+                    b[0] = rng.gen_range(0..2);
+                    b[1..].copy_from_slice(&t.to_le_bytes());
+                    match engine.update_field(tx, links, rid, VIS_OFF, &b) {
+                        Ok(()) => {}
+                        Err(StorageError::SlotNotFound { .. }) => {} // deleted
+                        Err(e) => {
+                            engine.abort(tx)?;
+                            return Err(e);
+                        }
+                    }
+                }
+                engine.commit(tx)
+            }
+            // DELETE_LINK — 3 %
+            840..=869 => {
+                let seq = self.next_id2.get(&id1).copied().unwrap_or(0);
+                if seq == 0 {
+                    return Ok(());
+                }
+                let key = Self::link_key(id1, rng.gen_range(0..seq));
+                let tx = engine.begin();
+                if let Some(rid) = engine.index_lookup(link_pk, key)? {
+                    match engine.delete(tx, links, rid) {
+                        Ok(()) => {
+                            engine.index_delete(tx, link_pk, key)?;
+                        }
+                        Err(StorageError::SlotNotFound { .. }) => {}
+                        Err(e) => {
+                            engine.abort(tx)?;
+                            return Err(e);
+                        }
+                    }
+                }
+                engine.commit(tx)
+            }
+            // GET_NODE — 3 %
+            870..=899 => {
+                if let Some(rid) = engine.index_lookup(node_pk, id1)? {
+                    let _ = engine.get(nodes, rid)?;
+                }
+                Ok(())
+            }
+            // UPDATE_NODE — 7.6 %: version bump + a few payload bytes.
+            900..=975 => {
+                let tx = engine.begin();
+                if let Some(rid) = engine.index_lookup(node_pk, id1)? {
+                    let row = engine.get(nodes, rid)?;
+                    let v = get_u64(&row, VERSION_OFF) + 1;
+                    let mut b = [0u8; 8];
+                    put_u64(&mut b, 0, v);
+                    engine.update_field(tx, nodes, rid, VERSION_OFF, &b)?;
+                    let payload: [u8; 4] = rng.gen();
+                    engine.update_field(tx, nodes, rid, NODE_PAYLOAD_OFF, &payload)?;
+                }
+                engine.commit(tx)
+            }
+            // ADD_NODE — 2.4 %
+            _ => {
+                if self.nodes_full {
+                    return Ok(());
+                }
+                let id = self.next_node;
+                self.next_node += 1;
+                let tx = engine.begin();
+                let mut row = vec![0u8; NODE_ROW];
+                put_u64(&mut row, 0, id);
+                match engine.insert(tx, nodes, &row) {
+                    Ok(rid) => {
+                        engine.index_insert(tx, node_pk, id, rid)?;
+                        engine.commit(tx)
+                    }
+                    Err(StorageError::TableFull(_)) => {
+                        self.nodes_full = true;
+                        engine.commit(tx)
+                    }
+                    Err(e) => {
+                        engine.abort(tx)?;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_fraction(&self) -> f64 {
+        0.70
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::NmScheme;
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+    use ipa_storage::EngineConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn load_and_mix() {
+        let mut b = LinkBench::new(1, 2048);
+        let dc = DeviceConfig::new(Geometry::new(1600, 32, 2048, 64), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none());
+        let mut e = StorageEngine::build(
+            dc,
+            EngineConfig::default()
+                .with_ipa(NmScheme::new(2, 4))
+                .with_buffer_frames(96),
+            &b.tables(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        b.load(&mut e, &mut rng).unwrap();
+        for _ in 0..400 {
+            b.run_tx(&mut e, &mut rng).unwrap();
+        }
+        e.flush_all().unwrap();
+        let s = e.stats();
+        assert!(s.device.host_reads > s.device.total_host_writes());
+        assert!(s.device.in_place_appends > 0);
+    }
+
+    #[test]
+    fn link_lists_are_contiguous() {
+        let mut b = LinkBench::new(1, 2048);
+        let dc = DeviceConfig::new(Geometry::new(1600, 32, 2048, 64), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none());
+        let mut e = StorageEngine::build(
+            dc,
+            EngineConfig::default().with_ipa(NmScheme::new(2, 4)),
+            &b.tables(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        b.load(&mut e, &mut rng).unwrap();
+        // Hottest node has links; range over its key span finds them all.
+        let link_pk = e.table("link_pk").unwrap();
+        let hot = 0u64;
+        let expected = b.next_id2.get(&hot).copied().unwrap_or(0);
+        let mut n = 0u64;
+        e.index_range(
+            link_pk,
+            LinkBench::link_key(hot, 0),
+            LinkBench::link_key(hot, 0xFF_FFFF),
+            |_, _| n += 1,
+        )
+        .unwrap();
+        assert_eq!(n, expected);
+        assert!(n > 0, "hot node must have links");
+    }
+}

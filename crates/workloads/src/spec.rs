@@ -1,0 +1,115 @@
+//! The benchmark contract and the workload registry.
+
+use rand::rngs::StdRng;
+
+use ipa_storage::{Result, StorageEngine, TableSpec};
+
+/// The four workloads the paper evaluates (TPC-B/-C, TATP, and the
+/// LinkBench-based social-network workload of the Figure 1 analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    TpcB,
+    TpcC,
+    Tatp,
+    LinkBench,
+}
+
+impl WorkloadKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::TpcB => "TPC-B",
+            WorkloadKind::TpcC => "TPC-C",
+            WorkloadKind::Tatp => "TATP",
+            WorkloadKind::LinkBench => "LinkBench",
+        }
+    }
+
+    pub fn all() -> [WorkloadKind; 4] {
+        [
+            WorkloadKind::TpcB,
+            WorkloadKind::TpcC,
+            WorkloadKind::Tatp,
+            WorkloadKind::LinkBench,
+        ]
+    }
+}
+
+/// A runnable benchmark: schema, initial population, and a transaction
+/// generator. All randomness comes from the driver's seeded RNG.
+pub trait Benchmark {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Tables (and indexes) the benchmark needs, sized for its scale.
+    fn tables(&self) -> Vec<TableSpec>;
+
+    /// Populate the initial database. Called once on a fresh engine.
+    fn load(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()>;
+
+    /// Execute one transaction of the benchmark mix.
+    fn run_tx(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()>;
+
+    /// Approximate read share of the mix (documentation; the paper argues
+    /// IPL's extra reads hurt precisely because OLTP is 70–90 % reads).
+    fn read_fraction(&self) -> f64;
+}
+
+/// Construct a benchmark instance for a kind, scale factor and the
+/// device's page size (needed to budget table page ranges).
+pub fn build(kind: WorkloadKind, scale: u32, page_size: usize) -> Box<dyn Benchmark> {
+    match kind {
+        WorkloadKind::TpcB => Box::new(crate::tpcb::TpcB::new(scale, page_size)),
+        WorkloadKind::TpcC => Box::new(crate::tpcc::TpcC::new(scale, page_size)),
+        WorkloadKind::Tatp => Box::new(crate::tatp::Tatp::new(scale, page_size)),
+        WorkloadKind::LinkBench => Box::new(crate::linkbench::LinkBench::new(scale, page_size)),
+    }
+}
+
+/// Conservative rows-per-page estimate used when budgeting table ranges:
+/// leaves room for the page header/footer, slot entries and any delta-record
+/// area up to ~[4×16].
+pub fn rows_per_page(page_size: usize, row_len: usize) -> u64 {
+    let usable = page_size.saturating_sub(512).max(row_len + 4);
+    (usable / (row_len + 4)).max(1) as u64
+}
+
+/// Page budget for `rows` rows of `row_len` bytes (25 % slack).
+pub fn heap_pages(rows: u64, row_len: usize, page_size: usize) -> u64 {
+    let rpp = rows_per_page(page_size, row_len);
+    (rows / rpp + 2) * 5 / 4 + 2
+}
+
+/// Page budget for a B+-tree over `keys` keys (18-byte entries, 2× slack
+/// for splits and internals).
+pub fn index_pages(keys: u64, page_size: usize) -> u64 {
+    let usable = page_size.saturating_sub(512).max(64);
+    let per_page = (usable / 18).max(2) as u64;
+    (keys / per_page + 2) * 2 + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(WorkloadKind::TpcB.name(), "TPC-B");
+        assert_eq!(WorkloadKind::all().len(), 4);
+    }
+
+    #[test]
+    fn factory_produces_all() {
+        for kind in WorkloadKind::all() {
+            let b = build(kind, 1, 8192);
+            assert!(!b.tables().is_empty(), "{} has tables", b.name());
+            assert!(b.read_fraction() >= 0.0 && b.read_fraction() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sizing_helpers() {
+        assert!(rows_per_page(8192, 100) >= 70);
+        assert!(heap_pages(1000, 100, 8192) >= 14);
+        assert!(index_pages(1000, 8192) > 4);
+    }
+}

@@ -1,0 +1,311 @@
+//! TATP — the telecom benchmark (80 % reads, tiny updates).
+//!
+//! Standard mix:
+//!
+//! | transaction              | share | kind                           |
+//! |--------------------------|-------|--------------------------------|
+//! | GET_SUBSCRIBER_DATA      | 35 %  | read                           |
+//! | GET_NEW_DESTINATION      | 10 %  | read (call-forwarding)         |
+//! | GET_ACCESS_DATA          | 35 %  | read (access-info)             |
+//! | UPDATE_SUBSCRIBER_DATA   | 2 %   | 3-byte update                  |
+//! | UPDATE_LOCATION          | 14 %  | 4-byte update (`vlr_location`) |
+//! | INSERT_CALL_FORWARDING   | 2 %   | insert                         |
+//! | DELETE_CALL_FORWARDING   | 2 %   | delete                         |
+//!
+//! The update transactions change ≤4 bytes of one row — TATP is the
+//! workload where IPA shines brightest in the paper's analysis, and the
+//! read-heavy mix is exactly where IPL's read amplification hurts.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use ipa_storage::{Result, Rid, StorageEngine, StorageError, TableId, TableSpec};
+
+use crate::spec::{heap_pages, index_pages, Benchmark};
+use crate::util::{put_u32, put_u64};
+
+/// Subscribers per scale unit (spec: 100 000; scaled down).
+pub const SUBSCRIBERS_PER_SCALE: u64 = 2_000;
+/// Subscriber row length.
+pub const SUB_ROW: usize = 100;
+/// Access-info row length (up to 4 per subscriber).
+pub const AI_ROW: usize = 40;
+/// Call-forwarding row length.
+pub const CF_ROW: usize = 40;
+/// Offset of `vlr_location` (u32) in the subscriber row.
+pub const VLR_OFF: usize = 12;
+/// Offset of the bit/data fields UPDATE_SUBSCRIBER_DATA touches.
+pub const BITS_OFF: usize = 16;
+
+pub struct Tatp {
+    scale: u32,
+    page_size: usize,
+    subscribers: Option<TableId>,
+    access_info: Option<TableId>,
+    call_fwd: Option<TableId>,
+    sub_pk: Option<TableId>,
+    cf_pk: Option<TableId>,
+    ai_rids: Vec<Rid>,
+    /// Live call-forwarding keys (mirrors the cf_pk index; lets the
+    /// generator pick deletable keys without scanning).
+    cf_keys: HashSet<u64>,
+    cf_full: bool,
+}
+
+impl Tatp {
+    pub fn new(scale: u32, page_size: usize) -> Self {
+        assert!(scale >= 1);
+        Tatp {
+            scale,
+            page_size,
+            subscribers: None,
+            access_info: None,
+            call_fwd: None,
+            sub_pk: None,
+            cf_pk: None,
+            ai_rids: Vec::new(),
+            cf_keys: HashSet::new(),
+            cf_full: false,
+        }
+    }
+
+    pub fn n_subs(&self) -> u64 {
+        self.scale as u64 * SUBSCRIBERS_PER_SCALE
+    }
+
+    /// Composite key for call-forwarding rows: sub_id ‖ sf_type ‖ start.
+    fn cf_key(sub: u64, sf_type: u8, start: u8) -> u64 {
+        (sub << 16) | ((sf_type as u64) << 8) | start as u64
+    }
+}
+
+impl Benchmark for Tatp {
+    fn name(&self) -> &'static str {
+        "TATP"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        let ps = self.page_size;
+        let n = self.n_subs();
+        vec![
+            TableSpec::heap("subscriber", SUB_ROW, heap_pages(n, SUB_ROW, ps)),
+            TableSpec::heap("access_info", AI_ROW, heap_pages(n * 2, AI_ROW, ps)),
+            // Call-forwarding churns (insert+delete) — keep it IPA too;
+            // tombstones make its pages go out-of-place naturally.
+            TableSpec::heap("call_forwarding", CF_ROW, heap_pages(n * 3, CF_ROW, ps)),
+            TableSpec::index("sub_pk", index_pages(n, ps)),
+            TableSpec::index("cf_pk", index_pages(n * 2, ps)),
+        ]
+    }
+
+    fn load(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let subscribers = engine.table("subscriber")?;
+        let access_info = engine.table("access_info")?;
+        let call_fwd = engine.table("call_forwarding")?;
+        let sub_pk = engine.table("sub_pk")?;
+        let cf_pk = engine.table("cf_pk")?;
+
+        let tx = engine.begin();
+        for s in 0..self.n_subs() {
+            let mut row = vec![0u8; SUB_ROW];
+            put_u64(&mut row, 0, s);
+            put_u32(&mut row, VLR_OFF, rng.gen());
+            let rid = engine.insert(tx, subscribers, &row)?;
+            engine.index_insert(tx, sub_pk, s, rid)?;
+
+            // 1–2 access-info rows per subscriber, addressed by position.
+            let n_ai = 1 + (s % 2) as usize;
+            for ai in 0..n_ai {
+                let mut arow = vec![0u8; AI_ROW];
+                put_u64(&mut arow, 0, s);
+                arow[8] = ai as u8;
+                self.ai_rids.push(engine.insert(tx, access_info, &arow)?);
+            }
+
+            // ~25 % of subscribers start with one call-forwarding entry.
+            if s % 4 == 0 {
+                let key = Self::cf_key(s, 0, 8);
+                let mut crow = vec![0u8; CF_ROW];
+                put_u64(&mut crow, 0, key);
+                let rid = engine.insert(tx, call_fwd, &crow)?;
+                engine.index_insert(tx, cf_pk, key, rid)?;
+                self.cf_keys.insert(key);
+            }
+        }
+        engine.commit(tx)?;
+        engine.flush_all()?;
+
+        self.subscribers = Some(subscribers);
+        self.access_info = Some(access_info);
+        self.call_fwd = Some(call_fwd);
+        self.sub_pk = Some(sub_pk);
+        self.cf_pk = Some(cf_pk);
+        Ok(())
+    }
+
+    fn run_tx(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let subscribers = self.subscribers.expect("load first");
+        let call_fwd = self.call_fwd.unwrap();
+        let sub_pk = self.sub_pk.unwrap();
+        let cf_pk = self.cf_pk.unwrap();
+
+        let sub = rng.gen_range(0..self.n_subs());
+        let dice = rng.gen_range(0..100u32);
+
+        match dice {
+            // GET_SUBSCRIBER_DATA — 35 %
+            0..=34 => {
+                if let Some(rid) = engine.index_lookup(sub_pk, sub)? {
+                    let _ = engine.get(subscribers, rid)?;
+                }
+                Ok(())
+            }
+            // GET_NEW_DESTINATION — 10 %
+            35..=44 => {
+                let key = Self::cf_key(sub, 0, 8);
+                if let Some(rid) = engine.index_lookup(cf_pk, key)? {
+                    let _ = engine.get(call_fwd, rid)?;
+                }
+                Ok(())
+            }
+            // GET_ACCESS_DATA — 35 %
+            45..=79 => {
+                let rid = self.ai_rids[rng.gen_range(0..self.ai_rids.len())];
+                let _ = engine.get(self.access_info.unwrap(), rid)?;
+                Ok(())
+            }
+            // UPDATE_SUBSCRIBER_DATA — 2 %: bit_1 (1 B) + sf data (2 B)
+            80..=81 => {
+                let tx = engine.begin();
+                if let Some(rid) = engine.index_lookup(sub_pk, sub)? {
+                    let bytes = [rng.gen::<u8>() & 1, rng.gen(), rng.gen()];
+                    engine.update_field(tx, subscribers, rid, BITS_OFF, &bytes)?;
+                }
+                engine.commit(tx)
+            }
+            // UPDATE_LOCATION — 14 %: vlr_location (4 B)
+            82..=95 => {
+                let tx = engine.begin();
+                if let Some(rid) = engine.index_lookup(sub_pk, sub)? {
+                    let mut bytes = [0u8; 4];
+                    put_u32(&mut bytes, 0, rng.gen());
+                    engine.update_field(tx, subscribers, rid, VLR_OFF, &bytes)?;
+                }
+                engine.commit(tx)
+            }
+            // INSERT_CALL_FORWARDING — 2 %
+            96..=97 => {
+                if self.cf_full {
+                    return Ok(());
+                }
+                let key = Self::cf_key(sub, rng.gen_range(0..4), rng.gen_range(0..24));
+                if self.cf_keys.contains(&key) {
+                    return Ok(()); // spec: insert of existing key fails; no-op here
+                }
+                let tx = engine.begin();
+                let mut row = vec![0u8; CF_ROW];
+                put_u64(&mut row, 0, key);
+                match engine.insert(tx, call_fwd, &row) {
+                    Ok(rid) => {
+                        engine.index_insert(tx, cf_pk, key, rid)?;
+                        self.cf_keys.insert(key);
+                        engine.commit(tx)
+                    }
+                    Err(StorageError::TableFull(_)) => {
+                        self.cf_full = true;
+                        engine.commit(tx)
+                    }
+                    Err(e) => {
+                        engine.abort(tx)?;
+                        Err(e)
+                    }
+                }
+            }
+            // DELETE_CALL_FORWARDING — 2 %
+            _ => {
+                // Find any live key for this subscriber (try the common one
+                // first, then give up — the spec's miss rate is part of the
+                // workload).
+                let key = Self::cf_key(sub, 0, 8);
+                if !self.cf_keys.contains(&key) {
+                    return Ok(());
+                }
+                let tx = engine.begin();
+                if let Some(rid) = engine.index_lookup(cf_pk, key)? {
+                    engine.delete(tx, call_fwd, rid)?;
+                    engine.index_delete(tx, cf_pk, key)?;
+                    self.cf_keys.remove(&key);
+                }
+                engine.commit(tx)
+            }
+        }
+    }
+
+    fn read_fraction(&self) -> f64 {
+        0.80
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::NmScheme;
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+    use ipa_storage::EngineConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn load_and_mix() {
+        let mut b = Tatp::new(1, 2048);
+        let dc = DeviceConfig::new(Geometry::new(640, 32, 2048, 64), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none());
+        let mut e = StorageEngine::build(
+            dc,
+            EngineConfig::default()
+                .with_ipa(NmScheme::new(2, 4))
+                .with_buffer_frames(64),
+            &b.tables(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        b.load(&mut e, &mut rng).unwrap();
+        for _ in 0..500 {
+            b.run_tx(&mut e, &mut rng).unwrap();
+        }
+        e.flush_all().unwrap();
+        let s = e.stats();
+        // Read-dominated: reads far exceed writes.
+        assert!(s.device.host_reads > s.device.total_host_writes());
+        // The tiny updates produced in-place appends.
+        assert!(s.device.in_place_appends > 0);
+    }
+
+    #[test]
+    fn updates_persist() {
+        let mut b = Tatp::new(1, 2048);
+        let dc = DeviceConfig::new(Geometry::new(640, 32, 2048, 64), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none());
+        let mut e = StorageEngine::build(
+            dc,
+            EngineConfig::default().with_ipa(NmScheme::new(2, 4)),
+            &b.tables(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        b.load(&mut e, &mut rng).unwrap();
+        for _ in 0..300 {
+            b.run_tx(&mut e, &mut rng).unwrap();
+        }
+        e.restart_clean().unwrap();
+        // Every subscriber row still resolves through the index.
+        let sub_pk = e.table("sub_pk").unwrap();
+        let subscribers = e.table("subscriber").unwrap();
+        for s in (0..b.n_subs()).step_by(97) {
+            let rid = e.index_lookup(sub_pk, s).unwrap().expect("subscriber");
+            let row = e.get(subscribers, rid).unwrap();
+            assert_eq!(crate::util::get_u64(&row, 0), s);
+        }
+    }
+}

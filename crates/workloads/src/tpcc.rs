@@ -1,0 +1,482 @@
+//! TPC-C (scaled): the order-entry benchmark with the standard five-
+//! transaction mix.
+//!
+//! | transaction  | share | writes                                        |
+//! |--------------|-------|-----------------------------------------------|
+//! | New-Order    | 45 %  | district `next_o_id`, 5–15 stock updates, inserts |
+//! | Payment      | 43 %  | warehouse/district YTD, customer balance, history |
+//! | Order-Status | 4 %   | — (reads)                                     |
+//! | Delivery     | 4 %   | order carrier, line `delivery_d`, customer    |
+//! | Stock-Level  | 4 %   | — (reads)                                     |
+//!
+//! Cardinalities are scaled down (customers, items) so simulator runs stay
+//! short; the update-size *distribution* — the property IPA exploits — is
+//! preserved: YTD/balance/quantity updates touch a handful of bytes inside
+//! 100–200-byte rows.
+//!
+//! Secondary access paths that a full system would route through indexes
+//! (customer lookup, stock lookup, undelivered-order queues) use in-memory
+//! RID tables here; the `orders` primary key is a real B+-tree so index
+//! maintenance traffic is represented. New-Order aborts 1 % of the time
+//! (the spec's invalid-item rollback), exercising transaction undo.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use ipa_storage::{Result, Rid, StorageEngine, StorageError, TableId, TableSpec};
+
+use crate::spec::{heap_pages, index_pages, Benchmark};
+use crate::util::{get_i64, nurand, put_i64, put_u64};
+
+pub const DISTRICTS_PER_WH: u64 = 10;
+pub const CUSTOMERS_PER_DISTRICT: u64 = 60;
+pub const ITEMS: u64 = 1_000;
+
+pub const WH_ROW: usize = 100;
+pub const DIST_ROW: usize = 100;
+pub const CUST_ROW: usize = 200;
+pub const ITEM_ROW: usize = 60;
+pub const STOCK_ROW: usize = 100;
+pub const ORDER_ROW: usize = 60;
+pub const OL_ROW: usize = 60;
+pub const NO_ROW: usize = 30;
+pub const HIST_ROW: usize = 50;
+
+/// Offsets (bytes) of the updated fields.
+const YTD_OFF: usize = 16; // warehouse, district (i64)
+const NEXT_O_OFF: usize = 24; // district next_o_id (u64)
+const CBAL_OFF: usize = 16; // customer balance (i64)
+const CPAY_OFF: usize = 24; // customer ytd_payment (i64)
+const CCNT_OFF: usize = 32; // customer payment_cnt / delivery_cnt (2×u16)
+const SQTY_OFF: usize = 8; // stock quantity (i32) + ytd (u32) + cnts (2×u16)
+const OCARRIER_OFF: usize = 24; // order carrier id (u8)
+const OLDELIV_OFF: usize = 24; // order line delivery_d (u64)
+
+struct OpenOrder {
+    order_rid: Rid,
+    line_rids: Vec<Rid>,
+    new_order_rid: Rid,
+    customer: usize,
+}
+
+pub struct TpcC {
+    warehouses: u32,
+    page_size: usize,
+    headroom_tx: u64,
+    t_wh: Option<TableId>,
+    t_dist: Option<TableId>,
+    t_cust: Option<TableId>,
+    t_item: Option<TableId>,
+    t_stock: Option<TableId>,
+    t_order: Option<TableId>,
+    t_ol: Option<TableId>,
+    t_no: Option<TableId>,
+    t_hist: Option<TableId>,
+    order_pk: Option<TableId>,
+    wh_rids: Vec<Rid>,
+    dist_rids: Vec<Rid>,
+    cust_rids: Vec<Rid>,
+    item_rids: Vec<Rid>,
+    stock_rids: Vec<Rid>,
+    /// Undelivered orders per (w, d).
+    undelivered: Vec<VecDeque<OpenOrder>>,
+    /// Recent orders per (w, d) for Stock-Level.
+    recent: Vec<VecDeque<Vec<Rid>>>,
+    /// Last order per customer for Order-Status.
+    last_order: Vec<Option<(Rid, Vec<Rid>)>>,
+    next_o_id: Vec<u64>,
+    hist_full: bool,
+}
+
+impl TpcC {
+    pub fn new(warehouses: u32, page_size: usize) -> Self {
+        Self::with_headroom(warehouses, page_size, 20_000)
+    }
+
+    /// `headroom_tx` bounds how many transactions the grow-only tables
+    /// (orders, order lines, history) are budgeted for.
+    pub fn with_headroom(warehouses: u32, page_size: usize, headroom_tx: u64) -> Self {
+        assert!(warehouses >= 1);
+        let wd = (warehouses as u64 * DISTRICTS_PER_WH) as usize;
+        TpcC {
+            warehouses,
+            page_size,
+            headroom_tx,
+            t_wh: None,
+            t_dist: None,
+            t_cust: None,
+            t_item: None,
+            t_stock: None,
+            t_order: None,
+            t_ol: None,
+            t_no: None,
+            t_hist: None,
+            order_pk: None,
+            wh_rids: Vec::new(),
+            dist_rids: Vec::new(),
+            cust_rids: Vec::new(),
+            item_rids: Vec::new(),
+            stock_rids: Vec::new(),
+            undelivered: (0..wd).map(|_| VecDeque::new()).collect(),
+            recent: (0..wd).map(|_| VecDeque::new()).collect(),
+            last_order: vec![None; wd * CUSTOMERS_PER_DISTRICT as usize],
+            next_o_id: vec![0; wd],
+            hist_full: false,
+        }
+    }
+
+    fn n_wd(&self) -> u64 {
+        self.warehouses as u64 * DISTRICTS_PER_WH
+    }
+
+    fn cust_index(&self, w: u64, d: u64, c: u64) -> usize {
+        ((w * DISTRICTS_PER_WH + d) * CUSTOMERS_PER_DISTRICT + c) as usize
+    }
+
+    fn order_key(&self, w: u64, d: u64, o: u64) -> u64 {
+        ((w * DISTRICTS_PER_WH + d) << 40) | o
+    }
+}
+
+impl Benchmark for TpcC {
+    fn name(&self) -> &'static str {
+        "TPC-C"
+    }
+
+    fn tables(&self) -> Vec<TableSpec> {
+        let ps = self.page_size;
+        let w = self.warehouses as u64;
+        let orders = self.headroom_tx / 2 + 100;
+        let lines = orders * 10;
+        vec![
+            TableSpec::heap("warehouse", WH_ROW, heap_pages(w, WH_ROW, ps)),
+            TableSpec::heap("district", DIST_ROW, heap_pages(self.n_wd(), DIST_ROW, ps)),
+            TableSpec::heap(
+                "customer",
+                CUST_ROW,
+                heap_pages(self.n_wd() * CUSTOMERS_PER_DISTRICT, CUST_ROW, ps),
+            ),
+            TableSpec::heap("item", ITEM_ROW, heap_pages(ITEMS, ITEM_ROW, ps)).without_ipa(),
+            TableSpec::heap("stock", STOCK_ROW, heap_pages(w * ITEMS, STOCK_ROW, ps)),
+            TableSpec::heap("orders", ORDER_ROW, heap_pages(orders, ORDER_ROW, ps)).without_ipa(),
+            TableSpec::heap("order_line", OL_ROW, heap_pages(lines, OL_ROW, ps)).with_ipa(),
+            TableSpec::heap("new_order", NO_ROW, heap_pages(orders, NO_ROW, ps)).without_ipa(),
+            TableSpec::heap("history", HIST_ROW, heap_pages(orders, HIST_ROW, ps)).without_ipa(),
+            TableSpec::index("order_pk", index_pages(orders, ps)),
+        ]
+    }
+
+    fn load(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        self.t_wh = Some(engine.table("warehouse")?);
+        self.t_dist = Some(engine.table("district")?);
+        self.t_cust = Some(engine.table("customer")?);
+        self.t_item = Some(engine.table("item")?);
+        self.t_stock = Some(engine.table("stock")?);
+        self.t_order = Some(engine.table("orders")?);
+        self.t_ol = Some(engine.table("order_line")?);
+        self.t_no = Some(engine.table("new_order")?);
+        self.t_hist = Some(engine.table("history")?);
+        self.order_pk = Some(engine.table("order_pk")?);
+
+        let tx = engine.begin();
+        for w in 0..self.warehouses as u64 {
+            let mut row = vec![0u8; WH_ROW];
+            put_u64(&mut row, 0, w);
+            self.wh_rids.push(engine.insert(tx, self.t_wh.unwrap(), &row)?);
+            for d in 0..DISTRICTS_PER_WH {
+                let mut row = vec![0u8; DIST_ROW];
+                put_u64(&mut row, 0, w * DISTRICTS_PER_WH + d);
+                self.dist_rids
+                    .push(engine.insert(tx, self.t_dist.unwrap(), &row)?);
+                for c in 0..CUSTOMERS_PER_DISTRICT {
+                    let mut row = vec![0u8; CUST_ROW];
+                    put_u64(&mut row, 0, self.cust_index(w, d, c) as u64);
+                    self.cust_rids
+                        .push(engine.insert(tx, self.t_cust.unwrap(), &row)?);
+                }
+            }
+            for i in 0..ITEMS {
+                let mut row = vec![0u8; STOCK_ROW];
+                put_u64(&mut row, 0, w * ITEMS + i);
+                row[SQTY_OFF] = 100; // initial quantity
+                self.stock_rids
+                    .push(engine.insert(tx, self.t_stock.unwrap(), &row)?);
+            }
+        }
+        for i in 0..ITEMS {
+            let mut row = vec![0u8; ITEM_ROW];
+            put_u64(&mut row, 0, i);
+            put_i64(&mut row, 8, rng.gen_range(100..10_000)); // price
+            self.item_rids
+                .push(engine.insert(tx, self.t_item.unwrap(), &row)?);
+        }
+        engine.commit(tx)?;
+        engine.flush_all()?;
+        Ok(())
+    }
+
+    fn run_tx(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let dice = rng.gen_range(0..100u32);
+        match dice {
+            0..=44 => self.new_order(engine, rng),
+            45..=87 => self.payment(engine, rng),
+            88..=91 => self.order_status(engine, rng),
+            92..=95 => self.delivery(engine, rng),
+            _ => self.stock_level(engine, rng),
+        }
+    }
+
+    fn read_fraction(&self) -> f64 {
+        0.7
+    }
+}
+
+impl TpcC {
+    fn new_order(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(0..self.warehouses as u64);
+        let d = rng.gen_range(0..DISTRICTS_PER_WH);
+        let c = nurand(rng, 255, 0, CUSTOMERS_PER_DISTRICT - 1);
+        let wd = (w * DISTRICTS_PER_WH + d) as usize;
+        let ol_cnt = rng.gen_range(5..=15usize);
+        let rollback = rng.gen_range(0..100) == 0; // spec: 1 % invalid item
+
+        let tx = engine.begin();
+
+        // District: read, take next_o_id, bump it (8-byte field, ~1 byte
+        // of net change).
+        let drid = self.dist_rids[wd];
+        let drow = engine.get(self.t_dist.unwrap(), drid)?;
+        let o_id = crate::util::get_u64(&drow, NEXT_O_OFF);
+        let mut bytes = [0u8; 8];
+        put_u64(&mut bytes, 0, o_id + 1);
+        engine.update_field(tx, self.t_dist.unwrap(), drid, NEXT_O_OFF, &bytes)?;
+
+        // Order + new-order rows.
+        let mut orow = vec![0u8; ORDER_ROW];
+        put_u64(&mut orow, 0, self.order_key(w, d, o_id));
+        put_u64(&mut orow, 8, self.cust_index(w, d, c) as u64);
+        orow[25] = ol_cnt as u8;
+        let order_rid = engine.insert(tx, self.t_order.unwrap(), &orow)?;
+        engine.index_insert(tx, self.order_pk.unwrap(), self.order_key(w, d, o_id), order_rid)?;
+        let mut nrow = vec![0u8; NO_ROW];
+        put_u64(&mut nrow, 0, self.order_key(w, d, o_id));
+        let new_order_rid = engine.insert(tx, self.t_no.unwrap(), &nrow)?;
+
+        // Lines + stock updates.
+        let mut line_rids = Vec::with_capacity(ol_cnt);
+        for l in 0..ol_cnt {
+            let item = nurand(rng, 1023, 0, ITEMS - 1);
+            let _irow = engine.get(self.t_item.unwrap(), self.item_rids[item as usize])?;
+            let srid = self.stock_rids[(w * ITEMS + item) as usize];
+            let srow = engine.get(self.t_stock.unwrap(), srid)?;
+            // quantity -= qty (refill below 10), ytd += qty, order_cnt += 1:
+            // one contiguous 10-byte field update.
+            let qty = rng.gen_range(1..=10);
+            let mut q = i32::from_le_bytes(srow[SQTY_OFF..SQTY_OFF + 4].try_into().unwrap());
+            q = if q - qty < 10 { q - qty + 91 } else { q - qty };
+            let ytd =
+                u32::from_le_bytes(srow[SQTY_OFF + 4..SQTY_OFF + 8].try_into().unwrap()) + 1;
+            let cnt =
+                u16::from_le_bytes(srow[SQTY_OFF + 8..SQTY_OFF + 10].try_into().unwrap()) + 1;
+            let mut field = [0u8; 10];
+            field[..4].copy_from_slice(&q.to_le_bytes());
+            field[4..8].copy_from_slice(&ytd.to_le_bytes());
+            field[8..].copy_from_slice(&cnt.to_le_bytes());
+            engine.update_field(tx, self.t_stock.unwrap(), srid, SQTY_OFF, &field)?;
+
+            let mut lrow = vec![0u8; OL_ROW];
+            put_u64(&mut lrow, 0, self.order_key(w, d, o_id));
+            lrow[8] = l as u8;
+            put_u64(&mut lrow, 16, item);
+            line_rids.push(engine.insert(tx, self.t_ol.unwrap(), &lrow)?);
+        }
+
+        if rollback {
+            engine.abort(tx)?;
+            // Heap writes are undone physically; index undo is logical
+            // (compensating delete), mirroring Shore-MT's logical index
+            // rollback. The tx id is irrelevant for index compensation.
+            engine
+                .index_delete(0, self.order_pk.unwrap(), self.order_key(w, d, o_id))
+                .ok();
+            return Ok(());
+        }
+
+        engine.commit(tx)?;
+        self.next_o_id[wd] = o_id + 1;
+        let open = OpenOrder {
+            order_rid,
+            line_rids: line_rids.clone(),
+            new_order_rid,
+            customer: self.cust_index(w, d, c),
+        };
+        self.undelivered[wd].push_back(open);
+        self.recent[wd].push_back(line_rids.clone());
+        if self.recent[wd].len() > 20 {
+            self.recent[wd].pop_front();
+        }
+        let ci = self.cust_index(w, d, c);
+        self.last_order[ci] = Some((order_rid, line_rids));
+        Ok(())
+    }
+
+    fn payment(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(0..self.warehouses as u64);
+        let d = rng.gen_range(0..DISTRICTS_PER_WH);
+        let c = nurand(rng, 255, 0, CUSTOMERS_PER_DISTRICT - 1);
+        let wd = (w * DISTRICTS_PER_WH + d) as usize;
+        let amount: i64 = rng.gen_range(100..=500_000);
+
+        let tx = engine.begin();
+        // Warehouse YTD.
+        let wrid = self.wh_rids[w as usize];
+        let row = engine.get(self.t_wh.unwrap(), wrid)?;
+        let mut b = [0u8; 8];
+        put_i64(&mut b, 0, get_i64(&row, YTD_OFF) + amount);
+        engine.update_field(tx, self.t_wh.unwrap(), wrid, YTD_OFF, &b)?;
+        // District YTD.
+        let drid = self.dist_rids[wd];
+        let row = engine.get(self.t_dist.unwrap(), drid)?;
+        let mut b = [0u8; 8];
+        put_i64(&mut b, 0, get_i64(&row, YTD_OFF) + amount);
+        engine.update_field(tx, self.t_dist.unwrap(), drid, YTD_OFF, &b)?;
+        // Customer: balance -= amount; ytd += amount; payment_cnt += 1 —
+        // one 18-byte contiguous field write, few net bytes.
+        let crid = self.cust_rids[self.cust_index(w, d, c)];
+        let row = engine.get(self.t_cust.unwrap(), crid)?;
+        let mut field = [0u8; 18];
+        field[..8].copy_from_slice(&(get_i64(&row, CBAL_OFF) - amount).to_le_bytes());
+        field[8..16].copy_from_slice(&(get_i64(&row, CPAY_OFF) + amount).to_le_bytes());
+        let cnt = u16::from_le_bytes(row[CCNT_OFF..CCNT_OFF + 2].try_into().unwrap()) + 1;
+        field[16..].copy_from_slice(&cnt.to_le_bytes());
+        engine.update_field(tx, self.t_cust.unwrap(), crid, CBAL_OFF, &field)?;
+        // History.
+        if !self.hist_full {
+            let mut h = vec![0u8; HIST_ROW];
+            put_u64(&mut h, 0, self.cust_index(w, d, c) as u64);
+            put_i64(&mut h, 8, amount);
+            match engine.insert(tx, self.t_hist.unwrap(), &h) {
+                Ok(_) => {}
+                Err(StorageError::TableFull(_)) => self.hist_full = true,
+                Err(e) => {
+                    engine.abort(tx)?;
+                    return Err(e);
+                }
+            }
+        }
+        engine.commit(tx)
+    }
+
+    fn order_status(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(0..self.warehouses as u64);
+        let d = rng.gen_range(0..DISTRICTS_PER_WH);
+        let c = nurand(rng, 255, 0, CUSTOMERS_PER_DISTRICT - 1);
+        let ci = self.cust_index(w, d, c);
+        let _crow = engine.get(self.t_cust.unwrap(), self.cust_rids[ci])?;
+        if let Some((orid, lines)) = &self.last_order[ci] {
+            let _ = engine.get(self.t_order.unwrap(), *orid)?;
+            for l in lines {
+                let _ = engine.get(self.t_ol.unwrap(), *l)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn delivery(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(0..self.warehouses as u64);
+        let carrier = rng.gen_range(1..=10u8);
+        let tx = engine.begin();
+        for d in 0..DISTRICTS_PER_WH {
+            let wd = (w * DISTRICTS_PER_WH + d) as usize;
+            let Some(open) = self.undelivered[wd].pop_front() else {
+                continue;
+            };
+            // Delete the new-order row, stamp the order, stamp each line.
+            engine.delete(tx, self.t_no.unwrap(), open.new_order_rid)?;
+            engine.update_field(tx, self.t_order.unwrap(), open.order_rid, OCARRIER_OFF, &[carrier])?;
+            let now = [0x11u8; 8];
+            for l in &open.line_rids {
+                engine.update_field(tx, self.t_ol.unwrap(), *l, OLDELIV_OFF, &now)?;
+            }
+            // Customer: balance += total; delivery_cnt += 1.
+            let crid = self.cust_rids[open.customer];
+            let row = engine.get(self.t_cust.unwrap(), crid)?;
+            let mut b = [0u8; 8];
+            put_i64(&mut b, 0, get_i64(&row, CBAL_OFF) + 500);
+            engine.update_field(tx, self.t_cust.unwrap(), crid, CBAL_OFF, &b)?;
+            let dcnt =
+                u16::from_le_bytes(row[CCNT_OFF + 2..CCNT_OFF + 4].try_into().unwrap()) + 1;
+            engine.update_field(tx, self.t_cust.unwrap(), crid, CCNT_OFF + 2, &dcnt.to_le_bytes())?;
+        }
+        engine.commit(tx)
+    }
+
+    fn stock_level(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(0..self.warehouses as u64);
+        let d = rng.gen_range(0..DISTRICTS_PER_WH);
+        let wd = (w * DISTRICTS_PER_WH + d) as usize;
+        let _drow = engine.get(self.t_dist.unwrap(), self.dist_rids[wd])?;
+        let recents: Vec<Vec<Rid>> = self.recent[wd].iter().cloned().collect();
+        for lines in recents {
+            for l in lines {
+                let lrow = engine.get(self.t_ol.unwrap(), l)?;
+                let item = crate::util::get_u64(&lrow, 16);
+                let srid = self.stock_rids[(w * ITEMS + item) as usize];
+                let _ = engine.get(self.t_stock.unwrap(), srid)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::NmScheme;
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+    use ipa_storage::EngineConfig;
+    use rand::SeedableRng;
+
+    fn run(ipa: bool, txs: u64) -> ipa_storage::EngineStats {
+        let mut b = TpcC::with_headroom(1, 2048, 2_000);
+        let dc = DeviceConfig::new(Geometry::new(2048, 32, 2048, 64), FlashMode::PSlc)
+            .with_disturb(DisturbRates::none());
+        let cfg = if ipa {
+            EngineConfig::default().with_ipa(NmScheme::new(2, 4))
+        } else {
+            EngineConfig::default()
+        };
+        let mut e =
+            StorageEngine::build(dc, cfg.with_buffer_frames(128), &b.tables()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        b.load(&mut e, &mut rng).unwrap();
+        for _ in 0..txs {
+            b.run_tx(&mut e, &mut rng).unwrap();
+        }
+        e.flush_all().unwrap();
+        e.stats()
+    }
+
+    #[test]
+    fn mix_runs_clean() {
+        let s = run(true, 300);
+        assert!(s.committed > 250);
+        assert!(s.device.host_reads > 0);
+        assert!(s.device.total_host_writes() > 0);
+        assert!(s.device.in_place_appends > 0, "small updates must append");
+    }
+
+    #[test]
+    fn ipa_reduces_invalidations() {
+        let trad = run(false, 300);
+        let ipa = run(true, 300);
+        assert!(
+            ipa.device.page_invalidations < trad.device.page_invalidations,
+            "IPA {} vs trad {}",
+            ipa.device.page_invalidations,
+            trad.device.page_invalidations
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Small utilities shared by the workload generators: field codecs over
+//! fixed-width rows and skewed samplers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Write a `u64` little-endian at `off`.
+#[inline]
+pub fn put_u64(row: &mut [u8], off: usize, v: u64) {
+    row[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u64` little-endian at `off`.
+#[inline]
+pub fn get_u64(row: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(row[off..off + 8].try_into().unwrap())
+}
+
+/// Write an `i64` little-endian at `off`.
+#[inline]
+pub fn put_i64(row: &mut [u8], off: usize, v: i64) {
+    row[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read an `i64` little-endian at `off`.
+#[inline]
+pub fn get_i64(row: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(row[off..off + 8].try_into().unwrap())
+}
+
+/// Write a `u32` little-endian at `off`.
+#[inline]
+pub fn put_u32(row: &mut [u8], off: usize, v: u32) {
+    row[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` little-endian at `off`.
+#[inline]
+pub fn get_u32(row: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(row[off..off + 4].try_into().unwrap())
+}
+
+/// TPC-C's non-uniform random function `NURand(A, x..=y)`.
+pub fn nurand(rng: &mut StdRng, a: u64, x: u64, y: u64) -> u64 {
+    let c = a / 2; // fixed run constant (spec allows any constant)
+    ((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + c) % (y - x + 1) + x
+}
+
+/// Zipf-like sampler over `0..n` with exponent `s ≈ 1`, implemented via
+/// the inverse-CDF approximation of Gray et al. — exact enough for
+/// hot-spot skew without a per-item table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    theta: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            alpha,
+            zetan,
+            eta,
+            theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a cutoff, then the Euler–Maclaurin tail — keeps
+        // construction O(1)-ish for large n.
+        let cutoff = n.min(10_000);
+        let mut sum = 0.0;
+        for i in 1..=cutoff {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > cutoff {
+            let a = cutoff as f64;
+            let b = n as f64;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Draw an item in `0..n`; item 0 is the hottest.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn codec_round_trips() {
+        let mut row = vec![0u8; 32];
+        put_u64(&mut row, 0, 0xDEAD_BEEF);
+        put_i64(&mut row, 8, -12345);
+        put_u32(&mut row, 16, 777);
+        assert_eq!(get_u64(&row, 0), 0xDEAD_BEEF);
+        assert_eq!(get_i64(&row, 8), -12345);
+        assert_eq!(get_u32(&row, 16), 777);
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = nurand(&mut rng, 1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_respects_bounds_and_skews() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipf::new(10_000, 0.9);
+        let mut head = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let v = z.sample(&mut rng);
+            assert!(v < 10_000);
+            if v < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.9 the top 1 % of items draws far more than 1 % of
+        // accesses.
+        assert!(
+            head > n / 10,
+            "expected heavy head, got {head}/{n} in top 100"
+        );
+    }
+
+    #[test]
+    fn zipf_deterministic_for_seed() {
+        let z = Zipf::new(1000, 0.8);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..50).map(|_| z.sample(&mut a)).collect();
+        let vb: Vec<u64> = (0..50).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

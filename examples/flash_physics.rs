@@ -1,0 +1,100 @@
+//! Poke the NAND simulator directly: the erase-before-overwrite principle,
+//! in-place appends, NOP budgets, mode restrictions and interference —
+//! the physics layer everything else stands on.
+//!
+//! Run: `cargo run --release --example flash_physics`
+
+use in_place_appends::flash::ispp::{simulate_wordline_program, slc_byte_to_levels};
+use in_place_appends::flash::IsppParams;
+use in_place_appends::prelude::*;
+
+fn main() {
+    // --- 1. a page is a row of charge wells -----------------------------
+    println!("1. ISPP can only ADD charge");
+    let params = IsppParams::slc();
+    let erased = [0u8; 8];
+    let programmed = slc_byte_to_levels(0b1010_0110);
+    let trace = simulate_wordline_program(&params, &erased, &programmed).unwrap();
+    println!(
+        "   programming byte 0b1010_0110 onto an erased wordline: {} pulses, {} cells charged",
+        trace.pulses, trace.cells_programmed
+    );
+    let err = simulate_wordline_program(&params, &programmed, &erased).unwrap_err();
+    println!("   trying to erase via programming: {err}");
+
+    // --- 2. the byte-level consequence -----------------------------------
+    println!();
+    println!("2. in-place appends on a real(ish) chip");
+    let mut chip = FlashChip::new(
+        DeviceConfig::new(Geometry::tiny(), FlashMode::Slc).with_disturb(DisturbRates::none()),
+    );
+    let ppa = Ppa::new(2, 5);
+    let mut page = vec![0xFF; 2048];
+    page[..1500].copy_from_slice(&[0xC3; 1500]);
+    let oob = vec![0xFF; 64];
+    chip.program_page(ppa, &page, &oob).unwrap();
+    println!("   wrote 1500 B; {} B of the page still erased", 2048 - 1500);
+
+    for round in 0..3 {
+        let off = 1500 + round * 100;
+        chip.append_region(ppa, off, &[round as u8 + 1; 100], 0, &[])
+            .unwrap();
+        println!(
+            "   append #{}: 100 B at offset {off}, program count now {}",
+            round + 1,
+            chip.program_count(ppa).unwrap()
+        );
+    }
+    let img = chip.read_page(ppa).unwrap();
+    assert_eq!(&img.data[1500..1600], &[1u8; 100][..]);
+
+    // --- 3. NOP budget ----------------------------------------------------
+    println!();
+    println!("3. NOP: partial programs between erases are bounded");
+    println!(
+        "   this SLC chip allows {} programs per page; we have used {}",
+        chip.nop_limit(ppa.page),
+        chip.program_count(ppa).unwrap()
+    );
+
+    // --- 4. mode restrictions ----------------------------------------------
+    println!();
+    println!("4. modes: pSLC uses only LSB pages, odd-MLC restricts appends");
+    let pslc = FlashMode::PSlc;
+    println!(
+        "   pSLC: page 0 usable = {}, page 1 usable = {} (capacity factor {})",
+        pslc.page_usable(0),
+        pslc.page_usable(1),
+        pslc.capacity_factor()
+    );
+    let odd = FlashMode::OddMlc;
+    println!(
+        "   odd-MLC: append-safe on page 1 (LSB) = {}, on page 2 (MSB) = {}",
+        odd.ipa_safe(1),
+        odd.ipa_safe(2)
+    );
+
+    // --- 5. interference: why full-MLC IPA is forbidden ---------------------
+    println!();
+    println!("5. hammering a full-MLC wordline corrupts its neighbour");
+    let mut cfg = DeviceConfig::new(Geometry::tiny(), FlashMode::MlcFull).with_nop(16);
+    cfg.disturb = DisturbRates::realistic();
+    let mut chip = FlashChip::new(cfg);
+    let victim = Ppa::new(0, 3);
+    let aggressor = Ppa::new(0, 2); // same wordline pair
+    let oob = vec![0xFF; 64];
+    chip.program_page(victim, &vec![0xFF; 2048], &oob).unwrap();
+    let mut agg = vec![0xFF; 2048];
+    chip.program_page(aggressor, &agg, &oob).unwrap();
+    for i in 0..10usize {
+        agg[i] = 0;
+        chip.reprogram_page(aggressor, &agg, &oob).unwrap();
+    }
+    println!(
+        "   10 unsafe re-programs injected {} disturb bit flips into neighbours",
+        chip.stats().disturb_bits_injected
+    );
+    assert!(chip.stats().disturb_bits_injected > 0);
+    println!();
+    println!("(this is what the paper's pSLC / odd-MLC configurations are protecting against)");
+}

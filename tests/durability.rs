@@ -1,0 +1,159 @@
+//! Durability and recovery across write strategies: committed state must
+//! survive clean restarts and crashes identically whether pages reached
+//! flash as full writes or as in-place delta appends.
+
+use in_place_appends::prelude::*;
+
+fn engine(strategy: WriteStrategy, scheme: NmScheme) -> StorageEngine {
+    let device = DeviceConfig::small().with_seed(7);
+    let config = match strategy {
+        WriteStrategy::Traditional => EngineConfig::default(),
+        _ => EngineConfig::default().with_strategy(strategy, scheme),
+    }
+    .with_buffer_frames(12);
+    StorageEngine::build(
+        device,
+        config,
+        &[
+            TableSpec::heap("t", 64, 128),
+            TableSpec::index("t_pk", 64),
+        ],
+    )
+    .expect("engine")
+}
+
+fn all_strategies() -> [(WriteStrategy, NmScheme); 3] {
+    [
+        (WriteStrategy::Traditional, NmScheme::disabled()),
+        (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
+        (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
+    ]
+}
+
+/// Deterministic update workload returning the expected final rows.
+fn run_updates(e: &mut StorageEngine, rounds: u64) -> Vec<(u64, Rid, u8)> {
+    let t = e.table("t").unwrap();
+    let pk = e.table("t_pk").unwrap();
+    let tx = e.begin();
+    let mut rows = Vec::new();
+    for k in 0..300u64 {
+        let mut row = [0u8; 64];
+        row[..8].copy_from_slice(&k.to_le_bytes());
+        let rid = e.insert(tx, t, &row).unwrap();
+        e.index_insert(tx, pk, k, rid).unwrap();
+        rows.push((k, rid, 0u8));
+    }
+    e.commit(tx).unwrap();
+    e.flush_all().unwrap();
+
+    for round in 0..rounds {
+        for (k, rid, latest) in rows.iter_mut() {
+            if (*k + round) % 7 == 0 {
+                let v = (round as u8).wrapping_mul(31).wrapping_add(*k as u8);
+                let tx = e.begin();
+                e.update_field(tx, t, *rid, 20, &[v]).unwrap();
+                e.commit(tx).unwrap();
+                *latest = v;
+            }
+        }
+        e.flush_all().unwrap();
+    }
+    rows
+}
+
+#[test]
+fn committed_state_survives_clean_restart_under_every_strategy() {
+    for (strategy, scheme) in all_strategies() {
+        let mut e = engine(strategy, scheme);
+        let rows = run_updates(&mut e, 6);
+        e.restart_clean().unwrap();
+        let t = e.table("t").unwrap();
+        for (k, rid, latest) in &rows {
+            let row = e.get(t, *rid).unwrap();
+            assert_eq!(
+                row[20], *latest,
+                "{strategy:?}: row {k} lost its last committed update"
+            );
+            assert_eq!(
+                u64::from_le_bytes(row[..8].try_into().unwrap()),
+                *k,
+                "{strategy:?}: row {k} identity corrupted"
+            );
+        }
+    }
+}
+
+#[test]
+fn final_state_identical_across_strategies() {
+    // The write strategy is purely a device-level optimization: the
+    // logical database state must be bit-identical afterwards.
+    let mut images: Vec<Vec<Vec<u8>>> = Vec::new();
+    for (strategy, scheme) in all_strategies() {
+        let mut e = engine(strategy, scheme);
+        let rows = run_updates(&mut e, 5);
+        e.restart_clean().unwrap();
+        let t = e.table("t").unwrap();
+        let img: Vec<Vec<u8>> = rows.iter().map(|(_, rid, _)| e.get(t, *rid).unwrap()).collect();
+        images.push(img);
+    }
+    assert_eq!(images[0], images[1], "traditional vs conventional IPA");
+    assert_eq!(images[0], images[2], "traditional vs native IPA");
+}
+
+#[test]
+fn crash_recovery_under_ipa() {
+    let mut e = engine(WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    let t = e.table("t").unwrap();
+    let tx = e.begin();
+    let mut rids = Vec::new();
+    for k in 0..100u64 {
+        let mut row = [0u8; 64];
+        row[..8].copy_from_slice(&k.to_le_bytes());
+        rids.push(e.insert(tx, t, &row).unwrap());
+    }
+    e.commit(tx).unwrap();
+    e.flush_all().unwrap();
+
+    // Committed but unflushed updates.
+    for (i, rid) in rids.iter().enumerate() {
+        let tx = e.begin();
+        e.update_field(tx, t, *rid, 30, &[i as u8 ^ 0x5A]).unwrap();
+        e.commit(tx).unwrap();
+    }
+    // Uncommitted straggler.
+    let tx = e.begin();
+    e.update_field(tx, t, rids[0], 40, &[0xEE]).unwrap();
+
+    e.crash();
+    let report = e.recover().unwrap();
+    assert!(report.updates_redone >= 100);
+    assert!(report.updates_skipped_uncommitted >= 1);
+
+    for (i, rid) in rids.iter().enumerate() {
+        let row = e.get(t, *rid).unwrap();
+        assert_eq!(row[30], i as u8 ^ 0x5A, "committed update {i} lost");
+    }
+    assert_ne!(e.get(t, rids[0]).unwrap()[40], 0xEE, "uncommitted redone");
+}
+
+#[test]
+fn abort_is_equivalent_to_never_running() {
+    for (strategy, scheme) in all_strategies() {
+        let mut e = engine(strategy, scheme);
+        let t = e.table("t").unwrap();
+        let tx = e.begin();
+        let rid = e.insert(tx, t, &[9u8; 64]).unwrap();
+        e.commit(tx).unwrap();
+        e.flush_all().unwrap();
+        let before = e.get(t, rid).unwrap();
+
+        let tx = e.begin();
+        e.update_field(tx, t, rid, 0, &[1, 2, 3, 4]).unwrap();
+        e.update_field(tx, t, rid, 32, &[5, 6]).unwrap();
+        e.abort(tx).unwrap();
+        e.flush_all().unwrap();
+        e.restart_clean().unwrap();
+
+        assert_eq!(e.get(t, rid).unwrap(), before, "{strategy:?}: abort leaked");
+    }
+}

@@ -1,0 +1,120 @@
+//! Full-stack integration: every workload on every write strategy, with
+//! the paper's directional claims asserted as invariants.
+
+use in_place_appends::prelude::*;
+use in_place_appends::workloads::RunResult;
+
+fn quick(kind: WorkloadKind, strategy: WriteStrategy, scheme: NmScheme) -> RunResult {
+    let cfg = DriverConfig::default()
+        .with_transactions(400)
+        .with_seed(0xFEED);
+    Driver::run_configured(kind, 1, strategy, scheme, FlashMode::PSlc, &cfg)
+        .expect("benchmark run")
+}
+
+#[test]
+fn every_workload_runs_under_every_strategy() {
+    for kind in WorkloadKind::all() {
+        for (strategy, scheme) in [
+            (WriteStrategy::Traditional, NmScheme::disabled()),
+            (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
+            (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
+        ] {
+            let r = quick(kind, strategy, scheme);
+            assert_eq!(r.transactions, 400, "{kind:?}/{strategy:?}");
+            assert!(r.tps > 0.0);
+            assert!(r.device.host_reads > 0, "{kind:?} must read");
+        }
+    }
+}
+
+#[test]
+fn ipa_never_invalidates_more_than_traditional() {
+    for kind in WorkloadKind::all() {
+        let trad = quick(kind, WriteStrategy::Traditional, NmScheme::disabled());
+        let ipa = quick(kind, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+        assert!(
+            ipa.device.page_invalidations <= trad.device.page_invalidations,
+            "{kind:?}: IPA {} vs traditional {}",
+            ipa.device.page_invalidations,
+            trad.device.page_invalidations
+        );
+        assert!(ipa.device.in_place_appends > 0, "{kind:?} produced no appends");
+    }
+}
+
+#[test]
+fn conventional_and_native_ipa_give_similar_gc_relief() {
+    // Paper §4: "Both IPA scenarios #2 and #3 result in the same reduction
+    // of GC overhead"; #3 additionally cuts transferred bytes.
+    let conv = quick(
+        WorkloadKind::TpcB,
+        WriteStrategy::IpaConventional,
+        NmScheme::new(2, 4),
+    );
+    let native = quick(WorkloadKind::TpcB, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    let inval_diff = (conv.device.page_invalidations as f64
+        - native.device.page_invalidations as f64)
+        .abs()
+        / native.device.page_invalidations.max(1) as f64;
+    assert!(
+        inval_diff < 0.25,
+        "scenario 2 vs 3 invalidations diverge: {} vs {}",
+        conv.device.page_invalidations,
+        native.device.page_invalidations
+    );
+    assert!(
+        native.device.bytes_host_written < conv.device.bytes_host_written / 2,
+        "write_delta must slash transferred bytes: {} vs {}",
+        native.device.bytes_host_written,
+        conv.device.bytes_host_written
+    );
+}
+
+#[test]
+fn device_accounting_identities() {
+    for (strategy, scheme) in [
+        (WriteStrategy::Traditional, NmScheme::disabled()),
+        (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
+        (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
+    ] {
+        let r = quick(WorkloadKind::TpcB, strategy, scheme);
+        let d = &r.device;
+        assert_eq!(
+            d.total_host_writes(),
+            d.in_place_appends + d.out_of_place_writes,
+            "{strategy:?}: every host write is exactly one of in-place / out-of-place"
+        );
+        // Physical programs = host out-of-place + host in-place + GC moves.
+        assert_eq!(
+            r.flash.total_programs(),
+            d.out_of_place_writes + d.in_place_appends + d.gc_page_migrations,
+            "{strategy:?}: flash program accounting"
+        );
+        // Invalidated pages can only be created by overwrites.
+        assert!(d.page_invalidations <= d.out_of_place_writes);
+        assert!(d.uncorrectable_reads == 0, "quiet device must not lose data");
+    }
+}
+
+#[test]
+fn tatp_read_mostly_mix_shape() {
+    let r = quick(WorkloadKind::Tatp, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    // 80 % of TATP transactions are reads; device reads must dominate
+    // writes by a wide margin.
+    assert!(
+        r.device.host_reads > 2 * r.device.total_host_writes(),
+        "reads {} vs writes {}",
+        r.device.host_reads,
+        r.device.total_host_writes()
+    );
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let a = quick(WorkloadKind::LinkBench, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    let b = quick(WorkloadKind::LinkBench, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    assert_eq!(a.device, b.device);
+    assert_eq!(a.elapsed_ns, b.elapsed_ns);
+    assert_eq!(a.flash.total_programs(), b.flash.total_programs());
+}
