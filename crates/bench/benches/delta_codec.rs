@@ -2,7 +2,9 @@
 //! the paper claims is "negligible or no overhead to the DBMS".
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ipa_core::{apply_and_collect, scan_records, write_record_into, ChangeTracker, DeltaRecord, NmScheme};
+use ipa_core::{
+    apply_and_collect, scan_records, write_record_into, ChangeTracker, DeltaRecord, NmScheme,
+};
 use ipa_storage::standard_layout;
 
 fn bench_codec(c: &mut Criterion) {

@@ -26,8 +26,18 @@ fn main() {
     ipa_bench::rule(118);
     println!(
         "{:<12}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}  {:>10}{:>11}{:>12}{:>14}{:>14}",
-        "workload", "<=10B", "<=50B", "<=100B", "<=500B", "<=1KB", ">1KB", "evictions",
-        "<100B [%]", "mean [B]", "WA trad [x]", "WA ipa [x]"
+        "workload",
+        "<=10B",
+        "<=50B",
+        "<=100B",
+        "<=500B",
+        "<=1KB",
+        ">1KB",
+        "evictions",
+        "<100B [%]",
+        "mean [B]",
+        "WA trad [x]",
+        "WA ipa [x]"
     );
     ipa_bench::rule(118);
 
@@ -86,8 +96,6 @@ fn main() {
         );
     }
     ipa_bench::rule(118);
-    println!(
-        "paper: >70% of evicted dirty 8KB pages carry <100 net bytes; traditional WA ≈ 80x;"
-    );
+    println!("paper: >70% of evicted dirty 8KB pages carry <100 net bytes; traditional WA ≈ 80x;");
     println!("       write_delta transfers only the delta records (Figure 1, lower half).");
 }

@@ -14,7 +14,10 @@
 //! Usage: `cargo run --release -p ipa-bench --bin fig2_ispp`
 
 use ipa_flash::ispp::{simulate_wordline_program, slc_byte_to_levels};
-use ipa_flash::{CellType, DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry, IsppParams, Ppa, ProgramKind};
+use ipa_flash::{
+    CellType, DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry, IsppParams, Ppa,
+    ProgramKind,
+};
 
 fn main() {
     println!();
@@ -23,12 +26,18 @@ fn main() {
 
     // --- staircase lengths and latencies -------------------------------
     for (name, params) in [("SLC", IsppParams::slc()), ("MLC", IsppParams::mlc())] {
-        println!("{name} ISPP: ΔVpgm = {:.2} V, pulse {} µs + verify {} µs",
+        println!(
+            "{name} ISPP: ΔVpgm = {:.2} V, pulse {} µs + verify {} µs",
             params.delta_v,
             params.t_pulse_ns / 1000,
             params.t_verify_ns / 1000
         );
-        let levels = if name == "SLC" { CellType::Slc } else { CellType::Mlc }.levels();
+        let levels = if name == "SLC" {
+            CellType::Slc
+        } else {
+            CellType::Mlc
+        }
+        .levels();
         for level in 1..levels {
             println!(
                 "  level {level} (Vt {:.1} V): {:>2} pulses",
@@ -80,8 +89,10 @@ fn main() {
     let mut appended = page.clone();
     appended[1024..1124].fill(0x33);
     chip.reprogram_page(ppa, &appended, &oob).unwrap();
-    println!("  appended 100 B in place without erase: OK (program_count = {})",
-        chip.program_count(ppa).unwrap());
+    println!(
+        "  appended 100 B in place without erase: OK (program_count = {})",
+        chip.program_count(ppa).unwrap()
+    );
 
     let mut conflicting = appended.clone();
     conflicting[0] = 0xFF; // 0x5A → 0xFF needs 0→1 transitions
@@ -91,7 +102,10 @@ fn main() {
     }
 
     chip.erase_block(0).unwrap();
-    println!("  after erase_block: page erased = {}", chip.is_erased(ppa).unwrap());
+    println!(
+        "  after erase_block: page erased = {}",
+        chip.is_erased(ppa).unwrap()
+    );
     ipa_bench::rule(72);
     println!("paper: ISPP only adds charge; appends into unprogrammed cells need no erase.");
 }

@@ -21,7 +21,15 @@ fn main() {
         "scheme", "record [B]", "area [B]", "area [%page]", "body [B]", "OOB need [B]"
     );
     ipa_bench::rule(86);
-    for (n, m) in [(1u16, 4u16), (2, 4), (2, 8), (4, 4), (4, 8), (8, 8), (8, 16)] {
+    for (n, m) in [
+        (1u16, 4u16),
+        (2, 4),
+        (2, 8),
+        (4, 4),
+        (4, 8),
+        (8, 8),
+        (8, 16),
+    ] {
         let scheme = NmScheme::new(n, m);
         let layout = standard_layout(page_size, scheme);
         let codec = OobCodec::new(page_size, 512, Some(layout));
@@ -65,17 +73,26 @@ fn main() {
     }
     tracker.record_write(4, buffered[4], 0x99);
     buffered[4] = 0x99;
-    println!("  tracked: {} body bytes + metadata, verdict {:?}",
-        tracker.changed_body_bytes(), tracker.verdict());
+    println!(
+        "  tracked: {} body bytes + metadata, verdict {:?}",
+        tracker.changed_body_bytes(),
+        tracker.verdict()
+    );
 
     let records = tracker.build_new_records(&buffered);
-    println!("  built {} delta record(s), {} pairs in record 0",
-        records.len(), records[0].pairs.len());
+    println!(
+        "  built {} delta record(s), {} pairs in record 0",
+        records.len(),
+        records[0].pairs.len()
+    );
 
     // Append onto the flash image (what write_delta does device-side).
     let mut on_flash = flash_image.clone();
     ipa_core::write_record_into(&mut on_flash, &layout, 0, &records[0]);
-    let legal = on_flash.iter().zip(&flash_image).all(|(&n2, &o)| n2 & !o == 0);
+    let legal = on_flash
+        .iter()
+        .zip(&flash_image)
+        .all(|(&n2, &o)| n2 & !o == 0);
     println!("  append is a legal 1→0 overwrite of the stored page: {legal}");
 
     // Fetch-time reconstruction.
@@ -87,15 +104,22 @@ fn main() {
         fetched[layout.body_range()] == buffered[layout.body_range()],
         fetched[4] == 0x99,
     );
-    assert_eq!(scan_records(&fetched, &layout).len(), 0, "area wiped after apply");
+    assert_eq!(
+        scan_records(&fetched, &layout).len(),
+        0,
+        "area wiped after apply"
+    );
 
     // --- OOB layout ------------------------------------------------------
     println!();
     println!("OOB layout (128 B), [2x4] on 8 KB page:");
     let codec = OobCodec::new(page_size, 128, Some(layout));
     let initial_cw = (page_size - layout.delta_area_len()).div_ceil(512);
-    println!("  ECC_initial  : bytes 0..{}   ({} codewords × 4 B, covers page minus delta area)",
-        initial_cw * 4, initial_cw);
+    println!(
+        "  ECC_initial  : bytes 0..{}   ({} codewords × 4 B, covers page minus delta area)",
+        initial_cw * 4,
+        initial_cw
+    );
     for i in 0..2u16 {
         println!(
             "  ECC_delta_rec {}: bytes {}..{} (covers record slot {} alone)",

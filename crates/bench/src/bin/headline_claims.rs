@@ -71,13 +71,15 @@ fn main() {
         );
         let gc = ipa_bench::pct(
             per_tx(ipa.device.gc_page_migrations + ipa.device.gc_erases, &ipa),
-            per_tx(trad.device.gc_page_migrations + trad.device.gc_erases, &trad),
+            per_tx(
+                trad.device.gc_page_migrations + trad.device.gc_erases,
+                &trad,
+            ),
         );
         let tput = ipa_bench::pct(ipa.tps, trad.tps);
         // Longevity ∝ 1 / (erases per raw block per transaction): same
         // work, same silicon — how much later does the device wear out?
-        let wear_trad =
-            per_tx(trad.flash.block_erases.max(1), &trad) / trad.raw_blocks as f64;
+        let wear_trad = per_tx(trad.flash.block_erases.max(1), &trad) / trad.raw_blocks as f64;
         let wear_ipa = per_tx(ipa.flash.block_erases.max(1), &ipa) / ipa.raw_blocks as f64;
         let longevity = wear_trad / wear_ipa.max(1e-18);
         let in_place = ipa.device.in_place_fraction() * 100.0;

@@ -10,8 +10,8 @@
 
 use ipa_core::{DeltaRecord, NmScheme};
 use ipa_flash::{DeviceConfig, FlashMode, Geometry};
-use ipa_ftl::{Ftl, FtlConfig, FtlError, NativeFlashDevice};
 use ipa_ftl::BlockDevice;
+use ipa_ftl::{Ftl, FtlConfig, FtlError, NativeFlashDevice};
 use ipa_storage::standard_layout;
 
 struct Outcome {

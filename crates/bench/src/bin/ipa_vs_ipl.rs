@@ -28,8 +28,17 @@ fn main() {
     ipa_bench::rule(116);
     println!(
         "{:<10}{:>9}{:>12}{:>12}{:>9}{:>12}{:>12}{:>9}{:>10}{:>10}{:>10}",
-        "workload", "events", "IPL reads", "IPA reads", "Δr[%]", "IPL writes", "IPA writes",
-        "Δw[%]", "IPL er.", "IPA er.", "Δe[%]"
+        "workload",
+        "events",
+        "IPL reads",
+        "IPA reads",
+        "Δr[%]",
+        "IPL writes",
+        "IPA writes",
+        "Δw[%]",
+        "IPL er.",
+        "IPA er.",
+        "Δe[%]"
     );
     ipa_bench::rule(116);
 
@@ -47,7 +56,9 @@ fn main() {
         )
         .expect("engine");
         engine.pool_mut().enable_tracing();
-        let cfg = DriverConfig::default().with_transactions(tx).with_seed(seed);
+        let cfg = DriverConfig::default()
+            .with_transactions(tx)
+            .with_seed(seed);
         Driver::run(bench.as_mut(), &mut engine, &cfg).expect("trace run");
         let trace = engine.pool_mut().take_trace();
 

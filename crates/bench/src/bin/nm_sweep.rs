@@ -32,11 +32,21 @@ fn main() {
 
     for kind in [WorkloadKind::TpcB, WorkloadKind::Tatp] {
         println!();
-        println!("N x M sweep — {} , IPA native, pSLC, {secs:.0} simulated seconds", kind.name());
+        println!(
+            "N x M sweep — {} , IPA native, pSLC, {secs:.0} simulated seconds",
+            kind.name()
+        );
         ipa_bench::rule(108);
         println!(
             "{:<10}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}",
-            "scheme", "area [B]", "in-place [%]", "invalid./tx", "erases/tx", "tps", "Δtps [%]", "tx"
+            "scheme",
+            "area [B]",
+            "in-place [%]",
+            "invalid./tx",
+            "erases/tx",
+            "tps",
+            "Δtps [%]",
+            "tx"
         );
         ipa_bench::rule(108);
         let mut base_tps = None;

@@ -61,7 +61,11 @@ fn main() {
     verdicts.push(Verdict {
         name: "E1 throughput ordering (pSLC > odd-MLC > 0x0)",
         pass: tput_pslc > tput_odd && tput_odd > 1.0,
-        detail: format!("pSLC {:+.0}%, odd-MLC {:+.0}%", (tput_pslc - 1.0) * 100.0, (tput_odd - 1.0) * 100.0),
+        detail: format!(
+            "pSLC {:+.0}%, odd-MLC {:+.0}%",
+            (tput_pslc - 1.0) * 100.0,
+            (tput_odd - 1.0) * 100.0
+        ),
     });
     verdicts.push(Verdict {
         name: "E1 throughput gain magnitude (paper +46%)",
@@ -99,7 +103,9 @@ fn main() {
         )
         .expect("engine");
         engine.pool_mut().enable_net_write_measurement();
-        let run_cfg = DriverConfig::default().with_transactions(2_500).with_seed(seed);
+        let run_cfg = DriverConfig::default()
+            .with_transactions(2_500)
+            .with_seed(seed);
         Driver::run(bench.as_mut(), &mut engine, &run_cfg).expect("run");
         under100.push((kind, engine.pool().stats().net_bytes.fraction_under_100b()));
     }
@@ -126,7 +132,9 @@ fn main() {
     )
     .expect("engine");
     engine.pool_mut().enable_tracing();
-    let run_cfg = DriverConfig::default().with_transactions(3_000).with_seed(seed);
+    let run_cfg = DriverConfig::default()
+        .with_transactions(3_000)
+        .with_seed(seed);
     Driver::run(bench.as_mut(), &mut engine, &run_cfg).expect("trace run");
     let trace = engine.pool_mut().take_trace();
     let device = || {
@@ -136,19 +144,26 @@ fn main() {
         )
         .with_disturb(ipa_flash::DisturbRates::none())
     };
-    let (ipl, _) = ipa_ipl::replay_ipl(&trace, device(), ipa_ipl::IplConfig::default())
-        .expect("IPL replay");
+    let (ipl, _) =
+        ipa_ipl::replay_ipl(&trace, device(), ipa_ipl::IplConfig::default()).expect("IPL replay");
     let (ipa, _) = ipa_ipl::replay_ipa(&trace, device(), NmScheme::new(2, 4)).expect("IPA replay");
     verdicts.push(Verdict {
         name: "E5 IPA fewer flash writes than IPL (paper 23-62%)",
         pass: (ipa.flash_writes as f64) < ipl.flash_writes as f64 * 0.77,
-        detail: format!("{} vs {} ({:+.0}%)", ipa.flash_writes, ipl.flash_writes,
-            (ipa.flash_writes as f64 / ipl.flash_writes as f64 - 1.0) * 100.0),
+        detail: format!(
+            "{} vs {} ({:+.0}%)",
+            ipa.flash_writes,
+            ipl.flash_writes,
+            (ipa.flash_writes as f64 / ipl.flash_writes as f64 - 1.0) * 100.0
+        ),
     });
     verdicts.push(Verdict {
         name: "E5 IPL read amplification, IPA none (paper: doubling reads)",
         pass: ipl.flash_reads > 2 * ipa.flash_reads,
-        detail: format!("IPL {} vs IPA {} flash reads", ipl.flash_reads, ipa.flash_reads),
+        detail: format!(
+            "IPL {} vs IPA {} flash reads",
+            ipl.flash_reads, ipa.flash_reads
+        ),
     });
 
     // --- E7: interference ---------------------------------------------------
@@ -158,12 +173,9 @@ fn main() {
         use ipa_core::DeltaRecord;
         use ipa_ftl::{BlockDevice, Ftl, FtlConfig, NativeFlashDevice};
         let layout = ipa_storage::standard_layout(8192, NmScheme::new(8, 8));
-        let dc = ipa_flash::DeviceConfig::new(
-            ipa_flash::Geometry::new(64, 64, 8192, 256),
-            mode,
-        )
-        .with_nop(16)
-        .with_seed(seed);
+        let dc = ipa_flash::DeviceConfig::new(ipa_flash::Geometry::new(64, 64, 8192, 256), mode)
+            .with_nop(16)
+            .with_seed(seed);
         let mut cfg = FtlConfig::ipa_native(layout);
         if unsafe_ipa {
             cfg = cfg.with_unsafe_ipa();
@@ -198,7 +210,10 @@ fn main() {
                 }
             }
         }
-        (BlockDevice::flash_stats(&ftl).disturb_bits_injected, uncorrectable)
+        (
+            BlockDevice::flash_stats(&ftl).disturb_bits_injected,
+            uncorrectable,
+        )
     };
     let (_, uc_pslc) = probe(FlashMode::PSlc, false);
     let (_, uc_odd) = probe(FlashMode::OddMlc, false);

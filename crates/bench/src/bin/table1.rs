@@ -110,13 +110,7 @@ fn print_table(secs: f64, base: &RunResult, pslc: &RunResult, odd: &RunResult) {
     };
     row(
         "Out-of-Place vs In-Place [%]",
-        &[
-            split(base),
-            split(pslc),
-            "".into(),
-            split(odd),
-            "".into(),
-        ],
+        &[split(base), split(pslc), "".into(), split(odd), "".into()],
     );
 
     abs_rel("GC Page Migrations", &|r| r.device.gc_page_migrations);
@@ -142,10 +136,22 @@ fn print_table(secs: f64, base: &RunResult, pslc: &RunResult, odd: &RunResult) {
     row(
         "Tx latency p50 / p99 [us]",
         &[
-            format!("{}/{}", base.latency.p50_ns / 1000, base.latency.p99_ns / 1000),
-            format!("{}/{}", pslc.latency.p50_ns / 1000, pslc.latency.p99_ns / 1000),
+            format!(
+                "{}/{}",
+                base.latency.p50_ns / 1000,
+                base.latency.p99_ns / 1000
+            ),
+            format!(
+                "{}/{}",
+                pslc.latency.p50_ns / 1000,
+                pslc.latency.p99_ns / 1000
+            ),
             "".into(),
-            format!("{}/{}", odd.latency.p50_ns / 1000, odd.latency.p99_ns / 1000),
+            format!(
+                "{}/{}",
+                odd.latency.p50_ns / 1000,
+                odd.latency.p99_ns / 1000
+            ),
             "".into(),
         ],
     );
@@ -171,9 +177,7 @@ fn print_table(secs: f64, base: &RunResult, pslc: &RunResult, odd: &RunResult) {
         base.max_erase_count, pslc.max_erase_count, odd.max_erase_count
     );
     println!();
-    println!(
-        "paper (2h on OpenSSD):   migrations -75% (pSLC) / -48% (odd-MLC); erases -53%/-52%;"
-    );
+    println!("paper (2h on OpenSSD):   migrations -75% (pSLC) / -48% (odd-MLC); erases -53%/-52%;");
     println!(
         "                         throughput +46%/+20%; host reads +47%/+29% (time-boxed run)."
     );

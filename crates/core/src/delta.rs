@@ -51,7 +51,11 @@ impl DeltaRecord {
     pub fn encode(&self, layout: &PageLayout) -> Vec<u8> {
         let m = layout.scheme.m as usize;
         assert!(self.pairs.len() <= m, "too many pairs for scheme");
-        assert_eq!(self.meta.len(), layout.meta_len(), "Δmetadata size mismatch");
+        assert_eq!(
+            self.meta.len(),
+            layout.meta_len(),
+            "Δmetadata size mismatch"
+        );
         let mut out = Vec::with_capacity(layout.record_size());
         out.push(self.pairs.len() as u8); // bit 7 clear = present
         for &(off, val) in &self.pairs {
@@ -273,6 +277,49 @@ mod tests {
     }
 
     proptest! {
+        /// The zero-length delta (no pairs — a pure Δmetadata append) is a
+        /// first-class record: slot-sized, round-trippable, and applying
+        /// it never touches a body byte.
+        #[test]
+        fn zero_length_delta_round_trips(
+            meta_fill in any::<u8>(),
+            body_fill in any::<u8>(),
+        ) {
+            let l = layout();
+            let rec = DeltaRecord::new(Vec::new(), vec![meta_fill; l.meta_len()], l.scheme);
+            let bytes = rec.encode(&l);
+            prop_assert_eq!(bytes.len(), l.record_size());
+            prop_assert_eq!(DeltaRecord::decode(&bytes, &l).as_ref(), Some(&rec));
+
+            let mut page = vec![body_fill; l.page_size];
+            let before: Vec<u8> = l.body_range().map(|i| page[i]).collect();
+            rec.apply(&mut page, &l);
+            let after: Vec<u8> = l.body_range().map(|i| page[i]).collect();
+            prop_assert_eq!(before, after);
+        }
+
+        /// Arbitrary single-bit corruption of an encoded slot must never
+        /// panic the decoder or yield a record that violates the N×M
+        /// scheme — corrupt slots decode as `None` or as a conforming
+        /// record (whose damage is then ECC's job to catch, Figure 3).
+        #[test]
+        fn corrupted_slots_never_yield_nonconforming_records(
+            pairs in proptest::collection::vec((24u16..2000, any::<u8>()), 0..=4),
+            meta_fill in any::<u8>(),
+            flip in any::<usize>(),
+        ) {
+            let l = layout();
+            let rec = DeltaRecord::new(pairs, vec![meta_fill; l.meta_len()], l.scheme);
+            let mut bytes = rec.encode(&l);
+            let bit = flip % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Some(got) = DeltaRecord::decode(&bytes, &l) {
+                prop_assert!(got.pairs.len() <= l.scheme.m as usize);
+                prop_assert_eq!(got.meta.len(), l.meta_len());
+                prop_assert_eq!(got.encode(&l).len(), l.record_size());
+            }
+        }
+
         /// encode → decode is the identity for any conformant record.
         #[test]
         fn codec_round_trip(

@@ -21,7 +21,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::delta::{write_record_into, DeltaRecord};
 use crate::layout::PageLayout;
 
@@ -149,7 +148,10 @@ impl ChangeTracker {
         let off = offset as u16;
         match self.changes.entry(off) {
             std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(ByteChange { base: old, latest: new });
+                v.insert(ByteChange {
+                    base: old,
+                    latest: new,
+                });
             }
             std::collections::btree_map::Entry::Occupied(mut o) => {
                 if o.get().base == new {
@@ -161,8 +163,7 @@ impl ChangeTracker {
             }
         }
         // Conformance check (paper: checked on update, not at eviction).
-        if self.pending_records() + self.records_on_flash() as usize
-            > self.layout.scheme.n as usize
+        if self.pending_records() + self.records_on_flash() as usize > self.layout.scheme.n as usize
         {
             self.mark_out_of_place();
         }
@@ -476,11 +477,11 @@ mod tests {
         let image = t.build_conventional_image(&original, &current);
         // Body outside the delta area identical to the original → the
         // image is flash-overwrite-compatible.
-        assert_eq!(&image[..l.delta_area_offset()], &original[..l.delta_area_offset()]);
-        let legal = image
-            .iter()
-            .zip(&original)
-            .all(|(&n, &o)| n & !o == 0);
+        assert_eq!(
+            &image[..l.delta_area_offset()],
+            &original[..l.delta_area_offset()]
+        );
+        let legal = image.iter().zip(&original).all(|(&n, &o)| n & !o == 0);
         assert!(legal, "conventional image must be a pure append");
 
         // Applying the image's delta records reproduces the buffer state.

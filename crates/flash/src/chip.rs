@@ -405,9 +405,9 @@ impl FlashChip {
             }
             let g = self.config.geometry;
             let page = self.blocks[vppa.block as usize].page_mut(vppa.page);
-            let flipped = self
-                .disturb
-                .inject_flips(&mut self.rng, page.data_mut(g.page_size), count);
+            let flipped =
+                self.disturb
+                    .inject_flips(&mut self.rng, page.data_mut(g.page_size), count);
             self.stats.disturb_bits_injected += flipped as u64;
         }
     }
@@ -454,9 +454,7 @@ impl FlashChip {
 #[inline]
 fn first_illegal_byte(old: &[u8], new: &[u8]) -> Option<usize> {
     debug_assert_eq!(old.len(), new.len());
-    old.iter()
-        .zip(new)
-        .position(|(&o, &n)| n & !o != 0)
+    old.iter().zip(new).position(|(&o, &n)| n & !o != 0)
 }
 
 #[cfg(test)]
@@ -656,7 +654,10 @@ mod tests {
         // Appending 0xFF over a programmed 0x00 byte needs an erase.
         assert!(matches!(
             chip.append_region(ppa, 50, &[0xFF], 0, &[]),
-            Err(FlashError::IllegalOverwrite { byte_offset: 50, .. })
+            Err(FlashError::IllegalOverwrite {
+                byte_offset: 50,
+                ..
+            })
         ));
     }
 

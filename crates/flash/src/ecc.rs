@@ -247,7 +247,56 @@ mod tests {
         assert_eq!(check_region(&mut data, &cws), Err(1));
     }
 
+    #[test]
+    fn empty_region_is_trivially_clean() {
+        let cws = encode_region(&[]);
+        assert!(cws.is_empty());
+        assert_eq!(check_region(&mut [], &cws), Ok(0));
+    }
+
     proptest! {
+        /// encode → check round-trips clean for any region, and a single
+        /// bit flip anywhere (any chunk, including a short tail chunk) is
+        /// corrected back to the original bytes.
+        #[test]
+        fn region_corrects_any_single_flip(
+            data in proptest::collection::vec(any::<u8>(), 1..3 * CHUNK),
+            flip in any::<usize>(),
+        ) {
+            let cws = encode_region(&data);
+            let mut clean = data.clone();
+            prop_assert_eq!(check_region(&mut clean, &cws), Ok(0));
+            prop_assert_eq!(&clean, &data);
+
+            let mut corrupted = data.clone();
+            let bit = flip % (data.len() * 8);
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            prop_assert_eq!(check_region(&mut corrupted, &cws), Ok(1));
+            prop_assert_eq!(corrupted, data);
+        }
+
+        /// A double flip inside one chunk is pinned to exactly that chunk
+        /// index — never "corrected" into wrong data, never blamed on a
+        /// neighbour.
+        #[test]
+        fn region_reports_the_corrupted_chunk(
+            data in proptest::collection::vec(any::<u8>(), CHUNK + 1..4 * CHUNK),
+            a in any::<usize>(),
+            b in any::<usize>(),
+            chunk_sel in any::<usize>(),
+        ) {
+            let cws = encode_region(&data);
+            let chunk = chunk_sel % codewords_for(data.len());
+            let start = chunk * CHUNK;
+            let bits = (data.len() - start).min(CHUNK) * 8;
+            let (pa, pb) = (a % bits, b % bits);
+            prop_assume!(pa != pb);
+            let mut corrupted = data.clone();
+            corrupted[start + pa / 8] ^= 1 << (pa % 8);
+            corrupted[start + pb / 8] ^= 1 << (pb % 8);
+            prop_assert_eq!(check_region(&mut corrupted, &cws), Err(chunk));
+        }
+
         /// Any single bit flip in any chunk is corrected back to the
         /// original data.
         #[test]

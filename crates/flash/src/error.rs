@@ -66,7 +66,10 @@ impl fmt::Display for FlashError {
                 if *in_oob { " (OOB)" } else { "" }
             ),
             FlashError::NopExceeded { ppa, nop } => {
-                write!(f, "NOP budget exceeded at {ppa}: {nop} programs since erase")
+                write!(
+                    f,
+                    "NOP budget exceeded at {ppa}: {nop} programs since erase"
+                )
             }
             FlashError::NotErased { ppa } => write!(f, "page {ppa} is not erased"),
             FlashError::ReadErased { ppa } => write!(f, "read of erased page {ppa}"),
@@ -85,7 +88,10 @@ impl fmt::Display for FlashError {
                 expected,
                 got,
                 what,
-            } => write!(f, "size mismatch for {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "size mismatch for {what}: expected {expected}, got {got}"
+            ),
         }
     }
 }

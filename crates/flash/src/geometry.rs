@@ -50,7 +50,10 @@ impl Geometry {
     /// dimensions are programming errors, not runtime conditions).
     pub fn new(blocks: u32, pages_per_block: u32, page_size: usize, oob_size: usize) -> Self {
         assert!(blocks > 0, "geometry needs at least one block");
-        assert!(pages_per_block > 0, "geometry needs at least one page per block");
+        assert!(
+            pages_per_block > 0,
+            "geometry needs at least one page per block"
+        );
         assert!(page_size > 0, "geometry needs a non-zero page size");
         Geometry {
             blocks,

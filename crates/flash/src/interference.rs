@@ -104,15 +104,14 @@ impl DisturbModel {
     ) -> f64 {
         // 3D NAND: "Bitline Interference Free / Wordline Interference
         // Almost Free" — every victim keeps wide margins.
-        let margin_rate = if mode.ipa_safe(victim_page)
-            || matches!(mode, FlashMode::Slc | FlashMode::Tlc3d)
-        {
-            self.rates.wide_margin
-        } else {
-            // Victims without IPA-safe margins: full-MLC pages and the MSB
-            // pages of odd-MLC.
-            self.rates.narrow_margin
-        };
+        let margin_rate =
+            if mode.ipa_safe(victim_page) || matches!(mode, FlashMode::Slc | FlashMode::Tlc3d) {
+                self.rates.wide_margin
+            } else {
+                // Victims without IPA-safe margins: full-MLC pages and the MSB
+                // pages of odd-MLC.
+                self.rates.narrow_margin
+            };
         let mut p = margin_rate;
         if aggressor_is_reprogram {
             // What matters is *which page* is being re-programmed: LSB
@@ -202,10 +201,12 @@ mod tests {
     #[test]
     fn full_mlc_reprogram_is_noisy() {
         let m = DisturbModel::new(DisturbRates::realistic());
-        let quiet =
-            m.flip_probability(FlashMode::MlcFull, 2, 3, Coupling::AdjacentWordline, false);
+        let quiet = m.flip_probability(FlashMode::MlcFull, 2, 3, Coupling::AdjacentWordline, false);
         let loud = m.flip_probability(FlashMode::MlcFull, 2, 3, Coupling::SameWordline, true);
-        assert!(loud > quiet * 1_000.0, "reprogram+same-wordline must dominate");
+        assert!(
+            loud > quiet * 1_000.0,
+            "reprogram+same-wordline must dominate"
+        );
     }
 
     #[test]

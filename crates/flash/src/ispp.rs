@@ -257,7 +257,10 @@ mod tests {
         let p = IsppParams::slc();
         let t = p.program_latency_ns(ProgramKind::SlcPage);
         // ~8 pulses * 37 µs ≈ 296 µs; accept a broad datasheet-class range.
-        assert!(t > 150_000 && t < 600_000, "SLC program {t} ns out of range");
+        assert!(
+            t > 150_000 && t < 600_000,
+            "SLC program {t} ns out of range"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for FtlError {
             }
             FtlError::Uncorrectable { lba } => write!(f, "uncorrectable data loss at LBA {lba}"),
             FtlError::LayoutRequired { lba } => {
-                write!(f, "write_delta on LBA {lba} requires an IPA-formatted region")
+                write!(
+                    f,
+                    "write_delta on LBA {lba} requires an IPA-formatted region"
+                )
             }
             FtlError::BadWriteDelta { lba, reason } => {
                 write!(f, "malformed write_delta on LBA {lba}: {reason}")

@@ -237,7 +237,10 @@ impl Ftl {
             for lba in info.owner.iter().flatten() {
                 assert_eq!(
                     self.l2p[*lba as usize],
-                    Some(Ppa::new(b as u32, info.owner.iter().position(|o| o == &Some(*lba)).unwrap() as u32)),
+                    Some(Ppa::new(
+                        b as u32,
+                        info.owner.iter().position(|o| o == &Some(*lba)).unwrap() as u32
+                    )),
                     "orphan: block {b} owns LBA {lba} but the map disagrees"
                 );
             }
@@ -283,12 +286,7 @@ impl Ftl {
             })
             .collect();
         let device_max = self.chip.max_erase_count();
-        let Some(victim) = self
-            .wear
-            .as_mut()
-            .unwrap()
-            .pick_victim(&counts, device_max)
-        else {
+        let Some(victim) = self.wear.as_mut().unwrap().pick_victim(&counts, device_max) else {
             return Ok(());
         };
         // Need a frontier to migrate into; skip when space is too tight.
@@ -676,9 +674,9 @@ impl NativeFlashDevice for Ftl {
                 self.stats.bytes_host_written += delta_bytes.len() as u64;
                 Ok(())
             }
-            Err(
-                cause @ (FlashError::NopExceeded { .. } | FlashError::IllegalOverwrite { .. }),
-            ) => Err(FtlError::InPlaceRejected { lba, cause }),
+            Err(cause @ (FlashError::NopExceeded { .. } | FlashError::IllegalOverwrite { .. })) => {
+                Err(FtlError::InPlaceRejected { lba, cause })
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -723,7 +721,10 @@ mod tests {
     fn unmapped_read_errors() {
         let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
         let mut buf = vec![0u8; 2048];
-        assert!(matches!(ftl.read(7, &mut buf), Err(FtlError::UnmappedLba(7))));
+        assert!(matches!(
+            ftl.read(7, &mut buf),
+            Err(FtlError::UnmappedLba(7))
+        ));
     }
 
     #[test]
@@ -949,7 +950,10 @@ mod tests {
         ftl.write(0, &data).unwrap();
         ftl.trim(0).unwrap();
         let mut buf = vec![0u8; 2048];
-        assert!(matches!(ftl.read(0, &mut buf), Err(FtlError::UnmappedLba(0))));
+        assert!(matches!(
+            ftl.read(0, &mut buf),
+            Err(FtlError::UnmappedLba(0))
+        ));
         assert_eq!(ftl.device_stats().page_invalidations, 1);
     }
 

@@ -303,7 +303,7 @@ mod tests {
         let oob = c.encode_oob(&page);
         let roff = l.record_offset(0);
         page[roff] &= 0x7F; // disturb: control byte bit 7 → 0
-        // Initial region does not cover the delta area, so verify passes.
+                            // Initial region does not cover the delta area, so verify passes.
         assert!(c.verify(&mut page, &oob).is_ok());
     }
 

@@ -4,18 +4,10 @@
 
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
 use ipa_ftl::{BlockDevice, Ftl, FtlConfig, WearConfig};
+use ipa_testkit::traditional_ftl as ftl;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn ftl(seed: u64) -> Ftl {
-    let chip = FlashChip::new(
-        DeviceConfig::new(Geometry::new(24, 8, 2048, 64), FlashMode::Slc)
-            .with_disturb(DisturbRates::none())
-            .with_seed(seed),
-    );
-    Ftl::new(chip, FtlConfig::traditional())
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -87,10 +79,7 @@ fn static_wear_leveling_bounds_the_spread() {
     // left cold. Without static WL the cold blocks would freeze at ~1
     // erase while hot blocks churn away.
     let run = |wear: Option<WearConfig>| -> (u32, u64) {
-        let chip = FlashChip::new(
-            DeviceConfig::new(Geometry::new(32, 8, 2048, 64), FlashMode::Slc)
-                .with_disturb(DisturbRates::none()),
-        );
+        let chip = FlashChip::new(ipa_testkit::quiet_slc(32, 8, 0));
         let mut cfg = FtlConfig::traditional();
         cfg.wear = wear;
         let mut f = Ftl::new(chip, cfg);

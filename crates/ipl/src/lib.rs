@@ -13,5 +13,5 @@
 pub mod replay;
 pub mod store;
 
-pub use replay::{replay_ipa, replay_ipl, IpaReplayer, ReplaySummary};
+pub use replay::{replay_ipa, replay_ipl, IpaReplayer, LogicalState, ReplaySummary};
 pub use store::{IplConfig, IplError, IplStats, IplStore};

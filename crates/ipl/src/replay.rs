@@ -7,7 +7,7 @@
 //! recorded by the buffer pool during a benchmark run and replayed here
 //! against both systems on identically configured flash.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ipa_core::{DeltaRecord, NmScheme, PageLayout};
 use ipa_flash::{DeviceConfig, FlashStats};
@@ -15,6 +15,45 @@ use ipa_ftl::{BlockDevice, Ftl, FtlConfig, FtlError, NativeFlashDevice};
 use ipa_storage::TraceEvent;
 
 use crate::store::{IplConfig, IplStore};
+
+/// Host-visible logical state after a replay: every LBA the system has
+/// materialized, mapped to the number of update operations (non-zero
+/// evictions) it accepted for that LBA.
+///
+/// This is the parity contract between the two replayers: IPA and IPL may
+/// differ arbitrarily in *physical* behavior (delta appends vs log
+/// sectors, erase schedules, GC), but fed the same trace they must report
+/// identical logical state — same pages present, same updates applied.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogicalState {
+    /// `lba → accepted update count` for every materialized page.
+    pub pages: BTreeMap<u64, u64>,
+}
+
+impl LogicalState {
+    /// The logical state the trace itself implies: every touched LBA is
+    /// present, with one update per non-zero-byte eviction. Both systems
+    /// must agree with this (and therefore with each other).
+    pub fn expected_from(trace: &[TraceEvent]) -> Self {
+        let mut pages = BTreeMap::new();
+        for ev in trace {
+            match *ev {
+                TraceEvent::Fetch { lba } => {
+                    pages.entry(lba).or_insert(0);
+                }
+                TraceEvent::Evict { lba, changed_bytes } => {
+                    // A clean eviction is a no-op in both systems: it
+                    // neither materializes the page nor counts as an
+                    // update.
+                    if changed_bytes > 0 {
+                        *pages.entry(lba).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        LogicalState { pages }
+    }
+}
 
 /// Comparable outcome of one replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +67,11 @@ pub struct ReplaySummary {
     pub flash_erases: u64,
     /// Simulated device time, nanoseconds.
     pub elapsed_ns: u64,
+    /// Logical pages with their accepted-update counts. Page *presence*
+    /// is reported by the system itself (its own mapping); the per-page
+    /// counts tally the update operations the system accepted without
+    /// error during the replay.
+    pub logical: LogicalState,
 }
 
 impl ReplaySummary {
@@ -38,6 +82,7 @@ impl ReplaySummary {
             flash_writes: s.total_programs(),
             flash_erases: s.block_erases,
             elapsed_ns,
+            logical: LogicalState::default(),
         }
     }
 }
@@ -49,9 +94,13 @@ pub fn replay_ipl(
     cfg: IplConfig,
 ) -> crate::store::Result<(ReplaySummary, crate::store::IplStats)> {
     let mut store = IplStore::new(device, cfg);
+    let mut updates: BTreeMap<u64, u64> = BTreeMap::new();
     for ev in trace {
         match *ev {
-            TraceEvent::Fetch { lba } => store.read(lba)?,
+            TraceEvent::Fetch { lba } => {
+                store.read(lba)?;
+                updates.entry(lba).or_insert(0);
+            }
             TraceEvent::Evict { lba, changed_bytes } => {
                 if changed_bytes == 0 {
                     continue;
@@ -60,11 +109,16 @@ pub fn replay_ipl(
                 // Eviction is a durability point in the source system; IPL
                 // flushes the pending sector likewise.
                 store.flush(lba)?;
+                *updates.entry(lba).or_insert(0) += 1;
             }
         }
     }
-    let summary =
-        ReplaySummary::from_flash("IPL", store.flash_stats(), store.elapsed_ns());
+    let mut summary = ReplaySummary::from_flash("IPL", store.flash_stats(), store.elapsed_ns());
+    // Report logical state from the store's own mapping, not the trace.
+    summary.logical.pages = updates
+        .into_iter()
+        .filter(|&(lba, _)| store.is_mapped(lba))
+        .collect();
     Ok((summary, *store.stats()))
 }
 
@@ -79,7 +133,10 @@ pub struct IpaReplayer {
 impl IpaReplayer {
     pub fn new(device: DeviceConfig, scheme: NmScheme) -> Self {
         let layout = ipa_storage::standard_layout(device.geometry.page_size, scheme);
-        let ftl = Ftl::new(ipa_flash::FlashChip::new(device), FtlConfig::ipa_native(layout));
+        let ftl = Ftl::new(
+            ipa_flash::FlashChip::new(device),
+            FtlConfig::ipa_native(layout),
+        );
         IpaReplayer {
             ftl,
             layout,
@@ -129,9 +186,8 @@ impl IpaReplayer {
             for _ in 0..needed {
                 let take = left.min(scheme.m as usize);
                 left -= take;
-                let pairs: Vec<(u16, u8)> = (0..take)
-                    .map(|i| ((body.start + i) as u16, 0x00))
-                    .collect();
+                let pairs: Vec<(u16, u8)> =
+                    (0..take).map(|i| ((body.start + i) as u16, 0x00)).collect();
                 bytes.extend_from_slice(
                     &DeltaRecord::new(pairs, meta.clone(), scheme).encode(&self.layout),
                 );
@@ -162,18 +218,41 @@ pub fn replay_ipa(
     scheme: NmScheme,
 ) -> ipa_ftl::Result<(ReplaySummary, ipa_ftl::DeviceStats)> {
     let mut r = IpaReplayer::new(device, scheme);
+    let mut updates: BTreeMap<u64, u64> = BTreeMap::new();
     for ev in trace {
         match *ev {
-            TraceEvent::Fetch { lba } => r.fetch(lba)?,
-            TraceEvent::Evict { lba, changed_bytes } => r.evict(lba, changed_bytes)?,
+            TraceEvent::Fetch { lba } => {
+                r.fetch(lba)?;
+                updates.entry(lba).or_insert(0);
+            }
+            TraceEvent::Evict { lba, changed_bytes } => {
+                r.evict(lba, changed_bytes)?;
+                if changed_bytes > 0 {
+                    *updates.entry(lba).or_insert(0) += 1;
+                }
+            }
         }
     }
-    let summary = ReplaySummary::from_flash(
-        "IPA",
-        &BlockDevice::flash_stats(&r.ftl),
-        r.ftl.elapsed_ns(),
-    );
-    Ok((summary, r.ftl.device_stats()))
+    // Snapshot physical counters before the logical-state probe below
+    // issues any reads of its own.
+    let mut summary =
+        ReplaySummary::from_flash("IPA", &BlockDevice::flash_stats(&r.ftl), r.ftl.elapsed_ns());
+    let stats = r.ftl.device_stats();
+    // Report page presence from the FTL's own mapping, not the trace.
+    // Only "never mapped" means absent; any other read failure (e.g. an
+    // uncorrectable page) is data loss and must surface as an error, not
+    // as a page quietly missing from the logical state.
+    let mut probe = r.blank_page();
+    for (lba, count) in updates {
+        match r.ftl.read(lba, &mut probe) {
+            Ok(()) => {
+                summary.logical.pages.insert(lba, count);
+            }
+            Err(FtlError::UnmappedLba(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((summary, stats))
 }
 
 #[cfg(test)]
@@ -193,8 +272,12 @@ mod tests {
         for round in 0..rounds {
             for lba in 0..pages {
                 t.push(TraceEvent::Fetch { lba });
-                t.push(TraceEvent::Fetch { lba: (lba + 1) % pages });
-                t.push(TraceEvent::Fetch { lba: (lba + 2) % pages });
+                t.push(TraceEvent::Fetch {
+                    lba: (lba + 1) % pages,
+                });
+                t.push(TraceEvent::Fetch {
+                    lba: (lba + 2) % pages,
+                });
                 t.push(TraceEvent::Evict {
                     lba,
                     changed_bytes: 4 + (round % 3),
@@ -242,8 +325,14 @@ mod tests {
     #[test]
     fn zero_byte_evictions_are_free() {
         let trace = vec![
-            TraceEvent::Evict { lba: 0, changed_bytes: 0 },
-            TraceEvent::Evict { lba: 1, changed_bytes: 0 },
+            TraceEvent::Evict {
+                lba: 0,
+                changed_bytes: 0,
+            },
+            TraceEvent::Evict {
+                lba: 1,
+                changed_bytes: 0,
+            },
         ];
         let (ipl, _) = replay_ipl(&trace, device(), IplConfig::default()).unwrap();
         assert_eq!(ipl.flash_writes, 0);

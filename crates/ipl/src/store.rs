@@ -131,8 +131,9 @@ impl IplStore {
         let chip = FlashChip::new(device);
         let g = *chip.geometry();
         let mode = chip.mode();
-        let usable_pages: Vec<u32> =
-            (0..g.pages_per_block).filter(|&p| mode.page_usable(p)).collect();
+        let usable_pages: Vec<u32> = (0..g.pages_per_block)
+            .filter(|&p| mode.page_usable(p))
+            .collect();
         assert!(
             cfg.log_pages_per_block < usable_pages.len() as u32,
             "log region larger than the usable block"

@@ -54,9 +54,7 @@ impl Node {
             for i in 0..count {
                 let off = NODE_HEADER + i * LEAF_ENTRY;
                 keys.push(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()));
-                rids.push(Rid::from_bytes(
-                    b[off + 8..off + 18].try_into().unwrap(),
-                ));
+                rids.push(Rid::from_bytes(b[off + 8..off + 18].try_into().unwrap()));
             }
             Node::Leaf {
                 keys,
@@ -70,9 +68,7 @@ impl Node {
             for i in 0..count {
                 let off = NODE_HEADER + i * INT_ENTRY;
                 keys.push(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()));
-                children.push(u64::from_le_bytes(
-                    b[off + 8..off + 16].try_into().unwrap(),
-                ));
+                children.push(u64::from_le_bytes(b[off + 8..off + 16].try_into().unwrap()));
             }
             Node::Internal { keys, children }
         }
@@ -109,7 +105,6 @@ impl Node {
         }
         b
     }
-
 }
 
 fn body_len(pool: &BufferPool, pid: PageId) -> usize {
@@ -592,79 +587,6 @@ mod tests {
         p.drop_cache().unwrap();
         for k in (0..500u64).step_by(11) {
             assert_eq!(lookup(&mut p, &t, k).unwrap(), Some(rid_of(k)));
-        }
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use crate::catalog::{Catalog, TableSpec};
-    use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
-    use ipa_ftl::{Ftl, FtlConfig, WriteStrategy};
-    use proptest::prelude::*;
-    use std::collections::BTreeMap;
-
-    fn pool() -> BufferPool {
-        let chip = FlashChip::new(
-            DeviceConfig::new(Geometry::new(128, 16, 2048, 64), FlashMode::Slc)
-                .with_disturb(DisturbRates::none()),
-        );
-        BufferPool::new(
-            Box::new(Ftl::new(chip, FtlConfig::traditional())),
-            WriteStrategy::Traditional,
-            16,
-        )
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        /// Random insert/delete/lookup streams agree with a BTreeMap model,
-        /// including after every structural split.
-        #[test]
-        fn btree_matches_model(
-            ops in proptest::collection::vec((0u8..3, 0u64..500), 1..400)
-        ) {
-            let mut p = pool();
-            let mut c = Catalog::new();
-            let id = c.add(TableSpec::index("pt", 64));
-            let mut t = c.get(id).clone();
-            create(&mut p, &mut t, 1, None).unwrap();
-            let mut model: BTreeMap<u64, Rid> = BTreeMap::new();
-
-            for (op, key) in ops {
-                match op {
-                    0 => {
-                        let rid = Rid::new(key * 3, (key % 7) as u16);
-                        match insert(&mut p, &mut t, key, rid, 2, None) {
-                            Ok(()) => {
-                                prop_assert!(!model.contains_key(&key));
-                                model.insert(key, rid);
-                            }
-                            Err(crate::error::StorageError::DuplicateKey(_)) => {
-                                prop_assert!(model.contains_key(&key));
-                            }
-                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
-                        }
-                    }
-                    1 => {
-                        let existed = delete(&mut p, &t, key, 3, None).unwrap();
-                        prop_assert_eq!(existed, model.remove(&key).is_some());
-                    }
-                    _ => {
-                        prop_assert_eq!(
-                            lookup(&mut p, &t, key).unwrap(),
-                            model.get(&key).copied()
-                        );
-                    }
-                }
-            }
-            // Full ordered agreement at the end.
-            let mut seen = Vec::new();
-            range(&mut p, &t, 0, u64::MAX, |k, r| seen.push((k, r))).unwrap();
-            let expect: Vec<(u64, Rid)> = model.into_iter().collect();
-            prop_assert_eq!(seen, expect);
         }
     }
 }

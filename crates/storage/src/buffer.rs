@@ -127,11 +127,7 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    pub fn new(
-        device: Box<dyn NativeFlashDevice>,
-        strategy: WriteStrategy,
-        frames: usize,
-    ) -> Self {
+    pub fn new(device: Box<dyn NativeFlashDevice>, strategy: WriteStrategy, frames: usize) -> Self {
         assert!(frames >= 2, "buffer pool needs at least two frames");
         BufferPool {
             device,
@@ -282,19 +278,23 @@ impl BufferPool {
                 data: vec![0xFF; self.device.page_size()],
                 tracker: ChangeTracker::new_unflashed(layout),
                 original: None,
-                snapshot: self.measure_net_writes.then(|| vec![0xFF; self.device.page_size()]),
+                snapshot: self
+                    .measure_net_writes
+                    .then(|| vec![0xFF; self.device.page_size()]),
                 dirty: false,
                 pins: 0,
                 referenced: true,
             }
         } else {
             let mut data = vec![0u8; self.device.page_size()];
-            self.device.read(pid, &mut data).map_err(StorageError::from)?;
+            self.device
+                .read(pid, &mut data)
+                .map_err(StorageError::from)?;
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent::Fetch { lba: pid });
             }
-            let original = matches!(self.strategy, WriteStrategy::IpaConventional)
-                .then(|| data.clone());
+            let original =
+                matches!(self.strategy, WriteStrategy::IpaConventional).then(|| data.clone());
             let records = apply_and_collect(&mut data, &layout);
             Frame {
                 page_id: pid,
@@ -380,10 +380,11 @@ impl BufferPool {
                     for r in &records {
                         bytes.extend_from_slice(&r.encode(&layout));
                     }
-                    match self
-                        .device
-                        .write_delta(frame.page_id, layout.record_offset(first_slot), &bytes)
-                    {
+                    match self.device.write_delta(
+                        frame.page_id,
+                        layout.record_offset(first_slot),
+                        &bytes,
+                    ) {
                         Ok(()) => {
                             frame.tracker.commit_in_place(records);
                             self.stats.evict_in_place += 1;
@@ -408,7 +409,9 @@ impl BufferPool {
                         .as_ref()
                         .expect("conventional strategy keeps originals");
                     let records = frame.tracker.build_new_records(&frame.data);
-                    let image = frame.tracker.build_conventional_image(original, &frame.data);
+                    let image = frame
+                        .tracker
+                        .build_conventional_image(original, &frame.data);
                     self.device
                         .write(frame.page_id, &image)
                         .map_err(StorageError::from)?;
@@ -439,10 +442,7 @@ impl BufferPool {
     ) -> Result<()> {
         // The buffered image keeps its delta area erased, so the written
         // page starts with a clean area as the paper requires.
-        debug_assert!(frame
-            .tracker
-            .layout()
-            .delta_area_is_clean(&frame.data));
+        debug_assert!(frame.tracker.layout().delta_area_is_clean(&frame.data));
         device
             .write(frame.page_id, &frame.data)
             .map_err(StorageError::from)?;
@@ -527,7 +527,7 @@ mod tests {
         let mut p = pool(WriteStrategy::IpaNative, 4);
         format_with_row(&mut p, 0, &[0u8; 32]);
         p.flush_all().unwrap(); // first flush: out-of-place (new page)
-        // Small field update → in-place eviction.
+                                // Small field update → in-place eviction.
         p.with_page_mut(0, None, |pm| {
             let mut sp = SlottedPage::new(pm);
             sp.update_field(0, 4, &[9, 9]).unwrap();

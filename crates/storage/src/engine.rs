@@ -13,8 +13,8 @@ use ipa_ftl::{
     BlockDevice, DeviceStats, Ftl, FtlConfig, FtlError, Region, RegionTable, WriteStrategy,
 };
 
-use crate::buffer::{BufferPool, PageId, PoolStats};
 use crate::btree;
+use crate::buffer::{BufferPool, PageId, PoolStats};
 use crate::catalog::{Catalog, TableId, TableInfo, TableKind, TableSpec};
 use crate::error::{Result, StorageError};
 use crate::heap::{self, Rid};

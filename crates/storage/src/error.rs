@@ -21,7 +21,11 @@ pub enum StorageError {
     /// All buffer frames are pinned; cannot evict.
     BufferExhausted,
     /// Update range does not fit inside the row.
-    FieldOutOfRange { row_len: usize, offset: usize, len: usize },
+    FieldOutOfRange {
+        row_len: usize,
+        offset: usize,
+        len: usize,
+    },
     /// WAL replay found a malformed record.
     WalCorrupt { lba: u64, reason: &'static str },
     /// Transaction handle is unknown or already finished.
@@ -44,7 +48,11 @@ impl fmt::Display for StorageError {
                 write!(f, "row size {got}, table expects {expected}")
             }
             StorageError::BufferExhausted => write!(f, "all buffer frames pinned"),
-            StorageError::FieldOutOfRange { row_len, offset, len } => {
+            StorageError::FieldOutOfRange {
+                row_len,
+                offset,
+                len,
+            } => {
                 write!(f, "field {offset}+{len} outside row of {row_len} bytes")
             }
             StorageError::WalCorrupt { lba, reason } => {

@@ -163,11 +163,7 @@ pub fn delete(
 }
 
 /// Visit every live row in the table.
-pub fn scan(
-    pool: &mut BufferPool,
-    table: &TableInfo,
-    mut f: impl FnMut(Rid, &[u8]),
-) -> Result<()> {
+pub fn scan(pool: &mut BufferPool, table: &TableInfo, mut f: impl FnMut(Rid, &[u8])) -> Result<()> {
     for i in 0..table.allocated_pages {
         let pid = table.page(i);
         let layout = pool.layout_of(pid);

@@ -71,12 +71,10 @@ impl TxManager {
             .active
             .get_mut(&tx)
             .ok_or(StorageError::NoSuchTransaction(tx))?;
-        state
-            .undo
-            .extend(ops.iter().map(|op| UndoEntry {
-                page,
-                op: op.clone(),
-            }));
+        state.undo.extend(ops.iter().map(|op| UndoEntry {
+            page,
+            op: op.clone(),
+        }));
         Ok(())
     }
 

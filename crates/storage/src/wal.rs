@@ -26,7 +26,10 @@ pub enum WalKind {
     Commit,
     Abort,
     /// Physical redo/undo for one page.
-    Update { page: PageId, ops: Vec<WriteOp> },
+    Update {
+        page: PageId,
+        ops: Vec<WriteOp>,
+    },
 }
 
 /// One log record.

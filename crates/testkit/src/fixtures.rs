@@ -1,0 +1,124 @@
+//! Deterministic device, FTL, pool and engine fixtures.
+//!
+//! Every constructor takes an explicit seed and disables program
+//! interference (`DisturbRates::none()`) unless a test is *about*
+//! interference — randomized disturbs belong in fault-injection suites,
+//! not in correctness tests where they would add noise to every run.
+
+use ipa_core::NmScheme;
+use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
+use ipa_ftl::{Ftl, FtlConfig, WriteStrategy};
+use ipa_storage::{BufferPool, EngineConfig, StorageEngine, TableSpec};
+
+/// The paper's three write paths with their canonical N×M configurations:
+/// the traditional out-of-place baseline and both IPA scenarios (§4).
+pub fn all_strategies() -> [(WriteStrategy, NmScheme); 3] {
+    [
+        (WriteStrategy::Traditional, NmScheme::disabled()),
+        (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
+        (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
+    ]
+}
+
+/// Just the two IPA scenarios (conventional SSD and NoFTL-native).
+pub fn ipa_strategies() -> [(WriteStrategy, NmScheme); 2] {
+    [
+        (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
+        (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
+    ]
+}
+
+/// The standard small device: `DeviceConfig::small()` with a fixed seed.
+pub fn quiet_device(seed: u64) -> DeviceConfig {
+    DeviceConfig::small().with_seed(seed)
+}
+
+/// A small quiet SLC device with an explicit geometry — the shape used by
+/// FTL and B+-tree suites (2 KiB pages, 64 B OOB).
+pub fn quiet_slc(blocks: u32, pages_per_block: u32, seed: u64) -> DeviceConfig {
+    DeviceConfig::new(
+        Geometry::new(blocks, pages_per_block, 2048, 64),
+        FlashMode::Slc,
+    )
+    .with_disturb(DisturbRates::none())
+    .with_seed(seed)
+}
+
+/// A quiet SLC chip, 128 blocks × 16 pages.
+pub fn small_chip(seed: u64) -> FlashChip {
+    FlashChip::new(quiet_slc(128, 16, seed))
+}
+
+/// A traditionally configured page-mapping FTL on a tiny chip (24 × 8) —
+/// small enough that random-op streams exercise GC within a few hundred
+/// writes.
+pub fn traditional_ftl(seed: u64) -> Ftl {
+    Ftl::new(
+        FlashChip::new(quiet_slc(24, 8, seed)),
+        FtlConfig::traditional(),
+    )
+}
+
+/// A buffer pool over [`small_chip`] under the traditional write path.
+pub fn small_pool(frames: usize, seed: u64) -> BufferPool {
+    BufferPool::new(
+        Box::new(Ftl::new(small_chip(seed), FtlConfig::traditional())),
+        WriteStrategy::Traditional,
+        frames,
+    )
+}
+
+/// Build a [`StorageEngine`] on [`quiet_device`] under the given strategy.
+///
+/// `Traditional` means a plain `EngineConfig` (no IPA plumbing at all),
+/// matching how the baseline is configured throughout the paper repro.
+pub fn engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    frames: usize,
+    tables: &[TableSpec],
+) -> StorageEngine {
+    let config = match strategy {
+        WriteStrategy::Traditional => EngineConfig::default(),
+        _ => EngineConfig::default().with_strategy(strategy, scheme),
+    }
+    .with_buffer_frames(frames);
+    StorageEngine::build(quiet_device(seed), config, tables).expect("testkit engine")
+}
+
+/// [`engine`] with a single 48-byte-row heap table named `"m"` and a tiny
+/// pool — the model-check shape: maximal eviction churn.
+pub fn heap_engine(strategy: WriteStrategy, scheme: NmScheme, seed: u64) -> StorageEngine {
+    engine(
+        strategy,
+        scheme,
+        seed,
+        8,
+        &[TableSpec::heap("m", crate::ops::ROW, 200)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = quiet_slc(24, 8, 5);
+        let b = quiet_slc(24, 8, 5);
+        assert_eq!(a.geometry.page_size, b.geometry.page_size);
+        // Engines built from the same seed start from identical stats.
+        let ea = heap_engine(WriteStrategy::IpaNative, NmScheme::new(2, 4), 7);
+        let eb = heap_engine(WriteStrategy::IpaNative, NmScheme::new(2, 4), 7);
+        assert_eq!(ea.stats().device.host_writes, eb.stats().device.host_writes);
+    }
+
+    #[test]
+    fn strategy_matrix_covers_all_three_paths() {
+        let kinds: Vec<WriteStrategy> = all_strategies().iter().map(|(s, _)| *s).collect();
+        assert!(kinds.contains(&WriteStrategy::Traditional));
+        assert!(kinds.contains(&WriteStrategy::IpaConventional));
+        assert!(kinds.contains(&WriteStrategy::IpaNative));
+    }
+}

@@ -1,0 +1,29 @@
+//! # `ipa-testkit` — shared test fixtures for the IPA workspace
+//!
+//! Every suite in the workspace needs the same three ingredients:
+//!
+//! * **deterministic devices and engines** ([`fixtures`]) — small, quiet
+//!   (no-disturb) flash configurations and storage engines built for a
+//!   given write strategy, so a test exercises exactly one variable;
+//! * **seeded operation streams** ([`ops`]) — the model-check harness: a
+//!   reproducible random stream of inserts / field updates / row updates /
+//!   deletes / aborts applied to an engine and an in-memory model in
+//!   lockstep;
+//! * **cross-strategy assertions** ([`check`]) — "run the same seed under
+//!   Traditional, IpaConventional and IpaNative and the logical state must
+//!   be identical" is the workspace's strongest equivalence claim, used by
+//!   the root `model_check` suite and regression tests alike.
+//!
+//! The crate is a dev-dependency everywhere (including, via cargo's
+//! dev-dependency-cycle support, in crates it itself depends on).
+
+pub mod check;
+pub mod fixtures;
+pub mod ops;
+
+pub use check::{assert_strategies_agree, quick_run};
+pub use fixtures::{
+    all_strategies, engine, heap_engine, ipa_strategies, quiet_device, quiet_slc, small_chip,
+    small_pool, traditional_ftl,
+};
+pub use ops::{synthetic_trace, ModelHarness};

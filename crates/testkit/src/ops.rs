@@ -1,0 +1,216 @@
+//! Seeded operation streams and the engine-vs-model harness.
+//!
+//! [`ModelHarness`] drives a [`StorageEngine`] and an in-memory
+//! `HashMap<Rid, Option<Vec<u8>>>` model in lockstep with a reproducible
+//! random mix of inserts, small field updates, whole-row updates, deletes,
+//! aborted updates and read-verifies — the operation distribution of the
+//! root `model_check` suite. The harness is strategy-agnostic: the same
+//! seed produces the same logical operation stream no matter which write
+//! path the engine is configured with, which is what makes cross-strategy
+//! equivalence checks meaningful.
+
+use std::collections::HashMap;
+
+use ipa_storage::{Rid, StorageEngine, StorageError, TableId, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Row length used by the model harness (matches `fixtures::heap_engine`).
+pub const ROW: usize = 48;
+
+/// Engine + in-memory model driven in lockstep by a seeded op stream.
+pub struct ModelHarness {
+    rng: StdRng,
+    /// `Some(row)` = live row with expected bytes; `None` = deleted.
+    pub model: HashMap<Rid, Option<Vec<u8>>>,
+    live: Vec<Rid>,
+    label: String,
+}
+
+impl ModelHarness {
+    pub fn new(seed: u64, label: impl Into<String>) -> Self {
+        ModelHarness {
+            rng: StdRng::seed_from_u64(seed),
+            model: HashMap::new(),
+            live: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    /// Apply `ops` random operations, flushing the pool every 50 steps so
+    /// pages continuously round-trip through flash.
+    pub fn run(&mut self, e: &mut StorageEngine, t: TableId, ops: usize) {
+        for step in 0..ops {
+            self.step(e, t, step);
+            if step % 50 == 49 {
+                e.flush_all().unwrap();
+            }
+        }
+    }
+
+    /// One random operation. The mix: 25 % insert, 45 % small field
+    /// update, 10 % whole-row update, 5 % delete, 5 % aborted update,
+    /// 10 % read-verify.
+    pub fn step(&mut self, e: &mut StorageEngine, t: TableId, step: usize) {
+        let label = &self.label;
+        match self.rng.gen_range(0..100u32) {
+            0..=24 => {
+                let mut row = vec![0u8; ROW];
+                self.rng.fill(&mut row[..]);
+                let tx = e.begin();
+                match e.insert(tx, t, &row) {
+                    Ok(rid) => {
+                        e.commit(tx).unwrap();
+                        self.model.insert(rid, Some(row));
+                        self.live.push(rid);
+                    }
+                    Err(StorageError::TableFull(_)) => {
+                        e.commit(tx).unwrap();
+                    }
+                    Err(err) => panic!("{label} step {step}: insert: {err}"),
+                }
+            }
+            25..=69 if !self.live.is_empty() => {
+                let rid = self.live[self.rng.gen_range(0..self.live.len())];
+                let off = self.rng.gen_range(0..ROW - 4);
+                let bytes: [u8; 3] = self.rng.gen();
+                let tx = e.begin();
+                e.update_field(tx, t, rid, off, &bytes).unwrap();
+                e.commit(tx).unwrap();
+                let m = self.model.get_mut(&rid).unwrap().as_mut().unwrap();
+                m[off..off + 3].copy_from_slice(&bytes);
+            }
+            70..=79 if !self.live.is_empty() => {
+                let rid = self.live[self.rng.gen_range(0..self.live.len())];
+                let mut row = vec![0u8; ROW];
+                self.rng.fill(&mut row[..]);
+                let tx = e.begin();
+                e.update_row(tx, t, rid, &row).unwrap();
+                e.commit(tx).unwrap();
+                self.model.insert(rid, Some(row));
+            }
+            80..=84 if !self.live.is_empty() => {
+                let idx = self.rng.gen_range(0..self.live.len());
+                let rid = self.live.swap_remove(idx);
+                let tx = e.begin();
+                e.delete(tx, t, rid).unwrap();
+                e.commit(tx).unwrap();
+                self.model.insert(rid, None);
+            }
+            85..=89 if !self.live.is_empty() => {
+                let rid = self.live[self.rng.gen_range(0..self.live.len())];
+                let tx = e.begin();
+                e.update_field(tx, t, rid, 0, &[0xAB, 0xCD]).unwrap();
+                e.abort(tx).unwrap();
+            }
+            _ if !self.live.is_empty() => {
+                let rid = self.live[self.rng.gen_range(0..self.live.len())];
+                let got = e.get(t, rid).unwrap();
+                assert_eq!(
+                    &got,
+                    self.model[&rid].as_ref().unwrap(),
+                    "{label} step {step}: live read diverged"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Assert the engine agrees with the model byte-for-byte: every live
+    /// row readable and identical, every deleted row gone. Call after
+    /// `restart_clean()` to prove the state round-tripped through flash.
+    pub fn assert_engine_matches(&self, e: &mut StorageEngine, t: TableId) {
+        let label = &self.label;
+        for (rid, expect) in &self.model {
+            match expect {
+                Some(row) => {
+                    let got = e.get(t, *rid).unwrap();
+                    assert_eq!(&got, row, "{label}: row {rid:?} diverged");
+                }
+                None => {
+                    assert!(
+                        e.get(t, *rid).is_err(),
+                        "{label}: deleted row {rid:?} resurrected"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The model's live rows in a canonical order, for comparing final
+    /// logical state across independently-run engines.
+    pub fn canonical_rows(&self) -> Vec<(Rid, Vec<u8>)> {
+        let mut rows: Vec<(Rid, Vec<u8>)> = self
+            .model
+            .iter()
+            .filter_map(|(rid, v)| v.as_ref().map(|row| (*rid, row.clone())))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// A synthetic OLTP-ish page trace: `pages` hot pages fetched (with two
+/// read-ahead neighbours) and evicted with small deltas each round — the
+/// shape both replay harnesses (`replay_ipa` / `replay_ipl`) consume.
+pub fn synthetic_trace(pages: u64, rounds: u32) -> Vec<TraceEvent> {
+    let mut t = Vec::new();
+    for round in 0..rounds {
+        for lba in 0..pages {
+            t.push(TraceEvent::Fetch { lba });
+            t.push(TraceEvent::Fetch {
+                lba: (lba + 1) % pages,
+            });
+            t.push(TraceEvent::Fetch {
+                lba: (lba + 2) % pages,
+            });
+            t.push(TraceEvent::Evict {
+                lba,
+                changed_bytes: 4 + (round % 3),
+            });
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::heap_engine;
+    use ipa_core::NmScheme;
+    use ipa_ftl::WriteStrategy;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut ea = heap_engine(WriteStrategy::Traditional, NmScheme::disabled(), 1);
+        let mut eb = heap_engine(WriteStrategy::Traditional, NmScheme::disabled(), 1);
+        let ta = ea.table("m").unwrap();
+        let tb = eb.table("m").unwrap();
+        let mut ha = ModelHarness::new(99, "a");
+        let mut hb = ModelHarness::new(99, "b");
+        ha.run(&mut ea, ta, 150);
+        hb.run(&mut eb, tb, 150);
+        assert_eq!(ha.canonical_rows(), hb.canonical_rows());
+    }
+
+    #[test]
+    fn harness_state_survives_restart() {
+        let mut e = heap_engine(WriteStrategy::IpaNative, NmScheme::new(2, 4), 3);
+        let t = e.table("m").unwrap();
+        let mut h = ModelHarness::new(42, "restart");
+        h.run(&mut e, t, 200);
+        e.restart_clean().unwrap();
+        h.assert_engine_matches(&mut e, t);
+    }
+
+    #[test]
+    fn synthetic_trace_shape() {
+        let t = synthetic_trace(8, 3);
+        assert_eq!(t.len(), 8 * 3 * 4);
+        let evictions = t
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Evict { .. }))
+            .count();
+        assert_eq!(evictions, 24);
+    }
+}

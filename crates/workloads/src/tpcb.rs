@@ -104,9 +104,17 @@ impl Benchmark for TpcB {
         // History grows ~1 row/tx; budget for the configured run length.
         let history_rows = self.headroom_tx.max(self.n_accounts());
         vec![
-            TableSpec::heap("account", ROW_LEN, heap_pages(self.n_accounts(), ROW_LEN, ps)),
+            TableSpec::heap(
+                "account",
+                ROW_LEN,
+                heap_pages(self.n_accounts(), ROW_LEN, ps),
+            ),
             TableSpec::heap("teller", ROW_LEN, heap_pages(self.n_tellers(), ROW_LEN, ps)),
-            TableSpec::heap("branch", ROW_LEN, heap_pages(self.scale as u64, ROW_LEN, ps)),
+            TableSpec::heap(
+                "branch",
+                ROW_LEN,
+                heap_pages(self.scale as u64, ROW_LEN, ps),
+            ),
             TableSpec::heap(
                 "history",
                 HISTORY_LEN,
@@ -263,8 +271,10 @@ mod tests {
         let sum_table = |e: &mut StorageEngine, name: &str| -> i64 {
             let t = e.table(name).unwrap();
             let mut sum = 0i64;
-            e.scan(t, |_, row| sum += get_i64(row, BALANCE_OFF) - INITIAL_BALANCE)
-                .unwrap();
+            e.scan(t, |_, row| {
+                sum += get_i64(row, BALANCE_OFF) - INITIAL_BALANCE
+            })
+            .unwrap();
             sum
         };
         let acc = sum_table(&mut e, "account");

@@ -184,7 +184,8 @@ impl Benchmark for TpcC {
         for w in 0..self.warehouses as u64 {
             let mut row = vec![0u8; WH_ROW];
             put_u64(&mut row, 0, w);
-            self.wh_rids.push(engine.insert(tx, self.t_wh.unwrap(), &row)?);
+            self.wh_rids
+                .push(engine.insert(tx, self.t_wh.unwrap(), &row)?);
             for d in 0..DISTRICTS_PER_WH {
                 let mut row = vec![0u8; DIST_ROW];
                 put_u64(&mut row, 0, w * DISTRICTS_PER_WH + d);
@@ -259,7 +260,12 @@ impl TpcC {
         put_u64(&mut orow, 8, self.cust_index(w, d, c) as u64);
         orow[25] = ol_cnt as u8;
         let order_rid = engine.insert(tx, self.t_order.unwrap(), &orow)?;
-        engine.index_insert(tx, self.order_pk.unwrap(), self.order_key(w, d, o_id), order_rid)?;
+        engine.index_insert(
+            tx,
+            self.order_pk.unwrap(),
+            self.order_key(w, d, o_id),
+            order_rid,
+        )?;
         let mut nrow = vec![0u8; NO_ROW];
         put_u64(&mut nrow, 0, self.order_key(w, d, o_id));
         let new_order_rid = engine.insert(tx, self.t_no.unwrap(), &nrow)?;
@@ -276,10 +282,8 @@ impl TpcC {
             let qty = rng.gen_range(1..=10);
             let mut q = i32::from_le_bytes(srow[SQTY_OFF..SQTY_OFF + 4].try_into().unwrap());
             q = if q - qty < 10 { q - qty + 91 } else { q - qty };
-            let ytd =
-                u32::from_le_bytes(srow[SQTY_OFF + 4..SQTY_OFF + 8].try_into().unwrap()) + 1;
-            let cnt =
-                u16::from_le_bytes(srow[SQTY_OFF + 8..SQTY_OFF + 10].try_into().unwrap()) + 1;
+            let ytd = u32::from_le_bytes(srow[SQTY_OFF + 4..SQTY_OFF + 8].try_into().unwrap()) + 1;
+            let cnt = u16::from_le_bytes(srow[SQTY_OFF + 8..SQTY_OFF + 10].try_into().unwrap()) + 1;
             let mut field = [0u8; 10];
             field[..4].copy_from_slice(&q.to_le_bytes());
             field[4..8].copy_from_slice(&ytd.to_le_bytes());
@@ -395,7 +399,13 @@ impl TpcC {
             };
             // Delete the new-order row, stamp the order, stamp each line.
             engine.delete(tx, self.t_no.unwrap(), open.new_order_rid)?;
-            engine.update_field(tx, self.t_order.unwrap(), open.order_rid, OCARRIER_OFF, &[carrier])?;
+            engine.update_field(
+                tx,
+                self.t_order.unwrap(),
+                open.order_rid,
+                OCARRIER_OFF,
+                &[carrier],
+            )?;
             let now = [0x11u8; 8];
             for l in &open.line_rids {
                 engine.update_field(tx, self.t_ol.unwrap(), *l, OLDELIV_OFF, &now)?;
@@ -406,9 +416,14 @@ impl TpcC {
             let mut b = [0u8; 8];
             put_i64(&mut b, 0, get_i64(&row, CBAL_OFF) + 500);
             engine.update_field(tx, self.t_cust.unwrap(), crid, CBAL_OFF, &b)?;
-            let dcnt =
-                u16::from_le_bytes(row[CCNT_OFF + 2..CCNT_OFF + 4].try_into().unwrap()) + 1;
-            engine.update_field(tx, self.t_cust.unwrap(), crid, CCNT_OFF + 2, &dcnt.to_le_bytes())?;
+            let dcnt = u16::from_le_bytes(row[CCNT_OFF + 2..CCNT_OFF + 4].try_into().unwrap()) + 1;
+            engine.update_field(
+                tx,
+                self.t_cust.unwrap(),
+                crid,
+                CCNT_OFF + 2,
+                &dcnt.to_le_bytes(),
+            )?;
         }
         engine.commit(tx)
     }
@@ -448,8 +463,7 @@ mod tests {
         } else {
             EngineConfig::default()
         };
-        let mut e =
-            StorageEngine::build(dc, cfg.with_buffer_frames(128), &b.tables()).unwrap();
+        let mut e = StorageEngine::build(dc, cfg.with_buffer_frames(128), &b.tables()).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         b.load(&mut e, &mut rng).unwrap();
         for _ in 0..txs {

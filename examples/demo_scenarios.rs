@@ -25,15 +25,30 @@ fn main() {
     let scale: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8.0);
 
-    println!("demo: {} at scale {scale}, {secs:.0} simulated seconds per scenario", kind.name());
+    println!(
+        "demo: {} at scale {scale}, {secs:.0} simulated seconds per scenario",
+        kind.name()
+    );
     println!("flash: simulated MLC in pSLC mode, [2x4] scheme for scenarios 2 and 3");
     println!();
 
     let cfg = DriverConfig::default().for_simulated_secs(secs);
     let scenarios = [
-        ("1: baseline (out-of-place)", WriteStrategy::Traditional, NmScheme::disabled()),
-        ("2: IPA, conventional SSD", WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
-        ("3: IPA, native flash", WriteStrategy::IpaNative, NmScheme::new(2, 4)),
+        (
+            "1: baseline (out-of-place)",
+            WriteStrategy::Traditional,
+            NmScheme::disabled(),
+        ),
+        (
+            "2: IPA, conventional SSD",
+            WriteStrategy::IpaConventional,
+            NmScheme::new(2, 4),
+        ),
+        (
+            "3: IPA, native flash",
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+        ),
     ];
 
     let mut results: Vec<(&str, RunResult)> = Vec::new();
@@ -44,7 +59,10 @@ fn main() {
         results.push((label, r));
     }
 
-    println!("{:<30}{:>16}{:>16}{:>16}", "", "scenario 1", "scenario 2", "scenario 3");
+    println!(
+        "{:<30}{:>16}{:>16}{:>16}",
+        "", "scenario 1", "scenario 2", "scenario 3"
+    );
     let row = |label: &str, f: &dyn Fn(&RunResult) -> String| {
         println!(
             "{label:<30}{:>16}{:>16}{:>16}",
@@ -57,10 +75,18 @@ fn main() {
     row("throughput [tps]", &|r| format!("{:.0}", r.tps));
     row("host reads", &|r| r.device.host_reads.to_string());
     row("host page writes", &|r| r.device.host_writes.to_string());
-    row("write_delta commands", &|r| r.device.host_write_deltas.to_string());
-    row("in-place appends", &|r| r.device.in_place_appends.to_string());
-    row("page invalidations", &|r| r.device.page_invalidations.to_string());
-    row("GC page migrations", &|r| r.device.gc_page_migrations.to_string());
+    row("write_delta commands", &|r| {
+        r.device.host_write_deltas.to_string()
+    });
+    row("in-place appends", &|r| {
+        r.device.in_place_appends.to_string()
+    });
+    row("page invalidations", &|r| {
+        r.device.page_invalidations.to_string()
+    });
+    row("GC page migrations", &|r| {
+        r.device.gc_page_migrations.to_string()
+    });
     row("GC erases", &|r| r.device.gc_erases.to_string());
     row("MB sent to device", &|r| {
         format!("{:.1}", r.device.bytes_host_written as f64 / 1e6)

@@ -33,7 +33,10 @@ fn main() {
     page[..1500].copy_from_slice(&[0xC3; 1500]);
     let oob = vec![0xFF; 64];
     chip.program_page(ppa, &page, &oob).unwrap();
-    println!("   wrote 1500 B; {} B of the page still erased", 2048 - 1500);
+    println!(
+        "   wrote 1500 B; {} B of the page still erased",
+        2048 - 1500
+    );
 
     for round in 0..3 {
         let off = 1500 + round * 100;

@@ -16,12 +16,8 @@ fn run(strategy: WriteStrategy, scheme: NmScheme) -> DeviceStats {
         _ => EngineConfig::default().with_strategy(strategy, scheme),
     }
     .with_buffer_frames(16);
-    let mut engine = StorageEngine::build(
-        device,
-        config,
-        &[TableSpec::heap("accounts", 100, 256)],
-    )
-    .expect("engine");
+    let mut engine = StorageEngine::build(device, config, &[TableSpec::heap("accounts", 100, 256)])
+        .expect("engine");
     let accounts = engine.table("accounts").unwrap();
 
     // Load 1 000 rows.

@@ -3,31 +3,16 @@
 //! flash as full writes or as in-place delta appends.
 
 use in_place_appends::prelude::*;
+use ipa_testkit::all_strategies;
 
 fn engine(strategy: WriteStrategy, scheme: NmScheme) -> StorageEngine {
-    let device = DeviceConfig::small().with_seed(7);
-    let config = match strategy {
-        WriteStrategy::Traditional => EngineConfig::default(),
-        _ => EngineConfig::default().with_strategy(strategy, scheme),
-    }
-    .with_buffer_frames(12);
-    StorageEngine::build(
-        device,
-        config,
-        &[
-            TableSpec::heap("t", 64, 128),
-            TableSpec::index("t_pk", 64),
-        ],
+    ipa_testkit::engine(
+        strategy,
+        scheme,
+        7,
+        12,
+        &[TableSpec::heap("t", 64, 128), TableSpec::index("t_pk", 64)],
     )
-    .expect("engine")
-}
-
-fn all_strategies() -> [(WriteStrategy, NmScheme); 3] {
-    [
-        (WriteStrategy::Traditional, NmScheme::disabled()),
-        (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
-        (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
-    ]
 }
 
 /// Deterministic update workload returning the expected final rows.
@@ -93,7 +78,10 @@ fn final_state_identical_across_strategies() {
         let rows = run_updates(&mut e, 5);
         e.restart_clean().unwrap();
         let t = e.table("t").unwrap();
-        let img: Vec<Vec<u8>> = rows.iter().map(|(_, rid, _)| e.get(t, *rid).unwrap()).collect();
+        let img: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|(_, rid, _)| e.get(t, *rid).unwrap())
+            .collect();
         images.push(img);
     }
     assert_eq!(images[0], images[1], "traditional vs conventional IPA");

@@ -2,8 +2,12 @@
 //! budgets, retired blocks, disturb storms, near-full devices and forced
 //! unsafe appends.
 
+use in_place_appends::core::DeltaRecord;
+use in_place_appends::flash::FlashChip;
+use in_place_appends::ftl::{BlockDevice, Ftl, FtlConfig, FtlError, NativeFlashDevice};
 use in_place_appends::prelude::*;
-use in_place_appends::ftl::FtlError;
+use in_place_appends::storage::standard_layout;
+use ipa_testkit::quiet_slc;
 
 #[test]
 fn nop_exhaustion_falls_back_transparently() {
@@ -46,19 +50,23 @@ fn nop_exhaustion_falls_back_transparently() {
     }
     let s = e.stats();
     assert!(s.pool.evict_in_place > 0, "some appends must succeed first");
-    assert!(s.pool.in_place_fallbacks > 0, "NOP=2 must trigger fallbacks");
+    assert!(
+        s.pool.in_place_fallbacks > 0,
+        "NOP=2 must trigger fallbacks"
+    );
     e.restart_clean().unwrap();
     for (k, rid) in rids.iter().enumerate() {
-        assert_eq!(e.get(t, *rid).unwrap()[16], expect[k], "row {k} lost in fallback");
+        assert_eq!(
+            e.get(t, *rid).unwrap()[16],
+            expect[k],
+            "row {k} lost in fallback"
+        );
     }
 }
 
 #[test]
 fn retired_blocks_shrink_but_do_not_corrupt() {
-    use in_place_appends::flash::FlashChip;
-    use in_place_appends::ftl::{BlockDevice, Ftl, FtlConfig};
-    let mut cfg = DeviceConfig::new(Geometry::new(24, 8, 2048, 64), FlashMode::Slc)
-        .with_disturb(DisturbRates::none());
+    let mut cfg = quiet_slc(24, 8, 0);
     cfg.erase_endurance = 6; // blocks die after six erases
     let mut ftl = Ftl::new(FlashChip::new(cfg), FtlConfig::traditional());
     let data = vec![0x3Cu8; 2048];
@@ -71,7 +79,10 @@ fn retired_blocks_shrink_but_do_not_corrupt() {
             Err(e) => panic!("unexpected: {e}"),
         }
     }
-    assert!(writes > 500, "device died implausibly early ({writes} writes)");
+    assert!(
+        writes > 500,
+        "device died implausibly early ({writes} writes)"
+    );
     // Whatever is still mapped must read back intact.
     let mut buf = vec![0u8; 2048];
     for lba in 0..16u64 {
@@ -81,25 +92,22 @@ fn retired_blocks_shrink_but_do_not_corrupt() {
     }
 }
 
-#[test]
-fn forced_unsafe_appends_corrupt_data_eventually() {
-    // The negative control for the paper's §3: running IPA on full-MLC
-    // pages (explicitly overriding the safety policy) must produce
-    // ECC-visible damage — otherwise our interference model is vacuous.
-    use in_place_appends::core::DeltaRecord;
-    use in_place_appends::flash::FlashChip;
-    use in_place_appends::ftl::{BlockDevice, Ftl, FtlConfig, NativeFlashDevice};
-    use in_place_appends::storage::standard_layout;
-
+/// Run the §3 append storm — N×M deltas hammered into every page between
+/// periodic rewrites — on the given flash mode, and count uncorrectable
+/// reads. The `unsafe_ipa` override lets the storm run on modes the
+/// safety policy would normally refuse.
+fn append_storm(mode: FlashMode, unsafe_ipa: bool) -> u64 {
     let scheme = NmScheme::new(8, 8);
     let layout = standard_layout(2048, scheme);
-    let device = DeviceConfig::new(Geometry::new(32, 32, 2048, 128), FlashMode::MlcFull)
+    let device = DeviceConfig::new(Geometry::new(32, 32, 2048, 128), mode)
         .with_nop(16)
         .with_seed(99);
-    let mut ftl = Ftl::new(
-        FlashChip::new(device),
-        FtlConfig::ipa_native(layout).with_unsafe_ipa(),
-    );
+    let config = if unsafe_ipa {
+        FtlConfig::ipa_native(layout).with_unsafe_ipa()
+    } else {
+        FtlConfig::ipa_native(layout)
+    };
+    let mut ftl = Ftl::new(FlashChip::new(device), config);
     let blank = vec![0xFFu8; 2048];
     for lba in 0..32u64 {
         ftl.write(lba, &blank).unwrap();
@@ -114,7 +122,11 @@ fn forced_unsafe_appends_corrupt_data_eventually() {
                 ftl.write(lba, &blank).unwrap();
             }
             let rec = DeltaRecord::new(vec![(40, 0)], meta.clone(), scheme);
-            let _ = ftl.write_delta(lba, layout.record_offset(slot), &rec.encode(&layout));
+            let res = ftl.write_delta(lba, layout.record_offset(slot), &rec.encode(&layout));
+            if !unsafe_ipa {
+                // On a safe mode every append must be accepted outright.
+                res.unwrap();
+            }
         }
         for lba in 0..32u64 {
             match ftl.read(lba, &mut buf) {
@@ -130,8 +142,16 @@ fn forced_unsafe_appends_corrupt_data_eventually() {
             }
         }
     }
+    uncorrectable
+}
+
+#[test]
+fn forced_unsafe_appends_corrupt_data_eventually() {
+    // The negative control for the paper's §3: running IPA on full-MLC
+    // pages (explicitly overriding the safety policy) must produce
+    // ECC-visible damage — otherwise our interference model is vacuous.
     assert!(
-        uncorrectable > 0,
+        append_storm(FlashMode::MlcFull, true) > 0,
         "unsafe MLC appends must eventually defeat SECDED"
     );
 }
@@ -140,38 +160,7 @@ fn forced_unsafe_appends_corrupt_data_eventually() {
 fn safe_modes_stay_clean_under_the_same_storm() {
     // Positive control: the identical append storm on pSLC produces zero
     // data loss.
-    use in_place_appends::core::DeltaRecord;
-    use in_place_appends::flash::FlashChip;
-    use in_place_appends::ftl::{BlockDevice, Ftl, FtlConfig, NativeFlashDevice};
-    use in_place_appends::storage::standard_layout;
-
-    let scheme = NmScheme::new(8, 8);
-    let layout = standard_layout(2048, scheme);
-    let device = DeviceConfig::new(Geometry::new(32, 32, 2048, 128), FlashMode::PSlc)
-        .with_nop(16)
-        .with_seed(99);
-    let mut ftl = Ftl::new(FlashChip::new(device), FtlConfig::ipa_native(layout));
-    let blank = vec![0xFFu8; 2048];
-    for lba in 0..32u64 {
-        ftl.write(lba, &blank).unwrap();
-    }
-    let meta = vec![0u8; layout.meta_len()];
-    let mut buf = vec![0u8; 2048];
-    for round in 0..60u16 {
-        for lba in 0..32u64 {
-            let slot = round % scheme.n;
-            if slot == 0 && round > 0 {
-                ftl.write(lba, &blank).unwrap();
-            }
-            let rec = DeltaRecord::new(vec![(40, 0)], meta.clone(), scheme);
-            ftl.write_delta(lba, layout.record_offset(slot), &rec.encode(&layout))
-                .unwrap();
-        }
-        for lba in 0..32u64 {
-            ftl.read(lba, &mut buf).unwrap();
-        }
-    }
-    assert_eq!(ftl.device_stats().uncorrectable_reads, 0);
+    assert_eq!(append_storm(FlashMode::PSlc, false), 0);
 }
 
 #[test]

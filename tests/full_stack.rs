@@ -3,23 +3,16 @@
 
 use in_place_appends::prelude::*;
 use in_place_appends::workloads::RunResult;
+use ipa_testkit::{all_strategies, quick_run};
 
 fn quick(kind: WorkloadKind, strategy: WriteStrategy, scheme: NmScheme) -> RunResult {
-    let cfg = DriverConfig::default()
-        .with_transactions(400)
-        .with_seed(0xFEED);
-    Driver::run_configured(kind, 1, strategy, scheme, FlashMode::PSlc, &cfg)
-        .expect("benchmark run")
+    quick_run(kind, strategy, scheme, 400, 0xFEED)
 }
 
 #[test]
 fn every_workload_runs_under_every_strategy() {
     for kind in WorkloadKind::all() {
-        for (strategy, scheme) in [
-            (WriteStrategy::Traditional, NmScheme::disabled()),
-            (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
-            (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
-        ] {
+        for (strategy, scheme) in all_strategies() {
             let r = quick(kind, strategy, scheme);
             assert_eq!(r.transactions, 400, "{kind:?}/{strategy:?}");
             assert!(r.tps > 0.0);
@@ -39,7 +32,10 @@ fn ipa_never_invalidates_more_than_traditional() {
             ipa.device.page_invalidations,
             trad.device.page_invalidations
         );
-        assert!(ipa.device.in_place_appends > 0, "{kind:?} produced no appends");
+        assert!(
+            ipa.device.in_place_appends > 0,
+            "{kind:?} produced no appends"
+        );
     }
 }
 
@@ -52,11 +48,14 @@ fn conventional_and_native_ipa_give_similar_gc_relief() {
         WriteStrategy::IpaConventional,
         NmScheme::new(2, 4),
     );
-    let native = quick(WorkloadKind::TpcB, WriteStrategy::IpaNative, NmScheme::new(2, 4));
-    let inval_diff = (conv.device.page_invalidations as f64
-        - native.device.page_invalidations as f64)
-        .abs()
-        / native.device.page_invalidations.max(1) as f64;
+    let native = quick(
+        WorkloadKind::TpcB,
+        WriteStrategy::IpaNative,
+        NmScheme::new(2, 4),
+    );
+    let inval_diff =
+        (conv.device.page_invalidations as f64 - native.device.page_invalidations as f64).abs()
+            / native.device.page_invalidations.max(1) as f64;
     assert!(
         inval_diff < 0.25,
         "scenario 2 vs 3 invalidations diverge: {} vs {}",
@@ -73,11 +72,7 @@ fn conventional_and_native_ipa_give_similar_gc_relief() {
 
 #[test]
 fn device_accounting_identities() {
-    for (strategy, scheme) in [
-        (WriteStrategy::Traditional, NmScheme::disabled()),
-        (WriteStrategy::IpaNative, NmScheme::new(2, 4)),
-        (WriteStrategy::IpaConventional, NmScheme::new(2, 4)),
-    ] {
+    for (strategy, scheme) in all_strategies() {
         let r = quick(WorkloadKind::TpcB, strategy, scheme);
         let d = &r.device;
         assert_eq!(
@@ -93,13 +88,20 @@ fn device_accounting_identities() {
         );
         // Invalidated pages can only be created by overwrites.
         assert!(d.page_invalidations <= d.out_of_place_writes);
-        assert!(d.uncorrectable_reads == 0, "quiet device must not lose data");
+        assert!(
+            d.uncorrectable_reads == 0,
+            "quiet device must not lose data"
+        );
     }
 }
 
 #[test]
 fn tatp_read_mostly_mix_shape() {
-    let r = quick(WorkloadKind::Tatp, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    let r = quick(
+        WorkloadKind::Tatp,
+        WriteStrategy::IpaNative,
+        NmScheme::new(2, 4),
+    );
     // 80 % of TATP transactions are reads; device reads must dominate
     // writes by a wide margin.
     assert!(
@@ -112,8 +114,16 @@ fn tatp_read_mostly_mix_shape() {
 
 #[test]
 fn deterministic_across_identical_runs() {
-    let a = quick(WorkloadKind::LinkBench, WriteStrategy::IpaNative, NmScheme::new(2, 4));
-    let b = quick(WorkloadKind::LinkBench, WriteStrategy::IpaNative, NmScheme::new(2, 4));
+    let a = quick(
+        WorkloadKind::LinkBench,
+        WriteStrategy::IpaNative,
+        NmScheme::new(2, 4),
+    );
+    let b = quick(
+        WorkloadKind::LinkBench,
+        WriteStrategy::IpaNative,
+        NmScheme::new(2, 4),
+    );
     assert_eq!(a.device, b.device);
     assert_eq!(a.elapsed_ns, b.elapsed_ns);
     assert_eq!(a.flash.total_programs(), b.flash.total_programs());

@@ -4,122 +4,24 @@
 //! strongest correctness statement in the suite: no sequence of small
 //! updates, whole-row updates, inserts, deletes, evictions, in-place
 //! appends, GC migrations or delta reconstructions may lose a byte.
-
-use std::collections::HashMap;
+//!
+//! The op-stream generator and the engine-vs-model lockstep live in
+//! `ipa_testkit::ops::ModelHarness`; this suite picks the strategies,
+//! schemes and seeds.
 
 use in_place_appends::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const ROW: usize = 48;
-
-fn engine(strategy: WriteStrategy, scheme: NmScheme, seed: u64) -> StorageEngine {
-    let device = DeviceConfig::small().with_seed(seed);
-    let config = match strategy {
-        WriteStrategy::Traditional => EngineConfig::default(),
-        _ => EngineConfig::default().with_strategy(strategy, scheme),
-    }
-    .with_buffer_frames(8); // tiny pool: maximal eviction churn
-    StorageEngine::build(device, config, &[TableSpec::heap("m", ROW, 200)]).expect("engine")
-}
+use ipa_testkit::{assert_strategies_agree, heap_engine, ModelHarness};
 
 fn run_model(strategy: WriteStrategy, scheme: NmScheme, seed: u64, ops: usize) {
-    let mut e = engine(strategy, scheme, seed);
+    let mut e = heap_engine(strategy, scheme, seed);
     let t = e.table("m").unwrap();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut model: HashMap<Rid, Option<Vec<u8>>> = HashMap::new();
-    let mut live: Vec<Rid> = Vec::new();
+    let mut h = ModelHarness::new(seed, format!("{strategy:?}"));
+    h.run(&mut e, t, ops);
 
-    for step in 0..ops {
-        let dice = rng.gen_range(0..100u32);
-        match dice {
-            // insert — 25 %
-            0..=24 => {
-                let mut row = vec![0u8; ROW];
-                rng.fill(&mut row[..]);
-                let tx = e.begin();
-                match e.insert(tx, t, &row) {
-                    Ok(rid) => {
-                        e.commit(tx).unwrap();
-                        model.insert(rid, Some(row));
-                        live.push(rid);
-                    }
-                    Err(in_place_appends::storage::StorageError::TableFull(_)) => {
-                        e.commit(tx).unwrap();
-                    }
-                    Err(err) => panic!("insert: {err}"),
-                }
-            }
-            // small field update — 45 %
-            25..=69 if !live.is_empty() => {
-                let rid = live[rng.gen_range(0..live.len())];
-                let off = rng.gen_range(0..ROW - 4);
-                let bytes: [u8; 3] = rng.gen();
-                let tx = e.begin();
-                e.update_field(tx, t, rid, off, &bytes).unwrap();
-                e.commit(tx).unwrap();
-                let m = model.get_mut(&rid).unwrap().as_mut().unwrap();
-                m[off..off + 3].copy_from_slice(&bytes);
-            }
-            // whole-row update — 10 %
-            70..=79 if !live.is_empty() => {
-                let rid = live[rng.gen_range(0..live.len())];
-                let mut row = vec![0u8; ROW];
-                rng.fill(&mut row[..]);
-                let tx = e.begin();
-                e.update_row(tx, t, rid, &row).unwrap();
-                e.commit(tx).unwrap();
-                model.insert(rid, Some(row));
-            }
-            // delete — 5 %
-            80..=84 if !live.is_empty() => {
-                let idx = rng.gen_range(0..live.len());
-                let rid = live.swap_remove(idx);
-                let tx = e.begin();
-                e.delete(tx, t, rid).unwrap();
-                e.commit(tx).unwrap();
-                model.insert(rid, None);
-            }
-            // aborted update — 5 %
-            85..=89 if !live.is_empty() => {
-                let rid = live[rng.gen_range(0..live.len())];
-                let tx = e.begin();
-                e.update_field(tx, t, rid, 0, &[0xAB, 0xCD]).unwrap();
-                e.abort(tx).unwrap();
-            }
-            // read-verify — rest
-            _ if !live.is_empty() => {
-                let rid = live[rng.gen_range(0..live.len())];
-                let got = e.get(t, rid).unwrap();
-                assert_eq!(
-                    &got,
-                    model[&rid].as_ref().unwrap(),
-                    "{strategy:?} step {step}: live read diverged"
-                );
-            }
-            _ => {}
-        }
-        if step % 50 == 49 {
-            e.flush_all().unwrap();
-        }
-    }
-
-    // Cold restart: everything must round-trip through the flash images.
+    // Cold restart (flushes internally): everything must round-trip
+    // through the flash images.
     e.restart_clean().unwrap();
-    for (rid, expect) in &model {
-        match expect {
-            Some(row) => {
-                let got = e.get(t, *rid).unwrap();
-                assert_eq!(&got, row, "{strategy:?}: row {rid:?} diverged after restart");
-            }
-            None => {
-                assert!(
-                    e.get(t, *rid).is_err(),
-                    "{strategy:?}: deleted row {rid:?} resurrected"
-                );
-            }
-        }
-    }
+    h.assert_engine_matches(&mut e, t);
 }
 
 #[test]
@@ -139,12 +41,31 @@ fn model_check_ipa_native_roomy_scheme() {
 
 #[test]
 fn model_check_ipa_conventional() {
-    run_model(WriteStrategy::IpaConventional, NmScheme::new(2, 4), 4004, 1200);
+    run_model(
+        WriteStrategy::IpaConventional,
+        NmScheme::new(2, 4),
+        4004,
+        1200,
+    );
 }
 
 #[test]
 fn model_check_many_seeds_quick() {
     for seed in 0..6u64 {
-        run_model(WriteStrategy::IpaNative, NmScheme::new(2, 4), 5000 + seed, 300);
+        run_model(
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            5000 + seed,
+            300,
+        );
+    }
+}
+
+#[test]
+fn model_check_strategies_converge() {
+    // Beyond each strategy matching its own model: all three write paths
+    // fed the same logical op stream must end in identical logical state.
+    for seed in [0xBEEF, 0xCAFE] {
+        assert_strategies_agree(seed, 400);
     }
 }

@@ -1,0 +1,161 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `Bencher` surface the workspace benches
+//! use (`bench_function`, `iter`, `iter_with_setup`, `black_box`, the
+//! `criterion_group!` / `criterion_main!` macros) over a simple
+//! median-of-samples wall-clock harness. No statistical analysis, plots,
+//! or baselines — just honest per-iteration timings on stdout, so
+//! `cargo bench` stays useful without registry access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimal benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Samples collected per benchmark (median is reported).
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            samples: 11,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement / self.samples as u32,
+            per_iter: Vec::with_capacity(self.samples),
+        };
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        b.per_iter.sort();
+        let median = b.per_iter[b.per_iter.len() / 2];
+        println!(
+            "{id:<40} median {median:>12?}/iter ({} samples)",
+            b.per_iter.len()
+        );
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Timing context handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    budget: Duration,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the sample budget is spent and
+    /// record the mean per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size so the clock is read rarely.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.per_iter.push(start.elapsed() / batch as u32);
+    }
+
+    /// `iter` with a non-timed setup producing each iteration's input.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        black_box(routine(setup()));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut spent = Duration::ZERO;
+        for _ in 0..batch {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+        }
+        self.per_iter.push(spent / batch as u32);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_with_setup_separates_setup() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            )
+        });
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace annotates config/stats types with
+//! `#[derive(Serialize, Deserialize)]` so they are wire-ready once the
+//! real serde is available, but no code path in the repo performs actual
+//! serialization. Expanding to an empty token stream keeps the attribute
+//! valid while adding zero behavior.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
