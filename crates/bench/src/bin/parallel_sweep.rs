@@ -1,0 +1,118 @@
+//! Channel/die scaling sweep: the same mixed OLTP workloads on wider and
+//! wider controller topologies, IPA-native, multi-client.
+//!
+//! For each topology the driver runs K interleaved client streams; the
+//! table reports simulated-time throughput, speedup over the 1 × 1
+//! baseline, tail latencies (p99 / p99.9 — where queueing lives) and the
+//! scheduler's own counters (mean queue wait, deepest die queue).
+//!
+//! Usage:
+//!   cargo run --release -p ipa-bench --bin parallel_sweep \
+//!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1]
+//!
+//! Exits non-zero if the 4-channel × 2-die topology fails to deliver ≥ 2×
+//! the 1 × 1 throughput on the mixed sweep — the reproduction's scaling
+//! acceptance bar.
+
+use ipa_core::NmScheme;
+use ipa_flash::FlashMode;
+use ipa_ftl::{StripePolicy, WriteStrategy};
+use ipa_workloads::{Driver, DriverConfig, RunResult, Topology, WorkloadKind};
+
+fn main() {
+    let tx: u64 = ipa_bench::arg("tx", 1_200);
+    let streams: u32 = ipa_bench::arg("streams", 8);
+    let seed: u64 = ipa_bench::arg("seed", 0x7C_B5EED);
+    let scale: u32 = ipa_bench::arg("scale", 1);
+
+    let topologies = [
+        Topology::single(),
+        Topology::new(2, 1, StripePolicy::RoundRobin),
+        Topology::new(4, 1, StripePolicy::RoundRobin),
+        Topology::new(2, 2, StripePolicy::RoundRobin),
+        Topology::new(4, 2, StripePolicy::RoundRobin),
+        Topology::new(4, 2, StripePolicy::Hash),
+    ];
+    let workloads = [WorkloadKind::TpcB, WorkloadKind::Tatp];
+
+    let cfg = DriverConfig::default()
+        .with_transactions(tx)
+        .with_seed(seed)
+        .with_streams(streams);
+
+    println!(
+        "parallel sweep — IPA-native 2×4 pSLC, {} mixed workloads, {streams} client streams, {tx} tx",
+        workloads.len()
+    );
+    ipa_bench::rule(118);
+    println!(
+        "{:<14}{:>10}{:>10}{:>9}{:>11}{:>11}{:>11}{:>12}{:>11}{:>9}",
+        "topology",
+        "workload",
+        "tps",
+        "speedup",
+        "p50 µs",
+        "p99 µs",
+        "p99.9 µs",
+        "wait µs/cmd",
+        "depth max",
+        "appends"
+    );
+    ipa_bench::rule(118);
+
+    let mut exit = 0;
+    let mut baseline: Vec<f64> = Vec::new();
+    for (ti, topo) in topologies.iter().enumerate() {
+        let mut speedups = Vec::new();
+        for (wi, kind) in workloads.iter().enumerate() {
+            let r: RunResult = Driver::run_sharded(
+                *kind,
+                scale,
+                WriteStrategy::IpaNative,
+                NmScheme::new(2, 4),
+                FlashMode::PSlc,
+                *topo,
+                &cfg,
+            )
+            .expect("sweep run");
+            if ti == 0 {
+                baseline.push(r.tps);
+            }
+            let speedup = r.tps / baseline[wi];
+            speedups.push(speedup);
+            let (wait, depth) = r
+                .controller
+                .map(|c| (c.mean_wait_ns() / 1e3, c.max_queue_depth))
+                .unwrap_or((0.0, 0));
+            println!(
+                "{:<14}{:>10}{:>10.0}{:>8.2}x{:>11.1}{:>11.1}{:>11.1}{:>12.1}{:>11}{:>8.0}%",
+                topo.to_string(),
+                kind.name(),
+                r.tps,
+                speedup,
+                r.latency.p50_ns as f64 / 1e3,
+                r.latency.p99_ns as f64 / 1e3,
+                r.latency.p999_ns as f64 / 1e3,
+                wait,
+                depth,
+                r.device.in_place_fraction() * 100.0
+            );
+        }
+        // The acceptance bar: 4ch × 2d round-robin ≥ 2× the 1×1 baseline
+        // across the mixed sweep (geometric mean).
+        if topo.channels == 4
+            && topo.dies_per_channel == 2
+            && topo.policy == StripePolicy::RoundRobin
+        {
+            let g = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+            if g >= 2.0 {
+                println!("  -> 4ch×2d mixed-sweep speedup {g:.2}x >= 2.0x: PASS");
+            } else {
+                println!("  -> 4ch×2d mixed-sweep speedup {g:.2}x < 2.0x: FAIL");
+                exit = 1;
+            }
+        }
+    }
+    ipa_bench::rule(118);
+    std::process::exit(exit);
+}

@@ -1,0 +1,99 @@
+//! Controller topology: how many channels, how many dies per channel, and
+//! the per-die chip configuration.
+
+use ipa_flash::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Topology + per-die chip configuration of a multi-channel device.
+///
+/// The controller owns `channels × dies_per_channel` identical
+/// [`ipa_flash::FlashChip`] instances. Die `d` sits on channel
+/// `d % channels`, so consecutive die indices alternate channels — a
+/// round-robin LBA stripe then spreads consecutive pages across channel
+/// buses first, which is the layout that maximises transfer overlap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Independent channel buses.
+    pub channels: u32,
+    /// Dies sharing each channel bus.
+    pub dies_per_channel: u32,
+    /// Configuration of every die (geometry, mode, timing, noise). The
+    /// fault-injection seed is re-derived per die so dies draw independent
+    /// noise streams.
+    pub chip: DeviceConfig,
+}
+
+impl ControllerConfig {
+    /// A `channels × dies_per_channel` topology of identical dies.
+    pub fn new(channels: u32, dies_per_channel: u32, chip: DeviceConfig) -> Self {
+        assert!(channels > 0, "controller needs at least one channel");
+        assert!(
+            dies_per_channel > 0,
+            "controller needs at least one die per channel"
+        );
+        ControllerConfig {
+            channels,
+            dies_per_channel,
+            chip,
+        }
+    }
+
+    /// The degenerate 1 × 1 topology — a single chip behind the scheduler,
+    /// the baseline every sweep compares against.
+    pub fn single(chip: DeviceConfig) -> Self {
+        ControllerConfig::new(1, 1, chip)
+    }
+
+    /// Total die count.
+    #[inline]
+    pub fn dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Channel bus a die is wired to.
+    #[inline]
+    pub fn channel_of(&self, die: u32) -> u32 {
+        die % self.channels
+    }
+
+    /// Per-die chip config: identical hardware, independent noise seed.
+    pub fn chip_for_die(&self, die: u32) -> DeviceConfig {
+        self.chip
+            .clone()
+            .with_seed(self.chip.seed ^ (die as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_accessors() {
+        let c = ControllerConfig::new(4, 2, DeviceConfig::tiny());
+        assert_eq!(c.dies(), 8);
+        // Consecutive dies land on distinct channels.
+        assert_eq!(c.channel_of(0), 0);
+        assert_eq!(c.channel_of(1), 1);
+        assert_eq!(c.channel_of(3), 3);
+        assert_eq!(c.channel_of(4), 0);
+        assert_eq!(c.channel_of(7), 3);
+    }
+
+    #[test]
+    fn per_die_seeds_differ() {
+        let c = ControllerConfig::new(2, 2, DeviceConfig::tiny());
+        let seeds: Vec<u64> = (0..4).map(|d| c.chip_for_die(d).seed).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "each die draws its own noise stream");
+        assert_eq!(seeds[0], c.chip.seed, "die 0 keeps the base seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = ControllerConfig::new(0, 1, DeviceConfig::tiny());
+    }
+}

@@ -1,0 +1,645 @@
+//! The multi-channel controller: per-die command queues and a scheduler
+//! that charges channel-bus and die-busy time.
+//!
+//! ## Timing model
+//!
+//! Every die keeps its own [`SimClock`] recording when its array becomes
+//! idle; every channel bus keeps one recording when the bus is free. The
+//! host-side clock (`host`) only advances when the host actually has to
+//! wait:
+//!
+//! * **Reads are synchronous** — the host needs the data, so it pays
+//!   queueing (die busy), sense, bus-contention and transfer time in full:
+//!   `done = max(max(submit, die_free) + sense, chan_free) + transfer`.
+//! * **Programs / re-programs / appends are posted** — the host enqueues
+//!   the command and continues immediately (per-channel DMA engines move
+//!   the payload; host-side CPU cost is the driver's `cpu_ns_per_tx`).
+//!   The transfer occupies the channel bus starting when both the bus and
+//!   the die are free, and the ISPP staircase then occupies the die. This
+//!   is exactly where channel/die parallelism buys throughput: transfers
+//!   on different channels and staircases on different dies all overlap.
+//! * **Erases are fully posted** — no bus payload; the die is simply busy
+//!   for `erase_ns` starting when it next falls idle.
+//!
+//! A later command on the *same* die queues behind the posted work (its
+//! start time is clamped by the die clock), so a 1 × 1 topology reproduces
+//! the old single-chip sequential walk exactly, while wider topologies
+//! overlap. [`FlashController::sync`] max-merges every die clock back into
+//! the host clock — the barrier used at result-consumption boundaries.
+//!
+//! State mutations are applied to the per-die [`FlashChip`] eagerly, in
+//! submission order. Per-die FIFO dispatch means the logical outcome is
+//! identical to the sequential single-chip execution — only *time* is
+//! scheduled, which is what makes die-striped parity checks meaningful.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ipa_flash::{
+    FlashChip, FlashMode, FlashStats, Geometry, Nand, PageImage, Ppa, Result, SimClock,
+};
+
+use crate::config::ControllerConfig;
+use crate::stats::{ControllerStats, DieStats};
+
+/// A posted (not-yet-complete relative to host time) command on a die.
+#[derive(Debug, Clone, Copy)]
+struct Posted {
+    done_ns: u64,
+}
+
+struct DieState {
+    chip: FlashChip,
+    /// When the die's array next falls idle.
+    clock: SimClock,
+    /// Posted commands still in flight at host time.
+    queue: VecDeque<Posted>,
+    stats: DieStats,
+}
+
+/// The controller: `channels × dies_per_channel` chips behind a scheduler.
+pub struct FlashController {
+    cfg: ControllerConfig,
+    dies: Vec<DieState>,
+    /// When each channel bus is next free.
+    channels: Vec<SimClock>,
+    /// The host-side clock: submission timestamps come from here.
+    host: SimClock,
+    stats: ControllerStats,
+}
+
+impl FlashController {
+    pub fn new(cfg: ControllerConfig) -> Self {
+        let dies = (0..cfg.dies())
+            .map(|d| DieState {
+                chip: FlashChip::new(cfg.chip_for_die(d)),
+                clock: SimClock::new(),
+                queue: VecDeque::new(),
+                stats: DieStats::default(),
+            })
+            .collect();
+        let channels = (0..cfg.channels).map(|_| SimClock::new()).collect();
+        FlashController {
+            cfg,
+            dies,
+            channels,
+            host: SimClock::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Shared, handle-ready construction.
+    pub fn shared(cfg: ControllerConfig) -> Rc<RefCell<FlashController>> {
+        Rc::new(RefCell::new(FlashController::new(cfg)))
+    }
+
+    /// One [`DieHandle`] per die, in die-index order.
+    pub fn handles(ctrl: &Rc<RefCell<FlashController>>) -> Vec<DieHandle> {
+        let (dies, geometry, mode) = {
+            let c = ctrl.borrow();
+            (c.cfg.dies(), c.cfg.chip.geometry, c.cfg.chip.mode)
+        };
+        (0..dies)
+            .map(|die| DieHandle {
+                ctrl: Rc::clone(ctrl),
+                die,
+                geometry,
+                mode,
+            })
+            .collect()
+    }
+
+    #[inline]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    pub fn dies(&self) -> u32 {
+        self.cfg.dies()
+    }
+
+    /// Scheduler counters.
+    #[inline]
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Per-die utilisation counters.
+    pub fn die_stats(&self, die: u32) -> DieStats {
+        self.dies[die as usize].stats
+    }
+
+    /// Posted commands still in flight on a die at current host time.
+    pub fn queue_depth(&self, die: u32) -> usize {
+        self.dies[die as usize].queue.len()
+    }
+
+    /// Raw chip counters of one die.
+    pub fn die_flash_stats(&self, die: u32) -> FlashStats {
+        *self.dies[die as usize].chip.stats()
+    }
+
+    /// Raw chip counters summed across all dies.
+    pub fn flash_stats(&self) -> FlashStats {
+        self.dies
+            .iter()
+            .fold(FlashStats::default(), |acc, d| acc.merged(d.chip.stats()))
+    }
+
+    /// Peak erase count across every die.
+    pub fn max_erase_count(&self) -> u32 {
+        self.dies
+            .iter()
+            .map(|d| d.chip.max_erase_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Simulated time if the host synced right now: the furthest-ahead of
+    /// the host clock and every die clock. Non-mutating peek.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.dies
+            .iter()
+            .map(|d| d.clock.now_ns())
+            .fold(self.host.now_ns(), u64::max)
+    }
+
+    /// Submission-side clock: the logical "now" commands are issued at.
+    pub fn host_ns(&self) -> u64 {
+        self.host.now_ns()
+    }
+
+    /// Reposition the submission-side clock — the multi-client hook. Each
+    /// client thread has its own logical "now"; the driver sets it before
+    /// issuing that client's commands, so two clients' reads overlap
+    /// instead of serialising through a single host clock. Die and channel
+    /// clocks are untouched (they are device state, not client state), so
+    /// commands submitted "in the past" still queue behind busy hardware
+    /// via `start = max(submit, die_free, chan_free)`.
+    pub fn set_host_ns(&mut self, ns: u64) {
+        self.host = SimClock::at_ns(ns);
+    }
+
+    /// Barrier: wait for every posted command, max-merging all die clocks
+    /// into the host clock. Returns the merged time.
+    pub fn sync(&mut self) -> u64 {
+        for d in 0..self.dies.len() {
+            let clock = self.dies[d].clock;
+            self.host.merge(&clock);
+            self.dies[d].queue.clear();
+        }
+        self.stats.sync_points += 1;
+        self.host.now_ns()
+    }
+
+    /// Drop completed entries from a die's queue.
+    fn retire(&mut self, die: usize) {
+        let now = self.host.now_ns();
+        let q = &mut self.dies[die].queue;
+        while q.front().is_some_and(|p| p.done_ns <= now) {
+            q.pop_front();
+        }
+    }
+
+    /// Read: sense on the die, then transfer over the channel. A host
+    /// read (`sync_host`) blocks the host clock until the data arrives; a
+    /// firmware copy-back read only occupies the die and channel.
+    fn op_read(&mut self, die: u32, ppa: Ppa, sync_host: bool) -> Result<PageImage> {
+        let d = die as usize;
+        let submit = self.host.now_ns();
+        let t0 = self.dies[d].chip.elapsed_ns();
+        let img = self.dies[d].chip.read_page(ppa)?;
+        let dt = self.dies[d].chip.elapsed_ns() - t0;
+
+        let g = self.cfg.chip.geometry;
+        let bus = self.cfg.chip.latency.transfer_ns(g.page_size + g.oob_size);
+        let sense = dt.saturating_sub(bus);
+        let ch = self.cfg.channel_of(die) as usize;
+
+        let start = submit.max(self.dies[d].clock.now_ns());
+        let sense_end = start + sense;
+        let bus_start = sense_end.max(self.channels[ch].now_ns());
+        let done = bus_start + bus;
+
+        self.dies[d].clock.advance_to(done);
+        self.channels[ch].advance_to(done);
+        if sync_host {
+            self.host.advance_to(done);
+        }
+        self.retire(d);
+
+        self.dies[d].stats.commands += 1;
+        self.dies[d].stats.busy_ns += sense;
+        self.stats.commands += 1;
+        self.stats.reads += 1;
+        self.stats.queue_wait_ns += (start - submit) + (bus_start - sense_end);
+        self.stats.bus_busy_ns += bus;
+        Ok(img)
+    }
+
+    /// Posted command: optional bus transfer up front, then the array runs
+    /// in the background. The host resumes once the bus is released.
+    fn op_posted<F>(&mut self, die: u32, bus_bytes: usize, is_erase: bool, f: F) -> Result<()>
+    where
+        F: FnOnce(&mut FlashChip) -> Result<()>,
+    {
+        let d = die as usize;
+        let submit = self.host.now_ns();
+        let t0 = self.dies[d].chip.elapsed_ns();
+        f(&mut self.dies[d].chip)?;
+        let dt = self.dies[d].chip.elapsed_ns() - t0;
+
+        let bus = self.cfg.chip.latency.transfer_ns(bus_bytes);
+        let array = dt.saturating_sub(bus);
+        let ch = self.cfg.channel_of(die) as usize;
+
+        let mut start = submit.max(self.dies[d].clock.now_ns());
+        if bus > 0 {
+            start = start.max(self.channels[ch].now_ns());
+        }
+        let bus_end = start + bus;
+        let done = bus_end + array;
+
+        if bus > 0 {
+            self.channels[ch].advance_to(bus_end);
+            self.stats.bus_busy_ns += bus;
+        }
+        self.dies[d].clock.advance_to(done);
+        self.retire(d);
+        self.dies[d].queue.push_back(Posted { done_ns: done });
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.dies[d].queue.len());
+
+        self.dies[d].stats.commands += 1;
+        self.dies[d].stats.busy_ns += array;
+        self.stats.commands += 1;
+        if is_erase {
+            self.stats.erases += 1;
+        } else {
+            self.stats.programs += 1;
+        }
+        self.stats.queue_wait_ns += start - submit;
+        Ok(())
+    }
+
+    fn chip(&self, die: u32) -> &FlashChip {
+        &self.dies[die as usize].chip
+    }
+}
+
+/// A handle giving one die's view of the controller. Implements
+/// [`ipa_flash::Nand`], so an [`ipa_flash::FlashChip`] consumer — the FTL —
+/// can be pointed at a scheduled die without code changes.
+pub struct DieHandle {
+    ctrl: Rc<RefCell<FlashController>>,
+    die: u32,
+    geometry: Geometry,
+    mode: FlashMode,
+}
+
+impl DieHandle {
+    /// Die index within the controller.
+    #[inline]
+    pub fn die(&self) -> u32 {
+        self.die
+    }
+
+    /// The controller this handle schedules through.
+    pub fn controller(&self) -> &Rc<RefCell<FlashController>> {
+        &self.ctrl
+    }
+}
+
+impl Nand for DieHandle {
+    fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    fn mode(&self) -> FlashMode {
+        self.mode
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        self.ctrl.borrow().die_flash_stats(self.die)
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        // This die's completion horizon (not the merged host view).
+        self.ctrl.borrow().dies[self.die as usize].clock.now_ns()
+    }
+
+    fn nop_limit(&self, page: u32) -> u16 {
+        self.ctrl.borrow().chip(self.die).nop_limit(page)
+    }
+
+    fn is_erased(&self, ppa: Ppa) -> Result<bool> {
+        self.ctrl.borrow().chip(self.die).is_erased(ppa)
+    }
+
+    fn program_count(&self, ppa: Ppa) -> Result<u16> {
+        self.ctrl.borrow().chip(self.die).program_count(ppa)
+    }
+
+    fn erase_count(&self, block: u32) -> Result<u32> {
+        self.ctrl.borrow().chip(self.die).erase_count(block)
+    }
+
+    fn max_erase_count(&self) -> u32 {
+        self.ctrl.borrow().chip(self.die).max_erase_count()
+    }
+
+    fn is_bad(&self, block: u32) -> bool {
+        self.ctrl.borrow().chip(self.die).is_bad(block)
+    }
+
+    fn peek_data(&self, ppa: Ppa) -> Option<Vec<u8>> {
+        self.ctrl
+            .borrow()
+            .chip(self.die)
+            .peek_data(ppa)
+            .map(<[u8]>::to_vec)
+    }
+
+    fn peek_overwrite_compatible(&self, ppa: Ppa, new: &[u8]) -> Option<bool> {
+        self.ctrl
+            .borrow()
+            .chip(self.die)
+            .peek_data(ppa)
+            .map(|old| old.iter().zip(new).all(|(&o, &n)| n & !o == 0))
+    }
+
+    fn peek_oob(&self, ppa: Ppa) -> Option<Vec<u8>> {
+        self.ctrl
+            .borrow()
+            .chip(self.die)
+            .peek_oob(ppa)
+            .map(<[u8]>::to_vec)
+    }
+
+    fn read_page(&mut self, ppa: Ppa) -> Result<PageImage> {
+        self.ctrl.borrow_mut().op_read(self.die, ppa, true)
+    }
+
+    fn copyback_read(&mut self, ppa: Ppa) -> Result<PageImage> {
+        self.ctrl.borrow_mut().op_read(self.die, ppa, false)
+    }
+
+    fn program_page(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
+        let bytes = data.len() + oob.len();
+        self.ctrl
+            .borrow_mut()
+            .op_posted(self.die, bytes, false, |chip| {
+                chip.program_page(ppa, data, oob)
+            })
+    }
+
+    fn reprogram_page(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
+        let bytes = data.len() + oob.len();
+        self.ctrl
+            .borrow_mut()
+            .op_posted(self.die, bytes, false, |chip| {
+                chip.reprogram_page(ppa, data, oob)
+            })
+    }
+
+    fn append_region(
+        &mut self,
+        ppa: Ppa,
+        data_off: usize,
+        bytes: &[u8],
+        oob_off: usize,
+        oob_bytes: &[u8],
+    ) -> Result<()> {
+        // IPA's bus win carries through the scheduler: only delta bytes
+        // occupy the channel.
+        let n = bytes.len() + oob_bytes.len();
+        self.ctrl
+            .borrow_mut()
+            .op_posted(self.die, n, false, |chip| {
+                chip.append_region(ppa, data_off, bytes, oob_off, oob_bytes)
+            })
+    }
+
+    fn erase_block(&mut self, block: u32) -> Result<()> {
+        self.ctrl
+            .borrow_mut()
+            .op_posted(self.die, 0, true, |chip| chip.erase_block(block))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_flash::{DeviceConfig, DisturbRates};
+
+    fn cfg(channels: u32, dies_per_channel: u32) -> ControllerConfig {
+        ControllerConfig::new(
+            channels,
+            dies_per_channel,
+            DeviceConfig::tiny()
+                .with_mode(FlashMode::Slc)
+                .with_disturb(DisturbRates::none()),
+        )
+    }
+
+    fn page(h: &DieHandle, fill: u8) -> (Vec<u8>, Vec<u8>) {
+        (
+            vec![fill; h.geometry().page_size],
+            vec![0xFF; h.geometry().oob_size],
+        )
+    }
+
+    /// Time for one program when nothing else contends.
+    fn solo_program_ns() -> u64 {
+        let ctrl = FlashController::shared(cfg(1, 1));
+        let mut h = FlashController::handles(&ctrl).pop().unwrap();
+        let (data, oob) = page(&h, 0x00);
+        h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        let mut c = ctrl.borrow_mut();
+        c.sync()
+    }
+
+    #[test]
+    fn programs_on_distinct_dies_overlap() {
+        let solo = solo_program_ns();
+        let ctrl = FlashController::shared(cfg(4, 2));
+        let mut handles = FlashController::handles(&ctrl);
+        assert_eq!(handles.len(), 8);
+        for h in handles.iter_mut() {
+            let (data, oob) = page(h, 0x00);
+            h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        }
+        let elapsed = ctrl.borrow_mut().sync();
+        assert!(
+            elapsed < 8 * solo / 2,
+            "8 programs across 8 dies must overlap: {elapsed} vs 8×{solo} sequential"
+        );
+        assert!(elapsed >= solo, "cannot beat a single program");
+    }
+
+    #[test]
+    fn programs_on_one_die_serialize() {
+        let solo = solo_program_ns();
+        let ctrl = FlashController::shared(cfg(4, 2));
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0x00);
+        for p in 0..4 {
+            h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
+        }
+        let elapsed = ctrl.borrow_mut().sync();
+        assert_eq!(
+            elapsed,
+            4 * solo,
+            "same-die FIFO must match the sequential single-chip walk"
+        );
+    }
+
+    #[test]
+    fn shared_channel_serializes_transfers_only() {
+        // Same die count, one channel vs dedicated channels: the shared
+        // bus adds transfer serialization but staircases still overlap.
+        let run = |channels: u32, dies_per_channel: u32| -> u64 {
+            let ctrl = FlashController::shared(cfg(channels, dies_per_channel));
+            let mut handles = FlashController::handles(&ctrl);
+            for h in handles.iter_mut() {
+                let (data, oob) = page(h, 0x00);
+                h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+            }
+            let mut c = ctrl.borrow_mut();
+            c.sync()
+        };
+        let shared_bus = run(1, 4);
+        let wide_bus = run(4, 1);
+        let solo = solo_program_ns();
+        assert!(wide_bus < shared_bus, "dedicated channels must be faster");
+        assert!(
+            shared_bus < 4 * solo,
+            "even a shared channel overlaps the program staircases"
+        );
+    }
+
+    #[test]
+    fn read_after_posted_program_queues_behind_it() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        let (data, oob) = page(&handles[0], 0x00);
+        handles[0]
+            .program_page(Ppa::new(0, 0), &data, &oob)
+            .unwrap();
+        let host_after_post = ctrl.borrow().host.now_ns();
+        let die_done = ctrl.borrow().dies[0].clock.now_ns();
+        assert!(
+            host_after_post < die_done,
+            "posted program must leave the die busy past the host clock"
+        );
+        // The read must wait for the staircase to finish before sensing.
+        handles[0].read_page(Ppa::new(0, 0)).unwrap();
+        let after_read = ctrl.borrow().host.now_ns();
+        assert!(after_read > die_done);
+        assert!(ctrl.borrow().stats().queue_wait_ns > 0);
+    }
+
+    #[test]
+    fn read_on_idle_die_skips_the_queue() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        // Seed die 1 with data while everything is idle, then sync.
+        let (data, oob) = page(&handles[1], 0x00);
+        handles[1]
+            .program_page(Ppa::new(0, 0), &data, &oob)
+            .unwrap();
+        ctrl.borrow_mut().sync();
+        let t0 = ctrl.borrow().host.now_ns();
+
+        // Busy die 0, then read die 1: the read must not pay die 0's wait.
+        handles[0]
+            .program_page(Ppa::new(0, 0), &data, &oob)
+            .unwrap();
+        handles[1].read_page(Ppa::new(0, 0)).unwrap();
+        let read_done = ctrl.borrow().host.now_ns();
+        let die0_done = ctrl.borrow().dies[0].clock.now_ns();
+        assert!(
+            read_done < die0_done,
+            "read on the idle die completed at {read_done}, die 0 still busy to {die0_done} (t0 {t0})"
+        );
+    }
+
+    #[test]
+    fn sync_merges_die_clocks_and_drains_queues() {
+        let ctrl = FlashController::shared(cfg(1, 2));
+        let mut handles = FlashController::handles(&ctrl);
+        handles[1].erase_block(3).unwrap();
+        {
+            let c = ctrl.borrow();
+            assert_eq!(c.queue_depth(1), 1);
+            assert!(c.host.now_ns() < c.dies[1].clock.now_ns());
+            assert_eq!(c.elapsed_ns(), c.dies[1].clock.now_ns());
+        }
+        let merged = ctrl.borrow_mut().sync();
+        let c = ctrl.borrow();
+        assert_eq!(merged, c.dies[1].clock.now_ns());
+        assert_eq!(c.host.now_ns(), merged);
+        assert_eq!(c.queue_depth(1), 0);
+        assert_eq!(c.stats().sync_points, 1);
+        assert_eq!(c.stats().erases, 1);
+    }
+
+    #[test]
+    fn failed_commands_cost_nothing() {
+        let ctrl = FlashController::shared(cfg(1, 1));
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        assert!(h.read_page(Ppa::new(0, 0)).is_err()); // erased page
+        let c = ctrl.borrow();
+        assert_eq!(c.elapsed_ns(), 0, "failed command must not consume time");
+        assert_eq!(c.stats().commands, 0);
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let run = || -> (u64, ControllerStats) {
+            let ctrl = FlashController::shared(cfg(2, 2));
+            let mut handles = FlashController::handles(&ctrl);
+            for (i, h) in handles.iter_mut().enumerate() {
+                let (data, oob) = page(h, 0x00);
+                h.program_page(Ppa::new(0, i as u32), &data, &oob).unwrap();
+                h.read_page(Ppa::new(0, i as u32)).unwrap();
+            }
+            let t = ctrl.borrow_mut().sync();
+            let s = ctrl.borrow().stats();
+            (t, s)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn state_is_identical_to_a_bare_chip() {
+        // The scheduler reorders *time*, never state: a die driven through
+        // the controller holds exactly the bytes a bare chip would.
+        let dc = DeviceConfig::tiny()
+            .with_mode(FlashMode::Slc)
+            .with_disturb(DisturbRates::none());
+        let mut bare = FlashChip::new(dc.clone());
+        let ctrl = FlashController::shared(ControllerConfig::single(dc));
+        let mut h = FlashController::handles(&ctrl).remove(0);
+
+        let g = *bare.geometry();
+        let oob = vec![0xFF; g.oob_size];
+        let mut data = vec![0xFF; g.page_size];
+        data[..32].fill(0x3C);
+        for t in [&mut bare as &mut dyn Nand, &mut h as &mut dyn Nand] {
+            t.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
+            t.append_region(Ppa::new(1, 0), 100, &[0x11; 8], 4, &[0x00; 2])
+                .unwrap();
+            t.erase_block(2).unwrap();
+        }
+        assert_eq!(
+            bare.peek_data(Ppa::new(1, 0)).map(<[u8]>::to_vec),
+            h.peek_data(Ppa::new(1, 0))
+        );
+        assert_eq!(
+            Nand::flash_stats(&bare).page_reprograms,
+            h.flash_stats().page_reprograms
+        );
+    }
+}

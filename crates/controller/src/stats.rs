@@ -1,0 +1,86 @@
+//! Scheduler-level counters: where commands waited and how deep the
+//! per-die queues ran.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate scheduler statistics across all channels and dies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Commands dispatched (reads + programs + appends + erases).
+    pub commands: u64,
+    /// Synchronous read commands (host blocked until data arrived).
+    pub reads: u64,
+    /// Posted program/re-program/append commands.
+    pub programs: u64,
+    /// Posted erase commands.
+    pub erases: u64,
+    /// Total time commands spent queued before their die/channel was free.
+    pub queue_wait_ns: u64,
+    /// Total channel-bus occupancy (all channels summed).
+    pub bus_busy_ns: u64,
+    /// Deepest any single die queue got (posted commands in flight).
+    pub max_queue_depth: usize,
+    /// Explicit sync points (full clock merges) the host requested.
+    pub sync_points: u64,
+}
+
+impl ControllerStats {
+    /// Mean queueing delay per command, nanoseconds.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.commands == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns as f64 / self.commands as f64
+        }
+    }
+}
+
+impl fmt::Display for ControllerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cmds={} (r={} p={} e={}) wait={:.3}ms bus={:.3}ms depth_max={} syncs={}",
+            self.commands,
+            self.reads,
+            self.programs,
+            self.erases,
+            self.queue_wait_ns as f64 / 1e6,
+            self.bus_busy_ns as f64 / 1e6,
+            self.max_queue_depth,
+            self.sync_points
+        )
+    }
+}
+
+/// Per-die utilisation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DieStats {
+    /// Commands executed on this die.
+    pub commands: u64,
+    /// Time the die's array was busy (sense/program/erase phases).
+    pub busy_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_wait_handles_zero_commands() {
+        assert_eq!(ControllerStats::default().mean_wait_ns(), 0.0);
+        let s = ControllerStats {
+            commands: 4,
+            queue_wait_ns: 200,
+            ..Default::default()
+        };
+        assert!((s.mean_wait_ns() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ControllerStats::default().to_string();
+        assert!(s.contains("cmds=0"));
+        assert!(s.contains("depth_max=0"));
+    }
+}

@@ -21,6 +21,12 @@ impl SimClock {
         SimClock { now_ns: 0 }
     }
 
+    /// A clock positioned at an absolute instant.
+    #[inline]
+    pub const fn at_ns(ns: u64) -> Self {
+        SimClock { now_ns: ns }
+    }
+
     /// Current simulated time in nanoseconds.
     #[inline]
     pub const fn now_ns(&self) -> u64 {
@@ -44,6 +50,23 @@ impl SimClock {
     #[inline]
     pub fn advance_us(&mut self, us: u64) {
         self.advance_ns(us.saturating_mul(1000));
+    }
+
+    /// Advance to an absolute instant. A no-op when `ns` is in the past —
+    /// simulated time never runs backwards, so independently-advancing
+    /// clocks can be joined safely.
+    #[inline]
+    pub fn advance_to(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.max(ns);
+    }
+
+    /// Max-merge with another clock: afterwards `self` is at least as far
+    /// along as `other`. This is the controller's sync-point primitive —
+    /// per-die clocks run ahead independently and are merged (barrier
+    /// semantics) wherever the host needs a single global "now".
+    #[inline]
+    pub fn merge(&mut self, other: &SimClock) {
+        self.advance_to(other.now_ns);
     }
 }
 
@@ -76,6 +99,38 @@ mod tests {
         c.advance_ns(u64::MAX);
         c.advance_ns(10);
         assert_eq!(c.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = SimClock::new();
+        c.advance_to(500);
+        assert_eq!(c.now_ns(), 500);
+        c.advance_to(200); // the past: no-op
+        assert_eq!(c.now_ns(), 500);
+        c.advance_to(500); // the present: no-op
+        assert_eq!(c.now_ns(), 500);
+        c.advance_to(1200);
+        assert_eq!(c.now_ns(), 1200);
+    }
+
+    #[test]
+    fn merge_is_max() {
+        let mut a = SimClock::new();
+        let mut b = SimClock::new();
+        a.advance_ns(300);
+        b.advance_ns(900);
+        a.merge(&b);
+        assert_eq!(a.now_ns(), 900, "merge takes the later clock");
+        b.merge(&a);
+        assert_eq!(b.now_ns(), 900, "merging the earlier clock is a no-op");
+        // Merge is idempotent and commutative over any set of clocks.
+        let mut c = SimClock::new();
+        c.merge(&a);
+        c.merge(&b);
+        assert_eq!(c.now_ns(), 900);
+        c.merge(&c.clone());
+        assert_eq!(c.now_ns(), 900);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod error;
 pub mod geometry;
 pub mod interference;
 pub mod ispp;
+pub mod nand;
 pub mod stats;
 
 pub use cell::{CellType, FlashMode};
@@ -41,4 +42,5 @@ pub use error::{FlashError, Result};
 pub use geometry::{Geometry, Ppa};
 pub use interference::{DisturbModel, DisturbRates};
 pub use ispp::{IsppParams, ProgramKind};
+pub use nand::Nand;
 pub use stats::FlashStats;

@@ -35,6 +35,23 @@ impl FlashStats {
         self.page_programs + self.page_reprograms
     }
 
+    /// Element-wise sum — aggregates the dies of a multi-chip device.
+    /// `busy_ns` adds too: it is total die-busy time, not wall time (on a
+    /// parallel device the sum exceeds elapsed time; the ratio is the
+    /// array-level utilisation).
+    pub fn merged(&self, other: &FlashStats) -> FlashStats {
+        FlashStats {
+            page_reads: self.page_reads + other.page_reads,
+            page_programs: self.page_programs + other.page_programs,
+            page_reprograms: self.page_reprograms + other.page_reprograms,
+            block_erases: self.block_erases + other.block_erases,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            disturb_bits_injected: self.disturb_bits_injected + other.disturb_bits_injected,
+            busy_ns: self.busy_ns + other.busy_ns,
+        }
+    }
+
     /// Difference of two snapshots (`self` later than `earlier`).
     pub fn delta_since(&self, earlier: &FlashStats) -> FlashStats {
         FlashStats {

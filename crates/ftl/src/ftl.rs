@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 
 use ipa_core::PageLayout;
-use ipa_flash::{FlashChip, FlashError, FlashStats, Ppa};
+use ipa_flash::{FlashChip, FlashError, FlashMode, FlashStats, Geometry, Nand, Ppa};
 
 use crate::error::{FtlError, Lba, Result};
 use crate::interface::{BlockDevice, NativeFlashDevice};
@@ -136,9 +136,28 @@ impl BlockInfo {
     }
 }
 
-/// The flash translation layer (see module docs).
-pub struct Ftl {
-    chip: FlashChip,
+/// Host-exported capacity for a chip shape under an FTL policy: the
+/// smaller of the over-provisioning-derived capacity and what is left
+/// after reserving GC headroom. Shared by [`Ftl`] and the die-striped
+/// `ShardedFtl`, which must size every shard before building it.
+pub fn exported_capacity(geometry: &Geometry, mode: FlashMode, config: &FtlConfig) -> u64 {
+    let usable_ppb = mode.usable_pages_per_block(geometry.pages_per_block);
+    let total_usable = geometry.blocks as u64 * usable_ppb as u64;
+    let op_capacity = (total_usable as f64 * (1.0 - config.over_provisioning)) as u64;
+    op_capacity.min(total_usable.saturating_sub(gc_reserve_pages(usable_ppb, config)))
+}
+
+/// Usable pages withheld from the host as GC headroom (low-water + 1
+/// blocks) — the reserve [`exported_capacity`] subtracts.
+fn gc_reserve_pages(usable_ppb: u32, config: &FtlConfig) -> u64 {
+    (config.gc_low_water_blocks as u64 + 1) * usable_ppb as u64
+}
+
+/// The flash translation layer (see module docs). Generic over the flash
+/// target: a bare [`FlashChip`] (the default) or a scheduled die handle
+/// from the controller crate — the translation logic is identical.
+pub struct Ftl<C: Nand = FlashChip> {
+    chip: C,
     config: FtlConfig,
     regions: RegionTable,
     l2p: Vec<Option<Ppa>>,
@@ -151,24 +170,23 @@ pub struct Ftl {
     wear: Option<WearLeveler>,
 }
 
-impl Ftl {
+impl<C: Nand> Ftl<C> {
     /// Build an FTL over a chip with an empty region table.
-    pub fn new(chip: FlashChip, config: FtlConfig) -> Self {
+    pub fn new(chip: C, config: FtlConfig) -> Self {
         Self::with_regions(chip, config, RegionTable::new())
     }
 
     /// Build an FTL with explicit NoFTL regions.
-    pub fn with_regions(chip: FlashChip, config: FtlConfig, regions: RegionTable) -> Self {
-        let g = *chip.geometry();
+    pub fn with_regions(chip: C, config: FtlConfig, regions: RegionTable) -> Self {
+        let g = chip.geometry();
         let mode = chip.mode();
         let usable_ppb = mode.usable_pages_per_block(g.pages_per_block);
         let total_usable = g.blocks as u64 * usable_ppb as u64;
         // Export the smaller of the OP-derived capacity and what is left
         // after reserving GC headroom (low-water + 1 blocks), so tiny test
         // devices clamp instead of misconfiguring.
-        let op_capacity = (total_usable as f64 * (1.0 - config.over_provisioning)) as u64;
-        let gc_reserve = (config.gc_low_water_blocks as u64 + 1) * usable_ppb as u64;
-        let capacity = op_capacity.min(total_usable.saturating_sub(gc_reserve));
+        let capacity = exported_capacity(&g, mode, &config);
+        let gc_reserve = gc_reserve_pages(usable_ppb, &config);
         assert!(
             capacity > 0,
             "geometry too small: {total_usable} usable pages cannot spare {gc_reserve} for GC"
@@ -298,8 +316,8 @@ impl Ftl {
         Ok(())
     }
 
-    /// Underlying chip (inspection only).
-    pub fn chip(&self) -> &FlashChip {
+    /// Underlying flash target (inspection only).
+    pub fn chip(&self) -> &C {
         &self.chip
     }
 
@@ -420,7 +438,9 @@ impl Ftl {
                 continue;
             };
             let src = Ppa::new(victim, page);
-            let mut img = self.chip.read_page(src)?;
+            // Copy-back: a migration read is firmware-internal — it keeps
+            // the die busy but never stalls the host interface.
+            let mut img = self.chip.copyback_read(src)?;
             // Scrub on the way: correct what ECC can, count what it fixed.
             let codec = self.codec_for(lba);
             match codec.verify(&mut img.data, &img.oob) {
@@ -465,18 +485,18 @@ impl Ftl {
         if self.chip.program_count(ppa)? >= self.chip.nop_limit(ppa.page) {
             return Ok(false);
         }
+        // Borrow-based compatibility probe first: most overwrites fail it,
+        // and the failure path must not pay a page-size copy.
+        if self.chip.peek_overwrite_compatible(ppa, data) != Some(true) {
+            return Ok(false);
+        }
         let Some(old) = self.chip.peek_data(ppa) else {
             return Ok(false);
         };
-        if !overwrite_compatible(old, data) {
-            return Ok(false);
-        }
         let layout = codec.layout().expect("in-place detection requires layout");
-        let old = old.to_vec();
         let mut oob = self
             .chip
             .peek_oob(ppa)
-            .map(<[u8]>::to_vec)
             .unwrap_or_else(|| vec![0xFF; self.chip.geometry().oob_size]);
         // Add ECC codewords for record slots that appear in the new image.
         for i in 0..layout.scheme.n {
@@ -522,7 +542,7 @@ pub fn overwrite_compatible(old: &[u8], new: &[u8]) -> bool {
     old.iter().zip(new).all(|(&o, &n)| n & !o == 0)
 }
 
-impl BlockDevice for Ftl {
+impl<C: Nand> BlockDevice for Ftl<C> {
     fn page_size(&self) -> usize {
         self.chip.geometry().page_size
     }
@@ -598,7 +618,7 @@ impl BlockDevice for Ftl {
     }
 
     fn flash_stats(&self) -> FlashStats {
-        *self.chip.stats()
+        self.chip.flash_stats()
     }
 
     fn elapsed_ns(&self) -> u64 {
@@ -614,7 +634,7 @@ impl BlockDevice for Ftl {
     }
 }
 
-impl NativeFlashDevice for Ftl {
+impl<C: Nand> NativeFlashDevice for Ftl<C> {
     fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
         self.check_lba(lba)?;
         let ppa = self.l2p[lba as usize].ok_or(FtlError::UnmappedLba(lba))?;

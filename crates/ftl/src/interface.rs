@@ -11,6 +11,7 @@
 //! which appends `delta_bytes` to the *same physical flash page* backing
 //! `LBA`, transferring only the delta.
 
+use ipa_controller::ControllerStats;
 use ipa_core::PageLayout;
 use ipa_flash::FlashStats;
 
@@ -79,6 +80,26 @@ pub trait BlockDevice {
     /// Raw erase blocks of the underlying silicon (longevity is wear per
     /// raw block, not per exported LBA).
     fn raw_blocks(&self) -> u32;
+
+    /// Scheduler counters, when the device sits behind a multi-channel
+    /// controller. Single-chip devices report `None`.
+    fn controller_stats(&self) -> Option<ControllerStats> {
+        None
+    }
+
+    /// Multi-client hook: position the submission-side clock at a client
+    /// thread's logical "now" before issuing its commands. A scheduled
+    /// device starts subsequent commands at `max(now, die busy, channel
+    /// busy)`, so independent clients overlap while contended hardware
+    /// still queues. Single-chip devices (one implicit client) ignore it.
+    fn set_submission_clock_ns(&mut self, _ns: u64) {}
+
+    /// The submission-side clock after the last command — the issuing
+    /// client's logical "now". Defaults to total device time for devices
+    /// without a separate submission clock.
+    fn submission_clock_ns(&self) -> u64 {
+        self.elapsed_ns()
+    }
 }
 
 /// The NoFTL-style native interface: everything a block device does, plus

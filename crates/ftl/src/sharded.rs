@@ -1,0 +1,544 @@
+//! Die-striped FTL: one sub-FTL per die behind the multi-channel
+//! controller, with host LBAs striped across the dies.
+//!
+//! [`ShardedFtl`] exports the same [`BlockDevice`] / [`NativeFlashDevice`]
+//! contract as a single [`Ftl`], but maps each host LBA to a
+//! `(die, sub-LBA)` pair and routes the command through that die's
+//! scheduled handle. Two stripe policies:
+//!
+//! * [`StripePolicy::RoundRobin`] — `die = lba % dies`. Consecutive pages
+//!   alternate channels (die `d` sits on channel `d % channels`), so
+//!   sequential scans and read-ahead get maximal bus overlap.
+//! * [`StripePolicy::Hash`] — `die = splitmix64(lba) % dies`. Decorrelates
+//!   the stripe from access patterns that are themselves strided.
+//!
+//! Sub-LBAs are assigned by a per-die counter while scanning host LBAs in
+//! order. Because the counter is monotonic, the host LBAs of one region
+//! (a contiguous host range) land in a *contiguous* sub-LBA range on every
+//! die — which is what lets each shard keep an ordinary [`RegionTable`]
+//! and preserve per-region IPA semantics (NoFTL-region layouts, selective
+//! formatting) under any stripe policy.
+//!
+//! GC, wear levelling and over-provisioning run independently per die,
+//! exactly like the per-die FTL partitions in real multi-die SSD firmware.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ipa_controller::{ControllerConfig, ControllerStats, DieHandle, FlashController};
+use ipa_core::PageLayout;
+use ipa_flash::FlashStats;
+
+use crate::error::{FtlError, Lba, Result};
+use crate::ftl::{exported_capacity, Ftl, FtlConfig};
+use crate::interface::{BlockDevice, NativeFlashDevice};
+use crate::region::{Region, RegionTable};
+use crate::stats::DeviceStats;
+
+/// How host LBAs are spread across dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StripePolicy {
+    /// `die = lba % dies`: adjacent LBAs on adjacent dies/channels.
+    RoundRobin,
+    /// `die = splitmix64(lba) % dies`: pattern-independent spread.
+    Hash,
+}
+
+impl StripePolicy {
+    /// The die a host LBA stripes to.
+    #[inline]
+    pub fn die_of(self, lba: Lba, dies: u32) -> u32 {
+        match self {
+            StripePolicy::RoundRobin => (lba % dies as u64) as u32,
+            StripePolicy::Hash => (splitmix64(lba) % dies as u64) as u32,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — cheap, deterministic, well-mixed.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A die-striped FTL over a [`FlashController`].
+pub struct ShardedFtl {
+    ctrl: Rc<RefCell<FlashController>>,
+    shards: Vec<Ftl<DieHandle>>,
+    /// Host LBA → (die, sub-LBA).
+    map: Vec<(u32, Lba)>,
+    policy: StripePolicy,
+    capacity: u64,
+}
+
+impl ShardedFtl {
+    /// Stripe over a controller topology with an empty region table.
+    pub fn new(cfg: ControllerConfig, ftl_config: FtlConfig, policy: StripePolicy) -> Self {
+        Self::with_regions(cfg, ftl_config, policy, RegionTable::new())
+    }
+
+    /// Stripe over a controller topology with host-level NoFTL regions.
+    /// Region LBA ranges refer to *host* LBAs; they are translated into
+    /// per-die sub-LBA regions here.
+    pub fn with_regions(
+        cfg: ControllerConfig,
+        ftl_config: FtlConfig,
+        policy: StripePolicy,
+        regions: RegionTable,
+    ) -> Self {
+        let dies = cfg.dies();
+        let shard_cap = exported_capacity(&cfg.chip.geometry, cfg.chip.mode, &ftl_config);
+
+        // Assign sub-LBAs die by die, in host-LBA order, until some die
+        // fills up — the host space must stay contiguous, so the first
+        // full die caps the exported capacity (round-robin loses nothing;
+        // hash loses a sliver to stripe imbalance).
+        let mut map: Vec<(u32, Lba)> = Vec::with_capacity((dies as u64 * shard_cap) as usize);
+        let mut counters = vec![0u64; dies as usize];
+        for lba in 0..dies as u64 * shard_cap {
+            let die = policy.die_of(lba, dies);
+            let sub = counters[die as usize];
+            if sub >= shard_cap {
+                break;
+            }
+            counters[die as usize] += 1;
+            map.push((die, sub));
+        }
+        let capacity = map.len() as u64;
+
+        // Translate host regions into per-die sub-LBA regions. Contiguity
+        // of each (region × die) sub-range is guaranteed by the monotonic
+        // counters above.
+        let mut per_die: Vec<RegionTable> = (0..dies).map(|_| RegionTable::new()).collect();
+        for r in regions.iter() {
+            assert!(
+                r.lbas.end <= capacity,
+                "region '{}' ends at {} but the striped device exports {} pages",
+                r.name,
+                r.lbas.end,
+                capacity
+            );
+            let mut bounds: Vec<Option<(Lba, Lba)>> = vec![None; dies as usize];
+            for lba in r.lbas.clone() {
+                let (die, sub) = map[lba as usize];
+                let b = &mut bounds[die as usize];
+                *b = match *b {
+                    None => Some((sub, sub + 1)),
+                    Some((lo, hi)) => Some((lo.min(sub), hi.max(sub + 1))),
+                };
+            }
+            for (die, b) in bounds.into_iter().enumerate() {
+                if let Some((lo, hi)) = b {
+                    per_die[die].add(Region {
+                        name: r.name.clone(),
+                        lbas: lo..hi,
+                        layout: r.layout,
+                    });
+                }
+            }
+        }
+
+        let ctrl = FlashController::shared(cfg);
+        let shards = FlashController::handles(&ctrl)
+            .into_iter()
+            .zip(per_die)
+            .map(|(handle, regions)| Ftl::with_regions(handle, ftl_config.clone(), regions))
+            .collect();
+        ShardedFtl {
+            ctrl,
+            shards,
+            map,
+            policy,
+            capacity,
+        }
+    }
+
+    /// The controller behind the stripes.
+    pub fn controller(&self) -> &Rc<RefCell<FlashController>> {
+        &self.ctrl
+    }
+
+    /// Scheduler counters (queue waits, bus occupancy, depths).
+    pub fn controller_stats(&self) -> ControllerStats {
+        self.ctrl.borrow().stats()
+    }
+
+    /// Barrier: wait for every posted command on every die; returns the
+    /// merged simulated time.
+    pub fn sync(&mut self) -> u64 {
+        self.ctrl.borrow_mut().sync()
+    }
+
+    /// Number of dies the stripe spans.
+    pub fn dies(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Stripe policy in force.
+    pub fn policy(&self) -> StripePolicy {
+        self.policy
+    }
+
+    /// One die's sub-FTL (inspection only).
+    pub fn shard(&self, die: u32) -> &Ftl<DieHandle> {
+        &self.shards[die as usize]
+    }
+
+    /// Host LBA → (die, sub-LBA) translation.
+    #[inline]
+    pub fn locate(&self, lba: Lba) -> Result<(u32, Lba)> {
+        self.map
+            .get(lba as usize)
+            .copied()
+            .ok_or(FtlError::LbaOutOfRange {
+                lba,
+                capacity: self.capacity,
+            })
+    }
+
+    /// Run every shard's exhaustive invariant check.
+    pub fn check_invariants(&self) {
+        for s in &self.shards {
+            s.check_invariants();
+        }
+    }
+}
+
+impl BlockDevice for ShardedFtl {
+    fn page_size(&self) -> usize {
+        self.shards[0].page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        self.shards[die as usize].read(sub, buf)
+    }
+
+    fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        self.shards[die as usize].write(sub, data)
+    }
+
+    fn trim(&mut self, lba: Lba) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        self.shards[die as usize].trim(sub)
+    }
+
+    fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
+        let (die, sub) = self.locate(lba).ok()?;
+        self.shards[die as usize].layout_for(sub)
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        self.shards.iter().fold(DeviceStats::default(), |acc, s| {
+            acc.merged(&s.device_stats())
+        })
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        self.ctrl.borrow().flash_stats()
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        // The merged view: as if the host synced right now.
+        self.ctrl.borrow().elapsed_ns()
+    }
+
+    fn max_erase_count(&self) -> u32 {
+        self.ctrl.borrow().max_erase_count()
+    }
+
+    fn raw_blocks(&self) -> u32 {
+        self.shards.len() as u32 * self.shards[0].raw_blocks()
+    }
+
+    fn controller_stats(&self) -> Option<ControllerStats> {
+        Some(self.ctrl.borrow().stats())
+    }
+
+    fn set_submission_clock_ns(&mut self, ns: u64) {
+        self.ctrl.borrow_mut().set_host_ns(ns);
+    }
+
+    fn submission_clock_ns(&self) -> u64 {
+        self.ctrl.borrow().host_ns()
+    }
+}
+
+impl NativeFlashDevice for ShardedFtl {
+    fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        self.shards[die as usize].write_delta(sub, offset, delta_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::NmScheme;
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+
+    fn chip_cfg() -> DeviceConfig {
+        DeviceConfig::new(Geometry::new(16, 8, 2048, 64), FlashMode::Slc)
+            .with_disturb(DisturbRates::none())
+    }
+
+    fn sharded(channels: u32, dpc: u32, policy: StripePolicy) -> ShardedFtl {
+        ShardedFtl::new(
+            ControllerConfig::new(channels, dpc, chip_cfg()),
+            FtlConfig::traditional(),
+            policy,
+        )
+    }
+
+    #[test]
+    fn round_robin_striping_is_exact() {
+        let s = sharded(2, 2, StripePolicy::RoundRobin);
+        let single = Ftl::new(
+            ipa_flash::FlashChip::new(chip_cfg()),
+            FtlConfig::traditional(),
+        );
+        assert_eq!(
+            s.capacity_pages(),
+            4 * single.capacity_pages(),
+            "round-robin wastes nothing"
+        );
+        for lba in 0..s.capacity_pages() {
+            let (die, sub) = s.locate(lba).unwrap();
+            assert_eq!(die as u64, lba % 4);
+            assert_eq!(sub, lba / 4);
+        }
+    }
+
+    #[test]
+    fn hash_striping_is_collision_free_and_covers_all_dies() {
+        let s = sharded(4, 2, StripePolicy::Hash);
+        let mut seen = std::collections::HashSet::new();
+        let mut per_die = [0u64; 8];
+        for lba in 0..s.capacity_pages() {
+            let (die, sub) = s.locate(lba).unwrap();
+            assert!(seen.insert((die, sub)), "duplicate physical slot");
+            per_die[die as usize] += 1;
+        }
+        assert!(per_die.iter().all(|&n| n > 0), "every die gets a stripe");
+        // Hash striping trades a sliver of capacity for balance.
+        let single_cap = Ftl::new(
+            ipa_flash::FlashChip::new(chip_cfg()),
+            FtlConfig::traditional(),
+        )
+        .capacity_pages();
+        assert!(s.capacity_pages() <= 8 * single_cap);
+        assert!(
+            s.capacity_pages() > 8 * single_cap / 2,
+            "imbalance should cost far less than half the capacity"
+        );
+    }
+
+    #[test]
+    fn write_read_round_trip_across_dies() {
+        for policy in [StripePolicy::RoundRobin, StripePolicy::Hash] {
+            let mut s = sharded(2, 2, policy);
+            let n = 64u64;
+            for lba in 0..n {
+                let data = vec![(lba % 251) as u8; 2048];
+                s.write(lba, &data).unwrap();
+            }
+            let mut buf = vec![0u8; 2048];
+            for lba in 0..n {
+                s.read(lba, &mut buf).unwrap();
+                assert!(
+                    buf.iter().all(|&b| b == (lba % 251) as u8),
+                    "{policy:?}: lba {lba} corrupted"
+                );
+            }
+            s.check_invariants();
+            let d = s.device_stats();
+            assert_eq!(d.host_writes, n);
+            assert_eq!(d.host_reads, n);
+            // All four dies saw traffic.
+            for die in 0..4 {
+                assert!(
+                    s.shard(die).device_stats().host_writes > 0,
+                    "{policy:?}: die {die} idle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_lba_rejected() {
+        let mut s = sharded(1, 2, StripePolicy::RoundRobin);
+        let cap = s.capacity_pages();
+        let data = vec![0u8; 2048];
+        assert!(matches!(
+            s.write(cap, &data),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn trim_unmaps_on_the_right_die() {
+        let mut s = sharded(2, 1, StripePolicy::RoundRobin);
+        let data = vec![0u8; 2048];
+        s.write(3, &data).unwrap(); // die 1 under 2-die round-robin
+        s.trim(3).unwrap();
+        let mut buf = vec![0u8; 2048];
+        assert!(matches!(s.read(3, &mut buf), Err(FtlError::UnmappedLba(_))));
+        assert_eq!(s.shard(1).device_stats().page_invalidations, 1);
+        assert_eq!(s.shard(0).device_stats().page_invalidations, 0);
+    }
+
+    #[test]
+    fn host_regions_translate_to_contiguous_shard_regions() {
+        let page = 2048;
+        let layout = PageLayout::new(page, 24, 8, NmScheme::new(2, 4));
+        for policy in [StripePolicy::RoundRobin, StripePolicy::Hash] {
+            let mut regions = RegionTable::new();
+            regions.add(Region {
+                name: "hot".into(),
+                lbas: 0..40,
+                layout: Some(layout),
+            });
+            regions.add(Region {
+                name: "cold".into(),
+                lbas: 40..80,
+                layout: None,
+            });
+            let s = ShardedFtl::with_regions(
+                ControllerConfig::new(2, 2, chip_cfg()),
+                FtlConfig::ipa_native(layout),
+                policy,
+                regions,
+            );
+            for lba in 0..40 {
+                assert!(
+                    BlockDevice::layout_for(&s, lba).is_some(),
+                    "{policy:?}: hot lba {lba} lost its IPA layout"
+                );
+            }
+            for lba in 40..80 {
+                assert!(
+                    BlockDevice::layout_for(&s, lba).is_none(),
+                    "{policy:?}: cold lba {lba} gained a layout"
+                );
+            }
+            // Past the regions: the device default applies.
+            assert!(BlockDevice::layout_for(&s, 100).is_some());
+        }
+    }
+
+    #[test]
+    fn write_delta_appends_through_the_stripe() {
+        use ipa_core::DeltaRecord;
+        let page = 2048;
+        let layout = PageLayout::new(page, 24, 8, NmScheme::new(2, 4));
+        let cfg = ControllerConfig::new(
+            2,
+            2,
+            DeviceConfig::new(Geometry::new(16, 8, page, 64), FlashMode::PSlc)
+                .with_disturb(DisturbRates::none()),
+        );
+        let mut s = ShardedFtl::new(cfg, FtlConfig::ipa_native(layout), StripePolicy::RoundRobin);
+        let mut img = vec![0xA5u8; page];
+        layout.wipe_delta_area(&mut img);
+        for lba in 0..8u64 {
+            s.write(lba, &img).unwrap();
+        }
+        let rec = DeltaRecord::new(vec![(40, 0x0F)], vec![2; layout.meta_len()], layout.scheme);
+        let bytes = rec.encode(&layout);
+        for lba in 0..8u64 {
+            s.write_delta(lba, layout.record_offset(0), &bytes).unwrap();
+        }
+        let d = s.device_stats();
+        assert_eq!(d.host_write_deltas, 8);
+        assert_eq!(d.in_place_appends, 8);
+        let mut buf = vec![0u8; page];
+        s.read(5, &mut buf).unwrap();
+        assert_eq!(ipa_core::scan_records(&buf, &layout), vec![rec]);
+    }
+
+    #[test]
+    fn parallel_writes_beat_the_single_die_stripe() {
+        let run = |channels, dpc| -> u64 {
+            let mut s = sharded(channels, dpc, StripePolicy::RoundRobin);
+            let data = vec![0x5Au8; 2048];
+            for lba in 0..64u64 {
+                s.write(lba, &data).unwrap();
+            }
+            s.sync()
+        };
+        let single = run(1, 1);
+        let eight = run(4, 2);
+        assert!(
+            eight * 2 < single,
+            "8 dies must be >2× faster on a parallel write burst: {eight} vs {single}"
+        );
+    }
+
+    #[test]
+    fn matches_single_ftl_logical_state_under_churn() {
+        // Device-level parity: the same host op stream produces the same
+        // host-visible bytes whether or not the device stripes, even once
+        // per-die GC kicks in.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut single = Ftl::new(
+            ipa_flash::FlashChip::new(chip_cfg().with_geometry(Geometry::new(64, 8, 2048, 64))),
+            FtlConfig::traditional(),
+        );
+        let mut striped = ShardedFtl::new(
+            ControllerConfig::new(2, 2, chip_cfg()),
+            FtlConfig::traditional(),
+            StripePolicy::Hash,
+        );
+        let span = single.capacity_pages().min(striped.capacity_pages());
+        let hot = span.min(24);
+        let mut rng = StdRng::seed_from_u64(0xD1E5);
+        let mut model: std::collections::HashMap<u64, u8> = Default::default();
+        for step in 0..800u32 {
+            let lba = rng.gen_range(0..hot);
+            match rng.gen_range(0..10u32) {
+                0..=6 => {
+                    let fill = (step % 251) as u8;
+                    let data = vec![fill; 2048];
+                    single.write(lba, &data).unwrap();
+                    striped.write(lba, &data).unwrap();
+                    model.insert(lba, fill);
+                }
+                7 => {
+                    single.trim(lba).unwrap();
+                    striped.trim(lba).unwrap();
+                    model.remove(&lba);
+                }
+                _ => {
+                    let mut a = vec![0u8; 2048];
+                    let mut b = vec![0u8; 2048];
+                    match model.get(&lba) {
+                        Some(fill) => {
+                            single.read(lba, &mut a).unwrap();
+                            striped.read(lba, &mut b).unwrap();
+                            assert_eq!(a, b, "step {step}: lba {lba} diverged");
+                            assert!(a.iter().all(|&x| x == *fill));
+                        }
+                        None => {
+                            assert!(single.read(lba, &mut a).is_err());
+                            assert!(striped.read(lba, &mut b).is_err());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            striped.device_stats().gc_erases > 0,
+            "churn must trigger per-die GC"
+        );
+        striped.check_invariants();
+    }
+}

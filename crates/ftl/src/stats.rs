@@ -66,6 +66,26 @@ impl DeviceStats {
         )
     }
 
+    /// Element-wise sum — aggregates the shards of a die-striped device
+    /// into one host-level view.
+    pub fn merged(&self, other: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            host_reads: self.host_reads + other.host_reads,
+            host_writes: self.host_writes + other.host_writes,
+            host_write_deltas: self.host_write_deltas + other.host_write_deltas,
+            in_place_appends: self.in_place_appends + other.in_place_appends,
+            out_of_place_writes: self.out_of_place_writes + other.out_of_place_writes,
+            page_invalidations: self.page_invalidations + other.page_invalidations,
+            gc_page_migrations: self.gc_page_migrations + other.gc_page_migrations,
+            gc_erases: self.gc_erases + other.gc_erases,
+            bytes_host_written: self.bytes_host_written + other.bytes_host_written,
+            bytes_host_read: self.bytes_host_read + other.bytes_host_read,
+            ecc_corrected_bits: self.ecc_corrected_bits + other.ecc_corrected_bits,
+            uncorrectable_reads: self.uncorrectable_reads + other.uncorrectable_reads,
+            wear_leveling_moves: self.wear_leveling_moves + other.wear_leveling_moves,
+        }
+    }
+
     /// Snapshot difference (`self` later than `earlier`).
     pub fn delta_since(&self, earlier: &DeviceStats) -> DeviceStats {
         DeviceStats {

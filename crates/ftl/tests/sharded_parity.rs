@@ -1,0 +1,169 @@
+//! `sharded_parity` — die striping must be invisible to the DBMS.
+//!
+//! The same seeded operation stream, run through a full storage engine
+//! over a single-chip [`ipa_ftl::Ftl`] and over a [`ipa_ftl::ShardedFtl`]
+//! at every die count in {1, 2, 4, 8} × every stripe policy, must reach
+//! the identical logical state — live rows byte-for-byte equal, deletes
+//! equally gone — and must still match after a cold restart forces every
+//! page back through flash. Whatever the controller schedules (posted
+//! programs, per-die GC, channel contention), *time* may differ but
+//! *state* may not.
+
+use ipa_core::NmScheme;
+use ipa_ftl::{StripePolicy, WriteStrategy};
+use ipa_storage::Rid;
+use ipa_testkit::{heap_engine, sharded_heap_engine, ModelHarness};
+use proptest::prelude::*;
+
+const DIE_COUNTS: [u32; 4] = [1, 2, 4, 8];
+const POLICIES: [StripePolicy; 2] = [StripePolicy::RoundRobin, StripePolicy::Hash];
+
+/// Run `ops` harness steps on an engine, prove it matches its own model
+/// across a restart, and return the canonical logical state.
+fn final_state(
+    mut e: ipa_storage::StorageEngine,
+    seed: u64,
+    ops: usize,
+    label: String,
+) -> Vec<(Rid, Vec<u8>)> {
+    let t = e.table("m").unwrap();
+    let mut h = ModelHarness::new(seed, label);
+    h.run(&mut e, t, ops);
+    e.restart_clean().unwrap();
+    h.assert_engine_matches(&mut e, t);
+    h.canonical_rows()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline property, under the native `write_delta` strategy —
+    /// the path where striping must preserve per-region IPA semantics.
+    #[test]
+    fn sharded_parity_ipa_native(seed in any::<u64>(), ops in 150usize..280) {
+        let scheme = NmScheme::new(2, 4);
+        let single = final_state(
+            heap_engine(WriteStrategy::IpaNative, scheme, seed),
+            seed,
+            ops,
+            format!("single(seed {seed})"),
+        );
+        for dies in DIE_COUNTS {
+            for policy in POLICIES {
+                let sharded = final_state(
+                    sharded_heap_engine(WriteStrategy::IpaNative, scheme, seed, dies, policy),
+                    seed,
+                    ops,
+                    format!("{dies}-die/{policy:?}(seed {seed})"),
+                );
+                prop_assert!(
+                    single == sharded,
+                    "{dies} dies / {policy:?} diverged from the single chip at seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Same property for the traditional out-of-place path: per-die GC
+    /// churns independently, the logical state must not notice.
+    #[test]
+    fn sharded_parity_traditional(seed in any::<u64>(), ops in 150usize..250) {
+        let scheme = NmScheme::disabled();
+        let single = final_state(
+            heap_engine(WriteStrategy::Traditional, scheme, seed),
+            seed,
+            ops,
+            format!("single-trad(seed {seed})"),
+        );
+        for dies in [2u32, 8] {
+            for policy in POLICIES {
+                let sharded = final_state(
+                    sharded_heap_engine(WriteStrategy::Traditional, scheme, seed, dies, policy),
+                    seed,
+                    ops,
+                    format!("trad-{dies}-die/{policy:?}(seed {seed})"),
+                );
+                prop_assert_eq!(&single, &sharded);
+            }
+        }
+    }
+}
+
+/// The conventional-SSD IPA strategy (in-place detection in the FTL) at a
+/// fixed seed — one deterministic sweep over the full die matrix.
+#[test]
+fn sharded_parity_ipa_conventional_fixed_seed() {
+    let scheme = NmScheme::new(2, 4);
+    let seed = 0x005A_ADED;
+    let ops = 220;
+    let single = final_state(
+        heap_engine(WriteStrategy::IpaConventional, scheme, seed),
+        seed,
+        ops,
+        "single-conv".into(),
+    );
+    for dies in DIE_COUNTS {
+        for policy in POLICIES {
+            let sharded = final_state(
+                sharded_heap_engine(WriteStrategy::IpaConventional, scheme, seed, dies, policy),
+                seed,
+                ops,
+                format!("conv-{dies}-die/{policy:?}"),
+            );
+            assert_eq!(single, sharded, "{dies} dies / {policy:?} diverged");
+        }
+    }
+}
+
+/// IPA must still engage *through* the stripe: a small-update-heavy
+/// stream (the paper's eviction pattern) over an 8-die device appends in
+/// place instead of invalidating, exactly like a single chip.
+#[test]
+fn striped_updates_append_in_place() {
+    // N×M sized so a 50-row update round fits in the delta area.
+    let scheme = NmScheme::new(4, 16);
+    let mut e = sharded_heap_engine(
+        WriteStrategy::IpaNative,
+        scheme,
+        7,
+        8,
+        StripePolicy::RoundRobin,
+    );
+    let t = e.table("m").unwrap();
+    let tx = e.begin();
+    let mut rids = Vec::new();
+    for i in 0..50u64 {
+        let mut row = [0u8; 48];
+        row[..8].copy_from_slice(&i.to_le_bytes());
+        rids.push(e.insert(tx, t, &row).unwrap());
+    }
+    e.commit(tx).unwrap();
+    e.flush_all().unwrap();
+
+    for round in 0..12u64 {
+        let tx = e.begin();
+        for (i, rid) in rids.iter().enumerate() {
+            e.update_field(tx, t, *rid, 16, &[(round as u8).wrapping_add(i as u8)])
+                .unwrap();
+        }
+        e.commit(tx).unwrap();
+        e.flush_all().unwrap();
+    }
+    let d = e.stats().device;
+    assert!(
+        d.in_place_appends > 0,
+        "IPA must engage through the stripe: {d:?}"
+    );
+    assert!(d.host_write_deltas > 0, "native write_delta path used");
+    assert!(e.stats().elapsed_ns > 0);
+    // And the data is still right.
+    for (i, rid) in rids.iter().enumerate() {
+        let row = e.get(t, *rid).unwrap();
+        assert_eq!(row[16], 11u8.wrapping_add(i as u8));
+        assert_eq!(u64::from_le_bytes(row[..8].try_into().unwrap()), i as u64);
+    }
+}

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use ipa_core::NmScheme;
 use ipa_flash::{DeviceConfig, FlashChip, FlashStats};
 use ipa_ftl::{
-    BlockDevice, DeviceStats, Ftl, FtlConfig, FtlError, Region, RegionTable, WriteStrategy,
+    DeviceStats, Ftl, FtlConfig, FtlError, NativeFlashDevice, Region, RegionTable, WriteStrategy,
 };
 
 use crate::btree;
@@ -142,6 +142,30 @@ impl StorageEngine {
         tables: &[TableSpec],
     ) -> Result<StorageEngine> {
         let page_size = device_config.geometry.page_size;
+        Self::build_with_device(page_size, config, tables, |regions, ftl_config| {
+            Box::new(Ftl::with_regions(
+                FlashChip::new(device_config),
+                ftl_config,
+                regions,
+            ))
+        })
+    }
+
+    /// Like [`StorageEngine::build`], but the caller supplies the device.
+    /// The factory receives the table-derived [`RegionTable`] (host LBA
+    /// ranges, one region per table) and the [`FtlConfig`] implied by the
+    /// engine's write strategy — enough to build a plain [`Ftl`], a
+    /// die-striped `ShardedFtl`, or anything else that speaks
+    /// [`NativeFlashDevice`].
+    pub fn build_with_device<F>(
+        page_size: usize,
+        config: EngineConfig,
+        tables: &[TableSpec],
+        make_device: F,
+    ) -> Result<StorageEngine>
+    where
+        F: FnOnce(RegionTable, FtlConfig) -> Box<dyn NativeFlashDevice>,
+    {
         let layout = config
             .strategy
             .needs_layout()
@@ -167,15 +191,20 @@ impl StorageEngine {
             },
             WriteStrategy::IpaNative => FtlConfig::traditional(),
         };
-        let ftl = Ftl::with_regions(FlashChip::new(device_config), ftl_config, regions);
+        let device = make_device(regions, ftl_config);
+        assert_eq!(
+            device.page_size(),
+            page_size,
+            "device page size disagrees with the engine layout"
+        );
         assert!(
-            catalog.pages_used() <= ftl.capacity_pages(),
+            catalog.pages_used() <= device.capacity_pages(),
             "tables need {} pages but the device exports {}",
             catalog.pages_used(),
-            ftl.capacity_pages()
+            device.capacity_pages()
         );
 
-        let mut pool = BufferPool::new(Box::new(ftl), config.strategy, config.buffer_frames);
+        let mut pool = BufferPool::new(device, config.strategy, config.buffer_frames);
         if config.measure_net_writes {
             pool.enable_net_write_measurement();
         }

@@ -5,9 +5,10 @@
 //! interference — randomized disturbs belong in fault-injection suites,
 //! not in correctness tests where they would add noise to every run.
 
+use ipa_controller::ControllerConfig;
 use ipa_core::NmScheme;
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
-use ipa_ftl::{Ftl, FtlConfig, WriteStrategy};
+use ipa_ftl::{Ftl, FtlConfig, ShardedFtl, StripePolicy, WriteStrategy};
 use ipa_storage::{BufferPool, EngineConfig, StorageEngine, TableSpec};
 
 /// The paper's three write paths with their canonical N×M configurations:
@@ -97,6 +98,49 @@ pub fn heap_engine(strategy: WriteStrategy, scheme: NmScheme, seed: u64) -> Stor
         8,
         &[TableSpec::heap("m", crate::ops::ROW, 200)],
     )
+}
+
+/// [`heap_engine`]'s die-striped twin: the same table shape and pool size
+/// over a `ShardedFtl` spanning `dies` dies (≤ 4 channels, then stacking
+/// dies per channel), so `sharded_parity` can compare the two run-for-run.
+/// The per-die geometry divides [`quiet_device`]'s blocks across the dies,
+/// keeping total raw capacity comparable at every die count.
+pub fn sharded_heap_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    policy: StripePolicy,
+) -> StorageEngine {
+    assert!(dies >= 1 && dies.is_power_of_two(), "die counts are 2^k");
+    let channels = dies.min(4);
+    let dies_per_channel = dies / channels;
+    let base = quiet_device(seed).geometry;
+    let per_die = Geometry::new(
+        (base.blocks / dies).max(12),
+        base.pages_per_block,
+        base.page_size,
+        base.oob_size,
+    );
+    let chip = quiet_device(seed).with_geometry(per_die);
+    let controller = ControllerConfig::new(channels, dies_per_channel, chip);
+
+    let config = match strategy {
+        WriteStrategy::Traditional => EngineConfig::default(),
+        _ => EngineConfig::default().with_strategy(strategy, scheme),
+    }
+    .with_buffer_frames(8);
+    StorageEngine::build_with_device(
+        per_die.page_size,
+        config,
+        &[TableSpec::heap("m", crate::ops::ROW, 200)],
+        move |regions, ftl_config| {
+            Box::new(ShardedFtl::with_regions(
+                controller, ftl_config, policy, regions,
+            ))
+        },
+    )
+    .expect("testkit sharded engine")
 }
 
 #[cfg(test)]

@@ -9,9 +9,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ipa_controller::{ControllerConfig, ControllerStats};
 use ipa_core::NmScheme;
 use ipa_flash::{DeviceConfig, FlashMode, FlashStats, Geometry};
-use ipa_ftl::{DeviceStats, WriteStrategy};
+use ipa_ftl::{DeviceStats, ShardedFtl, StripePolicy, WriteStrategy};
 use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine};
 
 use crate::spec::{build, Benchmark, WorkloadKind};
@@ -20,14 +21,22 @@ use crate::spec::{build, Benchmark, WorkloadKind};
 /// `cpu_ns_per_tx` for end-to-end figures).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyPercentiles {
+    /// Samples the distribution was computed from.
+    pub count: u64,
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+    /// The deep-tail percentile queueing effects live in: a multi-client
+    /// run with contended dies shows up here long before it moves p50.
+    pub p999_ns: u64,
     pub max_ns: u64,
 }
 
 impl LatencyPercentiles {
-    /// Compute from raw samples (sorted internally).
+    /// Compute from raw samples (sorted internally). An empty sample set —
+    /// a client stream that never got a transaction in, a zero-length
+    /// measurement window — yields all-zero percentiles rather than
+    /// panicking.
     pub fn from_samples(mut samples: Vec<u64>) -> LatencyPercentiles {
         if samples.is_empty() {
             return LatencyPercentiles::default();
@@ -35,12 +44,69 @@ impl LatencyPercentiles {
         samples.sort_unstable();
         let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
         LatencyPercentiles {
+            count: samples.len() as u64,
             p50_ns: at(0.50),
             p95_ns: at(0.95),
             p99_ns: at(0.99),
+            p999_ns: at(0.999),
             max_ns: *samples.last().unwrap(),
         }
     }
+}
+
+/// A controller topology for benchmark runs: how many channels and dies
+/// the device spreads over, and how LBAs stripe onto them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    pub channels: u32,
+    pub dies_per_channel: u32,
+    pub policy: StripePolicy,
+}
+
+impl Topology {
+    pub fn new(channels: u32, dies_per_channel: u32, policy: StripePolicy) -> Self {
+        Topology {
+            channels,
+            dies_per_channel,
+            policy,
+        }
+    }
+
+    /// The 1 × 1 baseline every sweep compares against.
+    pub fn single() -> Self {
+        Topology::new(1, 1, StripePolicy::RoundRobin)
+    }
+
+    #[inline]
+    pub fn dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}ch×{}d/{}",
+            self.channels,
+            self.dies_per_channel,
+            match self.policy {
+                StripePolicy::RoundRobin => "rr",
+                StripePolicy::Hash => "hash",
+            }
+        )
+    }
+}
+
+/// One client stream's view of a multi-client run.
+#[derive(Debug, Clone)]
+pub struct StreamLatency {
+    /// Stream index (0-based).
+    pub stream: u32,
+    /// Transactions this stream committed in the measured window.
+    pub transactions: u64,
+    /// This stream's own latency distribution.
+    pub latency: LatencyPercentiles,
 }
 
 /// Driver parameters.
@@ -62,6 +128,12 @@ pub struct DriverConfig {
     /// Table 1 methodology (fixed two-hour runs), which is what makes the
     /// faster system show *more* absolute I/O.
     pub simulated_duration_ns: Option<u64>,
+    /// Concurrent client streams. 1 reproduces the classic single-client
+    /// walk; K > 1 interleaves K independently-seeded transaction streams
+    /// round-robin, so posted device work from one stream queues under the
+    /// next — the condition that surfaces controller queueing in the
+    /// latency tail.
+    pub streams: u32,
 }
 
 impl Default for DriverConfig {
@@ -73,6 +145,7 @@ impl Default for DriverConfig {
             cpu_ns_per_tx: 30_000,
             buffer_frames: None,
             simulated_duration_ns: None,
+            streams: 1,
         }
     }
 }
@@ -101,6 +174,13 @@ impl DriverConfig {
         self.simulated_duration_ns = Some((secs * 1e9) as u64);
         self
     }
+
+    /// Issue transactions from `n` interleaved client streams.
+    pub fn with_streams(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one client stream");
+        self.streams = n;
+        self
+    }
 }
 
 /// Everything a bench table needs about one run.
@@ -127,8 +207,14 @@ pub struct RunResult {
     pub max_erase_count: u32,
     /// Raw erase blocks of the device (for per-silicon wear comparisons).
     pub raw_blocks: u32,
-    /// Per-transaction simulated device-time distribution.
+    /// Per-transaction simulated device-time distribution (all streams).
     pub latency: LatencyPercentiles,
+    /// Per-stream distributions; one entry per client stream when the run
+    /// used `DriverConfig::streams > 1`, empty for single-client runs.
+    pub per_stream: Vec<StreamLatency>,
+    /// Scheduler counters (whole run), when the device is a multi-channel
+    /// controller.
+    pub controller: Option<ControllerStats>,
 }
 
 impl RunResult {
@@ -161,33 +247,117 @@ impl Driver {
         }
         engine.flush_all()?;
 
+        // Stream 0 continues the warm-up RNG (identical to the historic
+        // single-client behaviour); extra streams get derived seeds.
+        let streams = cfg.streams.max(1) as usize;
+        let mut stream_rngs: Vec<StdRng> = Vec::with_capacity(streams);
+        stream_rngs.push(rng);
+        for s in 1..streams {
+            stream_rngs.push(StdRng::seed_from_u64(
+                cfg.seed ^ (s as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            ));
+        }
+
         let before = engine.stats();
         let mut committed: u64 = 0;
         let mut samples: Vec<u64> = Vec::with_capacity(4096);
-        loop {
-            match cfg.simulated_duration_ns {
-                Some(limit) => {
-                    let device_ns = engine.stats().elapsed_ns - before.elapsed_ns;
-                    if device_ns + committed * cfg.cpu_ns_per_tx >= limit {
-                        break;
+        let mut stream_samples: Vec<Vec<u64>> = vec![Vec::new(); streams];
+        let mut stream_clock_span: u64 = 0;
+        if streams == 1 {
+            // The historic single-client walk: one thread, every device
+            // wait on the critical path, CPU cost strictly serial.
+            loop {
+                match cfg.simulated_duration_ns {
+                    Some(limit) => {
+                        let device_ns = engine.stats().elapsed_ns - before.elapsed_ns;
+                        if device_ns + committed * cfg.cpu_ns_per_tx >= limit {
+                            break;
+                        }
+                    }
+                    None => {
+                        if committed >= cfg.transactions {
+                            break;
+                        }
                     }
                 }
-                None => {
-                    if committed >= cfg.transactions {
-                        break;
-                    }
-                }
+                let t0 = engine.stats().elapsed_ns;
+                bench.run_tx(engine, &mut stream_rngs[0])?;
+                samples.push(engine.stats().elapsed_ns - t0);
+                committed += 1;
             }
-            let t0 = engine.stats().elapsed_ns;
-            bench.run_tx(engine, &mut rng)?;
-            samples.push(engine.stats().elapsed_ns - t0);
-            committed += 1;
+        } else {
+            // Multi-client: every stream keeps its own logical clock (its
+            // thread's "now", including per-transaction CPU time). The
+            // next transaction always comes from the earliest-clock stream
+            // — the client that would reach the device first — and its
+            // commands are submitted at that instant, so reads from
+            // different streams overlap while contended dies and channels
+            // still queue. A stream's latency sample is the device-time
+            // advance of its own clock — waits included, queueing behind
+            // other streams' posted work included, CPU excluded — the same
+            // quantity the single-client path samples.
+            let start_ns = engine.pool().device().submission_clock_ns();
+            let mut clocks = vec![start_ns; streams];
+            loop {
+                let virtual_now = *clocks.iter().max().unwrap();
+                match cfg.simulated_duration_ns {
+                    Some(limit) => {
+                        if virtual_now - start_ns >= limit {
+                            break;
+                        }
+                    }
+                    None => {
+                        if committed >= cfg.transactions {
+                            break;
+                        }
+                    }
+                }
+                let s = (0..streams)
+                    .min_by_key(|&i| clocks[i])
+                    .expect("streams >= 1");
+                engine
+                    .pool_mut()
+                    .device_mut()
+                    .set_submission_clock_ns(clocks[s]);
+                bench.run_tx(engine, &mut stream_rngs[s])?;
+                let device_done = engine.pool().device().submission_clock_ns();
+                let dt = device_done - clocks[s];
+                // CPU advances the stream's clock (it gates when this
+                // client can submit again) but is not device latency.
+                clocks[s] = device_done + cfg.cpu_ns_per_tx;
+                samples.push(dt);
+                stream_samples[s].push(dt);
+                committed += 1;
+            }
+            stream_clock_span = clocks.iter().max().unwrap() - start_ns;
         }
         engine.flush_all()?;
         let after = engine.stats();
 
+        let per_stream = if streams > 1 {
+            stream_samples
+                .into_iter()
+                .enumerate()
+                .map(|(s, samples)| StreamLatency {
+                    stream: s as u32,
+                    transactions: samples.len() as u64,
+                    latency: LatencyPercentiles::from_samples(samples),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let device_ns = after.elapsed_ns - before.elapsed_ns;
-        let elapsed_ns = device_ns + committed * cfg.cpu_ns_per_tx;
+        let elapsed_ns = if streams == 1 {
+            device_ns + committed * cfg.cpu_ns_per_tx
+        } else {
+            // Client CPU time is already inside the stream clocks and runs
+            // concurrently across streams; the run takes as long as the
+            // busier of "last client done" and "device (incl. posted
+            // background work and the WAL) done".
+            device_ns.max(stream_clock_span)
+        };
         let tps = committed as f64 / (elapsed_ns as f64 / 1e9);
 
         Ok(RunResult {
@@ -205,6 +375,8 @@ impl Driver {
             max_erase_count: after.max_erase_count,
             raw_blocks: engine.pool().device().raw_blocks(),
             latency: LatencyPercentiles::from_samples(samples),
+            per_stream,
+            controller: engine.pool().device().controller_stats(),
         })
     }
 
@@ -235,6 +407,77 @@ impl Driver {
         let mut result = Self::run(bench.as_mut(), &mut engine, cfg)?;
         result.mode = mode;
         Ok(result)
+    }
+
+    /// [`Driver::run_configured`] over a die-striped device: same
+    /// benchmark sizing, but the blocks are spread across a
+    /// `channels × dies_per_channel` controller topology. Combine with
+    /// `cfg.streams > 1` so queueing effects reach the latency tail.
+    pub fn run_sharded(
+        kind: WorkloadKind,
+        scale: u32,
+        strategy: WriteStrategy,
+        scheme: NmScheme,
+        mode: FlashMode,
+        topology: Topology,
+        cfg: &DriverConfig,
+    ) -> Result<RunResult> {
+        let page_size = 8 * 1024;
+        let mut bench = build(kind, scale, page_size);
+        let mut engine = Self::make_sharded_engine(
+            bench.as_mut(),
+            strategy,
+            scheme,
+            mode,
+            page_size,
+            cfg.buffer_frames,
+            topology,
+        )?;
+        let mut result = Self::run(bench.as_mut(), &mut engine, cfg)?;
+        result.mode = mode;
+        Ok(result)
+    }
+
+    /// Build an engine whose device is a [`ShardedFtl`] over the given
+    /// topology. Total raw capacity matches the single-chip sizing of
+    /// [`Driver::make_engine`] (the same ~40 % headroom divided across the
+    /// dies), plus a per-die GC reserve — so a topology sweep varies
+    /// *parallelism*, not usable space.
+    pub fn make_sharded_engine(
+        bench: &mut dyn Benchmark,
+        strategy: WriteStrategy,
+        scheme: NmScheme,
+        mode: FlashMode,
+        page_size: usize,
+        buffer_frames: Option<usize>,
+        topology: Topology,
+    ) -> Result<StorageEngine> {
+        let tables = bench.tables();
+        let pages_needed: u64 = tables.iter().map(|t| t.pages).sum();
+        let ppb = 128u32;
+        let usable_ppb = mode.usable_pages_per_block(ppb) as u64;
+        let dies = topology.dies() as u64;
+        let blocks_per_die = ((pages_needed * 14 / 10).div_ceil(usable_ppb * dies)) as u32 + 8;
+        let chip = DeviceConfig::new(Geometry::new(blocks_per_die, ppb, page_size, 128), mode);
+        let controller = ControllerConfig::new(topology.channels, topology.dies_per_channel, chip);
+
+        let frames = buffer_frames.unwrap_or(32);
+        let config = if strategy.needs_layout() {
+            EngineConfig::default()
+                .with_strategy(strategy, scheme)
+                .with_buffer_frames(frames)
+                .with_group_commit(32)
+        } else {
+            EngineConfig::default()
+                .with_buffer_frames(frames)
+                .with_group_commit(32)
+        };
+        let policy = topology.policy;
+        StorageEngine::build_with_device(page_size, config, &tables, move |regions, ftl_config| {
+            Box::new(ShardedFtl::with_regions(
+                controller, ftl_config, policy, regions,
+            ))
+        })
     }
 
     /// Build an engine with a device sized for the benchmark.
@@ -351,15 +594,151 @@ mod latency_tests {
     #[test]
     fn percentiles_ordered() {
         let p = LatencyPercentiles::from_samples((1..=1000u64).collect());
+        assert_eq!(p.count, 1000);
         assert_eq!(p.p50_ns, 500);
         assert_eq!(p.p95_ns, 950);
         assert_eq!(p.p99_ns, 990);
+        assert_eq!(p.p999_ns, 999);
         assert_eq!(p.max_ns, 1000);
-        assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.p99_ns && p.p99_ns <= p.max_ns);
+        assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.p99_ns);
+        assert!(p.p99_ns <= p.p999_ns && p.p999_ns <= p.max_ns);
     }
 
     #[test]
-    fn empty_samples() {
-        assert_eq!(LatencyPercentiles::from_samples(vec![]).max_ns, 0);
+    fn empty_samples_yield_zeroes_not_panics() {
+        let p = LatencyPercentiles::from_samples(vec![]);
+        assert_eq!(p, LatencyPercentiles::default());
+        assert_eq!(p.count, 0);
+        assert_eq!(p.p999_ns, 0);
+        assert_eq!(p.max_ns, 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let p = LatencyPercentiles::from_samples(vec![42]);
+        assert_eq!(
+            (p.p50_ns, p.p95_ns, p.p99_ns, p.p999_ns, p.max_ns),
+            (42, 42, 42, 42, 42)
+        );
+    }
+}
+
+#[cfg(test)]
+mod multi_client_tests {
+    use super::*;
+
+    #[test]
+    fn multi_stream_run_reports_per_stream_percentiles() {
+        let cfg = DriverConfig {
+            transactions: 240,
+            warmup: 40,
+            ..Default::default()
+        }
+        .with_streams(4);
+        let r = Driver::run_sharded(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            Topology::new(2, 2, StripePolicy::RoundRobin),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.transactions, 240);
+        assert_eq!(r.per_stream.len(), 4);
+        let total: u64 = r.per_stream.iter().map(|s| s.transactions).sum();
+        assert_eq!(total, 240, "every committed tx belongs to one stream");
+        for s in &r.per_stream {
+            // Earliest-clock scheduling is approximately fair: no stream
+            // starves, none hogs the device.
+            assert!(
+                (30..=90).contains(&s.transactions),
+                "stream {} got {} of 240 transactions",
+                s.stream,
+                s.transactions
+            );
+            assert_eq!(s.latency.count, s.transactions);
+        }
+        assert!(r.tps > 0.0);
+    }
+
+    #[test]
+    fn single_stream_run_leaves_per_stream_empty() {
+        let cfg = DriverConfig {
+            transactions: 120,
+            warmup: 20,
+            ..Default::default()
+        };
+        let r = Driver::run_sharded(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::Traditional,
+            NmScheme::disabled(),
+            FlashMode::PSlc,
+            Topology::single(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(r.per_stream.is_empty());
+        assert_eq!(r.latency.count, 120);
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let cfg = DriverConfig {
+            transactions: 150,
+            warmup: 20,
+            seed: 77,
+            ..Default::default()
+        }
+        .with_streams(3);
+        let run = || {
+            Driver::run_sharded(
+                WorkloadKind::Tatp,
+                1,
+                WriteStrategy::IpaNative,
+                NmScheme::new(2, 4),
+                FlashMode::PSlc,
+                Topology::new(2, 2, StripePolicy::Hash),
+                &cfg,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.device, b.device);
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn more_dies_run_the_same_workload_faster() {
+        let cfg = DriverConfig {
+            transactions: 400,
+            warmup: 50,
+            ..Default::default()
+        }
+        .with_streams(4);
+        let run = |topology: Topology| {
+            Driver::run_sharded(
+                WorkloadKind::TpcB,
+                1,
+                WriteStrategy::IpaNative,
+                NmScheme::new(2, 4),
+                FlashMode::PSlc,
+                topology,
+                &cfg,
+            )
+            .unwrap()
+        };
+        let single = run(Topology::single());
+        let wide = run(Topology::new(4, 2, StripePolicy::RoundRobin));
+        assert!(
+            wide.elapsed_ns < single.elapsed_ns,
+            "8 dies must beat 1 die: {} vs {} ns",
+            wide.elapsed_ns,
+            single.elapsed_ns
+        );
     }
 }

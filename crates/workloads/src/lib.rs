@@ -15,7 +15,7 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod util;
 
-pub use driver::{Driver, DriverConfig, LatencyPercentiles, RunResult};
+pub use driver::{Driver, DriverConfig, LatencyPercentiles, RunResult, StreamLatency, Topology};
 pub use linkbench::LinkBench;
 pub use spec::{build, heap_pages, index_pages, rows_per_page, Benchmark, WorkloadKind};
 pub use tatp::Tatp;

@@ -1,0 +1,77 @@
+//! Acceptance: with the IPA-native configuration, a 4-channel × 2-die
+//! controller delivers ≥ 2× the 1 × 1 baseline's simulated-time
+//! throughput on the mixed workload sweep (TPC-B + TATP, geometric mean),
+//! and scaling is accompanied by shorter queues — the whole point of the
+//! controller subsystem.
+
+use ipa_core::NmScheme;
+use ipa_flash::FlashMode;
+use ipa_ftl::{StripePolicy, WriteStrategy};
+use ipa_workloads::{Driver, DriverConfig, RunResult, Topology, WorkloadKind};
+
+fn run(kind: WorkloadKind, topo: Topology) -> RunResult {
+    let cfg = DriverConfig {
+        transactions: 600,
+        warmup: 300,
+        ..Default::default()
+    }
+    .with_streams(8);
+    Driver::run_sharded(
+        kind,
+        1,
+        WriteStrategy::IpaNative,
+        NmScheme::new(2, 4),
+        FlashMode::PSlc,
+        topo,
+        &cfg,
+    )
+    .expect("sweep run")
+}
+
+#[test]
+fn four_by_two_doubles_throughput_on_the_mixed_sweep() {
+    let wide_topo = Topology::new(4, 2, StripePolicy::RoundRobin);
+    let mut speedups = Vec::new();
+    for kind in [WorkloadKind::TpcB, WorkloadKind::Tatp] {
+        let base = run(kind, Topology::single());
+        let wide = run(kind, wide_topo);
+        let s = wide.tps / base.tps;
+        assert!(s > 1.0, "{}: 8 dies slower than 1 ({:.2}x)", kind.name(), s);
+        // Queueing must relax as the topology widens.
+        let (bw, ww) = (
+            base.controller.expect("sharded run").mean_wait_ns(),
+            wide.controller.expect("sharded run").mean_wait_ns(),
+        );
+        assert!(
+            ww < bw,
+            "{}: mean queue wait grew with more dies ({bw:.0} -> {ww:.0} ns)",
+            kind.name()
+        );
+        speedups.push(s);
+    }
+    let gmean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    assert!(
+        gmean >= 2.0,
+        "mixed-sweep speedup {gmean:.2}x below the 2x acceptance bar ({speedups:?})"
+    );
+}
+
+#[test]
+fn tail_latency_tightens_with_parallelism() {
+    let base = run(WorkloadKind::TpcB, Topology::single());
+    let wide = run(
+        WorkloadKind::TpcB,
+        Topology::new(4, 2, StripePolicy::RoundRobin),
+    );
+    assert!(
+        wide.latency.p999_ns < base.latency.p999_ns,
+        "p99.9 should shrink with 8 dies: {} -> {} ns",
+        base.latency.p999_ns,
+        wide.latency.p999_ns
+    );
+    // Per-stream views exist and are internally consistent.
+    assert_eq!(wide.per_stream.len(), 8);
+    for s in &wide.per_stream {
+        assert!(s.latency.p50_ns <= s.latency.p999_ns);
+    }
+}
