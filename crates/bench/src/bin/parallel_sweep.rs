@@ -1,14 +1,24 @@
-//! Channel/die scaling sweep: the same mixed OLTP workloads on wider and
-//! wider controller topologies, IPA-native, multi-client.
+//! Channel/die scaling sweep plus the maintenance sweep: the same mixed
+//! OLTP workloads on wider and wider controller topologies, then — on the
+//! widest topology — NCQ queue caps and background-vs-inline GC.
 //!
 //! For each topology the driver runs K interleaved client streams; the
 //! table reports simulated-time throughput, speedup over the 1 × 1
 //! baseline, tail latencies (p99 / p99.9 — where queueing lives) and the
 //! scheduler's own counters (mean queue wait, deepest die queue).
 //!
+//! The maintenance section runs the GC-heavy traditional write path on
+//! the 4ch×2d topology and reports the p99 / p99.9 deltas of adding a
+//! per-die queue cap and moving reclaim onto the idle-die background
+//! scheduler — the foreground-stall experiment of the `ipa-maint` crate.
+//!
 //! Usage:
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
-//!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1]
+//!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
+//!       [--maint-tx=N] [--cap=1] [--csv <path>]
+//!
+//! `--csv` writes every row (both sections) as machine-readable CSV for
+//! the perf trajectory.
 //!
 //! Exits non-zero if the 4-channel × 2-die topology fails to deliver ≥ 2×
 //! the 1 × 1 throughput on the mixed sweep — the reproduction's scaling
@@ -17,13 +27,66 @@
 use ipa_core::NmScheme;
 use ipa_flash::FlashMode;
 use ipa_ftl::{StripePolicy, WriteStrategy};
-use ipa_workloads::{Driver, DriverConfig, RunResult, Topology, WorkloadKind};
+use ipa_workloads::{Driver, DriverConfig, MaintMode, RunResult, Topology, WorkloadKind};
+
+/// One CSV row; shared by both sections.
+fn csv_row(
+    out: &mut String,
+    section: &str,
+    topo: &Topology,
+    maint: &MaintMode,
+    kind: WorkloadKind,
+    r: &RunResult,
+    speedup: f64,
+) {
+    let c = r.controller.unwrap_or_default();
+    let (bg_steps, busy_skips) = r
+        .maint
+        .map(|m| (m.steps, m.deferred_busy))
+        .unwrap_or((0, 0));
+    out.push_str(&format!(
+        "{section},{topo},{gc},{cap},{workload},{tps:.1},{speedup:.3},{p50},{p99},{p999},{max},\
+         {wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},{busy_skips},\
+         {wear_spread},{appends:.4}\n",
+        gc = if maint.background_gc {
+            "background"
+        } else {
+            "inline"
+        },
+        cap = maint.queue_cap.map(|c| c.to_string()).unwrap_or_default(),
+        workload = kind.name(),
+        tps = r.tps,
+        p50 = r.latency.p50_ns,
+        p99 = r.latency.p99_ns,
+        p999 = r.latency.p999_ns,
+        max = r.latency.max_ns,
+        wait = c.mean_wait_ns(),
+        depth = c.max_queue_depth,
+        stalls = c.backpressure_stalls,
+        stall_ns = c.backpressure_wait_ns,
+        gc_erases = r.device.gc_erases,
+        bg_erases = r.device.background_gc_erases,
+        wear_spread = c.wear_spread(),
+        appends = r.device.in_place_fraction(),
+    ));
+}
 
 fn main() {
     let tx: u64 = ipa_bench::arg("tx", 1_200);
     let streams: u32 = ipa_bench::arg("streams", 8);
     let seed: u64 = ipa_bench::arg("seed", 0x7C_B5EED);
     let scale: u32 = ipa_bench::arg("scale", 1);
+    // The maintenance sweep needs enough churn to trip GC (onset is
+    // around 8k transactions at the default sizing); default to a much
+    // longer window than the topology sweep unless overridden.
+    let maint_tx: u64 = ipa_bench::arg("maint-tx", tx * 16);
+    let cap: usize = ipa_bench::arg("cap", 1);
+    let csv_path = ipa_bench::str_arg("csv");
+    let mut csv = String::from(
+        "section,topology,gc_mode,queue_cap,workload,tps,speedup,p50_ns,p99_ns,p999_ns,max_ns,\
+         mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
+         busy_skips,wear_spread,in_place_fraction\n",
+    );
 
     let topologies = [
         Topology::single(),
@@ -97,6 +160,15 @@ fn main() {
                 depth,
                 r.device.in_place_fraction() * 100.0
             );
+            csv_row(
+                &mut csv,
+                "topology",
+                topo,
+                &MaintMode::inline(),
+                *kind,
+                &r,
+                speedup,
+            );
         }
         // The acceptance bar: 4ch × 2d round-robin ≥ 2× the 1×1 baseline
         // across the mixed sweep (geometric mean).
@@ -114,5 +186,89 @@ fn main() {
         }
     }
     ipa_bench::rule(118);
+
+    // ── Maintenance sweep ────────────────────────────────────────────
+    // GC-heavy traditional writes on the widest topology: queue cap ×
+    // background-vs-inline GC, p99/p99.9 deltas vs the uncapped inline
+    // baseline.
+    let maint_cfg = DriverConfig::default()
+        .with_transactions(maint_tx)
+        .with_seed(seed)
+        .with_streams(streams);
+    let wide = Topology::new(4, 2, StripePolicy::RoundRobin);
+    let inline_cap = format!("inline/q{cap}");
+    let bg_cap = format!("bg/q{cap}");
+    let modes = [
+        ("inline/q∞", MaintMode::inline()),
+        (inline_cap.as_str(), MaintMode::capped(cap)),
+        ("bg/q∞", MaintMode::background(None)),
+        (bg_cap.as_str(), MaintMode::background(Some(cap))),
+    ];
+    println!(
+        "maintenance sweep — traditional writes on {wide}, {streams} streams, {maint_tx} tx (deltas vs inline/q∞)"
+    );
+    ipa_bench::rule(118);
+    println!(
+        "{:<12}{:>10}{:>10}{:>11}{:>12}{:>13}{:>14}{:>12}{:>12}{:>8}",
+        "gc/cap",
+        "workload",
+        "tps",
+        "p99 µs",
+        "Δp99 %",
+        "p99.9 µs",
+        "Δp99.9 %",
+        "gc (bg)",
+        "stall ms",
+        "spread"
+    );
+    ipa_bench::rule(118);
+    for kind in workloads {
+        let mut base: Option<RunResult> = None;
+        for (label, maint) in &modes {
+            let r = Driver::run_maintained(
+                kind,
+                scale,
+                WriteStrategy::Traditional,
+                NmScheme::disabled(),
+                FlashMode::PSlc,
+                wide,
+                *maint,
+                &maint_cfg,
+            )
+            .expect("maintenance run");
+            let b = base.get_or_insert_with(|| r.clone());
+            let d99 = ipa_bench::pct(r.latency.p99_ns as f64, b.latency.p99_ns as f64);
+            let d999 = ipa_bench::pct(r.latency.p999_ns as f64, b.latency.p999_ns as f64);
+            let c = r.controller.unwrap_or_default();
+            println!(
+                "{:<12}{:>10}{:>10.0}{:>11.1}{:>12}{:>13.1}{:>14}{:>12}{:>12.2}{:>8}",
+                label,
+                kind.name(),
+                r.tps,
+                r.latency.p99_ns as f64 / 1e3,
+                ipa_bench::fmt_pct(d99),
+                r.latency.p999_ns as f64 / 1e3,
+                ipa_bench::fmt_pct(d999),
+                format!("{} ({})", r.device.gc_erases, r.device.background_gc_erases),
+                c.backpressure_wait_ns as f64 / 1e6,
+                c.wear_spread(),
+            );
+            csv_row(
+                &mut csv,
+                "maintenance",
+                &wide,
+                maint,
+                kind,
+                &r,
+                r.tps / b.tps,
+            );
+        }
+    }
+    ipa_bench::rule(118);
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("csv written to {path}");
+    }
     std::process::exit(exit);
 }

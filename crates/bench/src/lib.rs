@@ -29,6 +29,26 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Parse an optional string flag from argv, accepting both `--name=value`
+/// and `--name value` spellings. Returns `None` when the flag is absent
+/// or has no value (the next argv entry being another `--flag` does not
+/// count as a value — `--csv --cap=2` must not write a file named
+/// `--cap=2`).
+pub fn str_arg(name: &str) -> Option<String> {
+    let eq_prefix = format!("--{name}=");
+    let bare = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq_prefix) {
+            return Some(v.to_string());
+        }
+        if *a == bare {
+            return args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+        }
+    }
+    None
+}
+
 /// Relative change in percent, paper-style (negative = reduction).
 pub fn pct(new: f64, old: f64) -> f64 {
     if old == 0.0 {

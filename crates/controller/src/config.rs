@@ -21,6 +21,15 @@ pub struct ControllerConfig {
     /// fault-injection seed is re-derived per die so dies draw independent
     /// noise streams.
     pub chip: DeviceConfig,
+    /// NCQ-style cap on posted host commands in flight per die. When the
+    /// cap is reached, a host-submitted posted command blocks the
+    /// submitting clock until the oldest in-flight command completes —
+    /// the back-pressure real hosts see as a full submission queue.
+    /// `None` leaves posted commands unbounded (the pre-cap behaviour).
+    /// Firmware-internal work (background GC) is exempt: it is dispatched
+    /// by the maintenance scheduler, which gates on die idleness instead.
+    #[serde(default)]
+    pub queue_cap: Option<usize>,
 }
 
 impl ControllerConfig {
@@ -35,7 +44,15 @@ impl ControllerConfig {
             channels,
             dies_per_channel,
             chip,
+            queue_cap: None,
         }
+    }
+
+    /// Cap posted host commands in flight per die (NCQ queue depth).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "a zero queue cap would deadlock every program");
+        self.queue_cap = Some(cap);
+        self
     }
 
     /// The degenerate 1 × 1 topology — a single chip behind the scheduler,
@@ -95,5 +112,18 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_rejected() {
         let _ = ControllerConfig::new(0, 1, DeviceConfig::tiny());
+    }
+
+    #[test]
+    fn queue_cap_defaults_off() {
+        let c = ControllerConfig::new(1, 1, DeviceConfig::tiny());
+        assert_eq!(c.queue_cap, None);
+        assert_eq!(c.with_queue_cap(4).queue_cap, Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero queue cap")]
+    fn zero_queue_cap_rejected() {
+        let _ = ControllerConfig::new(1, 1, DeviceConfig::tiny()).with_queue_cap(0);
     }
 }

@@ -66,6 +66,11 @@ pub struct FlashController {
     channels: Vec<SimClock>,
     /// The host-side clock: submission timestamps come from here.
     host: SimClock,
+    /// Nesting depth of firmware-internal work (background maintenance).
+    /// While positive, posted commands bypass the NCQ cap: the scheduler
+    /// gates internal dispatch on die idleness, and charging firmware
+    /// copy-backs to the host clock would corrupt the timing model.
+    internal_depth: u32,
     stats: ControllerStats,
 }
 
@@ -85,6 +90,7 @@ impl FlashController {
             dies,
             channels,
             host: SimClock::new(),
+            internal_depth: 0,
             stats: ControllerStats::default(),
         }
     }
@@ -120,10 +126,54 @@ impl FlashController {
         self.cfg.dies()
     }
 
-    /// Scheduler counters.
-    #[inline]
+    /// Scheduler counters, including the controller-level wear view
+    /// (min/max total erase count across dies) computed at call time.
     pub fn stats(&self) -> ControllerStats {
-        self.stats
+        let mut s = self.stats;
+        s.min_die_erases = u64::MAX;
+        s.max_die_erases = 0;
+        for d in &self.dies {
+            let e = d.chip.stats().block_erases;
+            s.min_die_erases = s.min_die_erases.min(e);
+            s.max_die_erases = s.max_die_erases.max(e);
+        }
+        if self.dies.is_empty() {
+            s.min_die_erases = 0;
+        }
+        s
+    }
+
+    /// Total block erases a die has performed — the wear view the
+    /// maintenance scheduler balances reclaim dispatch against.
+    pub fn die_erase_count(&self, die: u32) -> u64 {
+        self.dies[die as usize].chip.stats().block_erases
+    }
+
+    /// Is the die's array idle at the current host time? True exactly when
+    /// a command submitted now would start immediately (no posted work
+    /// still occupying the array) — the maintenance scheduler's dispatch
+    /// predicate for background reclaim.
+    pub fn die_idle(&self, die: u32) -> bool {
+        self.dies[die as usize].clock.is_idle_at(self.host.now_ns())
+    }
+
+    /// How far past the current host time a die stays busy (zero if idle).
+    pub fn die_busy_ns(&self, die: u32) -> u64 {
+        self.dies[die as usize]
+            .clock
+            .busy_ns_after(self.host.now_ns())
+    }
+
+    /// Enter firmware-internal mode: posted commands bypass the NCQ cap
+    /// until the matching [`FlashController::end_internal`]. Nests.
+    pub fn begin_internal(&mut self) {
+        self.internal_depth += 1;
+    }
+
+    /// Leave firmware-internal mode (see [`FlashController::begin_internal`]).
+    pub fn end_internal(&mut self) {
+        debug_assert!(self.internal_depth > 0, "unbalanced end_internal");
+        self.internal_depth = self.internal_depth.saturating_sub(1);
     }
 
     /// Per-die utilisation counters.
@@ -239,6 +289,28 @@ impl FlashController {
         Ok(img)
     }
 
+    /// NCQ back-pressure: when the die's posted queue is at the cap, block
+    /// the submitting (host) clock until the oldest in-flight command
+    /// completes. Firmware-internal submissions are exempt — the
+    /// maintenance scheduler gates them on die idleness instead.
+    fn apply_backpressure(&mut self, d: usize) {
+        let Some(cap) = self.cfg.queue_cap else {
+            return;
+        };
+        if self.internal_depth > 0 {
+            return;
+        }
+        self.retire(d);
+        while self.dies[d].queue.len() >= cap {
+            let due = self.dies[d].queue.front().expect("cap >= 1").done_ns;
+            let wait = due.saturating_sub(self.host.now_ns());
+            self.host.advance_to(due);
+            self.stats.backpressure_stalls += 1;
+            self.stats.backpressure_wait_ns += wait;
+            self.retire(d);
+        }
+    }
+
     /// Posted command: optional bus transfer up front, then the array runs
     /// in the background. The host resumes once the bus is released.
     fn op_posted<F>(&mut self, die: u32, bus_bytes: usize, is_erase: bool, f: F) -> Result<()>
@@ -246,10 +318,13 @@ impl FlashController {
         F: FnOnce(&mut FlashChip) -> Result<()>,
     {
         let d = die as usize;
-        let submit = self.host.now_ns();
         let t0 = self.dies[d].chip.elapsed_ns();
         f(&mut self.dies[d].chip)?;
         let dt = self.dies[d].chip.elapsed_ns() - t0;
+        // Only successful commands consume time; a full queue then blocks
+        // the submitting clock before the command is timestamped.
+        self.apply_backpressure(d);
+        let submit = self.host.now_ns();
 
         let bus = self.cfg.chip.latency.transfer_ns(bus_bytes);
         let array = dt.saturating_sub(bus);
@@ -610,6 +685,97 @@ mod tests {
             (t, s)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn queue_cap_backpressures_the_host() {
+        let run = |cap: Option<usize>| -> (u64, ControllerStats) {
+            let mut c = cfg(1, 1);
+            if let Some(cap) = cap {
+                c = c.with_queue_cap(cap);
+            }
+            let ctrl = FlashController::shared(c);
+            let mut h = FlashController::handles(&ctrl).remove(0);
+            let (data, oob) = page(&h, 0x00);
+            for p in 0..6 {
+                h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
+            }
+            let host = ctrl.borrow().host_ns();
+            let stats = ctrl.borrow().stats();
+            (host, stats)
+        };
+        let (free_host, free_stats) = run(None);
+        let (capped_host, capped_stats) = run(Some(2));
+        assert_eq!(free_stats.backpressure_stalls, 0);
+        assert!(
+            capped_stats.backpressure_stalls > 0,
+            "six posted programs into a cap-2 queue must stall"
+        );
+        assert!(capped_stats.backpressure_wait_ns > 0);
+        assert!(
+            capped_host > free_host,
+            "back-pressure must advance the submitting clock: {capped_host} vs {free_host}"
+        );
+        assert!(capped_stats.max_queue_depth <= 3, "cap bounds the queue");
+        // State and total die time are unchanged — the cap reshapes who
+        // waits, not what happens.
+        assert_eq!(free_stats.programs, capped_stats.programs);
+    }
+
+    #[test]
+    fn internal_mode_bypasses_the_cap() {
+        let ctrl = FlashController::shared(cfg(1, 1).with_queue_cap(1));
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0x00);
+        ctrl.borrow_mut().begin_internal();
+        for p in 0..4 {
+            h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
+        }
+        ctrl.borrow_mut().end_internal();
+        let c = ctrl.borrow();
+        assert_eq!(
+            c.stats().backpressure_stalls,
+            0,
+            "firmware-internal posts must not charge the host clock"
+        );
+        assert_eq!(c.host_ns(), 0);
+        assert_eq!(c.queue_depth(0), 4, "internal work still occupies the die");
+    }
+
+    #[test]
+    fn die_idleness_tracks_posted_work() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        assert!(ctrl.borrow().die_idle(0) && ctrl.borrow().die_idle(1));
+        let (data, oob) = page(&handles[0], 0x00);
+        handles[0]
+            .program_page(Ppa::new(0, 0), &data, &oob)
+            .unwrap();
+        {
+            let c = ctrl.borrow();
+            assert!(!c.die_idle(0), "posted program keeps die 0 busy");
+            assert!(c.die_busy_ns(0) > 0);
+            assert!(c.die_idle(1), "die 1 untouched");
+            assert_eq!(c.die_busy_ns(1), 0);
+        }
+        ctrl.borrow_mut().sync();
+        assert!(ctrl.borrow().die_idle(0), "sync catches the host up");
+    }
+
+    #[test]
+    fn wear_view_reports_min_max_die_erases() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        assert_eq!(ctrl.borrow().stats().wear_spread(), 0);
+        handles[0].erase_block(0).unwrap();
+        handles[0].erase_block(1).unwrap();
+        handles[1].erase_block(0).unwrap();
+        let s = ctrl.borrow().stats();
+        assert_eq!(s.max_die_erases, 2);
+        assert_eq!(s.min_die_erases, 1);
+        assert_eq!(s.wear_spread(), 1);
+        assert_eq!(ctrl.borrow().die_erase_count(0), 2);
+        assert_eq!(ctrl.borrow().die_erase_count(1), 1);
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub struct ControllerStats {
     pub max_queue_depth: usize,
     /// Explicit sync points (full clock merges) the host requested.
     pub sync_points: u64,
+    /// Host submissions that hit a full NCQ queue and had to wait.
+    pub backpressure_stalls: u64,
+    /// Total time host clocks spent blocked on full NCQ queues.
+    pub backpressure_wait_ns: u64,
+    /// Erase count of the most-erased die (controller-level wear view).
+    pub max_die_erases: u64,
+    /// Erase count of the least-erased die.
+    pub min_die_erases: u64,
 }
 
 impl ControllerStats {
@@ -34,13 +42,21 @@ impl ControllerStats {
             self.queue_wait_ns as f64 / self.commands as f64
         }
     }
+
+    /// Cross-die wear imbalance: max−min total erase count over all dies.
+    /// Zero means perfectly balanced wear; a growing spread says the
+    /// stripe (or the GC victim policy) is concentrating erases.
+    pub fn wear_spread(&self) -> u64 {
+        self.max_die_erases - self.min_die_erases
+    }
 }
 
 impl fmt::Display for ControllerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cmds={} (r={} p={} e={}) wait={:.3}ms bus={:.3}ms depth_max={} syncs={}",
+            "cmds={} (r={} p={} e={}) wait={:.3}ms bus={:.3}ms depth_max={} syncs={} \
+             ncq_stalls={} ncq_wait={:.3}ms wear_spread={}",
             self.commands,
             self.reads,
             self.programs,
@@ -48,7 +64,10 @@ impl fmt::Display for ControllerStats {
             self.queue_wait_ns as f64 / 1e6,
             self.bus_busy_ns as f64 / 1e6,
             self.max_queue_depth,
-            self.sync_points
+            self.sync_points,
+            self.backpressure_stalls,
+            self.backpressure_wait_ns as f64 / 1e6,
+            self.wear_spread()
         )
     }
 }
@@ -82,5 +101,18 @@ mod tests {
         let s = ControllerStats::default().to_string();
         assert!(s.contains("cmds=0"));
         assert!(s.contains("depth_max=0"));
+        assert!(s.contains("ncq_stalls=0"));
+        assert!(s.contains("wear_spread=0"));
+    }
+
+    #[test]
+    fn wear_spread_is_max_minus_min() {
+        let s = ControllerStats {
+            max_die_erases: 17,
+            min_die_erases: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.wear_spread(), 12);
+        assert_eq!(ControllerStats::default().wear_spread(), 0);
     }
 }

@@ -68,6 +68,23 @@ impl SimClock {
     pub fn merge(&mut self, other: &SimClock) {
         self.advance_to(other.now_ns);
     }
+
+    /// Is this clock idle as seen from an observer whose "now" is `ns`?
+    /// A die clock records when the die's array next falls idle, so the
+    /// die is free for new work exactly when its clock is at or behind
+    /// the observer. This is the maintenance scheduler's dispatch test.
+    #[inline]
+    pub const fn is_idle_at(&self, ns: u64) -> bool {
+        self.now_ns <= ns
+    }
+
+    /// How far past the observer's "now" this clock is still busy — the
+    /// queueing delay a command submitted at `ns` would pay before the
+    /// resource frees up. Zero when idle.
+    #[inline]
+    pub const fn busy_ns_after(&self, ns: u64) -> u64 {
+        self.now_ns.saturating_sub(ns)
+    }
 }
 
 impl fmt::Display for SimClock {
@@ -131,6 +148,17 @@ mod tests {
         assert_eq!(c.now_ns(), 900);
         c.merge(&c.clone());
         assert_eq!(c.now_ns(), 900);
+    }
+
+    #[test]
+    fn idleness_is_relative_to_the_observer() {
+        let mut die = SimClock::new();
+        die.advance_to(700);
+        assert!(!die.is_idle_at(500), "still busy past the observer");
+        assert_eq!(die.busy_ns_after(500), 200);
+        assert!(die.is_idle_at(700), "idle the instant it frees up");
+        assert!(die.is_idle_at(900));
+        assert_eq!(die.busy_ns_after(900), 0);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the [`SimClock`] join algebra.
+//!
+//! The controller leans on two primitives: `advance_to` (clamp a clock
+//! forward to an absolute instant) and `merge` (max-join two clocks at a
+//! sync point). The whole multi-die timing model is sound only if these
+//! form a proper join semilattice — monotone, commutative, associative,
+//! idempotent — because die clocks are merged in arbitrary order at
+//! barriers and the result must not depend on that order.
+
+use ipa_flash::SimClock;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Cap instants far below `u64::MAX` so sums in the tests cannot saturate
+/// (saturation is covered separately below).
+const T: u64 = 1 << 48;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `advance_to` never moves a clock backwards, and lands exactly on
+    /// the target when the target is ahead.
+    #[test]
+    fn advance_to_is_monotone(start in 0..T, target in 0..T) {
+        let mut c = SimClock::at_ns(start);
+        c.advance_to(target);
+        prop_assert!(c.now_ns() >= start, "ran backwards");
+        prop_assert!(c.now_ns() >= target, "fell short of the target");
+        prop_assert_eq!(c.now_ns(), start.max(target));
+    }
+
+    /// Applying `advance_to` twice with the same target changes nothing —
+    /// re-joining a die clock at the same sync point is free.
+    #[test]
+    fn advance_to_is_idempotent(start in 0..T, target in 0..T) {
+        let mut once = SimClock::at_ns(start);
+        once.advance_to(target);
+        let mut twice = once;
+        twice.advance_to(target);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// `merge` is commutative: `a ⊔ b = b ⊔ a`.
+    #[test]
+    fn merge_commutes(a in 0..T, b in 0..T) {
+        let (ca, cb) = (SimClock::at_ns(a), SimClock::at_ns(b));
+        let mut ab = ca;
+        ab.merge(&cb);
+        let mut ba = cb;
+        ba.merge(&ca);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `merge` is associative and order-independent over any set of die
+    /// clocks: folding in any permutation reaches the same barrier time.
+    #[test]
+    fn merge_is_order_independent(ns in vec(0..T, 1..12), rot in 0usize..12) {
+        let clocks: Vec<SimClock> = ns.iter().map(|&n| SimClock::at_ns(n)).collect();
+        let fold = |cs: &[SimClock]| {
+            let mut acc = SimClock::new();
+            for c in cs {
+                acc.merge(c);
+            }
+            acc
+        };
+        let forward = fold(&clocks);
+        let mut reversed: Vec<SimClock> = clocks.clone();
+        reversed.reverse();
+        let mut rotated = clocks.clone();
+        let k = rot % rotated.len();
+        rotated.rotate_left(k);
+        prop_assert_eq!(forward, fold(&reversed));
+        prop_assert_eq!(forward, fold(&rotated));
+        prop_assert_eq!(forward.now_ns(), ns.iter().copied().max().unwrap());
+    }
+
+    /// `merge` is idempotent: `a ⊔ a = a`, and absorbing an earlier clock
+    /// is a no-op.
+    #[test]
+    fn merge_is_idempotent_and_absorbing(a in 0..T, b in 0..T) {
+        let mut c = SimClock::at_ns(a);
+        c.merge(&c.clone());
+        prop_assert_eq!(c.now_ns(), a);
+        let mut hi = SimClock::at_ns(a.max(b));
+        let lo = SimClock::at_ns(a.min(b));
+        hi.merge(&lo);
+        prop_assert_eq!(hi.now_ns(), a.max(b));
+    }
+
+    /// The idle predicate agrees with the merge order: a clock is idle at
+    /// `ns` iff merging it into a clock positioned at `ns` is a no-op, and
+    /// `busy_ns_after` measures exactly the merge displacement.
+    #[test]
+    fn idleness_agrees_with_merge(die in 0..T, observer in 0..T) {
+        let d = SimClock::at_ns(die);
+        let mut o = SimClock::at_ns(observer);
+        o.merge(&d);
+        let displaced = o.now_ns() - observer;
+        prop_assert_eq!(d.is_idle_at(observer), displaced == 0);
+        prop_assert_eq!(d.busy_ns_after(observer), displaced);
+    }
+
+    /// `advance_ns` saturates rather than wrapping, and stays monotone
+    /// even at the top of the domain.
+    #[test]
+    fn advance_ns_saturates(start in 0..u64::MAX, dt in 0..u64::MAX) {
+        let mut c = SimClock::at_ns(start);
+        c.advance_ns(dt);
+        prop_assert!(c.now_ns() >= start);
+        prop_assert_eq!(c.now_ns(), start.saturating_add(dt));
+    }
+}

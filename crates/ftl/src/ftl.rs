@@ -51,6 +51,12 @@ pub struct FtlConfig {
     /// Static wear levelling; `None` disables it (dynamic tie-breaking in
     /// the GC victim selector stays active either way).
     pub wear: Option<WearConfig>,
+    /// Defer low-water garbage collection to an external maintenance
+    /// scheduler ([`Ftl::background_gc_step`]). The write path then only
+    /// reclaims inline as an emergency — when the free pool is actually
+    /// empty — instead of whole-block reclaims on the host's critical
+    /// path whenever the low-water mark trips.
+    pub background_gc: bool,
 }
 
 impl FtlConfig {
@@ -63,6 +69,7 @@ impl FtlConfig {
             default_layout: None,
             allow_unsafe_ipa: false,
             wear: Some(WearConfig::default()),
+            background_gc: false,
         }
     }
 
@@ -94,6 +101,55 @@ impl FtlConfig {
         self.allow_unsafe_ipa = true;
         self
     }
+
+    /// Hand low-water GC to an external maintenance scheduler.
+    pub fn with_background_gc(mut self) -> Self {
+        self.background_gc = true;
+        self
+    }
+}
+
+/// A resumable block reclaim: victim selection happened at construction,
+/// the live-delta copy-backs and the final erase are performed one
+/// [`Ftl::reclaim_step`] at a time. Between steps the victim block stays
+/// `Closed` and fully consistent — host writes may keep invalidating its
+/// pages (those migrations are then skipped), reads still hit the old
+/// physical pages until each is individually remapped.
+#[derive(Debug, Clone)]
+pub struct ReclaimJob {
+    victim: u32,
+    /// Next physical page index to examine for migration.
+    next_page: u32,
+    /// Count this job's work in the GC counters (false: wear levelling).
+    count_as_gc: bool,
+    /// Pages migrated so far.
+    migrated: u32,
+}
+
+impl ReclaimJob {
+    /// The block being reclaimed.
+    #[inline]
+    pub fn victim(&self) -> u32 {
+        self.victim
+    }
+
+    /// Valid pages copied out so far.
+    #[inline]
+    pub fn migrated(&self) -> u32 {
+        self.migrated
+    }
+}
+
+/// What one [`Ftl::background_gc_step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcProgress {
+    /// Nothing to do: the free pool is healthy or no victim exists.
+    Idle,
+    /// One valid page was copied to the frontier.
+    Migrated,
+    /// The victim block was erased and returned to the free pool — the
+    /// current job is complete.
+    Erased,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +224,10 @@ pub struct Ftl<C: Nand = FlashChip> {
     usable_ppb: u32,
     stats: DeviceStats,
     wear: Option<WearLeveler>,
+    /// The in-flight background reclaim, when a maintenance scheduler is
+    /// stepping this FTL. Victim selection must skip this block, and the
+    /// emergency inline path drains it before picking a fresh victim.
+    pending_job: Option<ReclaimJob>,
 }
 
 impl<C: Nand> Ftl<C> {
@@ -216,6 +276,7 @@ impl<C: Nand> Ftl<C> {
             usable_ppb,
             stats: DeviceStats::default(),
             wear,
+            pending_job: None,
         }
     }
 
@@ -282,14 +343,12 @@ impl<C: Nand> Ftl<C> {
         WearSummary::from_counts(&counts)
     }
 
-    /// Static wear levelling step: if the erase-count spread is too wide,
-    /// recycle the coldest closed block so it rejoins the rotation.
-    fn maybe_wear_level(&mut self) -> Result<()> {
-        let Some(w) = &mut self.wear else {
-            return Ok(());
-        };
+    /// Tick the static wear leveller after an erase and, if the spread is
+    /// too wide, return the coldest closed block to recycle.
+    fn wear_level_victim(&mut self) -> Option<u32> {
+        let w = self.wear.as_mut()?;
         if !w.on_erase() {
-            return Ok(());
+            return None;
         }
         let counts: Vec<u32> = self
             .blocks
@@ -304,13 +363,24 @@ impl<C: Nand> Ftl<C> {
             })
             .collect();
         let device_max = self.chip.max_erase_count();
-        let Some(victim) = self.wear.as_mut().unwrap().pick_victim(&counts, device_max) else {
-            return Ok(());
-        };
+        let victim = self
+            .wear
+            .as_mut()
+            .unwrap()
+            .pick_victim(&counts, device_max)?;
         // Need a frontier to migrate into; skip when space is too tight.
         if self.free_blocks.is_empty() && self.active.is_none() {
-            return Ok(());
+            return None;
         }
+        Some(victim)
+    }
+
+    /// Static wear levelling step: if the erase-count spread is too wide,
+    /// recycle the coldest closed block so it rejoins the rotation.
+    fn maybe_wear_level(&mut self) -> Result<()> {
+        let Some(victim) = self.wear_level_victim() else {
+            return Ok(());
+        };
         self.reclaim_block(victim, false)?;
         self.stats.wear_leveling_moves += 1;
         Ok(())
@@ -393,9 +463,26 @@ impl<C: Nand> Ftl<C> {
         }
     }
 
-    /// Run GC until the free pool is back above the low-water mark.
+    /// Run GC until the free pool is back above the low-water mark. Under
+    /// `background_gc` the refill belongs to the maintenance scheduler;
+    /// the inline path only reclaims when the pool is actually empty (an
+    /// emergency the scheduler failed to prevent), draining any half-done
+    /// background job first rather than starting a second reclaim.
     fn ensure_free_space(&mut self) -> Result<()> {
-        while (self.free_blocks.len() as u32) < self.config.gc_low_water_blocks {
+        let low_water = if self.config.background_gc {
+            1
+        } else {
+            self.config.gc_low_water_blocks
+        };
+        while (self.free_blocks.len() as u32) < low_water {
+            if let Some(mut job) = self.pending_job.take() {
+                while !self.reclaim_step(&mut job)? {}
+                if !job.count_as_gc {
+                    self.stats.wear_leveling_moves += 1;
+                }
+                self.maybe_wear_level()?;
+                continue;
+            }
             if !self.gc_once()? {
                 // Nothing reclaimable. Fatal only if allocation would fail.
                 if self.free_blocks.is_empty() && self.active.is_none() {
@@ -407,22 +494,30 @@ impl<C: Nand> Ftl<C> {
         Ok(())
     }
 
-    /// Reclaim one block. Returns `false` when no victim exists.
-    fn gc_once(&mut self) -> Result<bool> {
-        // Greedy victim: most invalid pages; ties → least-worn block.
-        let victim = self
-            .blocks
+    /// Greedy GC victim: the closed block with the most invalid pages,
+    /// ties broken toward low erase counts (dynamic wear levelling). A
+    /// block already being reclaimed by a background job is never a
+    /// candidate — reclaiming it twice would erase live migrations.
+    pub fn select_gc_victim(&self) -> Option<u32> {
+        let busy = self.pending_job.as_ref().map(|j| j.victim);
+        self.blocks
             .iter()
             .enumerate()
-            .filter(|(_, b)| b.state == BlockState::Closed && b.invalid() > 0)
+            .filter(|(i, b)| {
+                b.state == BlockState::Closed && b.invalid() > 0 && Some(*i as u32) != busy
+            })
             .max_by_key(|(i, b)| {
                 (
                     b.invalid(),
                     std::cmp::Reverse(self.chip.erase_count(*i as u32).unwrap_or(u32::MAX)),
                 )
             })
-            .map(|(i, _)| i as u32);
-        let Some(victim) = victim else {
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Reclaim one block. Returns `false` when no victim exists.
+    fn gc_once(&mut self) -> Result<bool> {
+        let Some(victim) = self.select_gc_victim() else {
             return Ok(false);
         };
         self.reclaim_block(victim, true)?;
@@ -430,10 +525,43 @@ impl<C: Nand> Ftl<C> {
         Ok(true)
     }
 
-    /// Migrate a block's valid pages to the frontier and erase it.
+    /// Migrate a block's valid pages to the frontier and erase it —
+    /// inline, by driving a [`ReclaimJob`] to completion in one call.
     /// `count_as_gc` separates GC accounting from wear-levelling moves.
     fn reclaim_block(&mut self, victim: u32, count_as_gc: bool) -> Result<()> {
-        for page in 0..self.chip.geometry().pages_per_block {
+        if self
+            .pending_job
+            .as_ref()
+            .is_some_and(|j| j.victim == victim)
+        {
+            // A background job already owns this block (wear levelling can
+            // race the scheduler); let it finish instead of double-freeing.
+            return Ok(());
+        }
+        let mut job = ReclaimJob {
+            victim,
+            next_page: 0,
+            count_as_gc,
+            migrated: 0,
+        };
+        while !self.reclaim_step(&mut job)? {}
+        Ok(())
+    }
+
+    /// Advance a reclaim by one unit of device work: migrate the next
+    /// valid page, or — once none remain — erase the victim and return it
+    /// to the free pool. Returns `true` when the job is complete.
+    fn reclaim_step(&mut self, job: &mut ReclaimJob) -> Result<bool> {
+        let victim = job.victim;
+        debug_assert_eq!(
+            self.blocks[victim as usize].state,
+            BlockState::Closed,
+            "reclaim of a non-closed block"
+        );
+        let pages = self.chip.geometry().pages_per_block;
+        while job.next_page < pages {
+            let page = job.next_page;
+            job.next_page += 1;
             let Some(lba) = self.blocks[victim as usize].owner[page as usize] else {
                 continue;
             };
@@ -459,20 +587,92 @@ impl<C: Nand> Ftl<C> {
             self.blocks[dst.block as usize].owner[dst.page as usize] = Some(lba);
             self.blocks[dst.block as usize].valid += 1;
             self.l2p[lba as usize] = Some(dst);
-            if count_as_gc {
+            job.migrated += 1;
+            if job.count_as_gc {
                 self.stats.gc_page_migrations += 1;
             }
+            return Ok(false);
         }
 
         self.chip.erase_block(victim)?;
-        if count_as_gc {
+        if job.count_as_gc {
             self.stats.gc_erases += 1;
         }
         self.blocks[victim as usize].reset();
         if !self.chip.is_bad(victim) {
             self.free_blocks.push_back(victim);
         }
-        Ok(())
+        Ok(true)
+    }
+
+    /// Free blocks currently in the pool.
+    #[inline]
+    pub fn free_block_count(&self) -> u32 {
+        self.free_blocks.len() as u32
+    }
+
+    /// The configured GC low-water mark.
+    #[inline]
+    pub fn gc_low_water(&self) -> u32 {
+        self.config.gc_low_water_blocks
+    }
+
+    /// Would a maintenance step make progress against `low_water`? True
+    /// when a reclaim is already mid-flight, or the pool is below the mark
+    /// and a victim exists.
+    pub fn gc_pending(&self, low_water: u32) -> bool {
+        self.pending_job.is_some()
+            || (self.free_block_count() < low_water && self.select_gc_victim().is_some())
+    }
+
+    /// One background-GC step against an externally chosen refill target
+    /// (the scheduler may start early — `low_water` above the configured
+    /// mark — so the pool refills before the write path ever trips).
+    /// Starts a new [`ReclaimJob`] when none is in flight, otherwise
+    /// advances the current one. Each call issues at most one page
+    /// migration or one erase, so a maintenance scheduler can interleave
+    /// reclaim work with host traffic at single-command granularity.
+    pub fn background_gc_step(&mut self, low_water: u32) -> Result<GcProgress> {
+        let mut job = match self.pending_job.take() {
+            Some(job) => job,
+            None => {
+                if self.free_block_count() >= low_water {
+                    return Ok(GcProgress::Idle);
+                }
+                let Some(victim) = self.select_gc_victim() else {
+                    return Ok(GcProgress::Idle);
+                };
+                ReclaimJob {
+                    victim,
+                    next_page: 0,
+                    count_as_gc: true,
+                    migrated: 0,
+                }
+            }
+        };
+        if self.reclaim_step(&mut job)? {
+            if job.count_as_gc {
+                self.stats.background_gc_erases += 1;
+            } else {
+                self.stats.wear_leveling_moves += 1;
+            }
+            // Static wear levelling keeps its per-erase cadence, but the
+            // recycle itself becomes the next resumable job instead of a
+            // whole-block inline burst — preserving the one-command-per-
+            // step contract the scheduler relies on.
+            if let Some(victim) = self.wear_level_victim() {
+                self.pending_job = Some(ReclaimJob {
+                    victim,
+                    next_page: 0,
+                    count_as_gc: false,
+                    migrated: 0,
+                });
+            }
+            Ok(GcProgress::Erased)
+        } else {
+            self.pending_job = Some(job);
+            Ok(GcProgress::Migrated)
+        }
     }
 
     /// Attempt the conventional-SSD in-place path. Returns `true` when the
@@ -982,6 +1182,152 @@ mod tests {
         let slc = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
         let pslc = Ftl::new(chip(FlashMode::PSlc), FtlConfig::traditional());
         assert_eq!(pslc.capacity_pages() * 2, slc.capacity_pages());
+    }
+
+    #[test]
+    fn background_steps_refill_the_pool_incrementally() {
+        let mut ftl = Ftl::new(
+            chip(FlashMode::Slc),
+            FtlConfig::traditional().with_background_gc(),
+        );
+        let data = vec![0x33u8; 2048];
+        // Hammer a hot set until the pool drops below the low-water mark.
+        // Under background_gc the write path must NOT refill it inline.
+        let mut i = 0u64;
+        while ftl.free_block_count() >= ftl.gc_low_water() {
+            ftl.write(i % 8, &data).unwrap();
+            i += 1;
+        }
+        assert_eq!(ftl.device_stats().gc_erases, 0, "no inline low-water GC");
+        assert!(ftl.gc_pending(ftl.gc_low_water()));
+
+        // Step the reclaim to completion one command at a time.
+        let low = ftl.gc_low_water();
+        let mut migrations = 0;
+        loop {
+            match ftl.background_gc_step(low).unwrap() {
+                GcProgress::Migrated => migrations += 1,
+                GcProgress::Erased => {
+                    if !ftl.gc_pending(low) {
+                        break;
+                    }
+                }
+                GcProgress::Idle => break,
+            }
+            ftl.check_invariants();
+        }
+        let s = ftl.device_stats();
+        assert!(s.gc_erases > 0);
+        assert_eq!(s.background_gc_erases, s.gc_erases);
+        assert_eq!(s.gc_page_migrations, migrations);
+        assert!(ftl.free_block_count() >= low);
+        // Everything is still readable.
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..8u64 {
+            ftl.read(lba, &mut buf).unwrap();
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn host_writes_interleave_safely_with_a_pending_reclaim() {
+        // Host overwrites of LBAs whose valid copy sits in the half-
+        // reclaimed victim must invalidate them; the remaining steps then
+        // skip those pages, and nothing is lost or duplicated.
+        let mut ftl = Ftl::new(
+            chip(FlashMode::Slc),
+            FtlConfig::traditional().with_background_gc(),
+        );
+        let fill = |v: u8| vec![v; 2048];
+        for i in 0..600u64 {
+            ftl.write(i % 10, &fill((i % 251) as u8)).unwrap();
+            // Interleave at most one background step per host write —
+            // exactly the maintenance scheduler's dispatch pattern.
+            ftl.background_gc_step(ftl.gc_low_water()).unwrap();
+            if i % 37 == 0 {
+                ftl.check_invariants();
+            }
+        }
+        let s = ftl.device_stats();
+        assert!(s.background_gc_erases > 0, "background GC must have run");
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..10u64 {
+            ftl.read(lba, &mut buf).unwrap();
+            let expect = ((590 + lba) % 251) as u8;
+            assert!(buf.iter().all(|&b| b == expect), "lba {lba} corrupted");
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn pending_victim_is_never_reselected() {
+        let mut ftl = Ftl::new(
+            chip(FlashMode::Slc),
+            FtlConfig::traditional().with_background_gc(),
+        );
+        let data = vec![0x44u8; 2048];
+        // Fill the device (every block fully valid), then invalidate one
+        // page per early block — victims carry mostly-valid pages, so the
+        // first reclaim step is a migration, not an erase.
+        let cap = ftl.capacity_pages();
+        for lba in 0..cap {
+            ftl.write(lba, &data).unwrap();
+        }
+        ftl.write(0, &data).unwrap();
+        ftl.write(8, &data).unwrap();
+        // Start a job and leave it half-done.
+        assert_eq!(ftl.background_gc_step(8).unwrap(), GcProgress::Migrated);
+        let busy = ftl
+            .pending_job
+            .as_ref()
+            .expect("job left in flight")
+            .victim();
+        assert_ne!(
+            ftl.select_gc_victim(),
+            Some(busy),
+            "victim selection must skip the in-flight block"
+        );
+        // Emergency inline GC (pool exhausted) drains the pending job
+        // rather than double-reclaiming.
+        for i in 0..3 * cap {
+            ftl.write(i % 8, &data).unwrap();
+        }
+        assert!(ftl.pending_job.is_none(), "emergency path drained the job");
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn inline_and_stepped_reclaim_reach_the_same_state() {
+        // Same op stream: low-water inline GC vs externally stepped
+        // background GC must expose identical host-visible bytes.
+        let run = |background: bool| -> Vec<Vec<u8>> {
+            let config = if background {
+                FtlConfig::traditional().with_background_gc()
+            } else {
+                FtlConfig::traditional()
+            };
+            let mut ftl = Ftl::new(chip(FlashMode::Slc), config);
+            for i in 0..700u64 {
+                let data = vec![((i * 7) % 251) as u8; 2048];
+                ftl.write(i % 12, &data).unwrap();
+                if background {
+                    // A generous budget: up to 4 steps per write.
+                    for _ in 0..4 {
+                        if ftl.background_gc_step(ftl.gc_low_water()).unwrap() == GcProgress::Idle {
+                            break;
+                        }
+                    }
+                }
+            }
+            (0..12u64)
+                .map(|lba| {
+                    let mut buf = vec![0u8; 2048];
+                    ftl.read(lba, &mut buf).unwrap();
+                    buf
+                })
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

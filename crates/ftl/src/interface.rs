@@ -100,6 +100,14 @@ pub trait BlockDevice {
     fn submission_clock_ns(&self) -> u64 {
         self.elapsed_ns()
     }
+
+    /// Concrete-type escape hatch: devices that carry extra subsystems
+    /// (e.g. a maintenance scheduler wrapped around the FTL) return
+    /// `Some(self)` so the engine can surface their stats without the
+    /// device trait knowing about every layer above it.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// The NoFTL-style native interface: everything a block device does, plus

@@ -25,7 +25,7 @@ pub mod stats;
 pub mod wear;
 
 pub use error::{FtlError, Lba, Result};
-pub use ftl::{exported_capacity, overwrite_compatible, Ftl, FtlConfig};
+pub use ftl::{exported_capacity, overwrite_compatible, Ftl, FtlConfig, GcProgress, ReclaimJob};
 pub use interface::{BlockDevice, NativeFlashDevice, WriteStrategy};
 pub use oob::{OobCodec, UncorrectableError, VerifyOutcome};
 pub use region::{Region, RegionTable};

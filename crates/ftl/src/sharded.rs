@@ -187,6 +187,12 @@ impl ShardedFtl {
         &self.shards[die as usize]
     }
 
+    /// Mutable access to one die's sub-FTL — the maintenance scheduler's
+    /// entry point for stepping that shard's background reclaim.
+    pub fn shard_mut(&mut self, die: u32) -> &mut Ftl<DieHandle> {
+        &mut self.shards[die as usize]
+    }
+
     /// Host LBA → (die, sub-LBA) translation.
     #[inline]
     pub fn locate(&self, lba: Lba) -> Result<(u32, Lba)> {

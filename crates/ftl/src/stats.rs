@@ -27,6 +27,9 @@ pub struct DeviceStats {
     pub gc_page_migrations: u64,
     /// Blocks erased by the garbage collector.
     pub gc_erases: u64,
+    /// Subset of `gc_erases` performed by background maintenance steps
+    /// (idle-die scheduled reclaim) rather than inline with a host write.
+    pub background_gc_erases: u64,
     /// Payload bytes the host pushed to the device (whole pages for
     /// `write`, delta bytes for `write_delta`) — the DBMS
     /// write-amplification numerator of Figure 1.
@@ -78,6 +81,7 @@ impl DeviceStats {
             page_invalidations: self.page_invalidations + other.page_invalidations,
             gc_page_migrations: self.gc_page_migrations + other.gc_page_migrations,
             gc_erases: self.gc_erases + other.gc_erases,
+            background_gc_erases: self.background_gc_erases + other.background_gc_erases,
             bytes_host_written: self.bytes_host_written + other.bytes_host_written,
             bytes_host_read: self.bytes_host_read + other.bytes_host_read,
             ecc_corrected_bits: self.ecc_corrected_bits + other.ecc_corrected_bits,
@@ -97,6 +101,7 @@ impl DeviceStats {
             page_invalidations: self.page_invalidations - earlier.page_invalidations,
             gc_page_migrations: self.gc_page_migrations - earlier.gc_page_migrations,
             gc_erases: self.gc_erases - earlier.gc_erases,
+            background_gc_erases: self.background_gc_erases - earlier.background_gc_erases,
             bytes_host_written: self.bytes_host_written - earlier.bytes_host_written,
             bytes_host_read: self.bytes_host_read - earlier.bytes_host_read,
             ecc_corrected_bits: self.ecc_corrected_bits - earlier.ecc_corrected_bits,
@@ -120,7 +125,7 @@ impl fmt::Display for DeviceStats {
         write!(
             f,
             "host_reads={} host_writes={} write_deltas={} in_place={} out_of_place={} \
-             invalidations={} gc_migrations={} gc_erases={}",
+             invalidations={} gc_migrations={} gc_erases={} (bg={})",
             self.host_reads,
             self.host_writes,
             self.host_write_deltas,
@@ -128,7 +133,8 @@ impl fmt::Display for DeviceStats {
             self.out_of_place_writes,
             self.page_invalidations,
             self.gc_page_migrations,
-            self.gc_erases
+            self.gc_erases,
+            self.background_gc_erases
         )
     }
 }

@@ -1,0 +1,66 @@
+//! Maintenance policy knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// How aggressively the scheduler places background reclaim work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintConfig {
+    /// Upper bound on reclaim steps dispatched to one die per poll. Each
+    /// step is one device command (a page copy-back + program, or the
+    /// final erase), so this bounds the busy-burst a host command can
+    /// find queued in front of it on a die the scheduler just used.
+    pub steps_per_poll: u32,
+    /// Start refilling this many blocks *above* the shard's low-water
+    /// mark. Working ahead of the mark is what keeps the write path's
+    /// emergency inline GC from ever firing under steady load.
+    pub early_blocks: u32,
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        // One step per poll measures best on tail latency: after a step
+        // the die reads busy, so the idle gate itself spreads the rest of
+        // the job across later polls instead of stacking a reclaim burst
+        // into one die-busy period a host read then waits out in full.
+        // Early refill defaults off — triggering above the low-water mark
+        // reclaims blocks while they still hold valid pages, and on
+        // GC-light workloads (TATP) that extra copy-back traffic costs
+        // more tail latency than the deeper pool buys.
+        MaintConfig {
+            steps_per_poll: 1,
+            early_blocks: 0,
+        }
+    }
+}
+
+impl MaintConfig {
+    pub fn with_steps_per_poll(mut self, steps: u32) -> Self {
+        assert!(steps >= 1, "a zero step budget would never reclaim");
+        self.steps_per_poll = steps;
+        self
+    }
+
+    pub fn with_early_blocks(mut self, blocks: u32) -> Self {
+        self.early_blocks = blocks;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MaintConfig::default();
+        assert!(c.steps_per_poll >= 1);
+        assert_eq!(c.with_steps_per_poll(8).steps_per_poll, 8);
+        assert_eq!(c.with_early_blocks(2).early_blocks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero step budget")]
+    fn zero_steps_rejected() {
+        let _ = MaintConfig::default().with_steps_per_poll(0);
+    }
+}

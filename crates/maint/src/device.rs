@@ -1,0 +1,232 @@
+//! The maintained device: a [`ShardedFtl`] with the scheduler attached.
+
+use ipa_controller::ControllerStats;
+use ipa_core::PageLayout;
+use ipa_flash::FlashStats;
+use ipa_ftl::{BlockDevice, DeviceStats, Lba, NativeFlashDevice, Result, ShardedFtl};
+
+use crate::config::MaintConfig;
+use crate::scheduler::MaintenanceScheduler;
+use crate::stats::MaintStats;
+
+/// A [`ShardedFtl`] whose low-water GC runs in the background: every host
+/// command is followed by one [`MaintenanceScheduler::poll`], so reclaim
+/// steps land on idle dies at the freshest possible view of the
+/// controller's clocks. Build the inner FTL with
+/// [`ipa_ftl::FtlConfig::with_background_gc`] so its write path defers
+/// low-water reclaim to this wrapper (emergency inline GC stays armed
+/// either way).
+pub struct MaintainedFtl {
+    inner: ShardedFtl,
+    sched: MaintenanceScheduler,
+}
+
+impl MaintainedFtl {
+    pub fn new(inner: ShardedFtl, cfg: MaintConfig) -> Self {
+        MaintainedFtl {
+            inner,
+            sched: MaintenanceScheduler::new(cfg),
+        }
+    }
+
+    /// The scheduler's own counters.
+    pub fn maint_stats(&self) -> MaintStats {
+        self.sched.stats()
+    }
+
+    /// The wrapped die-striped FTL (inspection only).
+    pub fn inner(&self) -> &ShardedFtl {
+        &self.inner
+    }
+
+    /// Run every shard's exhaustive invariant check.
+    pub fn check_invariants(&self) {
+        self.inner.check_invariants();
+    }
+
+    fn poll(&mut self) -> Result<()> {
+        self.sched.poll(&mut self.inner)
+    }
+}
+
+impl BlockDevice for MaintainedFtl {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.inner.capacity_pages()
+    }
+
+    fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        self.inner.read(lba, buf)?;
+        self.poll()
+    }
+
+    fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
+        self.inner.write(lba, data)?;
+        self.poll()
+    }
+
+    fn trim(&mut self, lba: Lba) -> Result<()> {
+        self.inner.trim(lba)?;
+        self.poll()
+    }
+
+    fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
+        self.inner.layout_for(lba)
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        self.inner.device_stats()
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        self.inner.flash_stats()
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.inner.elapsed_ns()
+    }
+
+    fn max_erase_count(&self) -> u32 {
+        self.inner.max_erase_count()
+    }
+
+    fn raw_blocks(&self) -> u32 {
+        self.inner.raw_blocks()
+    }
+
+    fn controller_stats(&self) -> Option<ControllerStats> {
+        BlockDevice::controller_stats(&self.inner)
+    }
+
+    fn set_submission_clock_ns(&mut self, ns: u64) {
+        self.inner.set_submission_clock_ns(ns);
+    }
+
+    fn submission_clock_ns(&self) -> u64 {
+        self.inner.submission_clock_ns()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+impl NativeFlashDevice for MaintainedFtl {
+    fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
+        self.inner.write_delta(lba, offset, delta_bytes)?;
+        self.poll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_controller::ControllerConfig;
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+    use ipa_ftl::{FtlConfig, StripePolicy};
+
+    fn maintained(channels: u32, dpc: u32, queue_cap: Option<usize>) -> MaintainedFtl {
+        let chip = DeviceConfig::new(Geometry::new(16, 8, 2048, 64), FlashMode::Slc)
+            .with_disturb(DisturbRates::none());
+        let mut ctrl = ControllerConfig::new(channels, dpc, chip);
+        if let Some(cap) = queue_cap {
+            ctrl = ctrl.with_queue_cap(cap);
+        }
+        MaintainedFtl::new(
+            ShardedFtl::new(
+                ctrl,
+                FtlConfig::traditional().with_background_gc(),
+                StripePolicy::RoundRobin,
+            ),
+            MaintConfig::default(),
+        )
+    }
+
+    /// A host-like churn loop: reads advance the host clock (so dies
+    /// periodically fall idle), writes build GC pressure.
+    fn churn(dev: &mut MaintainedFtl, ops: u64, span: u64) {
+        let mut buf = vec![0u8; 2048];
+        for i in 0..ops {
+            let lba = i % span;
+            dev.write(lba, &vec![(i % 251) as u8; 2048]).unwrap();
+            dev.read(lba, &mut buf).unwrap();
+        }
+    }
+
+    #[test]
+    fn background_gc_runs_and_preserves_data() {
+        let mut dev = maintained(2, 2, None);
+        churn(&mut dev, 2400, 32);
+        let m = dev.maint_stats();
+        let d = dev.device_stats();
+        assert!(m.erases > 0, "scheduler never completed a reclaim: {m}");
+        assert!(
+            d.background_gc_erases > 0,
+            "device counters must agree: {d}"
+        );
+        assert!(m.polls >= 4800, "every host command polls");
+        dev.check_invariants();
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..32u64 {
+            dev.read(lba, &mut buf).unwrap();
+            let last = (0..2400u64).rev().find(|i| i % 32 == lba).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == (last % 251) as u8),
+                "lba {lba} corrupted"
+            );
+        }
+    }
+
+    #[test]
+    fn background_mode_mostly_avoids_inline_gc() {
+        let mut dev = maintained(2, 2, None);
+        churn(&mut dev, 2400, 32);
+        let d = dev.device_stats();
+        assert!(d.gc_erases > 0);
+        assert!(
+            d.background_gc_erases * 2 > d.gc_erases,
+            "the scheduler, not the write path, should do most reclaim: {d}"
+        );
+    }
+
+    #[test]
+    fn queue_cap_composes_with_background_gc() {
+        let mut dev = maintained(2, 2, Some(1));
+        // Burst several programs at the same die between reads: the
+        // second posted program in each burst finds the queue full.
+        let mut buf = vec![0u8; 2048];
+        for i in 0..400u64 {
+            for k in 0..4u64 {
+                let lba = (i % 8) + 4 * k; // same die under round-robin
+                dev.write(lba, &vec![(i % 251) as u8; 2048]).unwrap();
+            }
+            dev.read(i % 8, &mut buf).unwrap();
+        }
+        let c = BlockDevice::controller_stats(&dev).expect("controller-backed");
+        assert!(
+            c.backpressure_stalls > 0,
+            "a cap-2 queue under churn must stall the host sometimes: {c}"
+        );
+        assert!(dev.maint_stats().erases > 0);
+        dev.check_invariants();
+    }
+
+    #[test]
+    fn wrapper_is_transparent_to_the_block_contract() {
+        let mut dev = maintained(1, 2, None);
+        assert_eq!(dev.page_size(), 2048);
+        assert!(dev.capacity_pages() > 0);
+        let data = vec![0x77u8; 2048];
+        dev.write(3, &data).unwrap();
+        let mut buf = vec![0u8; 2048];
+        dev.read(3, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        dev.trim(3).unwrap();
+        assert!(dev.read(3, &mut buf).is_err());
+        assert!(dev.as_any().is_some(), "downcast hook must be wired");
+        assert_eq!(dev.device_stats().host_writes, 1);
+    }
+}

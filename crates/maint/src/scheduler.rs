@@ -1,0 +1,195 @@
+//! The idle-die reclaim scheduler.
+
+use ipa_controller::FlashController;
+use ipa_ftl::{GcProgress, Result, ShardedFtl};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::config::MaintConfig;
+use crate::stats::MaintStats;
+
+/// Dispatches background [`ipa_ftl::ReclaimJob`] steps onto idle dies.
+///
+/// One `poll` runs after every host command on a maintained device. It
+/// asks each shard whether reclaim work is pending (an in-flight job, or
+/// a free pool below `low_water + early_blocks`), orders the needy dies
+/// by urgency (fewest free blocks first) with the controller's wear view
+/// (fewest total erases first) as the deterministic tie-break, and gives
+/// each die that is *idle at the current host time* a budget of at most
+/// [`MaintConfig::steps_per_poll`] single-command steps. Dies busy with
+/// host work are skipped — their reclaim waits for a quieter poll, or
+/// for the write path's emergency inline GC if pressure wins.
+///
+/// Note the limit of what dispatch ordering can do: with a fixed LBA
+/// stripe, each shard's long-run erase count is set by the workload, so
+/// the wear view here is observability (the spread is tracked per poll
+/// and reported in [`MaintStats`]) plus priority, not active balancing.
+/// Shifting erases between dies needs LBA re-striping — a ROADMAP item.
+///
+/// Steps run inside the controller's firmware-internal mode: copy-backs
+/// and programs occupy die and channel clocks (host commands arriving
+/// later on that die queue behind them, exactly like real firmware) but
+/// never advance the submitting host clock and never trip NCQ
+/// back-pressure.
+pub struct MaintenanceScheduler {
+    cfg: MaintConfig,
+    stats: MaintStats,
+}
+
+impl MaintenanceScheduler {
+    pub fn new(cfg: MaintConfig) -> Self {
+        MaintenanceScheduler {
+            cfg,
+            stats: MaintStats::default(),
+        }
+    }
+
+    #[inline]
+    pub fn config(&self) -> &MaintConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    pub fn stats(&self) -> MaintStats {
+        self.stats
+    }
+
+    /// One scheduling round over all shards (see the type docs).
+    pub fn poll(&mut self, ftl: &mut ShardedFtl) -> Result<()> {
+        self.stats.polls += 1;
+        let ctrl: Rc<RefCell<FlashController>> = Rc::clone(ftl.controller());
+
+        // Snapshot the needy dies with their urgency and wear keys.
+        let mut pending: Vec<(u32 /* free */, u64 /* wear */, u32 /* die */)> = Vec::new();
+        for die in 0..ftl.dies() {
+            let shard = ftl.shard(die);
+            let threshold = shard.gc_low_water() + self.cfg.early_blocks;
+            if shard.gc_pending(threshold) {
+                let wear = ctrl.borrow().die_erase_count(die);
+                pending.push((shard.free_block_count(), wear, die));
+            }
+        }
+        pending.sort_unstable();
+
+        for (_, _, die) in pending {
+            if !ctrl.borrow().die_idle(die) {
+                self.stats.deferred_busy += 1;
+                continue;
+            }
+            let threshold = ftl.shard(die).gc_low_water() + self.cfg.early_blocks;
+            ctrl.borrow_mut().begin_internal();
+            let outcome = self.run_steps(ftl, die, threshold);
+            ctrl.borrow_mut().end_internal();
+            outcome?;
+        }
+
+        let spread = ctrl.borrow().stats().wear_spread();
+        self.stats.max_wear_spread = self.stats.max_wear_spread.max(spread);
+        Ok(())
+    }
+
+    /// Up to `steps_per_poll` reclaim steps on one shard.
+    fn run_steps(&mut self, ftl: &mut ShardedFtl, die: u32, threshold: u32) -> Result<()> {
+        for _ in 0..self.cfg.steps_per_poll {
+            match ftl.shard_mut(die).background_gc_step(threshold)? {
+                GcProgress::Idle => break,
+                GcProgress::Migrated => {
+                    self.stats.steps += 1;
+                    self.stats.migrations += 1;
+                }
+                GcProgress::Erased => {
+                    self.stats.steps += 1;
+                    self.stats.erases += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_controller::ControllerConfig;
+    use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
+    use ipa_ftl::{BlockDevice, FtlConfig, StripePolicy};
+
+    fn striped(channels: u32, dpc: u32) -> ShardedFtl {
+        let chip = DeviceConfig::new(Geometry::new(16, 8, 2048, 64), FlashMode::Slc)
+            .with_disturb(DisturbRates::none());
+        ShardedFtl::new(
+            ControllerConfig::new(channels, dpc, chip),
+            FtlConfig::traditional().with_background_gc(),
+            StripePolicy::RoundRobin,
+        )
+    }
+
+    #[test]
+    fn poll_reclaims_only_on_idle_dies() {
+        let mut s = striped(2, 1);
+        let mut sched = MaintenanceScheduler::new(MaintConfig::default());
+        let data = vec![0x5Au8; 2048];
+        // Churn a hot set until both shards sit below their marks, then
+        // poll with every die idle: reclaim must happen.
+        for i in 0..900u64 {
+            s.write(i % 16, &data).unwrap();
+        }
+        s.sync();
+        while {
+            sched.poll(&mut s).unwrap();
+            // Catch the host clock up so dies fall idle again between
+            // polls (in live traffic, host reads/CPU time do this).
+            s.sync();
+            (0..s.dies()).any(|d| s.shard(d).gc_pending(s.shard(d).gc_low_water()))
+        } {}
+        let st = sched.stats();
+        assert!(st.erases > 0, "idle polls must complete reclaims: {st}");
+        assert!(st.steps >= st.erases + st.migrations - 1);
+        s.check_invariants();
+        // Data survives background reclaim.
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..16u64 {
+            s.read(lba, &mut buf).unwrap();
+        }
+    }
+
+    #[test]
+    fn busy_dies_are_skipped() {
+        let mut s = striped(1, 2);
+        let mut sched = MaintenanceScheduler::new(MaintConfig::default());
+        let data = vec![0xA5u8; 2048];
+        for i in 0..900u64 {
+            s.write(i % 16, &data).unwrap();
+            // Poll immediately after the posted program: the written die
+            // is still busy, so at least some dispatches must defer.
+            sched.poll(&mut s).unwrap();
+        }
+        let st = sched.stats();
+        assert!(
+            st.deferred_busy > 0,
+            "posted programs must defer same-die reclaim: {st}"
+        );
+        assert!(st.polls >= 900);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn wear_spread_is_observed() {
+        let mut s = striped(2, 2);
+        let mut sched = MaintenanceScheduler::new(MaintConfig::default());
+        let data = vec![0x11u8; 2048];
+        for i in 0..2500u64 {
+            s.write(i % 24, &data).unwrap();
+            if i % 3 == 0 {
+                s.sync();
+            }
+            sched.poll(&mut s).unwrap();
+        }
+        let st = sched.stats();
+        assert!(st.erases > 0);
+        // The wear view flowed through: the observed peak matches the
+        // controller's final report or exceeded it mid-run.
+        let final_spread = s.controller_stats().wear_spread();
+        assert!(st.max_wear_spread >= final_spread.saturating_sub(1));
+    }
+}

@@ -1,0 +1,73 @@
+//! Counters the maintenance subsystem keeps about itself.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the scheduler did and what it observed while doing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintStats {
+    /// Scheduler polls (one per host command on a maintained device).
+    pub polls: u64,
+    /// Background reclaim steps dispatched (migrations + erases).
+    pub steps: u64,
+    /// Valid pages copied by background steps.
+    pub migrations: u64,
+    /// Victim blocks erased by background steps (jobs completed).
+    pub erases: u64,
+    /// Dispatch opportunities skipped because the die was busy with host
+    /// work — the idle gate doing its job.
+    pub deferred_busy: u64,
+    /// Peak cross-die wear spread (max−min die erase count) observed at
+    /// poll time.
+    pub max_wear_spread: u64,
+}
+
+impl MaintStats {
+    /// Mean background steps per poll — how much reclaim the scheduler
+    /// managed to hide in idle gaps.
+    pub fn steps_per_poll(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.polls as f64
+        }
+    }
+}
+
+impl fmt::Display for MaintStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "polls={} steps={} (mig={} erase={}) busy_skips={} wear_spread_max={}",
+            self.polls,
+            self.steps,
+            self.migrations,
+            self.erases,
+            self.deferred_busy,
+            self.max_wear_spread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_per_poll_handles_zero() {
+        assert_eq!(MaintStats::default().steps_per_poll(), 0.0);
+        let s = MaintStats {
+            polls: 4,
+            steps: 6,
+            ..Default::default()
+        };
+        assert!((s.steps_per_poll() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = MaintStats::default().to_string();
+        assert!(s.contains("polls=0"));
+        assert!(s.contains("wear_spread_max=0"));
+    }
+}

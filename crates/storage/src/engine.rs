@@ -246,6 +246,18 @@ impl StorageEngine {
         &mut self.pool
     }
 
+    /// Reach the concrete device behind the pool, when it opted into the
+    /// [`ipa_ftl::BlockDevice::as_any`] escape hatch. This is how layered
+    /// devices wired in through [`StorageEngine::build_with_device`] — a
+    /// maintenance-scheduled FTL, for instance — surface their subsystem
+    /// stats to benchmark drivers without widening the device trait.
+    pub fn device_as<T: 'static>(&self) -> Option<&T> {
+        self.pool
+            .device()
+            .as_any()
+            .and_then(|any| any.downcast_ref::<T>())
+    }
+
     pub fn table(&self, name: &str) -> Result<TableId> {
         self.catalog.resolve(name)
     }

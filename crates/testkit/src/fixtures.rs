@@ -9,6 +9,7 @@ use ipa_controller::ControllerConfig;
 use ipa_core::NmScheme;
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
 use ipa_ftl::{Ftl, FtlConfig, ShardedFtl, StripePolicy, WriteStrategy};
+use ipa_maint::{MaintConfig, MaintainedFtl};
 use ipa_storage::{BufferPool, EngineConfig, StorageEngine, TableSpec};
 
 /// The paper's three write paths with their canonical N×M configurations:
@@ -100,17 +101,20 @@ pub fn heap_engine(strategy: WriteStrategy, scheme: NmScheme, seed: u64) -> Stor
     )
 }
 
-/// [`heap_engine`]'s die-striped twin: the same table shape and pool size
-/// over a `ShardedFtl` spanning `dies` dies (≤ 4 channels, then stacking
-/// dies per channel), so `sharded_parity` can compare the two run-for-run.
-/// The per-die geometry divides [`quiet_device`]'s blocks across the dies,
-/// keeping total raw capacity comparable at every die count.
-pub fn sharded_heap_engine(
+/// Shared core of the striped heap-engine fixtures: the [`heap_engine`]
+/// table shape and pool size over `dies` dies (≤ 4 channels, then
+/// stacking dies per channel). The per-die geometry divides
+/// [`quiet_device`]'s blocks across the dies, keeping total raw capacity
+/// comparable at every die count. `maint = Some(queue_cap)` wraps the
+/// stripe in an `ipa-maint` background scheduler (with that optional NCQ
+/// cap); `None` keeps the historic inline-GC device.
+fn striped_heap_engine(
     strategy: WriteStrategy,
     scheme: NmScheme,
     seed: u64,
     dies: u32,
     policy: StripePolicy,
+    maint: Option<Option<usize>>,
 ) -> StorageEngine {
     assert!(dies >= 1 && dies.is_power_of_two(), "die counts are 2^k");
     let channels = dies.min(4);
@@ -123,7 +127,10 @@ pub fn sharded_heap_engine(
         base.oob_size,
     );
     let chip = quiet_device(seed).with_geometry(per_die);
-    let controller = ControllerConfig::new(channels, dies_per_channel, chip);
+    let mut controller = ControllerConfig::new(channels, dies_per_channel, chip);
+    if let Some(Some(cap)) = maint {
+        controller = controller.with_queue_cap(cap);
+    }
 
     let config = match strategy {
         WriteStrategy::Traditional => EngineConfig::default(),
@@ -134,13 +141,51 @@ pub fn sharded_heap_engine(
         per_die.page_size,
         config,
         &[TableSpec::heap("m", crate::ops::ROW, 200)],
-        move |regions, ftl_config| {
-            Box::new(ShardedFtl::with_regions(
+        move |regions, ftl_config| match maint {
+            None => Box::new(ShardedFtl::with_regions(
                 controller, ftl_config, policy, regions,
-            ))
+            )),
+            Some(_) => {
+                let striped = ShardedFtl::with_regions(
+                    controller,
+                    ftl_config.with_background_gc(),
+                    policy,
+                    regions,
+                );
+                Box::new(MaintainedFtl::new(striped, MaintConfig::default()))
+            }
         },
     )
-    .expect("testkit sharded engine")
+    .expect("testkit striped engine")
+}
+
+/// [`heap_engine`]'s die-striped twin: the same table shape and pool size
+/// over a `ShardedFtl` spanning `dies` dies, so `sharded_parity` can
+/// compare the two run-for-run.
+pub fn sharded_heap_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    policy: StripePolicy,
+) -> StorageEngine {
+    striped_heap_engine(strategy, scheme, seed, dies, policy, None)
+}
+
+/// [`sharded_heap_engine`]'s background-maintenance twin: the identical
+/// controller topology and table shape, but low-water GC deferred to an
+/// `ipa-maint` scheduler ([`MaintainedFtl`]) and an optional NCQ queue
+/// cap on the controller — so GC-parity suites can compare inline and
+/// background reclaim run-for-run.
+pub fn maintained_heap_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    policy: StripePolicy,
+    queue_cap: Option<usize>,
+) -> StorageEngine {
+    striped_heap_engine(strategy, scheme, seed, dies, policy, Some(queue_cap))
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use ipa_controller::{ControllerConfig, ControllerStats};
 use ipa_core::NmScheme;
 use ipa_flash::{DeviceConfig, FlashMode, FlashStats, Geometry};
 use ipa_ftl::{DeviceStats, ShardedFtl, StripePolicy, WriteStrategy};
+use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine};
 
 use crate::spec::{build, Benchmark, WorkloadKind};
@@ -93,6 +94,71 @@ impl std::fmt::Display for Topology {
             match self.policy {
                 StripePolicy::RoundRobin => "rr",
                 StripePolicy::Hash => "hash",
+            }
+        )
+    }
+}
+
+/// Device maintenance policy for a benchmark run: whether low-water GC
+/// runs inline with host writes or on the background scheduler, and the
+/// controller's NCQ queue cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintMode {
+    /// Defer low-water GC to an [`ipa_maint::MaintenanceScheduler`]
+    /// dispatching reclaim steps onto idle dies.
+    pub background_gc: bool,
+    /// Per-die cap on posted host commands (NCQ depth); `None` leaves the
+    /// queues unbounded.
+    pub queue_cap: Option<usize>,
+    /// Scheduler policy for the background mode (step budget, early
+    /// refill margin). Ignored when `background_gc` is false.
+    pub maint: MaintConfig,
+}
+
+impl MaintMode {
+    /// The historic behaviour: inline GC, unbounded queues.
+    pub fn inline() -> Self {
+        MaintMode {
+            background_gc: false,
+            queue_cap: None,
+            maint: MaintConfig::default(),
+        }
+    }
+
+    /// Background GC with an optional NCQ cap.
+    pub fn background(queue_cap: Option<usize>) -> Self {
+        MaintMode {
+            background_gc: true,
+            queue_cap,
+            maint: MaintConfig::default(),
+        }
+    }
+
+    /// Inline GC, but with an NCQ cap (isolates the cap's effect).
+    pub fn capped(queue_cap: usize) -> Self {
+        MaintMode {
+            background_gc: false,
+            queue_cap: Some(queue_cap),
+            maint: MaintConfig::default(),
+        }
+    }
+
+    /// Override the background scheduler's policy knobs.
+    pub fn with_maint_config(mut self, maint: MaintConfig) -> Self {
+        self.maint = maint;
+        self
+    }
+}
+
+impl std::fmt::Display for MaintMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}",
+            if self.background_gc { "bg" } else { "inline" },
+            match self.queue_cap {
+                Some(cap) => format!("q{cap}"),
+                None => "q∞".into(),
             }
         )
     }
@@ -215,6 +281,9 @@ pub struct RunResult {
     /// Scheduler counters (whole run), when the device is a multi-channel
     /// controller.
     pub controller: Option<ControllerStats>,
+    /// Background-maintenance counters, when the device runs GC on the
+    /// idle-die scheduler ([`Driver::run_maintained`]).
+    pub maint: Option<MaintStats>,
 }
 
 impl RunResult {
@@ -377,6 +446,9 @@ impl Driver {
             latency: LatencyPercentiles::from_samples(samples),
             per_stream,
             controller: engine.pool().device().controller_stats(),
+            maint: engine
+                .device_as::<MaintainedFtl>()
+                .map(MaintainedFtl::maint_stats),
         })
     }
 
@@ -422,9 +494,35 @@ impl Driver {
         topology: Topology,
         cfg: &DriverConfig,
     ) -> Result<RunResult> {
+        Self::run_maintained(
+            kind,
+            scale,
+            strategy,
+            scheme,
+            mode,
+            topology,
+            MaintMode::inline(),
+            cfg,
+        )
+    }
+
+    /// [`Driver::run_sharded`] with an explicit [`MaintMode`]: an NCQ
+    /// queue cap on the controller and, when `maint.background_gc`, the
+    /// idle-die maintenance scheduler in place of inline low-water GC.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_maintained(
+        kind: WorkloadKind,
+        scale: u32,
+        strategy: WriteStrategy,
+        scheme: NmScheme,
+        mode: FlashMode,
+        topology: Topology,
+        maint: MaintMode,
+        cfg: &DriverConfig,
+    ) -> Result<RunResult> {
         let page_size = 8 * 1024;
         let mut bench = build(kind, scale, page_size);
-        let mut engine = Self::make_sharded_engine(
+        let mut engine = Self::make_maintained_engine(
             bench.as_mut(),
             strategy,
             scheme,
@@ -432,18 +530,19 @@ impl Driver {
             page_size,
             cfg.buffer_frames,
             topology,
+            maint,
         )?;
         let mut result = Self::run(bench.as_mut(), &mut engine, cfg)?;
         result.mode = mode;
         Ok(result)
     }
 
-    /// Build an engine whose device is a [`ShardedFtl`] over the given
-    /// topology. Total raw capacity matches the single-chip sizing of
-    /// [`Driver::make_engine`] (the same ~40 % headroom divided across the
-    /// dies), plus a per-die GC reserve — so a topology sweep varies
-    /// *parallelism*, not usable space.
-    pub fn make_sharded_engine(
+    /// [`Driver::make_sharded_engine`] under a [`MaintMode`]: same device
+    /// sizing and striping, with the queue cap applied to the controller
+    /// and — for background GC — the shards configured to defer low-water
+    /// reclaim to a [`MaintainedFtl`] wrapper around the stripe.
+    #[allow(clippy::too_many_arguments)]
+    pub fn make_maintained_engine(
         bench: &mut dyn Benchmark,
         strategy: WriteStrategy,
         scheme: NmScheme,
@@ -451,6 +550,7 @@ impl Driver {
         page_size: usize,
         buffer_frames: Option<usize>,
         topology: Topology,
+        maint: MaintMode,
     ) -> Result<StorageEngine> {
         let tables = bench.tables();
         let pages_needed: u64 = tables.iter().map(|t| t.pages).sum();
@@ -459,7 +559,11 @@ impl Driver {
         let dies = topology.dies() as u64;
         let blocks_per_die = ((pages_needed * 14 / 10).div_ceil(usable_ppb * dies)) as u32 + 8;
         let chip = DeviceConfig::new(Geometry::new(blocks_per_die, ppb, page_size, 128), mode);
-        let controller = ControllerConfig::new(topology.channels, topology.dies_per_channel, chip);
+        let mut controller =
+            ControllerConfig::new(topology.channels, topology.dies_per_channel, chip);
+        if let Some(cap) = maint.queue_cap {
+            controller = controller.with_queue_cap(cap);
+        }
 
         let frames = buffer_frames.unwrap_or(32);
         let config = if strategy.needs_layout() {
@@ -474,10 +578,44 @@ impl Driver {
         };
         let policy = topology.policy;
         StorageEngine::build_with_device(page_size, config, &tables, move |regions, ftl_config| {
-            Box::new(ShardedFtl::with_regions(
-                controller, ftl_config, policy, regions,
-            ))
+            if maint.background_gc {
+                let ftl_config = ftl_config.with_background_gc();
+                let striped = ShardedFtl::with_regions(controller, ftl_config, policy, regions);
+                Box::new(MaintainedFtl::new(striped, maint.maint))
+            } else {
+                Box::new(ShardedFtl::with_regions(
+                    controller, ftl_config, policy, regions,
+                ))
+            }
         })
+    }
+
+    /// Build an engine whose device is a [`ShardedFtl`] over the given
+    /// topology. Total raw capacity matches the single-chip sizing of
+    /// [`Driver::make_engine`] (the same ~40 % headroom divided across the
+    /// dies), plus a per-die GC reserve — so a topology sweep varies
+    /// *parallelism*, not usable space. Exactly
+    /// [`Driver::make_maintained_engine`] under [`MaintMode::inline`],
+    /// so the maintenance sweeps compare like-for-like devices.
+    pub fn make_sharded_engine(
+        bench: &mut dyn Benchmark,
+        strategy: WriteStrategy,
+        scheme: NmScheme,
+        mode: FlashMode,
+        page_size: usize,
+        buffer_frames: Option<usize>,
+        topology: Topology,
+    ) -> Result<StorageEngine> {
+        Self::make_maintained_engine(
+            bench,
+            strategy,
+            scheme,
+            mode,
+            page_size,
+            buffer_frames,
+            topology,
+            MaintMode::inline(),
+        )
     }
 
     /// Build an engine with a device sized for the benchmark.
@@ -682,6 +820,74 @@ mod multi_client_tests {
         .unwrap();
         assert!(r.per_stream.is_empty());
         assert_eq!(r.latency.count, 120);
+    }
+
+    #[test]
+    fn maintained_run_reports_scheduler_stats() {
+        let cfg = DriverConfig {
+            transactions: 200,
+            warmup: 40,
+            ..Default::default()
+        }
+        .with_streams(4);
+        let r = Driver::run_maintained(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            Topology::new(2, 2, StripePolicy::RoundRobin),
+            MaintMode::background(Some(8)),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.transactions, 200);
+        let m = r.maint.expect("maintained device reports its stats");
+        assert!(m.polls > 0, "every host command polls the scheduler");
+        let c = r.controller.expect("controller-backed");
+        assert!(c.wear_spread() <= c.max_die_erases);
+        // Inline mode must NOT report maintenance stats.
+        let inline = Driver::run_maintained(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            Topology::new(2, 2, StripePolicy::RoundRobin),
+            MaintMode::capped(8),
+            &cfg,
+        )
+        .unwrap();
+        assert!(inline.maint.is_none());
+    }
+
+    #[test]
+    fn maintained_runs_are_deterministic() {
+        let cfg = DriverConfig {
+            transactions: 150,
+            warmup: 20,
+            seed: 99,
+            ..Default::default()
+        }
+        .with_streams(3);
+        let run = || {
+            Driver::run_maintained(
+                WorkloadKind::Tatp,
+                1,
+                WriteStrategy::IpaNative,
+                NmScheme::new(2, 4),
+                FlashMode::PSlc,
+                Topology::new(2, 2, StripePolicy::RoundRobin),
+                MaintMode::background(Some(8)),
+                &cfg,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.device, b.device);
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.maint, b.maint);
     }
 
     #[test]

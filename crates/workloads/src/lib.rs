@@ -15,7 +15,10 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod util;
 
-pub use driver::{Driver, DriverConfig, LatencyPercentiles, RunResult, StreamLatency, Topology};
+pub use driver::{
+    Driver, DriverConfig, LatencyPercentiles, MaintMode, RunResult, StreamLatency, Topology,
+};
+pub use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 pub use linkbench::LinkBench;
 pub use spec::{build, heap_pages, index_pages, rows_per_page, Benchmark, WorkloadKind};
 pub use tatp::Tatp;
