@@ -15,9 +15,14 @@
 //! Usage:
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
 //!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
-//!       [--maint-tx=N] [--cap=1] [--csv <path>]
+//!       [--maint-tx=N] [--cap=1] [--planes=N] [--csv <path>]
 //!
-//! `--csv` writes every row (both sections) as machine-readable CSV for
+//! `--planes=N` (N > 1) appends a plane-scaling section: the write-heavy
+//! traditional path on fixed channels × dies, planes swept over
+//! {1, 2, …, N} (powers of two), reporting program throughput — the
+//! multi-plane command subsystem's 2×-per-die bandwidth claim.
+//!
+//! `--csv` writes every row (all sections) as machine-readable CSV for
 //! the perf trajectory.
 //!
 //! Exits non-zero if the 4-channel × 2-die topology fails to deliver ≥ 2×
@@ -45,9 +50,12 @@ fn csv_row(
         .map(|m| (m.steps, m.deferred_busy))
         .unwrap_or((0, 0));
     out.push_str(&format!(
-        "{section},{topo},{gc},{cap},{workload},{tps:.1},{speedup:.3},{p50},{p99},{p999},{max},\
-         {wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},{busy_skips},\
-         {wear_spread},{appends:.4}\n",
+        "{section},{topo},{planes},{gc},{cap},{workload},{tps:.1},{speedup:.3},{p50},{p99},\
+         {p999},{max},{wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},\
+         {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs}\n",
+        planes = topo.planes,
+        programs_per_sec = r.programs_per_sec(),
+        mp_pairs = r.device.multi_plane_pairs,
         gc = if maint.background_gc {
             "background"
         } else {
@@ -81,11 +89,12 @@ fn main() {
     // longer window than the topology sweep unless overridden.
     let maint_tx: u64 = ipa_bench::arg("maint-tx", tx * 16);
     let cap: usize = ipa_bench::arg("cap", 1);
+    let planes: u32 = ipa_bench::arg("planes", 1);
     let csv_path = ipa_bench::str_arg("csv");
     let mut csv = String::from(
-        "section,topology,gc_mode,queue_cap,workload,tps,speedup,p50_ns,p99_ns,p999_ns,max_ns,\
-         mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
-         busy_skips,wear_spread,in_place_fraction\n",
+        "section,topology,planes,gc_mode,queue_cap,workload,tps,speedup,p50_ns,p99_ns,p999_ns,\
+         max_ns,mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
+         busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs\n",
     );
 
     let topologies = [
@@ -265,6 +274,81 @@ fn main() {
         }
     }
     ipa_bench::rule(118);
+
+    // ── Plane-scaling sweep ──────────────────────────────────────────
+    // The write-heavy traditional path at fixed channels × dies, planes
+    // swept over powers of two: program throughput must climb as the
+    // per-die allocator pairs writes into multi-plane commands.
+    if planes > 1 {
+        let plane_topo_base = Topology::new(2, 2, StripePolicy::RoundRobin);
+        let plane_cfg = DriverConfig::default()
+            .with_transactions(tx)
+            .with_seed(seed)
+            .with_streams(streams);
+        println!(
+            "plane sweep — traditional writes on {plane_topo_base} with 1..{planes} planes/die, \
+             {streams} streams, {tx} tx"
+        );
+        ipa_bench::rule(118);
+        println!(
+            "{:<14}{:>10}{:>10}{:>14}{:>12}{:>11}{:>12}{:>12}",
+            "topology",
+            "workload",
+            "tps",
+            "programs/s",
+            "prog spdup",
+            "p99.9 µs",
+            "mp pairs",
+            "pair %"
+        );
+        ipa_bench::rule(118);
+        for kind in workloads {
+            let mut base_pps: Option<f64> = None;
+            let mut p = 1u32;
+            while p <= planes {
+                let topo = plane_topo_base.with_planes(p);
+                let r = Driver::run_sharded(
+                    kind,
+                    scale,
+                    WriteStrategy::Traditional,
+                    NmScheme::disabled(),
+                    FlashMode::PSlc,
+                    topo,
+                    &plane_cfg,
+                )
+                .expect("plane sweep run");
+                let pps = r.programs_per_sec();
+                let base = *base_pps.get_or_insert(pps);
+                let pair_pct = if r.device.out_of_place_writes > 0 {
+                    200.0 * r.device.multi_plane_pairs as f64 / r.device.out_of_place_writes as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "{:<14}{:>10}{:>10.0}{:>14.0}{:>11.2}x{:>11.1}{:>12}{:>11.0}%",
+                    topo.to_string(),
+                    kind.name(),
+                    r.tps,
+                    pps,
+                    pps / base,
+                    r.latency.p999_ns as f64 / 1e3,
+                    r.device.multi_plane_pairs,
+                    pair_pct,
+                );
+                csv_row(
+                    &mut csv,
+                    "planes",
+                    &topo,
+                    &MaintMode::inline(),
+                    kind,
+                    &r,
+                    pps / base,
+                );
+                p *= 2;
+            }
+        }
+        ipa_bench::rule(118);
+    }
 
     if let Some(path) = csv_path {
         std::fs::write(&path, csv).unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -33,6 +33,14 @@ pub struct PageImage {
     pub oob: Vec<u8>,
 }
 
+/// One plane's page of a multi-plane program command.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiPlaneWrite<'a> {
+    pub ppa: Ppa,
+    pub data: &'a [u8],
+    pub oob: &'a [u8],
+}
+
 /// The simulated NAND device.
 pub struct FlashChip {
     config: DeviceConfig,
@@ -41,6 +49,10 @@ pub struct FlashChip {
     stats: FlashStats,
     disturb: DisturbModel,
     rng: StdRng,
+    /// Erase operations per plane (`plane = block % planes`). The
+    /// controller's die-level wear view must aggregate these — reporting
+    /// plane 0 alone undercounts wear on every multi-plane die.
+    plane_erases: Vec<u64>,
 }
 
 impl FlashChip {
@@ -48,6 +60,7 @@ impl FlashChip {
         let blocks = build_blocks(&config.geometry);
         let rng = StdRng::seed_from_u64(config.seed);
         let disturb = DisturbModel::new(config.disturb);
+        let plane_erases = vec![0; config.geometry.planes as usize];
         FlashChip {
             config,
             blocks,
@@ -55,6 +68,7 @@ impl FlashChip {
             stats: FlashStats::default(),
             disturb,
             rng,
+            plane_erases,
         }
     }
 
@@ -183,18 +197,7 @@ impl FlashChip {
     pub fn read_page(&mut self, ppa: Ppa) -> Result<PageImage> {
         self.check_bounds(ppa)?;
         let g = self.config.geometry;
-        let page = self.blocks[ppa.block as usize].page(ppa.page);
-        if page.is_erased() {
-            return Err(FlashError::ReadErased { ppa });
-        }
-        let data = page
-            .data()
-            .map(<[u8]>::to_vec)
-            .unwrap_or_else(|| vec![0xFF; g.page_size]);
-        let oob = page
-            .oob()
-            .map(<[u8]>::to_vec)
-            .unwrap_or_else(|| vec![0xFF; g.oob_size]);
+        let img = self.snapshot_image(ppa)?;
 
         let t = self.config.latency.read_sense_ns
             + self.config.latency.transfer_ns(g.page_size + g.oob_size);
@@ -202,7 +205,29 @@ impl FlashChip {
         self.stats.page_reads += 1;
         self.stats.bytes_read += (g.page_size + g.oob_size) as u64;
         self.stats.busy_ns += t;
-        Ok(PageImage { data, oob })
+        Ok(img)
+    }
+
+    /// Time-free core of every read command: reject erased pages, copy
+    /// the current image out of the array. Shared by [`FlashChip::read_page`]
+    /// and [`FlashChip::multi_plane_read`] so the two paths can never
+    /// drift in what a read returns.
+    fn snapshot_image(&self, ppa: Ppa) -> Result<PageImage> {
+        let g = self.config.geometry;
+        let page = self.blocks[ppa.block as usize].page(ppa.page);
+        if page.is_erased() {
+            return Err(FlashError::ReadErased { ppa });
+        }
+        Ok(PageImage {
+            data: page
+                .data()
+                .map(<[u8]>::to_vec)
+                .unwrap_or_else(|| vec![0xFF; g.page_size]),
+            oob: page
+                .oob()
+                .map(<[u8]>::to_vec)
+                .unwrap_or_else(|| vec![0xFF; g.oob_size]),
+        })
     }
 
     /// Which ISPP staircase a program of this page runs.
@@ -235,7 +260,7 @@ impl FlashChip {
                 return Err(FlashError::NotErased { ppa });
             }
         }
-        self.program_raw(ppa, data, oob, data.len() + oob.len(), false)
+        self.program_raw(ppa, data, oob, data.len() + oob.len())
     }
 
     /// In-place overwrite of a programmed page. Every bit transition must
@@ -246,7 +271,7 @@ impl FlashChip {
         self.check_bounds(ppa)?;
         self.check_sizes(data, oob)?;
         self.validate_overwrite(ppa, data, oob)?;
-        self.program_raw(ppa, data, oob, data.len() + oob.len(), true)
+        self.program_raw(ppa, data, oob, data.len() + oob.len())
     }
 
     /// `write_delta` primitive: splice `bytes` at `data_off` (and
@@ -293,7 +318,7 @@ impl FlashChip {
         data[data_off..data_off + bytes.len()].copy_from_slice(bytes);
         oob[oob_off..oob_off + oob_bytes.len()].copy_from_slice(oob_bytes);
         self.validate_overwrite(ppa, &data, &oob)?;
-        self.program_raw(ppa, &data, &oob, bytes.len() + oob_bytes.len(), true)
+        self.program_raw(ppa, &data, &oob, bytes.len() + oob_bytes.len())
     }
 
     /// Enforce the erase-before-overwrite relaxation: a re-program is legal
@@ -324,15 +349,9 @@ impl FlashChip {
         Ok(())
     }
 
-    /// Common program path: NOP check, store, clock, stats, interference.
-    fn program_raw(
-        &mut self,
-        ppa: Ppa,
-        data: &[u8],
-        oob: &[u8],
-        transferred: usize,
-        is_reprogram: bool,
-    ) -> Result<()> {
+    /// Common single-page program path: NOP check, then the shared store
+    /// core, then one staircase + transfer of time.
+    fn program_raw(&mut self, ppa: Ppa, data: &[u8], oob: &[u8], transferred: usize) -> Result<()> {
         let nop = self.nop_limit(ppa.page);
         {
             let page = self.blocks[ppa.block as usize].page(ppa.page);
@@ -341,28 +360,39 @@ impl FlashChip {
             }
         }
 
+        let staircase = self.store_program(ppa, data, oob);
+        let t = staircase + self.config.latency.transfer_ns(transferred);
+        self.clock.advance_ns(t);
+        self.stats.busy_ns += t;
+        self.stats.bytes_written += transferred as u64;
+        Ok(())
+    }
+
+    /// Time-free core of every program command: store the image, bump the
+    /// per-page program count and the program/reprogram counters, expose
+    /// the wordline to disturb noise. Whether this is a reprogram is read
+    /// off the page itself (programmed = reprogram), so single-page and
+    /// multi-plane paths cannot disagree. Returns this member's staircase
+    /// latency — the caller decides how staircases combine (alone for a
+    /// single command, `max` across planes for a multi-plane one).
+    fn store_program(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> u64 {
         let g = self.config.geometry;
+        let is_reprogram = !self.blocks[ppa.block as usize].page(ppa.page).is_erased();
         {
             let page = self.blocks[ppa.block as usize].page_mut(ppa.page);
             page.data_mut(g.page_size).copy_from_slice(data);
             page.oob_mut(g.oob_size).copy_from_slice(oob);
             page.program_count += 1;
         }
-
-        let kind = self.program_kind(ppa.page);
-        let t = self.config.ispp.program_latency_ns(kind)
-            + self.config.latency.transfer_ns(transferred);
-        self.clock.advance_ns(t);
-        self.stats.busy_ns += t;
-        self.stats.bytes_written += transferred as u64;
         if is_reprogram {
             self.stats.page_reprograms += 1;
         } else {
             self.stats.page_programs += 1;
         }
-
         self.apply_interference(ppa, is_reprogram);
-        Ok(())
+        self.config
+            .ispp
+            .program_latency_ns(self.program_kind(ppa.page))
     }
 
     /// Expose victims of a program operation to disturb noise.
@@ -412,6 +442,75 @@ impl FlashChip {
         }
     }
 
+    /// One command staircase, one page per plane: validate the whole set
+    /// first (plane alignment, bounds, sizes, per-plane NOP budgets and
+    /// overwrite legality), then program every member. The command is
+    /// atomic — any illegal member rejects it with flash state untouched.
+    /// Time charged: the full transfer of every member (the bus is still
+    /// serial) plus a *single* program staircase, which is the ~planes×
+    /// per-die program-bandwidth win.
+    pub fn multi_plane_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        let ppas: Vec<Ppa> = pages.iter().map(|p| p.ppa).collect();
+        self.config.geometry.check_multi_plane(&ppas)?;
+        let mut total = 0usize;
+        for p in pages {
+            self.check_bounds(p.ppa)?;
+            self.check_sizes(p.data, p.oob)?;
+            let nop = self.nop_limit(p.ppa.page);
+            let page = self.blocks[p.ppa.block as usize].page(p.ppa.page);
+            if page.program_count >= nop {
+                return Err(FlashError::NopExceeded { ppa: p.ppa, nop });
+            }
+            if !page.is_erased() {
+                self.validate_overwrite(p.ppa, p.data, p.oob)?;
+            }
+            total += p.data.len() + p.oob.len();
+        }
+
+        let mut staircase = 0u64;
+        for p in pages {
+            staircase = staircase.max(self.store_program(p.ppa, p.data, p.oob));
+        }
+        let t = staircase + self.config.latency.transfer_ns(total);
+        self.clock.advance_ns(t);
+        self.stats.busy_ns += t;
+        self.stats.bytes_written += total as u64;
+        self.stats.multi_plane_programs += 1;
+        Ok(())
+    }
+
+    /// Multi-plane read: one sense across the planes (they share the
+    /// command path but sense concurrently), then each page's transfer
+    /// over the serial bus. Same alignment rule and atomicity as
+    /// [`FlashChip::multi_plane_program`]; images return in `ppas` order.
+    pub fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
+        self.config.geometry.check_multi_plane(ppas)?;
+        let g = self.config.geometry;
+        let mut images = Vec::with_capacity(ppas.len());
+        for &ppa in ppas {
+            self.check_bounds(ppa)?;
+            images.push(self.snapshot_image(ppa)?);
+        }
+        let total = ppas.len() * (g.page_size + g.oob_size);
+        let t = self.config.latency.read_sense_ns + self.config.latency.transfer_ns(total);
+        self.clock.advance_ns(t);
+        self.stats.page_reads += ppas.len() as u64;
+        self.stats.bytes_read += total as u64;
+        self.stats.busy_ns += t;
+        self.stats.multi_plane_reads += 1;
+        Ok(images)
+    }
+
+    /// Erase operations a plane has absorbed (all its blocks summed).
+    pub fn plane_erase_count(&self, plane: u32) -> u64 {
+        self.plane_erases[plane as usize]
+    }
+
+    /// Per-plane erase counters, indexed by plane.
+    pub fn plane_erase_counts(&self) -> &[u64] {
+        &self.plane_erases
+    }
+
     /// Erase a block: the only operation that restores `1` bits. Retires
     /// the block once endurance is exhausted.
     pub fn erase_block(&mut self, block: u32) -> Result<()> {
@@ -421,6 +520,7 @@ impl FlashChip {
         if self.blocks[block as usize].bad {
             return Err(FlashError::BadBlock { block });
         }
+        self.plane_erases[self.config.geometry.plane_of(block) as usize] += 1;
         self.blocks[block as usize].erase();
         if self.blocks[block as usize].erase_count >= self.config.erase_endurance {
             self.blocks[block as usize].bad = true;

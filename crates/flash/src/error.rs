@@ -36,6 +36,15 @@ pub enum FlashError {
     /// The page is not usable in the current [`crate::cell::FlashMode`]
     /// (e.g. an MSB page in pSLC mode).
     PageNotUsable { ppa: Ppa },
+    /// A multi-plane command addressed pages that cannot share one
+    /// command staircase: different page offsets, different in-plane
+    /// block indexes, a plane addressed twice, or fewer than two pages.
+    /// `a` is the command's first page, `b` the first offender.
+    MultiPlaneMismatch {
+        a: Ppa,
+        b: Ppa,
+        reason: &'static str,
+    },
     /// The block was retired (exceeded its erase endurance or marked bad).
     BadBlock { block: u32 },
     /// Address outside the device geometry.
@@ -75,6 +84,9 @@ impl fmt::Display for FlashError {
             FlashError::ReadErased { ppa } => write!(f, "read of erased page {ppa}"),
             FlashError::PageNotUsable { ppa } => {
                 write!(f, "page {ppa} is not usable in the current flash mode")
+            }
+            FlashError::MultiPlaneMismatch { a, b, reason } => {
+                write!(f, "multi-plane mismatch between {a} and {b}: {reason}")
             }
             FlashError::BadBlock { block } => write!(f, "block {block} is retired/bad"),
             FlashError::OutOfBounds { ppa } => write!(f, "address {ppa} out of bounds"),
@@ -125,6 +137,18 @@ mod tests {
             in_oob: true,
         };
         assert!(e.to_string().contains("OOB"));
+    }
+
+    #[test]
+    fn multi_plane_mismatch_display_names_both_pages() {
+        let e = FlashError::MultiPlaneMismatch {
+            a: Ppa::new(0, 4),
+            b: Ppa::new(3, 4),
+            reason: "in-plane block indexes differ",
+        };
+        let s = e.to_string();
+        assert!(s.contains("(b0,p4)") && s.contains("(b3,p4)"));
+        assert!(s.contains("block indexes"));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::error::{FlashError, Result};
+
 /// Physical page address: `(block, page-within-block)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Ppa {
@@ -35,7 +37,7 @@ impl fmt::Display for Ppa {
 /// Static shape of the simulated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Geometry {
-    /// Number of erase blocks.
+    /// Number of erase blocks (total across all planes).
     pub blocks: u32,
     /// Pages per erase block.
     pub pages_per_block: u32,
@@ -43,6 +45,20 @@ pub struct Geometry {
     pub page_size: usize,
     /// Out-of-band (spare) bytes per page, used for ECC and FTL metadata.
     pub oob_size: usize,
+    /// Planes per die. Each plane owns its own block/page arrays but
+    /// shares the die's command path; block `b` belongs to plane
+    /// `b % planes`, so the blocks of one plane *group* (`b / planes`)
+    /// are consecutive indexes. Multi-plane commands move one page per
+    /// plane under a single command staircase, which is where the per-die
+    /// bandwidth doubling comes from.
+    #[serde(default = "default_planes")]
+    pub planes: u32,
+}
+
+/// Serde default: geometries recorded before planes existed are
+/// one-plane. Also the value every constructor starts from.
+fn default_planes() -> u32 {
+    1
 }
 
 impl Geometry {
@@ -60,7 +76,23 @@ impl Geometry {
             pages_per_block,
             page_size,
             oob_size,
+            planes: default_planes(),
         }
+    }
+
+    /// Builder-style plane count. Physical addressing is unchanged —
+    /// block `b` simply belongs to plane `b % planes` — so any plane
+    /// count partitions the same blocks; it only changes which pages may
+    /// ride one multi-plane command together.
+    pub fn with_planes(mut self, planes: u32) -> Self {
+        assert!(planes >= 1, "a die has at least one plane");
+        assert!(
+            planes <= self.blocks,
+            "more planes ({planes}) than blocks ({})",
+            self.blocks
+        );
+        self.planes = planes;
+        self
     }
 
     /// Small default used by unit tests and quick examples:
@@ -127,6 +159,80 @@ impl Geometry {
         let ppb = self.pages_per_block;
         (0..self.blocks).flat_map(move |b| (0..ppb).map(move |p| Ppa::new(b, p)))
     }
+
+    /// The plane a block belongs to.
+    #[inline]
+    pub fn plane_of(&self, block: u32) -> u32 {
+        block % self.planes
+    }
+
+    /// A block's plane-group index — its in-plane block address. Two
+    /// blocks may share a multi-plane command iff their groups are equal.
+    #[inline]
+    pub fn plane_group(&self, block: u32) -> u32 {
+        block / self.planes
+    }
+
+    /// Whole plane groups in the device (a trailing partial group, when
+    /// `blocks` is not a multiple of `planes`, can never host a full
+    /// multi-plane command and is not counted).
+    #[inline]
+    pub fn plane_groups(&self) -> u32 {
+        self.blocks / self.planes
+    }
+
+    /// May these two pages ride one multi-plane command? Requires equal
+    /// in-plane block index (shared wordline drivers run one address
+    /// staircase), equal page offset, and distinct planes.
+    #[inline]
+    pub fn plane_aligned(&self, a: Ppa, b: Ppa) -> bool {
+        self.plane_group(a.block) == self.plane_group(b.block)
+            && a.page == b.page
+            && self.plane_of(a.block) != self.plane_of(b.block)
+    }
+
+    /// Validate a multi-plane command's page set: at least two pages, all
+    /// plane-aligned (same group + page offset), every plane addressed at
+    /// most once. Returns the typed mismatch describing the first
+    /// violation.
+    pub fn check_multi_plane(&self, ppas: &[Ppa]) -> Result<()> {
+        let Some((&first, rest)) = ppas.split_first() else {
+            return Err(FlashError::MultiPlaneMismatch {
+                a: Ppa::new(0, 0),
+                b: Ppa::new(0, 0),
+                reason: "a multi-plane command needs at least two pages",
+            });
+        };
+        if rest.is_empty() {
+            return Err(FlashError::MultiPlaneMismatch {
+                a: first,
+                b: first,
+                reason: "a multi-plane command needs at least two pages",
+            });
+        }
+        let mismatch = |b: Ppa, reason| FlashError::MultiPlaneMismatch {
+            a: first,
+            b,
+            reason,
+        };
+        let mut seen_planes = vec![false; self.planes as usize];
+        for &ppa in ppas {
+            if !self.contains(ppa) {
+                return Err(FlashError::OutOfBounds { ppa });
+            }
+            if ppa.page != first.page {
+                return Err(mismatch(ppa, "page offsets differ across planes"));
+            }
+            if self.plane_group(ppa.block) != self.plane_group(first.block) {
+                return Err(mismatch(ppa, "in-plane block indexes differ"));
+            }
+            let plane = self.plane_of(ppa.block) as usize;
+            if std::mem::replace(&mut seen_planes[plane], true) {
+                return Err(mismatch(ppa, "plane addressed more than once"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +295,81 @@ mod tests {
     #[test]
     fn ppa_display() {
         assert_eq!(Ppa::new(12, 3).to_string(), "(b12,p3)");
+    }
+
+    #[test]
+    fn plane_addressing_partitions_blocks() {
+        let g = Geometry::new(8, 4, 512, 16).with_planes(2);
+        assert_eq!(g.planes, 2);
+        assert_eq!(g.plane_groups(), 4);
+        // Consecutive blocks alternate planes within one group.
+        assert_eq!(g.plane_of(0), 0);
+        assert_eq!(g.plane_of(1), 1);
+        assert_eq!(g.plane_of(2), 0);
+        assert_eq!(g.plane_group(0), 0);
+        assert_eq!(g.plane_group(1), 0);
+        assert_eq!(g.plane_group(2), 1);
+        // Total pages/capacity are unchanged by the plane split.
+        assert_eq!(g.total_pages(), Geometry::new(8, 4, 512, 16).total_pages());
+    }
+
+    #[test]
+    fn plane_alignment_rule() {
+        let g = Geometry::new(8, 4, 512, 16).with_planes(2);
+        assert!(g.plane_aligned(Ppa::new(0, 2), Ppa::new(1, 2)));
+        // Same plane twice.
+        assert!(!g.plane_aligned(Ppa::new(0, 2), Ppa::new(2, 2)));
+        // Different page offset.
+        assert!(!g.plane_aligned(Ppa::new(0, 2), Ppa::new(1, 3)));
+        // Different in-plane block index.
+        assert!(!g.plane_aligned(Ppa::new(0, 2), Ppa::new(3, 2)));
+    }
+
+    #[test]
+    fn check_multi_plane_reports_typed_mismatches() {
+        let g = Geometry::new(8, 4, 512, 16).with_planes(4);
+        g.check_multi_plane(&[Ppa::new(0, 1), Ppa::new(1, 1)])
+            .unwrap();
+        g.check_multi_plane(&[
+            Ppa::new(0, 1),
+            Ppa::new(1, 1),
+            Ppa::new(2, 1),
+            Ppa::new(3, 1),
+        ])
+        .unwrap();
+        let reason = |r: Result<()>| match r {
+            Err(FlashError::MultiPlaneMismatch { reason, .. }) => reason,
+            other => panic!("expected MultiPlaneMismatch, got {other:?}"),
+        };
+        assert!(reason(g.check_multi_plane(&[])).contains("at least two"));
+        assert!(reason(g.check_multi_plane(&[Ppa::new(0, 1)])).contains("at least two"));
+        assert!(
+            reason(g.check_multi_plane(&[Ppa::new(0, 1), Ppa::new(1, 2)])).contains("page offsets")
+        );
+        assert!(
+            reason(g.check_multi_plane(&[Ppa::new(0, 1), Ppa::new(5, 1)]))
+                .contains("block indexes")
+        );
+        assert!(
+            reason(g.check_multi_plane(&[Ppa::new(0, 1), Ppa::new(1, 1), Ppa::new(1, 1)]))
+                .contains("more than once")
+        );
+        assert!(matches!(
+            g.check_multi_plane(&[Ppa::new(0, 1), Ppa::new(99, 1)]),
+            Err(FlashError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "more planes")]
+    fn more_planes_than_blocks_rejected() {
+        let _ = Geometry::new(2, 4, 512, 16).with_planes(4);
+    }
+
+    #[test]
+    fn constructors_default_to_one_plane() {
+        assert_eq!(Geometry::tiny().planes, 1);
+        assert_eq!(Geometry::experiment().planes, 1);
+        assert_eq!(Geometry::jasmine().planes, 1);
     }
 }

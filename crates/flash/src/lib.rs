@@ -34,7 +34,7 @@ pub mod nand;
 pub mod stats;
 
 pub use cell::{CellType, FlashMode};
-pub use chip::{FlashChip, PageImage};
+pub use chip::{FlashChip, MultiPlaneWrite, PageImage};
 pub use clock::SimClock;
 pub use config::{DeviceConfig, LatencyModel};
 pub use ecc::{check_region, encode_region, Codeword, EccOutcome};

@@ -13,7 +13,7 @@
 //! leaking borrows.
 
 use crate::cell::FlashMode;
-use crate::chip::{FlashChip, PageImage};
+use crate::chip::{FlashChip, MultiPlaneWrite, PageImage};
 use crate::error::Result;
 use crate::geometry::{Geometry, Ppa};
 use crate::stats::FlashStats;
@@ -99,6 +99,32 @@ pub trait Nand {
 
     /// Erase a block — the only way to restore `1` bits.
     fn erase_block(&mut self, block: u32) -> Result<()>;
+
+    /// Program one page per plane under a single command staircase. The
+    /// pages must be plane-aligned (same in-plane block index and page
+    /// offset, distinct planes — see [`Geometry::check_multi_plane`]).
+    /// The default implementation validates the alignment and then issues
+    /// plain per-plane programs, so targets without multi-plane support
+    /// keep identical state semantics and merely forgo the time overlap.
+    fn multi_plane_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        self.geometry()
+            .check_multi_plane(&pages.iter().map(|p| p.ppa).collect::<Vec<_>>())?;
+        for p in pages {
+            if self.is_erased(p.ppa)? {
+                self.program_page(p.ppa, p.data, p.oob)?;
+            } else {
+                self.reprogram_page(p.ppa, p.data, p.oob)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one plane-aligned page per plane under a single sense. The
+    /// default falls back to sequential reads (same images, no overlap).
+    fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
+        self.geometry().check_multi_plane(ppas)?;
+        ppas.iter().map(|&ppa| self.read_page(ppa)).collect()
+    }
 }
 
 impl Nand for FlashChip {
@@ -179,6 +205,14 @@ impl Nand for FlashChip {
 
     fn erase_block(&mut self, block: u32) -> Result<()> {
         FlashChip::erase_block(self, block)
+    }
+
+    fn multi_plane_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        FlashChip::multi_plane_program(self, pages)
+    }
+
+    fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
+        FlashChip::multi_plane_read(self, ppas)
     }
 }
 

@@ -18,6 +18,11 @@ pub struct FlashStats {
     pub page_reprograms: u64,
     /// Block erase operations.
     pub block_erases: u64,
+    /// Multi-plane program commands (each also counts its member pages in
+    /// `page_programs`/`page_reprograms`; this counts command staircases).
+    pub multi_plane_programs: u64,
+    /// Multi-plane read commands (member pages count in `page_reads`).
+    pub multi_plane_reads: u64,
     /// Data+OOB bytes transferred over the bus for reads.
     pub bytes_read: u64,
     /// Data+OOB bytes transferred over the bus for programs.
@@ -45,6 +50,8 @@ impl FlashStats {
             page_programs: self.page_programs + other.page_programs,
             page_reprograms: self.page_reprograms + other.page_reprograms,
             block_erases: self.block_erases + other.block_erases,
+            multi_plane_programs: self.multi_plane_programs + other.multi_plane_programs,
+            multi_plane_reads: self.multi_plane_reads + other.multi_plane_reads,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected + other.disturb_bits_injected,
@@ -59,6 +66,8 @@ impl FlashStats {
             page_programs: self.page_programs - earlier.page_programs,
             page_reprograms: self.page_reprograms - earlier.page_reprograms,
             block_erases: self.block_erases - earlier.block_erases,
+            multi_plane_programs: self.multi_plane_programs - earlier.multi_plane_programs,
+            multi_plane_reads: self.multi_plane_reads - earlier.multi_plane_reads,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected - earlier.disturb_bits_injected,
@@ -94,24 +103,28 @@ mod tests {
             page_programs: 5,
             page_reprograms: 2,
             block_erases: 1,
+            multi_plane_programs: 1,
             bytes_read: 100,
             bytes_written: 50,
-            disturb_bits_injected: 0,
             busy_ns: 1000,
+            ..Default::default()
         };
         let later = FlashStats {
             page_reads: 15,
             page_programs: 9,
             page_reprograms: 6,
             block_erases: 2,
+            multi_plane_programs: 3,
             bytes_read: 160,
             bytes_written: 90,
             disturb_bits_injected: 3,
             busy_ns: 2500,
+            ..Default::default()
         };
         let d = later.delta_since(&earlier);
         assert_eq!(d.page_reads, 5);
         assert_eq!(d.total_programs(), 8);
+        assert_eq!(d.multi_plane_programs, 2);
         assert_eq!(d.busy_ns, 1500);
     }
 

@@ -24,7 +24,9 @@
 use std::collections::VecDeque;
 
 use ipa_core::PageLayout;
-use ipa_flash::{FlashChip, FlashError, FlashMode, FlashStats, Geometry, Nand, Ppa};
+use ipa_flash::{
+    FlashChip, FlashError, FlashMode, FlashStats, Geometry, MultiPlaneWrite, Nand, Ppa,
+};
 
 use crate::error::{FtlError, Lba, Result};
 use crate::interface::{BlockDevice, NativeFlashDevice};
@@ -159,6 +161,36 @@ enum BlockState {
     Closed,
 }
 
+/// The write frontier: one active block per lane. On a multi-plane chip a
+/// frontier is opened as a plane-aligned *group* (one block per plane,
+/// equal in-plane block index) whenever a fully-free group exists, so
+/// consecutive out-of-place writes land on alternating planes at the same
+/// page offset — exactly the shape a multi-plane program command accepts.
+/// When no aligned group is free (fragmented pool, bad blocks, trailing
+/// partial group) the frontier degrades to a single block and every write
+/// programs single-plane, which is the planes = 1 behaviour bit-for-bit.
+#[derive(Debug, Clone)]
+struct ActiveGroup {
+    /// Active blocks, one per lane; plane-aligned when `len > 1`.
+    blocks: Vec<u32>,
+    /// Flat slot cursor: slot `s` → lane `s % len`, page offset `s / len`.
+    next: u32,
+}
+
+/// An allocated, mapped, but not-yet-programmed out-of-place write,
+/// parked one slot deep so the next write to the partner plane can ride
+/// the same multi-plane command. Logically the write is complete (the
+/// L2P map and owner tables already point at `ppa`); only the physical
+/// program is deferred, and every other path that could observe the gap
+/// (reads/updates/trims of this LBA, the block closing) drains it first.
+#[derive(Debug, Clone)]
+struct StagedWrite {
+    lba: Lba,
+    ppa: Ppa,
+    data: Vec<u8>,
+    oob: Vec<u8>,
+}
+
 #[derive(Debug, Clone)]
 struct BlockInfo {
     state: BlockState,
@@ -219,7 +251,9 @@ pub struct Ftl<C: Nand = FlashChip> {
     l2p: Vec<Option<Ppa>>,
     blocks: Vec<BlockInfo>,
     free_blocks: VecDeque<u32>,
-    active: Option<u32>,
+    active: Option<ActiveGroup>,
+    /// One-deep pairing window for multi-plane program commands.
+    staged: Option<StagedWrite>,
     capacity: u64,
     usable_ppb: u32,
     stats: DeviceStats,
@@ -272,6 +306,7 @@ impl<C: Nand> Ftl<C> {
             blocks,
             free_blocks,
             active: None,
+            staged: None,
             capacity,
             usable_ppb,
             stats: DeviceStats::default(),
@@ -332,7 +367,34 @@ impl<C: Nand> Ftl<C> {
             .iter()
             .filter(|b| b.state == BlockState::Active)
             .count();
-        assert!(actives <= 1, "{actives} active blocks");
+        let lanes = self
+            .active
+            .as_ref()
+            .map(|g| g.blocks.len())
+            .unwrap_or_default();
+        assert!(
+            actives <= self.chip.geometry().planes as usize,
+            "{actives} active blocks on a {}-plane chip",
+            self.chip.geometry().planes
+        );
+        assert_eq!(actives, lanes, "frontier and block states disagree");
+        if let Some(s) = &self.staged {
+            assert_eq!(
+                self.l2p[s.lba as usize],
+                Some(s.ppa),
+                "staged write unmapped"
+            );
+            assert_eq!(
+                self.blocks[s.ppa.block as usize].owner[s.ppa.page as usize],
+                Some(s.lba),
+                "staged write lost its slot"
+            );
+            assert_eq!(
+                self.blocks[s.ppa.block as usize].state,
+                BlockState::Active,
+                "staged write outlived its block's frontier"
+            );
+        }
     }
 
     /// Erase-count distribution across all blocks.
@@ -431,28 +493,89 @@ impl<C: Nand> Ftl<C> {
         }
     }
 
-    /// Claim the next free usable page, opening a new block if needed.
+    /// Claim the next free usable page, opening a new frontier (a
+    /// plane-aligned group when possible) if needed. Slots hand out
+    /// lane-major: all lanes at one page offset before the offset
+    /// advances, so the staged-write pairing finds its partner at the
+    /// very next allocation.
     fn allocate(&mut self) -> Result<Ppa> {
         loop {
-            if let Some(b) = self.active {
-                if self.blocks[b as usize].used < self.usable_ppb {
-                    let n = self.blocks[b as usize].used;
-                    self.blocks[b as usize].used += 1;
-                    return Ok(Ppa::new(b, self.nth_usable_page(n)));
-                }
-                self.blocks[b as usize].state = BlockState::Closed;
-                self.active = None;
+            let slot = self.active.as_ref().and_then(|g| {
+                let lanes = g.blocks.len() as u32;
+                (g.next < lanes * self.usable_ppb)
+                    .then(|| (g.blocks[(g.next % lanes) as usize], g.next / lanes))
+            });
+            if let Some((block, n)) = slot {
+                self.active.as_mut().expect("frontier exists").next += 1;
+                self.blocks[block as usize].used += 1;
+                return Ok(Ppa::new(block, self.nth_usable_page(n)));
             }
-            loop {
-                let b = self.free_blocks.pop_front().ok_or(FtlError::DeviceFull)?;
-                if self.chip.is_bad(b) {
-                    continue; // retired block: capacity silently shrinks
+            if let Some(done) = self.active.take() {
+                // A staged program whose block is about to close must hit
+                // the flash first — a closed block is a GC candidate, and
+                // reclaiming an erased-but-owned page would be a torn
+                // migration.
+                if self
+                    .staged
+                    .as_ref()
+                    .is_some_and(|s| done.blocks.contains(&s.ppa.block))
+                {
+                    self.drain_staged()?;
                 }
-                self.blocks[b as usize].state = BlockState::Active;
-                self.blocks[b as usize].used = 0;
-                self.active = Some(b);
-                break;
+                for b in done.blocks {
+                    self.blocks[b as usize].state = BlockState::Closed;
+                }
             }
+            self.open_frontier()?;
+        }
+    }
+
+    /// Open the next write frontier. With planes > 1, prefer the first
+    /// plane group (FIFO order of the free list) whose member blocks are
+    /// all free and healthy; otherwise fall back to a single block —
+    /// which is also the entire story for planes = 1.
+    fn open_frontier(&mut self) -> Result<()> {
+        let planes = self.chip.geometry().planes;
+        if planes > 1 {
+            let mut free_in_group: std::collections::HashMap<u32, u32> = Default::default();
+            for &b in &self.free_blocks {
+                if !self.chip.is_bad(b) {
+                    *free_in_group.entry(b / planes).or_default() += 1;
+                }
+            }
+            // A trailing partial group never reaches `planes` members and
+            // is naturally excluded.
+            let aligned = self
+                .free_blocks
+                .iter()
+                .map(|&b| b / planes)
+                .find(|gid| free_in_group.get(gid) == Some(&planes));
+            if let Some(gid) = aligned {
+                let members: Vec<u32> = (gid * planes..(gid + 1) * planes).collect();
+                self.free_blocks.retain(|b| !members.contains(b));
+                for &b in &members {
+                    self.blocks[b as usize].state = BlockState::Active;
+                    self.blocks[b as usize].used = 0;
+                }
+                self.active = Some(ActiveGroup {
+                    blocks: members,
+                    next: 0,
+                });
+                return Ok(());
+            }
+        }
+        loop {
+            let b = self.free_blocks.pop_front().ok_or(FtlError::DeviceFull)?;
+            if self.chip.is_bad(b) {
+                continue; // retired block: capacity silently shrinks
+            }
+            self.blocks[b as usize].state = BlockState::Active;
+            self.blocks[b as usize].used = 0;
+            self.active = Some(ActiveGroup {
+                blocks: vec![b],
+                next: 0,
+            });
+            return Ok(());
         }
     }
 
@@ -557,6 +680,12 @@ impl<C: Nand> Ftl<C> {
             self.blocks[victim as usize].state,
             BlockState::Closed,
             "reclaim of a non-closed block"
+        );
+        // The pairing window drains before a block closes, so a victim can
+        // never hold a staged-but-unprogrammed page.
+        debug_assert!(
+            self.staged.as_ref().is_none_or(|s| s.ppa.block != victim),
+            "reclaim of the staged write's block"
         );
         let pages = self.chip.geometry().pages_per_block;
         while job.next_page < pages {
@@ -723,7 +852,7 @@ impl<C: Nand> Ftl<C> {
         self.ensure_free_space()?;
         let ppa = self.allocate()?;
         let oob = codec.encode_oob(data);
-        self.chip.program_page(ppa, data, &oob)?;
+        self.program_or_stage(lba, ppa, data, oob)?;
         if let Some(old) = self.l2p[lba as usize].replace(ppa) {
             self.invalidate(old);
             self.stats.page_invalidations += 1;
@@ -731,6 +860,66 @@ impl<C: Nand> Ftl<C> {
         let info = &mut self.blocks[ppa.block as usize];
         info.owner[ppa.page as usize] = Some(lba);
         info.valid += 1;
+        Ok(())
+    }
+
+    /// The plane-pairing window. On a one-plane chip, program now (no
+    /// copy, no staging — the historic path). On a multi-plane chip:
+    /// complete a staged partner into one multi-plane command when the
+    /// new slot aligns with it, otherwise flush the partner single-plane
+    /// and park the newcomer for the next write.
+    fn program_or_stage(&mut self, lba: Lba, ppa: Ppa, data: &[u8], oob: Vec<u8>) -> Result<()> {
+        let g = self.chip.geometry();
+        if g.planes <= 1 {
+            return self.chip.program_page(ppa, data, &oob).map_err(Into::into);
+        }
+        if let Some(partner) = self.staged.take() {
+            if g.plane_aligned(partner.ppa, ppa) {
+                let pages = [
+                    MultiPlaneWrite {
+                        ppa: partner.ppa,
+                        data: &partner.data,
+                        oob: &partner.oob,
+                    },
+                    MultiPlaneWrite {
+                        ppa,
+                        data,
+                        oob: &oob,
+                    },
+                ];
+                self.chip.multi_plane_program(&pages)?;
+                self.stats.multi_plane_pairs += 1;
+                return Ok(());
+            }
+            self.chip
+                .program_page(partner.ppa, &partner.data, &partner.oob)?;
+        }
+        self.staged = Some(StagedWrite {
+            lba,
+            ppa,
+            data: data.to_vec(),
+            oob,
+        });
+        Ok(())
+    }
+
+    /// Flush the pairing window: issue the parked single-plane program,
+    /// if any. Called internally whenever something must observe the
+    /// staged page on flash; public so barrier-style consumers (a device
+    /// sync, a bench comparing flash counters) can settle the last write.
+    pub fn drain_staged(&mut self) -> Result<()> {
+        if let Some(s) = self.staged.take() {
+            self.chip.program_page(s.ppa, &s.data, &s.oob)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the pairing window before any operation that must observe
+    /// `lba`'s bytes on flash (reads, overwrites, appends, trims).
+    fn drain_staged_for(&mut self, lba: Lba) -> Result<()> {
+        if self.staged.as_ref().is_some_and(|s| s.lba == lba) {
+            self.drain_staged()?;
+        }
         Ok(())
     }
 }
@@ -763,6 +952,7 @@ impl<C: Nand> BlockDevice for Ftl<C> {
                 got: buf.len(),
             });
         }
+        self.drain_staged_for(lba)?;
         let ppa = self.l2p[lba as usize].ok_or(FtlError::UnmappedLba(lba))?;
         let img = self.chip.read_page(ppa)?;
         buf.copy_from_slice(&img.data);
@@ -787,6 +977,7 @@ impl<C: Nand> BlockDevice for Ftl<C> {
                 got: data.len(),
             });
         }
+        self.drain_staged_for(lba)?;
         let codec = self.codec_for(lba);
         self.stats.host_writes += 1;
         self.stats.bytes_host_written += data.len() as u64;
@@ -806,6 +997,7 @@ impl<C: Nand> BlockDevice for Ftl<C> {
 
     fn trim(&mut self, lba: Lba) -> Result<()> {
         self.check_lba(lba)?;
+        self.drain_staged_for(lba)?;
         if let Some(ppa) = self.l2p[lba as usize].take() {
             self.invalidate(ppa);
             self.stats.page_invalidations += 1;
@@ -837,6 +1029,7 @@ impl<C: Nand> BlockDevice for Ftl<C> {
 impl<C: Nand> NativeFlashDevice for Ftl<C> {
     fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
         self.check_lba(lba)?;
+        self.drain_staged_for(lba)?;
         let ppa = self.l2p[lba as usize].ok_or(FtlError::UnmappedLba(lba))?;
         let layout = self
             .layout_for(lba)
@@ -1328,6 +1521,144 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    fn plane_chip(planes: u32) -> FlashChip {
+        FlashChip::new(
+            DeviceConfig::new(
+                Geometry::new(16, 8, 2048, 64).with_planes(planes),
+                FlashMode::Slc,
+            )
+            .with_disturb(DisturbRates::none()),
+        )
+    }
+
+    #[test]
+    fn consecutive_writes_pair_into_multi_plane_programs() {
+        let mut ftl = Ftl::new(plane_chip(2), FtlConfig::traditional());
+        let data = vec![0x5Au8; 2048];
+        for lba in 0..8u64 {
+            ftl.write(lba, &data).unwrap();
+        }
+        let d = ftl.device_stats();
+        let f = ftl.flash_stats();
+        assert!(
+            d.multi_plane_pairs >= 3,
+            "a write burst must pair almost every slot: {d:?}"
+        );
+        assert_eq!(f.multi_plane_programs, d.multi_plane_pairs);
+        // Everything reads back (including a possibly still-staged tail).
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..8u64 {
+            ftl.read(lba, &mut buf).unwrap();
+            assert_eq!(buf, data);
+        }
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn staged_write_is_drained_by_reads_overwrites_and_trims() {
+        let mut ftl = Ftl::new(plane_chip(2), FtlConfig::traditional());
+        let a = vec![0x11u8; 2048];
+        let b = vec![0x22u8; 2048];
+        // Lone write: parked in the pairing window, flash page untouched.
+        ftl.write(0, &a).unwrap();
+        assert!(ftl.staged.is_some(), "a lone write stages");
+        let mut buf = vec![0u8; 2048];
+        ftl.read(0, &mut buf).unwrap();
+        assert_eq!(buf, a, "read drains the window first");
+        assert!(ftl.staged.is_none());
+
+        // Overwrite of the staged LBA: drain, then the overwrite proceeds.
+        ftl.write(1, &a).unwrap();
+        assert!(ftl.staged.is_some());
+        ftl.write(1, &b).unwrap();
+        ftl.read(1, &mut buf).unwrap();
+        assert_eq!(buf, b);
+
+        // Trim of a staged LBA leaves it unmapped, not resurrected.
+        ftl.write(2, &a).unwrap();
+        ftl.trim(2).unwrap();
+        assert!(matches!(
+            ftl.read(2, &mut buf),
+            Err(FtlError::UnmappedLba(2))
+        ));
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn plane_churn_with_gc_matches_single_plane_logical_state() {
+        // The same op stream on a 1-plane and a 2-plane chip (identical
+        // block count) must expose identical host-visible bytes, straight
+        // through GC over plane-local victims and pairing windows.
+        let run = |planes: u32| -> Vec<Vec<u8>> {
+            let mut ftl = Ftl::new(plane_chip(planes), FtlConfig::traditional());
+            for i in 0..700u64 {
+                let data = vec![((i * 13) % 251) as u8; 2048];
+                ftl.write(i % 10, &data).unwrap();
+                if i % 7 == 0 {
+                    let mut buf = vec![0u8; 2048];
+                    ftl.read(i % 10, &mut buf).unwrap();
+                }
+                if i % 97 == 0 {
+                    ftl.check_invariants();
+                }
+            }
+            assert!(ftl.device_stats().gc_erases > 0, "churn must trip GC");
+            (0..10u64)
+                .map(|lba| {
+                    let mut buf = vec![0u8; 2048];
+                    ftl.read(lba, &mut buf).unwrap();
+                    buf
+                })
+                .collect()
+        };
+        let single = run(1);
+        assert_eq!(single, run(2));
+        assert_eq!(single, run(4));
+    }
+
+    #[test]
+    fn paired_writes_double_program_bandwidth() {
+        // The tentpole's point at FTL level: the same write burst finishes
+        // in well under the single-plane time.
+        let elapsed = |planes: u32| -> u64 {
+            let mut ftl = Ftl::new(plane_chip(planes), FtlConfig::traditional());
+            let data = vec![0x3Cu8; 2048];
+            for lba in 0..32u64 {
+                ftl.write(lba, &data).unwrap();
+            }
+            ftl.drain_staged().unwrap(); // flush the tail: comparable times
+            ftl.elapsed_ns()
+        };
+        let single = elapsed(1);
+        let dual = elapsed(2);
+        assert!(
+            2 * single >= 3 * dual,
+            "2 planes must be ≥1.5× program bandwidth: {dual} vs {single} ns"
+        );
+    }
+
+    #[test]
+    fn background_gc_steps_stay_correct_on_multi_plane_chips() {
+        let mut ftl = Ftl::new(plane_chip(2), FtlConfig::traditional().with_background_gc());
+        let data = vec![0x44u8; 2048];
+        let mut i = 0u64;
+        while ftl.free_block_count() >= ftl.gc_low_water() {
+            ftl.write(i % 8, &data).unwrap();
+            i += 1;
+        }
+        let low = ftl.gc_low_water();
+        while ftl.gc_pending(low) {
+            ftl.background_gc_step(low).unwrap();
+            ftl.check_invariants();
+        }
+        assert!(ftl.device_stats().background_gc_erases > 0);
+        let mut buf = vec![0u8; 2048];
+        for lba in 0..8u64 {
+            ftl.read(lba, &mut buf).unwrap();
+            assert_eq!(buf, data);
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct DeviceStats {
     pub in_place_appends: u64,
     /// Writes that allocated a fresh physical page.
     pub out_of_place_writes: u64,
+    /// Out-of-place write pairs the plane-aware allocator completed as
+    /// one multi-plane program command (two host writes, one staircase).
+    pub multi_plane_pairs: u64,
     /// Previously valid physical pages invalidated by host writes.
     pub page_invalidations: u64,
     /// Valid pages copied by the garbage collector.
@@ -78,6 +81,7 @@ impl DeviceStats {
             host_write_deltas: self.host_write_deltas + other.host_write_deltas,
             in_place_appends: self.in_place_appends + other.in_place_appends,
             out_of_place_writes: self.out_of_place_writes + other.out_of_place_writes,
+            multi_plane_pairs: self.multi_plane_pairs + other.multi_plane_pairs,
             page_invalidations: self.page_invalidations + other.page_invalidations,
             gc_page_migrations: self.gc_page_migrations + other.gc_page_migrations,
             gc_erases: self.gc_erases + other.gc_erases,
@@ -98,6 +102,7 @@ impl DeviceStats {
             host_write_deltas: self.host_write_deltas - earlier.host_write_deltas,
             in_place_appends: self.in_place_appends - earlier.in_place_appends,
             out_of_place_writes: self.out_of_place_writes - earlier.out_of_place_writes,
+            multi_plane_pairs: self.multi_plane_pairs - earlier.multi_plane_pairs,
             page_invalidations: self.page_invalidations - earlier.page_invalidations,
             gc_page_migrations: self.gc_page_migrations - earlier.gc_page_migrations,
             gc_erases: self.gc_erases - earlier.gc_erases,

@@ -215,6 +215,54 @@ mod tests {
     }
 
     #[test]
+    fn background_reclaim_stays_correct_over_plane_local_victims() {
+        // Multi-plane dies under the scheduler: reclaim steps pick
+        // plane-local victims (single blocks of a plane) while the write
+        // path keeps pairing into multi-plane programs; data must survive.
+        let chip = DeviceConfig::new(
+            Geometry::new(16, 8, 2048, 64).with_planes(2),
+            FlashMode::Slc,
+        )
+        .with_disturb(DisturbRates::none());
+        let mut dev = MaintainedFtl::new(
+            ShardedFtl::new(
+                ControllerConfig::new(2, 2, chip),
+                FtlConfig::traditional().with_background_gc(),
+                StripePolicy::RoundRobin,
+            ),
+            MaintConfig::default(),
+        );
+        // Burst-style churn: rounds of 32 writes then 32 reads, so each
+        // die sees consecutive writes (the shape that pairs) while reads
+        // keep draining the windows and idling the dies for the scheduler.
+        let mut buf = vec![0u8; 2048];
+        for round in 0..75u64 {
+            for lba in 0..32u64 {
+                dev.write(lba, &vec![((round * 32 + lba) % 251) as u8; 2048])
+                    .unwrap();
+            }
+            for lba in 0..32u64 {
+                dev.read(lba, &mut buf).unwrap();
+            }
+        }
+        let m = dev.maint_stats();
+        let d = dev.device_stats();
+        assert!(m.erases > 0, "scheduler must reclaim: {m}");
+        assert!(
+            d.multi_plane_pairs > 0,
+            "the write path must still pair on planes: {d:?}"
+        );
+        dev.check_invariants();
+        for lba in 0..32u64 {
+            dev.read(lba, &mut buf).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == ((74 * 32 + lba) % 251) as u8),
+                "lba {lba} corrupted"
+            );
+        }
+    }
+
+    #[test]
     fn wrapper_is_transparent_to_the_block_contract() {
         let mut dev = maintained(1, 2, None);
         assert_eq!(dev.page_size(), 2048);

@@ -103,16 +103,18 @@ pub fn heap_engine(strategy: WriteStrategy, scheme: NmScheme, seed: u64) -> Stor
 
 /// Shared core of the striped heap-engine fixtures: the [`heap_engine`]
 /// table shape and pool size over `dies` dies (≤ 4 channels, then
-/// stacking dies per channel). The per-die geometry divides
-/// [`quiet_device`]'s blocks across the dies, keeping total raw capacity
-/// comparable at every die count. `maint = Some(queue_cap)` wraps the
-/// stripe in an `ipa-maint` background scheduler (with that optional NCQ
-/// cap); `None` keeps the historic inline-GC device.
+/// stacking dies per channel) with `planes` planes per die. The per-die
+/// geometry divides [`quiet_device`]'s blocks across the dies, keeping
+/// total raw capacity comparable at every die count. `maint =
+/// Some(queue_cap)` wraps the stripe in an `ipa-maint` background
+/// scheduler (with that optional NCQ cap); `None` keeps the historic
+/// inline-GC device.
 fn striped_heap_engine(
     strategy: WriteStrategy,
     scheme: NmScheme,
     seed: u64,
     dies: u32,
+    planes: u32,
     policy: StripePolicy,
     maint: Option<Option<usize>>,
 ) -> StorageEngine {
@@ -121,11 +123,12 @@ fn striped_heap_engine(
     let dies_per_channel = dies / channels;
     let base = quiet_device(seed).geometry;
     let per_die = Geometry::new(
-        (base.blocks / dies).max(12),
+        (base.blocks / dies).max(12).next_multiple_of(planes),
         base.pages_per_block,
         base.page_size,
         base.oob_size,
-    );
+    )
+    .with_planes(planes);
     let chip = quiet_device(seed).with_geometry(per_die);
     let mut controller = ControllerConfig::new(channels, dies_per_channel, chip);
     if let Some(Some(cap)) = maint {
@@ -169,7 +172,41 @@ pub fn sharded_heap_engine(
     dies: u32,
     policy: StripePolicy,
 ) -> StorageEngine {
-    striped_heap_engine(strategy, scheme, seed, dies, policy, None)
+    striped_heap_engine(strategy, scheme, seed, dies, 1, policy, None)
+}
+
+/// [`sharded_heap_engine`] with a plane axis: `planes` planes per die, so
+/// plane-parity suites can sweep the full dies × planes matrix without
+/// hand-wiring controller configs.
+pub fn sharded_plane_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    planes: u32,
+    policy: StripePolicy,
+) -> StorageEngine {
+    striped_heap_engine(strategy, scheme, seed, dies, planes, policy, None)
+}
+
+/// A single scheduled die with `planes` planes — the minimal multi-plane
+/// engine: every throughput difference against [`heap_engine`]-shaped
+/// runs comes from plane pairing alone, not die or channel parallelism.
+pub fn multi_plane_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    planes: u32,
+) -> StorageEngine {
+    striped_heap_engine(
+        strategy,
+        scheme,
+        seed,
+        1,
+        planes,
+        StripePolicy::RoundRobin,
+        None,
+    )
 }
 
 /// [`sharded_heap_engine`]'s background-maintenance twin: the identical
@@ -185,7 +222,29 @@ pub fn maintained_heap_engine(
     policy: StripePolicy,
     queue_cap: Option<usize>,
 ) -> StorageEngine {
-    striped_heap_engine(strategy, scheme, seed, dies, policy, Some(queue_cap))
+    striped_heap_engine(strategy, scheme, seed, dies, 1, policy, Some(queue_cap))
+}
+
+/// [`maintained_heap_engine`] with a plane axis, for suites that check
+/// background reclaim over plane-local victims end-to-end.
+pub fn maintained_plane_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    planes: u32,
+    policy: StripePolicy,
+    queue_cap: Option<usize>,
+) -> StorageEngine {
+    striped_heap_engine(
+        strategy,
+        scheme,
+        seed,
+        dies,
+        planes,
+        policy,
+        Some(queue_cap),
+    )
 }
 
 #[cfg(test)]
@@ -201,6 +260,36 @@ mod tests {
         let ea = heap_engine(WriteStrategy::IpaNative, NmScheme::new(2, 4), 7);
         let eb = heap_engine(WriteStrategy::IpaNative, NmScheme::new(2, 4), 7);
         assert_eq!(ea.stats().device.host_writes, eb.stats().device.host_writes);
+    }
+
+    #[test]
+    fn multi_plane_fixture_pairs_on_a_write_burst() {
+        let mut e = multi_plane_engine(WriteStrategy::Traditional, NmScheme::disabled(), 11, 2);
+        let t = e.table("m").unwrap();
+        // Enough rows to dirty many 8 KB heap pages, so evictions and the
+        // final flush emit consecutive out-of-place writes.
+        let tx = e.begin();
+        for i in 0..2000u64 {
+            let mut row = [0u8; crate::ops::ROW];
+            row[..8].copy_from_slice(&i.to_le_bytes());
+            e.insert(tx, t, &row).unwrap();
+        }
+        e.commit(tx).unwrap();
+        e.flush_all().unwrap();
+        assert!(
+            e.stats().device.multi_plane_pairs > 0,
+            "a flush burst through the 2-plane fixture must pair"
+        );
+        // And the single-plane fixture, by construction, never does.
+        let single = sharded_plane_engine(
+            WriteStrategy::Traditional,
+            NmScheme::disabled(),
+            11,
+            2,
+            1,
+            StripePolicy::RoundRobin,
+        );
+        assert_eq!(single.stats().device.multi_plane_pairs, 0);
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub mod ops;
 
 pub use check::{assert_strategies_agree, quick_run};
 pub use fixtures::{
-    all_strategies, engine, heap_engine, ipa_strategies, maintained_heap_engine, quiet_device,
-    quiet_slc, sharded_heap_engine, small_chip, small_pool, traditional_ftl,
+    all_strategies, engine, heap_engine, ipa_strategies, maintained_heap_engine,
+    maintained_plane_engine, multi_plane_engine, quiet_device, quiet_slc, sharded_heap_engine,
+    sharded_plane_engine, small_chip, small_pool, traditional_ftl,
 };
 pub use ops::{synthetic_trace, ModelHarness};

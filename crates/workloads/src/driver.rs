@@ -56,11 +56,14 @@ impl LatencyPercentiles {
 }
 
 /// A controller topology for benchmark runs: how many channels and dies
-/// the device spreads over, and how LBAs stripe onto them.
+/// the device spreads over, how many planes each die splits into, and
+/// how LBAs stripe onto the dies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     pub channels: u32,
     pub dies_per_channel: u32,
+    /// Planes per die (multi-plane program pairing); 1 = classic dies.
+    pub planes: u32,
     pub policy: StripePolicy,
 }
 
@@ -69,6 +72,7 @@ impl Topology {
         Topology {
             channels,
             dies_per_channel,
+            planes: 1,
             policy,
         }
     }
@@ -76,6 +80,14 @@ impl Topology {
     /// The 1 × 1 baseline every sweep compares against.
     pub fn single() -> Self {
         Topology::new(1, 1, StripePolicy::RoundRobin)
+    }
+
+    /// Split every die into `planes` planes. Channels × dies are
+    /// untouched, so a plane sweep varies per-die pairing alone.
+    pub fn with_planes(mut self, planes: u32) -> Self {
+        assert!(planes >= 1, "a die has at least one plane");
+        self.planes = planes;
+        self
     }
 
     #[inline]
@@ -95,7 +107,11 @@ impl std::fmt::Display for Topology {
                 StripePolicy::RoundRobin => "rr",
                 StripePolicy::Hash => "hash",
             }
-        )
+        )?;
+        if self.planes > 1 {
+            write!(f, "×{}p", self.planes)?;
+        }
+        Ok(())
     }
 }
 
@@ -295,6 +311,16 @@ impl RunResult {
     /// Table 1's "GC Erases per Host Write".
     pub fn erases_per_host_write(&self) -> f64 {
         self.device.erases_per_host_write()
+    }
+
+    /// Page programs (first-time + in-place) per simulated second — the
+    /// plane-scaling sweep's program-bandwidth metric.
+    pub fn programs_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.flash.total_programs() as f64 / (self.elapsed_ns as f64 / 1e9)
+        }
     }
 }
 
@@ -557,8 +583,12 @@ impl Driver {
         let ppb = 128u32;
         let usable_ppb = mode.usable_pages_per_block(ppb) as u64;
         let dies = topology.dies() as u64;
-        let blocks_per_die = ((pages_needed * 14 / 10).div_ceil(usable_ppb * dies)) as u32 + 8;
-        let chip = DeviceConfig::new(Geometry::new(blocks_per_die, ppb, page_size, 128), mode);
+        let blocks_per_die = (((pages_needed * 14 / 10).div_ceil(usable_ppb * dies)) as u32 + 8)
+            .next_multiple_of(topology.planes);
+        let chip = DeviceConfig::new(
+            Geometry::new(blocks_per_die, ppb, page_size, 128).with_planes(topology.planes),
+            mode,
+        );
         let mut controller =
             ControllerConfig::new(topology.channels, topology.dies_per_channel, chip);
         if let Some(cap) = maint.queue_cap {

@@ -36,6 +36,7 @@
 //! ).unwrap();
 //! assert!(ipa.device.page_invalidations <= trad.device.page_invalidations);
 //! ```
+pub use ipa_controller as controller;
 pub use ipa_core as core;
 pub use ipa_flash as flash;
 pub use ipa_ftl as ftl;
