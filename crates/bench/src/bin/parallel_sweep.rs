@@ -15,12 +15,23 @@
 //! Usage:
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
 //!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
-//!       [--maint-tx=N] [--cap=1] [--planes=N] [--csv <path>]
+//!       [--maint-tx=N] [--cap=1] [--planes=N] [--readahead[=W]] \
+//!       [--wal-stripe[=C]] [--csv <path>]
 //!
 //! `--planes=N` (N > 1) appends a plane-scaling section: the write-heavy
 //! traditional path on fixed channels × dies, planes swept over
 //! {1, 2, …, N} (powers of two), reporting program throughput — the
 //! multi-plane command subsystem's 2×-per-die bandwidth claim.
+//!
+//! `--readahead[=W]` (default window 8) appends the sequential-scan
+//! sweep: a cold full-table scan on the widest topology with and without
+//! the buffer pool's stripe-aware read-ahead — the all-channels-scan win
+//! of the queued I/O API. Exits non-zero below 1.5× speedup.
+//!
+//! `--wal-stripe[=C]` (default 4 channels) appends the WAL sweep: a
+//! WAL-bound TPC-B config (group commit 1) with the historic single-chip
+//! log vs the log striped over its own C-channel controller, group-commit
+//! flushes submitted as one vectored write.
 //!
 //! `--csv` writes every row (all sections) as machine-readable CSV for
 //! the perf trajectory.
@@ -52,10 +63,15 @@ fn csv_row(
     out.push_str(&format!(
         "{section},{topo},{planes},{gc},{cap},{workload},{tps:.1},{speedup:.3},{p50},{p99},\
          {p999},{max},{wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},\
-         {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs}\n",
+         {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs},\
+         {vectored_reads},{vectored_writes},{readahead_hits},{wal_stripe_writes}\n",
         planes = topo.planes,
         programs_per_sec = r.programs_per_sec(),
         mp_pairs = r.device.multi_plane_pairs,
+        vectored_reads = r.device.vectored_reads,
+        vectored_writes = r.device.vectored_writes,
+        readahead_hits = r.device.readahead_hits,
+        wal_stripe_writes = r.wal_device.map(|w| w.wal_stripe_writes).unwrap_or(0),
         gc = if maint.background_gc {
             "background"
         } else {
@@ -90,11 +106,22 @@ fn main() {
     let maint_tx: u64 = ipa_bench::arg("maint-tx", tx * 16);
     let cap: usize = ipa_bench::arg("cap", 1);
     let planes: u32 = ipa_bench::arg("planes", 1);
+    let readahead: usize = if ipa_bench::flag("readahead") {
+        ipa_bench::arg("readahead", 8)
+    } else {
+        0
+    };
+    let wal_stripe: u32 = if ipa_bench::flag("wal-stripe") {
+        ipa_bench::arg("wal-stripe", 4)
+    } else {
+        0
+    };
     let csv_path = ipa_bench::str_arg("csv");
     let mut csv = String::from(
         "section,topology,planes,gc_mode,queue_cap,workload,tps,speedup,p50_ns,p99_ns,p999_ns,\
          max_ns,mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
-         busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs\n",
+         busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs,\
+         vectored_reads,vectored_writes,readahead_hits,wal_stripe_writes\n",
     );
 
     let topologies = [
@@ -345,6 +372,152 @@ fn main() {
                     pps / base,
                 );
                 p *= 2;
+            }
+        }
+        ipa_bench::rule(118);
+    }
+
+    // ── Sequential-scan read-ahead sweep ─────────────────────────────
+    // Cold full-table scans on the widest topology: the same table, with
+    // and without the buffer pool's stripe-aware read-ahead. Round-robin
+    // striping puts LBA k+1 on the next channel, so the posted prefetch
+    // vectors keep every channel busy — the queued API's read-side win.
+    if readahead > 0 {
+        let scan_topo = Topology::new(4, 2, StripePolicy::RoundRobin);
+        let base_cfg = DriverConfig::default().with_seed(seed);
+        let ra_cfg = base_cfg.clone().with_readahead(readahead);
+        println!(
+            "sequential-scan sweep — cold full-table scan on {scan_topo}, read-ahead window {readahead}"
+        );
+        ipa_bench::rule(118);
+        println!(
+            "{:<14}{:>10}{:>9}{:>15}{:>15}{:>10}{:>10}{:>12}",
+            "topology",
+            "workload",
+            "pages",
+            "pages/s (off)",
+            "pages/s (on)",
+            "speedup",
+            "ra hits",
+            "vec reads"
+        );
+        ipa_bench::rule(118);
+        for kind in workloads {
+            let off = Driver::run_scan(kind, scale, scan_topo, 2, &base_cfg).expect("scan run");
+            let on = Driver::run_scan(kind, scale, scan_topo, 2, &ra_cfg).expect("scan run");
+            let speedup = off.elapsed_ns as f64 / on.elapsed_ns as f64;
+            println!(
+                "{:<14}{:>10}{:>9}{:>15.0}{:>15.0}{:>9.2}x{:>10}{:>12}",
+                scan_topo.to_string(),
+                kind.name(),
+                on.pages,
+                off.pages_per_sec(),
+                on.pages_per_sec(),
+                speedup,
+                on.readahead_hits,
+                on.vectored_reads,
+            );
+            csv.push_str(&format!(
+                "scan,{scan_topo},{planes},inline,,{workload},{pps:.1},{speedup:.3},0,0,0,0,0.0,\
+                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0\n",
+                planes = scan_topo.planes,
+                workload = kind.name(),
+                pps = on.pages_per_sec(),
+                vr = on.vectored_reads,
+                rah = on.readahead_hits,
+            ));
+            if speedup < 1.5 {
+                println!("  -> sequential-scan speedup {speedup:.2}x < 1.5x: FAIL");
+                exit = 1;
+            } else {
+                println!("  -> sequential-scan speedup {speedup:.2}x >= 1.5x: PASS");
+            }
+        }
+        ipa_bench::rule(118);
+    }
+
+    // ── WAL striping sweep ───────────────────────────────────────────
+    // A WAL-bound config (group commit 1: every commit waits on the log)
+    // on the widest data topology: the historic single-chip log device vs
+    // the log striped over its own controller, group-commit flushes going
+    // out as one vectored write across its channels.
+    if wal_stripe > 0 {
+        let wal_group: u32 = ipa_bench::arg("wal-group", 1);
+        let wide = Topology::new(4, 2, StripePolicy::RoundRobin);
+        let wal_cfg = DriverConfig::default()
+            .with_transactions(tx)
+            .with_seed(seed)
+            .with_streams(streams)
+            .with_group_commit(wal_group);
+        println!(
+            "WAL sweep — IPA-native on {wide}, group commit {wal_group} (WAL-bound), single-chip log vs {wal_stripe}-channel striped log"
+        );
+        ipa_bench::rule(118);
+        println!(
+            "{:<14}{:>10}{:>10}{:>10}{:>14}{:>16}{:>14}",
+            "log device", "workload", "tps", "speedup", "p99 µs", "stripe flushes", "vec writes"
+        );
+        ipa_bench::rule(118);
+        for kind in workloads {
+            let single = Driver::run_sharded(
+                kind,
+                scale,
+                WriteStrategy::IpaNative,
+                NmScheme::new(2, 4),
+                FlashMode::PSlc,
+                wide,
+                &wal_cfg,
+            )
+            .expect("wal run");
+            let striped_cfg = wal_cfg.clone().with_wal_stripe(wal_stripe, 1);
+            let striped = Driver::run_sharded(
+                kind,
+                scale,
+                WriteStrategy::IpaNative,
+                NmScheme::new(2, 4),
+                FlashMode::PSlc,
+                wide,
+                &striped_cfg,
+            )
+            .expect("wal run");
+            for (label, r, speedup) in [
+                ("single-chip", &single, 1.0),
+                ("striped", &striped, striped.tps / single.tps),
+            ] {
+                let w = r.wal_device.unwrap_or_default();
+                println!(
+                    "{:<14}{:>10}{:>10.0}{:>9.2}x{:>14.1}{:>16}{:>14}",
+                    label,
+                    kind.name(),
+                    r.tps,
+                    speedup,
+                    r.latency.p99_ns as f64 / 1e3,
+                    w.wal_stripe_writes,
+                    w.vectored_writes,
+                );
+                csv.push_str(&format!(
+                    "wal,{wide},{planes},inline,,{workload},{tps:.1},{speedup:.3},{p50},{p99},\
+                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw}\n",
+                    planes = wide.planes,
+                    workload = kind.name(),
+                    tps = r.tps,
+                    p50 = r.latency.p50_ns,
+                    p99 = r.latency.p99_ns,
+                    p999 = r.latency.p999_ns,
+                    max = r.latency.max_ns,
+                    vw = w.vectored_writes,
+                    wsw = w.wal_stripe_writes,
+                ));
+            }
+            let s = striped.tps / single.tps;
+            if s > 1.0 {
+                println!(
+                    "  -> striped WAL lifts WAL-bound {} throughput {s:.2}x: PASS",
+                    kind.name()
+                );
+            } else {
+                println!("  -> striped WAL no win on {} ({s:.2}x): FAIL", kind.name());
+                exit = 1;
             }
         }
         ipa_bench::rule(118);

@@ -49,6 +49,14 @@ pub fn str_arg(name: &str) -> Option<String> {
     None
 }
 
+/// Is a `--name` flag present in argv, in either its bare (`--name`) or
+/// valued (`--name=value`) spelling?
+pub fn flag(name: &str) -> bool {
+    let eq_prefix = format!("--{name}=");
+    let bare = format!("--{name}");
+    std::env::args().any(|a| a == bare || a.starts_with(&eq_prefix))
+}
+
 /// Relative change in percent, paper-style (negative = reduction).
 pub fn pct(new: f64, old: f64) -> f64 {
     if old == 0.0 {

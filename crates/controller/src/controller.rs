@@ -72,6 +72,14 @@ pub struct FlashController {
     /// gates internal dispatch on die idleness, and charging firmware
     /// copy-backs to the host clock would corrupt the timing model.
     internal_depth: u32,
+    /// Nesting depth of posted-read windows. While positive, host reads
+    /// do *not* advance the host clock — every member of a vectored read
+    /// issues from the same submission instant — and their completion
+    /// times accumulate into `posted_read_horizon` instead, which the
+    /// window's closer surfaces as the vector's completion time.
+    posted_read_depth: u32,
+    /// Latest completion inside the current posted-read window.
+    posted_read_horizon: u64,
     stats: ControllerStats,
 }
 
@@ -92,6 +100,8 @@ impl FlashController {
             channels,
             host: SimClock::new(),
             internal_depth: 0,
+            posted_read_depth: 0,
+            posted_read_horizon: 0,
             stats: ControllerStats::default(),
         }
     }
@@ -190,6 +200,28 @@ impl FlashController {
     pub fn end_internal(&mut self) {
         debug_assert!(self.internal_depth > 0, "unbalanced end_internal");
         self.internal_depth = self.internal_depth.saturating_sub(1);
+    }
+
+    /// Open a posted-read window: until the matching
+    /// [`FlashController::end_posted_reads`], host reads are *posted* —
+    /// they issue from the current submission instant without advancing
+    /// the host clock, so the members of a vectored read overlap across
+    /// dies and channels exactly like posted programs do. Nests.
+    pub fn begin_posted_reads(&mut self) {
+        if self.posted_read_depth == 0 {
+            self.posted_read_horizon = self.host.now_ns();
+        }
+        self.posted_read_depth += 1;
+    }
+
+    /// Close a posted-read window, surfacing the completion horizon: the
+    /// device time at which the last read issued inside the window has
+    /// its data ready. The host clock is untouched — the caller decides
+    /// when (or whether) to wait, via the queue's `poll`.
+    pub fn end_posted_reads(&mut self) -> u64 {
+        debug_assert!(self.posted_read_depth > 0, "unbalanced end_posted_reads");
+        self.posted_read_depth = self.posted_read_depth.saturating_sub(1);
+        self.posted_read_horizon
     }
 
     /// Per-die utilisation counters.
@@ -318,7 +350,14 @@ impl FlashController {
         self.dies[d].clock.advance_to(done);
         self.channels[ch].advance_to(done);
         if sync_host {
-            self.host.advance_to(done);
+            if self.posted_read_depth > 0 {
+                // Posted-read window: the data is in flight; record when
+                // it lands instead of stalling the submitting clock.
+                self.posted_read_horizon = self.posted_read_horizon.max(done);
+                self.stats.posted_reads += 1;
+            } else {
+                self.host.advance_to(done);
+            }
         }
         self.retire(d);
 
@@ -900,6 +939,52 @@ mod tests {
             h.multi_plane_read(&[Ppa::new(0, 2), Ppa::new(1, 3)]),
             Err(ipa_flash::FlashError::MultiPlaneMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn posted_read_window_surfaces_the_completion_horizon() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        let (data, oob) = page(&handles[0], 0xA5);
+        for h in handles.iter_mut() {
+            h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        }
+        ctrl.borrow_mut().sync();
+        let t0 = ctrl.borrow().host_ns();
+
+        // Two reads on two dies inside one window: neither advances the
+        // host clock; both issue from the same instant and the horizon
+        // reports when the later one lands.
+        ctrl.borrow_mut().begin_posted_reads();
+        handles[0].read_page(Ppa::new(0, 0)).unwrap();
+        handles[1].read_page(Ppa::new(0, 0)).unwrap();
+        let horizon = ctrl.borrow_mut().end_posted_reads();
+        let c = ctrl.borrow();
+        assert_eq!(c.host_ns(), t0, "posted reads leave the host clock");
+        assert!(horizon > t0, "the data lands later");
+        assert_eq!(c.stats().posted_reads, 2);
+        assert_eq!(c.stats().reads, 2, "posted reads are still reads");
+        // Overlap: two dies, one window — well under two serial reads.
+        drop(c);
+        let serial = {
+            let ctrl2 = FlashController::shared(cfg(2, 1));
+            let mut hs = FlashController::handles(&ctrl2);
+            let (d2, o2) = page(&hs[0], 0xA5);
+            for h in hs.iter_mut() {
+                h.program_page(Ppa::new(0, 0), &d2, &o2).unwrap();
+            }
+            ctrl2.borrow_mut().sync();
+            let s0 = ctrl2.borrow().host_ns();
+            hs[0].read_page(Ppa::new(0, 0)).unwrap();
+            hs[1].read_page(Ppa::new(0, 0)).unwrap();
+            let done = ctrl2.borrow().host_ns();
+            done - s0
+        };
+        assert!(
+            horizon - t0 < serial,
+            "windowed reads must overlap: {} vs {serial} ns",
+            horizon - t0
+        );
     }
 
     #[test]

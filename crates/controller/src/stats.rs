@@ -11,6 +11,11 @@ pub struct ControllerStats {
     pub commands: u64,
     /// Synchronous read commands (host blocked until data arrived).
     pub reads: u64,
+    /// Subset of `reads` issued inside a posted-read window (vectored
+    /// host reads / read-ahead): the host did not block at issue; the
+    /// completion time was surfaced through the queue instead.
+    #[serde(default)]
+    pub posted_reads: u64,
     /// Posted program/re-program/append commands.
     pub programs: u64,
     /// Posted erase commands.

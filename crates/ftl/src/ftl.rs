@@ -29,7 +29,9 @@ use ipa_flash::{
 };
 
 use crate::error::{FtlError, Lba, Result};
-use crate::interface::{BlockDevice, NativeFlashDevice};
+use crate::interface::{
+    BlockDevice, IoCompletion, IoQueue, IoRequest, IoToken, NativeFlashDevice, SubmissionState,
+};
 use crate::oob::OobCodec;
 use crate::region::RegionTable;
 use crate::stats::DeviceStats;
@@ -257,6 +259,8 @@ pub struct Ftl<C: Nand = FlashChip> {
     capacity: u64,
     usable_ppb: u32,
     stats: DeviceStats,
+    /// Queued-interface bookkeeping (tokens, buffered completions).
+    queue: SubmissionState,
     wear: Option<WearLeveler>,
     /// The in-flight background reclaim, when a maintenance scheduler is
     /// stepping this FTL. Victim selection must skip this block, and the
@@ -310,6 +314,7 @@ impl<C: Nand> Ftl<C> {
             capacity,
             usable_ppb,
             stats: DeviceStats::default(),
+            queue: SubmissionState::default(),
             wear,
             pending_job: None,
         }
@@ -903,6 +908,12 @@ impl<C: Nand> Ftl<C> {
         Ok(())
     }
 
+    /// Is a write parked in the plane-pairing window?
+    #[inline]
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
     /// Flush the pairing window: issue the parked single-plane program,
     /// if any. Called internally whenever something must observe the
     /// staged page on flash; public so barrier-style consumers (a device
@@ -1005,8 +1016,12 @@ impl<C: Nand> BlockDevice for Ftl<C> {
         Ok(())
     }
 
+    fn is_mapped(&self, lba: Lba) -> bool {
+        lba < self.capacity && self.l2p[lba as usize].is_some()
+    }
+
     fn device_stats(&self) -> DeviceStats {
-        self.stats
+        self.queue.fold_into(self.stats)
     }
 
     fn flash_stats(&self) -> FlashStats {
@@ -1092,6 +1107,62 @@ impl<C: Nand> NativeFlashDevice for Ftl<C> {
             }
             Err(e) => Err(e.into()),
         }
+    }
+}
+
+/// The queued face of a single flash target. There is no scheduler
+/// between the FTL and the chip here, so every request completes the
+/// moment it is submitted — `submitted_ns`/`done_ns` bracket the chip
+/// time the request consumed, and `poll` has nothing left to wait for.
+/// (The die-striped [`crate::ShardedFtl`] is where submission and
+/// completion genuinely separate.)
+impl<C: Nand> IoQueue for Ftl<C> {
+    fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
+        let submitted = self.chip.elapsed_ns();
+        let mut data = Vec::new();
+        match &req {
+            IoRequest::ReadV(lbas) => {
+                for &lba in lbas {
+                    let mut buf = vec![0u8; self.page_size()];
+                    BlockDevice::read(self, lba, &mut buf)?;
+                    data.push(buf);
+                }
+            }
+            IoRequest::WriteV(pages) => {
+                for (lba, page) in pages {
+                    BlockDevice::write(self, *lba, page)?;
+                }
+            }
+            IoRequest::WriteDelta { lba, offset, delta } => {
+                self.write_delta(*lba, *offset, delta)?;
+            }
+            IoRequest::Trim(lba) => self.trim(*lba)?,
+            IoRequest::Flush => self.drain_staged()?,
+        }
+        self.queue.count_request(&req);
+        let done = self.chip.elapsed_ns();
+        Ok(self.queue.complete(data, submitted, done))
+    }
+
+    fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {
+        self.queue.take(token)
+    }
+
+    fn sync(&mut self) -> u64 {
+        self.drain_staged().expect("draining a staged program");
+        self.chip.elapsed_ns()
+    }
+
+    fn forget(&mut self, token: IoToken) {
+        self.queue.forget(token);
+    }
+
+    fn note_readahead_hit(&mut self) {
+        self.queue.readahead_hits += 1;
+    }
+
+    fn note_wal_stripe_write(&mut self) {
+        self.queue.wal_stripe_writes += 1;
     }
 }
 
@@ -1659,6 +1730,61 @@ mod tests {
             ftl.read(lba, &mut buf).unwrap();
             assert_eq!(buf, data);
         }
+    }
+
+    #[test]
+    fn queued_face_completes_immediately_on_a_single_chip() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let pages: Vec<(Lba, Vec<u8>)> = (0..4).map(|i| (i, vec![i as u8; 2048])).collect();
+        let w = ftl.submit(IoRequest::WriteV(pages)).unwrap();
+        let wc = ftl.poll(w).expect("write completion");
+        assert!(wc.done_ns >= wc.submitted_ns);
+        assert!(wc.data.is_empty());
+
+        let r = ftl.submit(IoRequest::ReadV(vec![2, 0, 3])).unwrap();
+        let rc = ftl.poll(r).expect("read completion");
+        assert_eq!(rc.data.len(), 3);
+        assert_eq!(rc.data[0], vec![2u8; 2048]);
+        assert_eq!(rc.data[1], vec![0u8; 2048]);
+        assert_eq!(rc.data[2], vec![3u8; 2048]);
+        assert_eq!(
+            rc.done_ns,
+            ftl.elapsed_ns(),
+            "immediate completion: done is the chip clock"
+        );
+        assert!(ftl.poll(r).is_none(), "completions are taken once");
+
+        let t = ftl.submit(IoRequest::Trim(1)).unwrap();
+        ftl.forget(t);
+        let mut buf = vec![0u8; 2048];
+        assert!(matches!(
+            ftl.read(1, &mut buf),
+            Err(FtlError::UnmappedLba(1))
+        ));
+
+        let d = ftl.device_stats();
+        assert_eq!(d.vectored_writes, 1);
+        assert_eq!(d.vectored_reads, 1);
+        assert_eq!(d.host_writes, 4);
+    }
+
+    #[test]
+    fn queued_counters_ignore_single_page_vectors() {
+        let mut ftl = Ftl::new(chip(FlashMode::Slc), FtlConfig::traditional());
+        let w = ftl
+            .submit(IoRequest::WriteV(vec![(0, vec![7u8; 2048])]))
+            .unwrap();
+        ftl.poll(w).unwrap();
+        let r = ftl.submit(IoRequest::ReadV(vec![0])).unwrap();
+        ftl.poll(r).unwrap();
+        let d = ftl.device_stats();
+        assert_eq!(d.vectored_writes, 0, "a one-page vector is not vectored");
+        assert_eq!(d.vectored_reads, 0);
+        ftl.note_readahead_hit();
+        ftl.note_wal_stripe_write();
+        let d = ftl.device_stats();
+        assert_eq!(d.readahead_hits, 1);
+        assert_eq!(d.wal_stripe_writes, 1);
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //!
 //! which appends `delta_bytes` to the *same physical flash page* backing
 //! `LBA`, transferring only the delta.
+//!
+//! [`IoQueue`] is the queued (NVMe-style submission/completion) face of
+//! the same devices: the host posts an [`IoRequest`] — possibly vectored
+//! across many LBAs — receives an [`IoToken`], and later either `poll`s
+//! the token (waiting for the completion) or `sync`s the whole queue.
+//! The synchronous `read`/`write` calls are thin wrappers over this
+//! path, so the two interfaces always agree on device state.
+
+use std::collections::HashMap;
 
 use ipa_controller::ControllerStats;
 use ipa_core::PageLayout;
@@ -41,6 +50,175 @@ impl WriteStrategy {
     }
 }
 
+/// Opaque handle for a submitted [`IoRequest`], redeemed at
+/// [`IoQueue::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IoToken(pub u64);
+
+/// One queued host command. Vectored variants carry any number of pages;
+/// a one-element vector is exactly the classic single-page command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoRequest {
+    /// Read whole pages; the completion returns one buffer per LBA, in
+    /// request order. Posted: the submission clock does not wait for the
+    /// data — [`IoQueue::poll`] is the wait.
+    ReadV(Vec<Lba>),
+    /// Write whole pages (posted, like the sync `write`).
+    WriteV(Vec<(Lba, Vec<u8>)>),
+    /// Native IPA delta append (`write_delta`) as a queued command.
+    WriteDelta {
+        lba: Lba,
+        offset: usize,
+        delta: Vec<u8>,
+    },
+    /// Drop the mapping for an LBA.
+    Trim(Lba),
+    /// Settle acknowledged-but-unprogrammed device state (plane-pairing
+    /// windows) without merging clocks — a write barrier, not a time
+    /// barrier.
+    Flush,
+}
+
+/// What a finished [`IoRequest`] reports. Carries *both* clocks of the
+/// submission/completion contract: `submitted_ns` is the issuing client's
+/// logical now when the request was accepted, `done_ns` the device clock
+/// at which the last member physically completes. On an immediate-
+/// completion (single-chip) device the two describe the same walk; on a
+/// scheduled device `done_ns - submitted_ns` is the request's true
+/// device-side latency, which the old sync-only API could not express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoCompletion {
+    pub token: IoToken,
+    /// Pages read (`ReadV` only), in request order; empty otherwise.
+    pub data: Vec<Vec<u8>>,
+    /// Submission-side clock at acceptance.
+    pub submitted_ns: u64,
+    /// Device clock when the whole request is done (max over the per-die
+    /// completion times of a fanned-out vector).
+    pub done_ns: u64,
+}
+
+/// Token allocation, completion buffering and the queued-path counters
+/// shared by every native [`IoQueue`] implementation. The counters are
+/// folded into [`DeviceStats`] by `device_stats()` so hosts see them
+/// through the ordinary stats surface.
+#[derive(Debug, Default)]
+pub struct SubmissionState {
+    next: u64,
+    done: HashMap<u64, IoCompletion>,
+    /// `ReadV` submissions spanning more than one page.
+    pub vectored_reads: u64,
+    /// `WriteV` submissions spanning more than one page.
+    pub vectored_writes: u64,
+    /// Host-attributed: buffer-pool fetches served from a read-ahead
+    /// completion ([`IoQueue::note_readahead_hit`]).
+    pub readahead_hits: u64,
+    /// Host-attributed: WAL group-commit flushes submitted as one
+    /// multi-page vector ([`IoQueue::note_wal_stripe_write`]).
+    pub wal_stripe_writes: u64,
+}
+
+impl SubmissionState {
+    /// Record a finished request and hand out its token.
+    pub fn complete(&mut self, data: Vec<Vec<u8>>, submitted_ns: u64, done_ns: u64) -> IoToken {
+        let token = IoToken(self.next);
+        self.next += 1;
+        self.done.insert(
+            token.0,
+            IoCompletion {
+                token,
+                data,
+                submitted_ns,
+                done_ns,
+            },
+        );
+        token
+    }
+
+    /// Take a completion out of the buffer.
+    pub fn take(&mut self, token: IoToken) -> Option<IoCompletion> {
+        self.done.remove(&token.0)
+    }
+
+    /// Drop a completion without consuming it (abandoned read-ahead).
+    pub fn forget(&mut self, token: IoToken) {
+        self.done.remove(&token.0);
+    }
+
+    /// Tick the vectored counters for an accepted request.
+    pub fn count_request(&mut self, req: &IoRequest) {
+        match req {
+            IoRequest::ReadV(lbas) if lbas.len() > 1 => self.vectored_reads += 1,
+            IoRequest::WriteV(pages) if pages.len() > 1 => self.vectored_writes += 1,
+            _ => {}
+        }
+    }
+
+    /// Overlay the queued-path counters onto a stats snapshot.
+    pub fn fold_into(&self, mut stats: DeviceStats) -> DeviceStats {
+        stats.vectored_reads += self.vectored_reads;
+        stats.vectored_writes += self.vectored_writes;
+        stats.readahead_hits += self.readahead_hits;
+        stats.wal_stripe_writes += self.wal_stripe_writes;
+        stats
+    }
+}
+
+/// The queued submission/completion face of a device (NVMe-style queue
+/// pair, collapsed to one pair since the simulator is single-threaded).
+///
+/// ## Contract
+///
+/// * `submit` accepts the request, applies its state transition, and
+///   returns a token. Posted semantics: the submission clock does not
+///   advance to the request's completion (it may advance for
+///   queue-admission effects such as NCQ back-pressure, exactly like the
+///   sync write path).
+/// * `poll` *waits* for the token's completion: the submission clock
+///   advances to at least `done_ns` and the completion (with any read
+///   data) is returned. Polling an unknown or already-polled token
+///   returns `None` and costs nothing.
+/// * `sync` is the barrier: every prior submission's completion time is
+///   folded into the device's merged clock, which is returned. It does
+///   not consume buffered completions — tokens stay pollable.
+/// * `forget` abandons a token without waiting (an unused read-ahead).
+///
+/// Clock contract (the `submission_clock_ns`/`elapsed_ns` fix): after any
+/// sequence of queued operations, [`BlockDevice::elapsed_ns`] is the
+/// device-busy horizon — the time at which all submitted work is done —
+/// while [`BlockDevice::submission_clock_ns`] is the issuing client's
+/// logical now, which only `poll` and back-pressure move forward. On
+/// devices with no scheduler the two coincide by construction.
+pub trait IoQueue {
+    /// Post a request; returns its completion token.
+    fn submit(&mut self, req: IoRequest) -> Result<IoToken>;
+
+    /// Wait for (and take) a completion. `None` if the token is unknown
+    /// or was already polled/forgotten.
+    fn poll(&mut self, token: IoToken) -> Option<IoCompletion>;
+
+    /// Barrier over all prior submissions; returns the merged device
+    /// time in nanoseconds.
+    fn sync(&mut self) -> u64;
+
+    /// Abandon a token without waiting on its completion.
+    fn forget(&mut self, token: IoToken);
+
+    /// Host attribution hook: a buffer-pool fetch was served from a
+    /// read-ahead completion. Counted in `DeviceStats::readahead_hits`.
+    fn note_readahead_hit(&mut self);
+
+    /// Host attribution hook: a WAL group-commit flush went out as one
+    /// multi-page vector. Counted in `DeviceStats::wal_stripe_writes`.
+    fn note_wal_stripe_write(&mut self);
+}
+
+/// A block device with a queued face — the bound host components (the
+/// striped WAL, the read-ahead buffer pool) program against when they do
+/// not need `write_delta`.
+pub trait QueuedBlockDevice: BlockDevice + IoQueue {}
+impl<T: BlockDevice + IoQueue> QueuedBlockDevice for T {}
+
 /// A page-granular block device (conventional SSD contract).
 pub trait BlockDevice {
     /// Page size in bytes (read/write granularity).
@@ -59,6 +237,13 @@ pub trait BlockDevice {
 
     /// Drop the mapping for an LBA (contents become unreadable).
     fn trim(&mut self, lba: Lba) -> Result<()>;
+
+    /// Does `lba` currently hold readable data? Advisory (read-ahead
+    /// uses it to skip never-written holes); the default claims
+    /// everything in range is mapped.
+    fn is_mapped(&self, lba: Lba) -> bool {
+        lba < self.capacity_pages()
+    }
 
     /// The IPA page layout in force for `lba` (from the low-level format /
     /// region table), if any. The DBMS buffer manager sizes its change
@@ -110,9 +295,10 @@ pub trait BlockDevice {
     }
 }
 
-/// The NoFTL-style native interface: everything a block device does, plus
-/// delta appends to the physical page.
-pub trait NativeFlashDevice: BlockDevice {
+/// The NoFTL-style native interface: everything a block device does —
+/// including the queued submission/completion face — plus delta appends
+/// to the physical page.
+pub trait NativeFlashDevice: BlockDevice + IoQueue {
     /// Append `delta_bytes` at byte `offset` of the physical page backing
     /// `lba`. The offset must address a free record slot inside the
     /// region's delta-record area; the device adds the per-record ECC to
@@ -129,5 +315,34 @@ mod tests {
         assert!(!WriteStrategy::Traditional.needs_layout());
         assert!(WriteStrategy::IpaConventional.needs_layout());
         assert!(WriteStrategy::IpaNative.needs_layout());
+    }
+
+    #[test]
+    fn submission_state_tokens_and_counters() {
+        let mut s = SubmissionState::default();
+        let a = s.complete(vec![vec![1]], 10, 20);
+        let b = s.complete(Vec::new(), 20, 25);
+        assert_ne!(a, b, "tokens are unique");
+        let ca = s.take(a).expect("buffered completion");
+        assert_eq!((ca.submitted_ns, ca.done_ns), (10, 20));
+        assert_eq!(ca.data, vec![vec![1]]);
+        assert!(s.take(a).is_none(), "taken once");
+        s.forget(b);
+        assert!(s.take(b).is_none(), "forgotten");
+
+        s.count_request(&IoRequest::ReadV(vec![1, 2]));
+        s.count_request(&IoRequest::ReadV(vec![1]));
+        s.count_request(&IoRequest::WriteV(vec![(1, vec![]), (2, vec![])]));
+        s.count_request(&IoRequest::Trim(3));
+        s.readahead_hits = 7;
+        s.wal_stripe_writes = 2;
+        let folded = s.fold_into(DeviceStats {
+            vectored_reads: 1,
+            ..Default::default()
+        });
+        assert_eq!(folded.vectored_reads, 2, "overlay adds to the snapshot");
+        assert_eq!(folded.vectored_writes, 1);
+        assert_eq!(folded.readahead_hits, 7);
+        assert_eq!(folded.wal_stripe_writes, 2);
     }
 }

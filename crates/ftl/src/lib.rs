@@ -26,7 +26,10 @@ pub mod wear;
 
 pub use error::{FtlError, Lba, Result};
 pub use ftl::{exported_capacity, overwrite_compatible, Ftl, FtlConfig, GcProgress, ReclaimJob};
-pub use interface::{BlockDevice, NativeFlashDevice, WriteStrategy};
+pub use interface::{
+    BlockDevice, IoCompletion, IoQueue, IoRequest, IoToken, NativeFlashDevice, QueuedBlockDevice,
+    SubmissionState, WriteStrategy,
+};
 pub use oob::{OobCodec, UncorrectableError, VerifyOutcome};
 pub use region::{Region, RegionTable};
 pub use sharded::{ShardedFtl, StripePolicy};

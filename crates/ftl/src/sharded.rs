@@ -31,7 +31,9 @@ use ipa_flash::FlashStats;
 
 use crate::error::{FtlError, Lba, Result};
 use crate::ftl::{exported_capacity, Ftl, FtlConfig};
-use crate::interface::{BlockDevice, NativeFlashDevice};
+use crate::interface::{
+    BlockDevice, IoCompletion, IoQueue, IoRequest, IoToken, NativeFlashDevice, SubmissionState,
+};
 use crate::region::{Region, RegionTable};
 use crate::stats::DeviceStats;
 
@@ -72,6 +74,8 @@ pub struct ShardedFtl {
     map: Vec<(u32, Lba)>,
     policy: StripePolicy,
     capacity: u64,
+    /// Queued-interface bookkeeping (tokens, buffered completions).
+    queue: SubmissionState,
 }
 
 impl ShardedFtl {
@@ -153,6 +157,7 @@ impl ShardedFtl {
             map,
             policy,
             capacity,
+            queue: SubmissionState::default(),
         }
     }
 
@@ -227,8 +232,19 @@ impl BlockDevice for ShardedFtl {
     }
 
     fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
-        let (die, sub) = self.locate(lba)?;
-        self.shards[die as usize].read(sub, buf)
+        // Thin wrapper over the queued path: a one-element vector,
+        // submitted and immediately waited on — the classic blocking
+        // read, expressed as submit + poll.
+        if buf.len() != self.page_size() {
+            return Err(FtlError::SizeMismatch {
+                expected: self.page_size(),
+                got: buf.len(),
+            });
+        }
+        let token = self.submit(IoRequest::ReadV(vec![lba]))?;
+        let completion = self.poll(token).expect("fresh token completes");
+        buf.copy_from_slice(&completion.data[0]);
+        Ok(())
     }
 
     fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
@@ -241,15 +257,22 @@ impl BlockDevice for ShardedFtl {
         self.shards[die as usize].trim(sub)
     }
 
+    fn is_mapped(&self, lba: Lba) -> bool {
+        self.locate(lba)
+            .map(|(die, sub)| self.shards[die as usize].is_mapped(sub))
+            .unwrap_or(false)
+    }
+
     fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
         let (die, sub) = self.locate(lba).ok()?;
         self.shards[die as usize].layout_for(sub)
     }
 
     fn device_stats(&self) -> DeviceStats {
-        self.shards.iter().fold(DeviceStats::default(), |acc, s| {
-            acc.merged(&s.device_stats())
-        })
+        self.queue
+            .fold_into(self.shards.iter().fold(DeviceStats::default(), |acc, s| {
+                acc.merged(&s.device_stats())
+            }))
     }
 
     fn flash_stats(&self) -> FlashStats {
@@ -286,6 +309,120 @@ impl NativeFlashDevice for ShardedFtl {
     fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
         let (die, sub) = self.locate(lba)?;
         self.shards[die as usize].write_delta(sub, offset, delta_bytes)
+    }
+}
+
+impl ShardedFtl {
+    /// One member of a vectored read, routed to its die. Called inside a
+    /// posted-read window, so the read issues from the vector's
+    /// submission instant and its completion lands in the window horizon
+    /// instead of the host clock.
+    fn read_member(&mut self, lba: Lba) -> Result<Vec<u8>> {
+        let (die, sub) = self.locate(lba)?;
+        let mut buf = vec![0u8; self.shards[die as usize].page_size()];
+        self.shards[die as usize].read(sub, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Completion horizon of the die a posted member landed on: the
+    /// instant its queued work (this member included) drains.
+    fn die_horizon(&self, die: u32) -> u64 {
+        let ctrl = self.ctrl.borrow();
+        ctrl.host_ns() + ctrl.die_busy_ns(die)
+    }
+}
+
+/// The native queued face of the stripe: vectored requests fan out
+/// across dies/channels as posted controller commands and complete at
+/// the max of the per-die completion horizons. This is where the queued
+/// API genuinely buys time — the members of a `ReadV` over round-robin
+/// neighbours sense and transfer concurrently, where the sync loop paid
+/// them serially.
+impl IoQueue for ShardedFtl {
+    fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
+        let submitted = self.ctrl.borrow().host_ns();
+        let mut done = submitted;
+        let mut data = Vec::new();
+        match &req {
+            IoRequest::ReadV(lbas) => {
+                self.ctrl.borrow_mut().begin_posted_reads();
+                let mut result = Ok(());
+                for &lba in lbas {
+                    match self.read_member(lba) {
+                        Ok(buf) => data.push(buf),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                // Close the window even on a failed member, then surface
+                // the error (earlier members' state effects stand).
+                done = done.max(self.ctrl.borrow_mut().end_posted_reads());
+                result?;
+            }
+            IoRequest::WriteV(pages) => {
+                for (lba, page) in pages {
+                    let (die, sub) = self.locate(*lba)?;
+                    self.shards[die as usize].write(sub, page)?;
+                    done = done.max(self.die_horizon(die));
+                }
+            }
+            IoRequest::WriteDelta { lba, offset, delta } => {
+                let (die, sub) = self.locate(*lba)?;
+                self.shards[die as usize].write_delta(sub, *offset, delta)?;
+                done = done.max(self.die_horizon(die));
+            }
+            IoRequest::Trim(lba) => {
+                let (die, sub) = self.locate(*lba)?;
+                self.shards[die as usize].trim(sub)?;
+            }
+            IoRequest::Flush => {
+                // A write barrier, not a time barrier: only dies whose
+                // pairing window actually drained contribute to the
+                // completion — other streams' unrelated posted work must
+                // not be pulled into this client's wait.
+                let mut drained = Vec::new();
+                for (die, s) in self.shards.iter_mut().enumerate() {
+                    if s.has_staged() {
+                        s.drain_staged()?;
+                        drained.push(die as u32);
+                    }
+                }
+                for die in drained {
+                    done = done.max(self.die_horizon(die));
+                }
+            }
+        }
+        self.queue.count_request(&req);
+        Ok(self.queue.complete(data, submitted, done))
+    }
+
+    fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {
+        let completion = self.queue.take(token)?;
+        // Waiting for a completion is what moves the submitting client's
+        // clock — a completion already in the past costs nothing.
+        let mut ctrl = self.ctrl.borrow_mut();
+        if completion.done_ns > ctrl.host_ns() {
+            ctrl.set_host_ns(completion.done_ns);
+        }
+        Some(completion)
+    }
+
+    fn sync(&mut self) -> u64 {
+        ShardedFtl::sync(self)
+    }
+
+    fn forget(&mut self, token: IoToken) {
+        self.queue.forget(token);
+    }
+
+    fn note_readahead_hit(&mut self) {
+        self.queue.readahead_hits += 1;
+    }
+
+    fn note_wal_stripe_write(&mut self) {
+        self.queue.wal_stripe_writes += 1;
     }
 }
 

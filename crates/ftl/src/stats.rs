@@ -45,6 +45,20 @@ pub struct DeviceStats {
     pub uncorrectable_reads: u64,
     /// Blocks recycled by static wear levelling.
     pub wear_leveling_moves: u64,
+    /// Queued `ReadV` submissions spanning more than one page.
+    #[serde(default)]
+    pub vectored_reads: u64,
+    /// Queued `WriteV` submissions spanning more than one page.
+    #[serde(default)]
+    pub vectored_writes: u64,
+    /// Buffer-pool fetches served from a posted read-ahead completion
+    /// instead of a fresh synchronous device read.
+    #[serde(default)]
+    pub readahead_hits: u64,
+    /// WAL group-commit flushes submitted as one multi-page vector
+    /// (striping the log write across channels).
+    #[serde(default)]
+    pub wal_stripe_writes: u64,
 }
 
 impl DeviceStats {
@@ -91,6 +105,10 @@ impl DeviceStats {
             ecc_corrected_bits: self.ecc_corrected_bits + other.ecc_corrected_bits,
             uncorrectable_reads: self.uncorrectable_reads + other.uncorrectable_reads,
             wear_leveling_moves: self.wear_leveling_moves + other.wear_leveling_moves,
+            vectored_reads: self.vectored_reads + other.vectored_reads,
+            vectored_writes: self.vectored_writes + other.vectored_writes,
+            readahead_hits: self.readahead_hits + other.readahead_hits,
+            wal_stripe_writes: self.wal_stripe_writes + other.wal_stripe_writes,
         }
     }
 
@@ -112,6 +130,10 @@ impl DeviceStats {
             ecc_corrected_bits: self.ecc_corrected_bits - earlier.ecc_corrected_bits,
             uncorrectable_reads: self.uncorrectable_reads - earlier.uncorrectable_reads,
             wear_leveling_moves: self.wear_leveling_moves - earlier.wear_leveling_moves,
+            vectored_reads: self.vectored_reads - earlier.vectored_reads,
+            vectored_writes: self.vectored_writes - earlier.vectored_writes,
+            readahead_hits: self.readahead_hits - earlier.readahead_hits,
+            wal_stripe_writes: self.wal_stripe_writes - earlier.wal_stripe_writes,
         }
     }
 }

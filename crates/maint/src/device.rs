@@ -3,7 +3,10 @@
 use ipa_controller::ControllerStats;
 use ipa_core::PageLayout;
 use ipa_flash::FlashStats;
-use ipa_ftl::{BlockDevice, DeviceStats, Lba, NativeFlashDevice, Result, ShardedFtl};
+use ipa_ftl::{
+    BlockDevice, DeviceStats, IoCompletion, IoQueue, IoRequest, IoToken, Lba, NativeFlashDevice,
+    Result, ShardedFtl,
+};
 
 use crate::config::MaintConfig;
 use crate::scheduler::MaintenanceScheduler;
@@ -19,6 +22,10 @@ use crate::stats::MaintStats;
 pub struct MaintainedFtl {
     inner: ShardedFtl,
     sched: MaintenanceScheduler,
+    /// A maintenance failure that surfaced on an infallible queue call
+    /// (`poll`/`sync` return no `Result`); re-raised by the next
+    /// fallible operation instead of being swallowed or panicking.
+    deferred_maint_err: Option<ipa_ftl::FtlError>,
 }
 
 impl MaintainedFtl {
@@ -26,6 +33,7 @@ impl MaintainedFtl {
         MaintainedFtl {
             inner,
             sched: MaintenanceScheduler::new(cfg),
+            deferred_maint_err: None,
         }
     }
 
@@ -44,8 +52,19 @@ impl MaintainedFtl {
         self.inner.check_invariants();
     }
 
-    fn poll(&mut self) -> Result<()> {
+    fn poll_maint(&mut self) -> Result<()> {
+        if let Some(e) = self.deferred_maint_err.take() {
+            return Err(e);
+        }
         self.sched.poll(&mut self.inner)
+    }
+
+    /// `poll_maint` for paths that cannot return a `Result`: the error,
+    /// if any, is parked for the next fallible call.
+    fn poll_maint_deferred(&mut self) {
+        if let Err(e) = self.poll_maint() {
+            self.deferred_maint_err = Some(e);
+        }
     }
 }
 
@@ -60,17 +79,21 @@ impl BlockDevice for MaintainedFtl {
 
     fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
         self.inner.read(lba, buf)?;
-        self.poll()
+        self.poll_maint()
     }
 
     fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
         self.inner.write(lba, data)?;
-        self.poll()
+        self.poll_maint()
     }
 
     fn trim(&mut self, lba: Lba) -> Result<()> {
         self.inner.trim(lba)?;
-        self.poll()
+        self.poll_maint()
+    }
+
+    fn is_mapped(&self, lba: Lba) -> bool {
+        self.inner.is_mapped(lba)
     }
 
     fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
@@ -117,7 +140,43 @@ impl BlockDevice for MaintainedFtl {
 impl NativeFlashDevice for MaintainedFtl {
     fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
         self.inner.write_delta(lba, offset, delta_bytes)?;
-        self.poll()
+        self.poll_maint()
+    }
+}
+
+/// The queued face of the maintained device: requests go straight to the
+/// stripe, and the scheduler polls between submissions and completions —
+/// so background reclaim keeps landing on idle dies while the host sits
+/// on unpolled tokens (exactly the window inline GC could never use).
+impl IoQueue for MaintainedFtl {
+    fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
+        let token = self.inner.submit(req)?;
+        self.poll_maint()?;
+        Ok(token)
+    }
+
+    fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {
+        let completion = self.inner.poll(token);
+        self.poll_maint_deferred();
+        completion
+    }
+
+    fn sync(&mut self) -> u64 {
+        let merged = IoQueue::sync(&mut self.inner);
+        self.poll_maint_deferred();
+        merged
+    }
+
+    fn forget(&mut self, token: IoToken) {
+        self.inner.forget(token);
+    }
+
+    fn note_readahead_hit(&mut self) {
+        self.inner.note_readahead_hit();
+    }
+
+    fn note_wal_stripe_write(&mut self) {
+        self.inner.note_wal_stripe_write();
     }
 }
 

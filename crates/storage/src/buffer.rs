@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 
 use ipa_core::{apply_and_collect, ChangeTracker, IpaVerdict, NmScheme, PageLayout};
-use ipa_ftl::{FtlError, NativeFlashDevice, WriteStrategy};
+use ipa_ftl::{FtlError, IoRequest, IoToken, NativeFlashDevice, WriteStrategy};
 
 use crate::error::{Result, StorageError};
 use crate::page::{standard_layout, PageMut, WriteOp};
@@ -97,6 +97,11 @@ pub struct PoolStats {
     /// In-place attempts the device rejected (odd-MLC MSB pages, NOP
     /// exhaustion) that fell back to out-of-place writes.
     pub in_place_fallbacks: u64,
+    /// Neighbour pages posted as read-ahead on sequential misses.
+    pub readahead_issued: u64,
+    /// Fetches served from a read-ahead completion instead of a fresh
+    /// synchronous device read.
+    pub readahead_hits: u64,
     /// Net modified bytes per dirty eviction (needs `measure_net_writes`).
     pub net_bytes: NetBytesHistogram,
 }
@@ -114,6 +119,14 @@ struct Frame {
     referenced: bool,
 }
 
+/// An in-flight read-ahead vector: one posted `ReadV` covering
+/// `members`, whose completion data (indexed by member position) has not
+/// been claimed yet.
+struct Prefetch {
+    token: IoToken,
+    members: Vec<PageId>,
+}
+
 /// Buffer pool over a native flash device.
 pub struct BufferPool {
     device: Box<dyn NativeFlashDevice>,
@@ -123,6 +136,15 @@ pub struct BufferPool {
     hand: usize,
     measure_net_writes: bool,
     trace: Option<Vec<TraceEvent>>,
+    /// Read-ahead window (pages prefetched past a sequential miss);
+    /// 0 disables read-ahead.
+    readahead: usize,
+    /// The previous miss, for sequential-pattern detection.
+    last_miss: Option<PageId>,
+    /// Posted read-ahead vectors not yet polled.
+    pending_prefetch: Vec<Prefetch>,
+    /// Polled read-ahead images awaiting consumption.
+    ready_prefetch: HashMap<PageId, Vec<u8>>,
     stats: PoolStats,
 }
 
@@ -137,6 +159,10 @@ impl BufferPool {
             hand: 0,
             measure_net_writes: false,
             trace: None,
+            readahead: 0,
+            last_miss: None,
+            pending_prefetch: Vec::new(),
+            ready_prefetch: HashMap::new(),
             stats: PoolStats::default(),
         }
     }
@@ -144,6 +170,16 @@ impl BufferPool {
     /// Record net modified bytes per dirty eviction (Figure 1 experiment).
     pub fn enable_net_write_measurement(&mut self) {
         self.measure_net_writes = true;
+    }
+
+    /// Enable stripe-aware read-ahead: when two consecutive misses are
+    /// neighbour LBAs, the next `window` neighbours are posted as one
+    /// vectored read. Under a round-robin stripe those members sit on
+    /// consecutive dies/channels, so a sequential scan keeps every
+    /// channel busy instead of paying each page's sense + transfer
+    /// serially.
+    pub fn enable_readahead(&mut self, window: usize) {
+        self.readahead = window;
     }
 
     /// Start recording fetch/evict events (implies net-write measurement,
@@ -254,6 +290,7 @@ impl BufferPool {
         self.flush_all()?;
         self.map.clear();
         self.frames.iter_mut().for_each(|f| *f = None);
+        self.clear_prefetch();
         Ok(())
     }
 
@@ -262,6 +299,7 @@ impl BufferPool {
     pub fn drop_cache_without_flush(&mut self) {
         self.map.clear();
         self.frames.iter_mut().for_each(|f| *f = None);
+        self.clear_prefetch();
     }
 
     fn ensure_cached(&mut self, pid: PageId, fresh: bool) -> Result<usize> {
@@ -273,6 +311,9 @@ impl BufferPool {
         let idx = self.find_victim_slot()?;
         let layout = self.layout_of(pid);
         let frame = if fresh {
+            // A stale prefetch of this LBA (issued before the page was
+            // re-created) must never be consumed later.
+            self.drop_prefetch(pid);
             Frame {
                 page_id: pid,
                 data: vec![0xFF; self.device.page_size()],
@@ -286,10 +327,23 @@ impl BufferPool {
                 referenced: true,
             }
         } else {
-            let mut data = vec![0u8; self.device.page_size()];
-            self.device
-                .read(pid, &mut data)
-                .map_err(StorageError::from)?;
+            let mut data = match self.claim_prefetch(pid) {
+                Some(img) => {
+                    // Served from a posted read-ahead completion; the
+                    // poll inside `claim_prefetch` charged the wait (if
+                    // the data was still in flight).
+                    self.stats.readahead_hits += 1;
+                    self.device.note_readahead_hit();
+                    img
+                }
+                None => {
+                    let mut data = vec![0u8; self.device.page_size()];
+                    self.device
+                        .read(pid, &mut data)
+                        .map_err(StorageError::from)?;
+                    data
+                }
+            };
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent::Fetch { lba: pid });
             }
@@ -309,7 +363,115 @@ impl BufferPool {
         };
         self.frames[idx] = Some(frame);
         self.map.insert(pid, idx);
+        if !fresh {
+            self.maybe_readahead(pid);
+            self.last_miss = Some(pid);
+        }
         Ok(idx)
+    }
+
+    /// Take a page image out of the read-ahead pipeline, polling its
+    /// vector's completion if it is still pending. Sibling members of the
+    /// polled vector move to the ready set for their own consumption.
+    fn claim_prefetch(&mut self, pid: PageId) -> Option<Vec<u8>> {
+        if let Some(img) = self.ready_prefetch.remove(&pid) {
+            return Some(img);
+        }
+        let at = self
+            .pending_prefetch
+            .iter()
+            .position(|g| g.members.contains(&pid))?;
+        let group = self.pending_prefetch.remove(at);
+        let completion = self.device.poll(group.token)?;
+        for (member, img) in group.members.iter().zip(completion.data) {
+            self.ready_prefetch.insert(*member, img);
+        }
+        self.ready_prefetch.remove(&pid)
+    }
+
+    /// Forget any in-flight or ready prefetch of `pid` (and, for a
+    /// pending vector, its whole group — correctness over thrift on this
+    /// cold path).
+    fn drop_prefetch(&mut self, pid: PageId) {
+        self.ready_prefetch.remove(&pid);
+        if let Some(at) = self
+            .pending_prefetch
+            .iter()
+            .position(|g| g.members.contains(&pid))
+        {
+            let group = self.pending_prefetch.remove(at);
+            self.device.forget(group.token);
+        }
+    }
+
+    /// On a sequential miss (`pid` directly follows the previous miss),
+    /// post the next `readahead` neighbours as one vectored read.
+    fn maybe_readahead(&mut self, pid: PageId) {
+        if self.readahead == 0 || pid == 0 || self.last_miss != Some(pid - 1) {
+            return;
+        }
+        let cap = self.device.capacity_pages();
+        let targets: Vec<PageId> = (pid + 1..=pid + self.readahead as u64)
+            .filter(|p| {
+                *p < cap
+                    && self.device.is_mapped(*p)
+                    && !self.map.contains_key(p)
+                    && !self.ready_prefetch.contains_key(p)
+                    && !self.pending_prefetch.iter().any(|g| g.members.contains(p))
+            })
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        self.trim_prefetch_backlog();
+        // A failed member (e.g. an uncorrectable page) kills its vector;
+        // read-ahead is advisory, so the miss path will surface the
+        // error if the page is ever actually fetched.
+        if let Ok(token) = self.device.submit(IoRequest::ReadV(targets.clone())) {
+            self.stats.readahead_issued += targets.len() as u64;
+            self.pending_prefetch.push(Prefetch {
+                token,
+                members: targets,
+            });
+        }
+    }
+
+    /// Bound the read-ahead pipeline: a scan that outruns consumption
+    /// (or turns random) must not grow unpolled completions without
+    /// limit. Oldest pending vectors are abandoned first.
+    fn trim_prefetch_backlog(&mut self) {
+        let budget = self.readahead * 4;
+        while !self.pending_prefetch.is_empty()
+            && self
+                .pending_prefetch
+                .iter()
+                .map(|g| g.members.len())
+                .sum::<usize>()
+                > budget
+        {
+            let group = self.pending_prefetch.remove(0);
+            self.device.forget(group.token);
+        }
+        // Evict only the overflow from the ready set — its images are
+        // already paid for in device time, so dropping all of them would
+        // make the scan re-read (and re-pay for) pages it owns.
+        while self.ready_prefetch.len() > budget {
+            let victim = *self
+                .ready_prefetch
+                .keys()
+                .next()
+                .expect("non-empty over budget");
+            self.ready_prefetch.remove(&victim);
+        }
+    }
+
+    /// Abandon the whole read-ahead pipeline (cache drops, crashes).
+    fn clear_prefetch(&mut self) {
+        for group in self.pending_prefetch.drain(..) {
+            self.device.forget(group.token);
+        }
+        self.ready_prefetch.clear();
+        self.last_miss = None;
     }
 
     /// Clock replacement: find a free or evictable slot.
@@ -645,5 +807,101 @@ mod tests {
         assert_eq!(h.buckets, [1, 1, 1, 1, 1, 1]);
         assert!((h.fraction_under_100b() - 0.5).abs() < 1e-12);
         assert!(h.mean_bytes() > 1000.0);
+    }
+
+    mod readahead {
+        use super::*;
+        use ipa_controller::ControllerConfig;
+        use ipa_ftl::{BlockDevice, ShardedFtl, StripePolicy};
+
+        /// A 4-die round-robin striped device preloaded with `pages`
+        /// recognisable pages, plus a small pool over it.
+        fn striped_pool(pages: u64, window: usize) -> BufferPool {
+            let chip = DeviceConfig::new(Geometry::new(16, 8, 2048, 64), FlashMode::PSlc)
+                .with_disturb(DisturbRates::none());
+            let mut dev = ShardedFtl::new(
+                ControllerConfig::new(4, 1, chip),
+                FtlConfig::traditional(),
+                StripePolicy::RoundRobin,
+            );
+            for lba in 0..pages {
+                dev.write(lba, &vec![(lba % 251) as u8; 2048]).unwrap();
+            }
+            dev.sync();
+            let mut pool = BufferPool::new(Box::new(dev), WriteStrategy::Traditional, 8);
+            if window > 0 {
+                pool.enable_readahead(window);
+            }
+            pool
+        }
+
+        #[test]
+        fn sequential_misses_trigger_prefetch_hits() {
+            let mut p = striped_pool(32, 4);
+            for pid in 0..32u64 {
+                p.with_page(pid, |b| {
+                    assert!(
+                        b.iter().all(|&x| x == (pid % 251) as u8),
+                        "page {pid} corrupted through the prefetch path"
+                    );
+                })
+                .unwrap();
+            }
+            let s = *p.stats();
+            assert!(s.readahead_issued > 0, "sequential scan must prefetch");
+            assert!(
+                s.readahead_hits * 2 > 32,
+                "most fetches ride read-ahead: {s:?}"
+            );
+            let d = p.device().device_stats();
+            assert_eq!(d.readahead_hits, s.readahead_hits, "device counter agrees");
+            assert!(d.vectored_reads > 0, "prefetches were vectored");
+        }
+
+        #[test]
+        fn random_access_never_prefetches() {
+            let mut p = striped_pool(32, 4);
+            for pid in [5u64, 17, 2, 29, 11, 23, 8, 26] {
+                p.with_page(pid, |_| ()).unwrap();
+            }
+            assert_eq!(p.stats().readahead_issued, 0);
+            assert_eq!(p.stats().readahead_hits, 0);
+        }
+
+        #[test]
+        fn disabled_readahead_stays_cold() {
+            let mut p = striped_pool(32, 0);
+            for pid in 0..16u64 {
+                p.with_page(pid, |_| ()).unwrap();
+            }
+            assert_eq!(p.stats().readahead_issued, 0);
+            assert_eq!(p.device().device_stats().readahead_hits, 0);
+        }
+
+        #[test]
+        fn crash_drop_clears_the_pipeline() {
+            let mut p = striped_pool(32, 4);
+            for pid in 0..6u64 {
+                p.with_page(pid, |_| ()).unwrap();
+            }
+            p.drop_cache_without_flush();
+            // The scan continues correctly from scratch.
+            for pid in 0..12u64 {
+                p.with_page(pid, |b| assert_eq!(b[0], (pid % 251) as u8))
+                    .unwrap();
+            }
+        }
+
+        #[test]
+        fn scan_past_the_mapped_tail_is_harmless() {
+            // Only 10 of the device's pages are written; prefetch windows
+            // crossing the tail must skip the holes, not error.
+            let mut p = striped_pool(10, 8);
+            for pid in 0..10u64 {
+                p.with_page(pid, |b| assert_eq!(b[0], (pid % 251) as u8))
+                    .unwrap();
+            }
+            assert!(p.stats().readahead_hits > 0);
+        }
     }
 }

@@ -6,14 +6,27 @@
 //! writes). Records use physical byte-range logging (offset/old/new per
 //! page write), which makes redo and undo trivially idempotent.
 //!
+//! The log device is anything speaking [`ipa_ftl::BlockDevice`] +
+//! [`ipa_ftl::IoQueue`]:
+//! the historic single SLC chip ([`Wal::new`]) or a die-striped
+//! multi-channel controller ([`Wal::striped`]). Sealed-but-unflushed log
+//! pages accumulate between group-commit boundaries and go to the device
+//! as **one vectored write** at [`Wal::flush`] — on a round-robin stripe
+//! consecutive log pages sit on consecutive channels, so the flush's
+//! members transfer and program concurrently instead of serialising
+//! through one chip.
+//!
 //! Format, per log page (pages start erased at `0xFF`):
 //!
 //! ```text
 //! [len u32][lsn u64][tx u64][tag u8][payload …]  repeated;  len=0xFFFF_FFFF ⇒ end
 //! ```
 
+use ipa_controller::ControllerConfig;
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
-use ipa_ftl::{BlockDevice, DeviceStats, Ftl, FtlConfig};
+use ipa_ftl::{
+    DeviceStats, Ftl, FtlConfig, IoRequest, Lba, QueuedBlockDevice, ShardedFtl, StripePolicy,
+};
 
 use crate::buffer::PageId;
 use crate::error::{Result, StorageError};
@@ -128,20 +141,40 @@ impl WalRecord {
 
 /// The write-ahead log.
 pub struct Wal {
-    device: Ftl,
+    device: Box<dyn QueuedBlockDevice>,
     page_size: usize,
     capacity: u64,
     cur_lba: u64,
     buf: Vec<u8>,
     cursor: usize,
+    /// Sealed log pages not yet flushed: the group-commit batch that the
+    /// next [`Wal::flush`] submits as one vectored write.
+    sealed: Vec<(Lba, Vec<u8>)>,
+    /// Seal the current page after every flush instead of rewriting the
+    /// partial page at the next one (write-once log pages — the striped
+    /// log's policy; trades log space for never re-serialising flushes
+    /// onto one die).
+    seal_on_flush: bool,
+    /// Immediate-completion log device (no scheduler): the WAL itself
+    /// keeps the submission-side clock the device cannot. A bare chip's
+    /// clock only accumulates its own busy time, so it lags the clients'
+    /// timeline and — uncorrected — makes log waits look free whenever
+    /// the log is lightly loaded (the `submission_clock_ns`/`elapsed_ns`
+    /// conflation). `host_ns` is the issuing client's logical now;
+    /// `busy_until_ns` the host-timeline instant the log falls idle.
+    immediate: bool,
+    host_ns: u64,
+    busy_until_ns: u64,
     next_lsn: u64,
     /// Records appended since creation.
     pub records_appended: u64,
+    /// Flushes whose batch went out as one multi-page vector.
+    pub stripe_flushes: u64,
 }
 
 impl Wal {
     /// Create a WAL with room for `pages` log pages of `page_size` bytes,
-    /// on its own SLC device.
+    /// on its own single SLC chip (the historic log device).
     pub fn new(pages: u64, page_size: usize) -> Self {
         // Size the backing device with ~2× slack so log-device GC stays
         // out of the way (the paper's log lives on a separate volume).
@@ -152,7 +185,49 @@ impl Wal {
                 .with_disturb(DisturbRates::none()),
         );
         let device = Ftl::new(chip, FtlConfig::traditional());
+        Self::with_device(Box::new(device), pages, page_size)
+    }
+
+    /// Create a WAL striped over its own `channels × dies_per_channel`
+    /// SLC controller. Round-robin striping puts consecutive log pages
+    /// on consecutive channels, so a group-commit flush's vectored write
+    /// fans out across all of them. Total raw capacity matches the
+    /// single-chip sizing of [`Wal::new`] (divided across the dies, with
+    /// a per-die floor for GC headroom), so the comparison measures
+    /// parallelism, not slack.
+    ///
+    /// The striped log seals its page at every flush (write-once log
+    /// pages): rewriting a partial page would pin consecutive flushes to
+    /// one die, exactly the serialisation striping exists to break.
+    pub fn striped(pages: u64, page_size: usize, channels: u32, dies_per_channel: u32) -> Self {
+        let dies = channels * dies_per_channel;
+        let ppb = 64u32;
+        let total_blocks = ((pages * 2) / ppb as u64 + 8) as u32;
+        let blocks_per_die = total_blocks.div_ceil(dies).max(8);
+        let chip = DeviceConfig::new(
+            Geometry::new(blocks_per_die, ppb, page_size, 64),
+            FlashMode::Slc,
+        )
+        .with_disturb(DisturbRates::none());
+        let device = ShardedFtl::new(
+            ControllerConfig::new(channels, dies_per_channel, chip),
+            FtlConfig::traditional(),
+            StripePolicy::RoundRobin,
+        );
+        let mut wal = Self::with_device(Box::new(device), pages, page_size);
+        wal.seal_on_flush = true;
+        wal
+    }
+
+    /// Create a WAL over an arbitrary queued block device.
+    pub fn with_device(device: Box<dyn QueuedBlockDevice>, pages: u64, page_size: usize) -> Self {
+        assert_eq!(
+            device.page_size(),
+            page_size,
+            "log device page size disagrees with the WAL"
+        );
         let capacity = pages.min(device.capacity_pages());
+        let immediate = device.controller_stats().is_none();
         Wal {
             device,
             page_size,
@@ -160,8 +235,14 @@ impl Wal {
             cur_lba: 0,
             buf: vec![0xFF; page_size],
             cursor: 0,
+            sealed: Vec::new(),
+            seal_on_flush: false,
+            immediate,
+            host_ns: 0,
+            busy_until_ns: 0,
             next_lsn: 0,
             records_appended: 0,
+            stripe_flushes: 0,
         }
     }
 
@@ -195,22 +276,65 @@ impl Wal {
         Ok(())
     }
 
-    /// Persist the current partial page (group-commit boundary).
+    /// Persist the group-commit batch: every sealed page since the last
+    /// flush plus the current partial page, submitted as **one vectored
+    /// write** and waited on (a flush is a durability point). On a
+    /// striped log device the members fan out across channels and the
+    /// wait ends at the max of the per-die completions — the whole point
+    /// of striping the log.
     pub fn flush(&mut self) -> Result<()> {
-        if self.cursor == 0 {
+        let mut pages = self.sealed.clone();
+        if self.cursor > 0 {
+            pages.push((self.cur_lba, self.buf.clone()));
+        }
+        if pages.is_empty() {
             return Ok(());
         }
-        self.device
-            .write(self.cur_lba, &self.buf)
-            .map_err(StorageError::from)
+        let vectored = pages.len() > 1;
+        // The sealed batch is only dropped once the device accepted it:
+        // a failed submit keeps it queued for the next flush (page
+        // writes are idempotent, so any members that did land are simply
+        // rewritten).
+        let token = self
+            .device
+            .submit(IoRequest::WriteV(pages))
+            .map_err(StorageError::from)?;
+        self.sealed.clear();
+        let completion = self.device.poll(token);
+        if self.immediate {
+            // The chip executed the batch on its own serial clock; map
+            // that work onto the clients' timeline: it starts when both
+            // the client and the (one) chip are ready, and the client
+            // resumes when it is durable. This is what serialises
+            // concurrent clients' group commits on a single-chip log.
+            if let Some(c) = completion {
+                let dt = c.done_ns - c.submitted_ns;
+                let start = self.host_ns.max(self.busy_until_ns);
+                self.busy_until_ns = start + dt;
+                self.host_ns = self.busy_until_ns;
+            }
+        }
+        if vectored {
+            self.device.note_wal_stripe_write();
+            self.stripe_flushes += 1;
+        }
+        if self.seal_on_flush && self.cursor > 0 {
+            // Write-once pages: the just-flushed image is final; later
+            // records open a fresh page (and, striped, the next die).
+            self.cur_lba = (self.cur_lba + 1) % self.capacity;
+            self.buf.fill(0xFF);
+            self.cursor = 0;
+        }
+        Ok(())
     }
 
     /// Finish the current page and move to the next (wrapping circularly;
-    /// recovery assumes checkpoints retire wrapped history).
+    /// recovery assumes checkpoints retire wrapped history). The sealed
+    /// page joins the pending batch; no device I/O until the next flush.
     fn seal_page(&mut self) -> Result<()> {
-        self.flush()?;
+        let full = std::mem::replace(&mut self.buf, vec![0xFF; self.page_size]);
+        self.sealed.push((self.cur_lba, full));
         self.cur_lba = (self.cur_lba + 1) % self.capacity;
-        self.buf.fill(0xFF);
         self.cursor = 0;
         Ok(())
     }
@@ -229,6 +353,7 @@ impl Wal {
         self.cur_lba = 0;
         self.buf.fill(0xFF);
         self.cursor = 0;
+        self.sealed.clear();
         Ok(())
     }
 
@@ -262,14 +387,46 @@ impl Wal {
         Ok(records)
     }
 
-    /// Host-level stats of the log device.
+    /// Host-level stats of the log device (including `wal_stripe_writes`,
+    /// counted when a group-commit batch went out as one vector).
     pub fn device_stats(&self) -> DeviceStats {
         self.device.device_stats()
     }
 
-    /// Simulated time the log device has consumed.
+    /// Total simulated device time of the log: the horizon at which all
+    /// submitted log writes are done (max over the stripe's die clocks
+    /// on a striped log, the host-timeline busy tail on a single chip).
+    /// Distinct from [`Wal::submission_clock_ns`] — see the
+    /// [`ipa_ftl::IoQueue`] clock contract.
     pub fn elapsed_ns(&self) -> u64 {
-        self.device.elapsed_ns()
+        self.device.elapsed_ns().max(self.busy_until_ns)
+    }
+
+    /// The log writer's submission-side clock: where the last flush's
+    /// completion wait left the issuing client.
+    pub fn submission_clock_ns(&self) -> u64 {
+        if self.immediate {
+            self.host_ns
+        } else {
+            self.device.submission_clock_ns()
+        }
+    }
+
+    /// Position the submission clock at the committing client's logical
+    /// now before a flush, so concurrent clients' group commits overlap
+    /// on a scheduled (striped) log device — and queue, honestly, on a
+    /// single-chip one.
+    pub fn set_submission_clock_ns(&mut self, ns: u64) {
+        if self.immediate {
+            self.host_ns = ns;
+        } else {
+            self.device.set_submission_clock_ns(ns);
+        }
+    }
+
+    /// Flushes whose batch spanned more than one log page.
+    pub fn stripe_flushes(&self) -> u64 {
+        self.stripe_flushes
     }
 }
 
@@ -398,5 +555,82 @@ mod tests {
         let b = wal.next_lsn();
         assert!(b > a);
         assert_eq!(wal.current_lsn(), b);
+    }
+
+    #[test]
+    fn striped_wal_replay_round_trip() {
+        let mut wal = Wal::striped(128, 2048, 2, 2);
+        for i in 0..200u64 {
+            wal.append(&upd(i + 1, i % 5, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 200);
+        assert!(records.windows(2).all(|w| w[0].lsn <= w[1].lsn));
+        // Truncate still clears the striped device.
+        wal.truncate().unwrap();
+        assert!(wal.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_commit_batch_goes_out_as_one_vector() {
+        let mut wal = Wal::striped(128, 2048, 4, 1);
+        // Enough records to seal several pages before the single flush.
+        for i in 0..200u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.stripe_flushes(), 1, "one multi-page batch");
+        let d = wal.device_stats();
+        assert_eq!(d.wal_stripe_writes, 1, "counted on the log device");
+        assert!(
+            d.vectored_writes >= 1,
+            "the batch was submitted vectored: {d:?}"
+        );
+        assert!(d.host_writes > 2, "batch spanned several log pages");
+    }
+
+    #[test]
+    fn striped_log_seals_pages_instead_of_rewriting_them() {
+        // Two flushes with records in between: the single-chip log
+        // rewrites its partial page (an invalidation); the striped log
+        // seals and moves on (none).
+        let drive = |mut wal: Wal| -> DeviceStats {
+            for i in 0..4u64 {
+                wal.append(&upd(i + 1, 1, i)).unwrap();
+                wal.flush().unwrap();
+            }
+            wal.device_stats()
+        };
+        let single = drive(Wal::new(64, 2048));
+        let striped = drive(Wal::striped(64, 2048, 2, 1));
+        assert!(single.page_invalidations > 0, "partial-page rewrites");
+        assert_eq!(striped.page_invalidations, 0, "write-once log pages");
+        assert_eq!(single.host_writes, striped.host_writes);
+    }
+
+    #[test]
+    fn submission_clock_is_distinct_from_elapsed() {
+        // The asymmetry fix: a flush submitted at a client's logical now
+        // charges the wait from there, on the single-chip log too.
+        let mut wal = Wal::new(64, 2048);
+        wal.append(&upd(1, 1, 0)).unwrap();
+        wal.flush().unwrap();
+        let first_done = wal.submission_clock_ns();
+        assert!(first_done > 0, "flush waits for the log write");
+
+        // A client far in the future submits: its wait starts at its
+        // now, not at the chip's lagging serial clock.
+        let now = first_done + 10_000_000;
+        wal.set_submission_clock_ns(now);
+        wal.append(&upd(2, 1, 1)).unwrap();
+        wal.flush().unwrap();
+        let done = wal.submission_clock_ns();
+        assert!(done > now, "the wait is charged from the client's now");
+        assert!(
+            done - now <= first_done,
+            "an idle log does not queue the client behind history"
+        );
+        assert!(wal.elapsed_ns() >= done, "elapsed covers the busy tail");
     }
 }

@@ -6,7 +6,7 @@
 //! not in correctness tests where they would add noise to every run.
 
 use ipa_controller::ControllerConfig;
-use ipa_core::NmScheme;
+use ipa_core::{NmScheme, PageLayout};
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
 use ipa_ftl::{Ftl, FtlConfig, ShardedFtl, StripePolicy, WriteStrategy};
 use ipa_maint::{MaintConfig, MaintainedFtl};
@@ -244,6 +244,39 @@ pub fn maintained_plane_engine(
         planes,
         policy,
         Some(queue_cap),
+    )
+}
+
+/// The canonical 2 KiB IPA page layout the device-level suites format
+/// their regions with (24 B header, 8 B meta, 2×4 scheme).
+pub fn device_layout() -> PageLayout {
+    PageLayout::new(2048, 24, 8, NmScheme::new(2, 4))
+}
+
+/// A die-striped device for queued-vs-sync parity suites: `dies` dies
+/// (≤ 4 channels, then stacking) × `planes` planes of quiet pSLC under
+/// the given write path (traditional, conventional-IPA detection, or
+/// native `write_delta` — via [`device_layout`]). Deterministic for a
+/// seed, so two calls build identical twins to drive through different
+/// interfaces.
+pub fn striped_device(strategy: WriteStrategy, seed: u64, dies: u32, planes: u32) -> ShardedFtl {
+    assert!(dies >= 1 && dies.is_power_of_two(), "die counts are 2^k");
+    let cfg = match strategy {
+        WriteStrategy::Traditional => FtlConfig::traditional(),
+        WriteStrategy::IpaConventional => FtlConfig::ipa_conventional(device_layout()),
+        WriteStrategy::IpaNative => FtlConfig::ipa_native(device_layout()),
+    };
+    let channels = dies.min(4);
+    let chip = DeviceConfig::new(
+        Geometry::new(24u32.next_multiple_of(planes), 8, 2048, 64).with_planes(planes),
+        FlashMode::PSlc,
+    )
+    .with_disturb(DisturbRates::none())
+    .with_seed(seed);
+    ShardedFtl::new(
+        ControllerConfig::new(channels, dies / channels, chip),
+        cfg,
+        StripePolicy::RoundRobin,
     )
 }
 

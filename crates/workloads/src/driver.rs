@@ -14,7 +14,7 @@ use ipa_core::NmScheme;
 use ipa_flash::{DeviceConfig, FlashMode, FlashStats, Geometry};
 use ipa_ftl::{DeviceStats, ShardedFtl, StripePolicy, WriteStrategy};
 use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
-use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine};
+use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine, TableKind};
 
 use crate::spec::{build, Benchmark, WorkloadKind};
 
@@ -216,6 +216,16 @@ pub struct DriverConfig {
     /// next — the condition that surfaces controller queueing in the
     /// latency tail.
     pub streams: u32,
+    /// Buffer-pool read-ahead window (pages posted as one vectored read
+    /// past a sequential miss); 0 disables read-ahead.
+    pub readahead: usize,
+    /// Stripe the WAL over its own `(channels, dies_per_channel)` SLC
+    /// controller; `None` keeps the historic single-chip log device.
+    pub wal_stripe: Option<(u32, u32)>,
+    /// Commits per WAL flush; `None` keeps the loaded-multi-client
+    /// default (32). Small values make the WAL the bottleneck — the
+    /// configuration where striping the log pays.
+    pub group_commit: Option<u32>,
 }
 
 impl Default for DriverConfig {
@@ -228,6 +238,9 @@ impl Default for DriverConfig {
             buffer_frames: None,
             simulated_duration_ns: None,
             streams: 1,
+            readahead: 0,
+            wal_stripe: None,
+            group_commit: None,
         }
     }
 }
@@ -263,6 +276,25 @@ impl DriverConfig {
         self.streams = n;
         self
     }
+
+    /// Enable stripe-aware read-ahead with the given window.
+    pub fn with_readahead(mut self, window: usize) -> Self {
+        self.readahead = window;
+        self
+    }
+
+    /// Stripe the WAL over a `channels × dies_per_channel` controller.
+    pub fn with_wal_stripe(mut self, channels: u32, dies_per_channel: u32) -> Self {
+        self.wal_stripe = Some((channels, dies_per_channel));
+        self
+    }
+
+    /// Override commits-per-WAL-flush (1 = flush on every commit).
+    pub fn with_group_commit(mut self, group: u32) -> Self {
+        assert!(group >= 1);
+        self.group_commit = Some(group);
+        self
+    }
 }
 
 /// Everything a bench table needs about one run.
@@ -279,6 +311,9 @@ pub struct RunResult {
     pub tps: f64,
     /// Device counters over the measured window.
     pub device: DeviceStats,
+    /// Log-device counters over the measured window (`None` when the
+    /// engine runs without a WAL). `wal_stripe_writes` lives here.
+    pub wal_device: Option<DeviceStats>,
     /// Raw flash counters over the measured window.
     pub flash: FlashStats,
     /// Buffer-pool counters (whole run).
@@ -320,6 +355,30 @@ impl RunResult {
             0.0
         } else {
             self.flash.total_programs() as f64 / (self.elapsed_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// One sequential-scan measurement (the read-ahead experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct ScanResult {
+    /// Pages fetched by the pool during the scan (pool misses).
+    pub pages: u64,
+    /// Simulated time of the scan window, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Fetches served from posted read-ahead completions.
+    pub readahead_hits: u64,
+    /// Vectored read submissions the pool posted.
+    pub vectored_reads: u64,
+}
+
+impl ScanResult {
+    /// Scanned pages per simulated second.
+    pub fn pages_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.pages as f64 / (self.elapsed_ns as f64 / 1e9)
         }
     }
 }
@@ -464,6 +523,10 @@ impl Driver {
             elapsed_ns,
             tps,
             device: after.device.delta_since(&before.device),
+            wal_device: after
+                .wal_device
+                .zip(before.wal_device)
+                .map(|(now, then)| now.delta_since(&then)),
             flash: after.flash.delta_since(&before.flash),
             pool: after.pool,
             net_bytes: after.pool.net_bytes,
@@ -554,9 +617,9 @@ impl Driver {
             scheme,
             mode,
             page_size,
-            cfg.buffer_frames,
             topology,
             maint,
+            cfg,
         )?;
         let mut result = Self::run(bench.as_mut(), &mut engine, cfg)?;
         result.mode = mode;
@@ -566,7 +629,9 @@ impl Driver {
     /// [`Driver::make_sharded_engine`] under a [`MaintMode`]: same device
     /// sizing and striping, with the queue cap applied to the controller
     /// and — for background GC — the shards configured to defer low-water
-    /// reclaim to a [`MaintainedFtl`] wrapper around the stripe.
+    /// reclaim to a [`MaintainedFtl`] wrapper around the stripe. The
+    /// driver config supplies the host-side tuning: buffer frames,
+    /// read-ahead window, WAL striping and group-commit depth.
     #[allow(clippy::too_many_arguments)]
     pub fn make_maintained_engine(
         bench: &mut dyn Benchmark,
@@ -574,9 +639,9 @@ impl Driver {
         scheme: NmScheme,
         mode: FlashMode,
         page_size: usize,
-        buffer_frames: Option<usize>,
         topology: Topology,
         maint: MaintMode,
+        cfg: &DriverConfig,
     ) -> Result<StorageEngine> {
         let tables = bench.tables();
         let pages_needed: u64 = tables.iter().map(|t| t.pages).sum();
@@ -595,17 +660,20 @@ impl Driver {
             controller = controller.with_queue_cap(cap);
         }
 
-        let frames = buffer_frames.unwrap_or(32);
-        let config = if strategy.needs_layout() {
-            EngineConfig::default()
-                .with_strategy(strategy, scheme)
-                .with_buffer_frames(frames)
-                .with_group_commit(32)
+        let frames = cfg.buffer_frames.unwrap_or(32);
+        let mut config = if strategy.needs_layout() {
+            EngineConfig::default().with_strategy(strategy, scheme)
         } else {
             EngineConfig::default()
-                .with_buffer_frames(frames)
-                .with_group_commit(32)
-        };
+        }
+        .with_buffer_frames(frames)
+        .with_group_commit(cfg.group_commit.unwrap_or(32));
+        if cfg.readahead > 0 {
+            config = config.with_readahead(cfg.readahead);
+        }
+        if let Some((wal_ch, wal_dies)) = cfg.wal_stripe {
+            config = config.with_striped_wal(wal_ch, wal_dies);
+        }
         let policy = topology.policy;
         StorageEngine::build_with_device(page_size, config, &tables, move |regions, ftl_config| {
             if maint.background_gc {
@@ -633,8 +701,8 @@ impl Driver {
         scheme: NmScheme,
         mode: FlashMode,
         page_size: usize,
-        buffer_frames: Option<usize>,
         topology: Topology,
+        cfg: &DriverConfig,
     ) -> Result<StorageEngine> {
         Self::make_maintained_engine(
             bench,
@@ -642,10 +710,84 @@ impl Driver {
             scheme,
             mode,
             page_size,
-            buffer_frames,
             topology,
             MaintMode::inline(),
+            cfg,
         )
+    }
+
+    /// One-call read-ahead experiment: build a striped engine for
+    /// `kind`, load it, then run [`Driver::sequential_scan`] over its
+    /// largest heap table. `cfg.readahead` decides whether the pool
+    /// prefetches — run it at 0 and again at a window to measure the
+    /// all-channels-scan win.
+    pub fn run_scan(
+        kind: WorkloadKind,
+        scale: u32,
+        topology: Topology,
+        passes: u32,
+        cfg: &DriverConfig,
+    ) -> Result<ScanResult> {
+        let page_size = 8 * 1024;
+        let mut bench = build(kind, scale, page_size);
+        let mut engine = Self::make_sharded_engine(
+            bench.as_mut(),
+            WriteStrategy::Traditional,
+            NmScheme::disabled(),
+            FlashMode::PSlc,
+            page_size,
+            topology,
+            cfg,
+        )?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        bench.load(&mut engine, &mut rng)?;
+        engine.flush_all()?;
+        // Scan the biggest *populated* heap table (budgeted-but-empty
+        // append targets like TPC-B's history don't make a scan).
+        let table = bench
+            .tables()
+            .into_iter()
+            .filter(|t| t.kind == TableKind::Heap)
+            .max_by_key(|t| {
+                engine
+                    .table(&t.name)
+                    .map(|id| engine.table_info(id).allocated_pages)
+                    .unwrap_or(0)
+            })
+            .expect("benchmark has a heap table")
+            .name;
+        Self::sequential_scan(&mut engine, &table, passes)
+    }
+
+    /// Cold sequential scan of `table`, end to end, `passes` times, with
+    /// the cache dropped between passes so every page is fetched from
+    /// flash — the read-ahead experiment's measured window. With
+    /// read-ahead enabled the pool posts neighbour fetches as vectored
+    /// reads, so a round-robin-striped table streams off all channels at
+    /// once; without it every page pays its sense + transfer serially.
+    pub fn sequential_scan(
+        engine: &mut StorageEngine,
+        table: &str,
+        passes: u32,
+    ) -> Result<ScanResult> {
+        let t = engine.table(table)?;
+        let before = engine.stats();
+        // Measure the data device's own horizon: a scan writes nothing,
+        // so the engine-level max(data, wal) clock would hide it behind
+        // log time from the load phase.
+        let device_t0 = engine.pool().device().elapsed_ns();
+        for _ in 0..passes {
+            engine.restart_clean()?;
+            engine.scan(t, |_, _| {})?;
+        }
+        let after = engine.stats();
+        let device = after.device.delta_since(&before.device);
+        Ok(ScanResult {
+            pages: after.pool.misses - before.pool.misses,
+            elapsed_ns: engine.pool().device().elapsed_ns() - device_t0,
+            readahead_hits: device.readahead_hits,
+            vectored_reads: device.vectored_reads,
+        })
     }
 
     /// Build an engine with a device sized for the benchmark.

@@ -135,6 +135,82 @@ fn plane_speedup_composes_with_die_parallelism() {
 }
 
 #[test]
+fn readahead_scan_uses_all_channels() {
+    // The queued API's read-side acceptance bar: a cold sequential scan
+    // on 4ch×2d with stripe-aware read-ahead must run ≥ 1.5× faster
+    // than the same scan without it (measured ~5–7×: neighbour LBAs sit
+    // on neighbour channels, and the posted prefetch vectors keep all of
+    // them sensing/transferring at once).
+    let topo = Topology::new(4, 2, StripePolicy::RoundRobin);
+    let base = DriverConfig::default();
+    let ra = base.clone().with_readahead(8);
+    let off = Driver::run_scan(WorkloadKind::TpcB, 1, topo, 2, &base).expect("scan");
+    let on = Driver::run_scan(WorkloadKind::TpcB, 1, topo, 2, &ra).expect("scan");
+    assert_eq!(off.readahead_hits, 0, "read-ahead off means zero hits");
+    assert_eq!(off.pages, on.pages, "same table, same fetches");
+    assert!(
+        on.readahead_hits * 2 > on.pages,
+        "most fetches of a sequential scan should ride read-ahead: {on:?}"
+    );
+    assert!(
+        on.vectored_reads > 0,
+        "prefetches go out as vectors: {on:?}"
+    );
+    let speedup = off.elapsed_ns as f64 / on.elapsed_ns as f64;
+    assert!(
+        speedup >= 1.5,
+        "read-ahead scan speedup {speedup:.2}x below the 1.5x bar ({off:?} vs {on:?})"
+    );
+}
+
+#[test]
+fn striped_wal_lifts_wal_bound_throughput() {
+    // The queued API's log-side acceptance bar: with strict per-commit
+    // durability (group commit 1) the log device gates TPC-B, and
+    // striping the WAL over its own 4-channel controller — group-commit
+    // flushes submitted as vectored writes, concurrent clients' flushes
+    // overlapping across its dies — must lift throughput over the
+    // single-chip log (measured ~1.8×).
+    let cfg = DriverConfig {
+        transactions: 500,
+        warmup: 100,
+        ..Default::default()
+    }
+    .with_streams(8)
+    .with_group_commit(1);
+    let run = |wal_stripe: Option<(u32, u32)>| {
+        let mut cfg = cfg.clone();
+        if let Some((c, d)) = wal_stripe {
+            cfg = cfg.with_wal_stripe(c, d);
+        }
+        Driver::run_sharded(
+            WorkloadKind::TpcB,
+            1,
+            WriteStrategy::IpaNative,
+            NmScheme::new(2, 4),
+            FlashMode::PSlc,
+            Topology::new(4, 2, StripePolicy::RoundRobin),
+            &cfg,
+        )
+        .expect("wal run")
+    };
+    let single = run(None);
+    let striped = run(Some((4, 1)));
+    assert!(
+        striped.wal_device.is_some() && single.wal_device.is_some(),
+        "runs report log-device counters"
+    );
+    let s = striped.tps / single.tps;
+    assert!(
+        s >= 1.15,
+        "striped WAL must lift WAL-bound TPC-B ≥1.15x: {s:.2}x \
+         ({} vs {} tps)",
+        striped.tps,
+        single.tps
+    );
+}
+
+#[test]
 fn tail_latency_tightens_with_parallelism() {
     let base = run(WorkloadKind::TpcB, Topology::single());
     let wide = run(
