@@ -16,7 +16,7 @@
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
 //!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
 //!       [--maint-tx=N] [--cap=1] [--planes=N] [--readahead[=W]] \
-//!       [--wal-stripe[=C]] [--csv <path>]
+//!       [--wal-stripe[=C]] [--qos] [--csv <path>]
 //!
 //! `--planes=N` (N > 1) appends a plane-scaling section: the write-heavy
 //! traditional path on fixed channels × dies, planes swept over
@@ -32,6 +32,13 @@
 //! WAL-bound TPC-B config (group commit 1) with the historic single-chip
 //! log vs the log striped over its own C-channel controller, group-commit
 //! flushes submitted as one vectored write.
+//!
+//! `--qos` appends the latency-QoS sweep: the GC-heavy traditional path
+//! with background reclaim on the widest topology, FIFO vs QoS
+//! controller scheduling (read promotion over queued programs,
+//! erase-suspend under reclaim erases), reporting the p99.9 *read*
+//! latency delta plus the promotion/suspension counters. Exits non-zero
+//! if QoS makes the read tail worse.
 //!
 //! `--csv` writes every row (all sections) as machine-readable CSV for
 //! the perf trajectory.
@@ -64,7 +71,8 @@ fn csv_row(
         "{section},{topo},{planes},{gc},{cap},{workload},{tps:.1},{speedup:.3},{p50},{p99},\
          {p999},{max},{wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},\
          {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs},\
-         {vectored_reads},{vectored_writes},{readahead_hits},{wal_stripe_writes}\n",
+         {vectored_reads},{vectored_writes},{readahead_hits},{wal_stripe_writes},\
+         {p999_read_ns},{reads_promoted},{erase_suspends}\n",
         planes = topo.planes,
         programs_per_sec = r.programs_per_sec(),
         mp_pairs = r.device.multi_plane_pairs,
@@ -72,10 +80,11 @@ fn csv_row(
         vectored_writes = r.device.vectored_writes,
         readahead_hits = r.device.readahead_hits,
         wal_stripe_writes = r.wal_device.map(|w| w.wal_stripe_writes).unwrap_or(0),
-        gc = if maint.background_gc {
-            "background"
-        } else {
-            "inline"
+        gc = match (maint.background_gc, maint.qos) {
+            (true, true) => "background+qos",
+            (true, false) => "background",
+            (false, true) => "inline+qos",
+            (false, false) => "inline",
         },
         cap = maint.queue_cap.map(|c| c.to_string()).unwrap_or_default(),
         workload = kind.name(),
@@ -92,6 +101,9 @@ fn csv_row(
         bg_erases = r.device.background_gc_erases,
         wear_spread = c.wear_spread(),
         appends = r.device.in_place_fraction(),
+        p999_read_ns = r.read_latency.p999_ns,
+        reads_promoted = c.reads_promoted,
+        erase_suspends = c.erase_suspends,
     ));
 }
 
@@ -116,12 +128,14 @@ fn main() {
     } else {
         0
     };
+    let qos = ipa_bench::flag("qos");
     let csv_path = ipa_bench::str_arg("csv");
     let mut csv = String::from(
         "section,topology,planes,gc_mode,queue_cap,workload,tps,speedup,p50_ns,p99_ns,p999_ns,\
          max_ns,mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
          busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs,\
-         vectored_reads,vectored_writes,readahead_hits,wal_stripe_writes\n",
+         vectored_reads,vectored_writes,readahead_hits,wal_stripe_writes,p999_read_ns,\
+         reads_promoted,erase_suspends\n",
     );
 
     let topologies = [
@@ -419,7 +433,7 @@ fn main() {
             );
             csv.push_str(&format!(
                 "scan,{scan_topo},{planes},inline,,{workload},{pps:.1},{speedup:.3},0,0,0,0,0.0,\
-                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0\n",
+                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0,0,0,0\n",
                 planes = scan_topo.planes,
                 workload = kind.name(),
                 pps = on.pages_per_sec(),
@@ -497,7 +511,7 @@ fn main() {
                 );
                 csv.push_str(&format!(
                     "wal,{wide},{planes},inline,,{workload},{tps:.1},{speedup:.3},{p50},{p99},\
-                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw}\n",
+                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw},0,0,0\n",
                     planes = wide.planes,
                     workload = kind.name(),
                     tps = r.tps,
@@ -517,6 +531,99 @@ fn main() {
                 );
             } else {
                 println!("  -> striped WAL no win on {} ({s:.2}x): FAIL", kind.name());
+                exit = 1;
+            }
+        }
+        ipa_bench::rule(118);
+    }
+
+    // ── Latency-QoS sweep ────────────────────────────────────────────
+    // The foreground-read-tail experiment: GC-heavy traditional writes
+    // with background reclaim on the widest topology, FIFO die queues vs
+    // the QoS scheduler (short posted reads promoted over queued
+    // programs, reclaim erases suspended for host reads). The row pair
+    // reports the p99.9 *device read* latency — the tail the reorder
+    // windows exist to cut — plus the scheduler's own counters.
+    if qos {
+        let wide = Topology::new(4, 2, StripePolicy::RoundRobin);
+        let qos_cfg = DriverConfig::default()
+            .with_transactions(maint_tx)
+            .with_seed(seed)
+            .with_streams(streams);
+        let modes = [
+            ("fifo", MaintMode::background(None)),
+            ("qos", MaintMode::background(None).with_qos()),
+        ];
+        println!(
+            "latency-QoS sweep — traditional writes on {wide}, background GC, {streams} streams, {maint_tx} tx"
+        );
+        ipa_bench::rule(118);
+        println!(
+            "{:<10}{:>10}{:>10}{:>14}{:>15}{:>12}{:>12}{:>12}{:>12}",
+            "scheduler",
+            "workload",
+            "tps",
+            "p99.9 rd µs",
+            "Δp99.9 rd %",
+            "p99 µs",
+            "promoted",
+            "suspends",
+            "bg erases"
+        );
+        ipa_bench::rule(118);
+        for kind in workloads {
+            let mut base: Option<RunResult> = None;
+            let mut last: Option<RunResult> = None;
+            for (label, maint) in &modes {
+                let r = Driver::run_maintained(
+                    kind,
+                    scale,
+                    WriteStrategy::Traditional,
+                    NmScheme::disabled(),
+                    FlashMode::PSlc,
+                    wide,
+                    *maint,
+                    &qos_cfg,
+                )
+                .expect("qos run");
+                let b = base.get_or_insert_with(|| r.clone());
+                let d999 = ipa_bench::pct(
+                    r.read_latency.p999_ns as f64,
+                    b.read_latency.p999_ns.max(1) as f64,
+                );
+                let c = r.controller.unwrap_or_default();
+                println!(
+                    "{:<10}{:>10}{:>10.0}{:>14.1}{:>15}{:>12.1}{:>12}{:>12}{:>12}",
+                    label,
+                    kind.name(),
+                    r.tps,
+                    r.read_latency.p999_ns as f64 / 1e3,
+                    ipa_bench::fmt_pct(d999),
+                    r.latency.p99_ns as f64 / 1e3,
+                    c.reads_promoted,
+                    c.erase_suspends,
+                    r.device.background_gc_erases,
+                );
+                csv_row(&mut csv, "qos", &wide, maint, kind, &r, r.tps / b.tps);
+                last = Some(r);
+            }
+            let (b, q) = (base.expect("fifo baseline"), last.expect("qos run"));
+            // The wall test (tests/tail_latency_slo.rs) enforces the
+            // ≥ 25% p99.9 read-tail cut at full scale; the smoke-sized
+            // sweep only insists QoS never makes the tail worse.
+            let ratio = q.read_latency.p999_ns as f64 / b.read_latency.p999_ns.max(1) as f64;
+            if ratio <= 1.0 {
+                println!(
+                    "  -> QoS p99.9 read tail {:.2}x of FIFO on {}: PASS",
+                    ratio,
+                    kind.name()
+                );
+            } else {
+                println!(
+                    "  -> QoS p99.9 read tail {:.2}x of FIFO on {}: FAIL",
+                    ratio,
+                    kind.name()
+                );
                 exit = 1;
             }
         }

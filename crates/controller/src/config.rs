@@ -30,6 +30,13 @@ pub struct ControllerConfig {
     /// by the maintenance scheduler, which gates on die idleness instead.
     #[serde(default)]
     pub queue_cap: Option<usize>,
+    /// Latency-QoS scheduling: let short host reads jump ahead of posted
+    /// program/erase work still queued on their die, suspending in-flight
+    /// erases (within the chip's resume bound) when one blocks the read.
+    /// Off by default — FIFO dispatch is the reference timing model every
+    /// parity wall pins.
+    #[serde(default)]
+    pub qos: bool,
 }
 
 impl ControllerConfig {
@@ -45,6 +52,7 @@ impl ControllerConfig {
             dies_per_channel,
             chip,
             queue_cap: None,
+            qos: false,
         }
     }
 
@@ -52,6 +60,13 @@ impl ControllerConfig {
     pub fn with_queue_cap(mut self, cap: usize) -> Self {
         assert!(cap >= 1, "a zero queue cap would deadlock every program");
         self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Enable latency-QoS read scheduling (out-of-order reads +
+    /// erase-suspend; see [`ControllerConfig::qos`]).
+    pub fn with_qos(mut self) -> Self {
+        self.qos = true;
         self
     }
 

@@ -31,6 +31,23 @@
 //! submission order. Per-die FIFO dispatch means the logical outcome is
 //! identical to the sequential single-chip execution — only *time* is
 //! scheduled, which is what makes die-striped parity checks meaningful.
+//!
+//! ## Latency QoS (opt-in: [`ControllerConfig::with_qos`])
+//!
+//! With QoS enabled the per-die queue becomes a *reorder window* for host
+//! reads: a short read may start in an idle gap, jump pending posted
+//! programs/erases (they are pushed out by exactly the read's occupancy),
+//! or *suspend* an in-flight erase pulse — paying the chip's
+//! `erase_suspend_ns` park cost and pushing the erase's completion out by
+//! the read's run time, bounded by `erase_resume_limit` suspensions per
+//! erase so an erase under constant read pressure still finishes. Only
+//! *time* is reordered: chip state is mutated eagerly in submission order,
+//! so read-your-writes holds by construction and
+//! [`FlashController::sync`] remains a total barrier. Promotion applies to
+//! host reads issued outside posted-read windows and to reads inside a
+//! *priority* window ([`FlashController::begin_priority_reads`]) — bulk
+//! vectored reads (read-ahead) stay FIFO so background streaming cannot
+//! starve posted writes.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -44,10 +61,37 @@ use ipa_flash::{
 use crate::config::ControllerConfig;
 use crate::stats::{ControllerStats, DieStats};
 
+/// What kind of array work a posted command occupies the die with —
+/// decides whether the QoS scheduler may suspend it mid-pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PostedKind {
+    /// Program / re-program / append / multi-plane program.
+    Program,
+    /// Block erase — suspendable while `resumes_left > 0`.
+    Erase,
+}
+
 /// A posted (not-yet-complete relative to host time) command on a die.
 #[derive(Debug, Clone, Copy)]
 struct Posted {
+    /// When the command engages the die (bus start for transfers).
+    start_ns: u64,
     done_ns: u64,
+    kind: PostedKind,
+    /// Erase-suspend budget left (always 0 for programs).
+    resumes_left: u16,
+}
+
+/// A promotion slot the QoS scheduler found for a host read: where the
+/// read may start and which queued work has to move for it.
+struct QosSlot {
+    /// Earliest instant the die array can attend to the read.
+    start_ns: u64,
+    /// First queue index that must be pushed out past the read.
+    pending_from: usize,
+    /// In-flight erase being suspended: (queue index, array time the
+    /// erase still needs when it resumes).
+    suspended: Option<(usize, u64)>,
 }
 
 struct DieState {
@@ -56,6 +100,10 @@ struct DieState {
     clock: SimClock,
     /// Posted commands still in flight at host time.
     queue: VecDeque<Posted>,
+    /// End of the latest QoS-promoted read on this die — promoted reads
+    /// serialize among themselves even while the die clock is pushed out
+    /// by the shifted posted tail.
+    read_busy_ns: u64,
     stats: DieStats,
 }
 
@@ -80,6 +128,15 @@ pub struct FlashController {
     posted_read_depth: u32,
     /// Latest completion inside the current posted-read window.
     posted_read_horizon: u64,
+    /// Nesting depth of *priority* posted-read windows: reads inside are
+    /// eligible for QoS promotion (plain posted windows stay FIFO).
+    priority_read_depth: u32,
+    /// Posted-read members surfaced to the queue whose completions the
+    /// host has neither polled nor forgotten yet.
+    outstanding_posted_reads: u64,
+    /// Device-side latency (`done - submit`) of every host read, in issue
+    /// order — the tail-latency SLO wall samples p99.9 from here.
+    read_lat: Vec<u64>,
     stats: ControllerStats,
 }
 
@@ -90,6 +147,7 @@ impl FlashController {
                 chip: FlashChip::new(cfg.chip_for_die(d)),
                 clock: SimClock::new(),
                 queue: VecDeque::new(),
+                read_busy_ns: 0,
                 stats: DieStats::default(),
             })
             .collect();
@@ -102,6 +160,9 @@ impl FlashController {
             internal_depth: 0,
             posted_read_depth: 0,
             posted_read_horizon: 0,
+            priority_read_depth: 0,
+            outstanding_posted_reads: 0,
+            read_lat: Vec::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -143,6 +204,7 @@ impl FlashController {
     /// the spread aggregates every plane's erases, not plane 0's.
     pub fn stats(&self) -> ControllerStats {
         let mut s = self.stats;
+        s.posted_reads_outstanding = self.outstanding_posted_reads;
         s.min_die_erases = u64::MAX;
         s.max_die_erases = 0;
         for die in 0..self.dies.len() as u32 {
@@ -224,6 +286,48 @@ impl FlashController {
         self.posted_read_horizon
     }
 
+    /// Open a *priority* posted-read window: reads inside are posted like
+    /// [`FlashController::begin_posted_reads`] *and* eligible for QoS
+    /// promotion (jumping queued posted work, suspending in-flight
+    /// erases) when the controller runs with
+    /// [`crate::ControllerConfig::with_qos`]. Nests.
+    pub fn begin_priority_reads(&mut self) {
+        self.begin_posted_reads();
+        self.priority_read_depth += 1;
+    }
+
+    /// Close a priority window; returns the completion horizon exactly
+    /// like [`FlashController::end_posted_reads`].
+    pub fn end_priority_reads(&mut self) -> u64 {
+        debug_assert!(
+            self.priority_read_depth > 0,
+            "unbalanced end_priority_reads"
+        );
+        self.priority_read_depth = self.priority_read_depth.saturating_sub(1);
+        self.end_posted_reads()
+    }
+
+    /// A posted-read completion was consumed by the host's `poll`: its
+    /// members leave the outstanding completion horizon.
+    pub fn note_posted_reads_polled(&mut self, members: u64) {
+        self.outstanding_posted_reads = self.outstanding_posted_reads.saturating_sub(members);
+    }
+
+    /// A posted-read completion was abandoned via `forget`: retire its
+    /// members from the outstanding completion horizon without polling,
+    /// so the gauge cannot drift and later waits don't account for data
+    /// nobody wants.
+    pub fn retire_forgotten_reads(&mut self, members: u64) {
+        self.stats.forgotten_reads += members;
+        self.outstanding_posted_reads = self.outstanding_posted_reads.saturating_sub(members);
+    }
+
+    /// Device-side latency (`done − submit`) of every host read so far,
+    /// in issue order. Benchmarks slice this by index to window samples.
+    pub fn read_latencies(&self) -> &[u64] {
+        &self.read_lat
+    }
+
     /// Per-die utilisation counters.
     pub fn die_stats(&self, die: u32) -> DieStats {
         self.dies[die as usize].stats
@@ -301,6 +405,86 @@ impl FlashController {
         }
     }
 
+    /// QoS policy: find a promotion slot for a host read submitted at
+    /// `submit` on die `d`, or `None` to fall back to FIFO dispatch.
+    /// Promotion applies when QoS is configured, the read is host-issued
+    /// (not firmware-internal), it is either a plain blocking read or
+    /// inside a priority window, and posted work is actually queued.
+    fn qos_read_slot(&mut self, d: usize, submit: u64) -> Option<QosSlot> {
+        if !self.cfg.qos
+            || self.internal_depth > 0
+            || (self.posted_read_depth > 0 && self.priority_read_depth == 0)
+        {
+            return None;
+        }
+        self.retire(d);
+        // The instant the die array could first attend to this read:
+        // promoted reads on one die serialize among themselves.
+        let t0 = submit.max(self.dies[d].read_busy_ns);
+        let idx = self.dies[d].queue.iter().position(|p| p.done_ns > t0)?;
+        let e = self.dies[d].queue[idx];
+        if e.start_ns > t0 {
+            // Idle gap before `e` engages the die: slot the read in; `e`
+            // and everything behind it move out only if the read overruns
+            // the gap.
+            Some(QosSlot {
+                start_ns: t0,
+                pending_from: idx,
+                suspended: None,
+            })
+        } else if e.kind == PostedKind::Erase && e.resumes_left > 0 {
+            // Suspend the in-flight erase pulse: the array parks it in
+            // `erase_suspend_ns`, serves the read, then resumes the
+            // remaining pulse time once the read's occupancy ends.
+            let park = self.cfg.chip.latency.erase_suspend_ns;
+            Some(QosSlot {
+                start_ns: t0 + park,
+                pending_from: idx + 1,
+                suspended: Some((idx, e.done_ns - t0)),
+            })
+        } else {
+            // Unsuspendable in-flight command: wait for it alone and jump
+            // everything queued behind it.
+            Some(QosSlot {
+                start_ns: e.done_ns,
+                pending_from: idx + 1,
+                suspended: None,
+            })
+        }
+    }
+
+    /// Apply a promotion: reschedule the suspended erase, push the
+    /// pending posted tail out past the read, and keep the die clock on
+    /// the new horizon. Chip state is untouched — promotion reorders
+    /// time, never state.
+    fn commit_qos_slot(&mut self, d: usize, slot: QosSlot, read_done: u64) {
+        let mut floor = read_done;
+        if let Some((idx, remaining)) = slot.suspended {
+            self.stats.erase_suspends += 1;
+            self.dies[d].chip.record_erase_suspend();
+            let e = &mut self.dies[d].queue[idx];
+            e.resumes_left -= 1;
+            e.done_ns = read_done + remaining;
+            floor = e.done_ns;
+        }
+        let q = &mut self.dies[d].queue;
+        if let Some(first) = q.get(slot.pending_from) {
+            let delta = floor.saturating_sub(first.start_ns);
+            if delta > 0 {
+                for p in q.iter_mut().skip(slot.pending_from) {
+                    p.start_ns += delta;
+                    p.done_ns += delta;
+                }
+            }
+        }
+        if let Some(back) = self.dies[d].queue.back() {
+            let end = back.done_ns;
+            self.dies[d].clock.advance_to(end);
+        }
+        self.dies[d].clock.advance_to(floor);
+        self.dies[d].read_busy_ns = self.dies[d].read_busy_ns.max(read_done);
+    }
+
     /// Read: sense on the die, then transfer over the channel. A host
     /// read (`sync_host`) blocks the host clock until the data arrives; a
     /// firmware copy-back read only occupies the die and channel.
@@ -342,19 +526,46 @@ impl FlashController {
         let sense = dt.saturating_sub(bus);
         let ch = self.cfg.channel_of(die) as usize;
 
-        let start = submit.max(self.dies[d].clock.now_ns());
+        let fifo_start = submit.max(self.dies[d].clock.now_ns());
+        let slot = if sync_host {
+            self.qos_read_slot(d, submit)
+        } else {
+            None
+        };
+        let start = slot.as_ref().map_or(fifo_start, |s| s.start_ns);
         let sense_end = start + sense;
-        let bus_start = sense_end.max(self.channels[ch].now_ns());
-        let done = bus_start + bus;
+        let (bus_start, done);
+        if slot.is_some() {
+            // A promoted read preempts the channel as well as the die:
+            // queued posted DMA yields, its tail pushed out by exactly
+            // the read's transfer time.
+            bus_start = sense_end;
+            done = bus_start + bus;
+            let ch_free = self.channels[ch].now_ns();
+            self.channels[ch].advance_to(done.max(ch_free + bus));
+        } else {
+            bus_start = sense_end.max(self.channels[ch].now_ns());
+            done = bus_start + bus;
+            self.channels[ch].advance_to(done);
+        }
 
+        if let Some(slot) = slot {
+            self.commit_qos_slot(d, slot, done);
+            if start < fifo_start {
+                self.stats.reads_promoted += 1;
+            }
+        }
         self.dies[d].clock.advance_to(done);
-        self.channels[ch].advance_to(done);
         if sync_host {
+            if self.internal_depth == 0 {
+                self.read_lat.push(done - submit);
+            }
             if self.posted_read_depth > 0 {
                 // Posted-read window: the data is in flight; record when
                 // it lands instead of stalling the submitting clock.
                 self.posted_read_horizon = self.posted_read_horizon.max(done);
                 self.stats.posted_reads += 1;
+                self.outstanding_posted_reads += 1;
             } else {
                 self.host.advance_to(done);
             }
@@ -424,7 +635,21 @@ impl FlashController {
         }
         self.dies[d].clock.advance_to(done);
         self.retire(d);
-        self.dies[d].queue.push_back(Posted { done_ns: done });
+        let resumes_left = if is_erase {
+            self.dies[d].chip.config().erase_resume_limit
+        } else {
+            0
+        };
+        self.dies[d].queue.push_back(Posted {
+            start_ns: start,
+            done_ns: done,
+            kind: if is_erase {
+                PostedKind::Erase
+            } else {
+                PostedKind::Program
+            },
+            resumes_left,
+        });
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.dies[d].queue.len());
 
         self.dies[d].stats.commands += 1;
@@ -1025,6 +1250,175 @@ mod tests {
         assert_eq!(s.wear_spread(), 1);
         assert_eq!(ctrl.borrow().die_erase_count(0), 2);
         assert_eq!(ctrl.borrow().die_erase_count(1), 1);
+    }
+
+    #[test]
+    fn qos_read_jumps_pending_programs() {
+        // Four posted programs queue on one die; a blocking read then
+        // arrives. FIFO pays the whole burst; QoS waits only for the
+        // in-flight program and jumps the pending three.
+        let run = |qos: bool| -> (u64, ControllerStats) {
+            let mut c = cfg(1, 1);
+            if qos {
+                c = c.with_qos();
+            }
+            let ctrl = FlashController::shared(c);
+            let mut h = FlashController::handles(&ctrl).remove(0);
+            let (data, oob) = page(&h, 0x00);
+            h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+            ctrl.borrow_mut().sync();
+            for p in 1..5 {
+                h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
+            }
+            let t0 = ctrl.borrow().host_ns();
+            h.read_page(Ppa::new(0, 0)).unwrap();
+            let latency = ctrl.borrow().host_ns() - t0;
+            let stats = ctrl.borrow().stats();
+            (latency, stats)
+        };
+        let (fifo, fifo_stats) = run(false);
+        let (qos, qos_stats) = run(true);
+        assert_eq!(fifo_stats.reads_promoted, 0, "FIFO never promotes");
+        assert_eq!(qos_stats.reads_promoted, 1);
+        assert!(
+            2 * qos < fifo,
+            "promoted read must beat the FIFO burst by 2×: {qos} vs {fifo} ns"
+        );
+        // The jumped programs still happen — pushed out, not dropped.
+        assert_eq!(qos_stats.programs, fifo_stats.programs);
+    }
+
+    #[test]
+    fn qos_read_suspends_an_inflight_erase() {
+        let erase_ns = cfg(1, 1).chip.latency.erase_ns;
+        let ctrl = FlashController::shared(cfg(1, 1).with_qos());
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0xA5);
+        h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
+        ctrl.borrow_mut().sync();
+        let t0 = ctrl.borrow().host_ns();
+
+        h.erase_block(3).unwrap(); // in flight, 1.5 ms of array time
+        h.read_page(Ppa::new(1, 0)).unwrap();
+        let read_latency = ctrl.borrow().host_ns() - t0;
+        assert!(
+            read_latency < erase_ns / 4,
+            "suspended erase must not gate the read: {read_latency} ns"
+        );
+        let s = ctrl.borrow().stats();
+        assert_eq!(s.erase_suspends, 1);
+        assert_eq!(s.reads_promoted, 1);
+        assert_eq!(ctrl.borrow().die_flash_stats(0).erase_suspends, 1);
+        // The erase still completes in full: its pulse remainder lands
+        // after the read, pushing the die horizon past submit + erase.
+        let merged = ctrl.borrow_mut().sync();
+        assert!(merged >= t0 + erase_ns + read_latency);
+    }
+
+    #[test]
+    fn erase_suspend_resume_budget_is_bounded() {
+        // tiny() carries erase_resume_limit = 2: the third and fourth
+        // back-to-back reads must wait for the twice-suspended erase to
+        // finish instead of suspending it again.
+        let ctrl = FlashController::shared(cfg(1, 1).with_qos());
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0xA5);
+        h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
+        ctrl.borrow_mut().sync();
+        h.erase_block(3).unwrap();
+        for _ in 0..4 {
+            h.read_page(Ppa::new(1, 0)).unwrap();
+        }
+        let s = ctrl.borrow().stats();
+        assert_eq!(
+            s.erase_suspends, 2,
+            "resume budget must bound suspensions: {s}"
+        );
+        assert_eq!(ctrl.borrow().die_flash_stats(0).erase_suspends, 2);
+    }
+
+    #[test]
+    fn priority_window_promotes_posted_reads() {
+        // Bulk posted-read windows stay FIFO under QoS; priority windows
+        // promote. Same traffic, different window kind.
+        let run = |priority: bool| -> (u64, ControllerStats) {
+            let ctrl = FlashController::shared(cfg(1, 1).with_qos());
+            let mut h = FlashController::handles(&ctrl).remove(0);
+            let (data, oob) = page(&h, 0x3C);
+            h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+            ctrl.borrow_mut().sync();
+            for p in 1..4 {
+                h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
+            }
+            let t0 = ctrl.borrow().host_ns();
+            if priority {
+                ctrl.borrow_mut().begin_priority_reads();
+            } else {
+                ctrl.borrow_mut().begin_posted_reads();
+            }
+            h.read_page(Ppa::new(0, 0)).unwrap();
+            let horizon = if priority {
+                ctrl.borrow_mut().end_priority_reads()
+            } else {
+                ctrl.borrow_mut().end_posted_reads()
+            };
+            let stats = ctrl.borrow().stats();
+            (horizon - t0, stats)
+        };
+        let (bulk, bulk_stats) = run(false);
+        let (prio, prio_stats) = run(true);
+        assert_eq!(bulk_stats.reads_promoted, 0, "bulk windows stay FIFO");
+        assert_eq!(prio_stats.reads_promoted, 1);
+        assert!(
+            prio < bulk,
+            "priority read must land before the posted burst drains: {prio} vs {bulk} ns"
+        );
+        assert_eq!(bulk_stats.posted_reads, 1);
+        assert_eq!(prio_stats.posted_reads, 1, "priority reads are posted too");
+    }
+
+    #[test]
+    fn forgotten_reads_retire_from_the_horizon() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        let (data, oob) = page(&handles[0], 0xA5);
+        for h in handles.iter_mut() {
+            h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        }
+        ctrl.borrow_mut().sync();
+        ctrl.borrow_mut().begin_posted_reads();
+        handles[0].read_page(Ppa::new(0, 0)).unwrap();
+        handles[1].read_page(Ppa::new(0, 0)).unwrap();
+        ctrl.borrow_mut().end_posted_reads();
+        assert_eq!(ctrl.borrow().stats().posted_reads_outstanding, 2);
+
+        ctrl.borrow_mut().note_posted_reads_polled(1);
+        ctrl.borrow_mut().retire_forgotten_reads(1);
+        let s = ctrl.borrow().stats();
+        assert_eq!(s.posted_reads_outstanding, 0, "gauge must not drift");
+        assert_eq!(s.forgotten_reads, 1);
+        assert_eq!(s.posted_reads, 2, "issue counter unchanged");
+    }
+
+    #[test]
+    fn read_latencies_record_host_reads_only() {
+        let ctrl = FlashController::shared(cfg(1, 1).with_qos());
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0x0F);
+        h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        ctrl.borrow_mut().sync();
+        h.read_page(Ppa::new(0, 0)).unwrap();
+        ctrl.borrow_mut().begin_internal();
+        h.copyback_read(Ppa::new(0, 0)).unwrap();
+        h.read_page(Ppa::new(0, 0)).unwrap();
+        ctrl.borrow_mut().end_internal();
+        let c = ctrl.borrow();
+        assert_eq!(
+            c.read_latencies().len(),
+            1,
+            "copy-backs and firmware-internal reads are not host samples"
+        );
+        assert!(c.read_latencies()[0] > 0);
     }
 
     #[test]

@@ -36,6 +36,24 @@ pub struct ControllerStats {
     pub max_die_erases: u64,
     /// Erase count of the least-erased die.
     pub min_die_erases: u64,
+    /// QoS scheduler: host reads that started earlier than FIFO dispatch
+    /// would have allowed (jumped pending posted work, or suspended an
+    /// in-flight erase).
+    #[serde(default)]
+    pub reads_promoted: u64,
+    /// QoS scheduler: erase-suspend commands issued so a host read could
+    /// cut through an in-flight erase pulse.
+    #[serde(default)]
+    pub erase_suspends: u64,
+    /// Posted-read completions the host abandoned via `forget` — retired
+    /// from the completion horizon without ever being polled.
+    #[serde(default)]
+    pub forgotten_reads: u64,
+    /// Posted reads surfaced to the queue whose completions have been
+    /// neither polled nor forgotten yet (a gauge, not a counter; nonzero
+    /// only while completions are in flight).
+    #[serde(default)]
+    pub posted_reads_outstanding: u64,
 }
 
 impl ControllerStats {
@@ -61,7 +79,7 @@ impl fmt::Display for ControllerStats {
         write!(
             f,
             "cmds={} (r={} p={} e={}) wait={:.3}ms bus={:.3}ms depth_max={} syncs={} \
-             ncq_stalls={} ncq_wait={:.3}ms wear_spread={}",
+             ncq_stalls={} ncq_wait={:.3}ms wear_spread={} promoted={} suspends={}",
             self.commands,
             self.reads,
             self.programs,
@@ -72,7 +90,9 @@ impl fmt::Display for ControllerStats {
             self.sync_points,
             self.backpressure_stalls,
             self.backpressure_wait_ns as f64 / 1e6,
-            self.wear_spread()
+            self.wear_spread(),
+            self.reads_promoted,
+            self.erase_suspends
         )
     }
 }

@@ -532,6 +532,17 @@ impl FlashChip {
         Ok(())
     }
 
+    /// Record an erase-suspend served by this die. The scheduler owns the
+    /// erase-suspend *timing* (the suspend cost and the pushed-out resume
+    /// live on the controller's die clock); the chip records the event and
+    /// charges the park/resume overhead as array-busy time. State is
+    /// untouched — the erase already completed eagerly when it was issued,
+    /// and suspension reorders time, never state.
+    pub fn record_erase_suspend(&mut self) {
+        self.stats.erase_suspends += 1;
+        self.stats.busy_ns += self.config.latency.erase_suspend_ns;
+    }
+
     /// Mark a block bad by hand (failure-injection hooks).
     pub fn retire_block(&mut self, block: u32) -> Result<()> {
         if block >= self.config.geometry.blocks {

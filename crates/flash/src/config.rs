@@ -16,6 +16,11 @@ pub struct LatencyModel {
     pub bus_ns_per_byte: u64,
     /// Block erase time, nanoseconds.
     pub erase_ns: u64,
+    /// Time for the array to park an in-flight erase pulse on an
+    /// erase-suspend command, before the die can serve a read. Datasheet
+    /// tESPD-class figures; well under one sense time.
+    #[serde(default)]
+    pub erase_suspend_ns: u64,
 }
 
 impl LatencyModel {
@@ -25,6 +30,7 @@ impl LatencyModel {
             read_sense_ns: 25_000,
             bus_ns_per_byte: 5,
             erase_ns: 1_500_000,
+            erase_suspend_ns: 20_000,
         }
     }
 
@@ -34,6 +40,7 @@ impl LatencyModel {
             read_sense_ns: 75_000,
             bus_ns_per_byte: 5,
             erase_ns: 3_000_000,
+            erase_suspend_ns: 50_000,
         }
     }
 
@@ -43,6 +50,7 @@ impl LatencyModel {
             read_sense_ns: 90_000,
             bus_ns_per_byte: 5,
             erase_ns: 3_500_000,
+            erase_suspend_ns: 50_000,
         }
     }
 
@@ -77,6 +85,12 @@ pub struct DeviceConfig {
     /// default; the longevity experiment (E4) divides this by the measured
     /// erase rate.
     pub erase_endurance: u32,
+    /// How many times one in-flight erase may be suspended for host reads
+    /// before it runs to completion unsuspendably (datasheets bound the
+    /// resume count so an erase under constant read pressure still
+    /// finishes). Zero disables erase-suspend entirely.
+    #[serde(default)]
+    pub erase_resume_limit: u16,
 }
 
 impl DeviceConfig {
@@ -95,6 +109,7 @@ impl DeviceConfig {
                 FlashMode::Tlc3d => 3_000,
                 _ => 5_000,
             },
+            erase_resume_limit: 2,
         }
     }
 
@@ -124,10 +139,18 @@ impl DeviceConfig {
         let seed = self.seed;
         let nop = self.nop_override;
         let disturb = self.disturb;
+        let resume_limit = self.erase_resume_limit;
         self = DeviceConfig::new(self.geometry, mode);
         self.seed = seed;
         self.nop_override = nop;
         self.disturb = disturb;
+        self.erase_resume_limit = resume_limit;
+        self
+    }
+
+    /// Builder-style erase-suspend resume bound (0 disables suspend).
+    pub fn with_erase_resume_limit(mut self, limit: u16) -> Self {
+        self.erase_resume_limit = limit;
         self
     }
 

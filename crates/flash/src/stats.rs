@@ -31,6 +31,10 @@ pub struct FlashStats {
     pub disturb_bits_injected: u64,
     /// Total simulated time the device spent busy, in nanoseconds.
     pub busy_ns: u64,
+    /// Erase-suspend commands served: an in-flight block erase parked its
+    /// pulse so the die could answer a host read, then resumed.
+    #[serde(default)]
+    pub erase_suspends: u64,
 }
 
 impl FlashStats {
@@ -56,6 +60,7 @@ impl FlashStats {
             bytes_written: self.bytes_written + other.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected + other.disturb_bits_injected,
             busy_ns: self.busy_ns + other.busy_ns,
+            erase_suspends: self.erase_suspends + other.erase_suspends,
         }
     }
 
@@ -72,6 +77,7 @@ impl FlashStats {
             bytes_written: self.bytes_written - earlier.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected - earlier.disturb_bits_injected,
             busy_ns: self.busy_ns - earlier.busy_ns,
+            erase_suspends: self.erase_suspends - earlier.erase_suspends,
         }
     }
 }

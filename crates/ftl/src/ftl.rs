@@ -1120,8 +1120,12 @@ impl<C: Nand> IoQueue for Ftl<C> {
     fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
         let submitted = self.chip.elapsed_ns();
         let mut data = Vec::new();
+        let mut rejected = Vec::new();
         match &req {
-            IoRequest::ReadV(lbas) => {
+            // No scheduler behind a single chip: the priority lane is
+            // plain FIFO here, but the request stays accepted so hosts
+            // can program against one queue contract.
+            IoRequest::ReadV(lbas) | IoRequest::HighPriorityReadV(lbas) => {
                 for &lba in lbas {
                     let mut buf = vec![0u8; self.page_size()];
                     BlockDevice::read(self, lba, &mut buf)?;
@@ -1136,12 +1140,23 @@ impl<C: Nand> IoQueue for Ftl<C> {
             IoRequest::WriteDelta { lba, offset, delta } => {
                 self.write_delta(*lba, *offset, delta)?;
             }
+            IoRequest::WriteDeltaV(members) => {
+                for (i, (lba, offset, delta)) in members.iter().enumerate() {
+                    match self.write_delta(*lba, *offset, delta) {
+                        Ok(()) => {}
+                        Err(FtlError::InPlaceRejected { .. }) => rejected.push(i),
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
             IoRequest::Trim(lba) => self.trim(*lba)?,
             IoRequest::Flush => self.drain_staged()?,
         }
         self.queue.count_request(&req);
         let done = self.chip.elapsed_ns();
-        Ok(self.queue.complete(data, submitted, done))
+        Ok(self
+            .queue
+            .complete_with_rejections(data, rejected, submitted, done))
     }
 
     fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {

@@ -63,6 +63,14 @@ pub enum IoRequest {
     /// request order. Posted: the submission clock does not wait for the
     /// data — [`IoQueue::poll`] is the wait.
     ReadV(Vec<Lba>),
+    /// [`IoRequest::ReadV`] on the latency-priority lane: on a
+    /// QoS-scheduled device the members may be dispatched *ahead of*
+    /// posted program/erase work already queued on their dies (suspending
+    /// in-flight erases within the chip's resume budget). Host point
+    /// reads travel this lane; bulk read-ahead stays on `ReadV` so
+    /// streaming cannot starve posted writes. Devices without a QoS
+    /// scheduler treat it exactly as `ReadV`.
+    HighPriorityReadV(Vec<Lba>),
     /// Write whole pages (posted, like the sync `write`).
     WriteV(Vec<(Lba, Vec<u8>)>),
     /// Native IPA delta append (`write_delta`) as a queued command.
@@ -71,6 +79,13 @@ pub enum IoRequest {
         offset: usize,
         delta: Vec<u8>,
     },
+    /// Vectored native delta appends `(lba, offset, delta)` — the evict
+    /// path's analogue of a multi-page `WriteV`: members landing on
+    /// distinct dies post and overlap like any vectored submission.
+    /// A member the device rejects for in-place append (NOP budget, ECC
+    /// verdict) does *not* fail the request: its index is reported in
+    /// [`IoCompletion::rejected`] and the host falls back per member.
+    WriteDeltaV(Vec<(Lba, usize, Vec<u8>)>),
     /// Drop the mapping for an LBA.
     Trim(Lba),
     /// Settle acknowledged-but-unprogrammed device state (plane-pairing
@@ -91,6 +106,10 @@ pub struct IoCompletion {
     pub token: IoToken,
     /// Pages read (`ReadV` only), in request order; empty otherwise.
     pub data: Vec<Vec<u8>>,
+    /// `WriteDeltaV` member indices the device rejected for in-place
+    /// append (the host re-drives those members out of place); empty for
+    /// every other request kind.
+    pub rejected: Vec<usize>,
     /// Submission-side clock at acceptance.
     pub submitted_ns: u64,
     /// Device clock when the whole request is done (max over the per-die
@@ -116,11 +135,26 @@ pub struct SubmissionState {
     /// Host-attributed: WAL group-commit flushes submitted as one
     /// multi-page vector ([`IoQueue::note_wal_stripe_write`]).
     pub wal_stripe_writes: u64,
+    /// `WriteDeltaV` submissions spanning more than one member — the
+    /// evict path's batched delta appends.
+    pub vectored_deltas: u64,
 }
 
 impl SubmissionState {
     /// Record a finished request and hand out its token.
     pub fn complete(&mut self, data: Vec<Vec<u8>>, submitted_ns: u64, done_ns: u64) -> IoToken {
+        self.complete_with_rejections(data, Vec::new(), submitted_ns, done_ns)
+    }
+
+    /// [`SubmissionState::complete`] carrying per-member in-place
+    /// rejections (`WriteDeltaV`).
+    pub fn complete_with_rejections(
+        &mut self,
+        data: Vec<Vec<u8>>,
+        rejected: Vec<usize>,
+        submitted_ns: u64,
+        done_ns: u64,
+    ) -> IoToken {
         let token = IoToken(self.next);
         self.next += 1;
         self.done.insert(
@@ -128,6 +162,7 @@ impl SubmissionState {
             IoCompletion {
                 token,
                 data,
+                rejected,
                 submitted_ns,
                 done_ns,
             },
@@ -141,15 +176,21 @@ impl SubmissionState {
     }
 
     /// Drop a completion without consuming it (abandoned read-ahead).
-    pub fn forget(&mut self, token: IoToken) {
-        self.done.remove(&token.0);
+    /// Returns the completion so the device can retire it from any
+    /// scheduler-side bookkeeping (the posted-read completion horizon) —
+    /// dropping the buffer alone would leave those gauges drifting.
+    pub fn forget(&mut self, token: IoToken) -> Option<IoCompletion> {
+        self.done.remove(&token.0)
     }
 
     /// Tick the vectored counters for an accepted request.
     pub fn count_request(&mut self, req: &IoRequest) {
         match req {
-            IoRequest::ReadV(lbas) if lbas.len() > 1 => self.vectored_reads += 1,
+            IoRequest::ReadV(lbas) | IoRequest::HighPriorityReadV(lbas) if lbas.len() > 1 => {
+                self.vectored_reads += 1
+            }
             IoRequest::WriteV(pages) if pages.len() > 1 => self.vectored_writes += 1,
+            IoRequest::WriteDeltaV(members) if members.len() > 1 => self.vectored_deltas += 1,
             _ => {}
         }
     }
@@ -160,6 +201,7 @@ impl SubmissionState {
         stats.vectored_writes += self.vectored_writes;
         stats.readahead_hits += self.readahead_hits;
         stats.wal_stripe_writes += self.wal_stripe_writes;
+        stats.vectored_deltas += self.vectored_deltas;
         stats
     }
 }
@@ -182,6 +224,28 @@ impl SubmissionState {
 ///   folded into the device's merged clock, which is returned. It does
 ///   not consume buffered completions — tokens stay pollable.
 /// * `forget` abandons a token without waiting (an unused read-ahead).
+///   The device retires the token from its completion horizon: an
+///   abandoned completion is accounted exactly like a polled one in the
+///   scheduler's posted-read bookkeeping, so `sync` never waits on behalf
+///   of data nobody wants and the posted-read gauges cannot drift.
+///
+/// ## Reorder contract (QoS devices)
+///
+/// Completion order is **not** submission order. Within one die a
+/// QoS-scheduled device may complete a later-submitted priority read
+/// before earlier-submitted posted programs/erases (erase-suspend,
+/// reorder windows). Three guarantees survive reordering:
+///
+/// * **Read-your-writes per LBA**: a read submitted after a write to the
+///   same LBA always returns that write's data — device state mutates in
+///   submission order; only completion *times* reorder.
+/// * **`sync` is the only total barrier**: it waits for every prior
+///   submission — promoted, suspended, or pushed out — and merges their
+///   completion times into the returned device clock. `Flush` remains a
+///   write barrier (plane-pairing windows), not an ordering fence.
+/// * **Bounded deferral**: posted work jumped by priority reads is pushed
+///   out by exactly the reads' occupancy, and one erase can be suspended
+///   at most its chip's `erase_resume_limit` times — no starvation.
 ///
 /// Clock contract (the `submission_clock_ns`/`elapsed_ns` fix): after any
 /// sequence of queued operations, [`BlockDevice::elapsed_ns`] is the

@@ -241,7 +241,10 @@ impl BlockDevice for ShardedFtl {
                 got: buf.len(),
             });
         }
-        let token = self.submit(IoRequest::ReadV(vec![lba]))?;
+        // Host point reads ride the priority lane: under a QoS-scheduled
+        // controller they may jump posted bulk work on their die; without
+        // QoS the lane degenerates to exactly the old ReadV path.
+        let token = self.submit(IoRequest::HighPriorityReadV(vec![lba]))?;
         let completion = self.poll(token).expect("fresh token completes");
         buf.copy_from_slice(&completion.data[0]);
         Ok(())
@@ -303,6 +306,10 @@ impl BlockDevice for ShardedFtl {
     fn submission_clock_ns(&self) -> u64 {
         self.ctrl.borrow().host_ns()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 impl NativeFlashDevice for ShardedFtl {
@@ -343,9 +350,15 @@ impl IoQueue for ShardedFtl {
         let submitted = self.ctrl.borrow().host_ns();
         let mut done = submitted;
         let mut data = Vec::new();
+        let mut rejected = Vec::new();
         match &req {
-            IoRequest::ReadV(lbas) => {
-                self.ctrl.borrow_mut().begin_posted_reads();
+            IoRequest::ReadV(lbas) | IoRequest::HighPriorityReadV(lbas) => {
+                let priority = matches!(req, IoRequest::HighPriorityReadV(_));
+                if priority {
+                    self.ctrl.borrow_mut().begin_priority_reads();
+                } else {
+                    self.ctrl.borrow_mut().begin_posted_reads();
+                }
                 let mut result = Ok(());
                 for &lba in lbas {
                     match self.read_member(lba) {
@@ -358,8 +371,20 @@ impl IoQueue for ShardedFtl {
                 }
                 // Close the window even on a failed member, then surface
                 // the error (earlier members' state effects stand).
-                done = done.max(self.ctrl.borrow_mut().end_posted_reads());
-                result?;
+                let horizon = if priority {
+                    self.ctrl.borrow_mut().end_priority_reads()
+                } else {
+                    self.ctrl.borrow_mut().end_posted_reads()
+                };
+                done = done.max(horizon);
+                if let Err(e) = result {
+                    // No completion will ever surface these members:
+                    // retire them from the outstanding horizon.
+                    self.ctrl
+                        .borrow_mut()
+                        .note_posted_reads_polled(data.len() as u64);
+                    return Err(e);
+                }
             }
             IoRequest::WriteV(pages) => {
                 for (lba, page) in pages {
@@ -372,6 +397,19 @@ impl IoQueue for ShardedFtl {
                 let (die, sub) = self.locate(*lba)?;
                 self.shards[die as usize].write_delta(sub, *offset, delta)?;
                 done = done.max(self.die_horizon(die));
+            }
+            IoRequest::WriteDeltaV(members) => {
+                // The evict path's batched appends: members post to their
+                // dies back-to-back and overlap like any vectored write;
+                // a per-member in-place rejection is reported, not fatal.
+                for (i, (lba, offset, delta)) in members.iter().enumerate() {
+                    let (die, sub) = self.locate(*lba)?;
+                    match self.shards[die as usize].write_delta(sub, *offset, delta) {
+                        Ok(()) => done = done.max(self.die_horizon(die)),
+                        Err(FtlError::InPlaceRejected { .. }) => rejected.push(i),
+                        Err(e) => return Err(e),
+                    }
+                }
             }
             IoRequest::Trim(lba) => {
                 let (die, sub) = self.locate(*lba)?;
@@ -395,7 +433,9 @@ impl IoQueue for ShardedFtl {
             }
         }
         self.queue.count_request(&req);
-        Ok(self.queue.complete(data, submitted, done))
+        Ok(self
+            .queue
+            .complete_with_rejections(data, rejected, submitted, done))
     }
 
     fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {
@@ -406,6 +446,7 @@ impl IoQueue for ShardedFtl {
         if completion.done_ns > ctrl.host_ns() {
             ctrl.set_host_ns(completion.done_ns);
         }
+        ctrl.note_posted_reads_polled(completion.data.len() as u64);
         Some(completion)
     }
 
@@ -414,7 +455,14 @@ impl IoQueue for ShardedFtl {
     }
 
     fn forget(&mut self, token: IoToken) {
-        self.queue.forget(token);
+        // Retire the abandoned completion from the controller's
+        // posted-read horizon: an unforgotten forget left the outstanding
+        // gauge drifting and `sync` accounting for data nobody wants.
+        if let Some(completion) = self.queue.forget(token) {
+            self.ctrl
+                .borrow_mut()
+                .retire_forgotten_reads(completion.data.len() as u64);
+        }
     }
 
     fn note_readahead_hit(&mut self) {

@@ -59,6 +59,10 @@ pub struct DeviceStats {
     /// (striping the log write across channels).
     #[serde(default)]
     pub wal_stripe_writes: u64,
+    /// Queued `WriteDeltaV` submissions spanning more than one member —
+    /// evictions batching their delta appends across dies.
+    #[serde(default)]
+    pub vectored_deltas: u64,
 }
 
 impl DeviceStats {
@@ -109,6 +113,7 @@ impl DeviceStats {
             vectored_writes: self.vectored_writes + other.vectored_writes,
             readahead_hits: self.readahead_hits + other.readahead_hits,
             wal_stripe_writes: self.wal_stripe_writes + other.wal_stripe_writes,
+            vectored_deltas: self.vectored_deltas + other.vectored_deltas,
         }
     }
 
@@ -134,6 +139,7 @@ impl DeviceStats {
             vectored_writes: self.vectored_writes - earlier.vectored_writes,
             readahead_hits: self.readahead_hits - earlier.readahead_hits,
             wal_stripe_writes: self.wal_stripe_writes - earlier.wal_stripe_writes,
+            vectored_deltas: self.vectored_deltas - earlier.vectored_deltas,
         }
     }
 }

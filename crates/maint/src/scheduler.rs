@@ -31,6 +31,15 @@ use crate::stats::MaintStats;
 /// later on that die queue behind them, exactly like real firmware) but
 /// never advance the submitting host clock and never trip NCQ
 /// back-pressure.
+///
+/// On a QoS controller ([`ipa_controller::ControllerConfig::with_qos`])
+/// the reclaim erases this scheduler posts are *suspendable*: a host
+/// read landing on the die parks the erase pulse, completes, and lets
+/// the erase resume (bounded by
+/// [`ipa_flash::DeviceConfig::erase_resume_limit`]). The scheduler needs
+/// no cooperation for this — posted internal-mode erases sit in the same
+/// die queue the QoS slot search walks — but it observes the suspensions
+/// in [`MaintStats::erase_suspends_seen`].
 pub struct MaintenanceScheduler {
     cfg: MaintConfig,
     stats: MaintStats,
@@ -83,8 +92,9 @@ impl MaintenanceScheduler {
             outcome?;
         }
 
-        let spread = ctrl.borrow().stats().wear_spread();
-        self.stats.max_wear_spread = self.stats.max_wear_spread.max(spread);
+        let cstats = ctrl.borrow().stats();
+        self.stats.max_wear_spread = self.stats.max_wear_spread.max(cstats.wear_spread());
+        self.stats.erase_suspends_seen = cstats.erase_suspends;
         Ok(())
     }
 

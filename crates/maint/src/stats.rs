@@ -20,6 +20,11 @@ pub struct MaintStats {
     /// Peak cross-die wear spread (max−min die erase count) observed at
     /// poll time.
     pub max_wear_spread: u64,
+    /// Controller-reported erase suspensions observed at poll time — how
+    /// often host reads interrupted a reclaim erase (QoS devices only;
+    /// stays 0 under FIFO scheduling).
+    #[serde(default)]
+    pub erase_suspends_seen: u64,
 }
 
 impl MaintStats {
@@ -38,13 +43,14 @@ impl fmt::Display for MaintStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "polls={} steps={} (mig={} erase={}) busy_skips={} wear_spread_max={}",
+            "polls={} steps={} (mig={} erase={}) busy_skips={} wear_spread_max={} suspends={}",
             self.polls,
             self.steps,
             self.migrations,
             self.erases,
             self.deferred_busy,
-            self.max_wear_spread
+            self.max_wear_spread,
+            self.erase_suspends_seen
         )
     }
 }

@@ -16,8 +16,8 @@
 
 use std::collections::HashMap;
 
-use ipa_core::{apply_and_collect, ChangeTracker, IpaVerdict, NmScheme, PageLayout};
-use ipa_ftl::{FtlError, IoRequest, IoToken, NativeFlashDevice, WriteStrategy};
+use ipa_core::{apply_and_collect, ChangeTracker, DeltaRecord, IpaVerdict, NmScheme, PageLayout};
+use ipa_ftl::{FtlError, IoRequest, IoToken, Lba, NativeFlashDevice, WriteStrategy};
 
 use crate::error::{Result, StorageError};
 use crate::page::{standard_layout, PageMut, WriteOp};
@@ -276,10 +276,84 @@ impl BufferPool {
     }
 
     /// Flush every dirty page.
+    ///
+    /// Under the native strategy, dirty frames whose verdict is an
+    /// in-place append are gathered into **one vectored `WriteDeltaV`
+    /// submission**: on a striped device the members land on distinct
+    /// dies and their delta programs overlap, instead of each eviction
+    /// paying its own synchronous round trip. Members the device rejects
+    /// (odd-MLC MSB pages, NOP exhaustion) surface per-index in the
+    /// completion and fall back to out-of-place writes, exactly like the
+    /// scalar path. Clean and out-of-place frames take the scalar path
+    /// unchanged.
     pub fn flush_all(&mut self) -> Result<()> {
+        if !matches!(self.strategy, WriteStrategy::IpaNative) {
+            for idx in 0..self.frames.len() {
+                if self.frames[idx].is_some() {
+                    self.write_back(idx)?;
+                }
+            }
+            return Ok(());
+        }
+        // Pass 1: split dirty frames into delta-batch members and
+        // everything else.
+        let mut batch: Vec<(usize, Vec<DeltaRecord>)> = Vec::new();
+        let mut members: Vec<(Lba, usize, Vec<u8>)> = Vec::new();
         for idx in 0..self.frames.len() {
-            if self.frames[idx].is_some() {
+            let Some(frame) = self.frames[idx].as_mut() else {
+                continue;
+            };
+            if !frame.dirty {
+                continue;
+            }
+            if !matches!(frame.tracker.verdict(), IpaVerdict::InPlace { .. }) {
                 self.write_back(idx)?;
+                continue;
+            }
+            let layout = *frame.tracker.layout();
+            let records = frame.tracker.build_new_records(&frame.data);
+            let first_slot = frame.tracker.records_on_flash();
+            let mut bytes = Vec::with_capacity(records.len() * layout.record_size());
+            for r in &records {
+                bytes.extend_from_slice(&r.encode(&layout));
+            }
+            members.push((frame.page_id, layout.record_offset(first_slot), bytes));
+            batch.push((idx, records));
+        }
+        match batch.len() {
+            0 => return Ok(()),
+            // A lone member gains nothing from vectoring; the scalar
+            // path recomputes its records and keeps its counters.
+            1 => return self.write_back(batch[0].0),
+            _ => {}
+        }
+        for (idx, _) in &batch {
+            let frame = self.frames[*idx].as_ref().expect("frame present");
+            Self::note_dirty_writeback(frame, &mut self.stats, &mut self.trace);
+        }
+        // Pass 2: one vectored submission; the completion wait ends at
+        // the max of the per-die delta programs.
+        let token = self
+            .device
+            .submit(IoRequest::WriteDeltaV(members))
+            .map_err(StorageError::from)?;
+        let rejected = self
+            .device
+            .poll(token)
+            .map(|c| c.rejected)
+            .unwrap_or_default();
+        for (i, (idx, records)) in batch.into_iter().enumerate() {
+            let frame = self.frames[idx].as_mut().expect("frame present");
+            if rejected.contains(&i) {
+                self.stats.in_place_fallbacks += 1;
+                Self::write_out_of_place(&mut *self.device, frame, &mut self.stats, self.strategy)?;
+            } else {
+                frame.tracker.commit_in_place(records);
+                self.stats.evict_in_place += 1;
+            }
+            frame.dirty = false;
+            if let Some(snap) = &mut frame.snapshot {
+                snap.copy_from_slice(&frame.data);
             }
         }
         Ok(())
@@ -512,22 +586,7 @@ impl BufferPool {
         if !frame.dirty {
             return Ok(());
         }
-        // Figure 1 accounting: net modified bytes vs the at-fetch snapshot.
-        if let Some(snap) = &frame.snapshot {
-            let net = frame
-                .data
-                .iter()
-                .zip(snap.iter())
-                .filter(|(a, b)| a != b)
-                .count();
-            self.stats.net_bytes.record(net);
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::Evict {
-                    lba: frame.page_id,
-                    changed_bytes: net as u32,
-                });
-            }
-        }
+        Self::note_dirty_writeback(frame, &mut self.stats, &mut self.trace);
 
         match frame.tracker.verdict() {
             IpaVerdict::Clean => {
@@ -594,6 +653,29 @@ impl BufferPool {
             snap.copy_from_slice(&frame.data);
         }
         Ok(())
+    }
+
+    /// Figure 1 accounting: net modified bytes vs the at-fetch snapshot.
+    fn note_dirty_writeback(
+        frame: &Frame,
+        stats: &mut PoolStats,
+        trace: &mut Option<Vec<TraceEvent>>,
+    ) {
+        if let Some(snap) = &frame.snapshot {
+            let net = frame
+                .data
+                .iter()
+                .zip(snap.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            stats.net_bytes.record(net);
+            if let Some(t) = trace {
+                t.push(TraceEvent::Evict {
+                    lba: frame.page_id,
+                    changed_bytes: net as u32,
+                });
+            }
+        }
     }
 
     fn write_out_of_place(
@@ -807,6 +889,113 @@ mod tests {
         assert_eq!(h.buckets, [1, 1, 1, 1, 1, 1]);
         assert!((h.fraction_under_100b() - 0.5).abs() < 1e-12);
         assert!(h.mean_bytes() > 1000.0);
+    }
+
+    mod batched_evict {
+        use super::*;
+        use ipa_controller::ControllerConfig;
+        use ipa_ftl::{FtlConfig, ShardedFtl, StripePolicy};
+
+        fn native_striped_pool(mode: FlashMode, frames: usize) -> BufferPool {
+            let chip = DeviceConfig::new(Geometry::new(16, 8, 2048, 64), mode)
+                .with_disturb(DisturbRates::none());
+            let layout = standard_layout(2048, NmScheme::new(2, 4));
+            let dev = ShardedFtl::new(
+                ControllerConfig::new(4, 1, chip),
+                FtlConfig::ipa_native(layout),
+                StripePolicy::RoundRobin,
+            );
+            BufferPool::new(Box::new(dev), WriteStrategy::IpaNative, frames)
+        }
+
+        #[test]
+        fn flush_all_batches_deltas_into_one_vector() {
+            let mut p = native_striped_pool(FlashMode::PSlc, 8);
+            for pid in 0..4u64 {
+                format_with_row(&mut p, pid, &[pid as u8; 32]);
+            }
+            p.flush_all().unwrap(); // out-of-place initial writes
+            for pid in 0..4u64 {
+                p.with_page_mut(pid, None, |pm| {
+                    let mut sp = SlottedPage::new(pm);
+                    sp.update_field(0, 4, &[9, 9]).unwrap();
+                })
+                .unwrap();
+            }
+            p.flush_all().unwrap();
+            assert_eq!(p.stats().evict_in_place, 4, "all four appended in place");
+            let ds = p.device().device_stats();
+            assert_eq!(ds.host_write_deltas, 4);
+            assert_eq!(
+                ds.vectored_deltas, 1,
+                "the four deltas went out as one vector: {ds:?}"
+            );
+            // The appends survive a cold re-read.
+            p.drop_cache().unwrap();
+            for pid in 0..4u64 {
+                p.with_page(pid, |b| {
+                    let layout = standard_layout(2048, NmScheme::new(2, 4));
+                    let r = crate::page::PageRef::new(b, layout);
+                    assert_eq!(&r.tuple(0).unwrap()[4..6], &[9, 9], "page {pid}");
+                })
+                .unwrap();
+            }
+        }
+
+        #[test]
+        fn single_dirty_frame_stays_on_the_scalar_path() {
+            let mut p = native_striped_pool(FlashMode::PSlc, 8);
+            format_with_row(&mut p, 0, &[0u8; 32]);
+            p.flush_all().unwrap();
+            p.with_page_mut(0, None, |pm| {
+                let mut sp = SlottedPage::new(pm);
+                sp.update_field(0, 4, &[7]).unwrap();
+            })
+            .unwrap();
+            p.flush_all().unwrap();
+            let ds = p.device().device_stats();
+            assert_eq!(ds.host_write_deltas, 1);
+            assert_eq!(ds.vectored_deltas, 0, "no vector for a lone member");
+        }
+
+        #[test]
+        fn rejected_members_fall_back_out_of_place() {
+            // Odd-MLC: delta appends to MSB physical pages are rejected,
+            // so a batch over several LBAs sees per-member rejections;
+            // each must fall back without disturbing accepted siblings.
+            let mut p = native_striped_pool(FlashMode::OddMlc, 12);
+            for pid in 0..8u64 {
+                format_with_row(&mut p, pid, &[pid as u8; 32]);
+            }
+            p.flush_all().unwrap();
+            for pid in 0..8u64 {
+                p.with_page_mut(pid, None, |pm| {
+                    let mut sp = SlottedPage::new(pm);
+                    sp.update_field(0, 2, &[0xEE]).unwrap();
+                })
+                .unwrap();
+            }
+            p.flush_all().unwrap();
+            let s = *p.stats();
+            assert_eq!(
+                s.evict_in_place + s.in_place_fallbacks,
+                8,
+                "every member either committed or fell back: {s:?}"
+            );
+            assert!(
+                s.in_place_fallbacks > 0,
+                "MLC MSB pages must reject some members: {s:?}"
+            );
+            p.drop_cache().unwrap();
+            for pid in 0..8u64 {
+                p.with_page(pid, |b| {
+                    let layout = standard_layout(2048, NmScheme::new(2, 4));
+                    let r = crate::page::PageRef::new(b, layout);
+                    assert_eq!(r.tuple(0).unwrap()[2], 0xEE, "page {pid}");
+                })
+                .unwrap();
+            }
+        }
     }
 
     mod readahead {

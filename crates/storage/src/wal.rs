@@ -20,7 +20,19 @@
 //!
 //! ```text
 //! [len u32][lsn u64][tx u64][tag u8][payload …]  repeated;  len=0xFFFF_FFFF ⇒ end
+//! …                                 [batch_seq u64][batch_len u16][member_idx u16][crc u32]
 //! ```
+//!
+//! The last 16 bytes of every flushed page are the **batch trailer**: the
+//! monotone sequence number of the group-commit flush that wrote the
+//! page, how many pages that flush spanned, this page's index within it,
+//! and a CRC over everything before the CRC field. A vectored flush is
+//! not atomic — a crash can persist some members and tear others — so
+//! [`Wal::replay`] uses the trailers to tell a *torn tail* (the
+//! highest-sequence batch is incomplete or fails CRC: dropped, recovery
+//! proceeds from the last complete batch) from *corruption inside
+//! committed history* (a CRC failure below the tail sequence:
+//! [`StorageError::WalCorrupt`]).
 
 use ipa_controller::ControllerConfig;
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
@@ -58,6 +70,59 @@ const TAG_COMMIT: u8 = 2;
 const TAG_ABORT: u8 = 3;
 const TAG_UPDATE: u8 = 4;
 const END_MARK: u32 = u32::MAX;
+
+/// Per-page batch trailer: `[batch_seq u64][batch_len u16][member_idx u16][crc u32]`.
+const TRAILER_LEN: usize = 16;
+
+/// CRC-32 (IEEE, reflected) — local implementation so the log format has
+/// no dependency footprint.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A decoded page trailer plus whether the page contents matched its CRC.
+#[derive(Debug, Clone, Copy)]
+struct PageTrailer {
+    batch_seq: u64,
+    batch_len: u16,
+    member_idx: u16,
+    crc_ok: bool,
+}
+
+impl PageTrailer {
+    /// Stamp `page`'s last [`TRAILER_LEN`] bytes; the CRC covers
+    /// everything before the CRC field (so a torn trailer also fails it).
+    fn stamp(page: &mut [u8], batch_seq: u64, batch_len: u16, member_idx: u16) {
+        let t = page.len() - TRAILER_LEN;
+        page[t..t + 8].copy_from_slice(&batch_seq.to_le_bytes());
+        page[t + 8..t + 10].copy_from_slice(&batch_len.to_le_bytes());
+        page[t + 10..t + 12].copy_from_slice(&member_idx.to_le_bytes());
+        let crc = crc32(&page[..t + 12]);
+        page[t + 12..t + 16].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    fn parse(page: &[u8]) -> PageTrailer {
+        let t = page.len() - TRAILER_LEN;
+        let batch_seq = u64::from_le_bytes(page[t..t + 8].try_into().unwrap());
+        let batch_len = u16::from_le_bytes(page[t + 8..t + 10].try_into().unwrap());
+        let member_idx = u16::from_le_bytes(page[t + 10..t + 12].try_into().unwrap());
+        let stored = u32::from_le_bytes(page[t + 12..t + 16].try_into().unwrap());
+        PageTrailer {
+            batch_seq,
+            batch_len,
+            member_idx,
+            crc_ok: crc32(&page[..t + 12]) == stored,
+        }
+    }
+}
 
 impl WalRecord {
     fn encode(&self) -> Vec<u8> {
@@ -166,6 +231,9 @@ pub struct Wal {
     host_ns: u64,
     busy_until_ns: u64,
     next_lsn: u64,
+    /// Sequence number of the next group-commit flush — stamped into
+    /// every member page's trailer so replay can find the tail batch.
+    next_batch_seq: u64,
     /// Records appended since creation.
     pub records_appended: u64,
     /// Flushes whose batch went out as one multi-page vector.
@@ -241,6 +309,7 @@ impl Wal {
             host_ns: 0,
             busy_until_ns: 0,
             next_lsn: 0,
+            next_batch_seq: 1,
             records_appended: 0,
             stripe_flushes: 0,
         }
@@ -261,12 +330,15 @@ impl Wal {
     /// [`Wal::flush`]).
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
         let bytes = rec.encode();
+        // Records share the page with the end-marker reservation (4 B)
+        // and the batch trailer stamped at flush time.
+        let record_area = self.page_size - TRAILER_LEN;
         assert!(
-            bytes.len() + 4 <= self.page_size,
+            bytes.len() + 4 <= record_area,
             "log record ({} B) exceeds a log page",
             bytes.len()
         );
-        if self.cursor + bytes.len() + 4 > self.page_size {
+        if self.cursor + bytes.len() + 4 > record_area {
             self.seal_page()?;
         }
         self.buf[self.cursor..self.cursor + bytes.len()].copy_from_slice(&bytes);
@@ -289,6 +361,16 @@ impl Wal {
         }
         if pages.is_empty() {
             return Ok(());
+        }
+        // Stamp every member with this flush's batch trailer. The same
+        // sequence marks the whole vector, so replay can tell "the crash
+        // tore this batch" (incomplete tail sequence) from "history rotted
+        // underneath us" (CRC failure below the tail).
+        let batch_seq = self.next_batch_seq;
+        self.next_batch_seq += 1;
+        let batch_len = pages.len() as u16;
+        for (idx, (_, page)) in pages.iter_mut().enumerate() {
+            PageTrailer::stamp(page, batch_seq, batch_len, idx as u16);
         }
         let vectored = pages.len() > 1;
         // The sealed batch is only dropped once the device accepted it:
@@ -359,9 +441,20 @@ impl Wal {
 
     /// Read every record in LSN order (flushes the tail first so the scan
     /// sees a consistent image).
+    ///
+    /// Torn-write handling: the vectored flush is not atomic, so the
+    /// highest batch sequence on the device — the *tail batch* — may be
+    /// incomplete (members missing or failing CRC) after a crash. Its
+    /// surviving records are dropped and recovery proceeds from the last
+    /// complete batch, exactly as if the flush had never been
+    /// acknowledged (it never was — the completion wait is the
+    /// durability point). A CRC failure on a page *below* the tail
+    /// sequence is not a torn tail, it is corruption inside committed
+    /// history, and replay refuses with [`StorageError::WalCorrupt`].
     pub fn replay(&mut self) -> Result<Vec<WalRecord>> {
         self.flush()?;
-        let mut records = Vec::new();
+        // Pass 1: collect each mapped page's trailer and records.
+        let mut pages: Vec<(Lba, PageTrailer, Vec<WalRecord>)> = Vec::new();
         let mut page = vec![0u8; self.page_size];
         for lba in 0..self.capacity {
             match self.device.read(lba, &mut page) {
@@ -369,20 +462,62 @@ impl Wal {
                 Err(ipa_ftl::FtlError::UnmappedLba(_)) => continue,
                 Err(e) => return Err(e.into()),
             }
-            let mut off = 0usize;
-            loop {
-                match WalRecord::decode(&page[off..]) {
-                    Ok(Some((rec, len))) => {
-                        records.push(rec);
-                        off += len;
-                    }
-                    Ok(None) => break,
-                    Err(reason) => {
-                        return Err(StorageError::WalCorrupt { lba, reason });
+            let trailer = PageTrailer::parse(&page);
+            let mut recs = Vec::new();
+            if trailer.crc_ok {
+                let area = &page[..self.page_size - TRAILER_LEN];
+                let mut off = 0usize;
+                loop {
+                    match WalRecord::decode(&area[off..]) {
+                        Ok(Some((rec, len))) => {
+                            recs.push(rec);
+                            off += len;
+                        }
+                        Ok(None) => break,
+                        Err(reason) => {
+                            return Err(StorageError::WalCorrupt { lba, reason });
+                        }
                     }
                 }
             }
+            pages.push((lba, trailer, recs));
         }
+        // Pass 2: find the tail batch and judge it. Trailers of CRC-bad
+        // pages are untrusted, so the tail is the max sequence over *any*
+        // page — a torn page claiming the highest sequence is part of the
+        // torn tail, while one claiming to sit inside history is treated
+        // as corruption (its trailer lies, or the history rotted).
+        let tail_seq = pages.iter().map(|(_, t, _)| t.batch_seq).max();
+        let mut drop_tail = false;
+        if let Some(tail_seq) = tail_seq {
+            let members: Vec<&PageTrailer> = pages
+                .iter()
+                .filter(|(_, t, _)| t.batch_seq == tail_seq)
+                .map(|(_, t, _)| t)
+                .collect();
+            let batch_len = members[0].batch_len;
+            let complete = members.iter().all(|t| t.crc_ok && t.batch_len == batch_len)
+                && members.len() == batch_len as usize
+                && {
+                    let mut idx: Vec<u16> = members.iter().map(|t| t.member_idx).collect();
+                    idx.sort_unstable();
+                    idx.iter().enumerate().all(|(i, &m)| m as usize == i)
+                };
+            drop_tail = !complete;
+            for (lba, t, _) in &pages {
+                if !t.crc_ok && t.batch_seq != tail_seq {
+                    return Err(StorageError::WalCorrupt {
+                        lba: *lba,
+                        reason: "page failed CRC inside committed log history",
+                    });
+                }
+            }
+        }
+        let mut records: Vec<WalRecord> = pages
+            .into_iter()
+            .filter(|(_, t, _)| !(drop_tail && t.batch_seq == tail_seq.unwrap()))
+            .flat_map(|(_, _, recs)| recs)
+            .collect();
         records.sort_by_key(|r| r.lsn);
         Ok(records)
     }
@@ -427,6 +562,45 @@ impl Wal {
     /// Flushes whose batch spanned more than one log page.
     pub fn stripe_flushes(&self) -> u64 {
         self.stripe_flushes
+    }
+
+    /// Crash mid-flush: stamp the whole batch but persist only its first
+    /// `keep` members, then lose the in-memory state — what a power cut
+    /// during the vectored write leaves behind.
+    #[cfg(test)]
+    fn flush_torn(&mut self, keep: usize) -> Result<()> {
+        let mut pages = self.sealed.clone();
+        if self.cursor > 0 {
+            pages.push((self.cur_lba, self.buf.clone()));
+        }
+        let batch_seq = self.next_batch_seq;
+        self.next_batch_seq += 1;
+        let batch_len = pages.len() as u16;
+        for (idx, (_, page)) in pages.iter_mut().enumerate() {
+            PageTrailer::stamp(page, batch_seq, batch_len, idx as u16);
+        }
+        pages.truncate(keep);
+        if !pages.is_empty() {
+            let token = self
+                .device
+                .submit(IoRequest::WriteV(pages))
+                .map_err(StorageError::from)?;
+            self.device.poll(token);
+        }
+        self.sealed.clear();
+        self.buf.fill(0xFF);
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// Flip one payload byte of a persisted log page, leaving its trailer
+    /// untouched — bit rot inside committed history.
+    #[cfg(test)]
+    fn corrupt_payload_byte(&mut self, lba: Lba, offset: usize) {
+        let mut page = vec![0u8; self.page_size];
+        self.device.read(lba, &mut page).unwrap();
+        page[offset] ^= 0x40;
+        self.device.write(lba, &page).unwrap();
     }
 }
 
@@ -607,6 +781,79 @@ mod tests {
         assert!(single.page_invalidations > 0, "partial-page rewrites");
         assert_eq!(striped.page_invalidations, 0, "write-once log pages");
         assert_eq!(single.host_writes, striped.host_writes);
+    }
+
+    #[test]
+    fn torn_tail_batch_is_dropped_on_replay() {
+        // Batch 1 commits whole; batch 2 tears mid-vector (only its first
+        // member lands). Recovery keeps batch 1 and drops the torn tail —
+        // including the member that did persist.
+        let mut wal = Wal::striped(128, 2048, 2, 1);
+        for i in 0..100u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        for i in 100..200u64 {
+            wal.append(&upd(i + 1, 2, i)).unwrap();
+        }
+        wal.flush_torn(1).unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 100, "only the complete batch survives");
+        assert!(records.iter().all(|r| r.lsn <= 100));
+    }
+
+    #[test]
+    fn fully_torn_batch_leaves_history_intact() {
+        let mut wal = Wal::striped(128, 2048, 2, 1);
+        for i in 0..60u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        for i in 60..120u64 {
+            wal.append(&upd(i + 1, 2, i)).unwrap();
+        }
+        wal.flush_torn(0).unwrap();
+        assert_eq!(wal.replay().unwrap().len(), 60);
+    }
+
+    #[test]
+    fn torn_tail_page_with_bad_crc_is_dropped() {
+        // All of batch 2's members land, but one is torn mid-page (CRC
+        // fails). The whole tail batch is discarded, batch 1 survives.
+        let mut wal = Wal::striped(128, 2048, 2, 1);
+        for i in 0..100u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let first_batch_pages = wal.device_stats().host_writes;
+        for i in 100..200u64 {
+            wal.append(&upd(i + 1, 2, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        wal.corrupt_payload_byte(first_batch_pages, 8);
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 100, "tail batch dropped wholesale");
+        assert!(records.iter().all(|r| r.lsn <= 100));
+    }
+
+    #[test]
+    fn corruption_inside_committed_history_is_rejected() {
+        // A CRC failure *below* the tail sequence is not a torn tail:
+        // replay must refuse rather than silently lose committed records.
+        let mut wal = Wal::striped(128, 2048, 2, 1);
+        for i in 0..100u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        for i in 100..200u64 {
+            wal.append(&upd(i + 1, 2, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        wal.corrupt_payload_byte(0, 8);
+        match wal.replay() {
+            Err(StorageError::WalCorrupt { lba: 0, .. }) => {}
+            other => panic!("expected WalCorrupt at lba 0, got {other:?}"),
+        }
     }
 
     #[test]

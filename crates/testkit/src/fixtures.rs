@@ -280,6 +280,36 @@ pub fn striped_device(strategy: WriteStrategy, seed: u64, dies: u32, planes: u32
     )
 }
 
+/// [`striped_device`] with latency-QoS scheduling enabled on the
+/// controller (read promotion over queued programs, erase suspend) — the
+/// QoS-parity suites drive this twin against the FIFO [`striped_device`]
+/// to prove the scheduler reorders *time* and never *state*.
+pub fn striped_qos_device(
+    strategy: WriteStrategy,
+    seed: u64,
+    dies: u32,
+    planes: u32,
+) -> ShardedFtl {
+    assert!(dies >= 1 && dies.is_power_of_two(), "die counts are 2^k");
+    let cfg = match strategy {
+        WriteStrategy::Traditional => FtlConfig::traditional(),
+        WriteStrategy::IpaConventional => FtlConfig::ipa_conventional(device_layout()),
+        WriteStrategy::IpaNative => FtlConfig::ipa_native(device_layout()),
+    };
+    let channels = dies.min(4);
+    let chip = DeviceConfig::new(
+        Geometry::new(24u32.next_multiple_of(planes), 8, 2048, 64).with_planes(planes),
+        FlashMode::PSlc,
+    )
+    .with_disturb(DisturbRates::none())
+    .with_seed(seed);
+    ShardedFtl::new(
+        ControllerConfig::new(channels, dies / channels, chip).with_qos(),
+        cfg,
+        StripePolicy::RoundRobin,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,394 @@
+//! `qos_parity` — the latency-QoS scheduler reorders *time*, never
+//! *state*.
+//!
+//! The same seeded operation stream, driven through the queued interface
+//! on a FIFO controller and on its QoS twin (per-die reorder windows,
+//! read promotion over queued programs, erase-suspend), must produce
+//! byte-identical reads, an identical final logical state, and identical
+//! host-level counters — for dies {1, 2, 4} × planes {1, 2} × all three
+//! write strategies. On top of the parity matrix, the deterministic
+//! walls pin the three contract points of the `IoQueue` reorder
+//! documentation: read-your-writes per LBA holds while programs for
+//! that LBA are still queued, `sync()` is a total barrier over promoted
+//! and non-promoted completions alike, and every suspended erase
+//! resumes within `DeviceConfig::erase_resume_limit` suspensions.
+
+use ipa_core::DeltaRecord;
+use ipa_flash::DeviceConfig;
+use ipa_ftl::{BlockDevice, IoQueue, IoRequest, ShardedFtl, WriteStrategy};
+use ipa_testkit::{all_strategies, device_layout, striped_device, striped_qos_device};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const DIE_COUNTS: [u32; 3] = [1, 2, 4];
+const PLANE_COUNTS: [u32; 2] = [1, 2];
+/// Hot LBA span — small enough that churn reaches GC on the tiny chips.
+const SPAN: u64 = 40;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `n` consecutive full-page writes starting at `start`.
+    WriteRun {
+        start: u64,
+        n: usize,
+        fill: u8,
+    },
+    /// `n` consecutive reads starting at `start` (mapped members only).
+    ReadRun {
+        start: u64,
+        n: usize,
+    },
+    /// A priority point read (the buffer-pool miss path) on a mapped LBA.
+    PriorityRead(u64),
+    /// One delta-record append (native strategy only).
+    Delta {
+        lba: u64,
+        fill: u8,
+    },
+    Trim(u64),
+    Flush,
+}
+
+/// Weighted op generator; priority reads are common enough that the QoS
+/// side keeps finding queued programs to jump.
+#[derive(Debug, Clone, Copy)]
+struct OpStrategy;
+
+impl Strategy for OpStrategy {
+    type Value = Op;
+    fn generate(&self, rng: &mut StdRng) -> Op {
+        match rng.gen_range(0..12u32) {
+            0..=3 => Op::WriteRun {
+                start: rng.gen_range(0..SPAN),
+                n: rng.gen_range(1..6),
+                fill: rng.gen(),
+            },
+            4..=5 => Op::ReadRun {
+                start: rng.gen_range(0..SPAN),
+                n: rng.gen_range(1..6),
+            },
+            6..=7 => Op::PriorityRead(rng.gen_range(0..SPAN)),
+            8..=9 => Op::Delta {
+                lba: rng.gen_range(0..SPAN),
+                fill: rng.gen(),
+            },
+            10 => Op::Trim(rng.gen_range(0..SPAN)),
+            _ => Op::Flush,
+        }
+    }
+}
+
+/// A strategy-appropriate full-page image (see `queued_parity` for the
+/// version-nonce rationale: successive images of an LBA must never be
+/// overwrite-compatible).
+fn page(strategy: WriteStrategy, fill: u8, version: u64) -> Vec<u8> {
+    let mut img = vec![fill; 2048];
+    img[0] = 1 << (version % 8);
+    if strategy.needs_layout() {
+        device_layout().wipe_delta_area(&mut img);
+    }
+    img
+}
+
+/// Tiny logical model: which LBAs are mapped and how many delta slots
+/// each physical page has consumed.
+#[derive(Default)]
+struct Model {
+    mapped: std::collections::HashSet<u64>,
+    slots: std::collections::HashMap<u64, u16>,
+    versions: std::collections::HashMap<u64, u64>,
+}
+
+impl Model {
+    fn apply_write(&mut self, lba: u64) -> u64 {
+        self.mapped.insert(lba);
+        self.slots.insert(lba, 0);
+        let v = self.versions.entry(lba).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    fn delta_slot(&self, lba: u64) -> Option<u16> {
+        let slot = *self.slots.get(&lba)?;
+        (self.mapped.contains(&lba) && slot < device_layout().scheme.n).then_some(slot)
+    }
+}
+
+fn delta_bytes(fill: u8) -> Vec<u8> {
+    let l = device_layout();
+    let rec = DeltaRecord::new(vec![(40, fill & 0x0F)], vec![1; l.meta_len()], l.scheme);
+    rec.encode(&l)
+}
+
+/// Drive `ops` through the queued interface; identical on the FIFO and
+/// QoS devices — only the controller's internal scheduling differs.
+fn run_queued(dev: &mut ShardedFtl, strategy: WriteStrategy, ops: &[Op]) -> Vec<Vec<u8>> {
+    let mut model = Model::default();
+    let mut reads = Vec::new();
+    let span = dev.capacity_pages().min(SPAN);
+    let mut buf = vec![0u8; 2048];
+    for op in ops {
+        match op {
+            Op::WriteRun { start, n, fill } => {
+                let pages: Vec<(u64, Vec<u8>)> = (0..*n as u64)
+                    .map(|i| {
+                        let lba = (start + i) % span;
+                        let version = model.apply_write(lba);
+                        (lba, page(strategy, fill.wrapping_add(i as u8), version))
+                    })
+                    .collect();
+                let token = dev.submit(IoRequest::WriteV(pages)).unwrap();
+                dev.poll(token).unwrap();
+            }
+            Op::ReadRun { start, n } => {
+                let lbas: Vec<u64> = (0..*n as u64)
+                    .map(|i| (start + i) % span)
+                    .filter(|l| model.mapped.contains(l))
+                    .collect();
+                if lbas.is_empty() {
+                    continue;
+                }
+                let token = dev.submit(IoRequest::ReadV(lbas)).unwrap();
+                let c = dev.poll(token).unwrap();
+                reads.extend(c.data);
+            }
+            Op::PriorityRead(lba) => {
+                let lba = lba % span;
+                if !model.mapped.contains(&lba) {
+                    continue;
+                }
+                // The sync `read` path — a priority read on the QoS
+                // side, a plain front-of-queue read on the FIFO side.
+                dev.read(lba, &mut buf).unwrap();
+                reads.push(buf.clone());
+            }
+            Op::Delta { lba, fill } => {
+                if strategy != WriteStrategy::IpaNative {
+                    continue;
+                }
+                let lba = lba % span;
+                let Some(slot) = model.delta_slot(lba) else {
+                    continue;
+                };
+                let token = dev
+                    .submit(IoRequest::WriteDelta {
+                        lba,
+                        offset: device_layout().record_offset(slot),
+                        delta: delta_bytes(*fill),
+                    })
+                    .unwrap();
+                dev.poll(token).unwrap();
+                model.slots.insert(lba, slot + 1);
+            }
+            Op::Trim(lba) => {
+                let lba = lba % span;
+                let token = dev.submit(IoRequest::Trim(lba)).unwrap();
+                dev.poll(token).unwrap();
+                model.mapped.remove(&lba);
+            }
+            Op::Flush => {
+                let token = dev.submit(IoRequest::Flush).unwrap();
+                dev.poll(token).unwrap();
+            }
+        }
+    }
+    IoQueue::sync(dev);
+    reads
+}
+
+/// Read back every mapped LBA (and prove unmapped ones fail) on both
+/// devices.
+fn assert_same_final_state(qos: &mut ShardedFtl, fifo: &mut ShardedFtl, label: &str) {
+    let span = qos.capacity_pages().min(SPAN);
+    let mut a = vec![0u8; 2048];
+    let mut b = vec![0u8; 2048];
+    for lba in 0..span {
+        let ra = qos.read(lba, &mut a);
+        let rb = fifo.read(lba, &mut b);
+        match (ra, rb) {
+            (Ok(()), Ok(())) => assert_eq!(a, b, "{label}: lba {lba} diverged"),
+            (Err(_), Err(_)) => {}
+            (qa, qf) => panic!("{label}: lba {lba} mapped-ness diverged: {qa:?} vs {qf:?}"),
+        }
+    }
+    qos.check_invariants();
+    fifo.check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The full matrix: a QoS controller ≡ its FIFO twin in every
+    /// host-observable way, for dies {1, 2, 4} × planes {1, 2} × all
+    /// three write strategies. State mutations are applied eagerly in
+    /// submission order on both sides, so every counter — not just the
+    /// read images — must agree exactly; only controller-side timing
+    /// statistics may differ.
+    #[test]
+    fn qos_equals_fifo_full_matrix(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(OpStrategy, 40..90),
+    ) {
+        let resume_limit = DeviceConfig::tiny().erase_resume_limit as u64;
+        for (strategy, _scheme) in all_strategies() {
+            for dies in DIE_COUNTS {
+                for planes in PLANE_COUNTS {
+                    let label = format!("{strategy:?}/{dies}d/{planes}p(seed {seed})");
+                    let mut qos = striped_qos_device(strategy, seed, dies, planes);
+                    let mut fifo = striped_device(strategy, seed, dies, planes);
+                    let qreads = run_queued(&mut qos, strategy, &ops);
+                    let freads = run_queued(&mut fifo, strategy, &ops);
+                    assert_eq!(qreads, freads, "{label}: read streams diverged");
+                    assert_same_final_state(&mut qos, &mut fifo, &label);
+                    assert_eq!(
+                        qos.device_stats(),
+                        fifo.device_stats(),
+                        "{label}: host counters diverged"
+                    );
+                    // The FIFO twin must never promote or suspend...
+                    let cf = fifo.controller_stats();
+                    assert_eq!(cf.reads_promoted, 0, "{label}: FIFO promoted");
+                    assert_eq!(cf.erase_suspends, 0, "{label}: FIFO suspended");
+                    // ...and the QoS side's suspensions stay within the
+                    // per-erase resume budget.
+                    let cq = qos.controller_stats();
+                    assert!(
+                        cq.erase_suspends <= cq.erases * resume_limit,
+                        "{label}: {} suspends over {} erases breaks the \
+                         x{resume_limit} resume budget",
+                        cq.erase_suspends,
+                        cq.erases,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Read-your-writes per LBA under reorder: with a deep queue of posted
+/// programs parked on every die, a priority read of any just-written LBA
+/// must return the new image — the mapping mutates at submission, the
+/// scheduler only moves the read's *time* forward past the programs.
+#[test]
+fn priority_read_sees_queued_writes() {
+    let mut dev = striped_qos_device(WriteStrategy::Traditional, 0x9057EED, 4, 1);
+    // Post 32 programs without polling — every die ends up with a queue.
+    let pages: Vec<(u64, Vec<u8>)> = (0..32u64).map(|l| (l, vec![l as u8; 2048])).collect();
+    let token = dev.submit(IoRequest::WriteV(pages)).unwrap();
+
+    let mut buf = vec![0u8; 2048];
+    for lba in 0..32u64 {
+        dev.read(lba, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&b| b == lba as u8),
+            "lba {lba}: priority read missed a queued program's data"
+        );
+    }
+    let c = dev.controller_stats();
+    assert!(
+        c.reads_promoted > 0,
+        "reads against queued programs never promoted"
+    );
+
+    // The posted writes are still pollable, and sync stays a barrier.
+    let merged = IoQueue::sync(&mut dev);
+    let done = dev.poll(token).unwrap();
+    assert!(done.done_ns <= merged, "sync returned before {done:?}");
+}
+
+/// `sync()` is a total barrier on the QoS device too: promoted reads
+/// never let a posted program escape the merged completion horizon.
+#[test]
+fn sync_is_total_barrier_under_promotion() {
+    let mut dev = striped_qos_device(WriteStrategy::Traditional, 0xBA55, 4, 2);
+    let mut buf = vec![0u8; 2048];
+    let mut tokens = Vec::new();
+    for start in (0..32u64).step_by(4) {
+        let pages = (0..4)
+            .map(|i| (start + i, vec![start as u8; 2048]))
+            .collect();
+        tokens.push(dev.submit(IoRequest::WriteV(pages)).unwrap());
+        // A priority read between every batch keeps the reorder windows
+        // actively shuffling the queues while the barrier forms.
+        dev.read(start, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == start as u8));
+    }
+    let merged = IoQueue::sync(&mut dev);
+    for lba in 0..32u64 {
+        dev.read(lba, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&b| b == (lba / 4 * 4) as u8),
+            "lba {lba} not observed after sync()"
+        );
+    }
+    for token in tokens {
+        let c = dev.poll(token).expect("completions survive sync");
+        assert!(c.done_ns <= merged, "sync returned before {c:?}");
+        assert!(c.submitted_ns <= c.done_ns);
+    }
+}
+
+/// Erase-suspend is bounded: GC churn with priority reads landing on the
+/// erasing dies suspends erases, but never more than
+/// `erase_resume_limit` times per erase, and only on the QoS device.
+#[test]
+fn erase_suspends_are_bounded() {
+    let resume_limit = DeviceConfig::tiny().erase_resume_limit as u64;
+    let mut dev = striped_qos_device(WriteStrategy::Traditional, 0x6C_EA5E, 2, 1);
+    let span = dev.capacity_pages().min(SPAN);
+    let mut buf = vec![0u8; 2048];
+    // Hot-loop overwrites with reads on the heels of every batch: the
+    // churn forces reclaim erases, the reads give the scheduler a reason
+    // to suspend them.
+    for round in 0..60u64 {
+        let pages: Vec<(u64, Vec<u8>)> = (0..span)
+            .map(|l| (l, vec![(round as u8).wrapping_add(l as u8); 2048]))
+            .collect();
+        let token = dev.submit(IoRequest::WriteV(pages)).unwrap();
+        for lba in (0..span).step_by(7) {
+            dev.read(lba, &mut buf).unwrap();
+        }
+        dev.poll(token).unwrap();
+    }
+    IoQueue::sync(&mut dev);
+    let c = dev.controller_stats();
+    assert!(c.erases > 0, "churn never reached GC — test is vacuous");
+    assert!(
+        c.erase_suspends <= c.erases * resume_limit,
+        "{} suspends over {} erases breaks the x{resume_limit} budget",
+        c.erase_suspends,
+        c.erases,
+    );
+    dev.check_invariants();
+}
+
+/// `forget` retires the token from the controller's posted-read
+/// completion horizon (the PR's fixed follow-up): a forgotten vectored
+/// read must not leave the outstanding gauge pinned, and is counted.
+#[test]
+fn forget_retires_posted_reads_from_horizon() {
+    let mut dev = striped_qos_device(WriteStrategy::Traditional, 0xF063E7, 4, 1);
+    for lba in 0..16u64 {
+        dev.write(lba, &vec![lba as u8; 2048]).unwrap();
+    }
+    IoQueue::sync(&mut dev);
+
+    let keep = dev.submit(IoRequest::ReadV((0..8).collect())).unwrap();
+    let drop = dev.submit(IoRequest::ReadV((8..16).collect())).unwrap();
+    IoQueue::forget(&mut dev, drop);
+    let c = dev.poll(keep).unwrap();
+    assert_eq!(c.data.len(), 8);
+
+    let stats = dev.controller_stats();
+    assert_eq!(
+        stats.posted_reads_outstanding, 0,
+        "forgotten reads left the completion horizon pinned"
+    );
+    assert_eq!(stats.forgotten_reads, 8, "dropped vector has 8 members");
+    // The device remains fully usable: the barrier and fresh reads work.
+    IoQueue::sync(&mut dev);
+    let mut buf = vec![0u8; 2048];
+    dev.read(8, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 8));
+}
