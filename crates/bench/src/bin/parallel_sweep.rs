@@ -16,7 +16,7 @@
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
 //!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
 //!       [--maint-tx=N] [--cap=1] [--planes=N] [--readahead[=W]] \
-//!       [--wal-stripe[=C]] [--qos] [--csv <path>]
+//!       [--wal-stripe[=C]] [--qos] [--fleet] [--csv <path>]
 //!
 //! `--planes=N` (N > 1) appends a plane-scaling section: the write-heavy
 //! traditional path on fixed channels × dies, planes swept over
@@ -40,6 +40,14 @@
 //! latency delta plus the promotion/suspension counters. Exits non-zero
 //! if QoS makes the read tail worse.
 //!
+//! `--fleet` appends the multi-tenant crash/recovery soak smoke
+//! (`--fleet-tenants`, default 8; `--fleet-rounds`, default 10): N
+//! tenants over one shared 4ch×2d device under an NCQ cap with QoS on,
+//! seeded kill/recover chaos mid-run, per-tenant invariants after every
+//! recovery, and checkpoint-driven WAL log-space reclamation. Exits
+//! non-zero if any recovery is missed, no log space is recycled, or the
+//! cross-tenant p99.9 spread blows up.
+//!
 //! `--csv` writes every row (all sections) as machine-readable CSV for
 //! the perf trajectory.
 //!
@@ -49,6 +57,7 @@
 
 use ipa_core::NmScheme;
 use ipa_flash::FlashMode;
+use ipa_fleet::SoakConfig;
 use ipa_ftl::{StripePolicy, WriteStrategy};
 use ipa_workloads::{Driver, DriverConfig, MaintMode, RunResult, Topology, WorkloadKind};
 
@@ -72,7 +81,7 @@ fn csv_row(
          {p999},{max},{wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},\
          {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs},\
          {vectored_reads},{vectored_writes},{readahead_hits},{wal_stripe_writes},\
-         {p999_read_ns},{reads_promoted},{erase_suspends}\n",
+         {p999_read_ns},{reads_promoted},{erase_suspends},0,0,0,0\n",
         planes = topo.planes,
         programs_per_sec = r.programs_per_sec(),
         mp_pairs = r.device.multi_plane_pairs,
@@ -135,7 +144,7 @@ fn main() {
          max_ns,mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
          busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs,\
          vectored_reads,vectored_writes,readahead_hits,wal_stripe_writes,p999_read_ns,\
-         reads_promoted,erase_suspends\n",
+         reads_promoted,erase_suspends,tenants,kills,recoveries,wal_stripes_reclaimed\n",
     );
 
     let topologies = [
@@ -433,7 +442,7 @@ fn main() {
             );
             csv.push_str(&format!(
                 "scan,{scan_topo},{planes},inline,,{workload},{pps:.1},{speedup:.3},0,0,0,0,0.0,\
-                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0,0,0,0\n",
+                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0,0,0,0,0,0,0,0\n",
                 planes = scan_topo.planes,
                 workload = kind.name(),
                 pps = on.pages_per_sec(),
@@ -511,7 +520,7 @@ fn main() {
                 );
                 csv.push_str(&format!(
                     "wal,{wide},{planes},inline,,{workload},{tps:.1},{speedup:.3},{p50},{p99},\
-                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw},0,0,0\n",
+                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw},0,0,0,0,0,0,0\n",
                     planes = wide.planes,
                     workload = kind.name(),
                     tps = r.tps,
@@ -626,6 +635,100 @@ fn main() {
                 );
                 exit = 1;
             }
+        }
+        ipa_bench::rule(118);
+    }
+
+    // ── Fleet soak smoke ─────────────────────────────────────────────
+    // The multi-tenant crash/recovery soak at smoke scale: N tenants
+    // (alternating TPC-B-/TATP-style streams) sharing one 4ch×2d device
+    // under an NCQ cap with QoS scheduling, seeded kill/recover chaos
+    // mid-run. run_soak itself panics if any tenant's post-recovery state
+    // diverges from its model, so this section completing at all is the
+    // correctness half; the bar below checks the bookkeeping half.
+    if ipa_bench::flag("fleet") {
+        let tenants: usize = ipa_bench::arg("fleet-tenants", 8);
+        let rounds: usize = ipa_bench::arg("fleet-rounds", 10);
+        let mut soak = SoakConfig::default();
+        soak.fleet.queue_cap = Some(4);
+        soak.fleet.qos = true;
+        soak.fleet.seed = seed;
+        soak.tenants = tenants;
+        soak.rounds = rounds;
+        soak.seed = seed;
+        let fleet_topo = Topology::new(
+            soak.fleet.channels,
+            soak.fleet.dies_per_channel,
+            StripePolicy::RoundRobin,
+        );
+        println!(
+            "fleet soak — {tenants} tenants on shared {fleet_topo}, NCQ cap 4 + QoS, {rounds} rounds ({} kill/recover cycles)",
+            rounds * soak.kills_per_round
+        );
+        ipa_bench::rule(118);
+        println!(
+            "{:<10}{:>8}{:>10}{:>8}{:>12}{:>12}{:>12}{:>14}{:>14}",
+            "tenants",
+            "steps",
+            "tps",
+            "kills",
+            "recoveries",
+            "replayed",
+            "reclaimed",
+            "p99.9 max µs",
+            "p99.9 spread"
+        );
+        ipa_bench::rule(118);
+        let report = ipa_fleet::run_soak(&soak).expect("fleet soak");
+        let p999_max = report
+            .per_tenant
+            .iter()
+            .map(|p| p.p999_ns)
+            .max()
+            .unwrap_or(0);
+        let spread = report.p999_spread();
+        println!(
+            "{:<10}{:>8}{:>10.0}{:>8}{:>12}{:>12}{:>12}{:>14.1}{:>13.2}x",
+            report.tenants,
+            report.steps,
+            report.tps(),
+            report.kills,
+            report.recoveries,
+            report.records_replayed,
+            report.wal_stripes_reclaimed,
+            p999_max as f64 / 1e3,
+            spread,
+        );
+        let c = report.controller.unwrap_or_default();
+        csv.push_str(&format!(
+            "fleet,{fleet_topo},1,inline+qos,4,mixed,{tps:.1},1.000,0,0,{p999_max},0,\
+             {wait:.1},{depth},{stalls},{stall_ns},0,0,0,0,0,0.0000,0.0,0,0,0,0,0,0,\
+             {promoted},{suspends},{tenants},{kills},{recoveries},{reclaimed}\n",
+            tps = report.tps(),
+            wait = c.mean_wait_ns(),
+            depth = c.max_queue_depth,
+            stalls = c.backpressure_stalls,
+            stall_ns = c.backpressure_wait_ns,
+            promoted = c.reads_promoted,
+            suspends = c.erase_suspends,
+            tenants = report.tenants,
+            kills = report.kills,
+            recoveries = report.recoveries,
+            reclaimed = report.wal_stripes_reclaimed,
+        ));
+        let recovered_all = report.recoveries == report.kills && report.kills > 0;
+        if recovered_all && report.wal_stripes_reclaimed > 0 && spread.is_finite() && spread < 10.0
+        {
+            println!(
+                "  -> fleet soak: {}/{} recoveries verified, {} WAL pages reclaimed, spread {spread:.2}x: PASS",
+                report.recoveries, report.kills, report.wal_stripes_reclaimed
+            );
+        } else {
+            println!(
+                "  -> fleet soak: recoveries {}/{}, reclaimed {}, spread {spread:.2}x: FAIL",
+                report.recoveries, report.kills, report.wal_stripes_reclaimed
+            );
+            exit = 1;
         }
         ipa_bench::rule(118);
     }

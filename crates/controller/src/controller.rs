@@ -823,6 +823,14 @@ impl Nand for DieHandle {
     fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
         self.ctrl.borrow_mut().op_multi_read(self.die, ppas, true)
     }
+
+    fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {
+        // One posted erase, one die-busy window: the chip charges a
+        // single pulse for the whole aligned group.
+        self.ctrl
+            .borrow_mut()
+            .op_posted(self.die, 0, true, |chip| chip.multi_plane_erase(blocks))
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,34 @@ impl ControllerStats {
     pub fn wear_spread(&self) -> u64 {
         self.max_die_erases - self.min_die_erases
     }
+
+    /// Counters accumulated since `prev` — the window attribution a
+    /// multi-tenant harness needs to charge scheduler activity (queue
+    /// waits, NCQ stalls, promotions) to the tenant that ran between two
+    /// snapshots. Gauges and whole-device extrema (`max_queue_depth`,
+    /// `max_die_erases`/`min_die_erases`, `posted_reads_outstanding`)
+    /// keep their current values: they describe device state, not flow.
+    pub fn delta_since(&self, prev: &ControllerStats) -> ControllerStats {
+        ControllerStats {
+            commands: self.commands - prev.commands,
+            reads: self.reads - prev.reads,
+            posted_reads: self.posted_reads - prev.posted_reads,
+            programs: self.programs - prev.programs,
+            erases: self.erases - prev.erases,
+            queue_wait_ns: self.queue_wait_ns - prev.queue_wait_ns,
+            bus_busy_ns: self.bus_busy_ns - prev.bus_busy_ns,
+            max_queue_depth: self.max_queue_depth,
+            sync_points: self.sync_points - prev.sync_points,
+            backpressure_stalls: self.backpressure_stalls - prev.backpressure_stalls,
+            backpressure_wait_ns: self.backpressure_wait_ns - prev.backpressure_wait_ns,
+            max_die_erases: self.max_die_erases,
+            min_die_erases: self.min_die_erases,
+            reads_promoted: self.reads_promoted - prev.reads_promoted,
+            erase_suspends: self.erase_suspends - prev.erase_suspends,
+            forgotten_reads: self.forgotten_reads - prev.forgotten_reads,
+            posted_reads_outstanding: self.posted_reads_outstanding,
+        }
+    }
 }
 
 impl fmt::Display for ControllerStats {
@@ -128,6 +156,36 @@ mod tests {
         assert!(s.contains("depth_max=0"));
         assert!(s.contains("ncq_stalls=0"));
         assert!(s.contains("wear_spread=0"));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let prev = ControllerStats {
+            commands: 10,
+            reads: 4,
+            queue_wait_ns: 100,
+            max_queue_depth: 3,
+            max_die_erases: 7,
+            min_die_erases: 2,
+            ..Default::default()
+        };
+        let now = ControllerStats {
+            commands: 25,
+            reads: 9,
+            queue_wait_ns: 450,
+            max_queue_depth: 5,
+            max_die_erases: 9,
+            min_die_erases: 3,
+            backpressure_stalls: 2,
+            ..Default::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.commands, 15);
+        assert_eq!(d.reads, 5);
+        assert_eq!(d.queue_wait_ns, 350);
+        assert_eq!(d.backpressure_stalls, 2);
+        assert_eq!(d.max_queue_depth, 5, "gauge keeps the current value");
+        assert_eq!(d.wear_spread(), 6, "extrema stay whole-device");
     }
 
     #[test]

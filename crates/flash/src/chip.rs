@@ -532,6 +532,36 @@ impl FlashChip {
         Ok(())
     }
 
+    /// Multi-plane erase: one erase pulse across an aligned block group
+    /// (one block per plane, same in-plane index). Validates the whole
+    /// set first — alignment, bounds, bad blocks — so the command is
+    /// atomic like [`FlashChip::multi_plane_program`]: any illegal member
+    /// rejects it with flash state (and the clock) untouched. Time
+    /// charged is a *single* `erase_ns` pulse; per-plane wear counters,
+    /// endurance retirement and `block_erases` advance per member.
+    pub fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {
+        self.config.geometry.check_multi_plane_blocks(blocks)?;
+        for &block in blocks {
+            if self.blocks[block as usize].bad {
+                return Err(FlashError::BadBlock { block });
+            }
+        }
+
+        for &block in blocks {
+            self.plane_erases[self.config.geometry.plane_of(block) as usize] += 1;
+            self.blocks[block as usize].erase();
+            if self.blocks[block as usize].erase_count >= self.config.erase_endurance {
+                self.blocks[block as usize].bad = true;
+            }
+        }
+        let t = self.config.latency.erase_ns;
+        self.clock.advance_ns(t);
+        self.stats.busy_ns += t;
+        self.stats.block_erases += blocks.len() as u64;
+        self.stats.multi_plane_erases += 1;
+        Ok(())
+    }
+
     /// Record an erase-suspend served by this die. The scheduler owns the
     /// erase-suspend *timing* (the suspend cost and the pushed-out resume
     /// live on the controller's die clock); the chip records the event and

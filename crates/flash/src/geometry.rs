@@ -233,6 +233,47 @@ impl Geometry {
         }
         Ok(())
     }
+
+    /// Validate a multi-plane *erase* command's block set: at least two
+    /// blocks, all in one plane group (shared address staircase), every
+    /// plane addressed at most once. Erases have no page offset, so that
+    /// rule of [`Geometry::check_multi_plane`] does not apply.
+    pub fn check_multi_plane_blocks(&self, blocks: &[u32]) -> Result<()> {
+        let ppa = |b: u32| Ppa::new(b, 0);
+        let Some((&first, rest)) = blocks.split_first() else {
+            return Err(FlashError::MultiPlaneMismatch {
+                a: Ppa::new(0, 0),
+                b: Ppa::new(0, 0),
+                reason: "a multi-plane erase needs at least two blocks",
+            });
+        };
+        if rest.is_empty() {
+            return Err(FlashError::MultiPlaneMismatch {
+                a: ppa(first),
+                b: ppa(first),
+                reason: "a multi-plane erase needs at least two blocks",
+            });
+        }
+        let mismatch = |b: u32, reason| FlashError::MultiPlaneMismatch {
+            a: ppa(first),
+            b: ppa(b),
+            reason,
+        };
+        let mut seen_planes = vec![false; self.planes as usize];
+        for &block in blocks {
+            if block >= self.blocks {
+                return Err(FlashError::OutOfBounds { ppa: ppa(block) });
+            }
+            if self.plane_group(block) != self.plane_group(first) {
+                return Err(mismatch(block, "in-plane block indexes differ"));
+            }
+            let plane = self.plane_of(block) as usize;
+            if std::mem::replace(&mut seen_planes[plane], true) {
+                return Err(mismatch(block, "plane addressed more than once"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -125,6 +125,19 @@ pub trait Nand {
         self.geometry().check_multi_plane(ppas)?;
         ppas.iter().map(|&ppa| self.read_page(ppa)).collect()
     }
+
+    /// Erase one block per plane under a single pulse. The blocks must be
+    /// plane-aligned (same in-plane block index, distinct planes — see
+    /// [`Geometry::check_multi_plane_blocks`]). The default validates the
+    /// group and issues plain per-block erases: identical state, no time
+    /// overlap.
+    fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {
+        self.geometry().check_multi_plane_blocks(blocks)?;
+        for &block in blocks {
+            self.erase_block(block)?;
+        }
+        Ok(())
+    }
 }
 
 impl Nand for FlashChip {
@@ -213,6 +226,10 @@ impl Nand for FlashChip {
 
     fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
         FlashChip::multi_plane_read(self, ppas)
+    }
+
+    fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {
+        FlashChip::multi_plane_erase(self, blocks)
     }
 }
 

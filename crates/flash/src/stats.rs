@@ -23,6 +23,10 @@ pub struct FlashStats {
     pub multi_plane_programs: u64,
     /// Multi-plane read commands (member pages count in `page_reads`).
     pub multi_plane_reads: u64,
+    /// Multi-plane erase commands (member blocks count in
+    /// `block_erases`; this counts single shared erase pulses).
+    #[serde(default)]
+    pub multi_plane_erases: u64,
     /// Data+OOB bytes transferred over the bus for reads.
     pub bytes_read: u64,
     /// Data+OOB bytes transferred over the bus for programs.
@@ -56,6 +60,7 @@ impl FlashStats {
             block_erases: self.block_erases + other.block_erases,
             multi_plane_programs: self.multi_plane_programs + other.multi_plane_programs,
             multi_plane_reads: self.multi_plane_reads + other.multi_plane_reads,
+            multi_plane_erases: self.multi_plane_erases + other.multi_plane_erases,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected + other.disturb_bits_injected,
@@ -73,6 +78,7 @@ impl FlashStats {
             block_erases: self.block_erases - earlier.block_erases,
             multi_plane_programs: self.multi_plane_programs - earlier.multi_plane_programs,
             multi_plane_reads: self.multi_plane_reads - earlier.multi_plane_reads,
+            multi_plane_erases: self.multi_plane_erases - earlier.multi_plane_erases,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected - earlier.disturb_bits_injected,

@@ -292,6 +292,123 @@ fn per_plane_erase_counters_aggregate_to_block_erases() {
     );
 }
 
+#[test]
+fn aligned_group_erase_is_one_pulse() {
+    let (data, oob) = img(&chip(2), 0x00);
+    // Two sequential erases pay two pulses…
+    let sequential = {
+        let mut c = chip(2);
+        c.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        c.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
+        let t0 = c.elapsed_ns();
+        c.erase_block(0).unwrap();
+        c.erase_block(1).unwrap();
+        c.elapsed_ns() - t0
+    };
+    // …one aligned group erase pays one.
+    let mut c = chip(2);
+    c.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+    c.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
+    let t0 = c.elapsed_ns();
+    c.multi_plane_erase(&[0, 1]).unwrap();
+    let paired = c.elapsed_ns() - t0;
+    assert!(c.is_erased(Ppa::new(0, 0)).unwrap());
+    assert!(c.is_erased(Ppa::new(1, 0)).unwrap());
+    let s = c.stats();
+    assert_eq!(s.block_erases, 2, "member blocks count individually");
+    assert_eq!(s.multi_plane_erases, 1, "one shared pulse in the books");
+    assert_eq!(
+        2 * paired,
+        sequential,
+        "the group erase charges exactly one pulse"
+    );
+    assert_eq!(c.erase_count(0).unwrap(), 1);
+    assert_eq!(c.erase_count(1).unwrap(), 1);
+}
+
+#[test]
+fn misaligned_erase_groups_rejected_with_typed_errors() {
+    let mut c = chip(2);
+    // Different in-plane block index (block group).
+    assert!(matches!(
+        c.multi_plane_erase(&[0, 3]),
+        Err(FlashError::MultiPlaneMismatch {
+            reason: "in-plane block indexes differ",
+            ..
+        })
+    ));
+    // Same plane twice.
+    assert!(matches!(
+        c.multi_plane_erase(&[0, 0]),
+        Err(FlashError::MultiPlaneMismatch {
+            reason: "plane addressed more than once",
+            ..
+        })
+    ));
+    // Too few blocks.
+    assert!(matches!(
+        c.multi_plane_erase(&[]),
+        Err(FlashError::MultiPlaneMismatch { .. })
+    ));
+    assert!(matches!(
+        c.multi_plane_erase(&[4]),
+        Err(FlashError::MultiPlaneMismatch { .. })
+    ));
+    // Out of bounds.
+    assert!(matches!(
+        c.multi_plane_erase(&[98, 99]),
+        Err(FlashError::OutOfBounds { .. })
+    ));
+    // Nothing was erased by any of the rejections.
+    assert_eq!(c.stats().block_erases, 0);
+    assert_eq!(c.stats().busy_ns, 0, "failed commands cost nothing");
+}
+
+#[test]
+fn group_erase_is_atomic_over_bad_blocks() {
+    let mut c = chip(2);
+    let (data, oob) = img(&c, 0x00);
+    c.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+    c.retire_block(1).unwrap();
+    // One bad member rejects the whole command; the good member's data
+    // and wear are untouched.
+    assert!(matches!(
+        c.multi_plane_erase(&[0, 1]),
+        Err(FlashError::BadBlock { block: 1 })
+    ));
+    assert!(!c.is_erased(Ppa::new(0, 0)).unwrap());
+    assert_eq!(c.erase_count(0).unwrap(), 0);
+    assert_eq!(c.stats().block_erases, 0);
+}
+
+#[test]
+fn group_erase_counts_wear_per_plane_and_retires_on_endurance() {
+    let mut cfg = DeviceConfig::new(
+        Geometry::new(16, 8, 2048, 64).with_planes(2),
+        FlashMode::Slc,
+    )
+    .with_disturb(DisturbRates::none());
+    cfg.erase_endurance = 3;
+    let mut c = FlashChip::new(cfg);
+    for _ in 0..3 {
+        c.multi_plane_erase(&[0, 1]).unwrap();
+    }
+    // Per-plane wear aggregates exactly like sequential erases…
+    assert_eq!(c.plane_erase_count(0), 3);
+    assert_eq!(c.plane_erase_count(1), 3);
+    assert_eq!(
+        c.plane_erase_counts().iter().sum::<u64>(),
+        c.stats().block_erases
+    );
+    // …and endurance retires every member of the worn group.
+    assert!(c.is_bad(0));
+    assert!(c.is_bad(1));
+    assert!(matches!(
+        c.multi_plane_erase(&[0, 1]),
+        Err(FlashError::BadBlock { .. })
+    ));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -325,6 +442,36 @@ proptest! {
             );
         }
         prop_assert!(paired.elapsed_ns() < sequential.elapsed_ns());
+    }
+
+    /// Any aligned block group erases to the same state as sequential
+    /// erases, in strictly less time.
+    #[test]
+    fn group_erase_state_matches_sequential_state(
+        group in 0u32..8,
+        page in 0u32..8,
+        fill in 0u8..=0xFE,
+    ) {
+        let a = group * 2;
+        let b = group * 2 + 1;
+        let mut grouped = chip(2);
+        let (data, oob) = img(&grouped, fill);
+        let mut sequential = chip(2);
+        for c in [&mut grouped, &mut sequential] {
+            c.program_page(Ppa::new(a, page), &data, &oob).unwrap();
+            c.program_page(Ppa::new(b, page), &data, &oob).unwrap();
+        }
+        grouped.multi_plane_erase(&[a, b]).unwrap();
+        sequential.erase_block(a).unwrap();
+        sequential.erase_block(b).unwrap();
+        for block in [a, b] {
+            prop_assert!(grouped.is_erased(Ppa::new(block, page)).unwrap());
+            prop_assert_eq!(
+                grouped.erase_count(block).unwrap(),
+                sequential.erase_count(block).unwrap()
+            );
+        }
+        prop_assert!(grouped.elapsed_ns() < sequential.elapsed_ns());
     }
 }
 
@@ -441,6 +588,24 @@ fn default_trait_fallback_keeps_state_identical() {
     ];
     assert!(matches!(
         Nand::multi_plane_program(&mut plain, &bad),
+        Err(FlashError::MultiPlaneMismatch { .. })
+    ));
+
+    // The erase default falls back to sequential erases: same state,
+    // same alignment rule.
+    Nand::multi_plane_erase(&mut plain, &[0, 1]).unwrap();
+    native.multi_plane_erase(&[0, 1]).unwrap();
+    for b in [0, 1] {
+        assert!(plain.0.is_erased(Ppa::new(b, 0)).unwrap());
+        assert_eq!(
+            plain.0.erase_count(b).unwrap(),
+            native.erase_count(b).unwrap()
+        );
+    }
+    assert_eq!(plain.0.stats().multi_plane_erases, 0, "fallback, no pulse");
+    assert_eq!(native.stats().multi_plane_erases, 1);
+    assert!(matches!(
+        Nand::multi_plane_erase(&mut plain, &[0, 2]),
         Err(FlashError::MultiPlaneMismatch { .. })
     ));
 }

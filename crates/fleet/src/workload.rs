@@ -1,0 +1,240 @@
+//! Model-tracked tenant workload streams.
+//!
+//! Each tenant runs a seeded stream shaped like one of the paper's OLTP
+//! mixes — [`TenantMix::TpcB`] (update-heavy read-modify-write on an
+//! account table plus append-only history, the TPC-B transaction profile)
+//! or [`TenantMix::Tatp`] (read-mostly point lookups with small field
+//! updates, the TATP profile) — scaled down to fleet-soak size. Every
+//! transaction is mirrored into an in-memory model **only after its
+//! commit returns**, and the fleet runs its engines at `group_commit = 1`
+//! (commit == durable), so after any kill/recover cycle the engine must
+//! agree with the model byte-for-byte: [`TenantWorkload::verify`] is the
+//! per-tenant logical-state invariant of the soak.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ipa_storage::{Result, Rid, StorageEngine, StorageError, TableId, TableSpec};
+use ipa_workloads::heap_pages;
+use ipa_workloads::tatp::SUB_ROW;
+use ipa_workloads::tpcb::{BALANCE_OFF, HISTORY_LEN, ROW_LEN};
+
+/// Opening balance of every TPC-B-style account row.
+const INITIAL_BALANCE: i64 = 1_000_000;
+
+/// Which OLTP profile a tenant's stream follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantMix {
+    /// Update-heavy: read-modify-write an account balance and append a
+    /// history row, every transaction.
+    TpcB,
+    /// Read-mostly: ~70 % point reads, small field updates otherwise.
+    Tatp,
+}
+
+impl TenantMix {
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantMix::TpcB => "tpcb",
+            TenantMix::Tatp => "tatp",
+        }
+    }
+}
+
+/// A seeded stream + its in-memory model for one tenant.
+pub struct TenantWorkload {
+    mix: TenantMix,
+    rng: StdRng,
+    label: String,
+    /// Committed row images, both tables (RIDs are engine-unique).
+    rows: BTreeMap<Rid, Vec<u8>>,
+    /// Account/subscriber RIDs, insertion order (the pick pool).
+    rids: Vec<Rid>,
+    table: Option<TableId>,
+    history_table: Option<TableId>,
+    /// Net committed balance delta (TPC-B money-flow invariant).
+    committed_delta: i64,
+    initial_total: i64,
+    /// Committed transactions so far.
+    pub steps: u64,
+}
+
+impl TenantWorkload {
+    pub fn new(mix: TenantMix, seed: u64, label: impl Into<String>) -> Self {
+        TenantWorkload {
+            mix,
+            rng: StdRng::seed_from_u64(seed),
+            label: label.into(),
+            rows: BTreeMap::new(),
+            rids: Vec::new(),
+            table: None,
+            history_table: None,
+            committed_delta: 0,
+            initial_total: 0,
+            steps: 0,
+        }
+    }
+
+    pub fn mix(&self) -> TenantMix {
+        self.mix
+    }
+
+    /// The tenant schema for a mix: `rows` base rows, with history space
+    /// for `expected_steps` appends (TPC-B writes one per transaction).
+    pub fn tables(
+        mix: TenantMix,
+        rows: u64,
+        expected_steps: u64,
+        page_size: usize,
+    ) -> Vec<TableSpec> {
+        match mix {
+            TenantMix::TpcB => vec![
+                TableSpec::heap("account", ROW_LEN, heap_pages(rows, ROW_LEN, page_size)),
+                TableSpec::heap(
+                    "history",
+                    HISTORY_LEN,
+                    heap_pages(expected_steps + 8, HISTORY_LEN, page_size),
+                ),
+            ],
+            TenantMix::Tatp => vec![TableSpec::heap(
+                "subscriber",
+                SUB_ROW,
+                heap_pages(rows, SUB_ROW, page_size),
+            )],
+        }
+    }
+
+    /// Populate the base table (one transaction) and checkpoint, so the
+    /// loaded state is on flash and the load's log space is recycled
+    /// before the measured stream starts.
+    pub fn load(&mut self, engine: &mut StorageEngine, rows: u64) -> Result<()> {
+        let (name, row_len) = match self.mix {
+            TenantMix::TpcB => ("account", ROW_LEN),
+            TenantMix::Tatp => ("subscriber", SUB_ROW),
+        };
+        let table = engine.table(name)?;
+        self.table = Some(table);
+        if self.mix == TenantMix::TpcB {
+            self.history_table = Some(engine.table("history")?);
+        }
+        let tx = engine.begin();
+        for _ in 0..rows {
+            let mut row = vec![0u8; row_len];
+            self.rng.fill(&mut row[..]);
+            row[BALANCE_OFF..BALANCE_OFF + 8].copy_from_slice(&INITIAL_BALANCE.to_le_bytes());
+            let rid = engine.insert(tx, table, &row)?;
+            self.rows.insert(rid, row);
+            self.rids.push(rid);
+        }
+        engine.commit(tx)?;
+        self.initial_total = rows as i64 * INITIAL_BALANCE;
+        engine.checkpoint()
+    }
+
+    /// One transaction of the tenant's mix. The model is updated only
+    /// when the commit returns, so a kill at any step boundary leaves
+    /// model and durable state in agreement.
+    pub fn step(&mut self, engine: &mut StorageEngine) -> Result<()> {
+        let table = self.table.expect("load() before step()");
+        let rid = self.rids[self.rng.gen_range(0..self.rids.len())];
+        match self.mix {
+            TenantMix::TpcB => {
+                // An occasional client-side abort keeps the undo path in
+                // the stream (and in every recovery's skip set).
+                if self.rng.gen_range(0..12u32) == 0 {
+                    let tx = engine.begin();
+                    engine.update_field(tx, table, rid, BALANCE_OFF, &[0xEE; 8])?;
+                    engine.abort(tx)?;
+                    return Ok(());
+                }
+                let delta = self.rng.gen_range(-1000..=1000i64);
+                let got = engine.get(table, rid)?;
+                assert_eq!(
+                    &got, &self.rows[&rid],
+                    "{}: account read diverged before tx",
+                    self.label
+                );
+                let old = i64::from_le_bytes(got[BALANCE_OFF..BALANCE_OFF + 8].try_into().unwrap());
+                let new = (old + delta).to_le_bytes();
+                let mut hist = vec![0u8; HISTORY_LEN];
+                self.rng.fill(&mut hist[..]);
+                let tx = engine.begin();
+                engine.update_field(tx, table, rid, BALANCE_OFF, &new)?;
+                let hist_rid = match engine.insert(tx, self.history_table.unwrap(), &hist) {
+                    Ok(r) => Some(r),
+                    Err(StorageError::TableFull(_)) => None,
+                    Err(e) => return Err(e),
+                };
+                engine.commit(tx)?;
+                self.rows.get_mut(&rid).unwrap()[BALANCE_OFF..BALANCE_OFF + 8]
+                    .copy_from_slice(&new);
+                self.committed_delta += delta;
+                if let Some(h) = hist_rid {
+                    self.rows.insert(h, hist);
+                }
+            }
+            TenantMix::Tatp => match self.rng.gen_range(0..100u32) {
+                0..=69 => {
+                    let got = engine.get(table, rid)?;
+                    assert_eq!(
+                        &got, &self.rows[&rid],
+                        "{}: subscriber read diverged",
+                        self.label
+                    );
+                }
+                70..=94 => {
+                    let off = self.rng.gen_range(0..SUB_ROW - 4);
+                    let bytes: [u8; 4] = self.rng.gen();
+                    let tx = engine.begin();
+                    engine.update_field(tx, table, rid, off, &bytes)?;
+                    engine.commit(tx)?;
+                    self.rows.get_mut(&rid).unwrap()[off..off + 4].copy_from_slice(&bytes);
+                }
+                _ => {
+                    let tx = engine.begin();
+                    engine.update_field(tx, table, rid, 0, &[0xAB, 0xCD])?;
+                    engine.abort(tx)?;
+                }
+            },
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// The per-tenant logical-state invariant: every committed row image
+    /// readable and identical, and (TPC-B) the money-flow equation
+    /// `sum(balances) == initial + committed deltas` holding on bytes
+    /// read back from the engine, not from the model.
+    pub fn verify(&self, engine: &mut StorageEngine) {
+        let table = self.table.expect("load() before verify()");
+        let mut engine_total = 0i64;
+        for (rid, expect) in &self.rows {
+            // History RIDs live in the other table; `get` addresses by
+            // page so the table id only gates the row-length check —
+            // resolve which table the rid belongs to by length.
+            let t = if expect.len() == HISTORY_LEN && self.mix == TenantMix::TpcB {
+                self.history_table.unwrap()
+            } else {
+                table
+            };
+            let got = engine
+                .get(t, *rid)
+                .unwrap_or_else(|e| panic!("{}: row {rid:?} lost after recovery: {e}", self.label));
+            assert_eq!(&got, expect, "{}: row {rid:?} diverged", self.label);
+            if expect.len() != HISTORY_LEN || self.mix != TenantMix::TpcB {
+                engine_total +=
+                    i64::from_le_bytes(got[BALANCE_OFF..BALANCE_OFF + 8].try_into().unwrap());
+            }
+        }
+        if self.mix == TenantMix::TpcB {
+            assert_eq!(
+                engine_total,
+                self.initial_total + self.committed_delta,
+                "{}: money-flow invariant broken after recovery",
+                self.label
+            );
+        }
+    }
+}

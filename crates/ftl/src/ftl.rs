@@ -1179,6 +1179,10 @@ impl<C: Nand> IoQueue for Ftl<C> {
     fn note_wal_stripe_write(&mut self) {
         self.queue.wal_stripe_writes += 1;
     }
+
+    fn note_wal_stripe_reclaimed(&mut self) {
+        self.queue.wal_stripes_reclaimed += 1;
+    }
 }
 
 #[cfg(test)]

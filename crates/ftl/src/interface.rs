@@ -138,6 +138,9 @@ pub struct SubmissionState {
     /// `WriteDeltaV` submissions spanning more than one member — the
     /// evict path's batched delta appends.
     pub vectored_deltas: u64,
+    /// Host-attributed: sealed WAL pages trimmed by a checkpoint
+    /// ([`IoQueue::note_wal_stripe_reclaimed`]).
+    pub wal_stripes_reclaimed: u64,
 }
 
 impl SubmissionState {
@@ -202,6 +205,7 @@ impl SubmissionState {
         stats.readahead_hits += self.readahead_hits;
         stats.wal_stripe_writes += self.wal_stripe_writes;
         stats.vectored_deltas += self.vectored_deltas;
+        stats.wal_stripes_reclaimed += self.wal_stripes_reclaimed;
         stats
     }
 }
@@ -275,6 +279,11 @@ pub trait IoQueue {
     /// Host attribution hook: a WAL group-commit flush went out as one
     /// multi-page vector. Counted in `DeviceStats::wal_stripe_writes`.
     fn note_wal_stripe_write(&mut self);
+
+    /// Host attribution hook: a checkpoint trimmed one sealed WAL page,
+    /// recycling its log space. Counted in
+    /// `DeviceStats::wal_stripes_reclaimed`.
+    fn note_wal_stripe_reclaimed(&mut self);
 }
 
 /// A block device with a queued face — the bound host components (the

@@ -472,6 +472,10 @@ impl IoQueue for ShardedFtl {
     fn note_wal_stripe_write(&mut self) {
         self.queue.wal_stripe_writes += 1;
     }
+
+    fn note_wal_stripe_reclaimed(&mut self) {
+        self.queue.wal_stripes_reclaimed += 1;
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,10 @@ pub struct DeviceStats {
     /// evictions batching their delta appends across dies.
     #[serde(default)]
     pub vectored_deltas: u64,
+    /// Sealed WAL log pages trimmed by a checkpoint — the log-space
+    /// reclamation that keeps the seal-on-flush stripe bounded.
+    #[serde(default)]
+    pub wal_stripes_reclaimed: u64,
 }
 
 impl DeviceStats {
@@ -114,6 +118,7 @@ impl DeviceStats {
             readahead_hits: self.readahead_hits + other.readahead_hits,
             wal_stripe_writes: self.wal_stripe_writes + other.wal_stripe_writes,
             vectored_deltas: self.vectored_deltas + other.vectored_deltas,
+            wal_stripes_reclaimed: self.wal_stripes_reclaimed + other.wal_stripes_reclaimed,
         }
     }
 
@@ -140,6 +145,7 @@ impl DeviceStats {
             readahead_hits: self.readahead_hits - earlier.readahead_hits,
             wal_stripe_writes: self.wal_stripe_writes - earlier.wal_stripe_writes,
             vectored_deltas: self.vectored_deltas - earlier.vectored_deltas,
+            wal_stripes_reclaimed: self.wal_stripes_reclaimed - earlier.wal_stripes_reclaimed,
         }
     }
 }

@@ -178,6 +178,10 @@ impl IoQueue for MaintainedFtl {
     fn note_wal_stripe_write(&mut self) {
         self.inner.note_wal_stripe_write();
     }
+
+    fn note_wal_stripe_reclaimed(&mut self) {
+        self.inner.note_wal_stripe_reclaimed();
+    }
 }
 
 #[cfg(test)]

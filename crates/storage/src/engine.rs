@@ -513,9 +513,11 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Sharp checkpoint: force every dirty page to flash, then truncate
-    /// the WAL — recovery afterwards starts from this point. (Requires no
-    /// active transactions; their undo would be lost with the log.)
+    /// Sharp checkpoint: force every dirty page to flash, then write a
+    /// durable checkpoint record and recycle the log pages it makes dead
+    /// — recovery afterwards starts from this point, and the reclaimed
+    /// stripes go back into the WAL's free pool. (Requires no active
+    /// transactions; their undo would be lost with the log.)
     pub fn checkpoint(&mut self) -> Result<()> {
         assert_eq!(
             self.tx.active_count(),
@@ -524,8 +526,7 @@ impl StorageEngine {
         );
         self.pool.flush_all()?;
         if let Some(w) = &mut self.wal {
-            w.flush()?;
-            w.truncate()?;
+            w.checkpoint()?;
             self.commits_since_flush = 0;
         }
         Ok(())

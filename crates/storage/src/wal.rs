@@ -55,6 +55,14 @@ pub enum WalKind {
         page: PageId,
         ops: Vec<WriteOp>,
     },
+    /// Checkpoint marker: every record with `lsn <= upto_lsn` protects
+    /// data known durable. Replay discards records at or below the
+    /// newest checkpoint's horizon, so sealed log pages holding only
+    /// dead history can be recycled — and cannot resurrect even if a
+    /// crash interrupts the recycling ([`Wal::checkpoint`]).
+    Checkpoint {
+        upto_lsn: u64,
+    },
 }
 
 /// One log record.
@@ -69,6 +77,7 @@ const TAG_BEGIN: u8 = 1;
 const TAG_COMMIT: u8 = 2;
 const TAG_ABORT: u8 = 3;
 const TAG_UPDATE: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
 const END_MARK: u32 = u32::MAX;
 
 /// Per-page batch trailer: `[batch_seq u64][batch_len u16][member_idx u16][crc u32]`.
@@ -145,6 +154,10 @@ impl WalRecord {
                     out.extend_from_slice(&op.new);
                 }
             }
+            WalKind::Checkpoint { upto_lsn } => {
+                out.push(TAG_CHECKPOINT);
+                out.extend_from_slice(&upto_lsn.to_le_bytes());
+            }
         }
         let len = out.len() as u32;
         out[..4].copy_from_slice(&len.to_le_bytes());
@@ -198,6 +211,13 @@ impl WalRecord {
                 }
                 WalKind::Update { page, ops }
             }
+            TAG_CHECKPOINT => {
+                if len < 29 {
+                    return Err("checkpoint record too short");
+                }
+                let upto_lsn = u64::from_le_bytes(buf[21..29].try_into().unwrap());
+                WalKind::Checkpoint { upto_lsn }
+            }
             _ => return Err("unknown record tag"),
         };
         Ok(Some((WalRecord { lsn, tx, kind }, len)))
@@ -238,6 +258,11 @@ pub struct Wal {
     pub records_appended: u64,
     /// Flushes whose batch went out as one multi-page vector.
     pub stripe_flushes: u64,
+    /// Flushed log pages still holding live history, with the batch
+    /// sequence of their last write — the checkpoint's trim list.
+    live: Vec<(Lba, u64)>,
+    /// Sealed log pages recycled by checkpoints since creation.
+    stripes_reclaimed: u64,
 }
 
 impl Wal {
@@ -312,6 +337,8 @@ impl Wal {
             next_batch_seq: 1,
             records_appended: 0,
             stripe_flushes: 0,
+            live: Vec::new(),
+            stripes_reclaimed: 0,
         }
     }
 
@@ -377,6 +404,12 @@ impl Wal {
         // a failed submit keeps it queued for the next flush (page
         // writes are idempotent, so any members that did land are simply
         // rewritten).
+        for &(lba, _) in &pages {
+            match self.live.iter_mut().find(|(l, _)| *l == lba) {
+                Some(entry) => entry.1 = batch_seq,
+                None => self.live.push((lba, batch_seq)),
+            }
+        }
         let token = self
             .device
             .submit(IoRequest::WriteV(pages))
@@ -436,7 +469,58 @@ impl Wal {
         self.buf.fill(0xFF);
         self.cursor = 0;
         self.sealed.clear();
+        self.live.clear();
         Ok(())
+    }
+
+    /// Checkpoint the log: every record appended so far protects data the
+    /// caller knows durable, so write a [`WalKind::Checkpoint`] marker
+    /// and recycle the sealed pages holding only dead history. Returns
+    /// the number of log pages reclaimed (also counted in the device's
+    /// `wal_stripes_reclaimed` and [`Wal::stripes_reclaimed`]).
+    ///
+    /// Crash safety: the marker batch is flushed *before* any trim, so a
+    /// power cut mid-reclaim leaves stale pages behind at worst — and
+    /// [`Wal::replay`] drops records at or below the newest checkpoint's
+    /// horizon, so dead history cannot resurrect. Unlike
+    /// [`Wal::truncate`] this keeps the log device live (no global reset)
+    /// and is what bounds log space across kill/recover soak cycles.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        self.flush()?;
+        // Everything flushed so far is dead once the marker is durable.
+        let dead_seq = self.next_batch_seq - 1;
+        let upto_lsn = self.next_lsn;
+        let marker_lsn = self.next_lsn();
+        self.append(&WalRecord {
+            lsn: marker_lsn,
+            tx: 0,
+            kind: WalKind::Checkpoint { upto_lsn },
+        })?;
+        self.flush()?;
+        let dead: Vec<Lba> = self
+            .live
+            .iter()
+            .filter(|&&(_, seq)| seq <= dead_seq)
+            .map(|&(lba, _)| lba)
+            .collect();
+        let mut reclaimed = 0u64;
+        for lba in dead {
+            match self.device.trim(lba) {
+                Ok(()) => {}
+                Err(ipa_ftl::FtlError::UnmappedLba(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+            self.device.note_wal_stripe_reclaimed();
+            reclaimed += 1;
+        }
+        self.live.retain(|&(_, seq)| seq > dead_seq);
+        self.stripes_reclaimed += reclaimed;
+        Ok(reclaimed)
+    }
+
+    /// Sealed log pages recycled by checkpoints since creation.
+    pub fn stripes_reclaimed(&self) -> u64 {
+        self.stripes_reclaimed
     }
 
     /// Read every record in LSN order (flushes the tail first so the scan
@@ -519,6 +603,20 @@ impl Wal {
             .flat_map(|(_, _, recs)| recs)
             .collect();
         records.sort_by_key(|r| r.lsn);
+        // Checkpoint horizon: records at or below the newest checkpoint's
+        // `upto_lsn` protect data already durable. Even if a crash
+        // mid-reclaim left their (trimmed-in-intent) pages behind, the
+        // dead history must not resurrect.
+        let horizon = records
+            .iter()
+            .filter_map(|r| match r.kind {
+                WalKind::Checkpoint { upto_lsn } => Some(upto_lsn),
+                _ => None,
+            })
+            .max();
+        if let Some(horizon) = horizon {
+            records.retain(|r| r.lsn > horizon);
+        }
         Ok(records)
     }
 
@@ -854,6 +952,166 @@ mod tests {
             Err(StorageError::WalCorrupt { lba: 0, .. }) => {}
             other => panic!("expected WalCorrupt at lba 0, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoint_record_round_trips() {
+        let rec = WalRecord {
+            lsn: 42,
+            tx: 0,
+            kind: WalKind::Checkpoint { upto_lsn: 41 },
+        };
+        let bytes = rec.encode();
+        let (back, len) = WalRecord::decode(&bytes).unwrap().unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn checkpoint_reclaims_sealed_pages_and_bounds_log_space() {
+        let mut wal = Wal::striped(128, 2048, 2, 2);
+        for i in 0..200u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let reclaimed = wal.checkpoint().unwrap();
+        assert!(reclaimed > 2, "several sealed pages recycled: {reclaimed}");
+        assert_eq!(wal.stripes_reclaimed(), reclaimed);
+        assert_eq!(
+            wal.device_stats().wal_stripes_reclaimed,
+            reclaimed,
+            "reclaim counted on the log device"
+        );
+        // Only the checkpoint marker survives replay.
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0].kind, WalKind::Checkpoint { .. }));
+        // The log stays usable: new records land and replay past the
+        // horizon.
+        let lsn = wal.next_lsn();
+        wal.append(&upd(lsn, 2, 7)).unwrap();
+        wal.flush().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 2, "marker + the new record");
+        assert_eq!(records.last().unwrap().lsn, lsn);
+    }
+
+    #[test]
+    fn repeated_checkpoints_keep_live_pages_bounded() {
+        // The soak property in miniature: kill/recover cycles append and
+        // checkpoint forever; live log pages must not grow monotonically.
+        let mut wal = Wal::striped(256, 2048, 2, 1);
+        let mut live_high = 0usize;
+        let mut lsn = 0u64;
+        for _round in 0..20 {
+            for _ in 0..120 {
+                lsn += 1;
+                wal.append(&upd(lsn, 1, lsn)).unwrap();
+            }
+            wal.flush().unwrap();
+            wal.checkpoint().unwrap();
+            lsn = lsn.max(wal.current_lsn());
+            live_high = live_high.max(wal.live.len());
+        }
+        assert!(
+            live_high <= 4,
+            "checkpointing must bound live log pages, saw {live_high}"
+        );
+        assert!(wal.stripes_reclaimed() >= 20);
+    }
+
+    #[test]
+    fn replay_edge_cases_across_geometries() {
+        // The striped-WAL replay contract, held on every log topology:
+        // single chip, single channel, and two multi-channel shapes.
+        for (channels, dies) in [(1u32, 1u32), (2, 1), (2, 2), (4, 2)] {
+            let build = || {
+                let mut w = Wal::striped(256, 2048, channels, dies);
+                for i in 0..100u64 {
+                    w.append(&upd(i + 1, 1, i)).unwrap();
+                }
+                w.flush().unwrap();
+                w
+            };
+
+            // Torn-tail drop: the incomplete tail batch vanishes
+            // wholesale, committed history survives.
+            let mut torn = build();
+            for i in 100..200u64 {
+                torn.append(&upd(i + 1, 2, i)).unwrap();
+            }
+            torn.flush_torn(1).unwrap();
+            let records = torn.replay().unwrap();
+            assert_eq!(records.len(), 100, "{channels}x{dies}: torn tail kept");
+            assert!(records.iter().all(|r| r.lsn <= 100));
+
+            // WalCorrupt below the tail seq: corruption inside committed
+            // history refuses replay rather than losing records.
+            let mut rotten = build();
+            for i in 100..200u64 {
+                rotten.append(&upd(i + 1, 2, i)).unwrap();
+            }
+            rotten.flush().unwrap();
+            rotten.corrupt_payload_byte(0, 8);
+            assert!(
+                matches!(
+                    rotten.replay(),
+                    Err(StorageError::WalCorrupt { lba: 0, .. })
+                ),
+                "{channels}x{dies}: sub-tail corruption must refuse"
+            );
+
+            // Replay-after-reclaim: checkpointed stripes must not
+            // resurrect — not even when the crash skipped their trims.
+            let mut cp = build();
+            let dead_seq = cp.next_batch_seq - 1;
+            cp.checkpoint().unwrap();
+            for i in 200..230u64 {
+                cp.append(&upd(i + 1, 3, i)).unwrap();
+            }
+            cp.flush().unwrap();
+            let records = cp.replay().unwrap();
+            assert!(
+                records.iter().all(|r| r.lsn > 100),
+                "{channels}x{dies}: reclaimed history resurrected"
+            );
+            assert_eq!(
+                records
+                    .iter()
+                    .filter(|r| matches!(r.kind, WalKind::Update { .. }))
+                    .count(),
+                30,
+                "{channels}x{dies}: post-checkpoint records all replay"
+            );
+            assert!(
+                cp.live.iter().all(|&(_, seq)| seq > dead_seq),
+                "{channels}x{dies}: dead pages still listed live"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_mid_reclaim_does_not_resurrect_dead_records() {
+        // Simulate the marker landing but the trims never running: stale
+        // pages stay mapped, yet replay must hold the checkpoint horizon.
+        let mut wal = Wal::striped(128, 2048, 2, 1);
+        for i in 0..100u64 {
+            wal.append(&upd(i + 1, 1, i)).unwrap();
+        }
+        wal.flush().unwrap();
+        // Checkpoint by hand, minus the trim phase.
+        let upto_lsn = wal.current_lsn();
+        let marker_lsn = wal.next_lsn();
+        wal.append(&WalRecord {
+            lsn: marker_lsn,
+            tx: 0,
+            kind: WalKind::Checkpoint { upto_lsn },
+        })
+        .unwrap();
+        wal.flush().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 1, "stale pages must not resurrect");
+        assert!(matches!(records[0].kind, WalKind::Checkpoint { .. }));
     }
 
     #[test]

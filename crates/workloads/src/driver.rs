@@ -381,6 +381,40 @@ impl RunResult {
             self.flash.total_programs() as f64 / (self.elapsed_ns as f64 / 1e9)
         }
     }
+
+    /// Per-stream (per-tenant) deep-tail latencies, stream-indexed. Empty
+    /// for single-client runs.
+    pub fn per_stream_p999_ns(&self) -> Vec<u64> {
+        self.per_stream.iter().map(|s| s.latency.p999_ns).collect()
+    }
+
+    /// Cross-stream p99.9 fairness: the max/min ratio of per-stream deep
+    /// tails ([`fairness_spread`]). 1.0 = perfectly fair.
+    pub fn p999_spread(&self) -> f64 {
+        fairness_spread(&self.per_stream_p999_ns())
+    }
+}
+
+/// Cross-client fairness of a set of per-client p99.9 latencies: the
+/// max/min ratio. 1.0 is perfect fairness; a starved client drives the
+/// ratio up. Degenerate inputs stay meaningful: an empty set or all-zero
+/// tails (no samples anywhere) report 1.0, while a zero *minimum* against
+/// a nonzero maximum — one client never measured — reports infinity
+/// rather than masking the starvation.
+pub fn fairness_spread(p999s: &[u64]) -> f64 {
+    let Some(&max) = p999s.iter().max() else {
+        return 1.0;
+    };
+    let min = *p999s.iter().min().unwrap();
+    if min == 0 {
+        if max == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max as f64 / min as f64
+    }
 }
 
 /// One sequential-scan measurement (the read-ahead experiment).
@@ -982,6 +1016,18 @@ mod latency_tests {
         assert_eq!(
             (p.p50_ns, p.p95_ns, p.p99_ns, p.p999_ns, p.max_ns),
             (42, 42, 42, 42, 42)
+        );
+    }
+
+    #[test]
+    fn fairness_spread_is_max_over_min() {
+        assert_eq!(fairness_spread(&[100, 200, 150]), 2.0);
+        assert_eq!(fairness_spread(&[77]), 1.0);
+        assert_eq!(fairness_spread(&[]), 1.0, "no clients, nothing unfair");
+        assert_eq!(fairness_spread(&[0, 0]), 1.0, "no samples anywhere");
+        assert!(
+            fairness_spread(&[0, 500]).is_infinite(),
+            "a never-measured client is starvation, not fairness"
         );
     }
 }

@@ -16,8 +16,8 @@ pub mod tpcc;
 pub mod util;
 
 pub use driver::{
-    Driver, DriverConfig, LatencyPercentiles, MaintMode, RunResult, ScanResult, StreamLatency,
-    Topology,
+    fairness_spread, Driver, DriverConfig, LatencyPercentiles, MaintMode, RunResult, ScanResult,
+    StreamLatency, Topology,
 };
 pub use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 pub use linkbench::LinkBench;

@@ -228,4 +228,9 @@ fn tail_latency_tightens_with_parallelism() {
     for s in &wide.per_stream {
         assert!(s.latency.p50_ns <= s.latency.p999_ns);
     }
+    // And the cross-stream tail spread (max/min p99.9) is well-formed:
+    // symmetric streams over a striped device should not diverge wildly.
+    let spread = wide.p999_spread();
+    assert!(spread >= 1.0 && spread.is_finite());
+    assert_eq!(wide.per_stream_p999_ns().len(), 8);
 }
