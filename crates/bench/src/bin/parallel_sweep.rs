@@ -16,7 +16,8 @@
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
 //!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
 //!       [--maint-tx=N] [--cap=1] [--planes=N] [--readahead[=W]] \
-//!       [--wal-stripe[=C]] [--qos] [--fleet] [--csv <path>]
+//!       [--wal-stripe[=C]] [--qos] [--fleet] [--csv <path>] \
+//!       [--trace=<out.json>] [--metrics=<out.json>]
 //!
 //! `--planes=N` (N > 1) appends a plane-scaling section: the write-heavy
 //! traditional path on fixed channels × dies, planes swept over
@@ -48,6 +49,14 @@
 //! non-zero if any recovery is missed, no log space is recycled, or the
 //! cross-tenant p99.9 spread blows up.
 //!
+//! `--trace=<path>` / `--metrics=<path>` run one traced QoS
+//! background-GC configuration and write the command-lifecycle trace as
+//! Chrome trace-event JSON (open it in Perfetto / `chrome://tracing`;
+//! one track per die, erase-suspend/resume and promotion instants
+//! marked) and the unified metrics tree as JSON. Both artifacts are
+//! self-validated — parse, per-die coverage, round-trip — and exit
+//! non-zero on failure.
+//!
 //! `--csv` writes every row (all sections) as machine-readable CSV for
 //! the perf trajectory.
 //!
@@ -59,6 +68,8 @@ use ipa_core::NmScheme;
 use ipa_flash::FlashMode;
 use ipa_fleet::SoakConfig;
 use ipa_ftl::{StripePolicy, WriteStrategy};
+use ipa_trace::json::JsonValue;
+use ipa_trace::{chrome_trace_json, json, MetricsSnapshot, TracePhase};
 use ipa_workloads::{Driver, DriverConfig, MaintMode, RunResult, Topology, WorkloadKind};
 
 /// One CSV row; shared by both sections.
@@ -81,7 +92,9 @@ fn csv_row(
          {p999},{max},{wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},\
          {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs},\
          {vectored_reads},{vectored_writes},{readahead_hits},{wal_stripe_writes},\
-         {p999_read_ns},{reads_promoted},{erase_suspends},0,0,0,0\n",
+         {p999_read_ns},{reads_promoted},{erase_suspends},0,0,0,0,{die_util:.4},{chan_util:.4}\n",
+        die_util = c.die_util_max(),
+        chan_util = c.chan_util_max(),
         planes = topo.planes,
         programs_per_sec = r.programs_per_sec(),
         mp_pairs = r.device.multi_plane_pairs,
@@ -144,7 +157,8 @@ fn main() {
          max_ns,mean_wait_ns,depth_max,ncq_stalls,ncq_stall_ns,gc_erases,bg_gc_erases,bg_steps,\
          busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs,\
          vectored_reads,vectored_writes,readahead_hits,wal_stripe_writes,p999_read_ns,\
-         reads_promoted,erase_suspends,tenants,kills,recoveries,wal_stripes_reclaimed\n",
+         reads_promoted,erase_suspends,tenants,kills,recoveries,wal_stripes_reclaimed,\
+         die_util_max,chan_util_max\n",
     );
 
     let topologies = [
@@ -442,7 +456,7 @@ fn main() {
             );
             csv.push_str(&format!(
                 "scan,{scan_topo},{planes},inline,,{workload},{pps:.1},{speedup:.3},0,0,0,0,0.0,\
-                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0,0,0,0,0,0,0,0\n",
+                 0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0,0,0,0,0,0,0,0,0.0000,0.0000\n",
                 planes = scan_topo.planes,
                 workload = kind.name(),
                 pps = on.pages_per_sec(),
@@ -520,7 +534,8 @@ fn main() {
                 );
                 csv.push_str(&format!(
                     "wal,{wide},{planes},inline,,{workload},{tps:.1},{speedup:.3},{p50},{p99},\
-                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw},0,0,0,0,0,0,0\n",
+                     {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw},0,0,0,0,0,0,0,\
+                     0.0000,0.0000\n",
                     planes = wide.planes,
                     workload = kind.name(),
                     tps = r.tps,
@@ -703,7 +718,10 @@ fn main() {
         csv.push_str(&format!(
             "fleet,{fleet_topo},1,inline+qos,4,mixed,{tps:.1},1.000,0,0,{p999_max},0,\
              {wait:.1},{depth},{stalls},{stall_ns},0,0,0,0,0,0.0000,0.0,0,0,0,0,0,0,\
-             {promoted},{suspends},{tenants},{kills},{recoveries},{reclaimed}\n",
+             {promoted},{suspends},{tenants},{kills},{recoveries},{reclaimed},\
+             {die_util:.4},{chan_util:.4}\n",
+            die_util = c.die_util_max(),
+            chan_util = c.chan_util_max(),
             tps = report.tps(),
             wait = c.mean_wait_ns(),
             depth = c.max_queue_depth,
@@ -729,6 +747,106 @@ fn main() {
                 report.recoveries, report.kills, report.wal_stripes_reclaimed
             );
             exit = 1;
+        }
+        ipa_bench::rule(118);
+    }
+
+    // ── Trace + metrics capture ──────────────────────────────────────
+    // One traced run of the QoS configuration (traditional writes,
+    // background GC, QoS scheduling on the widest topology): the command
+    // lifecycle goes to a Chrome trace-event JSON (`--trace=<path>`,
+    // opens in Perfetto, one track per die) and the unified metrics tree
+    // to JSON (`--metrics=<path>`). Both artifacts are self-validated:
+    // the trace must parse and cover every die, suspend/resume instants
+    // must pair, and the metrics document must round-trip identically.
+    let trace_path = ipa_bench::str_arg("trace");
+    let metrics_path = ipa_bench::str_arg("metrics");
+    if trace_path.is_some() || metrics_path.is_some() {
+        let wide = Topology::new(4, 2, StripePolicy::RoundRobin);
+        let traced_cfg = DriverConfig::default()
+            .with_transactions(maint_tx)
+            .with_seed(seed)
+            .with_streams(streams)
+            .with_trace(1 << 20);
+        let r = Driver::run_maintained(
+            WorkloadKind::TpcB,
+            scale,
+            WriteStrategy::Traditional,
+            NmScheme::disabled(),
+            FlashMode::PSlc,
+            wide,
+            MaintMode::background(None).with_qos(),
+            &traced_cfg,
+        )
+        .expect("traced run");
+        let count = |phase: TracePhase| r.trace.iter().filter(|e| e.phase == phase).count();
+        let (completed, suspended, resumed, promoted) = (
+            count(TracePhase::Completed),
+            count(TracePhase::Suspended),
+            count(TracePhase::Resumed),
+            count(TracePhase::Promoted),
+        );
+        println!(
+            "trace capture — traditional writes on {wide}, background GC + QoS, {maint_tx} tx: \
+             {} events ({} dropped), {completed} completions, {promoted} promotions, \
+             {suspended} suspends / {resumed} resumes",
+            r.trace.len(),
+            r.trace_dropped,
+        );
+
+        if let Some(path) = &trace_path {
+            let doc = chrome_trace_json(&r.trace, "parallel_sweep QoS trace");
+            std::fs::write(path, &doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            // Self-validation: the document parses, and every die's
+            // track carries at least one real (non-metadata) event.
+            let parsed = json::parse(&doc).expect("trace JSON must parse");
+            let events = parsed
+                .get("traceEvents")
+                .and_then(JsonValue::as_array)
+                .expect("trace JSON has traceEvents");
+            let mut dies_seen = std::collections::BTreeSet::new();
+            for ev in events {
+                let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+                if ph != "M" {
+                    if let Some(tid) = ev.get("tid").and_then(JsonValue::as_u64) {
+                        dies_seen.insert(tid);
+                    }
+                }
+            }
+            let covered = (0..wide.dies() as u64)
+                .filter(|d| dies_seen.contains(d))
+                .count();
+            let ok = covered == wide.dies() as usize && suspended == resumed && promoted > 0;
+            if ok {
+                println!(
+                    "  -> trace: {} events to {path}, {covered}/{} dies covered, \
+                     suspend/resume paired: PASS",
+                    events.len(),
+                    wide.dies()
+                );
+            } else {
+                println!(
+                    "  -> trace: {covered}/{} dies covered, {promoted} promotions, \
+                     {suspended} suspends vs {resumed} resumes: FAIL",
+                    wide.dies()
+                );
+                exit = 1;
+            }
+        }
+
+        if let Some(path) = &metrics_path {
+            let doc = r.metrics.to_json_string();
+            std::fs::write(path, &doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            let back = MetricsSnapshot::from_json_str(&doc).expect("metrics JSON must parse");
+            if back == r.metrics && back.get("controller.commands").is_some() {
+                println!(
+                    "  -> metrics round-trip: {} sections to {path}: PASS",
+                    back.sections.len()
+                );
+            } else {
+                println!("  -> metrics round-trip mismatch on {path}: FAIL");
+                exit = 1;
+            }
         }
         ipa_bench::rule(118);
     }

@@ -57,6 +57,7 @@ use ipa_flash::{
     FlashChip, FlashMode, FlashStats, Geometry, MultiPlaneWrite, Nand, PageImage, Ppa, Result,
     SimClock,
 };
+use ipa_trace::{CommandKind, CommandOrigin, LatencyHistogram, SharedSink, TraceEvent, TracePhase};
 
 use crate::config::ControllerConfig;
 use crate::stats::{ControllerStats, DieStats};
@@ -80,6 +81,12 @@ struct Posted {
     kind: PostedKind,
     /// Erase-suspend budget left (always 0 for programs).
     resumes_left: u16,
+    /// Trace identity: sequence id, command kind, and origin at
+    /// submission — lets suspend/resume instants name the command they
+    /// perturb. Zero-cost when no tracer is attached (plain `Copy` data).
+    cmd: u64,
+    ckind: CommandKind,
+    origin: CommandOrigin,
 }
 
 /// A promotion slot the QoS scheduler found for a host read: where the
@@ -135,8 +142,26 @@ pub struct FlashController {
     /// host has neither polled nor forgotten yet.
     outstanding_posted_reads: u64,
     /// Device-side latency (`done - submit`) of every host read, in issue
-    /// order — the tail-latency SLO wall samples p99.9 from here.
+    /// order — the tail-latency SLO wall samples p99.9 from here. Empty
+    /// when `bounded_read_lat` routes samples to the histogram instead.
     read_lat: Vec<u64>,
+    /// Fixed-memory log2 sketch of every host-read latency; always
+    /// maintained (a record is a handful of integer ops) so long soaks
+    /// can drop the exact buffer without losing percentiles.
+    read_hist: LatencyHistogram,
+    /// When set, host-read latencies go only to `read_hist` — the
+    /// bounded-memory mode for long soaks.
+    bounded_read_lat: bool,
+    /// Accumulated bus-transfer time per channel (utilization telemetry).
+    chan_busy: Vec<u64>,
+    /// Lifecycle-event sink; `None` (default) skips every emission.
+    tracer: Option<SharedSink>,
+    /// Origin override for every traced command (e.g. a dedicated WAL
+    /// controller tags its traffic [`CommandOrigin::Wal`]); `None` derives
+    /// the origin from the internal/priority/posted window depths.
+    trace_origin: Option<CommandOrigin>,
+    /// Per-controller command sequence number pairing trace phases.
+    cmd_seq: u64,
     stats: ControllerStats,
 }
 
@@ -151,7 +176,8 @@ impl FlashController {
                 stats: DieStats::default(),
             })
             .collect();
-        let channels = (0..cfg.channels).map(|_| SimClock::new()).collect();
+        let channels: Vec<SimClock> = (0..cfg.channels).map(|_| SimClock::new()).collect();
+        let chan_busy = vec![0u64; channels.len()];
         FlashController {
             cfg,
             dies,
@@ -163,6 +189,12 @@ impl FlashController {
             priority_read_depth: 0,
             outstanding_posted_reads: 0,
             read_lat: Vec::new(),
+            read_hist: LatencyHistogram::new(),
+            bounded_read_lat: false,
+            chan_busy,
+            tracer: None,
+            trace_origin: None,
+            cmd_seq: 0,
             stats: ControllerStats::default(),
         }
     }
@@ -214,6 +246,23 @@ impl FlashController {
         }
         if self.dies.is_empty() {
             s.min_die_erases = 0;
+        }
+        let elapsed = self.elapsed_ns() as u128;
+        if elapsed > 0 {
+            s.die_util_ppm_max = self
+                .dies
+                .iter()
+                .map(|d| (d.stats.busy_ns as u128 * 1_000_000 / elapsed) as u64)
+                .max()
+                .unwrap_or(0)
+                .min(1_000_000);
+            s.chan_util_ppm_max = self
+                .chan_busy
+                .iter()
+                .map(|&b| (b as u128 * 1_000_000 / elapsed) as u64)
+                .max()
+                .unwrap_or(0)
+                .min(1_000_000);
         }
         s
     }
@@ -324,8 +373,115 @@ impl FlashController {
 
     /// Device-side latency (`done − submit`) of every host read so far,
     /// in issue order. Benchmarks slice this by index to window samples.
+    /// Empty in bounded mode ([`Self::set_bounded_read_latencies`]) —
+    /// use [`Self::read_latency_histogram`] there.
     pub fn read_latencies(&self) -> &[u64] {
         &self.read_lat
+    }
+
+    /// Fixed-memory log2 histogram of every host-read latency so far.
+    /// Always maintained; snapshot it and use
+    /// [`LatencyHistogram::delta_since`] to window samples.
+    pub fn read_latency_histogram(&self) -> LatencyHistogram {
+        self.read_hist
+    }
+
+    /// Bounded-memory mode: stop appending host-read latencies to the
+    /// exact sample buffer (the histogram keeps recording). Long soaks
+    /// switch this on so memory stays constant; tests use the exact
+    /// buffer as the percentile oracle.
+    pub fn set_bounded_read_latencies(&mut self, bounded: bool) {
+        self.bounded_read_lat = bounded;
+        if bounded {
+            self.read_lat = Vec::new();
+        }
+    }
+
+    /// Attach a lifecycle-event sink. Every command the controller
+    /// schedules from now on emits `Submitted`/`Dispatched`/`Started`/
+    /// `Completed` (plus `Suspended`/`Resumed`/`Promoted` instants from
+    /// the QoS path). Recording never perturbs timing or state — a
+    /// traced run is bit-identical to an untraced one.
+    pub fn set_tracer(&mut self, sink: SharedSink) {
+        self.tracer = Some(sink);
+    }
+
+    /// Detach the tracer (emission returns to a single dead branch).
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Is a tracer currently attached?
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Force every traced command's origin (e.g. [`CommandOrigin::Wal`]
+    /// on a dedicated log controller). `None` restores derivation from
+    /// the internal/priority/posted window depths.
+    pub fn set_trace_origin(&mut self, origin: Option<CommandOrigin>) {
+        self.trace_origin = origin;
+    }
+
+    /// Emit a standalone instant event on a die's track at current host
+    /// time — the maintenance scheduler marks reclaim dispatch this way.
+    pub fn trace_instant(&mut self, die: u32, kind: CommandKind, phase: TracePhase) {
+        if self.tracer.is_none() {
+            return;
+        }
+        self.cmd_seq += 1;
+        let ev = TraceEvent {
+            at_ns: self.host.now_ns(),
+            cmd: self.cmd_seq,
+            die,
+            channel: self.cfg.channel_of(die),
+            kind,
+            origin: CommandOrigin::Internal,
+            phase,
+        };
+        self.emit(ev);
+    }
+
+    #[inline]
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(ev);
+        }
+    }
+
+    /// The origin a command issued right now would be attributed to.
+    fn current_origin(&self) -> CommandOrigin {
+        if let Some(o) = self.trace_origin {
+            o
+        } else if self.internal_depth > 0 {
+            CommandOrigin::Internal
+        } else if self.priority_read_depth > 0 {
+            CommandOrigin::HostPriority
+        } else if self.posted_read_depth > 0 {
+            CommandOrigin::ReadAhead
+        } else {
+            CommandOrigin::Host
+        }
+    }
+
+    /// Fraction of elapsed simulated time die `die`'s array spent busy
+    /// (sense + staircase + erase pulse time over the merged horizon).
+    pub fn die_busy_fraction(&self, die: u32) -> f64 {
+        let elapsed = self.elapsed_ns();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        (self.dies[die as usize].stats.busy_ns as f64 / elapsed as f64).min(1.0)
+    }
+
+    /// Fraction of elapsed simulated time channel `ch`'s bus spent
+    /// transferring payload.
+    pub fn channel_busy_fraction(&self, ch: u32) -> f64 {
+        let elapsed = self.elapsed_ns();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        (self.chan_busy[ch as usize] as f64 / elapsed as f64).min(1.0)
     }
 
     /// Per-die utilisation counters.
@@ -466,6 +622,24 @@ impl FlashController {
             e.resumes_left -= 1;
             e.done_ns = read_done + remaining;
             floor = e.done_ns;
+            if self.tracer.is_some() {
+                let e = self.dies[d].queue[idx];
+                let channel = self.cfg.channel_of(d as u32);
+                for (at_ns, phase) in [
+                    (slot.start_ns, TracePhase::Suspended),
+                    (read_done, TracePhase::Resumed),
+                ] {
+                    self.emit(TraceEvent {
+                        at_ns,
+                        cmd: e.cmd,
+                        die: d as u32,
+                        channel,
+                        kind: e.ckind,
+                        origin: e.origin,
+                        phase,
+                    });
+                }
+            }
         }
         let q = &mut self.dies[d].queue;
         if let Some(first) = q.get(slot.pending_from) {
@@ -491,7 +665,12 @@ impl FlashController {
     fn op_read(&mut self, die: u32, ppa: Ppa, sync_host: bool) -> Result<PageImage> {
         let g = self.cfg.chip.geometry;
         let bus = self.cfg.chip.latency.transfer_ns(g.page_size + g.oob_size);
-        self.op_read_timed(die, bus, sync_host, |chip| chip.read_page(ppa))
+        let kind = if sync_host {
+            CommandKind::Read
+        } else {
+            CommandKind::CopybackRead
+        };
+        self.op_read_timed(die, bus, sync_host, kind, |chip| chip.read_page(ppa))
     }
 
     /// Multi-plane read: the planes sense concurrently under one command
@@ -504,7 +683,9 @@ impl FlashController {
             .chip
             .latency
             .transfer_ns(ppas.len() * (g.page_size + g.oob_size));
-        self.op_read_timed(die, bus, sync_host, |chip| chip.multi_plane_read(ppas))
+        self.op_read_timed(die, bus, sync_host, CommandKind::MultiPlaneRead, |chip| {
+            chip.multi_plane_read(ppas)
+        })
     }
 
     /// Shared read scheduling: run `f` on the chip (it advances the chip
@@ -515,6 +696,7 @@ impl FlashController {
         die: u32,
         bus: u64,
         sync_host: bool,
+        kind: CommandKind,
         f: impl FnOnce(&mut FlashChip) -> Result<T>,
     ) -> Result<T> {
         let d = die as usize;
@@ -549,16 +731,22 @@ impl FlashController {
             self.channels[ch].advance_to(done);
         }
 
+        let mut promoted = false;
         if let Some(slot) = slot {
             self.commit_qos_slot(d, slot, done);
             if start < fifo_start {
                 self.stats.reads_promoted += 1;
+                promoted = true;
             }
         }
         self.dies[d].clock.advance_to(done);
         if sync_host {
             if self.internal_depth == 0 {
-                self.read_lat.push(done - submit);
+                let lat = done - submit;
+                self.read_hist.record(lat);
+                if !self.bounded_read_lat {
+                    self.read_lat.push(lat);
+                }
             }
             if self.posted_read_depth > 0 {
                 // Posted-read window: the data is in flight; record when
@@ -578,6 +766,45 @@ impl FlashController {
         self.stats.reads += 1;
         self.stats.queue_wait_ns += (start - submit) + (bus_start - sense_end);
         self.stats.bus_busy_ns += bus;
+        self.chan_busy[ch] += bus;
+
+        if self.tracer.is_some() {
+            self.cmd_seq += 1;
+            let cmd = self.cmd_seq;
+            let origin = if sync_host {
+                self.current_origin()
+            } else {
+                // Copy-back reads are firmware work by definition.
+                CommandOrigin::Internal
+            };
+            let base = TraceEvent {
+                at_ns: submit,
+                cmd,
+                die,
+                channel: ch as u32,
+                kind,
+                origin,
+                phase: TracePhase::Submitted,
+            };
+            self.emit(base);
+            if promoted {
+                self.emit(TraceEvent {
+                    at_ns: start,
+                    phase: TracePhase::Promoted,
+                    ..base
+                });
+            }
+            self.emit(TraceEvent {
+                at_ns: start,
+                phase: TracePhase::Started,
+                ..base
+            });
+            self.emit(TraceEvent {
+                at_ns: done,
+                phase: TracePhase::Completed,
+                ..base
+            });
+        }
         Ok(img)
     }
 
@@ -605,10 +832,11 @@ impl FlashController {
 
     /// Posted command: optional bus transfer up front, then the array runs
     /// in the background. The host resumes once the bus is released.
-    fn op_posted<F>(&mut self, die: u32, bus_bytes: usize, is_erase: bool, f: F) -> Result<()>
+    fn op_posted<F>(&mut self, die: u32, bus_bytes: usize, ckind: CommandKind, f: F) -> Result<()>
     where
         F: FnOnce(&mut FlashChip) -> Result<()>,
     {
+        let is_erase = ckind.is_erase();
         let d = die as usize;
         let t0 = self.dies[d].chip.elapsed_ns();
         f(&mut self.dies[d].chip)?;
@@ -632,6 +860,7 @@ impl FlashController {
         if bus > 0 {
             self.channels[ch].advance_to(bus_end);
             self.stats.bus_busy_ns += bus;
+            self.chan_busy[ch] += bus;
         }
         self.dies[d].clock.advance_to(done);
         self.retire(d);
@@ -640,6 +869,9 @@ impl FlashController {
         } else {
             0
         };
+        self.cmd_seq += 1;
+        let cmd = self.cmd_seq;
+        let origin = self.current_origin();
         self.dies[d].queue.push_back(Posted {
             start_ns: start,
             done_ns: done,
@@ -649,6 +881,9 @@ impl FlashController {
                 PostedKind::Program
             },
             resumes_left,
+            cmd,
+            ckind,
+            origin,
         });
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.dies[d].queue.len());
 
@@ -661,6 +896,37 @@ impl FlashController {
             self.stats.programs += 1;
         }
         self.stats.queue_wait_ns += start - submit;
+
+        if self.tracer.is_some() {
+            let base = TraceEvent {
+                at_ns: submit,
+                cmd,
+                die,
+                channel: ch as u32,
+                kind: ckind,
+                origin,
+                phase: TracePhase::Submitted,
+            };
+            self.emit(base);
+            // Posted commands enter the die queue at submission time.
+            self.emit(TraceEvent {
+                at_ns: submit,
+                phase: TracePhase::Dispatched,
+                ..base
+            });
+            // Span times reflect the schedule at dispatch; a later QoS
+            // promotion perturbs them, visible as suspend/resume instants.
+            self.emit(TraceEvent {
+                at_ns: start,
+                phase: TracePhase::Started,
+                ..base
+            });
+            self.emit(TraceEvent {
+                at_ns: done,
+                phase: TracePhase::Completed,
+                ..base
+            });
+        }
         Ok(())
     }
 
@@ -770,7 +1036,7 @@ impl Nand for DieHandle {
         let bytes = data.len() + oob.len();
         self.ctrl
             .borrow_mut()
-            .op_posted(self.die, bytes, false, |chip| {
+            .op_posted(self.die, bytes, CommandKind::Program, |chip| {
                 chip.program_page(ppa, data, oob)
             })
     }
@@ -779,7 +1045,7 @@ impl Nand for DieHandle {
         let bytes = data.len() + oob.len();
         self.ctrl
             .borrow_mut()
-            .op_posted(self.die, bytes, false, |chip| {
+            .op_posted(self.die, bytes, CommandKind::Program, |chip| {
                 chip.reprogram_page(ppa, data, oob)
             })
     }
@@ -797,7 +1063,7 @@ impl Nand for DieHandle {
         let n = bytes.len() + oob_bytes.len();
         self.ctrl
             .borrow_mut()
-            .op_posted(self.die, n, false, |chip| {
+            .op_posted(self.die, n, CommandKind::Append, |chip| {
                 chip.append_region(ppa, data_off, bytes, oob_off, oob_bytes)
             })
     }
@@ -805,7 +1071,9 @@ impl Nand for DieHandle {
     fn erase_block(&mut self, block: u32) -> Result<()> {
         self.ctrl
             .borrow_mut()
-            .op_posted(self.die, 0, true, |chip| chip.erase_block(block))
+            .op_posted(self.die, 0, CommandKind::Erase, |chip| {
+                chip.erase_block(block)
+            })
     }
 
     fn multi_plane_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
@@ -815,7 +1083,7 @@ impl Nand for DieHandle {
         let bytes = pages.iter().map(|p| p.data.len() + p.oob.len()).sum();
         self.ctrl
             .borrow_mut()
-            .op_posted(self.die, bytes, false, |chip| {
+            .op_posted(self.die, bytes, CommandKind::MultiPlaneProgram, |chip| {
                 chip.multi_plane_program(pages)
             })
     }
@@ -829,7 +1097,9 @@ impl Nand for DieHandle {
         // single pulse for the whole aligned group.
         self.ctrl
             .borrow_mut()
-            .op_posted(self.die, 0, true, |chip| chip.multi_plane_erase(blocks))
+            .op_posted(self.die, 0, CommandKind::MultiPlaneErase, |chip| {
+                chip.multi_plane_erase(blocks)
+            })
     }
 }
 
@@ -1458,5 +1728,175 @@ mod tests {
             Nand::flash_stats(&bare).page_reprograms,
             h.flash_stats().page_reprograms
         );
+    }
+
+    use ipa_trace::RingRecorder;
+
+    fn attach_recorder(ctrl: &Rc<RefCell<FlashController>>) -> Rc<RefCell<RingRecorder>> {
+        let rec = Rc::new(RefCell::new(RingRecorder::new(1 << 16)));
+        ctrl.borrow_mut().set_tracer(rec.clone());
+        rec
+    }
+
+    #[test]
+    fn tracing_records_command_lifecycles() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let rec = attach_recorder(&ctrl);
+        let mut handles = FlashController::handles(&ctrl);
+        let (data, oob) = page(&handles[0], 0x5A);
+        handles[0]
+            .program_page(Ppa::new(0, 0), &data, &oob)
+            .unwrap();
+        ctrl.borrow_mut().sync();
+        handles[0].read_page(Ppa::new(0, 0)).unwrap();
+
+        let events = rec.borrow().to_vec();
+        let completed: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == TracePhase::Completed)
+            .collect();
+        assert_eq!(completed.len(), 2, "one program + one read completed");
+        assert_eq!(completed[0].kind, CommandKind::Program);
+        assert_eq!(completed[1].kind, CommandKind::Read);
+        assert_eq!(completed[1].origin, CommandOrigin::Host);
+        // The program (posted) also dispatched; the read did not.
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.phase == TracePhase::Dispatched)
+                .count(),
+            1
+        );
+        // Phases of one command share its id and are time-ordered.
+        let read_cmd = completed[1].cmd;
+        let read_evs: Vec<_> = events.iter().filter(|e| e.cmd == read_cmd).collect();
+        assert_eq!(read_evs.len(), 3); // submitted, started, completed
+        assert!(read_evs.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(rec.borrow().dropped(), 0);
+    }
+
+    #[test]
+    fn tracing_marks_promotions_and_suspend_resume_pairs() {
+        let ctrl = FlashController::shared(cfg(1, 1).with_qos());
+        let rec = attach_recorder(&ctrl);
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0xA5);
+        h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
+        ctrl.borrow_mut().sync();
+        h.erase_block(3).unwrap();
+        h.read_page(Ppa::new(1, 0)).unwrap();
+
+        let events = rec.borrow().to_vec();
+        let stats = ctrl.borrow().stats();
+        let count = |p: TracePhase| events.iter().filter(|e| e.phase == p).count() as u64;
+        assert_eq!(count(TracePhase::Promoted), stats.reads_promoted);
+        assert_eq!(count(TracePhase::Suspended), stats.erase_suspends);
+        assert_eq!(count(TracePhase::Resumed), stats.erase_suspends);
+        assert!(stats.erase_suspends > 0, "scenario must suspend the erase");
+        // The suspend instants name the erase, not the read.
+        let susp = events
+            .iter()
+            .find(|e| e.phase == TracePhase::Suspended)
+            .unwrap();
+        assert_eq!(susp.kind, CommandKind::Erase);
+        let resume = events
+            .iter()
+            .find(|e| e.phase == TracePhase::Resumed)
+            .unwrap();
+        assert_eq!(resume.cmd, susp.cmd, "pair shares the erase's id");
+        assert!(resume.at_ns >= susp.at_ns);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_timing_or_state() {
+        let run = |traced: bool| -> (u64, ControllerStats) {
+            let ctrl = FlashController::shared(cfg(2, 2).with_qos());
+            if traced {
+                attach_recorder(&ctrl);
+            }
+            let mut handles = FlashController::handles(&ctrl);
+            for (i, h) in handles.iter_mut().enumerate() {
+                let (data, oob) = page(h, 0x0F);
+                h.program_page(Ppa::new(0, i as u32), &data, &oob).unwrap();
+                h.read_page(Ppa::new(0, i as u32)).unwrap();
+                h.erase_block(7).unwrap();
+            }
+            let t = ctrl.borrow_mut().sync();
+            let s = ctrl.borrow().stats();
+            (t, s)
+        };
+        assert_eq!(run(false), run(true), "tracing must be observation-only");
+    }
+
+    #[test]
+    fn internal_and_window_origins_are_attributed() {
+        let ctrl = FlashController::shared(cfg(1, 1));
+        let rec = attach_recorder(&ctrl);
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0x3C);
+        ctrl.borrow_mut().begin_internal();
+        h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        ctrl.borrow_mut().end_internal();
+        ctrl.borrow_mut().sync();
+        ctrl.borrow_mut().begin_posted_reads();
+        h.read_page(Ppa::new(0, 0)).unwrap();
+        ctrl.borrow_mut().end_posted_reads();
+        ctrl.borrow_mut().set_trace_origin(Some(CommandOrigin::Wal));
+        h.program_page(Ppa::new(0, 1), &data, &oob).unwrap();
+
+        let events = rec.borrow().to_vec();
+        let origin_of = |k: CommandKind, nth: usize| {
+            events
+                .iter()
+                .filter(|e| e.kind == k && e.phase == TracePhase::Completed)
+                .nth(nth)
+                .unwrap()
+                .origin
+        };
+        assert_eq!(origin_of(CommandKind::Program, 0), CommandOrigin::Internal);
+        assert_eq!(origin_of(CommandKind::Read, 0), CommandOrigin::ReadAhead);
+        assert_eq!(origin_of(CommandKind::Program, 1), CommandOrigin::Wal);
+    }
+
+    #[test]
+    fn busy_fractions_are_sane_and_surface_in_stats() {
+        let ctrl = FlashController::shared(cfg(2, 1));
+        let mut handles = FlashController::handles(&ctrl);
+        let (data, oob) = page(&handles[0], 0x00);
+        for p in 0..4 {
+            handles[0]
+                .program_page(Ppa::new(0, p), &data, &oob)
+                .unwrap();
+        }
+        ctrl.borrow_mut().sync();
+        let c = ctrl.borrow();
+        let busy0 = c.die_busy_fraction(0);
+        assert!(busy0 > 0.0 && busy0 <= 1.0, "die 0 worked: {busy0}");
+        assert_eq!(c.die_busy_fraction(1), 0.0, "die 1 idle");
+        let ch0 = c.channel_busy_fraction(0);
+        assert!(ch0 > 0.0 && ch0 < busy0, "bus busy but less than array");
+        assert_eq!(c.channel_busy_fraction(1), 0.0);
+        let s = c.stats();
+        // Integer ppm and the f64 fraction agree to rounding.
+        assert!((s.die_util_ppm_max as f64 - busy0 * 1e6).abs() <= 1.0);
+        assert!((s.chan_util_ppm_max as f64 - ch0 * 1e6).abs() <= 1.0);
+    }
+
+    #[test]
+    fn bounded_latency_mode_keeps_the_histogram_only() {
+        let ctrl = FlashController::shared(cfg(1, 1));
+        ctrl.borrow_mut().set_bounded_read_latencies(true);
+        let mut h = FlashController::handles(&ctrl).remove(0);
+        let (data, oob) = page(&h, 0x11);
+        h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
+        ctrl.borrow_mut().sync();
+        for _ in 0..5 {
+            h.read_page(Ppa::new(0, 0)).unwrap();
+        }
+        let c = ctrl.borrow();
+        assert!(c.read_latencies().is_empty(), "exact buffer disabled");
+        let hist = c.read_latency_histogram();
+        assert_eq!(hist.count(), 5);
+        assert!(hist.percentile(0.5) > 0);
     }
 }

@@ -17,6 +17,11 @@
 //! * [`ControllerStats`] / [`DieStats`] — queue waits, bus occupancy and
 //!   per-die utilisation.
 //!
+//! With a sink attached via [`FlashController::set_tracer`], every
+//! scheduled command also emits `ipa_trace` lifecycle events (submit /
+//! dispatch / start / complete, plus QoS suspend/resume/promotion
+//! instants) — zero cost when no tracer is attached.
+//!
 //! The scheduler reorders *time*, never state: chip mutations happen
 //! eagerly in submission order (FIFO per die), so logical outcomes are
 //! identical to a single-chip run — the property the `sharded_parity`
@@ -29,3 +34,9 @@ pub mod stats;
 pub use config::ControllerConfig;
 pub use controller::{DieHandle, FlashController};
 pub use stats::{ControllerStats, DieStats};
+
+// Re-export the trace vocabulary callers need to drive the hooks.
+pub use ipa_trace::{
+    CommandKind, CommandOrigin, LatencyHistogram, RingRecorder, SharedSink, TraceEvent, TracePhase,
+    TraceSink,
+};

@@ -54,6 +54,14 @@ pub struct ControllerStats {
     /// only while completions are in flight).
     #[serde(default)]
     pub posted_reads_outstanding: u64,
+    /// Utilization of the busiest die in parts-per-million of elapsed
+    /// simulated time (gauge, computed at snapshot time).
+    #[serde(default)]
+    pub die_util_ppm_max: u64,
+    /// Utilization of the busiest channel bus in parts-per-million of
+    /// elapsed simulated time (gauge, computed at snapshot time).
+    #[serde(default)]
+    pub chan_util_ppm_max: u64,
 }
 
 impl ControllerStats {
@@ -98,7 +106,19 @@ impl ControllerStats {
             erase_suspends: self.erase_suspends - prev.erase_suspends,
             forgotten_reads: self.forgotten_reads - prev.forgotten_reads,
             posted_reads_outstanding: self.posted_reads_outstanding,
+            die_util_ppm_max: self.die_util_ppm_max,
+            chan_util_ppm_max: self.chan_util_ppm_max,
         }
+    }
+
+    /// Busiest-die utilization as a fraction of elapsed simulated time.
+    pub fn die_util_max(&self) -> f64 {
+        self.die_util_ppm_max as f64 / 1e6
+    }
+
+    /// Busiest-channel bus utilization as a fraction of elapsed time.
+    pub fn chan_util_max(&self) -> f64 {
+        self.chan_util_ppm_max as f64 / 1e6
     }
 }
 
@@ -107,7 +127,8 @@ impl fmt::Display for ControllerStats {
         write!(
             f,
             "cmds={} (r={} p={} e={}) wait={:.3}ms bus={:.3}ms depth_max={} syncs={} \
-             ncq_stalls={} ncq_wait={:.3}ms wear_spread={} promoted={} suspends={}",
+             ncq_stalls={} ncq_wait={:.3}ms wear_spread={} promoted={} suspends={} \
+             die_util_max={:.1}% chan_util_max={:.1}%",
             self.commands,
             self.reads,
             self.programs,
@@ -120,7 +141,9 @@ impl fmt::Display for ControllerStats {
             self.backpressure_wait_ns as f64 / 1e6,
             self.wear_spread(),
             self.reads_promoted,
-            self.erase_suspends
+            self.erase_suspends,
+            self.die_util_max() * 100.0,
+            self.chan_util_max() * 100.0
         )
     }
 }
@@ -156,6 +179,8 @@ mod tests {
         assert!(s.contains("depth_max=0"));
         assert!(s.contains("ncq_stalls=0"));
         assert!(s.contains("wear_spread=0"));
+        assert!(s.contains("die_util_max=0.0%"));
+        assert!(s.contains("chan_util_max=0.0%"));
     }
 
     #[test]
@@ -186,6 +211,42 @@ mod tests {
         assert_eq!(d.backpressure_stalls, 2);
         assert_eq!(d.max_queue_depth, 5, "gauge keeps the current value");
         assert_eq!(d.wear_spread(), 6, "extrema stay whole-device");
+    }
+
+    #[test]
+    fn delta_carries_shrinking_gauges_without_underflow() {
+        // Regression: gauges can legally *decrease* across a window
+        // (outstanding completions drained, utilization fell). A delta
+        // that subtracted them would underflow-saturate into nonsense;
+        // the window must simply report the newer point-in-time values.
+        let prev = ControllerStats {
+            commands: 50,
+            posted_reads: 20,
+            posted_reads_outstanding: 8,
+            max_queue_depth: 6,
+            die_util_ppm_max: 900_000,
+            chan_util_ppm_max: 450_000,
+            ..Default::default()
+        };
+        let now = ControllerStats {
+            commands: 80,
+            posted_reads: 30,
+            posted_reads_outstanding: 1, // shrank: 7 completions consumed
+            max_queue_depth: 6,
+            die_util_ppm_max: 300_000, // device went quiet
+            chan_util_ppm_max: 100_000,
+            ..Default::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.posted_reads, 10, "counters still subtract");
+        assert_eq!(
+            d.posted_reads_outstanding, 1,
+            "shrinking gauge carries the newer value, not 1 - 8"
+        );
+        assert_eq!(d.die_util_ppm_max, 300_000);
+        assert_eq!(d.chan_util_ppm_max, 100_000);
+        assert!((d.die_util_max() - 0.3).abs() < 1e-9);
+        assert!((d.chan_util_max() - 0.1).abs() < 1e-9);
     }
 
     #[test]

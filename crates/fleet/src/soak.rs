@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ipa_controller::ControllerStats;
-use ipa_workloads::{fairness_spread, LatencyPercentiles};
+use ipa_workloads::{engine_metrics, fairness_spread, LatencyPercentiles, MetricsSnapshot};
 
 use crate::fleet::{Fleet, FleetConfig};
 use crate::workload::{TenantMix, TenantWorkload};
@@ -71,6 +71,11 @@ pub struct SoakReport {
     pub controller: Option<ControllerStats>,
     /// Simulated span of the soak (max tenant clock), nanoseconds.
     pub elapsed_ns: u64,
+    /// One [`MetricsSnapshot`] per tenant per round (outer index =
+    /// round), taken after the round's chaos and checkpoints settle.
+    /// Window a tenant's round with `delta_since` against the previous
+    /// round's snapshot to see what that round cost it.
+    pub metrics_per_round: Vec<Vec<MetricsSnapshot>>,
 }
 
 impl SoakReport {
@@ -130,6 +135,7 @@ pub fn run_soak(cfg: &SoakConfig) -> ipa_storage::Result<SoakReport> {
     let mut samples: Vec<Vec<u64>> = vec![Vec::new(); cfg.tenants];
     let mut chaos = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
     let mut records_replayed = 0u64;
+    let mut metrics_per_round: Vec<Vec<MetricsSnapshot>> = Vec::with_capacity(cfg.rounds);
 
     for round in 0..cfg.rounds {
         // Earliest-clock-first across every tenant's quota this round.
@@ -174,6 +180,15 @@ pub fn run_soak(cfg: &SoakConfig) -> ipa_storage::Result<SoakReport> {
                 fleet.tenant_mut(i).checkpoint()?;
             }
         }
+
+        // Per-tenant observability: the round closes with one unified
+        // snapshot per tenant, so a post-mortem can window any tenant's
+        // counters round-by-round.
+        metrics_per_round.push(
+            (0..cfg.tenants)
+                .map(|i| engine_metrics(fleet.tenant_mut(i).engine()))
+                .collect(),
+        );
     }
 
     for (i, w) in workloads.iter().enumerate() {
@@ -193,6 +208,7 @@ pub fn run_soak(cfg: &SoakConfig) -> ipa_storage::Result<SoakReport> {
             .collect(),
         controller: fleet.controller_stats(),
         elapsed_ns: clocks.iter().max().unwrap().saturating_sub(start_ns),
+        metrics_per_round,
     })
 }
 
@@ -223,6 +239,25 @@ mod tests {
         assert!(report.records_replayed > 0, "recoveries scanned the log");
         assert!(report.p999_spread() >= 1.0);
         assert!(report.controller.is_some());
+        // One snapshot per tenant per round, with commits monotone
+        // round-over-round and windows free of counter underflow.
+        assert_eq!(report.metrics_per_round.len(), 6);
+        for round in &report.metrics_per_round {
+            assert_eq!(round.len(), 4);
+        }
+        let committed = |s: &MetricsSnapshot| s.get("engine.committed").unwrap().as_u64();
+        for t in 0..4 {
+            for r in 1..report.metrics_per_round.len() {
+                let prev = &report.metrics_per_round[r - 1][t];
+                let now = &report.metrics_per_round[r][t];
+                assert!(committed(now) >= committed(prev));
+                let w = now.delta_since(prev);
+                assert!(
+                    committed(&w) <= committed(now),
+                    "windowed counters stay within totals"
+                );
+            }
+        }
     }
 
     #[test]

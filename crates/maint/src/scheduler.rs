@@ -1,6 +1,6 @@
 //! The idle-die reclaim scheduler.
 
-use ipa_controller::FlashController;
+use ipa_controller::{CommandKind, FlashController, TracePhase};
 use ipa_ftl::{GcProgress, Result, ShardedFtl};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -86,6 +86,11 @@ impl MaintenanceScheduler {
                 continue;
             }
             let threshold = ftl.shard(die).gc_low_water() + self.cfg.early_blocks;
+            // Mark the dispatch decision on the die's trace track (no-op
+            // without a tracer): the copy-backs/erases that follow carry
+            // the `internal` origin and attribute to this instant.
+            ctrl.borrow_mut()
+                .trace_instant(die, CommandKind::ReclaimStep, TracePhase::Dispatched);
             ctrl.borrow_mut().begin_internal();
             let outcome = self.run_steps(ftl, die, threshold);
             ctrl.borrow_mut().end_internal();

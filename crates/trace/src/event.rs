@@ -1,0 +1,265 @@
+//! The command-lifecycle event model and the sinks that record it.
+//!
+//! One [`TraceEvent`] is a point on a command's timeline: the command was
+//! handed to the controller ([`TracePhase::Submitted`]), entered a die
+//! queue ([`TracePhase::Dispatched`]), began occupying the die
+//! ([`TracePhase::Started`]), was parked and revived by the QoS slot
+//! search ([`TracePhase::Suspended`] / [`TracePhase::Resumed`]), or
+//! finished ([`TracePhase::Completed`]). Emitters pair the phases of one
+//! command through the per-controller `cmd` sequence number, so an
+//! exporter can rebuild intervals without the emitter having to buffer
+//! anything.
+//!
+//! All timestamps are **simulated** nanoseconds from the controller's
+//! `SimClock`s — a trace is a deterministic artifact of the workload, not
+//! of the machine running it.
+
+use std::collections::VecDeque;
+
+/// What kind of flash command an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Host-synchronous page read.
+    Read,
+    /// Atomic multi-plane read.
+    MultiPlaneRead,
+    /// Firmware copy-back read (GC migration source).
+    CopybackRead,
+    /// Posted page program.
+    Program,
+    /// Posted in-place append (delta write into an IPA region).
+    Append,
+    /// Posted block erase.
+    Erase,
+    /// Atomic multi-plane program.
+    MultiPlaneProgram,
+    /// Atomic multi-plane erase.
+    MultiPlaneErase,
+    /// A background-reclaim scheduling step (maintenance instant).
+    ReclaimStep,
+}
+
+impl CommandKind {
+    /// True for the erase family (single- and multi-plane).
+    #[inline]
+    pub fn is_erase(self) -> bool {
+        matches!(self, CommandKind::Erase | CommandKind::MultiPlaneErase)
+    }
+
+    /// Stable lower-case label used by the CSV and Chrome exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommandKind::Read => "read",
+            CommandKind::MultiPlaneRead => "mp_read",
+            CommandKind::CopybackRead => "copyback_read",
+            CommandKind::Program => "program",
+            CommandKind::Append => "append",
+            CommandKind::Erase => "erase",
+            CommandKind::MultiPlaneProgram => "mp_program",
+            CommandKind::MultiPlaneErase => "mp_erase",
+            CommandKind::ReclaimStep => "reclaim_step",
+        }
+    }
+}
+
+/// Who issued the command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandOrigin {
+    /// Plain host traffic (sync reads, posted programs from the write path).
+    Host,
+    /// A host read flagged for QoS priority (reorder-window promotion).
+    HostPriority,
+    /// Speculative read-ahead issued by the buffer pool.
+    ReadAhead,
+    /// Firmware-internal work: GC copy-backs, reclaim erases.
+    Internal,
+    /// Write-ahead-log traffic on a dedicated log controller.
+    Wal,
+}
+
+impl CommandOrigin {
+    /// Stable lower-case label used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommandOrigin::Host => "host",
+            CommandOrigin::HostPriority => "host_priority",
+            CommandOrigin::ReadAhead => "readahead",
+            CommandOrigin::Internal => "internal",
+            CommandOrigin::Wal => "wal",
+        }
+    }
+}
+
+/// Where on its lifecycle timeline an event sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePhase {
+    /// The host handed the command to the controller.
+    Submitted,
+    /// The command entered a die queue (posted commands only).
+    Dispatched,
+    /// The die began executing the command.
+    Started,
+    /// An in-flight erase was parked for a priority read.
+    Suspended,
+    /// The parked erase picked its pulse back up.
+    Resumed,
+    /// The command finished on die and bus.
+    Completed,
+    /// A read was moved ahead of queued posted work (instant marker).
+    Promoted,
+}
+
+impl TracePhase {
+    /// Stable lower-case label used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Submitted => "submitted",
+            TracePhase::Dispatched => "dispatched",
+            TracePhase::Started => "started",
+            TracePhase::Suspended => "suspended",
+            TracePhase::Resumed => "resumed",
+            TracePhase::Completed => "completed",
+            TracePhase::Promoted => "promoted",
+        }
+    }
+}
+
+/// One point on one command's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated-time nanoseconds of the phase transition.
+    pub at_ns: u64,
+    /// Per-controller command sequence number; pairs the phases of one
+    /// command. Instant markers reuse the id of the command they annotate.
+    pub cmd: u64,
+    /// Die the command targets.
+    pub die: u32,
+    /// Channel that die hangs off.
+    pub channel: u32,
+    pub kind: CommandKind,
+    pub origin: CommandOrigin,
+    pub phase: TracePhase,
+}
+
+/// Anything that can absorb trace events.
+///
+/// The controller holds a sink behind `Option<Rc<RefCell<dyn TraceSink>>>`
+/// and skips every emission when the option is `None`, so an untraced run
+/// pays one branch per command and allocates nothing.
+pub trait TraceSink {
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// A bounded ring buffer of events: the standard recorder.
+///
+/// When full, the **oldest** event is dropped and [`RingRecorder::dropped`]
+/// counts it — a long soak keeps the most recent window, which is the one
+/// you want to look at when the tail spikes at the end.
+#[derive(Debug)]
+pub struct RingRecorder {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `cap` events (`cap == 0` drops all).
+    pub fn new(cap: usize) -> Self {
+        RingRecorder {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1 << 16)),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// The retained events as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events the ring has evicted since creation/`clear`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, cmd: u64) -> TraceEvent {
+        TraceEvent {
+            at_ns,
+            cmd,
+            die: 0,
+            channel: 0,
+            kind: CommandKind::Read,
+            origin: CommandOrigin::Host,
+            phase: TracePhase::Completed,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = RingRecorder::new(3);
+        for i in 0..5 {
+            r.record(ev(i * 10, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let cmds: Vec<u64> = r.events().map(|e| e.cmd).collect();
+        assert_eq!(cmds, vec![2, 3, 4]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = RingRecorder::new(0);
+        r.record(ev(1, 1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CommandKind::MultiPlaneErase.as_str(), "mp_erase");
+        assert!(CommandKind::MultiPlaneErase.is_erase());
+        assert!(!CommandKind::Program.is_erase());
+        assert_eq!(CommandOrigin::ReadAhead.as_str(), "readahead");
+        assert_eq!(TracePhase::Promoted.as_str(), "promoted");
+    }
+}

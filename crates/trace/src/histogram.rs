@@ -1,0 +1,232 @@
+//! Fixed-memory log2-bucketed latency histogram.
+//!
+//! Replaces the unbounded `Vec<u64>` sample buffers on long soaks: 64
+//! buckets (one per bit position) plus count/sum/min/max, so memory is
+//! constant no matter how many samples land. The price is resolution —
+//! a percentile estimate is exact only up to its power-of-two bucket —
+//! which is why the exact-sample path stays available as the test
+//! oracle (`LatencyPercentiles::from_samples` in `ipa-workloads`).
+
+/// Number of log2 buckets: every `u64` value has a slot — bucket `0`
+/// for zero, buckets `1..=64` for the 64 powers of two.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable latency histogram with power-of-two buckets.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i - 1]`. `record` is a handful of integer ops, `merge`
+/// and `delta_since` are bucket-wise adds/subtracts, and `percentile`
+/// walks the cumulative counts. Exact `min`/`max` are tracked on the
+/// side so the extreme quantiles stay sharp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Which bucket a value lands in.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `i` can hold.
+    #[inline]
+    pub fn upper_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v).min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded value (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all recorded values (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate of the `q`-quantile (`q` in `[0, 1]`), or `0` when empty.
+    ///
+    /// Uses the same nearest-rank convention as the exact oracle
+    /// (`rank = floor((count - 1) * q)`), walks the buckets to the one
+    /// holding that rank, and reports its upper bound clamped to the
+    /// exact recorded `max`. The estimate therefore always lands in the
+    /// same log2 bucket as the true order statistic: error is bounded by
+    /// the bucket width (< 2× relative).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::upper_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Add every sample of `other` into `self` (bucket-wise; O(64)).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded since `earlier` was snapshotted.
+    ///
+    /// Bucket counts/count/sum subtract (saturating); `min`/`max` cannot
+    /// be windowed from a histogram, so the delta carries the lifetime
+    /// extremes — still correct as bounds for the window.
+    pub fn delta_since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = *self;
+        for (a, b) in out.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if out.count == 0 {
+            out.min = u64::MAX;
+            out.max = 0;
+        }
+        out
+    }
+
+    /// The per-bucket counts (index = log2 bucket).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 3);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LatencyHistogram::upper_bound(0), 0);
+        assert_eq!(LatencyHistogram::upper_bound(2), 3);
+        assert_eq!(LatencyHistogram::upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.999), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentile_lands_in_same_bucket_as_exact() {
+        let mut h = LatencyHistogram::new();
+        let samples = [3u64, 7, 7, 100, 1000, 1001, 4096, 70_000];
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = sorted[((sorted.len() - 1) as f64 * q) as usize];
+            let est = h.percentile(q);
+            assert_eq!(
+                LatencyHistogram::bucket_index(est),
+                LatencyHistogram::bucket_index(exact),
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), 70_000); // exact max is kept
+        assert_eq!(h.min(), 3);
+    }
+
+    #[test]
+    fn merge_adds_and_delta_subtracts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 1024] {
+            b.record(v);
+        }
+        let snap = a;
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 1024);
+        assert_eq!(a.min(), 1);
+        let d = a.delta_since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.buckets()[LatencyHistogram::bucket_index(1024)], 1);
+        assert_eq!(d.buckets()[LatencyHistogram::bucket_index(2)], 1);
+    }
+}

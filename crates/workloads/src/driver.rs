@@ -15,7 +15,9 @@ use ipa_flash::{DeviceConfig, FlashMode, FlashStats, Geometry};
 use ipa_ftl::{DeviceStats, ShardedFtl, StripePolicy, WriteStrategy};
 use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine, TableKind};
+use ipa_trace::{LatencyHistogram, MetricsSnapshot, RingRecorder, TraceEvent};
 
+use crate::metrics::engine_metrics;
 use crate::spec::{build, Benchmark, WorkloadKind};
 
 /// Simulated per-transaction latency distribution (device time only; add
@@ -51,6 +53,24 @@ impl LatencyPercentiles {
             p99_ns: at(0.99),
             p999_ns: at(0.999),
             max_ns: *samples.last().unwrap(),
+        }
+    }
+
+    /// Compute from a bounded log2 histogram — the long-soak path, where
+    /// no exact sample buffer exists. Each percentile is the histogram's
+    /// bucket-upper-bound estimate, clamped to the observed min/max, so
+    /// it lands in the same log2 bucket as the exact-sample answer.
+    pub fn from_histogram(h: &LatencyHistogram) -> LatencyPercentiles {
+        if h.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        LatencyPercentiles {
+            count: h.count(),
+            p50_ns: h.percentile(0.50),
+            p95_ns: h.percentile(0.95),
+            p99_ns: h.percentile(0.99),
+            p999_ns: h.percentile(0.999),
+            max_ns: h.max(),
         }
     }
 }
@@ -245,6 +265,14 @@ pub struct DriverConfig {
     /// default (32). Small values make the WAL the bottleneck — the
     /// configuration where striping the log pays.
     pub group_commit: Option<u32>,
+    /// Attach a bounded ring recorder of this capacity to the data
+    /// controller for the measured window; the retained events land in
+    /// [`RunResult::trace`]. `None` runs untraced (zero cost).
+    pub trace_capacity: Option<usize>,
+    /// Keep read latencies only in the fixed-memory histogram (no exact
+    /// per-read sample buffer) — the long-soak memory bound.
+    /// [`RunResult::read_latency`] then comes from the histogram.
+    pub bounded_latency: bool,
 }
 
 impl Default for DriverConfig {
@@ -260,6 +288,8 @@ impl Default for DriverConfig {
             readahead: 0,
             wal_stripe: None,
             group_commit: None,
+            trace_capacity: None,
+            bounded_latency: false,
         }
     }
 }
@@ -314,6 +344,20 @@ impl DriverConfig {
         self.group_commit = Some(group);
         self
     }
+
+    /// Record the measured window's command lifecycle into a ring of at
+    /// most `capacity` events ([`RunResult::trace`]).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Bound read-latency memory to the log2 histogram (no exact sample
+    /// buffer) — required for unbounded soaks.
+    pub fn with_bounded_latency(mut self) -> Self {
+        self.bounded_latency = true;
+        self
+    }
 }
 
 /// Everything a bench table needs about one run.
@@ -359,6 +403,18 @@ pub struct RunResult {
     /// Background-maintenance counters, when the device runs GC on the
     /// idle-die scheduler ([`Driver::run_maintained`]).
     pub maint: Option<MaintStats>,
+    /// Host-read latency histogram over the measured window (always
+    /// populated on controller devices; the only latency record in
+    /// [`DriverConfig::bounded_latency`] mode).
+    pub read_latency_hist: LatencyHistogram,
+    /// Command lifecycle events retained by the measured window's ring
+    /// recorder; empty unless [`DriverConfig::trace_capacity`] was set.
+    pub trace: Vec<TraceEvent>,
+    /// Events the ring evicted (0 = the trace is complete).
+    pub trace_dropped: u64,
+    /// The unified metrics tree at end of run (whole-run totals; window
+    /// with [`MetricsSnapshot::delta_since`] against another snapshot).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -471,11 +527,31 @@ impl Driver {
         }
 
         let before = engine.stats();
+        let ctrl = Self::controller_of(engine);
+        if cfg.bounded_latency {
+            if let Some(c) = &ctrl {
+                c.borrow_mut().set_bounded_read_latencies(true);
+            }
+        }
         // Read-latency samples accumulated before the measured window
-        // (load + warm-up) are excluded by remembering the cursor.
-        let read_lat_cursor = Self::controller_of(engine)
+        // (load + warm-up) are excluded by remembering the cursor; the
+        // histogram is windowed the same way via a snapshot + delta.
+        let read_lat_cursor = ctrl
+            .as_ref()
             .map(|c| c.borrow().read_latencies().len())
             .unwrap_or(0);
+        let hist_before = ctrl
+            .as_ref()
+            .map(|c| c.borrow().read_latency_histogram())
+            .unwrap_or_default();
+        let recorder = cfg.trace_capacity.and_then(|cap| {
+            ctrl.as_ref().map(|c| {
+                let rec = std::rc::Rc::new(std::cell::RefCell::new(RingRecorder::new(cap)));
+                c.borrow_mut()
+                    .set_tracer(rec.clone() as ipa_trace::SharedSink);
+                rec
+            })
+        });
         let mut committed: u64 = 0;
         let mut samples: Vec<u64> = Vec::with_capacity(4096);
         let mut stream_samples: Vec<Vec<u64>> = vec![Vec::new(); streams];
@@ -551,6 +627,24 @@ impl Driver {
         engine.flush_all()?;
         let after = engine.stats();
 
+        // Detach the recorder before results are built so the trace ends
+        // with the measured window, then take its retained events.
+        let (trace, trace_dropped) = match &recorder {
+            Some(rec) => {
+                if let Some(c) = &ctrl {
+                    c.borrow_mut().clear_tracer();
+                }
+                let rec = rec.borrow();
+                (rec.to_vec(), rec.dropped())
+            }
+            None => (Vec::new(), 0),
+        };
+        let read_latency_hist = ctrl
+            .as_ref()
+            .map(|c| c.borrow().read_latency_histogram())
+            .unwrap_or_default()
+            .delta_since(&hist_before);
+
         let per_stream = if streams > 1 {
             stream_samples
                 .into_iter()
@@ -596,25 +690,29 @@ impl Driver {
             max_erase_count: after.max_erase_count,
             raw_blocks: engine.pool().device().raw_blocks(),
             latency: LatencyPercentiles::from_samples(samples),
-            read_latency: Self::controller_of(engine)
-                .map(|c| {
-                    LatencyPercentiles::from_samples(
-                        c.borrow().read_latencies()[read_lat_cursor..].to_vec(),
-                    )
-                })
-                .unwrap_or_default(),
+            read_latency: match &ctrl {
+                Some(c) if !cfg.bounded_latency => LatencyPercentiles::from_samples(
+                    c.borrow().read_latencies()[read_lat_cursor..].to_vec(),
+                ),
+                Some(_) => LatencyPercentiles::from_histogram(&read_latency_hist),
+                None => LatencyPercentiles::default(),
+            },
             per_stream,
             controller: engine.pool().device().controller_stats(),
             maint: engine
                 .device_as::<MaintainedFtl>()
                 .map(MaintainedFtl::maint_stats),
+            read_latency_hist,
+            trace,
+            trace_dropped,
+            metrics: engine_metrics(engine),
         })
     }
 
     /// The controller behind the engine's device, whichever wrapper it
     /// sits under (`MaintainedFtl` or a bare `ShardedFtl`). `None` for
     /// single-chip devices.
-    fn controller_of(
+    pub fn controller_of(
         engine: &StorageEngine,
     ) -> Option<std::rc::Rc<std::cell::RefCell<FlashController>>> {
         if let Some(m) = engine.device_as::<MaintainedFtl>() {

@@ -9,6 +9,7 @@
 
 pub mod driver;
 pub mod linkbench;
+pub mod metrics;
 pub mod spec;
 pub mod tatp;
 pub mod tpcb;
@@ -20,7 +21,12 @@ pub use driver::{
     StreamLatency, Topology,
 };
 pub use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
+pub use ipa_trace::{
+    chrome_trace_json, trace_csv, LatencyHistogram, MetricSection, MetricsSnapshot, RingRecorder,
+    TraceEvent,
+};
 pub use linkbench::LinkBench;
+pub use metrics::engine_metrics;
 pub use spec::{build, heap_pages, index_pages, rows_per_page, Benchmark, WorkloadKind};
 pub use tatp::Tatp;
 pub use tpcb::TpcB;

@@ -1,0 +1,142 @@
+//! Property tests for the bounded latency histogram against the exact
+//! sample oracle: every reported quantile lands in the same log2 bucket
+//! as the true order statistic (relative error < 2×), merging is
+//! associative and commutative, and empty/degenerate inputs behave.
+
+use ipa_trace::LatencyHistogram;
+use ipa_workloads::LatencyPercentiles;
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn quantiles_land_in_the_oracle_bucket(
+        samples in proptest::collection::vec(any::<u64>(), 1..=400),
+    ) {
+        let h = hist_of(&samples);
+        let exact = LatencyPercentiles::from_samples(samples.clone());
+        prop_assert_eq!(h.count(), exact.count);
+        for (q, e) in [
+            (0.50, exact.p50_ns),
+            (0.95, exact.p95_ns),
+            (0.99, exact.p99_ns),
+            (0.999, exact.p999_ns),
+        ] {
+            let est = h.percentile(q);
+            prop_assert_eq!(
+                LatencyHistogram::bucket_index(est),
+                LatencyHistogram::bucket_index(e)
+            );
+            // Same-bucket implies the < 2× relative bound, and the
+            // estimate never undershoots the true order statistic.
+            if e > 0 {
+                prop_assert!(est >= e && est <= e.saturating_mul(2));
+            }
+        }
+        // The extreme quantile is exact (max is tracked on the side).
+        prop_assert_eq!(h.percentile(1.0), exact.max_ns);
+    }
+
+    #[test]
+    fn small_latencies_keep_full_fidelity(
+        samples in proptest::collection::vec(0u64..16, 1..=200),
+    ) {
+        // Values 0..16 span the first five buckets; the estimate stays
+        // within a factor of two even at the bottom of the range.
+        let h = hist_of(&samples);
+        let exact = LatencyPercentiles::from_samples(samples.clone());
+        let est = h.percentile(0.5);
+        prop_assert_eq!(
+            LatencyHistogram::bucket_index(est),
+            LatencyHistogram::bucket_index(exact.p50_ns)
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..=60),
+        b in proptest::collection::vec(any::<u64>(), 0..=60),
+        c in proptest::collection::vec(any::<u64>(), 0..=60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut ab_c = ha;
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut a_bc = ha;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+
+        let mut ab = ha;
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+
+        // Merging equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ab, hist_of(&all));
+    }
+
+    #[test]
+    fn delta_recovers_the_window(
+        first in proptest::collection::vec(any::<u64>(), 0..=60),
+        second in proptest::collection::vec(any::<u64>(), 0..=60),
+    ) {
+        let mut h = hist_of(&first);
+        let snap = h;
+        for &s in &second {
+            h.record(s);
+        }
+        let d = h.delta_since(&snap);
+        prop_assert_eq!(d.count(), second.len() as u64);
+        prop_assert_eq!(d.buckets(), hist_of(&second).buckets());
+    }
+}
+
+#[test]
+fn empty_histogram_behaviour() {
+    let h = LatencyHistogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.percentile(0.5), 0);
+    assert_eq!(h.percentile(0.999), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0);
+    assert_eq!(
+        LatencyPercentiles::from_histogram(&h),
+        LatencyPercentiles::default()
+    );
+
+    // Merging with empty is the identity, in both directions.
+    let mut a = LatencyHistogram::new();
+    for v in [7u64, 130, 9000] {
+        a.record(v);
+    }
+    let mut merged = a;
+    merged.merge(&h);
+    assert_eq!(merged, a);
+    let mut other = h;
+    other.merge(&a);
+    assert_eq!(other, a);
+
+    // A self-delta is empty and reports the empty sentinels.
+    let d = a.delta_since(&a);
+    assert!(d.is_empty());
+    assert_eq!(d.min(), 0);
+    assert_eq!(d.max(), 0);
+    assert_eq!(d.percentile(0.999), 0);
+}
