@@ -32,6 +32,30 @@
 //! identical to the sequential single-chip execution — only *time* is
 //! scheduled, which is what makes die-striped parity checks meaningful.
 //!
+//! ## Threading model
+//!
+//! The controller is `Send + Sync` and every operation takes `&self`:
+//! callers share it through a plain [`Arc`]. Internally the state is
+//! split so die-local traffic never serializes behind one big lock:
+//!
+//! * one `Mutex<DieState>` per die (chip + die clock + posted queue),
+//! * one `Mutex<ChannelState>` per channel bus,
+//! * an `AtomicU64` host clock (advanced with `fetch_max`, so concurrent
+//!   submitters only ever push it forward),
+//! * one `Mutex<Central>` for the cross-die odds and ends: window
+//!   depths, latency records, the trace sink and aggregate stats.
+//!
+//! The lock order is **die → channel → central**; no path acquires a die
+//! or channel lock while holding `central`, and each scheduled command
+//! touches exactly one die, so operations on different dies proceed in
+//! parallel and deadlock is impossible by construction. A single-threaded
+//! caller sees bit-identical behaviour to the historical `RefCell`
+//! controller — the parity walls in `tests/` hold across the refactor.
+//! Under concurrent submitters the *logical* outcome on each die is still
+//! its submission order (the die mutex serializes chip mutation), while
+//! host-clock interleaving makes the timing view approximate — which is
+//! exactly the trade the threaded driver documents.
+//!
 //! ## Latency QoS (opt-in: [`ControllerConfig::with_qos`])
 //!
 //! With QoS enabled the per-die queue becomes a *reorder window* for host
@@ -49,9 +73,9 @@
 //! vectored reads (read-ahead) stay FIFO so background streaming cannot
 //! starve posted writes.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use ipa_flash::{
     FlashChip, FlashMode, FlashStats, Geometry, MultiPlaneWrite, Nand, PageImage, Ppa, Result,
@@ -61,6 +85,14 @@ use ipa_trace::{CommandKind, CommandOrigin, LatencyHistogram, SharedSink, TraceE
 
 use crate::config::ControllerConfig;
 use crate::stats::{ControllerStats, DieStats};
+
+/// Poison-transparent lock: a panic mid-operation on another thread must
+/// not wedge the simulator's observability paths (stats, sync) — the
+/// state is plain data and every invariant is re-established before a
+/// guard drops on the success paths.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// What kind of array work a posted command occupies the die with —
 /// decides whether the QoS scheduler may suspend it mid-pulse.
@@ -114,14 +146,20 @@ struct DieState {
     stats: DieStats,
 }
 
-/// The controller: `channels × dies_per_channel` chips behind a scheduler.
-pub struct FlashController {
-    cfg: ControllerConfig,
-    dies: Vec<DieState>,
-    /// When each channel bus is next free.
-    channels: Vec<SimClock>,
-    /// The host-side clock: submission timestamps come from here.
-    host: SimClock,
+/// One channel bus: its free-time clock plus accumulated transfer time
+/// (utilization telemetry), guarded together so a transfer charges both
+/// under one acquisition.
+struct ChannelState {
+    clock: SimClock,
+    busy_ns: u64,
+}
+
+/// The cross-die state: window nesting depths, host-read latency
+/// records, the trace hook and the aggregate counters. Everything here
+/// is touched once per command (a few integer ops), so one mutex is
+/// cheap; the per-die heavy lifting (chip mutation, queue walks) never
+/// holds it.
+struct Central {
     /// Nesting depth of firmware-internal work (background maintenance).
     /// While positive, posted commands bypass the NCQ cap: the scheduler
     /// gates internal dispatch on die idleness, and charging firmware
@@ -152,8 +190,6 @@ pub struct FlashController {
     /// When set, host-read latencies go only to `read_hist` — the
     /// bounded-memory mode for long soaks.
     bounded_read_lat: bool,
-    /// Accumulated bus-transfer time per channel (utilization telemetry).
-    chan_busy: Vec<u64>,
     /// Lifecycle-event sink; `None` (default) skips every emission.
     tracer: Option<SharedSink>,
     /// Origin override for every traced command (e.g. a dedicated WAL
@@ -165,54 +201,108 @@ pub struct FlashController {
     stats: ControllerStats,
 }
 
+impl Central {
+    #[inline]
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            lock(t).record(ev);
+        }
+    }
+
+    /// The origin a command issued right now would be attributed to.
+    fn current_origin(&self) -> CommandOrigin {
+        if let Some(o) = self.trace_origin {
+            o
+        } else if self.internal_depth > 0 {
+            CommandOrigin::Internal
+        } else if self.priority_read_depth > 0 {
+            CommandOrigin::HostPriority
+        } else if self.posted_read_depth > 0 {
+            CommandOrigin::ReadAhead
+        } else {
+            CommandOrigin::Host
+        }
+    }
+}
+
+/// The controller: `channels × dies_per_channel` chips behind a scheduler.
+///
+/// `Send + Sync`; the whole public surface takes `&self` — share it via
+/// [`FlashController::shared`] and call from as many threads as you like.
+/// See the module docs for the lock layout and ordering discipline.
+pub struct FlashController {
+    cfg: ControllerConfig,
+    dies: Vec<Mutex<DieState>>,
+    /// When each channel bus is next free (plus its busy telemetry).
+    channels: Vec<Mutex<ChannelState>>,
+    /// The host-side clock: submission timestamps come from here.
+    /// Monotone advancement is `fetch_max`; only the explicit
+    /// multi-client hook [`FlashController::set_host_ns`] rewinds it.
+    host: AtomicU64,
+    central: Mutex<Central>,
+}
+
+// The controller is shared across host threads by design; this fails to
+// compile the moment a non-Sync field sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FlashController>();
+};
+
 impl FlashController {
     pub fn new(cfg: ControllerConfig) -> Self {
         let dies = (0..cfg.dies())
-            .map(|d| DieState {
-                chip: FlashChip::new(cfg.chip_for_die(d)),
-                clock: SimClock::new(),
-                queue: VecDeque::new(),
-                read_busy_ns: 0,
-                stats: DieStats::default(),
+            .map(|d| {
+                Mutex::new(DieState {
+                    chip: FlashChip::new(cfg.chip_for_die(d)),
+                    clock: SimClock::new(),
+                    queue: VecDeque::new(),
+                    read_busy_ns: 0,
+                    stats: DieStats::default(),
+                })
             })
             .collect();
-        let channels: Vec<SimClock> = (0..cfg.channels).map(|_| SimClock::new()).collect();
-        let chan_busy = vec![0u64; channels.len()];
+        let channels = (0..cfg.channels)
+            .map(|_| {
+                Mutex::new(ChannelState {
+                    clock: SimClock::new(),
+                    busy_ns: 0,
+                })
+            })
+            .collect();
         FlashController {
             cfg,
             dies,
             channels,
-            host: SimClock::new(),
-            internal_depth: 0,
-            posted_read_depth: 0,
-            posted_read_horizon: 0,
-            priority_read_depth: 0,
-            outstanding_posted_reads: 0,
-            read_lat: Vec::new(),
-            read_hist: LatencyHistogram::new(),
-            bounded_read_lat: false,
-            chan_busy,
-            tracer: None,
-            trace_origin: None,
-            cmd_seq: 0,
-            stats: ControllerStats::default(),
+            host: AtomicU64::new(0),
+            central: Mutex::new(Central {
+                internal_depth: 0,
+                posted_read_depth: 0,
+                posted_read_horizon: 0,
+                priority_read_depth: 0,
+                outstanding_posted_reads: 0,
+                read_lat: Vec::new(),
+                read_hist: LatencyHistogram::new(),
+                bounded_read_lat: false,
+                tracer: None,
+                trace_origin: None,
+                cmd_seq: 0,
+                stats: ControllerStats::default(),
+            }),
         }
     }
 
     /// Shared, handle-ready construction.
-    pub fn shared(cfg: ControllerConfig) -> Rc<RefCell<FlashController>> {
-        Rc::new(RefCell::new(FlashController::new(cfg)))
+    pub fn shared(cfg: ControllerConfig) -> Arc<FlashController> {
+        Arc::new(FlashController::new(cfg))
     }
 
     /// One [`DieHandle`] per die, in die-index order.
-    pub fn handles(ctrl: &Rc<RefCell<FlashController>>) -> Vec<DieHandle> {
-        let (dies, geometry, mode) = {
-            let c = ctrl.borrow();
-            (c.cfg.dies(), c.cfg.chip.geometry, c.cfg.chip.mode)
-        };
+    pub fn handles(ctrl: &Arc<FlashController>) -> Vec<DieHandle> {
+        let (dies, geometry, mode) = (ctrl.cfg.dies(), ctrl.cfg.chip.geometry, ctrl.cfg.chip.mode);
         (0..dies)
             .map(|die| DieHandle {
-                ctrl: Rc::clone(ctrl),
+                ctrl: Arc::clone(ctrl),
                 die,
                 geometry,
                 mode,
@@ -234,35 +324,44 @@ impl FlashController {
     /// (min/max total erase count across dies) computed at call time.
     /// Per-die totals come from [`FlashController::die_erase_count`], so
     /// the spread aggregates every plane's erases, not plane 0's.
+    /// Locks are taken strictly sequentially (never nested), so this is
+    /// safe to call concurrently with command submission — the snapshot
+    /// is then approximate across dies, exact within each.
     pub fn stats(&self) -> ControllerStats {
-        let mut s = self.stats;
-        s.posted_reads_outstanding = self.outstanding_posted_reads;
+        let mut s = {
+            let c = lock(&self.central);
+            let mut s = c.stats;
+            s.posted_reads_outstanding = c.outstanding_posted_reads;
+            s
+        };
         s.min_die_erases = u64::MAX;
         s.max_die_erases = 0;
-        for die in 0..self.dies.len() as u32 {
-            let e = self.die_erase_count(die);
+        let mut max_die_busy = 0u64;
+        let mut horizon = self.host_ns();
+        for die in &self.dies {
+            let d = lock(die);
+            let e: u64 = d.chip.plane_erase_counts().iter().sum();
             s.min_die_erases = s.min_die_erases.min(e);
             s.max_die_erases = s.max_die_erases.max(e);
+            max_die_busy = max_die_busy.max(d.stats.busy_ns);
+            horizon = horizon.max(d.clock.now_ns());
         }
         if self.dies.is_empty() {
             s.min_die_erases = 0;
         }
-        let elapsed = self.elapsed_ns() as u128;
+        let mut max_chan_busy = 0u64;
+        for ch in &self.channels {
+            max_chan_busy = max_chan_busy.max(lock(ch).busy_ns);
+        }
+        let elapsed = horizon as u128;
+        let util_ppm = |busy_ns: u64| {
+            (busy_ns as u128 * 1_000_000)
+                .checked_div(elapsed)
+                .map_or(0, |ppm| (ppm as u64).min(1_000_000))
+        };
         if elapsed > 0 {
-            s.die_util_ppm_max = self
-                .dies
-                .iter()
-                .map(|d| (d.stats.busy_ns as u128 * 1_000_000 / elapsed) as u64)
-                .max()
-                .unwrap_or(0)
-                .min(1_000_000);
-            s.chan_util_ppm_max = self
-                .chan_busy
-                .iter()
-                .map(|&b| (b as u128 * 1_000_000 / elapsed) as u64)
-                .max()
-                .unwrap_or(0)
-                .min(1_000_000);
+            s.die_util_ppm_max = util_ppm(max_die_busy);
+            s.chan_util_ppm_max = util_ppm(max_chan_busy);
         }
         s
     }
@@ -273,7 +372,7 @@ impl FlashController {
     /// on all its planes, and a plane-0-only view would undercount (and
     /// mis-order wear-aware dispatch) the moment `planes > 1`.
     pub fn die_erase_count(&self, die: u32) -> u64 {
-        self.dies[die as usize]
+        lock(&self.dies[die as usize])
             .chip
             .plane_erase_counts()
             .iter()
@@ -283,7 +382,10 @@ impl FlashController {
     /// One die's erase count split by plane (telemetry for plane-local GC
     /// victim analysis).
     pub fn die_plane_erases(&self, die: u32) -> Vec<u64> {
-        self.dies[die as usize].chip.plane_erase_counts().to_vec()
+        lock(&self.dies[die as usize])
+            .chip
+            .plane_erase_counts()
+            .to_vec()
     }
 
     /// Is the die's array idle at the current host time? True exactly when
@@ -291,26 +393,29 @@ impl FlashController {
     /// still occupying the array) — the maintenance scheduler's dispatch
     /// predicate for background reclaim.
     pub fn die_idle(&self, die: u32) -> bool {
-        self.dies[die as usize].clock.is_idle_at(self.host.now_ns())
+        lock(&self.dies[die as usize])
+            .clock
+            .is_idle_at(self.host_ns())
     }
 
     /// How far past the current host time a die stays busy (zero if idle).
     pub fn die_busy_ns(&self, die: u32) -> u64 {
-        self.dies[die as usize]
+        lock(&self.dies[die as usize])
             .clock
-            .busy_ns_after(self.host.now_ns())
+            .busy_ns_after(self.host_ns())
     }
 
     /// Enter firmware-internal mode: posted commands bypass the NCQ cap
     /// until the matching [`FlashController::end_internal`]. Nests.
-    pub fn begin_internal(&mut self) {
-        self.internal_depth += 1;
+    pub fn begin_internal(&self) {
+        lock(&self.central).internal_depth += 1;
     }
 
     /// Leave firmware-internal mode (see [`FlashController::begin_internal`]).
-    pub fn end_internal(&mut self) {
-        debug_assert!(self.internal_depth > 0, "unbalanced end_internal");
-        self.internal_depth = self.internal_depth.saturating_sub(1);
+    pub fn end_internal(&self) {
+        let mut c = lock(&self.central);
+        debug_assert!(c.internal_depth > 0, "unbalanced end_internal");
+        c.internal_depth = c.internal_depth.saturating_sub(1);
     }
 
     /// Open a posted-read window: until the matching
@@ -318,21 +423,23 @@ impl FlashController {
     /// they issue from the current submission instant without advancing
     /// the host clock, so the members of a vectored read overlap across
     /// dies and channels exactly like posted programs do. Nests.
-    pub fn begin_posted_reads(&mut self) {
-        if self.posted_read_depth == 0 {
-            self.posted_read_horizon = self.host.now_ns();
+    pub fn begin_posted_reads(&self) {
+        let mut c = lock(&self.central);
+        if c.posted_read_depth == 0 {
+            c.posted_read_horizon = self.host_ns();
         }
-        self.posted_read_depth += 1;
+        c.posted_read_depth += 1;
     }
 
     /// Close a posted-read window, surfacing the completion horizon: the
     /// device time at which the last read issued inside the window has
     /// its data ready. The host clock is untouched — the caller decides
     /// when (or whether) to wait, via the queue's `poll`.
-    pub fn end_posted_reads(&mut self) -> u64 {
-        debug_assert!(self.posted_read_depth > 0, "unbalanced end_posted_reads");
-        self.posted_read_depth = self.posted_read_depth.saturating_sub(1);
-        self.posted_read_horizon
+    pub fn end_posted_reads(&self) -> u64 {
+        let mut c = lock(&self.central);
+        debug_assert!(c.posted_read_depth > 0, "unbalanced end_posted_reads");
+        c.posted_read_depth = c.posted_read_depth.saturating_sub(1);
+        c.posted_read_horizon
     }
 
     /// Open a *priority* posted-read window: reads inside are posted like
@@ -340,60 +447,75 @@ impl FlashController {
     /// promotion (jumping queued posted work, suspending in-flight
     /// erases) when the controller runs with
     /// [`crate::ControllerConfig::with_qos`]. Nests.
-    pub fn begin_priority_reads(&mut self) {
-        self.begin_posted_reads();
-        self.priority_read_depth += 1;
+    pub fn begin_priority_reads(&self) {
+        let mut c = lock(&self.central);
+        if c.posted_read_depth == 0 {
+            c.posted_read_horizon = self.host_ns();
+        }
+        c.posted_read_depth += 1;
+        c.priority_read_depth += 1;
     }
 
     /// Close a priority window; returns the completion horizon exactly
     /// like [`FlashController::end_posted_reads`].
-    pub fn end_priority_reads(&mut self) -> u64 {
-        debug_assert!(
-            self.priority_read_depth > 0,
-            "unbalanced end_priority_reads"
-        );
-        self.priority_read_depth = self.priority_read_depth.saturating_sub(1);
-        self.end_posted_reads()
+    pub fn end_priority_reads(&self) -> u64 {
+        let mut c = lock(&self.central);
+        debug_assert!(c.priority_read_depth > 0, "unbalanced end_priority_reads");
+        c.priority_read_depth = c.priority_read_depth.saturating_sub(1);
+        debug_assert!(c.posted_read_depth > 0, "unbalanced end_posted_reads");
+        c.posted_read_depth = c.posted_read_depth.saturating_sub(1);
+        c.posted_read_horizon
     }
 
     /// A posted-read completion was consumed by the host's `poll`: its
     /// members leave the outstanding completion horizon.
-    pub fn note_posted_reads_polled(&mut self, members: u64) {
-        self.outstanding_posted_reads = self.outstanding_posted_reads.saturating_sub(members);
+    pub fn note_posted_reads_polled(&self, members: u64) {
+        let mut c = lock(&self.central);
+        c.outstanding_posted_reads = c.outstanding_posted_reads.saturating_sub(members);
     }
 
     /// A posted-read completion was abandoned via `forget`: retire its
     /// members from the outstanding completion horizon without polling,
     /// so the gauge cannot drift and later waits don't account for data
     /// nobody wants.
-    pub fn retire_forgotten_reads(&mut self, members: u64) {
-        self.stats.forgotten_reads += members;
-        self.outstanding_posted_reads = self.outstanding_posted_reads.saturating_sub(members);
+    pub fn retire_forgotten_reads(&self, members: u64) {
+        let mut c = lock(&self.central);
+        c.stats.forgotten_reads += members;
+        c.outstanding_posted_reads = c.outstanding_posted_reads.saturating_sub(members);
     }
 
     /// Device-side latency (`done − submit`) of every host read so far,
-    /// in issue order. Benchmarks slice this by index to window samples.
-    /// Empty in bounded mode ([`Self::set_bounded_read_latencies`]) —
-    /// use [`Self::read_latency_histogram`] there.
-    pub fn read_latencies(&self) -> &[u64] {
-        &self.read_lat
+    /// in issue order (a snapshot copy — the buffer lives behind the
+    /// central lock now). Benchmarks slice this by index to window
+    /// samples. Empty in bounded mode
+    /// ([`Self::set_bounded_read_latencies`]) — use
+    /// [`Self::read_latency_histogram`] there.
+    pub fn read_latencies(&self) -> Vec<u64> {
+        lock(&self.central).read_lat.clone()
+    }
+
+    /// Number of exact host-read latency samples recorded so far —
+    /// cursor bookkeeping without copying the buffer.
+    pub fn read_latency_count(&self) -> usize {
+        lock(&self.central).read_lat.len()
     }
 
     /// Fixed-memory log2 histogram of every host-read latency so far.
     /// Always maintained; snapshot it and use
     /// [`LatencyHistogram::delta_since`] to window samples.
     pub fn read_latency_histogram(&self) -> LatencyHistogram {
-        self.read_hist
+        lock(&self.central).read_hist
     }
 
     /// Bounded-memory mode: stop appending host-read latencies to the
     /// exact sample buffer (the histogram keeps recording). Long soaks
     /// switch this on so memory stays constant; tests use the exact
     /// buffer as the percentile oracle.
-    pub fn set_bounded_read_latencies(&mut self, bounded: bool) {
-        self.bounded_read_lat = bounded;
+    pub fn set_bounded_read_latencies(&self, bounded: bool) {
+        let mut c = lock(&self.central);
+        c.bounded_read_lat = bounded;
         if bounded {
-            self.read_lat = Vec::new();
+            c.read_lat = Vec::new();
         }
     }
 
@@ -402,66 +524,45 @@ impl FlashController {
     /// `Completed` (plus `Suspended`/`Resumed`/`Promoted` instants from
     /// the QoS path). Recording never perturbs timing or state — a
     /// traced run is bit-identical to an untraced one.
-    pub fn set_tracer(&mut self, sink: SharedSink) {
-        self.tracer = Some(sink);
+    pub fn set_tracer(&self, sink: SharedSink) {
+        lock(&self.central).tracer = Some(sink);
     }
 
     /// Detach the tracer (emission returns to a single dead branch).
-    pub fn clear_tracer(&mut self) {
-        self.tracer = None;
+    pub fn clear_tracer(&self) {
+        lock(&self.central).tracer = None;
     }
 
     /// Is a tracer currently attached?
     pub fn tracing_enabled(&self) -> bool {
-        self.tracer.is_some()
+        lock(&self.central).tracer.is_some()
     }
 
     /// Force every traced command's origin (e.g. [`CommandOrigin::Wal`]
     /// on a dedicated log controller). `None` restores derivation from
     /// the internal/priority/posted window depths.
-    pub fn set_trace_origin(&mut self, origin: Option<CommandOrigin>) {
-        self.trace_origin = origin;
+    pub fn set_trace_origin(&self, origin: Option<CommandOrigin>) {
+        lock(&self.central).trace_origin = origin;
     }
 
     /// Emit a standalone instant event on a die's track at current host
     /// time — the maintenance scheduler marks reclaim dispatch this way.
-    pub fn trace_instant(&mut self, die: u32, kind: CommandKind, phase: TracePhase) {
-        if self.tracer.is_none() {
+    pub fn trace_instant(&self, die: u32, kind: CommandKind, phase: TracePhase) {
+        let mut c = lock(&self.central);
+        if c.tracer.is_none() {
             return;
         }
-        self.cmd_seq += 1;
+        c.cmd_seq += 1;
         let ev = TraceEvent {
-            at_ns: self.host.now_ns(),
-            cmd: self.cmd_seq,
+            at_ns: self.host_ns(),
+            cmd: c.cmd_seq,
             die,
             channel: self.cfg.channel_of(die),
             kind,
             origin: CommandOrigin::Internal,
             phase,
         };
-        self.emit(ev);
-    }
-
-    #[inline]
-    fn emit(&self, ev: TraceEvent) {
-        if let Some(t) = &self.tracer {
-            t.borrow_mut().record(ev);
-        }
-    }
-
-    /// The origin a command issued right now would be attributed to.
-    fn current_origin(&self) -> CommandOrigin {
-        if let Some(o) = self.trace_origin {
-            o
-        } else if self.internal_depth > 0 {
-            CommandOrigin::Internal
-        } else if self.priority_read_depth > 0 {
-            CommandOrigin::HostPriority
-        } else if self.posted_read_depth > 0 {
-            CommandOrigin::ReadAhead
-        } else {
-            CommandOrigin::Host
-        }
+        c.emit(ev);
     }
 
     /// Fraction of elapsed simulated time die `die`'s array spent busy
@@ -471,7 +572,8 @@ impl FlashController {
         if elapsed == 0 {
             return 0.0;
         }
-        (self.dies[die as usize].stats.busy_ns as f64 / elapsed as f64).min(1.0)
+        let busy = lock(&self.dies[die as usize]).stats.busy_ns;
+        (busy as f64 / elapsed as f64).min(1.0)
     }
 
     /// Fraction of elapsed simulated time channel `ch`'s bus spent
@@ -481,36 +583,37 @@ impl FlashController {
         if elapsed == 0 {
             return 0.0;
         }
-        (self.chan_busy[ch as usize] as f64 / elapsed as f64).min(1.0)
+        let busy = lock(&self.channels[ch as usize]).busy_ns;
+        (busy as f64 / elapsed as f64).min(1.0)
     }
 
     /// Per-die utilisation counters.
     pub fn die_stats(&self, die: u32) -> DieStats {
-        self.dies[die as usize].stats
+        lock(&self.dies[die as usize]).stats
     }
 
     /// Posted commands still in flight on a die at current host time.
     pub fn queue_depth(&self, die: u32) -> usize {
-        self.dies[die as usize].queue.len()
+        lock(&self.dies[die as usize]).queue.len()
     }
 
     /// Raw chip counters of one die.
     pub fn die_flash_stats(&self, die: u32) -> FlashStats {
-        *self.dies[die as usize].chip.stats()
+        *lock(&self.dies[die as usize]).chip.stats()
     }
 
     /// Raw chip counters summed across all dies.
     pub fn flash_stats(&self) -> FlashStats {
-        self.dies
-            .iter()
-            .fold(FlashStats::default(), |acc, d| acc.merged(d.chip.stats()))
+        self.dies.iter().fold(FlashStats::default(), |acc, d| {
+            acc.merged(lock(d).chip.stats())
+        })
     }
 
     /// Peak erase count across every die.
     pub fn max_erase_count(&self) -> u32 {
         self.dies
             .iter()
-            .map(|d| d.chip.max_erase_count())
+            .map(|d| lock(d).chip.max_erase_count())
             .max()
             .unwrap_or(0)
     }
@@ -520,13 +623,13 @@ impl FlashController {
     pub fn elapsed_ns(&self) -> u64 {
         self.dies
             .iter()
-            .map(|d| d.clock.now_ns())
-            .fold(self.host.now_ns(), u64::max)
+            .map(|d| lock(d).clock.now_ns())
+            .fold(self.host_ns(), u64::max)
     }
 
     /// Submission-side clock: the logical "now" commands are issued at.
     pub fn host_ns(&self) -> u64 {
-        self.host.now_ns()
+        self.host.load(Ordering::SeqCst)
     }
 
     /// Reposition the submission-side clock — the multi-client hook. Each
@@ -535,29 +638,36 @@ impl FlashController {
     /// instead of serialising through a single host clock. Die and channel
     /// clocks are untouched (they are device state, not client state), so
     /// commands submitted "in the past" still queue behind busy hardware
-    /// via `start = max(submit, die_free, chan_free)`.
-    pub fn set_host_ns(&mut self, ns: u64) {
-        self.host = SimClock::at_ns(ns);
+    /// via `start = max(submit, die_free, chan_free)`. This is the one
+    /// host-clock write that may rewind; concurrent threads should use
+    /// [`FlashController::advance_host_ns`] instead.
+    pub fn set_host_ns(&self, ns: u64) {
+        self.host.store(ns, Ordering::SeqCst);
+    }
+
+    /// Monotone host-clock advance (`fetch_max`): safe under concurrent
+    /// submitters, where a raw reposition could travel backwards past
+    /// another thread's progress.
+    pub fn advance_host_ns(&self, ns: u64) {
+        self.host.fetch_max(ns, Ordering::SeqCst);
     }
 
     /// Barrier: wait for every posted command, max-merging all die clocks
     /// into the host clock. Returns the merged time.
-    pub fn sync(&mut self) -> u64 {
-        for d in 0..self.dies.len() {
-            let clock = self.dies[d].clock;
-            self.host.merge(&clock);
-            self.dies[d].queue.clear();
+    pub fn sync(&self) -> u64 {
+        for die in &self.dies {
+            let mut d = lock(die);
+            self.host.fetch_max(d.clock.now_ns(), Ordering::SeqCst);
+            d.queue.clear();
         }
-        self.stats.sync_points += 1;
-        self.host.now_ns()
+        lock(&self.central).stats.sync_points += 1;
+        self.host_ns()
     }
 
     /// Drop completed entries from a die's queue.
-    fn retire(&mut self, die: usize) {
-        let now = self.host.now_ns();
-        let q = &mut self.dies[die].queue;
-        while q.front().is_some_and(|p| p.done_ns <= now) {
-            q.pop_front();
+    fn retire_queue(d: &mut DieState, now: u64) {
+        while d.queue.front().is_some_and(|p| p.done_ns <= now) {
+            d.queue.pop_front();
         }
     }
 
@@ -566,19 +676,28 @@ impl FlashController {
     /// Promotion applies when QoS is configured, the read is host-issued
     /// (not firmware-internal), it is either a plain blocking read or
     /// inside a priority window, and posted work is actually queued.
-    fn qos_read_slot(&mut self, d: usize, submit: u64) -> Option<QosSlot> {
+    /// Window depths arrive as a snapshot taken at submission — the die
+    /// lock is held, central is not.
+    fn qos_read_slot(
+        &self,
+        d: &mut DieState,
+        submit: u64,
+        internal_depth: u32,
+        posted_read_depth: u32,
+        priority_read_depth: u32,
+    ) -> Option<QosSlot> {
         if !self.cfg.qos
-            || self.internal_depth > 0
-            || (self.posted_read_depth > 0 && self.priority_read_depth == 0)
+            || internal_depth > 0
+            || (posted_read_depth > 0 && priority_read_depth == 0)
         {
             return None;
         }
-        self.retire(d);
+        Self::retire_queue(d, submit);
         // The instant the die array could first attend to this read:
         // promoted reads on one die serialize among themselves.
-        let t0 = submit.max(self.dies[d].read_busy_ns);
-        let idx = self.dies[d].queue.iter().position(|p| p.done_ns > t0)?;
-        let e = self.dies[d].queue[idx];
+        let t0 = submit.max(d.read_busy_ns);
+        let idx = d.queue.iter().position(|p| p.done_ns > t0)?;
+        let e = d.queue[idx];
         if e.start_ns > t0 {
             // Idle gap before `e` engages the die: slot the read in; `e`
             // and everything behind it move out only if the read overruns
@@ -612,57 +731,64 @@ impl FlashController {
     /// Apply a promotion: reschedule the suspended erase, push the
     /// pending posted tail out past the read, and keep the die clock on
     /// the new horizon. Chip state is untouched — promotion reorders
-    /// time, never state.
-    fn commit_qos_slot(&mut self, d: usize, slot: QosSlot, read_done: u64) {
+    /// time, never state. Returns whether an erase was suspended plus the
+    /// suspend/resume instants to emit (buffered: the central lock — and
+    /// with it the sink — is taken once at the end of the read).
+    fn commit_qos_slot(
+        &self,
+        d: &mut DieState,
+        die: u32,
+        slot: &QosSlot,
+        read_done: u64,
+    ) -> (bool, Option<[TraceEvent; 2]>) {
         let mut floor = read_done;
+        let mut suspended = false;
+        let mut events = None;
         if let Some((idx, remaining)) = slot.suspended {
-            self.stats.erase_suspends += 1;
-            self.dies[d].chip.record_erase_suspend();
-            let e = &mut self.dies[d].queue[idx];
+            suspended = true;
+            d.chip.record_erase_suspend();
+            let e = &mut d.queue[idx];
             e.resumes_left -= 1;
             e.done_ns = read_done + remaining;
             floor = e.done_ns;
-            if self.tracer.is_some() {
-                let e = self.dies[d].queue[idx];
-                let channel = self.cfg.channel_of(d as u32);
-                for (at_ns, phase) in [
-                    (slot.start_ns, TracePhase::Suspended),
-                    (read_done, TracePhase::Resumed),
-                ] {
-                    self.emit(TraceEvent {
-                        at_ns,
-                        cmd: e.cmd,
-                        die: d as u32,
-                        channel,
-                        kind: e.ckind,
-                        origin: e.origin,
-                        phase,
-                    });
-                }
-            }
+            let e = d.queue[idx];
+            let channel = self.cfg.channel_of(die);
+            let instant = |at_ns, phase| TraceEvent {
+                at_ns,
+                cmd: e.cmd,
+                die,
+                channel,
+                kind: e.ckind,
+                origin: e.origin,
+                phase,
+            };
+            events = Some([
+                instant(slot.start_ns, TracePhase::Suspended),
+                instant(read_done, TracePhase::Resumed),
+            ]);
         }
-        let q = &mut self.dies[d].queue;
-        if let Some(first) = q.get(slot.pending_from) {
+        if let Some(first) = d.queue.get(slot.pending_from) {
             let delta = floor.saturating_sub(first.start_ns);
             if delta > 0 {
-                for p in q.iter_mut().skip(slot.pending_from) {
+                for p in d.queue.iter_mut().skip(slot.pending_from) {
                     p.start_ns += delta;
                     p.done_ns += delta;
                 }
             }
         }
-        if let Some(back) = self.dies[d].queue.back() {
+        if let Some(back) = d.queue.back() {
             let end = back.done_ns;
-            self.dies[d].clock.advance_to(end);
+            d.clock.advance_to(end);
         }
-        self.dies[d].clock.advance_to(floor);
-        self.dies[d].read_busy_ns = self.dies[d].read_busy_ns.max(read_done);
+        d.clock.advance_to(floor);
+        d.read_busy_ns = d.read_busy_ns.max(read_done);
+        (suspended, events)
     }
 
     /// Read: sense on the die, then transfer over the channel. A host
     /// read (`sync_host`) blocks the host clock until the data arrives; a
     /// firmware copy-back read only occupies the die and channel.
-    fn op_read(&mut self, die: u32, ppa: Ppa, sync_host: bool) -> Result<PageImage> {
+    fn op_read(&self, die: u32, ppa: Ppa, sync_host: bool) -> Result<PageImage> {
         let g = self.cfg.chip.geometry;
         let bus = self.cfg.chip.latency.transfer_ns(g.page_size + g.oob_size);
         let kind = if sync_host {
@@ -676,7 +802,7 @@ impl FlashController {
     /// Multi-plane read: the planes sense concurrently under one command
     /// (a single die-busy sense window), then every page's image crosses
     /// the channel — one command in the scheduler's books.
-    fn op_multi_read(&mut self, die: u32, ppas: &[Ppa], sync_host: bool) -> Result<Vec<PageImage>> {
+    fn op_multi_read(&self, die: u32, ppas: &[Ppa], sync_host: bool) -> Result<Vec<PageImage>> {
         let g = self.cfg.chip.geometry;
         let bus = self
             .cfg
@@ -691,8 +817,14 @@ impl FlashController {
     /// Shared read scheduling: run `f` on the chip (it advances the chip
     /// clock by sense + transfer), then recover the sense portion and
     /// charge queueing, die-busy and channel-bus time around it.
+    ///
+    /// Lock walk: snapshot window depths (central, released), then die →
+    /// channel (released) → central, in order. Everything the original
+    /// single-lock controller read from shared state more than once per
+    /// call is read exactly once here — single-threaded the two are
+    /// bit-identical, because nothing else can write between the reads.
     fn op_read_timed<T>(
-        &mut self,
+        &self,
         die: u32,
         bus: u64,
         sync_host: bool,
@@ -700,79 +832,112 @@ impl FlashController {
         f: impl FnOnce(&mut FlashChip) -> Result<T>,
     ) -> Result<T> {
         let d = die as usize;
-        let submit = self.host.now_ns();
-        let t0 = self.dies[d].chip.elapsed_ns();
-        let img = f(&mut self.dies[d].chip)?;
-        let dt = self.dies[d].chip.elapsed_ns() - t0;
-
-        let sense = dt.saturating_sub(bus);
         let ch = self.cfg.channel_of(die) as usize;
+        let (internal_depth, posted_read_depth, priority_read_depth) = {
+            let c = lock(&self.central);
+            (c.internal_depth, c.posted_read_depth, c.priority_read_depth)
+        };
+        let submit = self.host_ns();
 
-        let fifo_start = submit.max(self.dies[d].clock.now_ns());
+        let mut die_g = lock(&self.dies[d]);
+        let t0 = die_g.chip.elapsed_ns();
+        let img = f(&mut die_g.chip)?;
+        let dt = die_g.chip.elapsed_ns() - t0;
+        let sense = dt.saturating_sub(bus);
+
+        let fifo_start = submit.max(die_g.clock.now_ns());
         let slot = if sync_host {
-            self.qos_read_slot(d, submit)
+            self.qos_read_slot(
+                &mut die_g,
+                submit,
+                internal_depth,
+                posted_read_depth,
+                priority_read_depth,
+            )
         } else {
             None
         };
         let start = slot.as_ref().map_or(fifo_start, |s| s.start_ns);
         let sense_end = start + sense;
         let (bus_start, done);
-        if slot.is_some() {
-            // A promoted read preempts the channel as well as the die:
-            // queued posted DMA yields, its tail pushed out by exactly
-            // the read's transfer time.
-            bus_start = sense_end;
-            done = bus_start + bus;
-            let ch_free = self.channels[ch].now_ns();
-            self.channels[ch].advance_to(done.max(ch_free + bus));
-        } else {
-            bus_start = sense_end.max(self.channels[ch].now_ns());
-            done = bus_start + bus;
-            self.channels[ch].advance_to(done);
+        {
+            let mut chan = lock(&self.channels[ch]);
+            if slot.is_some() {
+                // A promoted read preempts the channel as well as the die:
+                // queued posted DMA yields, its tail pushed out by exactly
+                // the read's transfer time.
+                bus_start = sense_end;
+                done = bus_start + bus;
+                let ch_free = chan.clock.now_ns();
+                chan.clock.advance_to(done.max(ch_free + bus));
+            } else {
+                bus_start = sense_end.max(chan.clock.now_ns());
+                done = bus_start + bus;
+                chan.clock.advance_to(done);
+            }
+            chan.busy_ns += bus;
         }
 
         let mut promoted = false;
-        if let Some(slot) = slot {
-            self.commit_qos_slot(d, slot, done);
+        let mut suspended = false;
+        let mut suspend_events = None;
+        if let Some(slot) = &slot {
+            let (susp, evs) = self.commit_qos_slot(&mut die_g, die, slot, done);
+            suspended = susp;
+            suspend_events = evs;
             if start < fifo_start {
-                self.stats.reads_promoted += 1;
                 promoted = true;
             }
         }
-        self.dies[d].clock.advance_to(done);
+        die_g.clock.advance_to(done);
+        if sync_host && posted_read_depth == 0 {
+            self.host.fetch_max(done, Ordering::SeqCst);
+        }
+        Self::retire_queue(&mut die_g, self.host_ns());
+
+        die_g.stats.commands += 1;
+        die_g.stats.busy_ns += sense;
+
+        // Tail bookkeeping under central — die lock still held (die →
+        // central is the sanctioned order), sink reached only from here.
+        let mut c = lock(&self.central);
+        if suspended {
+            c.stats.erase_suspends += 1;
+        }
+        if promoted {
+            c.stats.reads_promoted += 1;
+        }
         if sync_host {
-            if self.internal_depth == 0 {
+            if internal_depth == 0 {
                 let lat = done - submit;
-                self.read_hist.record(lat);
-                if !self.bounded_read_lat {
-                    self.read_lat.push(lat);
+                c.read_hist.record(lat);
+                if !c.bounded_read_lat {
+                    c.read_lat.push(lat);
                 }
             }
-            if self.posted_read_depth > 0 {
+            if posted_read_depth > 0 {
                 // Posted-read window: the data is in flight; record when
                 // it lands instead of stalling the submitting clock.
-                self.posted_read_horizon = self.posted_read_horizon.max(done);
-                self.stats.posted_reads += 1;
-                self.outstanding_posted_reads += 1;
-            } else {
-                self.host.advance_to(done);
+                c.posted_read_horizon = c.posted_read_horizon.max(done);
+                c.stats.posted_reads += 1;
+                c.outstanding_posted_reads += 1;
             }
         }
-        self.retire(d);
+        c.stats.commands += 1;
+        c.stats.reads += 1;
+        c.stats.queue_wait_ns += (start - submit) + (bus_start - sense_end);
+        c.stats.bus_busy_ns += bus;
 
-        self.dies[d].stats.commands += 1;
-        self.dies[d].stats.busy_ns += sense;
-        self.stats.commands += 1;
-        self.stats.reads += 1;
-        self.stats.queue_wait_ns += (start - submit) + (bus_start - sense_end);
-        self.stats.bus_busy_ns += bus;
-        self.chan_busy[ch] += bus;
-
-        if self.tracer.is_some() {
-            self.cmd_seq += 1;
-            let cmd = self.cmd_seq;
+        if c.tracer.is_some() {
+            if let Some(evs) = suspend_events {
+                for ev in evs {
+                    c.emit(ev);
+                }
+            }
+            c.cmd_seq += 1;
+            let cmd = c.cmd_seq;
             let origin = if sync_host {
-                self.current_origin()
+                c.current_origin()
             } else {
                 // Copy-back reads are firmware work by definition.
                 CommandOrigin::Internal
@@ -786,20 +951,20 @@ impl FlashController {
                 origin,
                 phase: TracePhase::Submitted,
             };
-            self.emit(base);
+            c.emit(base);
             if promoted {
-                self.emit(TraceEvent {
+                c.emit(TraceEvent {
                     at_ns: start,
                     phase: TracePhase::Promoted,
                     ..base
                 });
             }
-            self.emit(TraceEvent {
+            c.emit(TraceEvent {
                 at_ns: start,
                 phase: TracePhase::Started,
                 ..base
             });
-            self.emit(TraceEvent {
+            c.emit(TraceEvent {
                 at_ns: done,
                 phase: TracePhase::Completed,
                 ..base
@@ -811,68 +976,79 @@ impl FlashController {
     /// NCQ back-pressure: when the die's posted queue is at the cap, block
     /// the submitting (host) clock until the oldest in-flight command
     /// completes. Firmware-internal submissions are exempt — the
-    /// maintenance scheduler gates them on die idleness instead.
-    fn apply_backpressure(&mut self, d: usize) {
+    /// maintenance scheduler gates them on die idleness instead. Returns
+    /// the (stalls, waited-ns) to fold into the central stats later.
+    fn apply_backpressure(&self, d: &mut DieState, internal_depth: u32) -> (u64, u64) {
         let Some(cap) = self.cfg.queue_cap else {
-            return;
+            return (0, 0);
         };
-        if self.internal_depth > 0 {
-            return;
+        if internal_depth > 0 {
+            return (0, 0);
         }
-        self.retire(d);
-        while self.dies[d].queue.len() >= cap {
-            let due = self.dies[d].queue.front().expect("cap >= 1").done_ns;
-            let wait = due.saturating_sub(self.host.now_ns());
-            self.host.advance_to(due);
-            self.stats.backpressure_stalls += 1;
-            self.stats.backpressure_wait_ns += wait;
-            self.retire(d);
+        let (mut stalls, mut waited) = (0u64, 0u64);
+        Self::retire_queue(d, self.host_ns());
+        while d.queue.len() >= cap {
+            let due = d.queue.front().expect("cap >= 1").done_ns;
+            let wait = due.saturating_sub(self.host_ns());
+            self.host.fetch_max(due, Ordering::SeqCst);
+            stalls += 1;
+            waited += wait;
+            Self::retire_queue(d, self.host_ns());
         }
+        (stalls, waited)
     }
 
     /// Posted command: optional bus transfer up front, then the array runs
     /// in the background. The host resumes once the bus is released.
-    fn op_posted<F>(&mut self, die: u32, bus_bytes: usize, ckind: CommandKind, f: F) -> Result<()>
+    fn op_posted<F>(&self, die: u32, bus_bytes: usize, ckind: CommandKind, f: F) -> Result<()>
     where
         F: FnOnce(&mut FlashChip) -> Result<()>,
     {
         let is_erase = ckind.is_erase();
         let d = die as usize;
-        let t0 = self.dies[d].chip.elapsed_ns();
-        f(&mut self.dies[d].chip)?;
-        let dt = self.dies[d].chip.elapsed_ns() - t0;
+        let ch = self.cfg.channel_of(die) as usize;
+        let internal_depth = lock(&self.central).internal_depth;
+
+        let mut die_g = lock(&self.dies[d]);
+        let t0 = die_g.chip.elapsed_ns();
+        f(&mut die_g.chip)?;
+        let dt = die_g.chip.elapsed_ns() - t0;
         // Only successful commands consume time; a full queue then blocks
         // the submitting clock before the command is timestamped.
-        self.apply_backpressure(d);
-        let submit = self.host.now_ns();
+        let (bp_stalls, bp_wait_ns) = self.apply_backpressure(&mut die_g, internal_depth);
+        let submit = self.host_ns();
 
         let bus = self.cfg.chip.latency.transfer_ns(bus_bytes);
         let array = dt.saturating_sub(bus);
-        let ch = self.cfg.channel_of(die) as usize;
 
-        let mut start = submit.max(self.dies[d].clock.now_ns());
+        let mut start = submit.max(die_g.clock.now_ns());
         if bus > 0 {
-            start = start.max(self.channels[ch].now_ns());
+            let mut chan = lock(&self.channels[ch]);
+            start = start.max(chan.clock.now_ns());
+            chan.clock.advance_to(start + bus);
+            chan.busy_ns += bus;
         }
         let bus_end = start + bus;
         let done = bus_end + array;
 
-        if bus > 0 {
-            self.channels[ch].advance_to(bus_end);
-            self.stats.bus_busy_ns += bus;
-            self.chan_busy[ch] += bus;
-        }
-        self.dies[d].clock.advance_to(done);
-        self.retire(d);
+        die_g.clock.advance_to(done);
+        Self::retire_queue(&mut die_g, submit);
         let resumes_left = if is_erase {
-            self.dies[d].chip.config().erase_resume_limit
+            die_g.chip.config().erase_resume_limit
         } else {
             0
         };
-        self.cmd_seq += 1;
-        let cmd = self.cmd_seq;
-        let origin = self.current_origin();
-        self.dies[d].queue.push_back(Posted {
+
+        die_g.stats.commands += 1;
+        die_g.stats.busy_ns += array;
+
+        // Sequence id + origin live behind central; the queue entry needs
+        // both, so the push happens with die and central held (in order).
+        let mut c = lock(&self.central);
+        c.cmd_seq += 1;
+        let cmd = c.cmd_seq;
+        let origin = c.current_origin();
+        die_g.queue.push_back(Posted {
             start_ns: start,
             done_ns: done,
             kind: if is_erase {
@@ -885,19 +1061,21 @@ impl FlashController {
             ckind,
             origin,
         });
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.dies[d].queue.len());
-
-        self.dies[d].stats.commands += 1;
-        self.dies[d].stats.busy_ns += array;
-        self.stats.commands += 1;
+        c.stats.max_queue_depth = c.stats.max_queue_depth.max(die_g.queue.len());
+        c.stats.commands += 1;
         if is_erase {
-            self.stats.erases += 1;
+            c.stats.erases += 1;
         } else {
-            self.stats.programs += 1;
+            c.stats.programs += 1;
         }
-        self.stats.queue_wait_ns += start - submit;
+        c.stats.queue_wait_ns += start - submit;
+        if bus > 0 {
+            c.stats.bus_busy_ns += bus;
+        }
+        c.stats.backpressure_stalls += bp_stalls;
+        c.stats.backpressure_wait_ns += bp_wait_ns;
 
-        if self.tracer.is_some() {
+        if c.tracer.is_some() {
             let base = TraceEvent {
                 at_ns: submit,
                 cmd,
@@ -907,21 +1085,21 @@ impl FlashController {
                 origin,
                 phase: TracePhase::Submitted,
             };
-            self.emit(base);
+            c.emit(base);
             // Posted commands enter the die queue at submission time.
-            self.emit(TraceEvent {
+            c.emit(TraceEvent {
                 at_ns: submit,
                 phase: TracePhase::Dispatched,
                 ..base
             });
             // Span times reflect the schedule at dispatch; a later QoS
             // promotion perturbs them, visible as suspend/resume instants.
-            self.emit(TraceEvent {
+            c.emit(TraceEvent {
                 at_ns: start,
                 phase: TracePhase::Started,
                 ..base
             });
-            self.emit(TraceEvent {
+            c.emit(TraceEvent {
                 at_ns: done,
                 phase: TracePhase::Completed,
                 ..base
@@ -930,8 +1108,16 @@ impl FlashController {
         Ok(())
     }
 
-    fn chip(&self, die: u32) -> &FlashChip {
-        &self.dies[die as usize].chip
+    /// Run a closure against one die's chip (read-only view). The die
+    /// lock is held for the duration — keep the closure small.
+    pub fn with_chip<R>(&self, die: u32, f: impl FnOnce(&FlashChip) -> R) -> R {
+        f(&lock(&self.dies[die as usize]).chip)
+    }
+
+    /// One die's completion horizon (its array-idle clock) — test and
+    /// handle plumbing; not the merged host view.
+    pub fn die_time_ns(&self, die: u32) -> u64 {
+        lock(&self.dies[die as usize]).clock.now_ns()
     }
 }
 
@@ -939,7 +1125,7 @@ impl FlashController {
 /// [`ipa_flash::Nand`], so an [`ipa_flash::FlashChip`] consumer — the FTL —
 /// can be pointed at a scheduled die without code changes.
 pub struct DieHandle {
-    ctrl: Rc<RefCell<FlashController>>,
+    ctrl: Arc<FlashController>,
     die: u32,
     geometry: Geometry,
     mode: FlashMode,
@@ -953,7 +1139,7 @@ impl DieHandle {
     }
 
     /// The controller this handle schedules through.
-    pub fn controller(&self) -> &Rc<RefCell<FlashController>> {
+    pub fn controller(&self) -> &Arc<FlashController> {
         &self.ctrl
     }
 }
@@ -968,74 +1154,68 @@ impl Nand for DieHandle {
     }
 
     fn flash_stats(&self) -> FlashStats {
-        self.ctrl.borrow().die_flash_stats(self.die)
+        self.ctrl.die_flash_stats(self.die)
     }
 
     fn elapsed_ns(&self) -> u64 {
         // This die's completion horizon (not the merged host view).
-        self.ctrl.borrow().dies[self.die as usize].clock.now_ns()
+        self.ctrl.die_time_ns(self.die)
     }
 
     fn nop_limit(&self, page: u32) -> u16 {
-        self.ctrl.borrow().chip(self.die).nop_limit(page)
+        self.ctrl.with_chip(self.die, |chip| chip.nop_limit(page))
     }
 
     fn is_erased(&self, ppa: Ppa) -> Result<bool> {
-        self.ctrl.borrow().chip(self.die).is_erased(ppa)
+        self.ctrl.with_chip(self.die, |chip| chip.is_erased(ppa))
     }
 
     fn program_count(&self, ppa: Ppa) -> Result<u16> {
-        self.ctrl.borrow().chip(self.die).program_count(ppa)
+        self.ctrl
+            .with_chip(self.die, |chip| chip.program_count(ppa))
     }
 
     fn erase_count(&self, block: u32) -> Result<u32> {
-        self.ctrl.borrow().chip(self.die).erase_count(block)
+        self.ctrl
+            .with_chip(self.die, |chip| chip.erase_count(block))
     }
 
     fn max_erase_count(&self) -> u32 {
-        self.ctrl.borrow().chip(self.die).max_erase_count()
+        self.ctrl.with_chip(self.die, FlashChip::max_erase_count)
     }
 
     fn is_bad(&self, block: u32) -> bool {
-        self.ctrl.borrow().chip(self.die).is_bad(block)
+        self.ctrl.with_chip(self.die, |chip| chip.is_bad(block))
     }
 
     fn peek_data(&self, ppa: Ppa) -> Option<Vec<u8>> {
         self.ctrl
-            .borrow()
-            .chip(self.die)
-            .peek_data(ppa)
-            .map(<[u8]>::to_vec)
+            .with_chip(self.die, |chip| chip.peek_data(ppa).map(<[u8]>::to_vec))
     }
 
     fn peek_overwrite_compatible(&self, ppa: Ppa, new: &[u8]) -> Option<bool> {
-        self.ctrl
-            .borrow()
-            .chip(self.die)
-            .peek_data(ppa)
-            .map(|old| old.iter().zip(new).all(|(&o, &n)| n & !o == 0))
+        self.ctrl.with_chip(self.die, |chip| {
+            chip.peek_data(ppa)
+                .map(|old| old.iter().zip(new).all(|(&o, &n)| n & !o == 0))
+        })
     }
 
     fn peek_oob(&self, ppa: Ppa) -> Option<Vec<u8>> {
         self.ctrl
-            .borrow()
-            .chip(self.die)
-            .peek_oob(ppa)
-            .map(<[u8]>::to_vec)
+            .with_chip(self.die, |chip| chip.peek_oob(ppa).map(<[u8]>::to_vec))
     }
 
     fn read_page(&mut self, ppa: Ppa) -> Result<PageImage> {
-        self.ctrl.borrow_mut().op_read(self.die, ppa, true)
+        self.ctrl.op_read(self.die, ppa, true)
     }
 
     fn copyback_read(&mut self, ppa: Ppa) -> Result<PageImage> {
-        self.ctrl.borrow_mut().op_read(self.die, ppa, false)
+        self.ctrl.op_read(self.die, ppa, false)
     }
 
     fn program_page(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
         let bytes = data.len() + oob.len();
         self.ctrl
-            .borrow_mut()
             .op_posted(self.die, bytes, CommandKind::Program, |chip| {
                 chip.program_page(ppa, data, oob)
             })
@@ -1044,7 +1224,6 @@ impl Nand for DieHandle {
     fn reprogram_page(&mut self, ppa: Ppa, data: &[u8], oob: &[u8]) -> Result<()> {
         let bytes = data.len() + oob.len();
         self.ctrl
-            .borrow_mut()
             .op_posted(self.die, bytes, CommandKind::Program, |chip| {
                 chip.reprogram_page(ppa, data, oob)
             })
@@ -1062,7 +1241,6 @@ impl Nand for DieHandle {
         // occupy the channel.
         let n = bytes.len() + oob_bytes.len();
         self.ctrl
-            .borrow_mut()
             .op_posted(self.die, n, CommandKind::Append, |chip| {
                 chip.append_region(ppa, data_off, bytes, oob_off, oob_bytes)
             })
@@ -1070,7 +1248,6 @@ impl Nand for DieHandle {
 
     fn erase_block(&mut self, block: u32) -> Result<()> {
         self.ctrl
-            .borrow_mut()
             .op_posted(self.die, 0, CommandKind::Erase, |chip| {
                 chip.erase_block(block)
             })
@@ -1082,21 +1259,19 @@ impl Nand for DieHandle {
         // treats the whole thing as one program occupying the die.
         let bytes = pages.iter().map(|p| p.data.len() + p.oob.len()).sum();
         self.ctrl
-            .borrow_mut()
             .op_posted(self.die, bytes, CommandKind::MultiPlaneProgram, |chip| {
                 chip.multi_plane_program(pages)
             })
     }
 
     fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
-        self.ctrl.borrow_mut().op_multi_read(self.die, ppas, true)
+        self.ctrl.op_multi_read(self.die, ppas, true)
     }
 
     fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {
         // One posted erase, one die-busy window: the chip charges a
         // single pulse for the whole aligned group.
         self.ctrl
-            .borrow_mut()
             .op_posted(self.die, 0, CommandKind::MultiPlaneErase, |chip| {
                 chip.multi_plane_erase(blocks)
             })
@@ -1131,8 +1306,7 @@ mod tests {
         let mut h = FlashController::handles(&ctrl).pop().unwrap();
         let (data, oob) = page(&h, 0x00);
         h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
-        let mut c = ctrl.borrow_mut();
-        c.sync()
+        ctrl.sync()
     }
 
     #[test]
@@ -1145,7 +1319,7 @@ mod tests {
             let (data, oob) = page(h, 0x00);
             h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
         }
-        let elapsed = ctrl.borrow_mut().sync();
+        let elapsed = ctrl.sync();
         assert!(
             elapsed < 8 * solo / 2,
             "8 programs across 8 dies must overlap: {elapsed} vs 8×{solo} sequential"
@@ -1162,7 +1336,7 @@ mod tests {
         for p in 0..4 {
             h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
         }
-        let elapsed = ctrl.borrow_mut().sync();
+        let elapsed = ctrl.sync();
         assert_eq!(
             elapsed,
             4 * solo,
@@ -1181,8 +1355,7 @@ mod tests {
                 let (data, oob) = page(h, 0x00);
                 h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
             }
-            let mut c = ctrl.borrow_mut();
-            c.sync()
+            ctrl.sync()
         };
         let shared_bus = run(1, 4);
         let wide_bus = run(4, 1);
@@ -1202,17 +1375,17 @@ mod tests {
         handles[0]
             .program_page(Ppa::new(0, 0), &data, &oob)
             .unwrap();
-        let host_after_post = ctrl.borrow().host.now_ns();
-        let die_done = ctrl.borrow().dies[0].clock.now_ns();
+        let host_after_post = ctrl.host_ns();
+        let die_done = ctrl.die_time_ns(0);
         assert!(
             host_after_post < die_done,
             "posted program must leave the die busy past the host clock"
         );
         // The read must wait for the staircase to finish before sensing.
         handles[0].read_page(Ppa::new(0, 0)).unwrap();
-        let after_read = ctrl.borrow().host.now_ns();
+        let after_read = ctrl.host_ns();
         assert!(after_read > die_done);
-        assert!(ctrl.borrow().stats().queue_wait_ns > 0);
+        assert!(ctrl.stats().queue_wait_ns > 0);
     }
 
     #[test]
@@ -1224,16 +1397,16 @@ mod tests {
         handles[1]
             .program_page(Ppa::new(0, 0), &data, &oob)
             .unwrap();
-        ctrl.borrow_mut().sync();
-        let t0 = ctrl.borrow().host.now_ns();
+        ctrl.sync();
+        let t0 = ctrl.host_ns();
 
         // Busy die 0, then read die 1: the read must not pay die 0's wait.
         handles[0]
             .program_page(Ppa::new(0, 0), &data, &oob)
             .unwrap();
         handles[1].read_page(Ppa::new(0, 0)).unwrap();
-        let read_done = ctrl.borrow().host.now_ns();
-        let die0_done = ctrl.borrow().dies[0].clock.now_ns();
+        let read_done = ctrl.host_ns();
+        let die0_done = ctrl.die_time_ns(0);
         assert!(
             read_done < die0_done,
             "read on the idle die completed at {read_done}, die 0 still busy to {die0_done} (t0 {t0})"
@@ -1245,19 +1418,15 @@ mod tests {
         let ctrl = FlashController::shared(cfg(1, 2));
         let mut handles = FlashController::handles(&ctrl);
         handles[1].erase_block(3).unwrap();
-        {
-            let c = ctrl.borrow();
-            assert_eq!(c.queue_depth(1), 1);
-            assert!(c.host.now_ns() < c.dies[1].clock.now_ns());
-            assert_eq!(c.elapsed_ns(), c.dies[1].clock.now_ns());
-        }
-        let merged = ctrl.borrow_mut().sync();
-        let c = ctrl.borrow();
-        assert_eq!(merged, c.dies[1].clock.now_ns());
-        assert_eq!(c.host.now_ns(), merged);
-        assert_eq!(c.queue_depth(1), 0);
-        assert_eq!(c.stats().sync_points, 1);
-        assert_eq!(c.stats().erases, 1);
+        assert_eq!(ctrl.queue_depth(1), 1);
+        assert!(ctrl.host_ns() < ctrl.die_time_ns(1));
+        assert_eq!(ctrl.elapsed_ns(), ctrl.die_time_ns(1));
+        let merged = ctrl.sync();
+        assert_eq!(merged, ctrl.die_time_ns(1));
+        assert_eq!(ctrl.host_ns(), merged);
+        assert_eq!(ctrl.queue_depth(1), 0);
+        assert_eq!(ctrl.stats().sync_points, 1);
+        assert_eq!(ctrl.stats().erases, 1);
     }
 
     #[test]
@@ -1265,9 +1434,8 @@ mod tests {
         let ctrl = FlashController::shared(cfg(1, 1));
         let mut h = FlashController::handles(&ctrl).remove(0);
         assert!(h.read_page(Ppa::new(0, 0)).is_err()); // erased page
-        let c = ctrl.borrow();
-        assert_eq!(c.elapsed_ns(), 0, "failed command must not consume time");
-        assert_eq!(c.stats().commands, 0);
+        assert_eq!(ctrl.elapsed_ns(), 0, "failed command must not consume time");
+        assert_eq!(ctrl.stats().commands, 0);
     }
 
     #[test]
@@ -1280,8 +1448,8 @@ mod tests {
                 h.program_page(Ppa::new(0, i as u32), &data, &oob).unwrap();
                 h.read_page(Ppa::new(0, i as u32)).unwrap();
             }
-            let t = ctrl.borrow_mut().sync();
-            let s = ctrl.borrow().stats();
+            let t = ctrl.sync();
+            let s = ctrl.stats();
             (t, s)
         };
         assert_eq!(run(), run());
@@ -1300,9 +1468,7 @@ mod tests {
             for p in 0..6 {
                 h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
             }
-            let host = ctrl.borrow().host_ns();
-            let stats = ctrl.borrow().stats();
-            (host, stats)
+            (ctrl.host_ns(), ctrl.stats())
         };
         let (free_host, free_stats) = run(None);
         let (capped_host, capped_stats) = run(Some(2));
@@ -1327,39 +1493,39 @@ mod tests {
         let ctrl = FlashController::shared(cfg(1, 1).with_queue_cap(1));
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0x00);
-        ctrl.borrow_mut().begin_internal();
+        ctrl.begin_internal();
         for p in 0..4 {
             h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
         }
-        ctrl.borrow_mut().end_internal();
-        let c = ctrl.borrow();
+        ctrl.end_internal();
         assert_eq!(
-            c.stats().backpressure_stalls,
+            ctrl.stats().backpressure_stalls,
             0,
             "firmware-internal posts must not charge the host clock"
         );
-        assert_eq!(c.host_ns(), 0);
-        assert_eq!(c.queue_depth(0), 4, "internal work still occupies the die");
+        assert_eq!(ctrl.host_ns(), 0);
+        assert_eq!(
+            ctrl.queue_depth(0),
+            4,
+            "internal work still occupies the die"
+        );
     }
 
     #[test]
     fn die_idleness_tracks_posted_work() {
         let ctrl = FlashController::shared(cfg(2, 1));
         let mut handles = FlashController::handles(&ctrl);
-        assert!(ctrl.borrow().die_idle(0) && ctrl.borrow().die_idle(1));
+        assert!(ctrl.die_idle(0) && ctrl.die_idle(1));
         let (data, oob) = page(&handles[0], 0x00);
         handles[0]
             .program_page(Ppa::new(0, 0), &data, &oob)
             .unwrap();
-        {
-            let c = ctrl.borrow();
-            assert!(!c.die_idle(0), "posted program keeps die 0 busy");
-            assert!(c.die_busy_ns(0) > 0);
-            assert!(c.die_idle(1), "die 1 untouched");
-            assert_eq!(c.die_busy_ns(1), 0);
-        }
-        ctrl.borrow_mut().sync();
-        assert!(ctrl.borrow().die_idle(0), "sync catches the host up");
+        assert!(!ctrl.die_idle(0), "posted program keeps die 0 busy");
+        assert!(ctrl.die_busy_ns(0) > 0);
+        assert!(ctrl.die_idle(1), "die 1 untouched");
+        assert_eq!(ctrl.die_busy_ns(1), 0);
+        ctrl.sync();
+        assert!(ctrl.die_idle(0), "sync catches the host up");
     }
 
     fn plane_cfg(channels: u32, dies_per_channel: u32, planes: u32) -> ControllerConfig {
@@ -1384,8 +1550,7 @@ mod tests {
             let (data, oob) = page(&h, 0x00);
             h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
             h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
-            let done = ctrl.borrow_mut().sync();
-            done
+            ctrl.sync()
         };
         let paired_done = {
             let ctrl = FlashController::shared(plane_cfg(1, 1, 2));
@@ -1404,13 +1569,9 @@ mod tests {
                 },
             ];
             h.multi_plane_program(&pages).unwrap();
-            {
-                let c = ctrl.borrow();
-                assert_eq!(c.stats().programs, 1, "one command in the books");
-                assert_eq!(c.queue_depth(0), 1, "one posted entry in flight");
-            }
-            let done = ctrl.borrow_mut().sync();
-            done
+            assert_eq!(ctrl.stats().programs, 1, "one command in the books");
+            assert_eq!(ctrl.queue_depth(0), 1, "one posted entry in flight");
+            ctrl.sync()
         };
         assert!(
             2 * solo_done >= 3 * paired_done,
@@ -1426,18 +1587,16 @@ mod tests {
         for b in [0, 1] {
             h.program_page(Ppa::new(b, 2), &data, &oob).unwrap();
         }
-        ctrl.borrow_mut().sync();
+        ctrl.sync();
         let imgs = h
             .multi_plane_read(&[Ppa::new(0, 2), Ppa::new(1, 2)])
             .unwrap();
         assert_eq!(imgs.len(), 2);
         assert!(imgs.iter().all(|i| i.data == data));
-        let c = ctrl.borrow();
-        assert_eq!(c.stats().reads, 1, "one read command");
-        assert_eq!(c.die_flash_stats(0).multi_plane_reads, 1);
-        assert_eq!(c.die_flash_stats(0).page_reads, 2);
+        assert_eq!(ctrl.stats().reads, 1, "one read command");
+        assert_eq!(ctrl.die_flash_stats(0).multi_plane_reads, 1);
+        assert_eq!(ctrl.die_flash_stats(0).page_reads, 2);
         // Misalignment surfaces through the scheduler as the typed error.
-        drop(c);
         assert!(matches!(
             h.multi_plane_read(&[Ppa::new(0, 2), Ppa::new(1, 3)]),
             Err(ipa_flash::FlashError::MultiPlaneMismatch { .. })
@@ -1452,23 +1611,21 @@ mod tests {
         for h in handles.iter_mut() {
             h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
         }
-        ctrl.borrow_mut().sync();
-        let t0 = ctrl.borrow().host_ns();
+        ctrl.sync();
+        let t0 = ctrl.host_ns();
 
         // Two reads on two dies inside one window: neither advances the
         // host clock; both issue from the same instant and the horizon
         // reports when the later one lands.
-        ctrl.borrow_mut().begin_posted_reads();
+        ctrl.begin_posted_reads();
         handles[0].read_page(Ppa::new(0, 0)).unwrap();
         handles[1].read_page(Ppa::new(0, 0)).unwrap();
-        let horizon = ctrl.borrow_mut().end_posted_reads();
-        let c = ctrl.borrow();
-        assert_eq!(c.host_ns(), t0, "posted reads leave the host clock");
+        let horizon = ctrl.end_posted_reads();
+        assert_eq!(ctrl.host_ns(), t0, "posted reads leave the host clock");
         assert!(horizon > t0, "the data lands later");
-        assert_eq!(c.stats().posted_reads, 2);
-        assert_eq!(c.stats().reads, 2, "posted reads are still reads");
+        assert_eq!(ctrl.stats().posted_reads, 2);
+        assert_eq!(ctrl.stats().reads, 2, "posted reads are still reads");
         // Overlap: two dies, one window — well under two serial reads.
-        drop(c);
         let serial = {
             let ctrl2 = FlashController::shared(cfg(2, 1));
             let mut hs = FlashController::handles(&ctrl2);
@@ -1476,12 +1633,11 @@ mod tests {
             for h in hs.iter_mut() {
                 h.program_page(Ppa::new(0, 0), &d2, &o2).unwrap();
             }
-            ctrl2.borrow_mut().sync();
-            let s0 = ctrl2.borrow().host_ns();
+            ctrl2.sync();
+            let s0 = ctrl2.host_ns();
             hs[0].read_page(Ppa::new(0, 0)).unwrap();
             hs[1].read_page(Ppa::new(0, 0)).unwrap();
-            let done = ctrl2.borrow().host_ns();
-            done - s0
+            ctrl2.host_ns() - s0
         };
         assert!(
             horizon - t0 < serial,
@@ -1500,15 +1656,14 @@ mod tests {
         handles[0].erase_block(1).unwrap(); // plane 1
         handles[0].erase_block(5).unwrap(); // plane 1
         handles[0].erase_block(3).unwrap(); // plane 3
-        let c = ctrl.borrow();
         assert_eq!(
-            c.die_erase_count(0),
+            ctrl.die_erase_count(0),
             3,
             "all planes' erases count toward the die"
         );
-        assert_eq!(c.die_plane_erases(0), vec![0, 2, 0, 1]);
-        assert_eq!(c.die_erase_count(1), 0);
-        let s = c.stats();
+        assert_eq!(ctrl.die_plane_erases(0), vec![0, 2, 0, 1]);
+        assert_eq!(ctrl.die_erase_count(1), 0);
+        let s = ctrl.stats();
         assert_eq!(s.max_die_erases, 3);
         assert_eq!(s.min_die_erases, 0);
         assert_eq!(s.wear_spread(), 3);
@@ -1518,16 +1673,16 @@ mod tests {
     fn wear_view_reports_min_max_die_erases() {
         let ctrl = FlashController::shared(cfg(2, 1));
         let mut handles = FlashController::handles(&ctrl);
-        assert_eq!(ctrl.borrow().stats().wear_spread(), 0);
+        assert_eq!(ctrl.stats().wear_spread(), 0);
         handles[0].erase_block(0).unwrap();
         handles[0].erase_block(1).unwrap();
         handles[1].erase_block(0).unwrap();
-        let s = ctrl.borrow().stats();
+        let s = ctrl.stats();
         assert_eq!(s.max_die_erases, 2);
         assert_eq!(s.min_die_erases, 1);
         assert_eq!(s.wear_spread(), 1);
-        assert_eq!(ctrl.borrow().die_erase_count(0), 2);
-        assert_eq!(ctrl.borrow().die_erase_count(1), 1);
+        assert_eq!(ctrl.die_erase_count(0), 2);
+        assert_eq!(ctrl.die_erase_count(1), 1);
     }
 
     #[test]
@@ -1544,15 +1699,13 @@ mod tests {
             let mut h = FlashController::handles(&ctrl).remove(0);
             let (data, oob) = page(&h, 0x00);
             h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
-            ctrl.borrow_mut().sync();
+            ctrl.sync();
             for p in 1..5 {
                 h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
             }
-            let t0 = ctrl.borrow().host_ns();
+            let t0 = ctrl.host_ns();
             h.read_page(Ppa::new(0, 0)).unwrap();
-            let latency = ctrl.borrow().host_ns() - t0;
-            let stats = ctrl.borrow().stats();
-            (latency, stats)
+            (ctrl.host_ns() - t0, ctrl.stats())
         };
         let (fifo, fifo_stats) = run(false);
         let (qos, qos_stats) = run(true);
@@ -1573,23 +1726,23 @@ mod tests {
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0xA5);
         h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
-        ctrl.borrow_mut().sync();
-        let t0 = ctrl.borrow().host_ns();
+        ctrl.sync();
+        let t0 = ctrl.host_ns();
 
         h.erase_block(3).unwrap(); // in flight, 1.5 ms of array time
         h.read_page(Ppa::new(1, 0)).unwrap();
-        let read_latency = ctrl.borrow().host_ns() - t0;
+        let read_latency = ctrl.host_ns() - t0;
         assert!(
             read_latency < erase_ns / 4,
             "suspended erase must not gate the read: {read_latency} ns"
         );
-        let s = ctrl.borrow().stats();
+        let s = ctrl.stats();
         assert_eq!(s.erase_suspends, 1);
         assert_eq!(s.reads_promoted, 1);
-        assert_eq!(ctrl.borrow().die_flash_stats(0).erase_suspends, 1);
+        assert_eq!(ctrl.die_flash_stats(0).erase_suspends, 1);
         // The erase still completes in full: its pulse remainder lands
         // after the read, pushing the die horizon past submit + erase.
-        let merged = ctrl.borrow_mut().sync();
+        let merged = ctrl.sync();
         assert!(merged >= t0 + erase_ns + read_latency);
     }
 
@@ -1602,17 +1755,17 @@ mod tests {
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0xA5);
         h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
-        ctrl.borrow_mut().sync();
+        ctrl.sync();
         h.erase_block(3).unwrap();
         for _ in 0..4 {
             h.read_page(Ppa::new(1, 0)).unwrap();
         }
-        let s = ctrl.borrow().stats();
+        let s = ctrl.stats();
         assert_eq!(
             s.erase_suspends, 2,
             "resume budget must bound suspensions: {s}"
         );
-        assert_eq!(ctrl.borrow().die_flash_stats(0).erase_suspends, 2);
+        assert_eq!(ctrl.die_flash_stats(0).erase_suspends, 2);
     }
 
     #[test]
@@ -1624,24 +1777,23 @@ mod tests {
             let mut h = FlashController::handles(&ctrl).remove(0);
             let (data, oob) = page(&h, 0x3C);
             h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
-            ctrl.borrow_mut().sync();
+            ctrl.sync();
             for p in 1..4 {
                 h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
             }
-            let t0 = ctrl.borrow().host_ns();
+            let t0 = ctrl.host_ns();
             if priority {
-                ctrl.borrow_mut().begin_priority_reads();
+                ctrl.begin_priority_reads();
             } else {
-                ctrl.borrow_mut().begin_posted_reads();
+                ctrl.begin_posted_reads();
             }
             h.read_page(Ppa::new(0, 0)).unwrap();
             let horizon = if priority {
-                ctrl.borrow_mut().end_priority_reads()
+                ctrl.end_priority_reads()
             } else {
-                ctrl.borrow_mut().end_posted_reads()
+                ctrl.end_posted_reads()
             };
-            let stats = ctrl.borrow().stats();
-            (horizon - t0, stats)
+            (horizon - t0, ctrl.stats())
         };
         let (bulk, bulk_stats) = run(false);
         let (prio, prio_stats) = run(true);
@@ -1663,16 +1815,16 @@ mod tests {
         for h in handles.iter_mut() {
             h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
         }
-        ctrl.borrow_mut().sync();
-        ctrl.borrow_mut().begin_posted_reads();
+        ctrl.sync();
+        ctrl.begin_posted_reads();
         handles[0].read_page(Ppa::new(0, 0)).unwrap();
         handles[1].read_page(Ppa::new(0, 0)).unwrap();
-        ctrl.borrow_mut().end_posted_reads();
-        assert_eq!(ctrl.borrow().stats().posted_reads_outstanding, 2);
+        ctrl.end_posted_reads();
+        assert_eq!(ctrl.stats().posted_reads_outstanding, 2);
 
-        ctrl.borrow_mut().note_posted_reads_polled(1);
-        ctrl.borrow_mut().retire_forgotten_reads(1);
-        let s = ctrl.borrow().stats();
+        ctrl.note_posted_reads_polled(1);
+        ctrl.retire_forgotten_reads(1);
+        let s = ctrl.stats();
         assert_eq!(s.posted_reads_outstanding, 0, "gauge must not drift");
         assert_eq!(s.forgotten_reads, 1);
         assert_eq!(s.posted_reads, 2, "issue counter unchanged");
@@ -1684,19 +1836,18 @@ mod tests {
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0x0F);
         h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
-        ctrl.borrow_mut().sync();
+        ctrl.sync();
         h.read_page(Ppa::new(0, 0)).unwrap();
-        ctrl.borrow_mut().begin_internal();
+        ctrl.begin_internal();
         h.copyback_read(Ppa::new(0, 0)).unwrap();
         h.read_page(Ppa::new(0, 0)).unwrap();
-        ctrl.borrow_mut().end_internal();
-        let c = ctrl.borrow();
+        ctrl.end_internal();
         assert_eq!(
-            c.read_latencies().len(),
+            ctrl.read_latency_count(),
             1,
             "copy-backs and firmware-internal reads are not host samples"
         );
-        assert!(c.read_latencies()[0] > 0);
+        assert!(ctrl.read_latencies()[0] > 0);
     }
 
     #[test]
@@ -1732,9 +1883,9 @@ mod tests {
 
     use ipa_trace::RingRecorder;
 
-    fn attach_recorder(ctrl: &Rc<RefCell<FlashController>>) -> Rc<RefCell<RingRecorder>> {
-        let rec = Rc::new(RefCell::new(RingRecorder::new(1 << 16)));
-        ctrl.borrow_mut().set_tracer(rec.clone());
+    fn attach_recorder(ctrl: &Arc<FlashController>) -> Arc<Mutex<RingRecorder>> {
+        let rec = Arc::new(Mutex::new(RingRecorder::new(1 << 16)));
+        ctrl.set_tracer(rec.clone());
         rec
     }
 
@@ -1747,10 +1898,10 @@ mod tests {
         handles[0]
             .program_page(Ppa::new(0, 0), &data, &oob)
             .unwrap();
-        ctrl.borrow_mut().sync();
+        ctrl.sync();
         handles[0].read_page(Ppa::new(0, 0)).unwrap();
 
-        let events = rec.borrow().to_vec();
+        let events = lock(&rec).to_vec();
         let completed: Vec<_> = events
             .iter()
             .filter(|e| e.phase == TracePhase::Completed)
@@ -1772,7 +1923,7 @@ mod tests {
         let read_evs: Vec<_> = events.iter().filter(|e| e.cmd == read_cmd).collect();
         assert_eq!(read_evs.len(), 3); // submitted, started, completed
         assert!(read_evs.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
-        assert_eq!(rec.borrow().dropped(), 0);
+        assert_eq!(lock(&rec).dropped(), 0);
     }
 
     #[test]
@@ -1782,12 +1933,12 @@ mod tests {
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0xA5);
         h.program_page(Ppa::new(1, 0), &data, &oob).unwrap();
-        ctrl.borrow_mut().sync();
+        ctrl.sync();
         h.erase_block(3).unwrap();
         h.read_page(Ppa::new(1, 0)).unwrap();
 
-        let events = rec.borrow().to_vec();
-        let stats = ctrl.borrow().stats();
+        let events = lock(&rec).to_vec();
+        let stats = ctrl.stats();
         let count = |p: TracePhase| events.iter().filter(|e| e.phase == p).count() as u64;
         assert_eq!(count(TracePhase::Promoted), stats.reads_promoted);
         assert_eq!(count(TracePhase::Suspended), stats.erase_suspends);
@@ -1821,9 +1972,8 @@ mod tests {
                 h.read_page(Ppa::new(0, i as u32)).unwrap();
                 h.erase_block(7).unwrap();
             }
-            let t = ctrl.borrow_mut().sync();
-            let s = ctrl.borrow().stats();
-            (t, s)
+            let t = ctrl.sync();
+            (t, ctrl.stats())
         };
         assert_eq!(run(false), run(true), "tracing must be observation-only");
     }
@@ -1834,17 +1984,17 @@ mod tests {
         let rec = attach_recorder(&ctrl);
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0x3C);
-        ctrl.borrow_mut().begin_internal();
+        ctrl.begin_internal();
         h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
-        ctrl.borrow_mut().end_internal();
-        ctrl.borrow_mut().sync();
-        ctrl.borrow_mut().begin_posted_reads();
+        ctrl.end_internal();
+        ctrl.sync();
+        ctrl.begin_posted_reads();
         h.read_page(Ppa::new(0, 0)).unwrap();
-        ctrl.borrow_mut().end_posted_reads();
-        ctrl.borrow_mut().set_trace_origin(Some(CommandOrigin::Wal));
+        ctrl.end_posted_reads();
+        ctrl.set_trace_origin(Some(CommandOrigin::Wal));
         h.program_page(Ppa::new(0, 1), &data, &oob).unwrap();
 
-        let events = rec.borrow().to_vec();
+        let events = lock(&rec).to_vec();
         let origin_of = |k: CommandKind, nth: usize| {
             events
                 .iter()
@@ -1868,15 +2018,14 @@ mod tests {
                 .program_page(Ppa::new(0, p), &data, &oob)
                 .unwrap();
         }
-        ctrl.borrow_mut().sync();
-        let c = ctrl.borrow();
-        let busy0 = c.die_busy_fraction(0);
+        ctrl.sync();
+        let busy0 = ctrl.die_busy_fraction(0);
         assert!(busy0 > 0.0 && busy0 <= 1.0, "die 0 worked: {busy0}");
-        assert_eq!(c.die_busy_fraction(1), 0.0, "die 1 idle");
-        let ch0 = c.channel_busy_fraction(0);
+        assert_eq!(ctrl.die_busy_fraction(1), 0.0, "die 1 idle");
+        let ch0 = ctrl.channel_busy_fraction(0);
         assert!(ch0 > 0.0 && ch0 < busy0, "bus busy but less than array");
-        assert_eq!(c.channel_busy_fraction(1), 0.0);
-        let s = c.stats();
+        assert_eq!(ctrl.channel_busy_fraction(1), 0.0);
+        let s = ctrl.stats();
         // Integer ppm and the f64 fraction agree to rounding.
         assert!((s.die_util_ppm_max as f64 - busy0 * 1e6).abs() <= 1.0);
         assert!((s.chan_util_ppm_max as f64 - ch0 * 1e6).abs() <= 1.0);
@@ -1885,18 +2034,52 @@ mod tests {
     #[test]
     fn bounded_latency_mode_keeps_the_histogram_only() {
         let ctrl = FlashController::shared(cfg(1, 1));
-        ctrl.borrow_mut().set_bounded_read_latencies(true);
+        ctrl.set_bounded_read_latencies(true);
         let mut h = FlashController::handles(&ctrl).remove(0);
         let (data, oob) = page(&h, 0x11);
         h.program_page(Ppa::new(0, 0), &data, &oob).unwrap();
-        ctrl.borrow_mut().sync();
+        ctrl.sync();
         for _ in 0..5 {
             h.read_page(Ppa::new(0, 0)).unwrap();
         }
-        let c = ctrl.borrow();
-        assert!(c.read_latencies().is_empty(), "exact buffer disabled");
-        let hist = c.read_latency_histogram();
+        assert!(ctrl.read_latencies().is_empty(), "exact buffer disabled");
+        let hist = ctrl.read_latency_histogram();
         assert_eq!(hist.count(), 5);
         assert!(hist.percentile(0.5) > 0);
+    }
+
+    #[test]
+    fn concurrent_submitters_preserve_per_die_logical_state() {
+        // The tentpole's contract: N threads hammering disjoint dies
+        // through one shared controller leave exactly the bytes a serial
+        // run would, and the monotone counters add up.
+        use std::thread;
+        let ctrl = FlashController::shared(cfg(2, 2));
+        let handles = FlashController::handles(&ctrl);
+        let per_die = 8u32;
+        thread::scope(|s| {
+            for mut h in handles {
+                s.spawn(move || {
+                    let (data, oob) = page(&h, 0x20 + h.die() as u8);
+                    for p in 0..per_die {
+                        h.program_page(Ppa::new(0, p), &data, &oob).unwrap();
+                    }
+                    for p in 0..per_die {
+                        h.read_page(Ppa::new(0, p)).unwrap();
+                    }
+                });
+            }
+        });
+        ctrl.sync();
+        let s = ctrl.stats();
+        assert_eq!(s.programs, 4 * per_die as u64);
+        assert_eq!(s.reads, 4 * per_die as u64);
+        for die in 0..4u32 {
+            let fill = 0x20 + die as u8;
+            let img = ctrl.with_chip(die, |chip| {
+                chip.peek_data(Ppa::new(0, 0)).map(<[u8]>::to_vec)
+            });
+            assert_eq!(img.unwrap()[0], fill, "die {die} holds its own bytes");
+        }
     }
 }

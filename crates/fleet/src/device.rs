@@ -9,8 +9,7 @@
 //! an LBA at or past the tenant's capacity is rejected with
 //! [`FtlError::LbaOutOfRange`] before it can touch a neighbour's data.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ipa_controller::ControllerStats;
 use ipa_core::PageLayout;
@@ -21,7 +20,12 @@ use ipa_ftl::{
 };
 
 /// The shared multi-channel device a fleet's tenant views sit over.
-pub type SharedDevice = Rc<RefCell<ShardedFtl>>;
+///
+/// `Arc<ShardedFtl>` (no cell): the stripe is internally locked per die,
+/// so tenant views on different host threads submit concurrently and
+/// only serialize where the simulated hardware would — on a die, a
+/// channel, or the completion buffer.
+pub type SharedDevice = Arc<ShardedFtl>;
 
 /// One tenant's window onto the shared device.
 pub struct TenantDevice {
@@ -95,7 +99,7 @@ impl TenantDevice {
 
 impl BlockDevice for TenantDevice {
     fn page_size(&self) -> usize {
-        self.shared.borrow().page_size()
+        self.shared.page_size_shared()
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -104,60 +108,60 @@ impl BlockDevice for TenantDevice {
 
     fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
         let lba = self.map(lba)?;
-        self.shared.borrow_mut().read(lba, buf)
+        self.shared.read_shared(lba, buf)
     }
 
     fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
         let lba = self.map(lba)?;
-        self.shared.borrow_mut().write(lba, data)
+        self.shared.write_shared(lba, data)
     }
 
     fn trim(&mut self, lba: Lba) -> Result<()> {
         let lba = self.map(lba)?;
-        self.shared.borrow_mut().trim(lba)
+        self.shared.trim_shared(lba)
     }
 
     fn is_mapped(&self, lba: Lba) -> bool {
-        lba < self.pages && self.shared.borrow().is_mapped(self.base + lba)
+        lba < self.pages && self.shared.is_mapped(self.base + lba)
     }
 
     fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
         if lba >= self.pages {
             return None;
         }
-        self.shared.borrow().layout_for(self.base + lba)
+        self.shared.layout_for(self.base + lba)
     }
 
     fn device_stats(&self) -> DeviceStats {
-        self.shared.borrow().device_stats()
+        self.shared.device_stats()
     }
 
     fn flash_stats(&self) -> FlashStats {
-        self.shared.borrow().flash_stats()
+        self.shared.flash_stats()
     }
 
     fn elapsed_ns(&self) -> u64 {
-        self.shared.borrow().elapsed_ns()
+        self.shared.elapsed_ns()
     }
 
     fn max_erase_count(&self) -> u32 {
-        self.shared.borrow().max_erase_count()
+        self.shared.max_erase_count()
     }
 
     fn raw_blocks(&self) -> u32 {
-        self.shared.borrow().raw_blocks()
+        self.shared.raw_blocks()
     }
 
     fn controller_stats(&self) -> Option<ControllerStats> {
-        BlockDevice::controller_stats(&*self.shared.borrow())
+        BlockDevice::controller_stats(&*self.shared)
     }
 
     fn set_submission_clock_ns(&mut self, ns: u64) {
-        self.shared.borrow_mut().set_submission_clock_ns(ns);
+        self.shared.controller().set_host_ns(ns);
     }
 
     fn submission_clock_ns(&self) -> u64 {
-        self.shared.borrow().submission_clock_ns()
+        self.shared.submission_clock_ns()
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -168,40 +172,42 @@ impl BlockDevice for TenantDevice {
 impl IoQueue for TenantDevice {
     fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
         let req = self.translate(req)?;
-        self.shared.borrow_mut().submit(req)
+        self.shared.submit_io(req)
     }
 
     fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {
-        self.shared.borrow_mut().poll(token)
+        self.shared.poll_io(token)
+    }
+
+    fn poll_checked(&mut self, token: IoToken) -> Result<IoCompletion> {
+        self.shared.poll_io_checked(token)
     }
 
     fn sync(&mut self) -> u64 {
-        IoQueue::sync(&mut *self.shared.borrow_mut())
+        ShardedFtl::sync(&self.shared)
     }
 
     fn forget(&mut self, token: IoToken) {
-        self.shared.borrow_mut().forget(token);
+        self.shared.forget_io(token);
     }
 
     fn note_readahead_hit(&mut self) {
-        self.shared.borrow_mut().note_readahead_hit();
+        self.shared.note_readahead_hit_shared();
     }
 
     fn note_wal_stripe_write(&mut self) {
-        self.shared.borrow_mut().note_wal_stripe_write();
+        self.shared.note_wal_stripe_write_shared();
     }
 
     fn note_wal_stripe_reclaimed(&mut self) {
-        self.shared.borrow_mut().note_wal_stripe_reclaimed();
+        self.shared.note_wal_stripe_reclaimed_shared();
     }
 }
 
 impl NativeFlashDevice for TenantDevice {
     fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
         let lba = self.map(lba)?;
-        self.shared
-            .borrow_mut()
-            .write_delta(lba, offset, delta_bytes)
+        self.shared.write_delta_shared(lba, offset, delta_bytes)
     }
 }
 
@@ -216,18 +222,18 @@ mod tests {
         let chip = DeviceConfig::new(Geometry::new(16, 8, 2048, 64), FlashMode::Slc)
             .with_disturb(DisturbRates::none())
             .with_seed(3);
-        Rc::new(RefCell::new(ShardedFtl::new(
+        Arc::new(ShardedFtl::new(
             ControllerConfig::new(2, 2, chip),
             FtlConfig::traditional(),
             StripePolicy::RoundRobin,
-        )))
+        ))
     }
 
     #[test]
     fn windows_translate_and_isolate() {
         let dev = shared();
-        let mut a = TenantDevice::new(Rc::clone(&dev), 0, 8);
-        let mut b = TenantDevice::new(Rc::clone(&dev), 8, 8);
+        let mut a = TenantDevice::new(Arc::clone(&dev), 0, 8);
+        let mut b = TenantDevice::new(Arc::clone(&dev), 8, 8);
         assert_eq!(a.capacity_pages(), 8);
         let ones = vec![1u8; 2048];
         let twos = vec![2u8; 2048];
@@ -238,7 +244,7 @@ mod tests {
         assert_eq!(buf, ones, "tenant A sees its own page");
         b.read(0, &mut buf).unwrap();
         assert_eq!(buf, twos, "same tenant-relative LBA, different page");
-        assert!(dev.borrow().is_mapped(0) && dev.borrow().is_mapped(8));
+        assert!(dev.is_mapped(0) && dev.is_mapped(8));
 
         // The partition is enforced on every surface, including vectored
         // members: LBA 8 is tenant B's page, so A must never reach it.

@@ -1,7 +1,6 @@
 //! The fleet: one shared device, N tenant engines, RAII lifecycle.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ipa_controller::{ControllerConfig, ControllerStats};
 use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, Geometry};
@@ -34,6 +33,11 @@ pub struct FleetConfig {
     pub wal_pages: u64,
     /// Per-tenant WAL stripe topology (`channels × dies`).
     pub wal_stripe: (u32, u32),
+    /// Keep the exact (unbounded) per-read latency `Vec` on the shared
+    /// controller instead of the bounded histogram. Off by default: long
+    /// soaks must not grow memory linearly. Turn on only as an oracle
+    /// against the histogram's percentiles.
+    pub exact_read_latencies: bool,
 }
 
 impl Default for FleetConfig {
@@ -49,6 +53,7 @@ impl Default for FleetConfig {
             buffer_frames: 24,
             wal_pages: 192,
             wal_stripe: (2, 1),
+            exact_read_latencies: false,
         }
     }
 }
@@ -133,16 +138,19 @@ impl FleetBuilder {
             base += budget;
         }
 
-        let shared: SharedDevice = Rc::new(RefCell::new(ShardedFtl::with_regions(
+        let shared: SharedDevice = Arc::new(ShardedFtl::with_regions(
             controller,
             FtlConfig::traditional(),
             StripePolicy::RoundRobin,
             regions,
-        )));
+        ));
+        shared
+            .controller()
+            .set_bounded_read_latencies(!cfg.exact_read_latencies);
         assert!(
-            total <= shared.borrow().capacity_pages(),
+            total <= shared.capacity_pages(),
             "fleet needs {total} pages but the shared device exports {}",
-            shared.borrow().capacity_pages()
+            shared.capacity_pages()
         );
 
         let mut tenants = Vec::with_capacity(self.tenants.len());
@@ -153,7 +161,7 @@ impl FleetBuilder {
                 .with_group_commit(1)
                 .with_striped_wal(cfg.wal_stripe.0, cfg.wal_stripe.1);
             engine_cfg.wal_pages = cfg.wal_pages;
-            let view = TenantDevice::new(Rc::clone(&shared), base, budget);
+            let view = TenantDevice::new(Arc::clone(&shared), base, budget);
             let engine =
                 StorageEngine::build_with_device(cfg.page_size, engine_cfg, &tables, |_, _| {
                     Box::new(view)
@@ -162,7 +170,7 @@ impl FleetBuilder {
                 id,
                 name,
                 engine,
-                shared: Rc::clone(&shared),
+                shared: Arc::clone(&shared),
                 base,
                 pages: budget,
                 kills: 0,
@@ -224,17 +232,17 @@ impl Fleet {
 
     /// Current submission clock of the shared device, nanoseconds.
     pub fn clock_ns(&self) -> u64 {
-        self.shared.borrow().submission_clock_ns()
+        self.shared.submission_clock_ns()
     }
 
     /// Counters of the shared data device (all tenants merged).
     pub fn shared_stats(&self) -> DeviceStats {
-        self.shared.borrow().device_stats()
+        self.shared.device_stats()
     }
 
     /// Scheduler counters of the shared controller.
     pub fn controller_stats(&self) -> Option<ControllerStats> {
-        BlockDevice::controller_stats(&*self.shared.borrow())
+        BlockDevice::controller_stats(&*self.shared)
     }
 
     /// Sealed WAL pages recycled by checkpoints, summed over the fleet's
@@ -341,10 +349,9 @@ impl Drop for TenantHandle {
         // RAII teardown: return the window to the shared device so a
         // departed tenant's pages become reclaimable free space instead
         // of immortal live data squatting in every future GC pass.
-        let mut dev = self.shared.borrow_mut();
         for lba in self.base..self.base + self.pages {
-            if dev.is_mapped(lba) {
-                let _ = dev.trim(lba);
+            if self.shared.is_mapped(lba) {
+                let _ = self.shared.trim_shared(lba);
             }
         }
     }
@@ -414,23 +421,53 @@ mod tests {
     }
 
     #[test]
+    fn default_fleet_bounds_read_latency_memory() {
+        // The long-soak default: read latencies go to the fixed-memory
+        // histogram only; the exact per-read Vec must not grow. The Vec
+        // comes back as an opt-in oracle via `exact_read_latencies`.
+        let run = |exact: bool| {
+            let cfg = FleetConfig {
+                exact_read_latencies: exact,
+                ..Default::default()
+            };
+            let mut fleet = Fleet::builder(cfg)
+                .tenant("a", vec![TableSpec::heap("rows", 48, 24)])
+                .build()
+                .expect("fleet builds");
+            insert_row(fleet.tenant_mut(0), 0x3C);
+            fleet.tenant_mut(0).engine_mut().flush_all().unwrap();
+            let mapped = (0..24).find(|&l| fleet.shared.is_mapped(l)).unwrap();
+            let mut buf = vec![0u8; fleet.shared.page_size_shared()];
+            for _ in 0..8 {
+                fleet.shared.read_shared(mapped, &mut buf).unwrap();
+            }
+            let ctrl = fleet.shared.controller();
+            (
+                ctrl.read_latency_count(),
+                ctrl.read_latency_histogram().count(),
+            )
+        };
+        let (exact_len, hist) = run(false);
+        assert_eq!(exact_len, 0, "default soak path must not grow the Vec");
+        assert!(hist >= 8, "histogram still accounts every host read");
+        let (oracle_len, _) = run(true);
+        assert!(oracle_len >= 8, "the exact path stays available as oracle");
+    }
+
+    #[test]
     fn drop_returns_the_window_to_the_shared_device() {
         let mut fleet = two_tenant_fleet();
         insert_row(fleet.tenant_mut(0), 0x11);
         fleet.tenant_mut(0).engine_mut().flush_all().unwrap();
-        let mapped_before: Vec<u64> = {
-            let dev = fleet.shared.borrow();
-            (0..48).filter(|&l| dev.is_mapped(l)).collect()
-        };
+        let mapped_before: Vec<u64> = (0..48).filter(|&l| fleet.shared.is_mapped(l)).collect();
         assert!(
             mapped_before.iter().any(|&l| l < 24),
             "tenant a flushed pages inside its window"
         );
         let evicted = fleet.evict(0);
         drop(evicted);
-        let dev = fleet.shared.borrow();
         assert!(
-            (0..24).all(|l| !dev.is_mapped(l)),
+            (0..24).all(|l| !fleet.shared.is_mapped(l)),
             "RAII drop trims the departed tenant's window"
         );
     }

@@ -1163,6 +1163,10 @@ impl<C: Nand> IoQueue for Ftl<C> {
         self.queue.take(token)
     }
 
+    fn poll_checked(&mut self, token: IoToken) -> Result<IoCompletion> {
+        self.queue.take_checked(token)
+    }
+
     fn sync(&mut self) -> u64 {
         self.drain_staged().expect("draining a staged program");
         self.chip.elapsed_ns()

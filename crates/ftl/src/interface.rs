@@ -178,6 +178,20 @@ impl SubmissionState {
         self.done.remove(&token.0)
     }
 
+    /// [`SubmissionState::take`] with the `None` cases distinguished:
+    /// tokens are allocated from a private monotone counter, so a miss
+    /// below the watermark can only be a retired (polled/forgotten)
+    /// token, and a miss at or above it a token this queue never issued.
+    pub fn take_checked(&mut self, token: IoToken) -> crate::error::Result<IoCompletion> {
+        match self.done.remove(&token.0) {
+            Some(c) => Ok(c),
+            None if token.0 >= self.next => {
+                Err(crate::error::FtlError::TokenUnknown { token: token.0 })
+            }
+            None => Err(crate::error::FtlError::TokenRetired { token: token.0 }),
+        }
+    }
+
     /// Drop a completion without consuming it (abandoned read-ahead).
     /// Returns the completion so the device can retire it from any
     /// scheduler-side bookkeeping (the posted-read completion horizon) —
@@ -223,7 +237,10 @@ impl SubmissionState {
 /// * `poll` *waits* for the token's completion: the submission clock
 ///   advances to at least `done_ns` and the completion (with any read
 ///   data) is returned. Polling an unknown or already-polled token
-///   returns `None` and costs nothing.
+///   returns `None` and costs nothing; when the host needs to tell a
+///   double-poll bug apart from "still in flight", `poll_checked`
+///   returns a typed [`crate::error::FtlError::TokenRetired`] /
+///   [`crate::error::FtlError::TokenUnknown`] instead.
 /// * `sync` is the barrier: every prior submission's completion time is
 ///   folded into the device's merged clock, which is returned. It does
 ///   not consume buffered completions — tokens stay pollable.
@@ -264,6 +281,14 @@ pub trait IoQueue {
     /// Wait for (and take) a completion. `None` if the token is unknown
     /// or was already polled/forgotten.
     fn poll(&mut self, token: IoToken) -> Option<IoCompletion>;
+
+    /// [`IoQueue::poll`] with the `None` cases made typed errors: a
+    /// retired token (already polled or forgotten) surfaces as
+    /// [`crate::error::FtlError::TokenRetired`], a token the queue never
+    /// issued as [`crate::error::FtlError::TokenUnknown`]. Hosts that
+    /// treat a double-poll as a bug (everything in this repo) should
+    /// prefer this over pattern-matching `None`.
+    fn poll_checked(&mut self, token: IoToken) -> Result<IoCompletion>;
 
     /// Barrier over all prior submissions; returns the merged device
     /// time in nanoseconds.
@@ -400,8 +425,29 @@ mod tests {
         assert_eq!((ca.submitted_ns, ca.done_ns), (10, 20));
         assert_eq!(ca.data, vec![vec![1]]);
         assert!(s.take(a).is_none(), "taken once");
+        assert!(
+            matches!(
+                s.take_checked(a),
+                Err(crate::error::FtlError::TokenRetired { token }) if token == a.0
+            ),
+            "double-take is a typed retired error"
+        );
+        assert!(
+            matches!(
+                s.take_checked(IoToken(999)),
+                Err(crate::error::FtlError::TokenUnknown { token: 999 })
+            ),
+            "never-issued token is unknown, not retired"
+        );
         s.forget(b);
         assert!(s.take(b).is_none(), "forgotten");
+        assert!(
+            matches!(
+                s.take_checked(b),
+                Err(crate::error::FtlError::TokenRetired { .. })
+            ),
+            "forget retires the token too"
+        );
 
         s.count_request(&IoRequest::ReadV(vec![1, 2]));
         s.count_request(&IoRequest::ReadV(vec![1]));

@@ -21,9 +21,19 @@
 //!
 //! GC, wear levelling and over-provisioning run independently per die,
 //! exactly like the per-die FTL partitions in real multi-die SSD firmware.
+//!
+//! ## Threading
+//!
+//! The stripe is `Send + Sync`: the controller is shared by `Arc`, each
+//! shard sits behind its own mutex (die-local traffic from different
+//! threads contends only when it lands on the same die), and the queued
+//! bookkeeping has a small lock of its own. Every operation is available
+//! through `&self` (`submit_io`/`poll_io`/`sync`/...); the `&mut`
+//! [`IoQueue`]/[`BlockDevice`] trait impls forward to them, so a
+//! single-owner caller pays one uncontended lock per shard touch and the
+//! threaded driver shares a plain `Arc<ShardedFtl>`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use ipa_controller::{ControllerConfig, ControllerStats, DieHandle, FlashController};
 use ipa_core::PageLayout;
@@ -36,6 +46,12 @@ use crate::interface::{
 };
 use crate::region::{Region, RegionTable};
 use crate::stats::DeviceStats;
+
+/// Poison-transparent lock (a panicking sibling thread must not wedge
+/// invariant checks and stats reads — shard state is plain data).
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// How host LBAs are spread across dies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,15 +84,22 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// A die-striped FTL over a [`FlashController`].
 pub struct ShardedFtl {
-    ctrl: Rc<RefCell<FlashController>>,
-    shards: Vec<Ftl<DieHandle>>,
-    /// Host LBA → (die, sub-LBA).
+    ctrl: Arc<FlashController>,
+    shards: Vec<Mutex<Ftl<DieHandle>>>,
+    /// Host LBA → (die, sub-LBA). Immutable after construction, so the
+    /// hot translation path never takes a lock.
     map: Vec<(u32, Lba)>,
     policy: StripePolicy,
     capacity: u64,
     /// Queued-interface bookkeeping (tokens, buffered completions).
-    queue: SubmissionState,
+    queue: Mutex<SubmissionState>,
 }
+
+// Shared across host threads by the fleet and the threaded driver.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedFtl>();
+};
 
 impl ShardedFtl {
     /// Stripe over a controller topology with an empty region table.
@@ -149,7 +172,9 @@ impl ShardedFtl {
         let shards = FlashController::handles(&ctrl)
             .into_iter()
             .zip(per_die)
-            .map(|(handle, regions)| Ftl::with_regions(handle, ftl_config.clone(), regions))
+            .map(|(handle, regions)| {
+                Mutex::new(Ftl::with_regions(handle, ftl_config.clone(), regions))
+            })
             .collect();
         ShardedFtl {
             ctrl,
@@ -157,28 +182,28 @@ impl ShardedFtl {
             map,
             policy,
             capacity,
-            queue: SubmissionState::default(),
+            queue: Mutex::new(SubmissionState::default()),
         }
     }
 
     /// The controller behind the stripes.
-    pub fn controller(&self) -> &Rc<RefCell<FlashController>> {
+    pub fn controller(&self) -> &Arc<FlashController> {
         &self.ctrl
     }
 
     /// Scheduler counters (queue waits, bus occupancy, depths).
     pub fn controller_stats(&self) -> ControllerStats {
-        self.ctrl.borrow().stats()
+        self.ctrl.stats()
     }
 
     /// Barrier: flush every shard's plane-pairing window (a parked write
     /// has been acknowledged but not yet programmed), then wait for every
     /// posted command on every die; returns the merged simulated time.
-    pub fn sync(&mut self) -> u64 {
-        for s in &mut self.shards {
-            s.drain_staged().expect("draining a staged program");
+    pub fn sync(&self) -> u64 {
+        for s in &self.shards {
+            lock(s).drain_staged().expect("draining a staged program");
         }
-        self.ctrl.borrow_mut().sync()
+        self.ctrl.sync()
     }
 
     /// Number of dies the stripe spans.
@@ -191,15 +216,18 @@ impl ShardedFtl {
         self.policy
     }
 
-    /// One die's sub-FTL (inspection only).
-    pub fn shard(&self, die: u32) -> &Ftl<DieHandle> {
-        &self.shards[die as usize]
+    /// One die's sub-FTL, locked for the guard's lifetime. The guard
+    /// derefs mutably, so this covers both inspection and the maintenance
+    /// scheduler's reclaim stepping; keep it short-lived — the die's host
+    /// traffic from other threads queues behind it.
+    pub fn shard(&self, die: u32) -> MutexGuard<'_, Ftl<DieHandle>> {
+        lock(&self.shards[die as usize])
     }
 
-    /// Mutable access to one die's sub-FTL — the maintenance scheduler's
-    /// entry point for stepping that shard's background reclaim.
-    pub fn shard_mut(&mut self, die: u32) -> &mut Ftl<DieHandle> {
-        &mut self.shards[die as usize]
+    /// Alias of [`ShardedFtl::shard`] kept for the historical `&mut`
+    /// accessor's call sites.
+    pub fn shard_mut(&self, die: u32) -> MutexGuard<'_, Ftl<DieHandle>> {
+        self.shard(die)
     }
 
     /// Host LBA → (die, sub-LBA) translation.
@@ -217,14 +245,14 @@ impl ShardedFtl {
     /// Run every shard's exhaustive invariant check.
     pub fn check_invariants(&self) {
         for s in &self.shards {
-            s.check_invariants();
+            lock(s).check_invariants();
         }
     }
 }
 
 impl BlockDevice for ShardedFtl {
     fn page_size(&self) -> usize {
-        self.shards[0].page_size()
+        lock(&self.shards[0]).page_size()
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -232,79 +260,62 @@ impl BlockDevice for ShardedFtl {
     }
 
     fn read(&mut self, lba: Lba, buf: &mut [u8]) -> Result<()> {
-        // Thin wrapper over the queued path: a one-element vector,
-        // submitted and immediately waited on — the classic blocking
-        // read, expressed as submit + poll.
-        if buf.len() != self.page_size() {
-            return Err(FtlError::SizeMismatch {
-                expected: self.page_size(),
-                got: buf.len(),
-            });
-        }
-        // Host point reads ride the priority lane: under a QoS-scheduled
-        // controller they may jump posted bulk work on their die; without
-        // QoS the lane degenerates to exactly the old ReadV path.
-        let token = self.submit(IoRequest::HighPriorityReadV(vec![lba]))?;
-        let completion = self.poll(token).expect("fresh token completes");
-        buf.copy_from_slice(&completion.data[0]);
-        Ok(())
+        self.read_shared(lba, buf)
     }
 
     fn write(&mut self, lba: Lba, data: &[u8]) -> Result<()> {
-        let (die, sub) = self.locate(lba)?;
-        self.shards[die as usize].write(sub, data)
+        self.write_shared(lba, data)
     }
 
     fn trim(&mut self, lba: Lba) -> Result<()> {
-        let (die, sub) = self.locate(lba)?;
-        self.shards[die as usize].trim(sub)
+        self.trim_shared(lba)
     }
 
     fn is_mapped(&self, lba: Lba) -> bool {
         self.locate(lba)
-            .map(|(die, sub)| self.shards[die as usize].is_mapped(sub))
+            .map(|(die, sub)| lock(&self.shards[die as usize]).is_mapped(sub))
             .unwrap_or(false)
     }
 
     fn layout_for(&self, lba: Lba) -> Option<PageLayout> {
         let (die, sub) = self.locate(lba).ok()?;
-        self.shards[die as usize].layout_for(sub)
+        lock(&self.shards[die as usize]).layout_for(sub)
     }
 
     fn device_stats(&self) -> DeviceStats {
-        self.queue
-            .fold_into(self.shards.iter().fold(DeviceStats::default(), |acc, s| {
-                acc.merged(&s.device_stats())
-            }))
+        let merged = self.shards.iter().fold(DeviceStats::default(), |acc, s| {
+            acc.merged(&lock(s).device_stats())
+        });
+        lock(&self.queue).fold_into(merged)
     }
 
     fn flash_stats(&self) -> FlashStats {
-        self.ctrl.borrow().flash_stats()
+        self.ctrl.flash_stats()
     }
 
     fn elapsed_ns(&self) -> u64 {
         // The merged view: as if the host synced right now.
-        self.ctrl.borrow().elapsed_ns()
+        self.ctrl.elapsed_ns()
     }
 
     fn max_erase_count(&self) -> u32 {
-        self.ctrl.borrow().max_erase_count()
+        self.ctrl.max_erase_count()
     }
 
     fn raw_blocks(&self) -> u32 {
-        self.shards.len() as u32 * self.shards[0].raw_blocks()
+        self.shards.len() as u32 * lock(&self.shards[0]).raw_blocks()
     }
 
     fn controller_stats(&self) -> Option<ControllerStats> {
-        Some(self.ctrl.borrow().stats())
+        Some(self.ctrl.stats())
     }
 
     fn set_submission_clock_ns(&mut self, ns: u64) {
-        self.ctrl.borrow_mut().set_host_ns(ns);
+        self.ctrl.set_host_ns(ns);
     }
 
     fn submission_clock_ns(&self) -> u64 {
-        self.ctrl.borrow().host_ns()
+        self.ctrl.host_ns()
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -315,39 +326,72 @@ impl BlockDevice for ShardedFtl {
 impl NativeFlashDevice for ShardedFtl {
     fn write_delta(&mut self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
         let (die, sub) = self.locate(lba)?;
-        self.shards[die as usize].write_delta(sub, offset, delta_bytes)
+        lock(&self.shards[die as usize]).write_delta(sub, offset, delta_bytes)
     }
 }
 
 impl ShardedFtl {
+    /// Blocking point read through `&self` — the threaded driver's entry.
+    /// Rides the priority lane: under a QoS-scheduled controller it may
+    /// jump posted bulk work on its die; without QoS the lane degenerates
+    /// to exactly the plain vectored-read path.
+    pub fn read_shared(&self, lba: Lba, buf: &mut [u8]) -> Result<()> {
+        let page_size = self.page_size_shared();
+        if buf.len() != page_size {
+            return Err(FtlError::SizeMismatch {
+                expected: page_size,
+                got: buf.len(),
+            });
+        }
+        let token = self.submit_io(IoRequest::HighPriorityReadV(vec![lba]))?;
+        let completion = self.poll_io(token).expect("fresh token completes");
+        buf.copy_from_slice(&completion.data[0]);
+        Ok(())
+    }
+
+    /// Page write through `&self`.
+    pub fn write_shared(&self, lba: Lba, data: &[u8]) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        lock(&self.shards[die as usize]).write(sub, data)
+    }
+
+    /// Trim through `&self`.
+    pub fn trim_shared(&self, lba: Lba) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        lock(&self.shards[die as usize]).trim(sub)
+    }
+
+    /// Page size without the `&mut` trait receiver.
+    pub fn page_size_shared(&self) -> usize {
+        lock(&self.shards[0]).page_size()
+    }
+
     /// One member of a vectored read, routed to its die. Called inside a
     /// posted-read window, so the read issues from the vector's
     /// submission instant and its completion lands in the window horizon
     /// instead of the host clock.
-    fn read_member(&mut self, lba: Lba) -> Result<Vec<u8>> {
+    fn read_member(&self, lba: Lba) -> Result<Vec<u8>> {
         let (die, sub) = self.locate(lba)?;
-        let mut buf = vec![0u8; self.shards[die as usize].page_size()];
-        self.shards[die as usize].read(sub, &mut buf)?;
+        let mut shard = lock(&self.shards[die as usize]);
+        let mut buf = vec![0u8; shard.page_size()];
+        shard.read(sub, &mut buf)?;
         Ok(buf)
     }
 
     /// Completion horizon of the die a posted member landed on: the
     /// instant its queued work (this member included) drains.
     fn die_horizon(&self, die: u32) -> u64 {
-        let ctrl = self.ctrl.borrow();
-        ctrl.host_ns() + ctrl.die_busy_ns(die)
+        self.ctrl.host_ns() + self.ctrl.die_busy_ns(die)
     }
-}
 
-/// The native queued face of the stripe: vectored requests fan out
-/// across dies/channels as posted controller commands and complete at
-/// the max of the per-die completion horizons. This is where the queued
-/// API genuinely buys time — the members of a `ReadV` over round-robin
-/// neighbours sense and transfer concurrently, where the sync loop paid
-/// them serially.
-impl IoQueue for ShardedFtl {
-    fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
-        let submitted = self.ctrl.borrow().host_ns();
+    /// The native queued face of the stripe through `&self`: vectored
+    /// requests fan out across dies/channels as posted controller
+    /// commands and complete at the max of the per-die completion
+    /// horizons. This is where the queued API genuinely buys time — the
+    /// members of a `ReadV` over round-robin neighbours sense and
+    /// transfer concurrently, where the sync loop paid them serially.
+    pub fn submit_io(&self, req: IoRequest) -> Result<IoToken> {
+        let submitted = self.ctrl.host_ns();
         let mut done = submitted;
         let mut data = Vec::new();
         let mut rejected = Vec::new();
@@ -355,9 +399,9 @@ impl IoQueue for ShardedFtl {
             IoRequest::ReadV(lbas) | IoRequest::HighPriorityReadV(lbas) => {
                 let priority = matches!(req, IoRequest::HighPriorityReadV(_));
                 if priority {
-                    self.ctrl.borrow_mut().begin_priority_reads();
+                    self.ctrl.begin_priority_reads();
                 } else {
-                    self.ctrl.borrow_mut().begin_posted_reads();
+                    self.ctrl.begin_posted_reads();
                 }
                 let mut result = Ok(());
                 for &lba in lbas {
@@ -372,30 +416,28 @@ impl IoQueue for ShardedFtl {
                 // Close the window even on a failed member, then surface
                 // the error (earlier members' state effects stand).
                 let horizon = if priority {
-                    self.ctrl.borrow_mut().end_priority_reads()
+                    self.ctrl.end_priority_reads()
                 } else {
-                    self.ctrl.borrow_mut().end_posted_reads()
+                    self.ctrl.end_posted_reads()
                 };
                 done = done.max(horizon);
                 if let Err(e) = result {
                     // No completion will ever surface these members:
                     // retire them from the outstanding horizon.
-                    self.ctrl
-                        .borrow_mut()
-                        .note_posted_reads_polled(data.len() as u64);
+                    self.ctrl.note_posted_reads_polled(data.len() as u64);
                     return Err(e);
                 }
             }
             IoRequest::WriteV(pages) => {
                 for (lba, page) in pages {
                     let (die, sub) = self.locate(*lba)?;
-                    self.shards[die as usize].write(sub, page)?;
+                    lock(&self.shards[die as usize]).write(sub, page)?;
                     done = done.max(self.die_horizon(die));
                 }
             }
             IoRequest::WriteDelta { lba, offset, delta } => {
                 let (die, sub) = self.locate(*lba)?;
-                self.shards[die as usize].write_delta(sub, *offset, delta)?;
+                lock(&self.shards[die as usize]).write_delta(sub, *offset, delta)?;
                 done = done.max(self.die_horizon(die));
             }
             IoRequest::WriteDeltaV(members) => {
@@ -404,7 +446,7 @@ impl IoQueue for ShardedFtl {
                 // a per-member in-place rejection is reported, not fatal.
                 for (i, (lba, offset, delta)) in members.iter().enumerate() {
                     let (die, sub) = self.locate(*lba)?;
-                    match self.shards[die as usize].write_delta(sub, *offset, delta) {
+                    match lock(&self.shards[die as usize]).write_delta(sub, *offset, delta) {
                         Ok(()) => done = done.max(self.die_horizon(die)),
                         Err(FtlError::InPlaceRejected { .. }) => rejected.push(i),
                         Err(e) => return Err(e),
@@ -413,7 +455,7 @@ impl IoQueue for ShardedFtl {
             }
             IoRequest::Trim(lba) => {
                 let (die, sub) = self.locate(*lba)?;
-                self.shards[die as usize].trim(sub)?;
+                lock(&self.shards[die as usize]).trim(sub)?;
             }
             IoRequest::Flush => {
                 // A write barrier, not a time barrier: only dies whose
@@ -421,7 +463,8 @@ impl IoQueue for ShardedFtl {
                 // completion — other streams' unrelated posted work must
                 // not be pulled into this client's wait.
                 let mut drained = Vec::new();
-                for (die, s) in self.shards.iter_mut().enumerate() {
+                for (die, s) in self.shards.iter().enumerate() {
+                    let mut s = lock(s);
                     if s.has_staged() {
                         s.drain_staged()?;
                         drained.push(die as u32);
@@ -432,22 +475,79 @@ impl IoQueue for ShardedFtl {
                 }
             }
         }
-        self.queue.count_request(&req);
-        Ok(self
-            .queue
-            .complete_with_rejections(data, rejected, submitted, done))
+        let mut queue = lock(&self.queue);
+        queue.count_request(&req);
+        Ok(queue.complete_with_rejections(data, rejected, submitted, done))
+    }
+
+    /// Poll through `&self` (see [`IoQueue::poll`]).
+    pub fn poll_io(&self, token: IoToken) -> Option<IoCompletion> {
+        let completion = lock(&self.queue).take(token)?;
+        self.finish_poll(&completion);
+        Some(completion)
+    }
+
+    /// Poll with typed misuse detection (see [`IoQueue::poll_checked`]).
+    pub fn poll_io_checked(&self, token: IoToken) -> Result<IoCompletion> {
+        let completion = lock(&self.queue).take_checked(token)?;
+        self.finish_poll(&completion);
+        Ok(completion)
+    }
+
+    fn finish_poll(&self, completion: &IoCompletion) {
+        // Waiting for a completion is what moves the submitting client's
+        // clock — a completion already in the past costs nothing. The
+        // monotone advance makes the wait safe under concurrent pollers.
+        self.ctrl.advance_host_ns(completion.done_ns);
+        self.ctrl
+            .note_posted_reads_polled(completion.data.len() as u64);
+    }
+
+    /// Native delta append through `&self` (see
+    /// [`NativeFlashDevice::write_delta`]).
+    pub fn write_delta_shared(&self, lba: Lba, offset: usize, delta_bytes: &[u8]) -> Result<()> {
+        let (die, sub) = self.locate(lba)?;
+        lock(&self.shards[die as usize]).write_delta(sub, offset, delta_bytes)
+    }
+
+    /// [`IoQueue::note_readahead_hit`] through `&self`.
+    pub fn note_readahead_hit_shared(&self) {
+        lock(&self.queue).readahead_hits += 1;
+    }
+
+    /// [`IoQueue::note_wal_stripe_write`] through `&self`.
+    pub fn note_wal_stripe_write_shared(&self) {
+        lock(&self.queue).wal_stripe_writes += 1;
+    }
+
+    /// [`IoQueue::note_wal_stripe_reclaimed`] through `&self`.
+    pub fn note_wal_stripe_reclaimed_shared(&self) {
+        lock(&self.queue).wal_stripes_reclaimed += 1;
+    }
+
+    /// Forget through `&self` (see [`IoQueue::forget`]).
+    pub fn forget_io(&self, token: IoToken) {
+        // Retire the abandoned completion from the controller's
+        // posted-read horizon: an unforgotten forget left the outstanding
+        // gauge drifting and `sync` accounting for data nobody wants.
+        if let Some(completion) = lock(&self.queue).forget(token) {
+            self.ctrl
+                .retire_forgotten_reads(completion.data.len() as u64);
+        }
+    }
+}
+
+impl IoQueue for ShardedFtl {
+    fn submit(&mut self, req: IoRequest) -> Result<IoToken> {
+        self.submit_io(req)
     }
 
     fn poll(&mut self, token: IoToken) -> Option<IoCompletion> {
-        let completion = self.queue.take(token)?;
-        // Waiting for a completion is what moves the submitting client's
-        // clock — a completion already in the past costs nothing.
-        let mut ctrl = self.ctrl.borrow_mut();
-        if completion.done_ns > ctrl.host_ns() {
-            ctrl.set_host_ns(completion.done_ns);
-        }
-        ctrl.note_posted_reads_polled(completion.data.len() as u64);
-        Some(completion)
+        self.poll_io(token)
+    }
+
+    fn poll_checked(&mut self, token: IoToken) -> Result<IoCompletion> {
+        self.poll_io_checked(token)
     }
 
     fn sync(&mut self) -> u64 {
@@ -455,26 +555,19 @@ impl IoQueue for ShardedFtl {
     }
 
     fn forget(&mut self, token: IoToken) {
-        // Retire the abandoned completion from the controller's
-        // posted-read horizon: an unforgotten forget left the outstanding
-        // gauge drifting and `sync` accounting for data nobody wants.
-        if let Some(completion) = self.queue.forget(token) {
-            self.ctrl
-                .borrow_mut()
-                .retire_forgotten_reads(completion.data.len() as u64);
-        }
+        self.forget_io(token)
     }
 
     fn note_readahead_hit(&mut self) {
-        self.queue.readahead_hits += 1;
+        lock(&self.queue).readahead_hits += 1;
     }
 
     fn note_wal_stripe_write(&mut self) {
-        self.queue.wal_stripe_writes += 1;
+        lock(&self.queue).wal_stripe_writes += 1;
     }
 
     fn note_wal_stripe_reclaimed(&mut self) {
-        self.queue.wal_stripes_reclaimed += 1;
+        lock(&self.queue).wal_stripes_reclaimed += 1;
     }
 }
 
@@ -781,5 +874,53 @@ mod tests {
             "churn must trigger per-die GC"
         );
         striped.check_invariants();
+    }
+
+    #[test]
+    fn threaded_disjoint_windows_match_the_serial_run() {
+        // Tentpole wall at the stripe level: N threads writing and
+        // reading disjoint LBA windows through one Arc<ShardedFtl> end
+        // with exactly the bytes the serial walk produces.
+        use std::sync::Arc;
+        use std::thread;
+        let serial = {
+            let mut s = sharded(2, 2, StripePolicy::RoundRobin);
+            for lba in 0..64u64 {
+                let data = vec![(lba % 251) as u8; 2048];
+                s.write(lba, &data).unwrap();
+            }
+            s.sync();
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; 2048];
+            for lba in 0..64u64 {
+                s.read(lba, &mut buf).unwrap();
+                out.push(buf[0]);
+            }
+            out
+        };
+        let threaded = {
+            let s = Arc::new(sharded(2, 2, StripePolicy::RoundRobin));
+            thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || {
+                        for lba in (t * 16)..(t * 16 + 16) {
+                            let data = vec![(lba % 251) as u8; 2048];
+                            s.write_shared(lba, &data).unwrap();
+                        }
+                    });
+                }
+            });
+            s.sync();
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; 2048];
+            for lba in 0..64u64 {
+                s.read_shared(lba, &mut buf).unwrap();
+                out.push(buf[0]);
+            }
+            s.check_invariants();
+            out
+        };
+        assert_eq!(serial, threaded, "logical state must be thread-invariant");
     }
 }

@@ -161,6 +161,12 @@ impl IoQueue for MaintainedFtl {
         completion
     }
 
+    fn poll_checked(&mut self, token: IoToken) -> Result<IoCompletion> {
+        let completion = self.inner.poll_checked(token);
+        self.poll_maint_deferred();
+        completion
+    }
+
     fn sync(&mut self) -> u64 {
         let merged = IoQueue::sync(&mut self.inner);
         self.poll_maint_deferred();

@@ -2,8 +2,7 @@
 
 use ipa_controller::{CommandKind, FlashController, TracePhase};
 use ipa_ftl::{GcProgress, Result, ShardedFtl};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::config::MaintConfig;
 use crate::stats::MaintStats;
@@ -66,7 +65,7 @@ impl MaintenanceScheduler {
     /// One scheduling round over all shards (see the type docs).
     pub fn poll(&mut self, ftl: &mut ShardedFtl) -> Result<()> {
         self.stats.polls += 1;
-        let ctrl: Rc<RefCell<FlashController>> = Rc::clone(ftl.controller());
+        let ctrl: Arc<FlashController> = Arc::clone(ftl.controller());
 
         // Snapshot the needy dies with their urgency and wear keys.
         let mut pending: Vec<(u32 /* free */, u64 /* wear */, u32 /* die */)> = Vec::new();
@@ -74,14 +73,14 @@ impl MaintenanceScheduler {
             let shard = ftl.shard(die);
             let threshold = shard.gc_low_water() + self.cfg.early_blocks;
             if shard.gc_pending(threshold) {
-                let wear = ctrl.borrow().die_erase_count(die);
+                let wear = ctrl.die_erase_count(die);
                 pending.push((shard.free_block_count(), wear, die));
             }
         }
         pending.sort_unstable();
 
         for (_, _, die) in pending {
-            if !ctrl.borrow().die_idle(die) {
+            if !ctrl.die_idle(die) {
                 self.stats.deferred_busy += 1;
                 continue;
             }
@@ -89,15 +88,14 @@ impl MaintenanceScheduler {
             // Mark the dispatch decision on the die's trace track (no-op
             // without a tracer): the copy-backs/erases that follow carry
             // the `internal` origin and attribute to this instant.
-            ctrl.borrow_mut()
-                .trace_instant(die, CommandKind::ReclaimStep, TracePhase::Dispatched);
-            ctrl.borrow_mut().begin_internal();
+            ctrl.trace_instant(die, CommandKind::ReclaimStep, TracePhase::Dispatched);
+            ctrl.begin_internal();
             let outcome = self.run_steps(ftl, die, threshold);
-            ctrl.borrow_mut().end_internal();
+            ctrl.end_internal();
             outcome?;
         }
 
-        let cstats = ctrl.borrow().stats();
+        let cstats = ctrl.stats();
         self.stats.max_wear_spread = self.stats.max_wear_spread.max(cstats.wear_spread());
         self.stats.erase_suspends_seen = cstats.erase_suspends;
         Ok(())
@@ -155,7 +153,12 @@ mod tests {
             // Catch the host clock up so dies fall idle again between
             // polls (in live traffic, host reads/CPU time do this).
             s.sync();
-            (0..s.dies()).any(|d| s.shard(d).gc_pending(s.shard(d).gc_low_water()))
+            (0..s.dies()).any(|d| {
+                // Two sequential guards: nesting the calls would lock the
+                // shard mutex reentrantly.
+                let lw = s.shard(d).gc_low_water();
+                s.shard(d).gc_pending(lw)
+            })
         } {}
         let st = sched.stats();
         assert!(st.erases > 0, "idle polls must complete reclaims: {st}");

@@ -35,5 +35,7 @@ pub use metrics::{Metric, MetricKind, MetricSection, MetricValue, MetricsSnapsho
 ///
 /// `None` (the default everywhere) short-circuits every emission to a
 /// single branch, which is what keeps the parity walls bit-identical
-/// with tracing disabled.
-pub type SharedSink = std::rc::Rc<std::cell::RefCell<dyn TraceSink>>;
+/// with tracing disabled. The handle is `Arc<Mutex<..>>` (not
+/// `Rc<RefCell<..>>`) so a controller shared across host threads can
+/// keep emitting; with tracing off the mutex is never touched.
+pub type SharedSink = std::sync::Arc<std::sync::Mutex<dyn TraceSink + Send>>;

@@ -11,8 +11,10 @@ use rand::SeedableRng;
 
 use ipa_controller::{ControllerConfig, ControllerStats, FlashController};
 use ipa_core::NmScheme;
-use ipa_flash::{DeviceConfig, FlashMode, FlashStats, Geometry};
-use ipa_ftl::{DeviceStats, ShardedFtl, StripePolicy, WriteStrategy};
+use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, FlashStats, Geometry};
+use ipa_ftl::{
+    BlockDevice, DeviceStats, FtlConfig, IoRequest, ShardedFtl, StripePolicy, WriteStrategy,
+};
 use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine, TableKind};
 use ipa_trace::{LatencyHistogram, MetricsSnapshot, RingRecorder, TraceEvent};
@@ -452,25 +454,23 @@ impl RunResult {
 }
 
 /// Cross-client fairness of a set of per-client p99.9 latencies: the
-/// max/min ratio. 1.0 is perfect fairness; a starved client drives the
-/// ratio up. Degenerate inputs stay meaningful: an empty set or all-zero
-/// tails (no samples anywhere) report 1.0, while a zero *minimum* against
-/// a nonzero maximum — one client never measured — reports infinity
-/// rather than masking the starvation.
+/// max/min ratio over the clients that *measured anything*. 1.0 is
+/// perfect fairness; a starved-but-measuring client drives the ratio up.
+///
+/// A zero tail means the stream recorded no reads at all (a write-only
+/// tenant, or a round too short to sample) — not an infinitely fast one —
+/// so zero entries are excluded instead of poisoning the ratio with a
+/// zero denominator (the old behaviour returned `inf`, which any
+/// `spread < threshold` assertion silently converts into a guaranteed
+/// failure, and one sample plus rounding could produce NaN). An empty
+/// set, or a set with no measuring streams, reports 1.0.
 pub fn fairness_spread(p999s: &[u64]) -> f64 {
-    let Some(&max) = p999s.iter().max() else {
+    let measured = p999s.iter().copied().filter(|&p| p > 0);
+    let Some(max) = measured.clone().max() else {
         return 1.0;
     };
-    let min = *p999s.iter().min().unwrap();
-    if min == 0 {
-        if max == 0 {
-            1.0
-        } else {
-            f64::INFINITY
-        }
-    } else {
-        max as f64 / min as f64
-    }
+    let min = measured.min().unwrap();
+    max as f64 / min as f64
 }
 
 /// One sequential-scan measurement (the read-ahead experiment).
@@ -530,25 +530,22 @@ impl Driver {
         let ctrl = Self::controller_of(engine);
         if cfg.bounded_latency {
             if let Some(c) = &ctrl {
-                c.borrow_mut().set_bounded_read_latencies(true);
+                c.set_bounded_read_latencies(true);
             }
         }
         // Read-latency samples accumulated before the measured window
         // (load + warm-up) are excluded by remembering the cursor; the
         // histogram is windowed the same way via a snapshot + delta.
-        let read_lat_cursor = ctrl
-            .as_ref()
-            .map(|c| c.borrow().read_latencies().len())
-            .unwrap_or(0);
+        let read_lat_cursor = ctrl.as_ref().map(|c| c.read_latency_count()).unwrap_or(0);
         let hist_before = ctrl
             .as_ref()
-            .map(|c| c.borrow().read_latency_histogram())
+            .map(|c| c.read_latency_histogram())
             .unwrap_or_default();
         let recorder = cfg.trace_capacity.and_then(|cap| {
             ctrl.as_ref().map(|c| {
-                let rec = std::rc::Rc::new(std::cell::RefCell::new(RingRecorder::new(cap)));
-                c.borrow_mut()
-                    .set_tracer(rec.clone() as ipa_trace::SharedSink);
+                let rec = std::sync::Arc::new(std::sync::Mutex::new(RingRecorder::new(cap)));
+                let sink: ipa_trace::SharedSink = rec.clone();
+                c.set_tracer(sink);
                 rec
             })
         });
@@ -632,16 +629,18 @@ impl Driver {
         let (trace, trace_dropped) = match &recorder {
             Some(rec) => {
                 if let Some(c) = &ctrl {
-                    c.borrow_mut().clear_tracer();
+                    c.clear_tracer();
                 }
-                let rec = rec.borrow();
+                let rec = rec
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 (rec.to_vec(), rec.dropped())
             }
             None => (Vec::new(), 0),
         };
         let read_latency_hist = ctrl
             .as_ref()
-            .map(|c| c.borrow().read_latency_histogram())
+            .map(|c| c.read_latency_histogram())
             .unwrap_or_default()
             .delta_since(&hist_before);
 
@@ -691,9 +690,9 @@ impl Driver {
             raw_blocks: engine.pool().device().raw_blocks(),
             latency: LatencyPercentiles::from_samples(samples),
             read_latency: match &ctrl {
-                Some(c) if !cfg.bounded_latency => LatencyPercentiles::from_samples(
-                    c.borrow().read_latencies()[read_lat_cursor..].to_vec(),
-                ),
+                Some(c) if !cfg.bounded_latency => {
+                    LatencyPercentiles::from_samples(c.read_latencies()[read_lat_cursor..].to_vec())
+                }
                 Some(_) => LatencyPercentiles::from_histogram(&read_latency_hist),
                 None => LatencyPercentiles::default(),
             },
@@ -712,15 +711,13 @@ impl Driver {
     /// The controller behind the engine's device, whichever wrapper it
     /// sits under (`MaintainedFtl` or a bare `ShardedFtl`). `None` for
     /// single-chip devices.
-    pub fn controller_of(
-        engine: &StorageEngine,
-    ) -> Option<std::rc::Rc<std::cell::RefCell<FlashController>>> {
+    pub fn controller_of(engine: &StorageEngine) -> Option<std::sync::Arc<FlashController>> {
         if let Some(m) = engine.device_as::<MaintainedFtl>() {
-            return Some(std::rc::Rc::clone(m.inner().controller()));
+            return Some(std::sync::Arc::clone(m.inner().controller()));
         }
         engine
             .device_as::<ShardedFtl>()
-            .map(|s| std::rc::Rc::clone(s.controller()))
+            .map(|s| std::sync::Arc::clone(s.controller()))
     }
 
     /// One-call experiment: build the benchmark, size a device for it,
@@ -1013,6 +1010,240 @@ impl Driver {
     }
 }
 
+/// Parameters of a [`Driver::run_threaded`] churn run.
+///
+/// The workload is defined by `streams`, not by `threads`: a fixed set of
+/// `streams` logical clients, each owning a disjoint die-affine LBA
+/// window on a standalone striped device and executing a deterministic
+/// per-stream op sequence. `threads` only decides how many OS threads
+/// the streams are distributed over — so any two runs with equal
+/// `streams` (and the rest of the config equal) end in the same logical
+/// state and the same host-op counters, whatever the thread count or OS
+/// scheduling. That is the threaded determinism wall.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// OS threads submitting concurrently. 1 = the serial reference.
+    pub threads: u32,
+    /// Logical client streams (the workload's identity). Must be ≥ 1;
+    /// distributed round-robin over the threads.
+    pub streams: u32,
+    /// Ops per stream (3 writes : 1 read).
+    pub ops_per_stream: u64,
+    /// Slots (distinct LBAs) in each stream's private window.
+    pub window: u64,
+    /// Workload and device RNG seed.
+    pub seed: u64,
+    /// Shared-device topology. Round-robin striping makes the per-stream
+    /// windows die-affine (streams ≤ dies ⇒ zero die-lock contention).
+    pub topology: Topology,
+    /// Latency-QoS scheduling on the shared controller.
+    pub qos: bool,
+    /// NCQ cap on the shared controller.
+    pub queue_cap: Option<usize>,
+    /// Device page size, bytes.
+    pub page_size: usize,
+    /// Bounded read-latency accounting (the long-soak default). Opt out
+    /// only to use the exact sample buffer as an oracle.
+    pub bounded_latency: bool,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            threads: 1,
+            streams: 8,
+            ops_per_stream: 1_500,
+            window: 48,
+            seed: 0x7C_B5EED,
+            topology: Topology::new(4, 2, StripePolicy::RoundRobin),
+            qos: false,
+            queue_cap: None,
+            page_size: 2048,
+            bounded_latency: true,
+        }
+    }
+}
+
+impl ThreadedConfig {
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        assert!(threads >= 1, "at least one submitting thread");
+        self.threads = threads;
+        self
+    }
+}
+
+/// What a [`Driver::run_threaded`] run measured.
+#[derive(Debug, Clone)]
+pub struct ThreadedRunResult {
+    /// OS threads that submitted.
+    pub threads: u32,
+    /// Logical streams executed.
+    pub streams: u32,
+    /// Host ops submitted (writes + reads, digest pass excluded).
+    pub ops: u64,
+    /// Host wall-clock time of the submission phase, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated device horizon after the final sync, nanoseconds.
+    pub sim_ns: u64,
+    /// FNV-1a digest over the final logical contents of every stream
+    /// window, read back in canonical (stream, slot) order. Equal digests
+    /// ⇒ identical host-visible final state.
+    pub logical_digest: u64,
+    /// Device counters at the end of the submission phase.
+    pub device: DeviceStats,
+}
+
+impl ThreadedRunResult {
+    /// Simulated host ops retired per second of *host wall-clock* — the
+    /// harness-throughput figure the threads-scaling sweep reports.
+    pub fn wall_ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
+impl Driver {
+    /// Multi-threaded churn over one shared [`ShardedFtl`]: `threads` OS
+    /// threads drive `streams` deterministic client streams concurrently
+    /// through the device's queued face ([`ipa_ftl::IoQueue`] semantics
+    /// via the `&self` submit/poll API). Each stream owns a private LBA
+    /// window (die-affine under round-robin striping), keeps a model of
+    /// what it wrote, and verifies every read against it — so the run is
+    /// itself a wall, not just a throughput meter.
+    ///
+    /// Timing-independent outputs (`logical_digest`, host-op counters in
+    /// `device`) depend only on `cfg.streams` and the per-stream
+    /// sequences — never on `cfg.threads`; `tests/threaded_parity.rs`
+    /// holds that equivalence. Timing-dependent counters (GC, queue
+    /// waits, latencies) legitimately vary with interleaving when
+    /// several streams share a die.
+    pub fn run_threaded(cfg: &ThreadedConfig) -> ThreadedRunResult {
+        use rand::Rng as _;
+        assert!(cfg.threads >= 1 && cfg.streams >= 1);
+        let topo = cfg.topology;
+        let dies = topo.dies() as u64;
+        let ranks = (cfg.streams as u64).div_ceil(dies);
+
+        // Size the device for every stream's window plus GC headroom.
+        let ppb = 32u32;
+        let usable_ppb = FlashMode::Slc.usable_pages_per_block(ppb) as u64;
+        let subs_per_die = ranks * cfg.window;
+        let blocks_per_die = ((subs_per_die * 14 / 10).div_ceil(usable_ppb) as u32 + 8)
+            .max(12)
+            .next_multiple_of(topo.planes);
+        let chip = DeviceConfig::new(
+            Geometry::new(blocks_per_die, ppb, cfg.page_size, 64).with_planes(topo.planes),
+            FlashMode::Slc,
+        )
+        .with_disturb(DisturbRates::none())
+        .with_seed(cfg.seed);
+        let mut controller = ControllerConfig::new(topo.channels, topo.dies_per_channel, chip);
+        if let Some(cap) = cfg.queue_cap {
+            controller = controller.with_queue_cap(cap);
+        }
+        if cfg.qos {
+            controller = controller.with_qos();
+        }
+        let dev = std::sync::Arc::new(ShardedFtl::new(
+            controller,
+            FtlConfig::traditional(),
+            topo.policy,
+        ));
+        dev.controller()
+            .set_bounded_read_latencies(cfg.bounded_latency);
+        assert!(
+            ranks * cfg.window * dies <= dev.capacity_pages(),
+            "threaded windows exceed device capacity"
+        );
+
+        // Stream s owns slots {(rank·window + slot)·dies + die} with
+        // die = s mod dies, rank = s div dies: disjoint by construction,
+        // and exactly one round-robin die per stream.
+        let lba_of = |s: u64, slot: u64| ((s / dies) * cfg.window + slot) * dies + (s % dies);
+
+        let run_stream = |s: u64| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (s).wrapping_mul(0xA24B_AED4_963E_E407));
+            let mut model: std::collections::HashMap<u64, u8> = Default::default();
+            let mut buf = vec![0u8; cfg.page_size];
+            for i in 0..cfg.ops_per_stream {
+                let slot = rng.gen_range(0..cfg.window);
+                let lba = lba_of(s, slot);
+                if i % 4 == 3 && model.contains_key(&slot) {
+                    // Point read on the priority lane, checked against
+                    // the stream's own model (read-your-writes holds per
+                    // LBA whatever the cross-stream interleaving).
+                    dev.read_shared(lba, &mut buf)
+                        .expect("modelled slot must read back");
+                    let want = model[&slot];
+                    assert!(
+                        buf.iter().all(|&b| b == want),
+                        "stream {s}: slot {slot} returned foreign data"
+                    );
+                } else {
+                    let fill = ((s * 131 + slot * 31 + i) % 251) as u8;
+                    let token = dev
+                        .submit_io(IoRequest::WriteV(vec![(lba, vec![fill; cfg.page_size])]))
+                        .expect("write submits");
+                    dev.poll_io_checked(token).expect("fresh token completes");
+                    model.insert(slot, fill);
+                }
+            }
+        };
+
+        let wall_start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..cfg.threads {
+                let run_stream = &run_stream;
+                scope.spawn(move || {
+                    for s in (t..cfg.streams).step_by(cfg.threads as usize) {
+                        run_stream(s as u64);
+                    }
+                });
+            }
+        });
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        let sim_ns = dev.sync();
+        let device = dev.device_stats();
+
+        // Canonical read-back digest of the final logical state. Runs
+        // after the stats snapshot so the digest pass never perturbs the
+        // counters the parity wall compares.
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fnv = |byte: u8| {
+            digest ^= byte as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let mut buf = vec![0u8; cfg.page_size];
+        for s in 0..cfg.streams as u64 {
+            for slot in 0..cfg.window {
+                let lba = lba_of(s, slot);
+                if dev.is_mapped(lba) {
+                    dev.read_shared(lba, &mut buf).expect("mapped page reads");
+                    for &b in &buf {
+                        fnv(b);
+                    }
+                } else {
+                    fnv(0xFF);
+                }
+            }
+        }
+        dev.check_invariants();
+
+        ThreadedRunResult {
+            threads: cfg.threads,
+            streams: cfg.streams,
+            ops: cfg.streams as u64 * cfg.ops_per_stream,
+            wall_ns,
+            sim_ns,
+            logical_digest: digest,
+            device,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1123,10 +1354,37 @@ mod latency_tests {
         assert_eq!(fairness_spread(&[77]), 1.0);
         assert_eq!(fairness_spread(&[]), 1.0, "no clients, nothing unfair");
         assert_eq!(fairness_spread(&[0, 0]), 1.0, "no samples anywhere");
-        assert!(
-            fairness_spread(&[0, 500]).is_infinite(),
-            "a never-measured client is starvation, not fairness"
-        );
+    }
+
+    #[test]
+    fn fairness_spread_ignores_streams_with_no_reads() {
+        // A zero p99.9 is "this stream never measured a read", not "this
+        // stream was infinitely fast": it must drop out of the ratio
+        // instead of making the spread inf (or NaN through downstream
+        // arithmetic) and poisoning every `spread < bound` assertion.
+        assert_eq!(fairness_spread(&[0, 500]), 1.0);
+        assert_eq!(fairness_spread(&[0, 300, 600]), 2.0);
+        assert!(fairness_spread(&[0, 500]).is_finite());
+        assert!(!fairness_spread(&[0, 0, 9]).is_nan());
+    }
+
+    #[test]
+    fn threaded_run_is_thread_count_invariant() {
+        let cfg = ThreadedConfig {
+            streams: 4,
+            ops_per_stream: 200,
+            window: 16,
+            topology: Topology::new(2, 2, StripePolicy::RoundRobin),
+            ..Default::default()
+        };
+        let serial = Driver::run_threaded(&cfg);
+        let threaded = Driver::run_threaded(&cfg.with_threads(2));
+        assert_eq!(serial.logical_digest, threaded.logical_digest);
+        assert_eq!(serial.ops, threaded.ops);
+        assert_eq!(serial.device.host_writes, threaded.device.host_writes);
+        assert_eq!(serial.device.host_reads, threaded.device.host_reads);
+        assert!(threaded.wall_ns > 0 && threaded.sim_ns > 0);
+        assert!(threaded.wall_ops_per_sec() > 0.0);
     }
 }
 

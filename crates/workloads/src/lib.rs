@@ -18,7 +18,7 @@ pub mod util;
 
 pub use driver::{
     fairness_spread, Driver, DriverConfig, LatencyPercentiles, MaintMode, RunResult, ScanResult,
-    StreamLatency, Topology,
+    StreamLatency, ThreadedConfig, ThreadedRunResult, Topology,
 };
 pub use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 pub use ipa_trace::{

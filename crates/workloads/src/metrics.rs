@@ -93,7 +93,6 @@ pub fn engine_metrics(engine: &StorageEngine) -> MetricsSnapshot {
     );
 
     if let Some(ctrl) = Driver::controller_of(engine) {
-        let ctrl = ctrl.borrow();
         let c = ctrl.stats();
         let mut sec = MetricSection::new("controller")
             .counter("commands", c.commands)

@@ -10,8 +10,7 @@
 //! histogram must agree with the exact-sample oracle to within its
 //! log2 bucket at every reported quantile.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ipa_controller::{RingRecorder, SharedSink, TracePhase};
 use ipa_core::NmScheme;
@@ -51,23 +50,25 @@ fn trace_reconciles_with_controller_stats() {
     // Attach the recorder mid-life and window the controller's counters,
     // latency samples and histogram from the same instant.
     let ctrl = Driver::controller_of(&engine).expect("striped device has a controller");
-    let before = ctrl.borrow().stats();
-    let hist_before = ctrl.borrow().read_latency_histogram();
-    let cursor = ctrl.borrow().read_latencies().len();
-    let rec = Rc::new(RefCell::new(RingRecorder::new(1 << 22)));
-    ctrl.borrow_mut().set_tracer(rec.clone() as SharedSink);
-    assert!(ctrl.borrow().tracing_enabled());
+    let before = ctrl.stats();
+    let hist_before = ctrl.read_latency_histogram();
+    let cursor = ctrl.read_latency_count();
+    let rec = Arc::new(Mutex::new(RingRecorder::new(1 << 22)));
+    let sink: SharedSink = rec.clone();
+    ctrl.set_tracer(sink);
+    assert!(ctrl.tracing_enabled());
 
     for _ in 0..6_000 {
         bench.run_tx(&mut engine, &mut rng).expect("measured tx");
     }
     engine.flush_all().expect("flush");
 
-    ctrl.borrow_mut().clear_tracer();
-    let after = ctrl.borrow().stats();
+    ctrl.clear_tracer();
+    let after = ctrl.stats();
     let d = after.delta_since(&before);
-    let events = rec.borrow().to_vec();
-    assert_eq!(rec.borrow().dropped(), 0, "ring must not have evicted");
+    let rec = rec.lock().unwrap();
+    let events = rec.to_vec();
+    assert_eq!(rec.dropped(), 0, "ring must not have evicted");
     assert!(!events.is_empty());
 
     // Event counts == counter deltas, phase by phase. This is the claim
@@ -119,11 +120,8 @@ fn trace_reconciles_with_controller_stats() {
     // The bounded histogram agrees with the exact-sample oracle over the
     // same window: same count, and every reported quantile in the same
     // log2 bucket (the histogram's resolution guarantee).
-    let hist = ctrl
-        .borrow()
-        .read_latency_histogram()
-        .delta_since(&hist_before);
-    let exact = LatencyPercentiles::from_samples(ctrl.borrow().read_latencies()[cursor..].to_vec());
+    let hist = ctrl.read_latency_histogram().delta_since(&hist_before);
+    let exact = LatencyPercentiles::from_samples(ctrl.read_latencies()[cursor..].to_vec());
     assert_eq!(hist.count(), exact.count);
     assert!(hist.count() > 1_000, "enough reads for a p99.9");
     for (q, e) in [
