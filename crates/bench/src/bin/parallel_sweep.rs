@@ -16,8 +16,9 @@
 //!   cargo run --release -p ipa-bench --bin parallel_sweep \
 //!       [--tx=1200] [--streams=8] [--seed=N] [--scale=1] \
 //!       [--maint-tx=N] [--cap=1] [--planes=N] [--readahead[=W]] \
-//!       [--wal-stripe[=C]] [--qos] [--fleet] [--threads=N] \
-//!       [--csv <path>] [--trace=<out.json>] [--metrics=<out.json>]
+//!       [--wal-stripe[=C]] [--qos] [--heat[=theta]] [--fleet] \
+//!       [--threads=N] [--csv <path>] [--trace=<out.json>] \
+//!       [--metrics=<out.json>]
 //!
 //! `--planes=N` (N > 1) appends a plane-scaling section: the write-heavy
 //! traditional path on fixed channels × dies, planes swept over
@@ -40,6 +41,15 @@
 //! erase-suspend under reclaim erases), reporting the p99.9 *read*
 //! latency delta plus the promotion/suspension counters. Exits non-zero
 //! if QoS makes the read tail worse.
+//!
+//! `--heat[=theta]` (default θ = 0.99) appends the heat-placement sweep:
+//! TPC-B on the widest topology with uniform vs Zipf(θ) account draws,
+//! each run on the fixed round-robin stripe and again behind the
+//! `ipa-heat` device (SLC hot tier + wear-shifting migration). Rows
+//! report wear spread, tier hits, stripe-slot migrations and destages;
+//! the section exits non-zero if the tier never absorbs the Zipfian hot
+//! set or the heat device ends with a wider erase spread than the fixed
+//! stripe under the same skew.
 //!
 //! `--fleet` appends the multi-tenant crash/recovery soak smoke
 //! (`--fleet-tenants`, default 8; `--fleet-rounds`, default 10): N
@@ -80,8 +90,8 @@ use ipa_ftl::{StripePolicy, WriteStrategy};
 use ipa_trace::json::JsonValue;
 use ipa_trace::{chrome_trace_json, json, MetricsSnapshot, TracePhase};
 use ipa_workloads::{
-    Driver, DriverConfig, MaintMode, RunResult, ThreadedConfig, ThreadedRunResult, Topology,
-    WorkloadKind,
+    Driver, DriverConfig, HeatPolicy, MaintMode, RunResult, ThreadedConfig, ThreadedRunResult,
+    Topology, WorkloadKind,
 };
 
 /// One CSV row; shared by both sections.
@@ -94,18 +104,23 @@ fn csv_row(
     r: &RunResult,
     speedup: f64,
 ) {
-    let c = r.controller.unwrap_or_default();
+    let c = r.controller.clone().unwrap_or_default();
     let (bg_steps, busy_skips) = r
         .maint
         .map(|m| (m.steps, m.deferred_busy))
         .unwrap_or((0, 0));
+    let (hot_hits, migrations, destages) = r
+        .heat
+        .as_ref()
+        .map(|h| (h.hot_hits, h.range_migrations, h.destaged_pages))
+        .unwrap_or((0, 0, 0));
     out.push_str(&format!(
         "{section},{topo},{planes},{gc},{cap},{workload},{tps:.1},{speedup:.3},{p50},{p99},\
          {p999},{max},{wait:.1},{depth},{stalls},{stall_ns},{gc_erases},{bg_erases},{bg_steps},\
          {busy_skips},{wear_spread},{appends:.4},{programs_per_sec:.1},{mp_pairs},\
          {vectored_reads},{vectored_writes},{readahead_hits},{wal_stripe_writes},\
          {p999_read_ns},{reads_promoted},{erase_suspends},0,0,0,0,{die_util:.4},{chan_util:.4},\
-         1,0.0\n",
+         1,0.0,{hot_hits},{migrations},{destages}\n",
         die_util = c.die_util_max(),
         chan_util = c.chan_util_max(),
         planes = topo.planes,
@@ -176,7 +191,7 @@ fn main() {
          busy_skips,wear_spread,in_place_fraction,programs_per_sec,multi_plane_pairs,\
          vectored_reads,vectored_writes,readahead_hits,wal_stripe_writes,p999_read_ns,\
          reads_promoted,erase_suspends,tenants,kills,recoveries,wal_stripes_reclaimed,\
-         die_util_max,chan_util_max,threads,wall_ops_per_sec\n",
+         die_util_max,chan_util_max,threads,wall_ops_per_sec,hot_hits,migrations,destages\n",
     );
 
     let topologies = [
@@ -236,6 +251,7 @@ fn main() {
             speedups.push(speedup);
             let (wait, depth) = r
                 .controller
+                .as_ref()
                 .map(|c| (c.mean_wait_ns() / 1e3, c.max_queue_depth))
                 .unwrap_or((0.0, 0));
             println!(
@@ -330,7 +346,7 @@ fn main() {
             let b = base.get_or_insert_with(|| r.clone());
             let d99 = ipa_bench::pct(r.latency.p99_ns as f64, b.latency.p99_ns as f64);
             let d999 = ipa_bench::pct(r.latency.p999_ns as f64, b.latency.p999_ns as f64);
-            let c = r.controller.unwrap_or_default();
+            let c = r.controller.clone().unwrap_or_default();
             println!(
                 "{:<12}{:>10}{:>10.0}{:>11.1}{:>12}{:>13.1}{:>14}{:>12}{:>12.2}{:>8}",
                 label,
@@ -475,7 +491,7 @@ fn main() {
             csv.push_str(&format!(
                 "scan,{scan_topo},{planes},inline,,{workload},{pps:.1},{speedup:.3},0,0,0,0,0.0,\
                  0,0,0,0,0,0,0,0,0.0000,0.0,0,{vr},0,{rah},0,0,0,0,0,0,0,0,0.0000,0.0000,\
-                 1,0.0\n",
+                 1,0.0,0,0,0\n",
                 planes = scan_topo.planes,
                 workload = kind.name(),
                 pps = on.pages_per_sec(),
@@ -554,7 +570,7 @@ fn main() {
                 csv.push_str(&format!(
                     "wal,{wide},{planes},inline,,{workload},{tps:.1},{speedup:.3},{p50},{p99},\
                      {p999},{max},0.0,0,0,0,0,0,0,0,0,0.0000,0.0,0,0,{vw},0,{wsw},0,0,0,0,0,0,0,\
-                     0.0000,0.0000,1,0.0\n",
+                     0.0000,0.0000,1,0.0,0,0,0\n",
                     planes = wide.planes,
                     workload = kind.name(),
                     tps = r.tps,
@@ -634,7 +650,7 @@ fn main() {
                     r.read_latency.p999_ns as f64,
                     b.read_latency.p999_ns.max(1) as f64,
                 );
-                let c = r.controller.unwrap_or_default();
+                let c = r.controller.clone().unwrap_or_default();
                 println!(
                     "{:<10}{:>10}{:>10.0}{:>14.1}{:>15}{:>12.1}{:>12}{:>12}{:>12}",
                     label,
@@ -669,6 +685,127 @@ fn main() {
                 );
                 exit = 1;
             }
+        }
+        ipa_bench::rule(118);
+    }
+
+    // ── Heat-placement sweep ─────────────────────────────────────────
+    // The wear-shifting experiment: TPC-B account draws uniform vs
+    // Zipf(θ), each distribution run on the fixed round-robin stripe and
+    // again behind the `ipa-heat` device (SLC hot tier absorbing the hot
+    // ranges, destage + stripe-slot migration on the idle-die
+    // maintenance scheduler). The interesting cell is zipf/tiered: the
+    // tier must soak up the hot head and the per-die erase spread must
+    // end no wider than the fixed stripe's under the same skew.
+    if ipa_bench::flag("heat") {
+        let theta: f64 = ipa_bench::arg("heat", 0.99);
+        let wide = Topology::new(4, 2, StripePolicy::RoundRobin);
+        let heat_policy = HeatPolicy::default()
+            .with_hot_threshold(2)
+            .with_range_pages(4)
+            .with_tier_fraction(0.01)
+            .with_destage_high_water(0.5)
+            .with_migrate_wear_delta(2);
+        let heat_cfg = DriverConfig::default()
+            .with_transactions(maint_tx)
+            .with_seed(seed)
+            .with_streams(streams);
+        println!(
+            "heat sweep — TPC-B on {wide}, uniform vs Zipf(θ={theta}) account draws, \
+             fixed stripe vs SLC hot tier + wear shifting, {maint_tx} tx"
+        );
+        ipa_bench::rule(118);
+        println!(
+            "{:<16}{:>10}{:>10}{:>11}{:>9}{:>11}{:>12}{:>10}{:>10}",
+            "distribution",
+            "placement",
+            "tps",
+            "p99 µs",
+            "spread",
+            "hot hits",
+            "migrations",
+            "destages",
+            "spills"
+        );
+        ipa_bench::rule(118);
+        let mut spread_fixed_zipf = 0u64;
+        let mut zipf_tiered: Option<RunResult> = None;
+        for (dist, zipf_theta) in [("uniform", None), ("zipf", Some(theta))] {
+            for (placement, tiered) in [("fixed", false), ("tiered", true)] {
+                let mut cfg = heat_cfg.clone();
+                cfg.zipf_theta = zipf_theta;
+                if tiered {
+                    cfg = cfg.with_heat(heat_policy.clone());
+                }
+                let r = Driver::run_maintained(
+                    WorkloadKind::TpcB,
+                    scale,
+                    WriteStrategy::IpaNative,
+                    NmScheme::new(2, 4),
+                    FlashMode::PSlc,
+                    wide,
+                    MaintMode::background(None),
+                    &cfg,
+                )
+                .expect("heat run");
+                let c = r.controller.clone().unwrap_or_default();
+                let h = r.heat.unwrap_or_default();
+                println!(
+                    "{:<16}{:>10}{:>10.0}{:>11.1}{:>9}{:>11}{:>12}{:>10}{:>10}",
+                    dist,
+                    placement,
+                    r.tps,
+                    r.latency.p99_ns as f64 / 1e3,
+                    c.wear_spread(),
+                    h.hot_hits,
+                    h.range_migrations,
+                    h.destaged_pages,
+                    h.hot_spills,
+                );
+                if dist == "zipf" && !tiered {
+                    spread_fixed_zipf = c.wear_spread();
+                }
+                if dist == "zipf" && tiered {
+                    zipf_tiered = Some(r.clone());
+                }
+                csv_row(
+                    &mut csv,
+                    &format!("heat-{dist}-{placement}"),
+                    &wide,
+                    &MaintMode::background(None),
+                    WorkloadKind::TpcB,
+                    &r,
+                    1.0,
+                );
+            }
+        }
+        let zt = zipf_tiered.expect("zipf/tiered run");
+        let zc = zt.controller.clone().unwrap_or_default();
+        let zh = zt.heat.unwrap_or_default();
+        let absorbed = zh.hot_hits > 0;
+        let placed = zh.destaged_pages + zh.range_migrations > 0;
+        let spread_ok = zc.wear_spread() <= spread_fixed_zipf.max(1) * 2;
+        if absorbed && placed && spread_ok {
+            println!(
+                "  -> heat placement: {} hot hits, {} migrations + {} destages, \
+                 zipf spread {} (tiered) vs {} (fixed): PASS",
+                zh.hot_hits,
+                zh.range_migrations,
+                zh.destaged_pages,
+                zc.wear_spread(),
+                spread_fixed_zipf,
+            );
+        } else {
+            println!(
+                "  -> heat placement: hot hits {}, migrations {}, destages {}, \
+                 zipf spread {} (tiered) vs {} (fixed): FAIL",
+                zh.hot_hits,
+                zh.range_migrations,
+                zh.destaged_pages,
+                zc.wear_spread(),
+                spread_fixed_zipf,
+            );
+            exit = 1;
         }
         ipa_bench::rule(118);
     }
@@ -733,12 +870,12 @@ fn main() {
             p999_max as f64 / 1e3,
             spread,
         );
-        let c = report.controller.unwrap_or_default();
+        let c = report.controller.clone().unwrap_or_default();
         csv.push_str(&format!(
             "fleet,{fleet_topo},1,inline+qos,4,mixed,{tps:.1},1.000,0,0,{p999_max},0,\
              {wait:.1},{depth},{stalls},{stall_ns},0,0,0,0,0,0.0000,0.0,0,0,0,0,0,0,\
              {promoted},{suspends},{tenants},{kills},{recoveries},{reclaimed},\
-             {die_util:.4},{chan_util:.4},1,0.0\n",
+             {die_util:.4},{chan_util:.4},1,0.0,0,0,0\n",
             die_util = c.die_util_max(),
             chan_util = c.chan_util_max(),
             tps = report.tps(),
@@ -821,7 +958,7 @@ fn main() {
             csv.push_str(&format!(
                 "threads,{wide},{planes},inline,,threaded,{sim_tps:.1},{speedup:.3},0,0,0,0,0.0,\
                  0,0,0,{gc},{bg},0,0,0,0.0000,0.0,{mp},{vr},{vw},0,0,0,0,0,0,0,0,0,\
-                 0.0000,0.0000,{t},{wops:.1}\n",
+                 0.0000,0.0000,{t},{wops:.1},0,0,0\n",
                 planes = wide.planes,
                 gc = r.device.gc_erases,
                 bg = r.device.background_gc_erases,

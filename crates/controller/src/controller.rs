@@ -330,12 +330,13 @@ impl FlashController {
     pub fn stats(&self) -> ControllerStats {
         let mut s = {
             let c = lock(&self.central);
-            let mut s = c.stats;
+            let mut s = c.stats.clone();
             s.posted_reads_outstanding = c.outstanding_posted_reads;
             s
         };
         s.min_die_erases = u64::MAX;
         s.max_die_erases = 0;
+        s.die_erases = Vec::with_capacity(self.dies.len());
         let mut max_die_busy = 0u64;
         let mut horizon = self.host_ns();
         for die in &self.dies {
@@ -343,6 +344,7 @@ impl FlashController {
             let e: u64 = d.chip.plane_erase_counts().iter().sum();
             s.min_die_erases = s.min_die_erases.min(e);
             s.max_die_erases = s.max_die_erases.max(e);
+            s.die_erases.push(e);
             max_die_busy = max_die_busy.max(d.stats.busy_ns);
             horizon = horizon.max(d.clock.now_ns());
         }
@@ -377,6 +379,15 @@ impl FlashController {
             .plane_erase_counts()
             .iter()
             .sum()
+    }
+
+    /// Every die's total erase count, indexed by die — the whole-device
+    /// wear vector a placement policy ranks when deciding which die to
+    /// migrate hot data *off*. One lock per die, taken sequentially.
+    pub fn die_erase_counts(&self) -> Vec<u64> {
+        (0..self.dies.len() as u32)
+            .map(|die| self.die_erase_count(die))
+            .collect()
     }
 
     /// One die's erase count split by plane (telemetry for plane-local GC
@@ -1266,6 +1277,18 @@ impl Nand for DieHandle {
 
     fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
         self.ctrl.op_multi_read(self.die, ppas, true)
+    }
+
+    fn cache_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        // One posted command, one die-busy window: the chip pipelines each
+        // member's transfer behind the previous member's pulse, so the
+        // array time `op_posted` derives (chip time minus the serial bus
+        // transfer) is exactly the un-overlapped pulse remainder.
+        let bytes = pages.iter().map(|p| p.data.len() + p.oob.len()).sum();
+        self.ctrl
+            .op_posted(self.die, bytes, CommandKind::CachedProgram, |chip| {
+                chip.cache_program(pages)
+            })
     }
 
     fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {

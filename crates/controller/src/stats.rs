@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregate scheduler statistics across all channels and dies.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ControllerStats {
     /// Commands dispatched (reads + programs + appends + erases).
     pub commands: u64,
@@ -36,6 +36,13 @@ pub struct ControllerStats {
     pub max_die_erases: u64,
     /// Erase count of the least-erased die.
     pub min_die_erases: u64,
+    /// Total erase count of every die, indexed by die. Unlike the
+    /// max/min extrema these are *counters*, so `delta_since` subtracts
+    /// them per die — the window view a placement policy needs to see
+    /// which die is wearing right now, not just which has worn the most
+    /// since power-on.
+    #[serde(default)]
+    pub die_erases: Vec<u64>,
     /// QoS scheduler: host reads that started earlier than FIFO dispatch
     /// would have allowed (jumped pending posted work, or suspended an
     /// in-flight erase).
@@ -102,6 +109,16 @@ impl ControllerStats {
             backpressure_wait_ns: self.backpressure_wait_ns - prev.backpressure_wait_ns,
             max_die_erases: self.max_die_erases,
             min_die_erases: self.min_die_erases,
+            die_erases: self
+                .die_erases
+                .iter()
+                .enumerate()
+                .map(|(die, &now)| {
+                    // A `prev` snapshot from before the vector existed (or
+                    // from a smaller device) contributes zero, not underflow.
+                    now.saturating_sub(prev.die_erases.get(die).copied().unwrap_or(0))
+                })
+                .collect(),
             reads_promoted: self.reads_promoted - prev.reads_promoted,
             erase_suspends: self.erase_suspends - prev.erase_suspends,
             forgotten_reads: self.forgotten_reads - prev.forgotten_reads,
@@ -247,6 +264,34 @@ mod tests {
         assert_eq!(d.chan_util_ppm_max, 100_000);
         assert!((d.die_util_max() - 0.3).abs() < 1e-9);
         assert!((d.chan_util_max() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_subtracts_per_die_erases() {
+        // Regression: the window view used to expose only the max/min
+        // extrema, so a placement policy could not tell *which* die was
+        // wearing inside a window. Per-die erase counts are counters:
+        // they subtract elementwise, with a short or missing `prev`
+        // vector (older snapshot, smaller device) contributing zero.
+        let prev = ControllerStats {
+            max_die_erases: 7,
+            min_die_erases: 2,
+            die_erases: vec![7, 2, 4],
+            ..Default::default()
+        };
+        let now = ControllerStats {
+            max_die_erases: 12,
+            min_die_erases: 3,
+            die_erases: vec![12, 3, 4, 9],
+            ..Default::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.die_erases, vec![5, 1, 0, 9]);
+        assert_eq!(d.max_die_erases, 12, "extrema stay whole-device gauges");
+        // And against a pre-field snapshot (empty vector), the delta is
+        // the full current count, not an underflow.
+        let old = ControllerStats::default();
+        assert_eq!(now.delta_since(&old).die_erases, vec![12, 3, 4, 9]);
     }
 
     #[test]

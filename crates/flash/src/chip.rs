@@ -479,6 +479,64 @@ impl FlashChip {
         Ok(())
     }
 
+    /// Cached (pipelined) program: the die's second page register lets
+    /// the bus transfer of batch member `i + 1` overlap the program pulse
+    /// of member `i`, so a batch costs
+    /// `xfer(0) + Σ max(pulse(i), xfer(i+1)) + pulse(last)` instead of the
+    /// sequential `Σ (xfer(i) + pulse(i))`. Members may address any pages
+    /// of the die — the pipeline lives in the register file, not the
+    /// array, so there is no plane-alignment rule — but each page may
+    /// appear at most once per batch. The command is atomic: every member
+    /// is validated (bounds, sizes, NOP budget, overwrite legality) before
+    /// any is stored.
+    pub fn cache_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let mut total = 0usize;
+        for (i, p) in pages.iter().enumerate() {
+            // A duplicate target would make the up-front validation lie:
+            // the second store would be an overwrite of state the batch
+            // itself created. Reject it like a twice-addressed plane.
+            if let Some(dup) = pages[..i].iter().find(|q| q.ppa == p.ppa) {
+                return Err(FlashError::MultiPlaneMismatch {
+                    a: dup.ppa,
+                    b: p.ppa,
+                    reason: "page addressed twice in one cached-program batch",
+                });
+            }
+            self.check_bounds(p.ppa)?;
+            self.check_sizes(p.data, p.oob)?;
+            let nop = self.nop_limit(p.ppa.page);
+            let page = self.blocks[p.ppa.block as usize].page(p.ppa.page);
+            if page.program_count >= nop {
+                return Err(FlashError::NopExceeded { ppa: p.ppa, nop });
+            }
+            if !page.is_erased() {
+                self.validate_overwrite(p.ppa, p.data, p.oob)?;
+            }
+            total += p.data.len() + p.oob.len();
+        }
+
+        let xfer: Vec<u64> = pages
+            .iter()
+            .map(|p| self.config.latency.transfer_ns(p.data.len() + p.oob.len()))
+            .collect();
+        let mut t = xfer[0];
+        for (i, p) in pages.iter().enumerate() {
+            let pulse = self.store_program(p.ppa, p.data, p.oob);
+            t += match xfer.get(i + 1) {
+                Some(&next) => pulse.max(next),
+                None => pulse,
+            };
+        }
+        self.clock.advance_ns(t);
+        self.stats.busy_ns += t;
+        self.stats.bytes_written += total as u64;
+        self.stats.cache_programs += 1;
+        Ok(())
+    }
+
     /// Multi-plane read: one sense across the planes (they share the
     /// command path but sense concurrently), then each page's transfer
     /// over the serial bus. Same alignment rule and atomicity as
@@ -629,6 +687,73 @@ mod tests {
         assert_eq!(img.oob, oob);
         assert_eq!(chip.stats().page_programs, 1);
         assert_eq!(chip.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn cache_program_pipelines_transfers_behind_pulses() {
+        // Sequential reference: same batch, one program at a time.
+        let mut seq = quiet_chip();
+        let mut cached = quiet_chip();
+        let (data, oob) = page_of(&seq, 0x3C);
+        let batch: Vec<Ppa> = (0..4).map(|p| Ppa::new(0, p)).collect();
+        for &ppa in &batch {
+            seq.program_page(ppa, &data, &oob).unwrap();
+        }
+        let writes: Vec<MultiPlaneWrite<'_>> = batch
+            .iter()
+            .map(|&ppa| MultiPlaneWrite {
+                ppa,
+                data: &data,
+                oob: &oob,
+            })
+            .collect();
+        cached.cache_program(&writes).unwrap();
+
+        // Byte-identical state, same program counters, one cached command.
+        for &ppa in &batch {
+            assert_eq!(
+                cached.read_page(ppa).unwrap().data,
+                seq.read_page(ppa).unwrap().data
+            );
+        }
+        assert_eq!(cached.stats().page_programs, 4);
+        assert_eq!(cached.stats().cache_programs, 1);
+        assert_eq!(seq.stats().cache_programs, 0);
+
+        // Pipelining wins time: strictly faster than sequential, but it
+        // can never beat the un-overlappable floor (first transfer plus
+        // every pulse).
+        let seq_busy = seq.stats().busy_ns;
+        let cached_busy = cached.stats().busy_ns;
+        let xfer = seq.config().latency.transfer_ns(data.len() + oob.len());
+        let pulses = seq_busy - 4 * xfer;
+        assert!(
+            cached_busy < seq_busy,
+            "cached {cached_busy} !< sequential {seq_busy}"
+        );
+        assert!(
+            cached_busy >= xfer + pulses,
+            "cached {cached_busy} beat the floor {}",
+            xfer + pulses
+        );
+    }
+
+    #[test]
+    fn cache_program_rejects_duplicate_target() {
+        let mut chip = quiet_chip();
+        let (data, oob) = page_of(&chip, 0x11);
+        let w = MultiPlaneWrite {
+            ppa: Ppa::new(0, 0),
+            data: &data,
+            oob: &oob,
+        };
+        assert!(matches!(
+            chip.cache_program(&[w, w]),
+            Err(FlashError::MultiPlaneMismatch { .. })
+        ));
+        // Atomic: nothing was stored.
+        assert!(chip.is_erased(Ppa::new(0, 0)).unwrap());
+        assert_eq!(chip.stats().cache_programs, 0);
     }
 
     #[test]

@@ -126,6 +126,23 @@ pub trait Nand {
         ppas.iter().map(|&ppa| self.read_page(ppa)).collect()
     }
 
+    /// Program a batch of pages as one cached (pipelined) command: the
+    /// bus transfer of member `i + 1` overlaps the program pulse of
+    /// member `i`. Unlike the multi-plane command there is no alignment
+    /// rule — any pages of the die qualify. The default falls back to
+    /// plain sequential programs, so targets without a cache register
+    /// keep identical state semantics and merely forgo the overlap.
+    fn cache_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        for p in pages {
+            if self.is_erased(p.ppa)? {
+                self.program_page(p.ppa, p.data, p.oob)?;
+            } else {
+                self.reprogram_page(p.ppa, p.data, p.oob)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Erase one block per plane under a single pulse. The blocks must be
     /// plane-aligned (same in-plane block index, distinct planes — see
     /// [`Geometry::check_multi_plane_blocks`]). The default validates the
@@ -226,6 +243,10 @@ impl Nand for FlashChip {
 
     fn multi_plane_read(&mut self, ppas: &[Ppa]) -> Result<Vec<PageImage>> {
         FlashChip::multi_plane_read(self, ppas)
+    }
+
+    fn cache_program(&mut self, pages: &[MultiPlaneWrite<'_>]) -> Result<()> {
+        FlashChip::cache_program(self, pages)
     }
 
     fn multi_plane_erase(&mut self, blocks: &[u32]) -> Result<()> {

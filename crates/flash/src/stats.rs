@@ -27,6 +27,12 @@ pub struct FlashStats {
     /// `block_erases`; this counts single shared erase pulses).
     #[serde(default)]
     pub multi_plane_erases: u64,
+    /// Cached (pipelined) program commands: one per batch whose member
+    /// pages count in `page_programs`/`page_reprograms`; the batch
+    /// overlaps each member's bus transfer with the previous member's
+    /// program pulse.
+    #[serde(default)]
+    pub cache_programs: u64,
     /// Data+OOB bytes transferred over the bus for reads.
     pub bytes_read: u64,
     /// Data+OOB bytes transferred over the bus for programs.
@@ -61,6 +67,7 @@ impl FlashStats {
             multi_plane_programs: self.multi_plane_programs + other.multi_plane_programs,
             multi_plane_reads: self.multi_plane_reads + other.multi_plane_reads,
             multi_plane_erases: self.multi_plane_erases + other.multi_plane_erases,
+            cache_programs: self.cache_programs + other.cache_programs,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected + other.disturb_bits_injected,
@@ -79,6 +86,7 @@ impl FlashStats {
             multi_plane_programs: self.multi_plane_programs - earlier.multi_plane_programs,
             multi_plane_reads: self.multi_plane_reads - earlier.multi_plane_reads,
             multi_plane_erases: self.multi_plane_erases - earlier.multi_plane_erases,
+            cache_programs: self.cache_programs - earlier.cache_programs,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             disturb_bits_injected: self.disturb_bits_injected - earlier.disturb_bits_injected,

@@ -120,7 +120,7 @@ impl FtlConfig {
 /// pages (those migrations are then skipped), reads still hit the old
 /// physical pages until each is individually remapped.
 #[derive(Debug, Clone)]
-pub struct ReclaimJob {
+pub struct GcJob {
     victim: u32,
     /// Next physical page index to examine for migration.
     next_page: u32,
@@ -130,7 +130,7 @@ pub struct ReclaimJob {
     migrated: u32,
 }
 
-impl ReclaimJob {
+impl GcJob {
     /// The block being reclaimed.
     #[inline]
     pub fn victim(&self) -> u32 {
@@ -141,6 +141,49 @@ impl ReclaimJob {
     #[inline]
     pub fn migrated(&self) -> u32 {
         self.migrated
+    }
+}
+
+/// A resumable background-reclaim work item the idle-die maintenance
+/// scheduler dispatches. Block GC ([`ReclaimJob::Gc`]) runs within one
+/// die; the heat-placement variants re-stripe host LBAs *across* dies
+/// ([`ReclaimJob::MigrateRange`]) or flush the SLC hot tier back to the
+/// main stripe ([`ReclaimJob::Destage`]). Each variant is stepped one
+/// bounded unit of work at a time, so a job in flight never blocks host
+/// traffic for longer than a single step.
+#[derive(Debug, Clone)]
+pub enum ReclaimJob {
+    /// Reclaim one block on one die (GC or wear levelling).
+    Gc(GcJob),
+    /// Wear shifting: swap each hot host LBA with a cold partner living
+    /// on a less-worn die ([`crate::ShardedFtl::swap_stripe`]), one pair
+    /// per step. `next` indexes the first unswapped pair.
+    MigrateRange {
+        /// `(hot, cold)` host-LBA pairs to cross-swap.
+        pairs: Vec<(Lba, Lba)>,
+        /// First pair not yet processed.
+        next: usize,
+    },
+    /// Hot-tier destage: write tier-resident page images back to the
+    /// main stripe in cached-program batches. `next` indexes the first
+    /// LBA not yet destaged.
+    Destage {
+        /// Host LBAs whose current images live in the hot tier.
+        lbas: Vec<Lba>,
+        /// First LBA not yet processed.
+        next: usize,
+    },
+}
+
+impl ReclaimJob {
+    /// Is every unit of work in this job done?
+    pub fn is_complete(&self) -> bool {
+        match self {
+            // A GC job's completion is decided by `reclaim_step`.
+            ReclaimJob::Gc(_) => false,
+            ReclaimJob::MigrateRange { pairs, next } => *next >= pairs.len(),
+            ReclaimJob::Destage { lbas, next } => *next >= lbas.len(),
+        }
     }
 }
 
@@ -265,7 +308,7 @@ pub struct Ftl<C: Nand = FlashChip> {
     /// The in-flight background reclaim, when a maintenance scheduler is
     /// stepping this FTL. Victim selection must skip this block, and the
     /// emergency inline path drains it before picking a fresh victim.
-    pending_job: Option<ReclaimJob>,
+    pending_job: Option<GcJob>,
 }
 
 impl<C: Nand> Ftl<C> {
@@ -654,7 +697,7 @@ impl<C: Nand> Ftl<C> {
     }
 
     /// Migrate a block's valid pages to the frontier and erase it —
-    /// inline, by driving a [`ReclaimJob`] to completion in one call.
+    /// inline, by driving a [`GcJob`] to completion in one call.
     /// `count_as_gc` separates GC accounting from wear-levelling moves.
     fn reclaim_block(&mut self, victim: u32, count_as_gc: bool) -> Result<()> {
         if self
@@ -666,7 +709,7 @@ impl<C: Nand> Ftl<C> {
             // race the scheduler); let it finish instead of double-freeing.
             return Ok(());
         }
-        let mut job = ReclaimJob {
+        let mut job = GcJob {
             victim,
             next_page: 0,
             count_as_gc,
@@ -679,7 +722,7 @@ impl<C: Nand> Ftl<C> {
     /// Advance a reclaim by one unit of device work: migrate the next
     /// valid page, or — once none remain — erase the victim and return it
     /// to the free pool. Returns `true` when the job is complete.
-    fn reclaim_step(&mut self, job: &mut ReclaimJob) -> Result<bool> {
+    fn reclaim_step(&mut self, job: &mut GcJob) -> Result<bool> {
         let victim = job.victim;
         debug_assert_eq!(
             self.blocks[victim as usize].state,
@@ -762,7 +805,7 @@ impl<C: Nand> Ftl<C> {
     /// One background-GC step against an externally chosen refill target
     /// (the scheduler may start early — `low_water` above the configured
     /// mark — so the pool refills before the write path ever trips).
-    /// Starts a new [`ReclaimJob`] when none is in flight, otherwise
+    /// Starts a new [`GcJob`] when none is in flight, otherwise
     /// advances the current one. Each call issues at most one page
     /// migration or one erase, so a maintenance scheduler can interleave
     /// reclaim work with host traffic at single-command granularity.
@@ -776,7 +819,7 @@ impl<C: Nand> Ftl<C> {
                 let Some(victim) = self.select_gc_victim() else {
                     return Ok(GcProgress::Idle);
                 };
-                ReclaimJob {
+                GcJob {
                     victim,
                     next_page: 0,
                     count_as_gc: true,
@@ -795,7 +838,7 @@ impl<C: Nand> Ftl<C> {
             // whole-block inline burst — preserving the one-command-per-
             // step contract the scheduler relies on.
             if let Some(victim) = self.wear_level_victim() {
-                self.pending_job = Some(ReclaimJob {
+                self.pending_job = Some(GcJob {
                     victim,
                     next_page: 0,
                     count_as_gc: false,
@@ -931,6 +974,97 @@ impl<C: Nand> Ftl<C> {
         if self.staged.as_ref().is_some_and(|s| s.lba == lba) {
             self.drain_staged()?;
         }
+        Ok(())
+    }
+
+    /// Internal bulk-read for migration/destage: the current page image
+    /// of `lba`, ECC-verified, without touching the host read counters —
+    /// firmware moving data around is not host traffic.
+    pub fn migrate_read(&mut self, lba: Lba) -> Result<Vec<u8>> {
+        self.check_lba(lba)?;
+        self.drain_staged_for(lba)?;
+        let ppa = self.l2p[lba as usize].ok_or(FtlError::UnmappedLba(lba))?;
+        let mut img = self.chip.read_page(ppa)?;
+        let codec = self.codec_for(lba);
+        match codec.verify(&mut img.data, &img.oob) {
+            Ok(o) => self.stats.ecc_corrected_bits += o.corrected_bits,
+            Err(_) => {
+                self.stats.uncorrectable_reads += 1;
+                return Err(FtlError::Uncorrectable { lba });
+            }
+        }
+        Ok(img.data)
+    }
+
+    /// Internal bulk-write for migration/destage batches, issued as
+    /// cached (pipelined) program commands: each item gets the normal
+    /// out-of-place allocation and L2P bookkeeping, but the page programs
+    /// are deferred and flushed as [`Nand::cache_program`] batches so the
+    /// transfers of later members hide behind earlier members' pulses.
+    ///
+    /// Safety against reclaim: a deferred page must never sit in a block
+    /// GC could read or erase, so the pending batch is flushed whenever
+    /// the free pool drops to where `ensure_free_space` would reclaim —
+    /// GC then observes fully-programmed state. Blocks a batch member
+    /// lives in are `Active` or just-`Closed`, and the flush-before-GC
+    /// rule covers both. Host counters are *not* bumped: like GC
+    /// copy-backs, this is firmware traffic (the flash counters record
+    /// the programs, `FlashStats::cache_programs` the batches).
+    pub fn write_batch_cached(&mut self, items: &[(Lba, Vec<u8>)]) -> Result<()> {
+        // The pairing window would leave an unprogrammed host write
+        // interleaved with the batch; settle it first.
+        self.drain_staged()?;
+        let reclaim_water = if self.config.background_gc {
+            1
+        } else {
+            self.config.gc_low_water_blocks
+        };
+        let mut pending: Vec<(Ppa, Vec<u8>, Vec<u8>)> = Vec::new();
+        for (lba, data) in items {
+            let lba = *lba;
+            self.check_lba(lba)?;
+            if data.len() != self.page_size() {
+                return Err(FtlError::SizeMismatch {
+                    expected: self.page_size(),
+                    got: data.len(),
+                });
+            }
+            if (self.free_blocks.len() as u32) < reclaim_water {
+                // ensure_free_space may reclaim: deferred pages must hit
+                // the flash before GC can pick their blocks.
+                self.flush_cached(&mut pending)?;
+            }
+            self.ensure_free_space()?;
+            let ppa = self.allocate()?;
+            let codec = self.codec_for(lba);
+            let oob = codec.encode_oob(data);
+            if let Some(old) = self.l2p[lba as usize].replace(ppa) {
+                self.invalidate(old);
+                self.stats.page_invalidations += 1;
+            }
+            let info = &mut self.blocks[ppa.block as usize];
+            info.owner[ppa.page as usize] = Some(lba);
+            info.valid += 1;
+            pending.push((ppa, data.clone(), oob));
+        }
+        self.flush_cached(&mut pending)
+    }
+
+    /// Issue the deferred batch as one cached-program command.
+    fn flush_cached(&mut self, pending: &mut Vec<(Ppa, Vec<u8>, Vec<u8>)>) -> Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let writes: Vec<MultiPlaneWrite<'_>> = pending
+            .iter()
+            .map(|(ppa, data, oob)| MultiPlaneWrite {
+                ppa: *ppa,
+                data,
+                oob,
+            })
+            .collect();
+        self.chip.cache_program(&writes)?;
+        pending.clear();
         Ok(())
     }
 }

@@ -248,6 +248,97 @@ impl ShardedFtl {
             lock(s).check_invariants();
         }
     }
+
+    /// Every host LBA currently striped to `die`, in host order — the
+    /// candidate pool a placement policy picks hot/cold migration pairs
+    /// from. O(capacity); call from planning, not hot paths.
+    pub fn host_lbas_on_die(&self, die: u32) -> Vec<Lba> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|(_, &(d, _))| d == die)
+            .map(|(lba, _)| lba as Lba)
+            .collect()
+    }
+
+    /// Re-stripe two host LBAs by swapping the physical slots they map
+    /// to — the wear-shifting primitive: pairing a hot LBA on a worn die
+    /// with a cold LBA on a healthy die moves the hot LBA's future erase
+    /// pressure off the worn die without losing capacity.
+    ///
+    /// Both images (when mapped) are read out, cross-written — each via a
+    /// cached-program batch — and the stripe map entries exchanged; an
+    /// unmapped side trims its new slot instead. Returns `false` without
+    /// touching anything when the swap is ineligible: identical LBAs, or
+    /// slots whose region layouts differ (an LBA's append format must
+    /// survive the move, and a slot's layout belongs to the slot).
+    ///
+    /// Takes `&mut self`, so the borrow checker serializes it against all
+    /// host traffic — the maintenance scheduler runs it from its
+    /// exclusive poll, exactly like GC stepping.
+    pub fn swap_stripe(&mut self, a: Lba, b: Lba) -> Result<bool> {
+        if a == b {
+            return Ok(false);
+        }
+        let (da, sa) = self.locate(a)?;
+        let (db, sb) = self.locate(b)?;
+        let la = lock(&self.shards[da as usize]).layout_for(sa);
+        let lb = lock(&self.shards[db as usize]).layout_for(sb);
+        if la != lb {
+            return Ok(false);
+        }
+        let img_a = {
+            let mut s = lock(&self.shards[da as usize]);
+            if s.is_mapped(sa) {
+                Some(s.migrate_read(sa)?)
+            } else {
+                None
+            }
+        };
+        let img_b = {
+            let mut s = lock(&self.shards[db as usize]);
+            if s.is_mapped(sb) {
+                Some(s.migrate_read(sb)?)
+            } else {
+                None
+            }
+        };
+        {
+            let mut s = lock(&self.shards[db as usize]);
+            match img_a {
+                Some(img) => s.write_batch_cached(&[(sb, img)])?,
+                None => s.trim(sb)?,
+            }
+        }
+        {
+            let mut s = lock(&self.shards[da as usize]);
+            match img_b {
+                Some(img) => s.write_batch_cached(&[(sa, img)])?,
+                None => s.trim(sa)?,
+            }
+        }
+        self.map[a as usize] = (db, sb);
+        self.map[b as usize] = (da, sa);
+        Ok(true)
+    }
+
+    /// Bulk-write full host pages, grouped per die and issued as cached
+    /// (pipelined) program batches — the hot-tier destage entry. Like GC
+    /// copy-backs this is firmware traffic: host counters stay untouched
+    /// while the flash layer records the programs and batches.
+    pub fn write_batch_cached(&mut self, items: &[(Lba, Vec<u8>)]) -> Result<()> {
+        let mut per_die: Vec<Vec<(Lba, Vec<u8>)>> = vec![Vec::new(); self.shards.len()];
+        for (lba, data) in items {
+            let (die, sub) = self.locate(*lba)?;
+            per_die[die as usize].push((sub, data.clone()));
+        }
+        for (die, batch) in per_die.into_iter().enumerate() {
+            if !batch.is_empty() {
+                lock(&self.shards[die]).write_batch_cached(&batch)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl BlockDevice for ShardedFtl {
@@ -874,6 +965,86 @@ mod tests {
             "churn must trigger per-die GC"
         );
         striped.check_invariants();
+    }
+
+    #[test]
+    fn swap_stripe_exchanges_slots_and_preserves_bytes() {
+        let mut s = sharded(2, 2, StripePolicy::RoundRobin);
+        let a = 1u64; // die 1 under 4-die round-robin
+        let b = 6u64; // die 2
+        s.write(a, &vec![0xAA; 2048]).unwrap();
+        s.write(b, &vec![0xBB; 2048]).unwrap();
+        let (la, lb) = (s.locate(a).unwrap(), s.locate(b).unwrap());
+        assert!(s.swap_stripe(a, b).unwrap());
+        // Slots exchanged exactly.
+        assert_eq!(s.locate(a).unwrap(), lb);
+        assert_eq!(s.locate(b).unwrap(), la);
+        // Bytes follow the host LBA, not the slot.
+        let mut buf = vec![0u8; 2048];
+        s.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xAA));
+        s.read(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xBB));
+        // The cross-writes rode the cached-program command.
+        assert!(s.flash_stats().cache_programs >= 2);
+        s.check_invariants();
+        // Swapping back restores the original stripe.
+        assert!(s.swap_stripe(a, b).unwrap());
+        assert_eq!(s.locate(a).unwrap(), la);
+        s.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xAA));
+    }
+
+    #[test]
+    fn swap_stripe_with_unmapped_partner_trims_the_new_slot() {
+        let mut s = sharded(1, 2, StripePolicy::RoundRobin);
+        let a = 0u64;
+        let b = 1u64; // other die; never written
+        s.write(a, &vec![0x5A; 2048]).unwrap();
+        assert!(s.swap_stripe(a, b).unwrap());
+        let mut buf = vec![0u8; 2048];
+        s.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0x5A));
+        assert!(
+            matches!(s.read(b, &mut buf), Err(FtlError::UnmappedLba(_))),
+            "unmapped partner stays unmapped after the swap"
+        );
+        assert!(!s.swap_stripe(a, a).unwrap(), "identity swap is refused");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn stripe_batch_write_round_trips_without_host_counters() {
+        let mut s = sharded(2, 1, StripePolicy::RoundRobin);
+        let items: Vec<(Lba, Vec<u8>)> = (0..16u64)
+            .map(|lba| (lba, vec![(lba % 251) as u8 + 1; 2048]))
+            .collect();
+        s.write_batch_cached(&items).unwrap();
+        let mut buf = vec![0u8; 2048];
+        for (lba, img) in &items {
+            s.read(*lba, &mut buf).unwrap();
+            assert_eq!(&buf, img, "lba {lba} corrupted");
+        }
+        let d = s.device_stats();
+        assert_eq!(d.host_writes, 0, "firmware batch is not host traffic");
+        assert!(s.flash_stats().cache_programs >= 2, "one batch per die");
+        assert_eq!(s.flash_stats().page_programs, 16);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn host_lbas_on_die_partitions_the_map() {
+        let s = sharded(2, 2, StripePolicy::Hash);
+        let mut total = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for die in 0..s.dies() {
+            for lba in s.host_lbas_on_die(die) {
+                assert_eq!(s.locate(lba).unwrap().0, die);
+                assert!(seen.insert(lba));
+                total += 1;
+            }
+        }
+        assert_eq!(total, s.capacity_pages());
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Pluggable placement policy: thresholds, decay, tier sizing and
+//! migration pacing live behind a trait so experiments can swap them
+//! without touching the device or the shifter.
+
+/// The knobs a [`crate::HeatDevice`] and its wear shifter consult. All
+/// methods are pull-style so a policy may adapt over time (e.g. tighten
+/// the hot threshold as the tier fills).
+pub trait PlacementPolicy: Send {
+    /// LBAs per heat-tracking range (the tracker's bucket size).
+    fn range_pages(&self) -> u64;
+
+    /// Recorded writes between counter halvings.
+    fn decay_interval(&self) -> u64;
+
+    /// Range heat at or above which full-page writes route to the SLC
+    /// tier.
+    fn hot_threshold(&self) -> u32;
+
+    /// Hot-tier capacity as a fraction of the exported LBA space.
+    fn tier_fraction(&self) -> f64;
+
+    /// Tier occupancy fraction at which the shifter proposes destage
+    /// jobs.
+    fn destage_high_water(&self) -> f64;
+
+    /// Pages per destage job (each page is one scheduler step).
+    fn destage_batch(&self) -> usize;
+
+    /// Cross-die erase spread (max − min, counted over the whole run) at
+    /// which the shifter proposes wear-shifting migrations.
+    fn migrate_wear_delta(&self) -> u64;
+
+    /// Hot/cold LBA pairs per migration job (each pair is one step).
+    fn migrate_batch(&self) -> usize;
+}
+
+/// The default policy: small tracking ranges, a tier sized at 1/16 of
+/// the LBA space, destage at 75 % full, and migration once the die
+/// erase spread exceeds 4.
+#[derive(Debug, Clone)]
+pub struct DefaultPolicy {
+    pub range_pages: u64,
+    pub decay_interval: u64,
+    pub hot_threshold: u32,
+    pub tier_fraction: f64,
+    pub destage_high_water: f64,
+    pub destage_batch: usize,
+    pub migrate_wear_delta: u64,
+    pub migrate_batch: usize,
+}
+
+impl Default for DefaultPolicy {
+    fn default() -> Self {
+        DefaultPolicy {
+            range_pages: 8,
+            decay_interval: 1024,
+            hot_threshold: 4,
+            tier_fraction: 1.0 / 16.0,
+            destage_high_water: 0.75,
+            destage_batch: 8,
+            migrate_wear_delta: 4,
+            migrate_batch: 4,
+        }
+    }
+}
+
+impl DefaultPolicy {
+    pub fn with_hot_threshold(mut self, t: u32) -> Self {
+        self.hot_threshold = t;
+        self
+    }
+
+    pub fn with_tier_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f < 1.0, "tier fraction in (0,1)");
+        self.tier_fraction = f;
+        self
+    }
+
+    pub fn with_range_pages(mut self, pages: u64) -> Self {
+        self.range_pages = pages;
+        self
+    }
+
+    pub fn with_decay_interval(mut self, records: u64) -> Self {
+        self.decay_interval = records;
+        self
+    }
+
+    pub fn with_migrate_wear_delta(mut self, spread: u64) -> Self {
+        self.migrate_wear_delta = spread;
+        self
+    }
+
+    pub fn with_destage_high_water(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "high water in (0,1]");
+        self.destage_high_water = frac;
+        self
+    }
+}
+
+impl PlacementPolicy for DefaultPolicy {
+    fn range_pages(&self) -> u64 {
+        self.range_pages
+    }
+
+    fn decay_interval(&self) -> u64 {
+        self.decay_interval
+    }
+
+    fn hot_threshold(&self) -> u32 {
+        self.hot_threshold
+    }
+
+    fn tier_fraction(&self) -> f64 {
+        self.tier_fraction
+    }
+
+    fn destage_high_water(&self) -> f64 {
+        self.destage_high_water
+    }
+
+    fn destage_batch(&self) -> usize {
+        self.destage_batch
+    }
+
+    fn migrate_wear_delta(&self) -> u64 {
+        self.migrate_wear_delta
+    }
+
+    fn migrate_batch(&self) -> usize {
+        self.migrate_batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_and_builders_apply() {
+        let p = DefaultPolicy::default()
+            .with_hot_threshold(9)
+            .with_tier_fraction(0.25)
+            .with_range_pages(4)
+            .with_decay_interval(64)
+            .with_migrate_wear_delta(2)
+            .with_destage_high_water(0.5);
+        assert_eq!(p.hot_threshold(), 9);
+        assert!((p.tier_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(p.range_pages(), 4);
+        assert_eq!(p.decay_interval(), 64);
+        assert_eq!(p.migrate_wear_delta(), 2);
+        assert!((p.destage_high_water() - 0.5).abs() < 1e-12);
+        assert!(p.destage_batch() > 0);
+        assert!(p.migrate_batch() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier fraction")]
+    fn tier_fraction_must_be_fractional() {
+        let _ = DefaultPolicy::default().with_tier_fraction(1.5);
+    }
+}

@@ -47,6 +47,29 @@ impl MaintainedFtl {
         &self.inner
     }
 
+    /// Install the heat-placement hook the scheduler dispatches
+    /// migration/destage jobs through (see
+    /// [`crate::scheduler::WearShifter`]).
+    pub fn set_wear_shifter(&mut self, shifter: Box<dyn crate::scheduler::WearShifter>) {
+        self.sched.set_wear_shifter(shifter);
+    }
+
+    /// Exclusive access to the wrapped stripe for maintenance-side
+    /// callers (the heat device's destage path swaps and batch-writes
+    /// through this; host traffic is serialized out by the borrow).
+    pub fn inner_mut(&mut self) -> &mut ShardedFtl {
+        &mut self.inner
+    }
+
+    /// Run one scheduler poll outside any host command. Layered devices
+    /// that absorb host traffic before it reaches the stripe (the heat
+    /// tier) call this after an absorbed command, so background
+    /// destage/migration keeps pace even when the main stripe itself
+    /// sees no traffic.
+    pub fn poll_now(&mut self) -> Result<()> {
+        self.poll_maint()
+    }
+
     /// Run every shard's exhaustive invariant check.
     pub fn check_invariants(&self) {
         self.inner.check_invariants();

@@ -39,5 +39,5 @@ pub mod stats;
 
 pub use config::MaintConfig;
 pub use device::MaintainedFtl;
-pub use scheduler::MaintenanceScheduler;
+pub use scheduler::{MaintenanceScheduler, WearShifter};
 pub use stats::MaintStats;

@@ -1,11 +1,32 @@
 //! The idle-die reclaim scheduler.
 
 use ipa_controller::{CommandKind, FlashController, TracePhase};
-use ipa_ftl::{GcProgress, Result, ShardedFtl};
+use ipa_ftl::{GcProgress, ReclaimJob, Result, ShardedFtl};
 use std::sync::Arc;
 
 use crate::config::MaintConfig;
 use crate::stats::MaintStats;
+
+/// Pluggable heat-placement hook: proposes and executes the cross-die
+/// [`ReclaimJob`] variants ([`ReclaimJob::MigrateRange`] wear shifting,
+/// [`ReclaimJob::Destage`] hot-tier flushes) that the idle-die scheduler
+/// dispatches alongside per-die GC. The scheduler owns *when* (idle dies,
+/// step budgets, internal mode); the shifter owns *what* (which LBAs move
+/// where) — so tier sizing, heat thresholds and pairing policy live
+/// outside `ipa-maint`.
+pub trait WearShifter: Send {
+    /// Propose the next job, or `None` while the device is balanced.
+    /// Called only when no shift job is in flight.
+    fn propose(&mut self, ftl: &ShardedFtl) -> Option<ReclaimJob>;
+
+    /// The dies the *next* step of `job` would occupy — the scheduler's
+    /// idle gate. Empty means the step is free to run.
+    fn next_dies(&self, job: &ReclaimJob, ftl: &ShardedFtl) -> Vec<u32>;
+
+    /// Run one bounded step of `job` (one swap pair, one destage batch).
+    /// Returns `true` when the job is complete.
+    fn step(&mut self, job: &mut ReclaimJob, ftl: &mut ShardedFtl) -> Result<bool>;
+}
 
 /// Dispatches background [`ipa_ftl::ReclaimJob`] steps onto idle dies.
 ///
@@ -23,7 +44,9 @@ use crate::stats::MaintStats;
 /// stripe, each shard's long-run erase count is set by the workload, so
 /// the wear view here is observability (the spread is tracked per poll
 /// and reported in [`MaintStats`]) plus priority, not active balancing.
-/// Shifting erases between dies needs LBA re-striping — a ROADMAP item.
+/// Shifting erases between dies needs LBA re-striping — that is the
+/// `ipa-heat` crate's job: its `WearShifter` proposes `MigrateRange` /
+/// `Destage` work that this scheduler dispatches on idle dies.
 ///
 /// Steps run inside the controller's firmware-internal mode: copy-backs
 /// and programs occupy die and channel clocks (host commands arriving
@@ -42,6 +65,10 @@ use crate::stats::MaintStats;
 pub struct MaintenanceScheduler {
     cfg: MaintConfig,
     stats: MaintStats,
+    /// Heat-placement hook; GC-only when absent.
+    shifter: Option<Box<dyn WearShifter>>,
+    /// The shift job currently being stepped across polls.
+    active_shift: Option<ReclaimJob>,
 }
 
 impl MaintenanceScheduler {
@@ -49,6 +76,8 @@ impl MaintenanceScheduler {
         MaintenanceScheduler {
             cfg,
             stats: MaintStats::default(),
+            shifter: None,
+            active_shift: None,
         }
     }
 
@@ -60,6 +89,20 @@ impl MaintenanceScheduler {
     #[inline]
     pub fn stats(&self) -> MaintStats {
         self.stats
+    }
+
+    /// Install (or replace) the heat-placement hook. A half-done shift
+    /// job from a previous shifter is dropped — jobs are resumable but
+    /// not transferable, and every step leaves the stripe consistent.
+    pub fn set_wear_shifter(&mut self, shifter: Box<dyn WearShifter>) {
+        self.shifter = Some(shifter);
+        self.active_shift = None;
+    }
+
+    /// Is a migration/destage job currently in flight?
+    #[inline]
+    pub fn shift_in_flight(&self) -> bool {
+        self.active_shift.is_some()
     }
 
     /// One scheduling round over all shards (see the type docs).
@@ -95,9 +138,51 @@ impl MaintenanceScheduler {
             outcome?;
         }
 
+        self.poll_shift(ftl, &ctrl)?;
+
         let cstats = ctrl.stats();
         self.stats.max_wear_spread = self.stats.max_wear_spread.max(cstats.wear_spread());
         self.stats.erase_suspends_seen = cstats.erase_suspends;
+        Ok(())
+    }
+
+    /// Heat-placement dispatch: advance (or propose) the cross-die shift
+    /// job, stepping only while every die the next unit touches is idle
+    /// at the current host time — migrations yield to host traffic the
+    /// same way GC does.
+    fn poll_shift(&mut self, ftl: &mut ShardedFtl, ctrl: &Arc<FlashController>) -> Result<()> {
+        let Some(shifter) = self.shifter.as_mut() else {
+            return Ok(());
+        };
+        if self.active_shift.is_none() {
+            self.active_shift = shifter.propose(ftl);
+        }
+        let Some(mut job) = self.active_shift.take() else {
+            return Ok(());
+        };
+        for _ in 0..self.cfg.steps_per_poll {
+            let dies = shifter.next_dies(&job, ftl);
+            if dies.iter().any(|&d| !ctrl.die_idle(d)) {
+                self.stats.deferred_busy += 1;
+                break;
+            }
+            if let Some(&die) = dies.first() {
+                ctrl.trace_instant(die, CommandKind::MigrateStep, TracePhase::Dispatched);
+            }
+            let counter = match &job {
+                ReclaimJob::Destage { .. } => &mut self.stats.destages,
+                _ => &mut self.stats.range_migrations,
+            };
+            ctrl.begin_internal();
+            let done = shifter.step(&mut job, ftl);
+            ctrl.end_internal();
+            *counter += 1;
+            self.stats.steps += 1;
+            if done? {
+                return Ok(());
+            }
+        }
+        self.active_shift = Some(job);
         Ok(())
     }
 

@@ -25,6 +25,14 @@ pub struct MaintStats {
     /// stays 0 under FIFO scheduling).
     #[serde(default)]
     pub erase_suspends_seen: u64,
+    /// Wear-shifting steps dispatched: hot/cold LBA stripe swaps run via
+    /// `ReclaimJob::MigrateRange` (0 without a wear shifter installed).
+    #[serde(default)]
+    pub range_migrations: u64,
+    /// Hot-tier destage steps dispatched via `ReclaimJob::Destage`
+    /// (0 without a wear shifter installed).
+    #[serde(default)]
+    pub destages: u64,
 }
 
 impl MaintStats {
@@ -43,11 +51,14 @@ impl fmt::Display for MaintStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "polls={} steps={} (mig={} erase={}) busy_skips={} wear_spread_max={} suspends={}",
+            "polls={} steps={} (mig={} erase={} shift={} destage={}) busy_skips={} \
+             wear_spread_max={} suspends={}",
             self.polls,
             self.steps,
             self.migrations,
             self.erases,
+            self.range_migrations,
+            self.destages,
             self.deferred_busy,
             self.max_wear_spread,
             self.erase_suspends_seen

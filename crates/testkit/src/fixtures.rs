@@ -10,6 +10,7 @@ use ipa_core::{NmScheme, PageLayout};
 use ipa_flash::{DeviceConfig, DisturbRates, FlashChip, FlashMode, Geometry};
 use ipa_fleet::SoakConfig;
 use ipa_ftl::{Ftl, FtlConfig, ShardedFtl, StripePolicy, WriteStrategy};
+use ipa_heat::{DefaultPolicy, HeatDevice};
 use ipa_maint::{MaintConfig, MaintainedFtl};
 use ipa_storage::{BufferPool, EngineConfig, StorageEngine, TableSpec};
 
@@ -188,6 +189,100 @@ pub fn sharded_plane_engine(
     policy: StripePolicy,
 ) -> StorageEngine {
     striped_heap_engine(strategy, scheme, seed, dies, planes, policy, None)
+}
+
+/// Deliberately aggressive placement thresholds so hot-tier absorption,
+/// destages and wear-shifting stripe swaps all engage within a short op
+/// stream — the knobs parity and crash suites run the heat device at.
+pub fn aggressive_heat_policy() -> DefaultPolicy {
+    DefaultPolicy::default()
+        .with_hot_threshold(2)
+        .with_range_pages(2)
+        .with_tier_fraction(0.0001)
+        .with_destage_high_water(0.4)
+        .with_migrate_wear_delta(2)
+}
+
+/// [`sharded_plane_engine`]'s heat-placement twin: the identical table
+/// shape and striped geometry, but the device is mounted behind an
+/// `ipa-heat` [`HeatDevice`] (SLC hot tier + wear-shifting maintenance
+/// jobs) under [`aggressive_heat_policy`] — so parity suites can prove
+/// migration moves *placement* and never *state*.
+pub fn heat_heap_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    planes: u32,
+    policy: StripePolicy,
+) -> StorageEngine {
+    compact_striped_engine(strategy, scheme, seed, dies, planes, policy, true)
+}
+
+/// [`heat_heap_engine`]'s no-migration reference: byte-identical table
+/// shape and compact striped geometry, but the device is a plain
+/// maintained stripe — no hot tier, no wear shifting. Parity suites
+/// diff logical state against this to isolate the heat layer.
+pub fn compact_heap_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    planes: u32,
+    policy: StripePolicy,
+) -> StorageEngine {
+    compact_striped_engine(strategy, scheme, seed, dies, planes, policy, false)
+}
+
+fn compact_striped_engine(
+    strategy: WriteStrategy,
+    scheme: NmScheme,
+    seed: u64,
+    dies: u32,
+    planes: u32,
+    policy: StripePolicy,
+    heat: bool,
+) -> StorageEngine {
+    assert!(dies >= 1 && dies.is_power_of_two(), "die counts are 2^k");
+    let channels = dies.min(4);
+    let dies_per_channel = dies / channels;
+    // Deliberately compact dies (small blocks, 2 KiB pages): garbage
+    // collection — and with it real per-die erase deltas, the signal
+    // wear-shifting migration triggers on — fires within the few hundred
+    // ops a parity or crash suite runs, not after tens of thousands.
+    let per_die = Geometry::new((64 / dies).max(12).next_multiple_of(planes), 8, 2048, 64)
+        .with_planes(planes);
+    let chip = quiet_slc(per_die.blocks, per_die.pages_per_block, seed).with_geometry(per_die);
+    let controller = ControllerConfig::new(channels, dies_per_channel, chip);
+
+    let config = match strategy {
+        WriteStrategy::Traditional => EngineConfig::default(),
+        _ => EngineConfig::default().with_strategy(strategy, scheme),
+    }
+    .with_buffer_frames(8);
+    StorageEngine::build_with_device(
+        per_die.page_size,
+        config,
+        &[TableSpec::heap("m", crate::ops::ROW, 200)],
+        move |regions, ftl_config| {
+            let striped = ShardedFtl::with_regions(
+                controller,
+                ftl_config.with_background_gc(),
+                policy,
+                regions,
+            );
+            let maintained = MaintainedFtl::new(striped, MaintConfig::default());
+            if heat {
+                Box::new(HeatDevice::new(
+                    maintained,
+                    Box::new(aggressive_heat_policy()),
+                ))
+            } else {
+                Box::new(maintained)
+            }
+        },
+    )
+    .expect("testkit compact striped engine")
 }
 
 /// A single scheduled die with `planes` planes — the minimal multi-plane

@@ -35,8 +35,12 @@ pub enum CommandKind {
     MultiPlaneProgram,
     /// Atomic multi-plane erase.
     MultiPlaneErase,
+    /// Cached (pipelined) program batch: transfers overlap pulses.
+    CachedProgram,
     /// A background-reclaim scheduling step (maintenance instant).
     ReclaimStep,
+    /// A heat-placement migration step (wear shifting or tier destage).
+    MigrateStep,
 }
 
 impl CommandKind {
@@ -57,7 +61,9 @@ impl CommandKind {
             CommandKind::Erase => "erase",
             CommandKind::MultiPlaneProgram => "mp_program",
             CommandKind::MultiPlaneErase => "mp_erase",
+            CommandKind::CachedProgram => "cached_program",
             CommandKind::ReclaimStep => "reclaim_step",
+            CommandKind::MigrateStep => "migrate_step",
         }
     }
 }

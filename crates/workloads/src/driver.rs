@@ -15,6 +15,7 @@ use ipa_flash::{DeviceConfig, DisturbRates, FlashMode, FlashStats, Geometry};
 use ipa_ftl::{
     BlockDevice, DeviceStats, FtlConfig, IoRequest, ShardedFtl, StripePolicy, WriteStrategy,
 };
+use ipa_heat::{DefaultPolicy, HeatDevice, HeatStats};
 use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 use ipa_storage::{EngineConfig, NetBytesHistogram, PoolStats, Result, StorageEngine, TableKind};
 use ipa_trace::{LatencyHistogram, MetricsSnapshot, RingRecorder, TraceEvent};
@@ -275,6 +276,15 @@ pub struct DriverConfig {
     /// per-read sample buffer) — the long-soak memory bound.
     /// [`RunResult::read_latency`] then comes from the histogram.
     pub bounded_latency: bool,
+    /// Draw benchmark primary keys Zipf(θ)-skewed instead of uniformly
+    /// (via [`Benchmark::set_key_skew`]); `None` keeps each benchmark's
+    /// native distribution.
+    pub zipf_theta: Option<f64>,
+    /// Mount the device behind an [`ipa_heat::HeatDevice`] with this
+    /// placement policy: hot ranges absorb into the SLC tier and the
+    /// maintenance scheduler runs destage/wear-shifting jobs. Implies
+    /// background GC.
+    pub heat: Option<DefaultPolicy>,
 }
 
 impl Default for DriverConfig {
@@ -292,6 +302,8 @@ impl Default for DriverConfig {
             group_commit: None,
             trace_capacity: None,
             bounded_latency: false,
+            zipf_theta: None,
+            heat: None,
         }
     }
 }
@@ -360,6 +372,19 @@ impl DriverConfig {
         self.bounded_latency = true;
         self
     }
+
+    /// Skew benchmark key draws Zipf(θ).
+    pub fn with_zipf_theta(mut self, theta: f64) -> Self {
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be ≥ 0");
+        self.zipf_theta = Some(theta);
+        self
+    }
+
+    /// Mount the heat-placement device with this policy.
+    pub fn with_heat(mut self, policy: DefaultPolicy) -> Self {
+        self.heat = Some(policy);
+        self
+    }
 }
 
 /// Everything a bench table needs about one run.
@@ -405,6 +430,9 @@ pub struct RunResult {
     /// Background-maintenance counters, when the device runs GC on the
     /// idle-die scheduler ([`Driver::run_maintained`]).
     pub maint: Option<MaintStats>,
+    /// Heat-placement counters, when the run mounted the device behind a
+    /// [`HeatDevice`] ([`DriverConfig::with_heat`]).
+    pub heat: Option<HeatStats>,
     /// Host-read latency histogram over the measured window (always
     /// populated on controller devices; the only latency record in
     /// [`DriverConfig::bounded_latency`] mode).
@@ -508,6 +536,7 @@ impl Driver {
         cfg: &DriverConfig,
     ) -> Result<RunResult> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        bench.set_key_skew(cfg.zipf_theta);
         bench.load(engine, &mut rng)?;
 
         for _ in 0..cfg.warmup {
@@ -700,7 +729,13 @@ impl Driver {
             controller: engine.pool().device().controller_stats(),
             maint: engine
                 .device_as::<MaintainedFtl>()
-                .map(MaintainedFtl::maint_stats),
+                .map(MaintainedFtl::maint_stats)
+                .or_else(|| {
+                    engine
+                        .device_as::<HeatDevice>()
+                        .map(HeatDevice::maint_stats)
+                }),
+            heat: engine.device_as::<HeatDevice>().map(HeatDevice::heat_stats),
             read_latency_hist,
             trace,
             trace_dropped,
@@ -709,9 +744,12 @@ impl Driver {
     }
 
     /// The controller behind the engine's device, whichever wrapper it
-    /// sits under (`MaintainedFtl` or a bare `ShardedFtl`). `None` for
-    /// single-chip devices.
+    /// sits under (`HeatDevice`, `MaintainedFtl` or a bare `ShardedFtl`).
+    /// `None` for single-chip devices.
     pub fn controller_of(engine: &StorageEngine) -> Option<std::sync::Arc<FlashController>> {
+        if let Some(h) = engine.device_as::<HeatDevice>() {
+            return Some(std::sync::Arc::clone(h.inner().inner().controller()));
+        }
         if let Some(m) = engine.device_as::<MaintainedFtl>() {
             return Some(std::sync::Arc::clone(m.inner().controller()));
         }
@@ -857,8 +895,18 @@ impl Driver {
             config = config.with_striped_wal(wal_ch, wal_dies);
         }
         let policy = topology.policy;
+        let heat = cfg.heat.clone();
         StorageEngine::build_with_device(page_size, config, &tables, move |regions, ftl_config| {
-            if maint.background_gc {
+            if let Some(placement) = heat {
+                // Heat placement needs the scheduler, so it always runs
+                // with deferred (background) GC.
+                let ftl_config = ftl_config.with_background_gc();
+                let striped = ShardedFtl::with_regions(controller, ftl_config, policy, regions);
+                Box::new(HeatDevice::new(
+                    MaintainedFtl::new(striped, maint.maint),
+                    Box::new(placement),
+                ))
+            } else if maint.background_gc {
                 let ftl_config = ftl_config.with_background_gc();
                 let striped = ShardedFtl::with_regions(controller, ftl_config, policy, regions);
                 Box::new(MaintainedFtl::new(striped, maint.maint))

@@ -20,6 +20,7 @@ pub use driver::{
     fairness_spread, Driver, DriverConfig, LatencyPercentiles, MaintMode, RunResult, ScanResult,
     StreamLatency, ThreadedConfig, ThreadedRunResult, Topology,
 };
+pub use ipa_heat::{DefaultPolicy as HeatPolicy, HeatDevice, HeatStats, PlacementPolicy};
 pub use ipa_maint::{MaintConfig, MaintStats, MaintainedFtl};
 pub use ipa_trace::{
     chrome_trace_json, trace_csv, LatencyHistogram, MetricSection, MetricsSnapshot, RingRecorder,
@@ -31,3 +32,4 @@ pub use spec::{build, heap_pages, index_pages, rows_per_page, Benchmark, Workloa
 pub use tatp::Tatp;
 pub use tpcb::TpcB;
 pub use tpcc::TpcC;
+pub use util::{Zipf, ZipfTable};

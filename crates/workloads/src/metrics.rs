@@ -9,6 +9,7 @@
 //! [`crate::RunResult`], the fleet soak and the sweep binary all emit
 //! snapshots that window (`delta_since`) and serialize identically.
 
+use ipa_heat::HeatDevice;
 use ipa_maint::MaintainedFtl;
 use ipa_storage::StorageEngine;
 use ipa_trace::{MetricSection, MetricsSnapshot};
@@ -31,6 +32,9 @@ use crate::driver::Driver;
 ///   channel.
 /// * `maint` — background-reclaim counters, when the device runs the
 ///   idle-die scheduler.
+/// * `heat` — heat-placement counters (tier traffic, destages, wear
+///   migrations) plus tier occupancy gauges, when the device is an
+///   [`ipa_heat::HeatDevice`].
 pub fn engine_metrics(engine: &StorageEngine) -> MetricsSnapshot {
     let stats = engine.stats();
     let mut snap = MetricsSnapshot::new(stats.elapsed_ns);
@@ -81,6 +85,7 @@ pub fn engine_metrics(engine: &StorageEngine) -> MetricsSnapshot {
             .counter("page_reads", f.page_reads)
             .counter("page_programs", f.page_programs)
             .counter("page_reprograms", f.page_reprograms)
+            .counter("cache_programs", f.cache_programs)
             .counter("block_erases", f.block_erases)
             .counter("multi_plane_programs", f.multi_plane_programs)
             .counter("multi_plane_reads", f.multi_plane_reads)
@@ -118,23 +123,58 @@ pub fn engine_metrics(engine: &StorageEngine) -> MetricsSnapshot {
         for die in 0..ctrl.dies() {
             sec = sec.gauge_f64(format!("die{die}_busy"), ctrl.die_busy_fraction(die));
         }
+        for (die, &erases) in c.die_erases.iter().enumerate() {
+            sec = sec.gauge(format!("die{die}_erases"), erases);
+        }
         for ch in 0..ctrl.config().channels {
             sec = sec.gauge_f64(format!("chan{ch}_busy"), ctrl.channel_busy_fraction(ch));
         }
         snap.push(sec);
     }
 
-    if let Some(m) = engine.device_as::<MaintainedFtl>() {
-        let m = m.maint_stats();
+    let maint = engine
+        .device_as::<MaintainedFtl>()
+        .map(MaintainedFtl::maint_stats)
+        .or_else(|| {
+            engine
+                .device_as::<HeatDevice>()
+                .map(HeatDevice::maint_stats)
+        });
+    if let Some(m) = maint {
         snap.push(
             MetricSection::new("maint")
                 .counter("polls", m.polls)
                 .counter("steps", m.steps)
                 .counter("migrations", m.migrations)
                 .counter("erases", m.erases)
+                .counter("range_migrations", m.range_migrations)
+                .counter("destages", m.destages)
                 .counter("deferred_busy", m.deferred_busy)
                 .counter("erase_suspends_seen", m.erase_suspends_seen)
                 .gauge("max_wear_spread", m.max_wear_spread),
+        );
+    }
+
+    if let Some(hd) = engine.device_as::<HeatDevice>() {
+        let h = hd.heat_stats();
+        let tf = hd.tier_flash_stats();
+        snap.push(
+            MetricSection::new("heat")
+                .counter("writes_seen", h.writes_seen)
+                .counter("deltas_seen", h.deltas_seen)
+                .counter("hot_hits", h.hot_hits)
+                .counter("hot_spills", h.hot_spills)
+                .counter("tier_read_hits", h.tier_read_hits)
+                .counter("tier_rmw_deltas", h.tier_rmw_deltas)
+                .counter("destaged_pages", h.destaged_pages)
+                .counter("range_migrations", h.range_migrations)
+                .counter("migrations_skipped", h.migrations_skipped)
+                .counter("decays", h.decays)
+                .counter("tier_page_programs", tf.page_programs)
+                .counter("tier_block_erases", tf.block_erases)
+                .gauge("tier_resident", h.tier_resident)
+                .gauge("tier_slots", h.tier_slots)
+                .gauge_f64("tier_occupancy", h.tier_occupancy()),
         );
     }
 

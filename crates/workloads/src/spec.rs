@@ -49,6 +49,12 @@ pub trait Benchmark {
     /// Execute one transaction of the benchmark mix.
     fn run_tx(&mut self, engine: &mut StorageEngine, rng: &mut StdRng) -> Result<()>;
 
+    /// Ask the benchmark to draw its primary keys Zipf(θ)-skewed instead
+    /// of uniformly (`None` restores uniform). Benchmarks whose key
+    /// distribution is fixed by their spec may ignore the request — the
+    /// default does.
+    fn set_key_skew(&mut self, _theta: Option<f64>) {}
+
     /// Approximate read share of the mix (documentation; the paper argues
     /// IPL's extra reads hurt precisely because OLTP is 70–90 % reads).
     fn read_fraction(&self) -> f64;

@@ -20,7 +20,7 @@ use rand::Rng;
 use ipa_storage::{Result, Rid, StorageEngine, TableId, TableSpec};
 
 use crate::spec::{heap_pages, index_pages, Benchmark};
-use crate::util::{get_i64, put_i64, put_u64};
+use crate::util::{get_i64, put_i64, put_u64, ZipfTable};
 
 /// Accounts per branch (spec value 100 000; scaled for simulation but
 /// kept far larger than the buffer pool so account pages actually evict).
@@ -51,6 +51,8 @@ pub struct TpcB {
     teller_rids: Vec<Rid>,
     branch_rids: Vec<Rid>,
     history_full: bool,
+    /// Zipf(θ) account-key sampler when the driver asks for skew.
+    account_zipf: Option<ZipfTable>,
 }
 
 impl TpcB {
@@ -74,6 +76,7 @@ impl TpcB {
             teller_rids: Vec::new(),
             branch_rids: Vec::new(),
             history_full: false,
+            account_zipf: None,
         }
     }
 
@@ -165,7 +168,10 @@ impl Benchmark for TpcB {
         let history = self.history.unwrap();
         let accounts_pk = self.accounts_pk.unwrap();
 
-        let aid = rng.gen_range(0..self.n_accounts());
+        let aid = match &self.account_zipf {
+            Some(z) => z.sample(rng),
+            None => rng.gen_range(0..self.n_accounts()),
+        };
         let tid = rng.gen_range(0..self.n_tellers());
         let bid = tid / TELLERS_PER_BRANCH;
         let delta: i64 = rng.gen_range(-99_999..=99_999);
@@ -214,6 +220,10 @@ impl Benchmark for TpcB {
             }
         }
         engine.commit(tx)
+    }
+
+    fn set_key_skew(&mut self, theta: Option<f64>) {
+        self.account_zipf = theta.map(|t| ZipfTable::new(self.n_accounts(), t));
     }
 
     fn read_fraction(&self) -> f64 {

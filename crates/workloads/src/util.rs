@@ -106,6 +106,66 @@ impl Zipf {
     }
 }
 
+/// Exact Zipf(θ) sampler over `0..n`: item `i` is drawn with probability
+/// `(i+1)^-θ / ζ_n(θ)`. Unlike [`Zipf`], this builds the full cumulative
+/// table and draws via binary search, so the per-item probabilities are
+/// exact — the heat-placement experiments need a key distribution whose
+/// frequency ranks can be checked against the analytic values.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    /// `cdf[i]` = P(item ≤ i); the last entry is 1.0 by construction.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfTable {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut sum = 0.0f64;
+        for i in 0..n {
+            sum += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(sum);
+        }
+        let norm = sum;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        *cdf.last_mut().unwrap() = 1.0;
+        ZipfTable { cdf, theta }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The skew exponent.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Exact probability of item `i`.
+    pub fn probability(&self, i: u64) -> f64 {
+        let i = i as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draw an item in `0..n`; item 0 is the hottest.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        // First index whose cumulative mass covers u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +210,58 @@ mod tests {
             head > n / 10,
             "expected heavy head, got {head}/{n} in top 100"
         );
+    }
+
+    #[test]
+    fn zipf_table_matches_the_analytic_oracle() {
+        // Empirical frequencies vs the exact per-item probabilities,
+        // and the frequency ranks vs the analytic ranks (descending in
+        // item index by construction).
+        let n = 64u64;
+        let theta = 0.99;
+        let z = ZipfTable::new(n, theta);
+        let zeta: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let mut counts = vec![0u64; n as usize];
+        let draws = 200_000u64;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for i in 0..n {
+            let analytic = 1.0 / ((i + 1) as f64).powf(theta) / zeta;
+            assert!(
+                (z.probability(i) - analytic).abs() < 1e-12,
+                "item {i}: table {} vs analytic {analytic}",
+                z.probability(i)
+            );
+        }
+        // The head items must come out in analytic frequency-rank order
+        // (their expected gaps are far above sampling noise at 200k).
+        for i in 0..8usize {
+            assert!(
+                counts[i] > counts[i + 1],
+                "rank inversion at {i}: {} !> {}",
+                counts[i],
+                counts[i + 1]
+            );
+            let expect = draws as f64 * z.probability(i as u64);
+            let got = counts[i] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.15,
+                "item {i}: {got} draws vs expected {expect}"
+            );
+        }
+        // CDF ends exactly at 1 so every u ∈ [0,1) maps to an item.
+        assert_eq!(z.n(), n);
+        assert!((z.cdf[n as usize - 1] - 1.0).abs() == 0.0);
+    }
+
+    #[test]
+    fn zipf_table_theta_zero_is_uniform() {
+        let z = ZipfTable::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`storage`] — a compact storage engine (slotted NSM pages, buffer
 //!   pool, heap files, B+-tree, WAL/transactions) standing in for Shore-MT.
 //! * [`ipl`] — the In-Page Logging baseline (Lee & Moon, SIGMOD 2007).
+//! * [`heat`] — heat-based data placement: decaying LBA heat tracking,
+//!   the SLC hot tier and wear-shifting stripe migration.
 //! * [`workloads`] — deterministic TPC-B / TPC-C / TATP / LinkBench-style
 //!   generators and the benchmark driver.
 //!
@@ -40,6 +42,7 @@ pub use ipa_controller as controller;
 pub use ipa_core as core;
 pub use ipa_flash as flash;
 pub use ipa_ftl as ftl;
+pub use ipa_heat as heat;
 pub use ipa_ipl as ipl;
 pub use ipa_storage as storage;
 pub use ipa_workloads as workloads;
@@ -54,6 +57,7 @@ pub mod prelude {
         BlockDevice, DeviceStats, Ftl, FtlConfig, NativeFlashDevice, Region, RegionTable,
         WriteStrategy,
     };
+    pub use ipa_heat::{DefaultPolicy, HeatDevice, HeatStats, PlacementPolicy};
     pub use ipa_ipl::{replay_ipa, replay_ipl, IplConfig, IplStore};
     pub use ipa_storage::{
         standard_layout, BufferPool, EngineConfig, Rid, StorageEngine, TableSpec,
